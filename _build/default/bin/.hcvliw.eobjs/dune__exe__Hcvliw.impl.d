@@ -1,0 +1,1 @@
+bin/hcvliw.ml: Cli

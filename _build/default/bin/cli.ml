@@ -1,0 +1,360 @@
+(* The hcvliw command-line interface. *)
+
+open Cmdliner
+open Hcv_support
+open Hcv_ir
+open Hcv_machine
+open Hcv_energy
+open Hcv_core
+open Hcv_workload
+
+let setup_logs () =
+  Logs.set_reporter (Logs_fmt.reporter ());
+  Logs.set_level (Some Logs.Warning)
+
+let machine_of ~buses = Presets.machine_4c ~buses
+
+let load_loops path =
+  match Dsl.parse_file path with
+  | Ok loops -> Ok loops
+  | Error e -> Error (Format.asprintf "%s: %a" path Dsl.pp_error e)
+
+let or_die = function
+  | Ok v -> v
+  | Error msg ->
+    Printf.eprintf "error: %s\n" msg;
+    exit 1
+
+(* ----- bench: run the full pipeline for benchmarks ---------------- *)
+
+let run_benchmark ~buses ~n_loops ~seed name =
+  let machine = machine_of ~buses in
+  match Specfp.find name with
+  | None -> Error (Printf.sprintf "unknown benchmark %S" name)
+  | Some spec ->
+    let loops = Specfp.loops ?n_loops ~seed spec in
+    Pipeline.run ~machine ~name ~loops ()
+
+let bench_cmd =
+  let bench_arg =
+    Arg.(value & pos 0 string "all" & info [] ~docv:"BENCHMARK")
+  in
+  let buses =
+    Arg.(value & opt int 1 & info [ "buses" ] ~doc:"Number of register buses.")
+  in
+  let n_loops =
+    Arg.(
+      value & opt (some int) None
+      & info [ "loops" ] ~doc:"Loops per benchmark (default: per-spec).")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Workload seed.") in
+  let run name buses n_loops seed =
+    setup_logs ();
+    let names =
+      if name = "all" then List.map (fun s -> s.Specfp.name) Specfp.all
+      else [ name ]
+    in
+    List.iter
+      (fun n ->
+        let r = or_die (run_benchmark ~buses ~n_loops ~seed n) in
+        Format.printf "%a@." Pipeline.pp_summary r)
+      names
+  in
+  Cmd.v
+    (Cmd.info "bench"
+       ~doc:
+         "Run the full profile/select/schedule pipeline for one (or all) \
+          synthetic SPECfp2000 benchmarks and report normalised ED2.")
+    Term.(const run $ bench_arg $ buses $ n_loops $ seed)
+
+(* ----- table2 ----------------------------------------------------- *)
+
+let table2_cmd =
+  let run () =
+    setup_logs ();
+    let machine = machine_of ~buses:1 in
+    let t =
+      Tablefmt.create
+        ~title:"Table 2: share of execution time per constraint class"
+        [
+          ("benchmark", Tablefmt.Left);
+          ("resource (paper)", Tablefmt.Right);
+          ("resource (ours)", Tablefmt.Right);
+          ("border (paper)", Tablefmt.Right);
+          ("border (ours)", Tablefmt.Right);
+          ("recurrence (paper)", Tablefmt.Right);
+          ("recurrence (ours)", Tablefmt.Right);
+        ]
+    in
+    List.iter
+      (fun spec ->
+        let loops = Specfp.loops ~seed:42 spec in
+        let res, border, rec_ = Specfp.table2_row machine loops in
+        Tablefmt.add_row t
+          [
+            spec.Specfp.name;
+            Tablefmt.cell_pct spec.Specfp.res_share;
+            Tablefmt.cell_pct res;
+            Tablefmt.cell_pct spec.Specfp.border_share;
+            Tablefmt.cell_pct border;
+            Tablefmt.cell_pct spec.Specfp.rec_share;
+            Tablefmt.cell_pct rec_;
+          ])
+      Specfp.all;
+    Tablefmt.print t
+  in
+  Cmd.v
+    (Cmd.info "table2" ~doc:"Reproduce Table 2 (constraint-class mix).")
+    Term.(const run $ const ())
+
+(* ----- schedule: schedule loops from a .loop file ------------------ *)
+
+let schedule_cmd =
+  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
+  let buses = Arg.(value & opt int 1 & info [ "buses" ]) in
+  let hetero =
+    Arg.(
+      value & flag
+      & info [ "hetero" ]
+          ~doc:"Select a heterogeneous configuration first and use it.")
+  in
+  let run file buses hetero =
+    setup_logs ();
+    let machine = machine_of ~buses in
+    let loops = or_die (load_loops file) in
+    if hetero then begin
+      let profile = or_die (Profile.profile ~machine ~loops) in
+      let units =
+        Units.of_reference ~params:Params.default
+          ~n_clusters:(Machine.n_clusters machine)
+          profile.Profile.activity
+      in
+      let ctx = Model.ctx ~params:Params.default ~units () in
+      let choice = Select.select_heterogeneous ~ctx ~machine profile in
+      Format.printf "%a@.@." Select.pp_choice choice;
+      List.iter
+        (fun loop ->
+          match
+            Hsched.schedule ~ctx ~config:choice.Select.config ~loop ()
+          with
+          | Ok (sched, stats) ->
+            Format.printf "%a@.(IT=%a, MIT=%a, %d pre-placed)@.@."
+              Hcv_sched.Schedule.pp sched Q.pp stats.Hsched.it Q.pp
+              stats.Hsched.mit stats.Hsched.prePlaced
+          | Error msg -> Format.printf "%s: FAILED: %s@." loop.Loop.name msg)
+        loops
+    end
+    else
+      List.iter
+        (fun loop ->
+          match
+            Hcv_sched.Homo.schedule ~machine
+              ~cycle_time:Presets.reference_cycle_time ~loop ()
+          with
+          | Ok (sched, stats) ->
+            Format.printf "%a@.(II=%d, MII=%d)@.@." Hcv_sched.Schedule.pp
+              sched stats.Hcv_sched.Homo.ii stats.Hcv_sched.Homo.mii
+          | Error msg -> Format.printf "%s: FAILED: %s@." loop.Loop.name msg)
+        loops
+  in
+  Cmd.v
+    (Cmd.info "schedule" ~doc:"Modulo-schedule the loops of a .loop file.")
+    Term.(const run $ file $ buses $ hetero)
+
+(* ----- dot --------------------------------------------------------- *)
+
+let dot_cmd =
+  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
+  let run file =
+    let loops = or_die (load_loops file) in
+    List.iter (fun loop -> print_string (Dot.of_loop loop)) loops
+  in
+  Cmd.v
+    (Cmd.info "dot" ~doc:"Emit Graphviz DOT for the loops of a .loop file.")
+    Term.(const run $ file)
+
+(* ----- gen --------------------------------------------------------- *)
+
+let gen_cmd =
+  let bench = Arg.(required & pos 0 (some string) None & info [] ~docv:"BENCH") in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ]) in
+  let n_loops = Arg.(value & opt (some int) None & info [ "loops" ]) in
+  let run bench seed n_loops =
+    match Specfp.find bench with
+    | None -> or_die (Error (Printf.sprintf "unknown benchmark %S" bench))
+    | Some spec ->
+      print_string (Dsl.print_all (Specfp.loops ?n_loops ~seed spec))
+  in
+  Cmd.v
+    (Cmd.info "gen"
+       ~doc:"Generate a synthetic benchmark population as a .loop file.")
+    Term.(const run $ bench $ seed $ n_loops)
+
+(* ----- explore ------------------------------------------------------ *)
+
+let explore_cmd =
+  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
+  let buses = Arg.(value & opt int 1 & info [ "buses" ]) in
+  let run file buses =
+    setup_logs ();
+    let machine = machine_of ~buses in
+    let loops = or_die (load_loops file) in
+    let profile = or_die (Profile.profile ~machine ~loops) in
+    let units =
+      Units.of_reference ~params:Params.default
+        ~n_clusters:(Machine.n_clusters machine)
+        profile.Profile.activity
+    in
+    let ctx = Model.ctx ~params:Params.default ~units () in
+    let homo = Select.optimum_homogeneous ~ctx ~machine profile in
+    let hetero = Select.select_heterogeneous ~ctx ~machine profile in
+    Format.printf "optimum homogeneous:@.%a@.@." Select.pp_choice homo;
+    Format.printf "selected heterogeneous:@.%a@.@." Select.pp_choice hetero;
+    Format.printf "predicted ED2 ratio: %.3f@."
+      (hetero.Select.predicted_ed2 /. homo.Select.predicted_ed2)
+  in
+  Cmd.v
+    (Cmd.info "explore"
+       ~doc:"Run the configuration-selection models on a .loop file.")
+    Term.(const run $ file $ buses)
+
+(* ----- simulate: run loops through the cycle simulator ------------- *)
+
+let simulate_cmd =
+  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
+  let buses = Arg.(value & opt int 1 & info [ "buses" ]) in
+  let trip =
+    Arg.(
+      value & opt (some int) None
+      & info [ "trip" ] ~doc:"Iteration count (default: the loop's).")
+  in
+  let run file buses trip =
+    setup_logs ();
+    let machine = machine_of ~buses in
+    let loops = or_die (load_loops file) in
+    List.iter
+      (fun loop ->
+        match
+          Hcv_sched.Homo.schedule ~machine
+            ~cycle_time:Presets.reference_cycle_time ~loop ()
+        with
+        | Error msg -> Format.printf "%s: FAILED: %s@." loop.Loop.name msg
+        | Ok (sched, stats) ->
+          let trip = Option.value trip ~default:loop.Loop.trip in
+          let r = Hcv_sim.Simulator.run ~schedule:sched ~trip () in
+          Format.printf "%s (II=%d): %a@." loop.Loop.name
+            stats.Hcv_sched.Homo.ii Hcv_sim.Simulator.pp_result r;
+          List.iter (fun v -> Format.printf "  violation: %s@." v)
+            r.Hcv_sim.Simulator.violations)
+      loops
+  in
+  Cmd.v
+    (Cmd.info "simulate"
+       ~doc:
+         "Schedule the loops of a .loop file and replay them on the \
+          cycle-level multi-clock-domain simulator.")
+    Term.(const run $ file $ buses $ trip)
+
+(* ----- report: pipelined-code and register report ------------------ *)
+
+let report_cmd =
+  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
+  let buses = Arg.(value & opt int 1 & info [ "buses" ]) in
+  let full =
+    Arg.(
+      value & flag
+      & info [ "full" ] ~doc:"Also print the prologue/kernel/epilogue listing.")
+  in
+  let run file buses full =
+    setup_logs ();
+    let machine = machine_of ~buses in
+    let loops = or_die (load_loops file) in
+    List.iter
+      (fun loop ->
+        match
+          Hcv_sched.Homo.schedule ~machine
+            ~cycle_time:Presets.reference_cycle_time ~loop ()
+        with
+        | Error msg -> Format.printf "%s: FAILED: %s@." loop.Loop.name msg
+        | Ok (sched, _) ->
+          let code = Hcv_sched.Codegen.emit sched in
+          print_string (Hcv_sched.Codegen.render_kernel_table code);
+          Format.printf "static code size: %d ops (kernel %d), SC=%d@."
+            (Hcv_sched.Codegen.static_ops code)
+            (Hcv_sched.Codegen.kernel_ops code)
+            code.Hcv_sched.Codegen.stage_count;
+          Format.printf "%a@." Hcv_sched.Regalloc.pp
+            (Hcv_sched.Regalloc.analyze sched);
+          Format.printf "%a@.@." Hcv_sched.Control.pp
+            (Hcv_sched.Control.analyze sched);
+          if full then print_string (Hcv_sched.Codegen.render code))
+      loops
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:
+         "Emit the software-pipelined code (kernel table, optionally the \
+          full listing) plus register and control-path reports.")
+    Term.(const run $ file $ buses $ full)
+
+(* ----- debug: dump pipeline internals for one benchmark ------------ *)
+
+let debug_cmd =
+  let bench = Arg.(required & pos 0 (some string) None & info [] ~docv:"BENCH") in
+  let run bench =
+    setup_logs ();
+    let machine = machine_of ~buses:1 in
+    let spec = Option.get (Specfp.find bench) in
+    let loops = Specfp.loops ~seed:42 spec in
+    let r = or_die (Pipeline.run ~machine ~name:bench ~loops ()) in
+    let pr_act label (a : Activity.t) =
+      Format.printf "%s: T=%.0f ins=[%s] comms=%.0f mem=%.0f@." label
+        a.Activity.exec_time_ns
+        (String.concat ";"
+           (Array.to_list
+              (Array.map (Printf.sprintf "%.0f") a.Activity.per_cluster_ins_energy)))
+        a.Activity.n_comms a.Activity.n_mem
+    in
+    pr_act "reference " r.Pipeline.profile.Profile.activity;
+    pr_act "hetero    " r.Pipeline.hetero_activity;
+    Format.printf "homo choice:@.%a@.het choice:@.%a@." Select.pp_choice
+      r.Pipeline.homo Select.pp_choice r.Pipeline.hetero;
+    List.iter
+      (fun (lr : Pipeline.loop_result) ->
+        let s = lr.Pipeline.schedule in
+        let dist = Hcv_sched.Schedule.per_cluster_ins_energy s in
+        Format.printf "  %-16s IT=%a MIT=%a comms=%d dist=[%s]@."
+          lr.Pipeline.profile.Profile.loop.Loop.name Q.pp
+          lr.Pipeline.stats.Hsched.it Q.pp lr.Pipeline.stats.Hsched.mit
+          (Hcv_sched.Schedule.n_comms s)
+          (String.concat ";"
+             (Array.to_list (Array.map (Printf.sprintf "%.1f") dist))))
+      r.Pipeline.loop_results;
+    let homo_ct =
+      (Opconfig.point r.Pipeline.homo.Select.config (Comp.Cluster 0))
+        .Opconfig.cycle_time
+    in
+    let homo_act = Profile.scale_cycle_time r.Pipeline.profile homo_ct in
+    Format.printf "homo breakdown:   %a@." Model.pp_breakdown
+      (Model.energy r.Pipeline.ctx ~config:r.Pipeline.homo.Select.config
+         homo_act);
+    Format.printf "hetero breakdown: %a@." Model.pp_breakdown
+      (Model.energy r.Pipeline.ctx ~config:r.Pipeline.hetero.Select.config
+         r.Pipeline.hetero_activity);
+    Format.printf "ed2 ratio=%.3f time=%.3f energy=%.3f fallbacks=%d@."
+      r.Pipeline.ed2_ratio r.Pipeline.time_ratio r.Pipeline.energy_ratio
+      r.Pipeline.fallbacks
+  in
+  Cmd.v (Cmd.info "debug" ~doc:"Dump pipeline internals.")
+    Term.(const run $ bench)
+
+let main () =
+  let info =
+    Cmd.info "hcvliw" ~version:"1.0.0"
+      ~doc:"Heterogeneous clustered VLIW microarchitectures (CGO 2007)."
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ bench_cmd; table2_cmd; schedule_cmd; simulate_cmd; report_cmd; dot_cmd;
+            gen_cmd; explore_cmd; debug_cmd ]))

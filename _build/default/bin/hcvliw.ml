@@ -1,0 +1,2 @@
+(* Command-line driver; see `hcvliw --help`. *)
+let () = Cli.main ()

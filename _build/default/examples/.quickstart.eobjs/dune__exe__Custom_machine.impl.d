@@ -1,0 +1,1 @@
+examples/custom_machine.ml: Cluster Ddg Format Hcv_ir Hcv_machine Hcv_sched Hcv_sim Hcv_support Hcv_workload Homo Icn List Loop Machine Mii Q Rng Schedule Shapes

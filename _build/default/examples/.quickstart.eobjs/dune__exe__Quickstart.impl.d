@@ -1,0 +1,1 @@
+examples/quickstart.ml: Ddg Format Hcv_ir Hcv_machine Hcv_sched Hcv_sim Hcv_support Homo Loop Machine Mii Opcode Presets Q Schedule

@@ -1,0 +1,1 @@
+examples/recurrence_loop.mli:

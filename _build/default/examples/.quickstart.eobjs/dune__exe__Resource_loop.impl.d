@@ -1,0 +1,1 @@
+examples/resource_loop.ml: Format Hcv_core Hcv_ir Hcv_machine Hcv_sched Hcv_support Hcv_workload List Loop Opconfig Pipeline Presets Printf Rng Select Shapes

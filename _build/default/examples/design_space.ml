@@ -1,0 +1,84 @@
+(* Walk the §3.3 design space explicitly: enumerate every heterogeneous
+   candidate (fast-cluster cycle time x slow-cluster factor), print its
+   model-predicted execution time, energy and ED2, and mark the pick.
+
+   Run with: dune exec examples/design_space.exe *)
+
+open Hcv_support
+open Hcv_machine
+open Hcv_energy
+open Hcv_core
+open Hcv_workload
+
+let () =
+  let machine = Presets.machine_4c ~buses:1 in
+  let spec = Option.get (Specfp.find "sixtrack") in
+  let loops = Specfp.loops ~n_loops:8 ~seed:42 spec in
+  let profile =
+    match Profile.profile ~machine ~loops with
+    | Ok p -> p
+    | Error msg -> failwith msg
+  in
+  let units =
+    Units.of_reference ~params:Params.default ~n_clusters:4
+      profile.Profile.activity
+  in
+  let ctx = Model.ctx ~params:Params.default ~units () in
+  let homo = Select.optimum_homogeneous ~ctx ~machine profile in
+  Format.printf "optimum homogeneous: ED2 = %.4g@.@." homo.Select.predicted_ed2;
+
+  let t =
+    Tablefmt.create ~title:"sixtrack-like population, predicted by the SS3.3 models"
+      [
+        ("fast ct (ns)", Tablefmt.Right);
+        ("slow factor", Tablefmt.Right);
+        ("T (us)", Tablefmt.Right);
+        ("E (norm)", Tablefmt.Right);
+        ("ED2 vs homo", Tablefmt.Right);
+      ]
+  in
+  let best = Select.select_heterogeneous ~ctx ~machine profile in
+  List.iter
+    (fun fast ->
+      let fast_ct = Q.mul Presets.reference_cycle_time fast in
+      List.iter
+        (fun slow ->
+          let slow_ct = Q.mul fast_ct slow in
+          let pt ct = { Opconfig.cycle_time = ct; vdd = 1.0 } in
+          let shape =
+            Opconfig.make ~machine
+              ~cluster_points:
+                [| pt fast_ct; pt slow_ct; pt slow_ct; pt slow_ct |]
+              ~icn_point:(pt fast_ct) ~cache_point:(pt fast_ct)
+          in
+          let act = Estimate.predict_activity ~config:shape profile in
+          (* Voltage-optimise via the selector's own sweep: compare the
+             shape against the chosen one. *)
+          let marker =
+            if
+              Q.equal
+                (Opconfig.cycle_time best.Select.config (Comp.Cluster 1))
+                slow_ct
+              && Q.equal
+                   (Opconfig.cycle_time best.Select.config (Comp.Cluster 0))
+                   fast_ct
+            then " <== selected"
+            else ""
+          in
+          Tablefmt.add_row t
+            [
+              Q.to_string fast_ct;
+              Q.to_string slow;
+              Printf.sprintf "%.1f" (act.Activity.exec_time_ns /. 1e3);
+              "-";
+              Printf.sprintf "%.3f%s"
+                (Model.ed2 ctx ~config:shape act /. homo.Select.predicted_ed2)
+                marker;
+            ])
+        Presets.slow_factors)
+    Presets.fast_factors;
+  Tablefmt.print t;
+  Format.printf
+    "@.(the ED2 column uses nominal 1 V everywhere; the selector also \
+     optimises per-domain voltages, final pick below)@.@.%a@."
+    Select.pp_choice best

@@ -1,0 +1,46 @@
+(* A resource-constrained workload (the swim/mgrid case of the paper,
+   §5.2): wide parallel loops with no recurrences.  Every instruction
+   matters for throughput, so slowing some clusters would cost time;
+   the selector falls back to a uniform-frequency configuration and the
+   benefit comes from per-domain voltage tuning alone.
+
+   Run with: dune exec examples/resource_loop.exe *)
+
+open Hcv_support
+open Hcv_ir
+open Hcv_machine
+open Hcv_core
+open Hcv_workload
+
+let () =
+  let machine = Presets.machine_4c ~buses:1 in
+  let rng = Rng.create 7 in
+  let loops =
+    List.init 6 (fun k ->
+        if k mod 2 = 0 then
+          Shapes.wide_parallel ~rng
+            ~name:(Printf.sprintf "wide%d" k)
+            ~lanes:(8 + k) ~depth:2 ~merge:(k mod 4 = 0) ~trip:200 ()
+        else
+          Shapes.reduction ~rng
+            ~name:(Printf.sprintf "red%d" k)
+            ~width:(9 + k) ~trip:200 ())
+  in
+  List.iter
+    (fun (l : Loop.t) ->
+      Format.printf "%s: class = %s (resMII=%d, recMII=%d)@." l.Loop.name
+        (Hcv_sched.Mii.class_to_string
+           (Hcv_sched.Mii.classify machine l.Loop.ddg))
+        (Hcv_sched.Mii.res_mii machine l.Loop.ddg)
+        (Hcv_sched.Mii.rec_mii l.Loop.ddg))
+    loops;
+  Format.printf "@.";
+  match Pipeline.run ~machine ~name:"resource-demo" ~loops () with
+  | Error msg -> Format.printf "pipeline failed: %s@." msg
+  | Ok r ->
+    Format.printf "chosen configuration:@.%a@.@." Select.pp_choice
+      r.Pipeline.hetero;
+    Format.printf "uniform frequencies? %b@."
+      (Opconfig.is_homogeneous r.Pipeline.hetero.Select.config);
+    Format.printf "ED2 ratio vs optimum homogeneous: %.3f (time x%.3f, energy x%.3f)@."
+      r.Pipeline.ed2_ratio r.Pipeline.time_ratio r.Pipeline.energy_ratio

@@ -1,0 +1,1 @@
+lib/core/estimate.ml: Activity Array Clocking Cluster Comp Hcv_energy Hcv_ir Hcv_machine Hcv_sched Hcv_support Icn List Listx Machine Mit Model Opconfig Profile Q

@@ -1,0 +1,1 @@
+lib/core/estimate.mli: Activity Hcv_energy Hcv_machine Hcv_support Model Opconfig Profile Q

@@ -1,0 +1,1 @@
+lib/core/hsched.ml: Array Clocking Comp Format Hcv_energy Hcv_ir Hcv_machine Hcv_sched Hcv_support List Loop Machine Mii Mit Model Opconfig Partition Profile Pseudo Q Recurrence Slot_sched

@@ -1,0 +1,1 @@
+lib/core/hsched.mli: Clocking Ddg Hcv_energy Hcv_ir Hcv_machine Hcv_sched Hcv_support Instr Loop Model Opconfig Q Schedule

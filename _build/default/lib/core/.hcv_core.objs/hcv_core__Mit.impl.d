@@ -1,0 +1,1 @@
+lib/core/mit.ml: Array Cluster Comp Ddg Hcv_ir Hcv_machine Hcv_sched Hcv_support List Machine Mii Opcode Opconfig Printf Q

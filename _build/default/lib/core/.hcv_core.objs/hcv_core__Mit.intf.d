@@ -1,0 +1,1 @@
+lib/core/mit.mli: Ddg Hcv_ir Hcv_machine Hcv_support Opcode Opconfig Q

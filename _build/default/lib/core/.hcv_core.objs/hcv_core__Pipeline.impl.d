@@ -1,0 +1,1 @@
+lib/core/pipeline.ml: Activity Comp Estimate Format Hcv_energy Hcv_ir Hcv_machine Hcv_sched Hcv_support Hsched List Logs Machine Model Opconfig Params Printf Profile Schedule Select Units

@@ -1,0 +1,1 @@
+lib/core/pipeline.mli: Activity Format Hcv_energy Hcv_ir Hcv_machine Hcv_sched Hsched Loop Machine Model Opconfig Params Profile Schedule Select

@@ -1,0 +1,1 @@
+lib/core/profile.ml: Activity Array Hcv_energy Hcv_ir Hcv_machine Hcv_sched Hcv_support Homo List Listx Loop Machine Opconfig Presets Q Schedule

@@ -1,0 +1,1 @@
+lib/core/profile.mli: Activity Hcv_energy Hcv_ir Hcv_machine Hcv_sched Hcv_support Loop Machine Opconfig Q Schedule

@@ -1,0 +1,1 @@
+lib/core/select.ml: Activity Alpha_power Array Estimate Format Hcv_energy Hcv_machine Hcv_support List Machine Model Opconfig Presets Profile Q Scale Units

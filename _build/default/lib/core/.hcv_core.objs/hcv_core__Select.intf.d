@@ -1,0 +1,1 @@
+lib/core/select.mli: Format Hcv_energy Hcv_machine Machine Model Opconfig Profile

@@ -1,0 +1,159 @@
+open Hcv_support
+open Hcv_ir
+open Hcv_machine
+open Hcv_energy
+open Hcv_sched
+
+type stats = {
+  it : Q.t;
+  mit : Q.t;
+  tries : int;
+  sync_bumps : int;
+  prePlaced : int;
+}
+
+let cluster_ct config i =
+  (Opconfig.point config (Comp.Cluster i)).Opconfig.cycle_time
+
+(* Can [cluster] host the recurrence members [nodes] (on top of the
+   instructions [already] placed there) within its II? *)
+let cluster_fits ~machine ~clocking ~ddg ~cluster ~already nodes min_ii =
+  let ii = clocking.Clocking.cluster_ii.(cluster) in
+  if min_ii > ii then false
+  else begin
+    let cl = Machine.cluster machine cluster in
+    let members = nodes @ already in
+    let res = Mii.res_mii_cluster cl ddg members in
+    res <= ii
+  end
+
+let preplace_recurrences ~config ~clocking ddg =
+  let machine = config.Opconfig.machine in
+  let n_clusters = Machine.n_clusters machine in
+  let recs = Recurrence.find_all ddg in
+  (* Only the recurrences that do not fit every cluster need
+     pre-placement (paper §4.1.1). *)
+  let min_cluster_ii = Array.fold_left min max_int clocking.Clocking.cluster_ii in
+  let needs_placement =
+    List.filter (fun (r : Recurrence.t) -> r.Recurrence.min_ii > min_cluster_ii) recs
+  in
+  let placed_per_cluster = Array.make n_clusters [] in
+  let rec place acc = function
+    | [] -> Ok acc
+    | (r : Recurrence.t) :: rest -> (
+      (* Slowest feasible cluster (max cycle time; lowest index on
+         ties). *)
+      let best = ref None in
+      for c = 0 to n_clusters - 1 do
+        if
+          cluster_fits ~machine ~clocking ~ddg ~cluster:c
+            ~already:placed_per_cluster.(c) r.Recurrence.nodes
+            r.Recurrence.min_ii
+        then begin
+          let ct = cluster_ct config c in
+          match !best with
+          | None -> best := Some (c, ct)
+          | Some (_, bct) -> if Q.( > ) ct bct then best := Some (c, ct)
+        end
+      done;
+      match !best with
+      | None ->
+        Error
+          (Format.asprintf "recurrence %a fits no cluster at IT=%a"
+             Recurrence.pp r Q.pp clocking.Clocking.it)
+      | Some (c, _) ->
+        placed_per_cluster.(c) <- r.Recurrence.nodes @ placed_per_cluster.(c);
+        place
+          (List.rev_append
+             (List.map (fun i -> (i, c)) r.Recurrence.nodes)
+             acc)
+          rest)
+  in
+  place [] needs_placement
+
+(* Score a candidate partition by the ED2 its pseudo-schedule predicts
+   (paper §4.1.2).  Unschedulable partitions keep the huge
+   schedulability-first penalties so that any feasible partition wins. *)
+let ed2_score ~ctx ~config ~machine ~clocking ~loop assignment =
+  let est = Pseudo.estimate ~machine ~clocking ~loop ~assignment in
+  if not (Pseudo.feasible est) then 1e14 +. Pseudo.score est
+  else begin
+    let act =
+      Profile.activity_of_schedule est.Pseudo.schedule
+        ~trip:loop.Loop.trip
+    in
+    Model.ed2 ctx ~config act
+  end
+
+type score_mode = Ed2 | Schedulability
+
+let schedule ~ctx ~config ~loop ?(max_tries = 64) ?(seed = 0)
+    ?(preplace = true) ?(score_mode = Ed2) () =
+  let machine = config.Opconfig.machine in
+  let n_clusters = Machine.n_clusters machine in
+  let ddg = loop.Loop.ddg in
+  let mit = Mit.mit ~config ddg in
+  let mit = if Q.sign mit <= 0 then Mit.next_candidate ~config ~after:Q.zero else mit in
+  let groups =
+    List.map (fun (r : Recurrence.t) -> r.Recurrence.nodes) (Recurrence.find_all ddg)
+  in
+  let rec attempt it tries sync_bumps =
+    if tries > max_tries then
+      Error
+        (Format.asprintf "no heterogeneous schedule for %s within %d ITs (MIT=%a)"
+           loop.Loop.name max_tries Q.pp mit)
+    else begin
+      let bump ~sync () =
+        attempt
+          (Mit.next_candidate ~config ~after:it)
+          (tries + 1)
+          (if sync then sync_bumps + 1 else sync_bumps)
+      in
+      match Clocking.of_config ~config ~it with
+      | Error _ -> bump ~sync:true ()
+      | Ok clocking -> (
+        match
+          (if preplace then preplace_recurrences ~config ~clocking ddg
+           else Ok [])
+        with
+        | Error _ -> bump ~sync:false ()
+        | Ok fixed -> (
+          let score =
+            match score_mode with
+            | Ed2 -> ed2_score ~ctx ~config ~machine ~clocking ~loop
+            | Schedulability ->
+              fun assignment ->
+                Pseudo.score
+                  (Pseudo.estimate ~machine ~clocking ~loop ~assignment)
+          in
+          (* Two deterministic restarts of the multilevel partitioner;
+             keep the better-scored partition. *)
+          let part_a =
+            Partition.run ~n_clusters ~ddg ~fixed ~groups ~seed ~score ()
+          in
+          let part_b =
+            Partition.run ~n_clusters ~ddg ~fixed ~groups ~seed:(seed + 1)
+              ~score ()
+          in
+          let part =
+            if part_b.Partition.score < part_a.Partition.score then part_b
+            else part_a
+          in
+          match
+            Slot_sched.run ~machine ~clocking ~loop
+              ~assignment:part.Partition.assignment ()
+          with
+          | Ok sched ->
+            Ok
+              ( sched,
+                {
+                  it;
+                  mit;
+                  tries;
+                  sync_bumps;
+                  prePlaced = List.length fixed;
+                } )
+          | Error _ -> bump ~sync:false ()))
+    end
+  in
+  attempt mit 1 0

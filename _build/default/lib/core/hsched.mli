@@ -1,0 +1,52 @@
+(** Heterogeneous modulo scheduling (paper §4, Fig. 5).
+
+    Given an operating configuration (per-domain maximum frequencies
+    fixed by the §3.3 selection), schedule a loop:
+
+    1. IT := MIT;
+    2. select a synchronisable (frequency, II) pair per domain — on
+       failure increase the IT ("synchronisation problem");
+    3. pre-place critical recurrences: recurrences that do not fit every
+       cluster's II are placed, most critical first, in the *slowest*
+       cluster that can still host them (§4.1.1);
+    4. partition the remaining DDG with the multilevel scheme, scoring
+       candidate partitions by the ED² predicted from their
+       pseudo-schedule and the §3.1 energy model (§4.1.2);
+    5. run slot assignment; on failure increase the IT and restart. *)
+
+open Hcv_support
+open Hcv_ir
+open Hcv_machine
+open Hcv_energy
+open Hcv_sched
+
+type stats = {
+  it : Q.t;  (** final initiation time *)
+  mit : Q.t;
+  tries : int;  (** IT candidates attempted *)
+  sync_bumps : int;  (** IT increases due to frequency-grid misses *)
+  prePlaced : int;  (** instructions fixed by recurrence pre-placement *)
+}
+
+val preplace_recurrences :
+  config:Opconfig.t -> clocking:Clocking.t -> Ddg.t
+  -> ((Instr.id * int) list, string) result
+(** The §4.1.1 pre-placement: assignments for every instruction in a
+    recurrence whose minimum II exceeds the II of at least one cluster.
+    [Error] when some recurrence fits no cluster at this clocking. *)
+
+type score_mode =
+  | Ed2  (** the paper's §4.1.2 refinement objective *)
+  | Schedulability
+      (** the homogeneous baseline's objective ({!Hcv_sched.Pseudo.score});
+          used by the ablation benches to isolate the value of
+          energy-aware refinement *)
+
+val schedule :
+  ctx:Model.ctx -> config:Opconfig.t -> loop:Loop.t -> ?max_tries:int
+  -> ?seed:int -> ?preplace:bool -> ?score_mode:score_mode -> unit
+  -> (Schedule.t * stats, string) result
+(** [max_tries] (default 64) bounds IT candidates above the MIT.
+    [preplace] (default true) and [score_mode] (default [Ed2]) are
+    ablation switches for the two heterogeneous-specific ingredients of
+    §4.1. *)

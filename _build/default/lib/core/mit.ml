@@ -1,0 +1,87 @@
+open Hcv_support
+open Hcv_ir
+open Hcv_machine
+open Hcv_sched
+
+let rec_mit ~config ddg =
+  let recmii = Mii.rec_mii ddg in
+  Q.mul_int (Opconfig.fastest_cluster_cycle_time config) recmii
+
+let capacity_at ~config ~it kind =
+  let machine = config.Opconfig.machine in
+  let n = Machine.n_clusters machine in
+  let total = ref 0 in
+  for i = 0 to n - 1 do
+    let ct = (Opconfig.point config (Comp.Cluster i)).Opconfig.cycle_time in
+    let slots = Q.floor (Q.div it ct) in
+    total := !total + (slots * Cluster.fu_count (Machine.cluster machine i) kind)
+  done;
+  !total
+
+let candidates ~config ~upto =
+  let machine = config.Opconfig.machine in
+  let n = Machine.n_clusters machine in
+  let acc = ref [] in
+  for i = 0 to n - 1 do
+    let ct = (Opconfig.point config (Comp.Cluster i)).Opconfig.cycle_time in
+    let kmax = Q.floor (Q.div upto ct) in
+    for k = 1 to kmax do
+      acc := Q.mul_int ct k :: !acc
+    done
+  done;
+  List.sort_uniq Q.compare !acc
+
+let res_mit ~config ddg =
+  let machine = config.Opconfig.machine in
+  let demands =
+    List.filter (fun (_, d) -> d > 0) (Ddg.fu_demand ddg)
+  in
+  if demands = [] then Q.zero
+  else begin
+    List.iter
+      (fun (kind, _) ->
+        if Machine.fu_total machine kind = 0 then
+          invalid_arg
+            (Printf.sprintf "Mit.res_mit: no %s anywhere in the machine"
+               (Opcode.fu_to_string kind)))
+      demands;
+    (* An upper bound: the largest per-kind demand served by a single
+       unit on the slowest cluster. *)
+    let slowest =
+      Array.fold_left
+        (fun acc (p : Opconfig.point) -> Q.max acc p.Opconfig.cycle_time)
+        Q.zero config.Opconfig.cluster_points
+    in
+    let worst_demand =
+      List.fold_left (fun acc (_, d) -> max acc d) 1 demands
+    in
+    let upto = Q.mul_int slowest worst_demand in
+    let feasible it =
+      List.for_all (fun (kind, d) -> capacity_at ~config ~it kind >= d) demands
+    in
+    match List.find_opt feasible (candidates ~config ~upto) with
+    | Some it -> it
+    | None -> upto (* feasible by construction of the bound *)
+  end
+
+let mit ~config ddg = Q.max (rec_mit ~config ddg) (res_mit ~config ddg)
+
+let next_candidate ~config ~after =
+  let machine = config.Opconfig.machine in
+  let n = Machine.n_clusters machine in
+  let best = ref None in
+  for i = 0 to n - 1 do
+    let ct = (Opconfig.point config (Comp.Cluster i)).Opconfig.cycle_time in
+    (* Smallest multiple of ct strictly greater than after. *)
+    let k = Q.floor (Q.div after ct) + 1 in
+    let cand = Q.mul_int ct k in
+    let cand =
+      if Q.( > ) cand after then cand else Q.mul_int ct (k + 1)
+    in
+    match !best with
+    | None -> best := Some cand
+    | Some b -> if Q.( < ) cand b then best := Some cand
+  done;
+  match !best with
+  | Some b -> b
+  | None -> invalid_arg "Mit.next_candidate: machine has no clusters"

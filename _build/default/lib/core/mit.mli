@@ -1,0 +1,33 @@
+(** Minimum initiation time (paper §2.2): the heterogeneous
+    generalisation of the MII.
+
+      MIT = max(recMIT, resMIT)
+
+    where recMIT = recMII * (cycle time of the fastest cluster) and
+    resMIT is the smallest initiation time at which the per-cluster IIs
+    provide enough issue slots of every resource kind for the loop. *)
+
+open Hcv_support
+open Hcv_ir
+open Hcv_machine
+
+val rec_mit : config:Opconfig.t -> Ddg.t -> Q.t
+
+val capacity_at : config:Opconfig.t -> it:Q.t -> Opcode.fu_kind -> int
+(** Total issue slots of a kind across clusters within one IT:
+    [sum_C floor(it / ct_C) * count_C(kind)]. *)
+
+val res_mit : config:Opconfig.t -> Ddg.t -> Q.t
+(** Smallest candidate IT with enough capacity for every kind.
+    @raise Invalid_argument if some kind is demanded but absent from
+    every cluster. *)
+
+val mit : config:Opconfig.t -> Ddg.t -> Q.t
+
+val candidates : config:Opconfig.t -> upto:Q.t -> Q.t list
+(** The ascending grid of ITs at which some cluster gains an issue slot
+    (multiples of cluster cycle times), up to [upto] inclusive. *)
+
+val next_candidate : config:Opconfig.t -> after:Q.t -> Q.t
+(** Smallest grid IT strictly greater than [after] — the IT-increase
+    step of the Fig. 5 loop. *)

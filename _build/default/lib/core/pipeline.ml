@@ -1,0 +1,148 @@
+open Hcv_machine
+open Hcv_energy
+open Hcv_sched
+
+let src = Logs.Src.create "hcv.pipeline" ~doc:"benchmark pipeline"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type loop_result = {
+  profile : Profile.loop_profile;
+  schedule : Schedule.t;
+  stats : Hsched.stats;
+}
+
+type t = {
+  name : string;
+  profile : Profile.t;
+  ctx : Model.ctx;
+  homo : Select.choice;
+  hetero : Select.choice;
+  loop_results : loop_result list;
+  fallbacks : int;
+  hetero_activity : Activity.t;
+  ed2_homo : float;
+  ed2_hetero : float;
+  ed2_ratio : float;
+  time_ratio : float;
+  energy_ratio : float;
+}
+
+(* Schedule every loop under [config] and aggregate the measured
+   activity; loops that fail fall back to the §3.2 estimate. *)
+let evaluate ?preplace ?score_mode ~ctx ~machine ~name (profile : Profile.t)
+    (choice : Select.choice) =
+  let config = choice.Select.config in
+  let loop_results, fallback_acts =
+    List.fold_left
+      (fun (acc, fb) (lp : Profile.loop_profile) ->
+        match
+          Hsched.schedule ?preplace ?score_mode ~ctx ~config
+            ~loop:lp.Profile.loop ()
+        with
+        | Ok (schedule, stats) -> ({ profile = lp; schedule; stats } :: acc, fb)
+        | Error msg ->
+          Log.warn (fun m ->
+              m "%s: loop %s fell back to the estimate: %s" name
+                lp.Profile.loop.Hcv_ir.Loop.name msg);
+          let est = Estimate.loop_estimate ~config lp in
+          let ref_act = lp.Profile.activity in
+          let act =
+            Activity.make ~exec_time_ns:est.Estimate.exec_ns
+              ~per_cluster_ins_energy:ref_act.Activity.per_cluster_ins_energy
+              ~n_comms:ref_act.Activity.n_comms ~n_mem:ref_act.Activity.n_mem
+          in
+          (acc, Activity.scale act lp.Profile.reps :: fb))
+      ([], []) profile.Profile.loops
+  in
+  let loop_results = List.rev loop_results in
+  let activity =
+    List.fold_left
+      (fun acc r ->
+        Activity.add acc
+          (Activity.scale
+             (Profile.activity_of_schedule r.schedule
+                ~trip:r.profile.Profile.loop.Hcv_ir.Loop.trip)
+             r.profile.Profile.reps))
+      (Activity.zero ~n_clusters:(Machine.n_clusters machine))
+      loop_results
+  in
+  let activity = List.fold_left Activity.add activity fallback_acts in
+  let ed2 = Model.ed2 ctx ~config activity in
+  (loop_results, List.length fallback_acts, activity, ed2)
+
+let run ?(params = Params.default) ~machine ~name ~loops () =
+  match Profile.profile ~machine ~loops with
+  | Error msg -> Error (Printf.sprintf "%s: profiling failed: %s" name msg)
+  | Ok profile ->
+    let units =
+      Units.of_reference ~params ~n_clusters:(Machine.n_clusters machine)
+        profile.Profile.activity
+    in
+    let ctx = Model.ctx ~params ~units () in
+    let homo = Select.optimum_homogeneous ~ctx ~machine profile in
+    (* The model picks a heterogeneous candidate; schedule it and the
+       best uniform-frequency candidate, and keep whichever measures
+       better (the paper's selector likewise falls back to a same-
+       frequency configuration when heterogeneity does not pay). *)
+    let hetero_pick = Select.select_heterogeneous ~ctx ~machine profile in
+    let uniform_pick = Select.select_uniform ~ctx ~machine profile in
+    let eval = evaluate ~ctx ~machine ~name profile in
+    let candidates =
+      if hetero_pick.Select.config = uniform_pick.Select.config then
+        [ (hetero_pick, eval hetero_pick) ]
+      else [ (hetero_pick, eval hetero_pick); (uniform_pick, eval uniform_pick) ]
+    in
+    let hetero, (loop_results, fallbacks, hetero_activity, ed2_hetero) =
+      Hcv_support.Listx.min_by (fun (_, (_, _, _, ed2)) -> ed2) candidates
+    in
+    let homo_ct =
+      (Opconfig.point homo.Select.config (Comp.Cluster 0)).Opconfig.cycle_time
+    in
+    let homo_activity = Profile.scale_cycle_time profile homo_ct in
+    let ed2_homo = Model.ed2 ctx ~config:homo.Select.config homo_activity in
+    let e_homo =
+      Model.total (Model.energy ctx ~config:homo.Select.config homo_activity)
+    in
+    let e_het =
+      Model.total
+        (Model.energy ctx ~config:hetero.Select.config hetero_activity)
+    in
+    Ok
+      {
+        name;
+        profile;
+        ctx;
+        homo;
+        hetero;
+        loop_results;
+        fallbacks;
+        hetero_activity;
+        ed2_homo;
+        ed2_hetero;
+        ed2_ratio = ed2_hetero /. ed2_homo;
+        time_ratio =
+          hetero_activity.Activity.exec_time_ns
+          /. homo_activity.Activity.exec_time_ns;
+        energy_ratio = e_het /. e_homo;
+      }
+
+let measure_config ?preplace ?score_mode ~ctx ~machine ~profile ~config () =
+  let choice =
+    {
+      Select.config;
+      predicted_ed2 = 0.0;
+      predicted_time_ns = 0.0;
+      predicted_energy = 0.0;
+    }
+  in
+  let _, fallbacks, activity, ed2 =
+    evaluate ?preplace ?score_mode ~ctx ~machine ~name:"measure" profile choice
+  in
+  (activity, ed2, fallbacks)
+
+let pp_summary ppf t =
+  Format.fprintf ppf "%-12s ED2 %.3f (time x%.3f, energy x%.3f)%s" t.name
+    t.ed2_ratio t.time_ratio t.energy_ratio
+    (if t.fallbacks > 0 then Printf.sprintf " [%d fallbacks]" t.fallbacks
+     else "")

@@ -1,0 +1,56 @@
+(** End-to-end evaluation of one benchmark (the flow behind the paper's
+    Figures 6-9):
+
+    1. profile the loops on the reference homogeneous machine;
+    2. derive the energy-model context from the baseline breakdown;
+    3. find the *optimum homogeneous* design (§5.1) — the denominator of
+       every normalised result;
+    4. select the heterogeneous configuration with the §3.3 models;
+    5. modulo-schedule every loop on the selected configuration with the
+       §4 heterogeneous scheduler;
+    6. evaluate both designs with the §3.1 energy model, using measured
+       (scheduled) activity for the heterogeneous machine. *)
+
+open Hcv_energy
+open Hcv_ir
+open Hcv_machine
+open Hcv_sched
+
+type loop_result = {
+  profile : Profile.loop_profile;
+  schedule : Schedule.t;  (** heterogeneous schedule *)
+  stats : Hsched.stats;
+}
+
+type t = {
+  name : string;
+  profile : Profile.t;
+  ctx : Model.ctx;
+  homo : Select.choice;
+  hetero : Select.choice;
+  loop_results : loop_result list;
+  fallbacks : int;
+      (** loops that failed heterogeneous scheduling and were accounted
+          with the §3.2 estimate instead (0 in a healthy run) *)
+  hetero_activity : Activity.t;
+  ed2_homo : float;
+  ed2_hetero : float;
+  ed2_ratio : float;  (** hetero / optimum homogeneous; < 1 is a win *)
+  time_ratio : float;
+  energy_ratio : float;
+}
+
+val run :
+  ?params:Params.t -> machine:Machine.t -> name:string -> loops:Loop.t list
+  -> unit -> (t, string) result
+
+val measure_config :
+  ?preplace:bool -> ?score_mode:Hsched.score_mode -> ctx:Model.ctx
+  -> machine:Machine.t -> profile:Profile.t -> config:Opconfig.t -> unit
+  -> Activity.t * float * int
+(** Schedule every profiled loop under an arbitrary configuration
+    (optionally with the §4.1 ablation switches) and return the measured
+    activity, its model ED2 and the number of estimate fallbacks — the
+    building block of the ablation benches. *)
+
+val pp_summary : Format.formatter -> t -> unit

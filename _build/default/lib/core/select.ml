@@ -1,0 +1,210 @@
+open Hcv_support
+open Hcv_machine
+open Hcv_energy
+
+type choice = {
+  config : Opconfig.t;
+  predicted_ed2 : float;
+  predicted_time_ns : float;
+  predicted_energy : float;
+}
+
+(* Energy of one domain at supply voltage [vdd] and frequency [f]
+   (GHz): delta * dyn + sigma * stat_power * time, or None when [vdd]
+   cannot sustain [f]. *)
+let domain_energy ~(ctx : Model.ctx) ~vdd ~f ~dyn ~stat_power ~time =
+  match Alpha_power.supports ctx.Model.alpha ~vdd ~f with
+  | None -> None
+  | Some vth ->
+    Some
+      ((Scale.delta ~vdd ~vdd_ref:ctx.Model.vdd_ref *. dyn)
+      +. Scale.sigma ~vdd ~vth ~vdd_ref:ctx.Model.vdd_ref
+           ~vth_ref:ctx.Model.vth_ref ()
+         *. stat_power *. time)
+
+(* Best supply voltage for one domain: minimises the domain energy over
+   the candidate voltages that can sustain [f]. *)
+let best_vdd ~(ctx : Model.ctx) ~candidates ~f ~dyn ~stat_power ~time =
+  List.fold_left
+    (fun acc vdd ->
+      match domain_energy ~ctx ~vdd ~f ~dyn ~stat_power ~time with
+      | None -> acc
+      | Some e -> (
+        match acc with
+        | Some (_, be) when be <= e -> acc
+        | Some _ | None -> Some (vdd, e)))
+    None candidates
+
+(* Given cycle times per domain and the predicted activity, pick the
+   per-domain voltages and compute the total predicted energy.  Returns
+   None when some domain's frequency exceeds every allowed voltage. *)
+let optimise_voltages ~(ctx : Model.ctx) ~machine ~cluster_cts ~icn_ct ~cache_ct
+    (act : Activity.t) =
+  let u = ctx.Model.units in
+  let time = act.Activity.exec_time_ns in
+  let n = Machine.n_clusters machine in
+  let rec clusters i acc_e acc_v =
+    if i >= n then Some (List.rev acc_v, acc_e)
+    else
+      let f = Q.to_float (Q.inv cluster_cts.(i)) in
+      match
+        best_vdd ~ctx ~candidates:Presets.cluster_vdds ~f
+          ~dyn:(u.Units.e_ins *. act.Activity.per_cluster_ins_energy.(i))
+          ~stat_power:u.Units.p_stat_cluster ~time
+      with
+      | None -> None
+      | Some (v, e) -> clusters (i + 1) (acc_e +. e) (v :: acc_v)
+  in
+  match clusters 0 0.0 [] with
+  | None -> None
+  | Some (cluster_vdds, e_clusters) -> (
+    match
+      ( best_vdd ~ctx ~candidates:Presets.icn_vdds
+          ~f:(Q.to_float (Q.inv icn_ct))
+          ~dyn:(u.Units.e_comm *. act.Activity.n_comms)
+          ~stat_power:u.Units.p_stat_icn ~time,
+        best_vdd ~ctx ~candidates:Presets.cache_vdds
+          ~f:(Q.to_float (Q.inv cache_ct))
+          ~dyn:(u.Units.e_access *. act.Activity.n_mem)
+          ~stat_power:u.Units.p_stat_cache ~time )
+    with
+    | Some (icn_vdd, e_icn), Some (cache_vdd, e_cache) ->
+      let config =
+        Opconfig.make ~machine
+          ~cluster_points:
+            (Array.of_list
+               (List.mapi
+                  (fun i vdd -> { Opconfig.cycle_time = cluster_cts.(i); vdd })
+                  cluster_vdds))
+          ~icn_point:{ Opconfig.cycle_time = icn_ct; vdd = icn_vdd }
+          ~cache_point:{ Opconfig.cycle_time = cache_ct; vdd = cache_vdd }
+      in
+      Some
+        {
+          config;
+          predicted_ed2 = (e_clusters +. e_icn +. e_cache) *. time *. time;
+          predicted_time_ns = time;
+          predicted_energy = e_clusters +. e_icn +. e_cache;
+        }
+    | _, _ -> None)
+
+let better a b =
+  match (a, b) with
+  | None, x | x, None -> x
+  | Some ca, Some cb -> if cb.predicted_ed2 < ca.predicted_ed2 then b else a
+
+let homogeneous_cts () =
+  let ref_ct = Presets.reference_cycle_time in
+  List.concat_map
+    (fun fast ->
+      List.map (fun slow -> Q.mul ref_ct (Q.mul fast slow)) Presets.slow_factors)
+    Presets.fast_factors
+  |> List.sort_uniq Q.compare
+
+(* Voltages every domain can legally use: the intersection of the
+   per-domain ranges (a homogeneous design has a single supply voltage
+   for the whole chip, paper §2.1). *)
+let shared_vdds =
+  List.filter
+    (fun v -> List.mem v Presets.icn_vdds && List.mem v Presets.cache_vdds)
+    Presets.cluster_vdds
+
+let optimum_homogeneous ~ctx ~machine (p : Profile.t) =
+  let u = ctx.Model.units in
+  let n = Machine.n_clusters machine in
+  let eval ct vdd =
+    let act = Profile.scale_cycle_time p ct in
+    let time = act.Activity.exec_time_ns in
+    let f = Q.to_float (Q.inv ct) in
+    let dom = domain_energy ~ctx ~vdd ~f ~time in
+    let rec clusters i acc =
+      if i >= n then Some acc
+      else
+        match
+          dom
+            ~dyn:(u.Units.e_ins *. act.Activity.per_cluster_ins_energy.(i))
+            ~stat_power:u.Units.p_stat_cluster
+        with
+        | None -> None
+        | Some e -> clusters (i + 1) (acc +. e)
+    in
+    match clusters 0 0.0 with
+    | None -> None
+    | Some e_cl -> (
+      match
+        ( dom ~dyn:(u.Units.e_comm *. act.Activity.n_comms)
+            ~stat_power:u.Units.p_stat_icn,
+          dom
+            ~dyn:(u.Units.e_access *. act.Activity.n_mem)
+            ~stat_power:u.Units.p_stat_cache )
+      with
+      | Some e_icn, Some e_cache ->
+        let e = e_cl +. e_icn +. e_cache in
+        Some
+          {
+            config =
+              Opconfig.homogeneous ~machine ~cycle_time:ct ~vdd ();
+            predicted_ed2 = e *. time *. time;
+            predicted_time_ns = time;
+            predicted_energy = e;
+          }
+      | _, _ -> None)
+  in
+  let best =
+    List.fold_left
+      (fun acc ct ->
+        List.fold_left (fun acc vdd -> better acc (eval ct vdd)) acc shared_vdds)
+      None (homogeneous_cts ())
+  in
+  match best with
+  | Some c -> c
+  | None ->
+    invalid_arg
+      "Select.optimum_homogeneous: no realisable homogeneous design point"
+
+let select_heterogeneous_gen ~ctx ~machine ~slow_factors (p : Profile.t) =
+  let ref_ct = Presets.reference_cycle_time in
+  let n = Machine.n_clusters machine in
+  let best =
+    List.fold_left
+      (fun acc fast_factor ->
+        let fast_ct = Q.mul ref_ct fast_factor in
+        List.fold_left
+          (fun acc slow_factor ->
+            let slow_ct = Q.mul fast_ct slow_factor in
+            let cluster_cts =
+              Array.init n (fun i -> if i = 0 then fast_ct else slow_ct)
+            in
+            (* Activity prediction only needs the cycle times; use
+               placeholder voltages. *)
+            let shape =
+              Opconfig.make ~machine
+                ~cluster_points:
+                  (Array.map
+                     (fun cycle_time -> { Opconfig.cycle_time; vdd = 1.0 })
+                     cluster_cts)
+                ~icn_point:{ Opconfig.cycle_time = fast_ct; vdd = 1.0 }
+                ~cache_point:{ Opconfig.cycle_time = fast_ct; vdd = 1.0 }
+            in
+            let act = Estimate.predict_activity ~config:shape p in
+            better acc
+              (optimise_voltages ~ctx ~machine ~cluster_cts ~icn_ct:fast_ct
+                 ~cache_ct:fast_ct act))
+          acc slow_factors)
+      None Presets.fast_factors
+  in
+  match best with
+  | Some c -> c
+  | None ->
+    invalid_arg
+      "Select.select_heterogeneous: no realisable heterogeneous design point"
+
+let select_heterogeneous ~ctx ~machine p =
+  select_heterogeneous_gen ~ctx ~machine ~slow_factors:Presets.slow_factors p
+
+let select_uniform ~ctx ~machine p =
+  select_heterogeneous_gen ~ctx ~machine ~slow_factors:[ Q.one ] p
+
+let pp_choice ppf c =
+  Format.fprintf ppf "@[<v>predicted: ED2=%.6g E=%.4f T=%.1f ns@,%a@]"
+    c.predicted_ed2 c.predicted_energy c.predicted_time_ns Opconfig.pp c.config

@@ -1,0 +1,53 @@
+(** Frequency/voltage selection (paper §3.3 and §5.1).
+
+    Both searches score candidates with the §3 models over the reference
+    profile.  The energy model is separable per clock domain, so for a
+    fixed set of cycle times the best supply voltage of each domain is
+    chosen independently: the voltage (from the domain's allowed range)
+    that minimises that domain's predicted energy, among voltages whose
+    α-power threshold voltage is realisable at the domain's frequency.
+
+    - {!optimum_homogeneous} sweeps single-frequency, single-voltage
+      designs (a homogeneous machine runs the whole chip at one
+      frequency and one supply voltage, §2.1; the voltage must belong to
+      every domain's allowed range) over the cross product of the
+      paper's fast and slow cycle-time factors.  On a homogeneous
+      machine every design executes the same schedule in the same number
+      of cycles, so only the cycle time scales execution time and only
+      δ/σ scale energy (§5.1); the model is exact here.
+    - {!select_heterogeneous} sweeps the paper's heterogeneous space:
+      one fast cluster (cycle time ∈ fast factors × reference) and the
+      remaining clusters slow (cycle time ∈ slow factors × fast); the
+      ICN and the cache are clocked with the fast cluster. *)
+
+open Hcv_machine
+open Hcv_energy
+
+type choice = {
+  config : Opconfig.t;
+  predicted_ed2 : float;
+  predicted_time_ns : float;
+  predicted_energy : float;
+}
+
+val optimum_homogeneous :
+  ctx:Model.ctx -> machine:Machine.t -> Profile.t -> choice
+
+val select_heterogeneous :
+  ctx:Model.ctx -> machine:Machine.t -> Profile.t -> choice
+(** The heterogeneous candidate with the lowest predicted ED².  The
+    sweep includes the all-slow-factors-1 points, so the result is never
+    predicted worse than the best uniform-frequency configuration of the
+    same cycle-time grid (the paper's selector likewise falls back to
+    uniform frequencies for register- or resource-constrained
+    programs). *)
+
+val select_uniform :
+  ctx:Model.ctx -> machine:Machine.t -> Profile.t -> choice
+(** The best *uniform-frequency* configuration with per-domain voltages
+    (all clusters, the ICN and the cache at one cycle time).  This is
+    the configuration the paper's selector falls back to for register-
+    or resource-constrained programs; {!Pipeline} schedules it alongside
+    the heterogeneous pick and keeps whichever measures better. *)
+
+val pp_choice : Format.formatter -> choice -> unit

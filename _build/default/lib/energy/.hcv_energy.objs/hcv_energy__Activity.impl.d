@@ -1,0 +1,1 @@
+lib/energy/activity.ml: Array Format

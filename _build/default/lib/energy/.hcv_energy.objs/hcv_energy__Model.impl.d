@@ -1,0 +1,1 @@
+lib/energy/model.ml: Activity Alpha_power Array Comp Format Hcv_machine Machine Opconfig Params Printf Scale Units

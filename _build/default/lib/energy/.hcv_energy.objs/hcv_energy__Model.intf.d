@@ -1,0 +1,1 @@
+lib/energy/model.mli: Activity Format Hcv_machine Params Units

@@ -1,0 +1,1 @@
+lib/energy/units.ml: Activity Format Params

@@ -1,0 +1,1 @@
+lib/energy/units.mli: Activity Format Params

@@ -1,0 +1,51 @@
+type t = {
+  exec_time_ns : float;
+  per_cluster_ins_energy : float array;
+  n_comms : float;
+  n_mem : float;
+}
+
+let make ~exec_time_ns ~per_cluster_ins_energy ~n_comms ~n_mem =
+  if exec_time_ns <= 0.0 then invalid_arg "Activity.make: non-positive time";
+  if n_comms < 0.0 || n_mem < 0.0 then
+    invalid_arg "Activity.make: negative count";
+  Array.iter
+    (fun e -> if e < 0.0 then invalid_arg "Activity.make: negative energy")
+    per_cluster_ins_energy;
+  { exec_time_ns; per_cluster_ins_energy; n_comms; n_mem }
+
+let total_ins_energy t =
+  Array.fold_left ( +. ) 0.0 t.per_cluster_ins_energy
+
+let scale t k =
+  {
+    exec_time_ns = t.exec_time_ns *. k;
+    per_cluster_ins_energy = Array.map (fun e -> e *. k) t.per_cluster_ins_energy;
+    n_comms = t.n_comms *. k;
+    n_mem = t.n_mem *. k;
+  }
+
+let add a b =
+  if Array.length a.per_cluster_ins_energy <> Array.length b.per_cluster_ins_energy
+  then invalid_arg "Activity.add: cluster arity mismatch";
+  {
+    exec_time_ns = a.exec_time_ns +. b.exec_time_ns;
+    per_cluster_ins_energy =
+      Array.mapi
+        (fun i e -> e +. b.per_cluster_ins_energy.(i))
+        a.per_cluster_ins_energy;
+    n_comms = a.n_comms +. b.n_comms;
+    n_mem = a.n_mem +. b.n_mem;
+  }
+
+let zero ~n_clusters =
+  {
+    exec_time_ns = 0.0;
+    per_cluster_ins_energy = Array.make n_clusters 0.0;
+    n_comms = 0.0;
+    n_mem = 0.0;
+  }
+
+let pp ppf t =
+  Format.fprintf ppf "activity{t=%.1fns ins_e=%.1f comms=%.0f mem=%.0f}"
+    t.exec_time_ns (total_ins_energy t) t.n_comms t.n_mem

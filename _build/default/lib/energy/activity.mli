@@ -1,0 +1,35 @@
+(** Activity counts of one program execution — the quantities the §3.1
+    energy model multiplies by per-event unit energies.
+
+    An activity record comes either from profiling the reference
+    homogeneous machine (then [per_cluster_ins_energy] reflects that
+    schedule's cluster assignment), from the compile-time estimator for
+    a candidate heterogeneous configuration, or from the cycle
+    simulator. *)
+
+type t = {
+  exec_time_ns : float;  (** total execution time *)
+  per_cluster_ins_energy : float array;
+      (** for each cluster, the summed Table-1 relative energies of the
+          dynamic instructions it executed (class-refined version of
+          [nIns * p_Ci]) *)
+  n_comms : float;  (** inter-cluster communications (bus transfers) *)
+  n_mem : float;  (** memory accesses *)
+}
+
+val make :
+  exec_time_ns:float -> per_cluster_ins_energy:float array -> n_comms:float
+  -> n_mem:float -> t
+(** @raise Invalid_argument on negative counts or non-positive time. *)
+
+val total_ins_energy : t -> float
+val scale : t -> float -> t
+(** Multiply every count and the time by a factor (used to weight loops
+    by execution share). *)
+
+val add : t -> t -> t
+(** Component-wise sum (clusters arrays must agree in length). *)
+
+val zero : n_clusters:int -> t
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,74 @@
+open Hcv_machine
+
+type breakdown = {
+  dyn_cluster : float;
+  dyn_icn : float;
+  dyn_cache : float;
+  stat_cluster : float;
+  stat_icn : float;
+  stat_cache : float;
+}
+
+let total b =
+  b.dyn_cluster +. b.dyn_icn +. b.dyn_cache +. b.stat_cluster +. b.stat_icn
+  +. b.stat_cache
+
+type ctx = {
+  params : Params.t;
+  units : Units.t;
+  alpha : Alpha_power.params;
+  vdd_ref : float;
+  vth_ref : float;
+}
+
+let ctx ?(alpha = Alpha_power.default) ?(vdd_ref = 1.0) ?(vth_ref = 0.25)
+    ~params ~units () =
+  { params; units; alpha; vdd_ref; vth_ref }
+
+let factors ctx config comp =
+  let vdd = Opconfig.vdd config comp in
+  match Opconfig.vth ~params:ctx.alpha config comp with
+  | None ->
+    invalid_arg
+      (Printf.sprintf "Model.energy: unrealisable domain %s"
+         (Comp.to_string comp))
+  | Some vth ->
+    ( Scale.delta ~vdd ~vdd_ref:ctx.vdd_ref,
+      Scale.sigma ~vdd ~vth ~vdd_ref:ctx.vdd_ref ~vth_ref:ctx.vth_ref () )
+
+let energy ctx ~config (act : Activity.t) =
+  let n_clusters = Machine.n_clusters config.Opconfig.machine in
+  if Array.length act.Activity.per_cluster_ins_energy <> n_clusters then
+    invalid_arg "Model.energy: activity/config cluster arity mismatch";
+  let u = ctx.units in
+  let dyn_cluster = ref 0.0 and stat_cluster = ref 0.0 in
+  for i = 0 to n_clusters - 1 do
+    let delta, sigma = factors ctx config (Comp.Cluster i) in
+    dyn_cluster :=
+      !dyn_cluster
+      +. (u.Units.e_ins *. delta *. act.Activity.per_cluster_ins_energy.(i));
+    stat_cluster :=
+      !stat_cluster
+      +. (sigma *. u.Units.p_stat_cluster *. act.Activity.exec_time_ns)
+  done;
+  let delta_icn, sigma_icn = factors ctx config Comp.Icn in
+  let delta_cache, sigma_cache = factors ctx config Comp.Cache in
+  {
+    dyn_cluster = !dyn_cluster;
+    dyn_icn = u.Units.e_comm *. delta_icn *. act.Activity.n_comms;
+    dyn_cache = u.Units.e_access *. delta_cache *. act.Activity.n_mem;
+    stat_cluster = !stat_cluster;
+    stat_icn = sigma_icn *. u.Units.p_stat_icn *. act.Activity.exec_time_ns;
+    stat_cache = sigma_cache *. u.Units.p_stat_cache *. act.Activity.exec_time_ns;
+  }
+
+let ed2 ctx ~config act =
+  let e = total (energy ctx ~config act) in
+  let d = act.Activity.exec_time_ns in
+  e *. d *. d
+
+let pp_breakdown ppf b =
+  Format.fprintf ppf
+    "E{dyn: cl=%.4f icn=%.4f cache=%.4f | stat: cl=%.4f icn=%.4f cache=%.4f | total=%.4f}"
+    b.dyn_cluster b.dyn_icn b.dyn_cache b.stat_cluster b.stat_icn b.stat_cache
+    (total b)

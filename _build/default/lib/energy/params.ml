@@ -1,0 +1,31 @@
+type t = {
+  frac_icn : float;
+  frac_cache : float;
+  leak_cluster : float;
+  leak_icn : float;
+  leak_cache : float;
+}
+
+let check_share what v =
+  if v < 0.0 || v > 1.0 then
+    invalid_arg (Printf.sprintf "Params.make: %s=%g outside [0,1]" what v)
+
+let make ?(frac_icn = 0.10) ?(frac_cache = 1.0 /. 3.0)
+    ?(leak_cluster = 1.0 /. 3.0) ?(leak_icn = 0.10) ?(leak_cache = 2.0 /. 3.0)
+    () =
+  check_share "frac_icn" frac_icn;
+  check_share "frac_cache" frac_cache;
+  check_share "leak_cluster" leak_cluster;
+  check_share "leak_icn" leak_icn;
+  check_share "leak_cache" leak_cache;
+  if frac_icn +. frac_cache >= 1.0 then
+    invalid_arg "Params.make: icn and cache shares leave nothing for clusters";
+  { frac_icn; frac_cache; leak_cluster; leak_icn; leak_cache }
+
+let default = make ()
+let frac_cluster t = 1.0 -. t.frac_icn -. t.frac_cache
+
+let pp ppf t =
+  Format.fprintf ppf
+    "params{icn=%.2f cache=%.2f | leak: cl=%.2f icn=%.2f cache=%.2f}"
+    t.frac_icn t.frac_cache t.leak_cluster t.leak_icn t.leak_cache

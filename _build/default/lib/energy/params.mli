@@ -1,0 +1,29 @@
+(** Energy breakdown of the reference homogeneous microarchitecture
+    (paper §5): which fraction of total energy each component consumes,
+    and which fraction of each component's energy is leakage.
+
+    Defaults are the paper's baseline: one third of the energy is
+    consumed by the memory hierarchy and 10% by the ICN; leakage
+    accounts for one third of cluster energy, two thirds of cache energy
+    and 10% of ICN energy.  Figures 8 and 9 of the paper vary these. *)
+
+type t = {
+  frac_icn : float;  (** share of total energy consumed by the ICN *)
+  frac_cache : float;  (** share of total energy consumed by the cache *)
+  leak_cluster : float;  (** leakage share within cluster energy *)
+  leak_icn : float;
+  leak_cache : float;
+}
+
+val make :
+  ?frac_icn:float -> ?frac_cache:float -> ?leak_cluster:float
+  -> ?leak_icn:float -> ?leak_cache:float -> unit -> t
+(** @raise Invalid_argument if any share is outside [\[0,1\]] or the
+    component shares sum to [>= 1]. *)
+
+val default : t
+
+val frac_cluster : t -> float
+(** [1 - frac_icn - frac_cache]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,8 @@
+let subthreshold_swing = 0.1
+
+let delta ~vdd ~vdd_ref =
+  let r = vdd /. vdd_ref in
+  r *. r
+
+let sigma ?(s = subthreshold_swing) ~vdd ~vth ~vdd_ref ~vth_ref () =
+  (10.0 ** ((vth_ref -. vth) /. s)) *. (vdd /. vdd_ref)

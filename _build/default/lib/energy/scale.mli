@@ -1,0 +1,19 @@
+(** Voltage/frequency scaling factors for energy (paper §3.1.1-3.1.2).
+
+    For two identically designed components at different operating
+    points, dynamic energy per event scales as delta = (Vdd/Vdd0)^2 and
+    static power scales as
+    sigma = 10^((Vth0 - Vth)/S) * (Vdd/Vdd0), with S the subthreshold
+    swing (V per decade of leakage current). *)
+
+val subthreshold_swing : float
+(** 0.1 V/decade, a standard value for the paper's era. *)
+
+val delta : vdd:float -> vdd_ref:float -> float
+(** Dynamic-energy scaling factor. *)
+
+val sigma :
+  ?s:float -> vdd:float -> vth:float -> vdd_ref:float -> vth_ref:float -> unit
+  -> float
+(** Static-power scaling factor; [s] defaults to
+    {!subthreshold_swing}. *)

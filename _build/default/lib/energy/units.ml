@@ -1,0 +1,39 @@
+type t = {
+  e_ins : float;
+  e_comm : float;
+  e_access : float;
+  p_stat_cluster : float;
+  p_stat_icn : float;
+  p_stat_cache : float;
+}
+
+let safe_div num den = if den <= 0.0 then 0.0 else num /. den
+
+let of_reference ~params ~n_clusters (ref_act : Activity.t) =
+  if n_clusters < 1 then invalid_arg "Units.of_reference: n_clusters < 1";
+  let total = 1.0 in
+  let e_cluster = Params.frac_cluster params *. total in
+  let e_icn = params.Params.frac_icn *. total in
+  let e_cache = params.Params.frac_cache *. total in
+  let t = ref_act.Activity.exec_time_ns in
+  {
+    e_ins =
+      safe_div
+        ((1.0 -. params.Params.leak_cluster) *. e_cluster)
+        (Activity.total_ins_energy ref_act);
+    e_comm =
+      safe_div ((1.0 -. params.Params.leak_icn) *. e_icn) ref_act.Activity.n_comms;
+    e_access =
+      safe_div
+        ((1.0 -. params.Params.leak_cache) *. e_cache)
+        ref_act.Activity.n_mem;
+    p_stat_cluster =
+      safe_div (params.Params.leak_cluster *. e_cluster) (t *. float_of_int n_clusters);
+    p_stat_icn = safe_div (params.Params.leak_icn *. e_icn) t;
+    p_stat_cache = safe_div (params.Params.leak_cache *. e_cache) t;
+  }
+
+let pp ppf t =
+  Format.fprintf ppf
+    "units{e_ins=%.3g e_comm=%.3g e_acc=%.3g | Pstat: cl=%.3g icn=%.3g cache=%.3g}"
+    t.e_ins t.e_comm t.e_access t.p_stat_cluster t.p_stat_icn t.p_stat_cache

@@ -1,0 +1,28 @@
+(** Per-event unit energies of the reference homogeneous machine.
+
+    The §3.1 model expresses every configuration's energy in terms of
+    six reference quantities: the dynamic energy of one instruction /
+    one communication / one memory access, and the static power of one
+    cluster / the ICN / the cache.  We normalise the reference run's
+    total energy to 1.0 and solve the units from the breakdown
+    fractions in {!Params} and the reference activity counts, so all
+    downstream energies are in units of "reference-run total energy". *)
+
+type t = {
+  e_ins : float;
+      (** dynamic energy per unit of Table-1 relative instruction
+          energy (an integer add costs exactly [e_ins]) *)
+  e_comm : float;  (** dynamic energy of one bus communication *)
+  e_access : float;  (** dynamic energy of one cache access *)
+  p_stat_cluster : float;  (** static power of one cluster, per ns *)
+  p_stat_icn : float;
+  p_stat_cache : float;
+}
+
+val of_reference : params:Params.t -> n_clusters:int -> Activity.t -> t
+(** Solve the units from the reference homogeneous activity.  Events
+    with zero reference count get a zero unit (they contribute no energy
+    in any configuration under this model).
+    @raise Invalid_argument if [n_clusters < 1]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/ir/cycle_ratio.ml: Array Ddg Edge Hashtbl Hcv_support List Q

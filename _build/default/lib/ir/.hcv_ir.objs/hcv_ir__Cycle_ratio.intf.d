@@ -1,0 +1,1 @@
+lib/ir/cycle_ratio.mli: Ddg Hcv_support Instr Q

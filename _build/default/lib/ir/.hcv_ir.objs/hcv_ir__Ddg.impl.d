@@ -1,0 +1,1 @@
+lib/ir/ddg.ml: Array Edge Format Instr List Opcode Printf Queue String

@@ -1,0 +1,1 @@
+lib/ir/dot.ml: Array Buffer Ddg Edge Instr List Loop Opcode Printf

@@ -1,0 +1,1 @@
+lib/ir/dsl.ml: Array Buffer Ddg Edge Format Hashtbl In_channel Instr List Loop Opcode Option Printf String

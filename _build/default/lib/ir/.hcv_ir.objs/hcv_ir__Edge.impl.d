@@ -1,0 +1,1 @@
+lib/ir/edge.ml: Format Instr Stdlib

@@ -1,0 +1,1 @@
+lib/ir/edge.mli: Format Instr

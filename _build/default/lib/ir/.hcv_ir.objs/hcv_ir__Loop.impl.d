@@ -1,0 +1,1 @@
+lib/ir/loop.ml: Array Ddg Format Instr Opcode

@@ -1,0 +1,1 @@
+lib/ir/recurrence.ml: Array Cycle_ratio Ddg Edge Format Hashtbl Hcv_support Instr List Q Scc Stdlib String

@@ -1,0 +1,1 @@
+lib/ir/recurrence.mli: Ddg Format Hcv_support Instr Q

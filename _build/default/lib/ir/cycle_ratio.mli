@@ -1,0 +1,32 @@
+(** Maximum cycle ratio of a dependence subgraph.
+
+    For a set of edges each carrying a latency [l(e)] and a distance
+    [d(e)], the maximum cycle ratio is
+
+      lambda* = max over cycles c of (sum l(e) / sum d(e), e in c).
+
+    This is the exact per-recurrence lower bound on the initiation
+    interval: a recurrence scheduled entirely in a cluster with
+    initiation interval II is feasible iff [lambda* <= II].  Zero-
+    distance cycles are assumed absent (guaranteed by {!Ddg}
+    validation), so every cycle has [sum d(e) >= 1] and lambda* is
+    finite. *)
+
+open Hcv_support
+
+val ceil_over : Ddg.t -> Instr.id list -> int
+(** [ceil_over ddg nodes] is [ceil lambda*] restricted to the edges with
+    both endpoints in [nodes], i.e. the minimum integer II at which the
+    subgraph's recurrences fit.  Returns [0] if the subgraph has no
+    cycle. *)
+
+val exact_over : Ddg.t -> Instr.id list -> Q.t option
+(** Exact [lambda*] as a rational, [None] if the subgraph has no cycle.
+    Computed by parametric search (positive-cycle detection under
+    weights [l - r*d]) followed by simplest-fraction recovery, so the
+    result is exact, not a float approximation. *)
+
+val has_positive_cycle : Ddg.t -> Instr.id list -> Q.t -> bool
+(** [has_positive_cycle ddg nodes r] tests whether the subgraph has a
+    cycle with [sum l > r * sum d] — i.e. whether [lambda* > r].
+    Exposed for property tests. *)

@@ -1,0 +1,156 @@
+type t = {
+  instrs : Instr.t array;
+  edges : Edge.t list;
+  succs : Edge.t list array;
+  preds : Edge.t list array;
+}
+
+let n_instrs t = Array.length t.instrs
+let instr t i = t.instrs.(i)
+let instrs t = t.instrs
+let edges t = t.edges
+let n_edges t = List.length t.edges
+let succs t i = t.succs.(i)
+let preds t i = t.preds.(i)
+
+let find_instr t name =
+  Array.fold_left
+    (fun acc (ins : Instr.t) ->
+      match acc with
+      | Some _ -> acc
+      | None -> if String.equal ins.name name then Some ins else None)
+    None t.instrs
+
+(* Kahn topological sort of the zero-distance subgraph.  Returns None if
+   that subgraph has a cycle. *)
+let topo_order_opt instrs succs =
+  let n = Array.length instrs in
+  let indeg = Array.make n 0 in
+  Array.iter
+    (List.iter (fun (e : Edge.t) ->
+         if e.distance = 0 then indeg.(e.dst) <- indeg.(e.dst) + 1))
+    succs;
+  let queue = Queue.create () in
+  Array.iteri (fun i d -> if d = 0 then Queue.add i queue) indeg;
+  let order = ref [] in
+  let count = ref 0 in
+  while not (Queue.is_empty queue) do
+    let i = Queue.pop queue in
+    incr count;
+    order := i :: !order;
+    List.iter
+      (fun (e : Edge.t) ->
+        if e.distance = 0 then begin
+          indeg.(e.dst) <- indeg.(e.dst) - 1;
+          if indeg.(e.dst) = 0 then Queue.add e.dst queue
+        end)
+      succs.(i)
+  done;
+  if !count = n then Some (List.rev !order) else None
+
+let of_instrs instrs edges =
+  Array.iteri
+    (fun i (ins : Instr.t) ->
+      if ins.id <> i then invalid_arg "Ddg.of_instrs: id/index mismatch")
+    instrs;
+  let n = Array.length instrs in
+  let succs = Array.make n [] and preds = Array.make n [] in
+  List.iter
+    (fun (e : Edge.t) ->
+      if e.src < 0 || e.src >= n || e.dst < 0 || e.dst >= n then
+        invalid_arg "Ddg.of_instrs: edge endpoint out of range";
+      succs.(e.src) <- e :: succs.(e.src);
+      preds.(e.dst) <- e :: preds.(e.dst))
+    edges;
+  let succs = Array.map List.rev succs and preds = Array.map List.rev preds in
+  (match topo_order_opt instrs succs with
+  | Some _ -> ()
+  | None -> invalid_arg "Ddg.of_instrs: zero-distance dependence cycle");
+  { instrs; edges; succs; preds }
+
+module Builder = struct
+  type t = {
+    mutable rev_instrs : Instr.t list;
+    mutable rev_edges : Edge.t list;
+    mutable count : int;
+  }
+
+  let create () = { rev_instrs = []; rev_edges = []; count = 0 }
+
+  let add_instr b ?name op =
+    let id = b.count in
+    let name = match name with Some n -> n | None -> Printf.sprintf "n%d" id in
+    b.rev_instrs <- Instr.make ~id ~name ~op :: b.rev_instrs;
+    b.count <- id + 1;
+    id
+
+  let add_edge b ?kind ?distance ?latency src dst =
+    if src < 0 || src >= b.count || dst < 0 || dst >= b.count then
+      invalid_arg "Ddg.Builder.add_edge: unknown endpoint";
+    let latency =
+      match latency with
+      | Some l -> l
+      | None ->
+        let src_instr = List.nth b.rev_instrs (b.count - 1 - src) in
+        Instr.latency src_instr
+    in
+    b.rev_edges <- Edge.make ?kind ?distance ~src ~dst ~latency () :: b.rev_edges
+
+  let build b =
+    of_instrs (Array.of_list (List.rev b.rev_instrs)) (List.rev b.rev_edges)
+end
+
+let fu_demand t =
+  List.map
+    (fun kind ->
+      let count =
+        Array.fold_left
+          (fun acc ins -> if Instr.fu ins = kind then acc + 1 else acc)
+          0 t.instrs
+      in
+      (kind, count))
+    Opcode.all_fu_kinds
+
+let topo_order t =
+  match topo_order_opt t.instrs t.succs with
+  | Some order -> order
+  | None -> assert false (* validated at construction *)
+
+let earliest_starts t =
+  let n = n_instrs t in
+  let start = Array.make n 0 in
+  List.iter
+    (fun i ->
+      List.iter
+        (fun (e : Edge.t) ->
+          if e.distance = 0 then
+            start.(e.dst) <- max start.(e.dst) (start.(i) + e.latency))
+        t.succs.(i))
+    (topo_order t);
+  start
+
+let heights t =
+  let n = n_instrs t in
+  let h = Array.make n 0 in
+  Array.iteri (fun i ins -> h.(i) <- Instr.latency ins) t.instrs;
+  List.iter
+    (fun i ->
+      List.iter
+        (fun (e : Edge.t) ->
+          if e.distance = 0 then h.(i) <- max h.(i) (e.latency + h.(e.dst)))
+        t.succs.(i))
+    (List.rev (topo_order t));
+  h
+
+let acyclic_critical_path t =
+  if n_instrs t = 0 then 0
+  else Array.fold_left max 0 (heights t)
+
+let total_energy t =
+  Array.fold_left (fun acc ins -> acc +. Instr.energy ins) 0.0 t.instrs
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>ddg (%d instrs, %d edges)" (n_instrs t) (n_edges t);
+  Array.iter (fun ins -> Format.fprintf ppf "@,  %a" Instr.pp ins) t.instrs;
+  List.iter (fun e -> Format.fprintf ppf "@,  %a" Edge.pp e) t.edges;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,31 @@
+let palette =
+  [| "#a6cee3"; "#b2df8a"; "#fb9a99"; "#fdbf6f"; "#cab2d6"; "#ffff99" |]
+
+let of_ddg ?(name = "ddg") ?(cluster_of = fun _ -> None) ddg =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf (Printf.sprintf "digraph \"%s\" {\n" name);
+  Buffer.add_string buf "  node [shape=box, fontname=\"monospace\"];\n";
+  Array.iter
+    (fun (ins : Instr.t) ->
+      let color =
+        match cluster_of ins.id with
+        | None -> ""
+        | Some c ->
+          Printf.sprintf ", style=filled, fillcolor=\"%s\""
+            palette.(c mod Array.length palette)
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "  n%d [label=\"%s\\n%s\"%s];\n" ins.id ins.name
+           (Opcode.to_string ins.op) color))
+    (Ddg.instrs ddg);
+  List.iter
+    (fun (e : Edge.t) ->
+      let style = if Edge.is_loop_carried e then ", style=dashed" else "" in
+      Buffer.add_string buf
+        (Printf.sprintf "  n%d -> n%d [label=\"%d/%d\"%s];\n" e.src e.dst
+           e.latency e.distance style))
+    (Ddg.edges ddg);
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let of_loop (loop : Loop.t) = of_ddg ~name:loop.name loop.ddg

@@ -1,0 +1,7 @@
+(** Graphviz export of DDGs, for debugging and documentation. *)
+
+val of_ddg : ?name:string -> ?cluster_of:(Instr.id -> int option) -> Ddg.t -> string
+(** DOT source.  When [cluster_of] is given, nodes are coloured by the
+    cluster they were assigned to (useful to visualise partitions). *)
+
+val of_loop : Loop.t -> string

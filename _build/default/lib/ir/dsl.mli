@@ -1,0 +1,33 @@
+(** Textual format for loops ([.loop] files).
+
+    Line-oriented:
+
+    {v
+    # comment
+    loop dotprod trip 256 weight 0.4
+      node a ld.f
+      node c mul.f
+      edge a c                # latency defaults to src's latency
+      edge c c dist 1 lat 6   # loop-carried, explicit latency
+      edge a c kind mem
+    end
+    v}
+
+    A file may contain several loops.  Node names are per-loop unique
+    identifiers; [edge] refers to them.  [trip] and [weight] are
+    optional (defaults as in {!Loop.make}). *)
+
+type error = { line : int; msg : string }
+
+val parse : string -> (Loop.t list, error) result
+(** Parse from a string. *)
+
+val parse_file : string -> (Loop.t list, error) result
+(** Parse from a file; I/O failures are reported as [{line = 0; _}]. *)
+
+val print : Loop.t -> string
+(** Render a loop in the DSL syntax; [parse (print l)] round-trips. *)
+
+val print_all : Loop.t list -> string
+
+val pp_error : Format.formatter -> error -> unit

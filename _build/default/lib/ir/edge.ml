@@ -1,0 +1,29 @@
+type kind = Flow | Anti | Output | Mem
+
+type t = {
+  src : Instr.id;
+  dst : Instr.id;
+  latency : int;
+  distance : int;
+  kind : kind;
+}
+
+let make ?(kind = Flow) ?(distance = 0) ~src ~dst ~latency () =
+  if latency < 0 then invalid_arg "Edge.make: negative latency";
+  if distance < 0 then invalid_arg "Edge.make: negative distance";
+  { src; dst; latency; distance; kind }
+
+let is_loop_carried t = t.distance > 0
+let carries_value t = t.kind = Flow
+
+let kind_to_string = function
+  | Flow -> "flow"
+  | Anti -> "anti"
+  | Output -> "output"
+  | Mem -> "mem"
+
+let compare = Stdlib.compare
+
+let pp ppf t =
+  Format.fprintf ppf "%d -[%s,lat=%d,dist=%d]-> %d" t.src
+    (kind_to_string t.kind) t.latency t.distance t.dst

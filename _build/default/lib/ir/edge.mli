@@ -1,0 +1,38 @@
+(** Dependence edges of the data-dependence graph.
+
+    An edge [(src, dst, latency, distance)] means: instruction [dst] of
+    iteration [i + distance] may start no earlier than [latency] cycles
+    after instruction [src] of iteration [i] starts (cycles of the
+    cluster executing [src]).  [distance = 0] is an intra-iteration
+    dependence; [distance >= 1] is loop-carried. *)
+
+type kind =
+  | Flow  (** true (read-after-write) register dependence *)
+  | Anti
+  | Output
+  | Mem  (** memory-disambiguation dependence *)
+
+type t = {
+  src : Instr.id;
+  dst : Instr.id;
+  latency : int;
+  distance : int;
+  kind : kind;
+}
+
+val make :
+  ?kind:kind -> ?distance:int -> src:Instr.id -> dst:Instr.id -> latency:int
+  -> unit -> t
+(** [kind] defaults to [Flow], [distance] to [0].
+    @raise Invalid_argument on negative latency or distance. *)
+
+val is_loop_carried : t -> bool
+
+val carries_value : t -> bool
+(** True for [Flow] edges: the edge transports a register value and so
+    needs an inter-cluster copy when its endpoints live in different
+    clusters, and it contributes a register lifetime. *)
+
+val kind_to_string : kind -> string
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,10 @@
+type id = int
+type t = { id : id; name : string; op : Opcode.t }
+
+let make ~id ~name ~op = { id; name; op }
+let latency t = Opcode.latency t.op
+let energy t = Opcode.energy t.op
+let fu t = Opcode.fu t.op
+let equal a b = a.id = b.id
+let compare a b = Stdlib.compare a.id b.id
+let pp ppf t = Format.fprintf ppf "%s:%a" t.name Opcode.pp t.op

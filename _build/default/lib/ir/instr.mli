@@ -1,0 +1,14 @@
+(** Instructions (DDG nodes). *)
+
+type id = int
+(** Dense index of the instruction within its loop's DDG, [0..n-1]. *)
+
+type t = { id : id; name : string; op : Opcode.t }
+
+val make : id:id -> name:string -> op:Opcode.t -> t
+val latency : t -> int
+val energy : t -> float
+val fu : t -> Opcode.fu_kind
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,17 @@
+type t = { name : string; ddg : Ddg.t; trip : int; weight : float }
+
+let make ?(trip = 100) ?(weight = 1.0) ~name ddg =
+  if trip < 1 then invalid_arg "Loop.make: trip < 1";
+  if weight <= 0.0 then invalid_arg "Loop.make: non-positive weight";
+  { name; ddg; trip; weight }
+
+let n_instrs t = Ddg.n_instrs t.ddg
+
+let mem_accesses_per_iter t =
+  Array.fold_left
+    (fun acc ins -> if Instr.fu ins = Opcode.Mem_port then acc + 1 else acc)
+    0 (Ddg.instrs t.ddg)
+
+let pp ppf t =
+  Format.fprintf ppf "loop %s (trip=%d, weight=%.3f):@ %a" t.name t.trip
+    t.weight Ddg.pp t.ddg

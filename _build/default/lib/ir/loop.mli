@@ -1,0 +1,20 @@
+(** A software-pipelinable loop: a DDG plus dynamic information.
+
+    [trip] is the average iteration count observed by profiling (the
+    paper's "average number of iterations"); [weight] is the fraction of
+    whole-program execution time this loop accounts for in the reference
+    homogeneous run, used to aggregate per-loop results into
+    per-benchmark results. *)
+
+type t = { name : string; ddg : Ddg.t; trip : int; weight : float }
+
+val make : ?trip:int -> ?weight:float -> name:string -> Ddg.t -> t
+(** [trip] defaults to 100, [weight] to 1.0.
+    @raise Invalid_argument if [trip < 1] or [weight <= 0]. *)
+
+val n_instrs : t -> int
+
+val mem_accesses_per_iter : t -> int
+(** Number of memory-class instructions in the body. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,86 @@
+type clazz = Memory | Arith | Mult | Div
+type domain = Int | Fp
+type t = { clazz : clazz; domain : domain }
+
+let make clazz domain = { clazz; domain }
+
+(* Paper Table 1: latency and energy (relative to an integer add). *)
+let latency t =
+  match (t.clazz, t.domain) with
+  | Memory, (Int | Fp) -> 2
+  | Arith, Int -> 1
+  | Arith, Fp -> 3
+  | Mult, Int -> 2
+  | Mult, Fp -> 6
+  | Div, Int -> 6
+  | Div, Fp -> 18
+
+let energy t =
+  match (t.clazz, t.domain) with
+  | Memory, (Int | Fp) -> 1.0
+  | Arith, Int -> 1.0
+  | Arith, Fp -> 1.2
+  | Mult, Int -> 1.1
+  | Mult, Fp -> 1.5
+  | Div, Int -> 1.4
+  | Div, Fp -> 2.0
+
+type fu_kind = Int_fu | Fp_fu | Mem_port
+
+let fu t =
+  match (t.clazz, t.domain) with
+  | Memory, (Int | Fp) -> Mem_port
+  | (Arith | Mult | Div), Int -> Int_fu
+  | (Arith | Mult | Div), Fp -> Fp_fu
+
+let all =
+  [
+    { clazz = Memory; domain = Int };
+    { clazz = Memory; domain = Fp };
+    { clazz = Arith; domain = Int };
+    { clazz = Arith; domain = Fp };
+    { clazz = Mult; domain = Int };
+    { clazz = Mult; domain = Fp };
+    { clazz = Div; domain = Int };
+    { clazz = Div; domain = Fp };
+  ]
+
+let all_fu_kinds = [ Int_fu; Fp_fu; Mem_port ]
+
+let mnemonics =
+  [
+    ("ld.i", { clazz = Memory; domain = Int });
+    ("st.i", { clazz = Memory; domain = Int });
+    ("ld.f", { clazz = Memory; domain = Fp });
+    ("st.f", { clazz = Memory; domain = Fp });
+    ("add.i", { clazz = Arith; domain = Int });
+    ("add.f", { clazz = Arith; domain = Fp });
+    ("mul.i", { clazz = Mult; domain = Int });
+    ("mul.f", { clazz = Mult; domain = Fp });
+    ("div.i", { clazz = Div; domain = Int });
+    ("div.f", { clazz = Div; domain = Fp });
+    ("sqrt.f", { clazz = Div; domain = Fp });
+    ("mod.i", { clazz = Div; domain = Int });
+  ]
+
+let of_mnemonic s = List.assoc_opt s mnemonics
+
+let clazz_to_string = function
+  | Memory -> "mem"
+  | Arith -> "arith"
+  | Mult -> "mult"
+  | Div -> "div"
+
+let domain_to_string = function Int -> "i" | Fp -> "f"
+
+let to_string t = clazz_to_string t.clazz ^ "." ^ domain_to_string t.domain
+
+let fu_to_string = function
+  | Int_fu -> "int-fu"
+  | Fp_fu -> "fp-fu"
+  | Mem_port -> "mem-port"
+
+let equal a b = a.clazz = b.clazz && a.domain = b.domain
+let compare = Stdlib.compare
+let pp ppf t = Format.pp_print_string ppf (to_string t)
+let pp_fu ppf k = Format.pp_print_string ppf (fu_to_string k)

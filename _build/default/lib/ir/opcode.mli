@@ -1,0 +1,53 @@
+(** Operation classes of the target ISA.
+
+    The paper (Table 1) classifies operations into four classes
+    (memory, arithmetic, multiply, division/modulo/sqrt) in two domains
+    (integer, floating point), and assigns each a latency in cycles and
+    an average dynamic energy relative to an integer add. *)
+
+type clazz =
+  | Memory  (** loads and stores; executes on a memory port *)
+  | Arith  (** add/sub/logic/compare *)
+  | Mult
+  | Div  (** division, modulo, square root *)
+
+type domain = Int | Fp
+
+type t = { clazz : clazz; domain : domain }
+
+val make : clazz -> domain -> t
+
+val latency : t -> int
+(** Latency in cycles of the executing cluster (paper Table 1). *)
+
+val energy : t -> float
+(** Average dynamic energy of one execution, relative to an integer add
+    (paper Table 1). *)
+
+type fu_kind =
+  | Int_fu
+  | Fp_fu
+  | Mem_port
+      (** The three per-cluster resource kinds of the paper's machine. *)
+
+val fu : t -> fu_kind
+(** Resource kind the operation occupies for one cycle (fully pipelined
+    units, single issue slot per operation, as in the paper's model). *)
+
+val all : t list
+(** The eight opcode classes, in Table 1 order. *)
+
+val all_fu_kinds : fu_kind list
+
+val mnemonics : (string * t) list
+(** Assembly-ish names accepted by the loop DSL: [ld.i], [st.i], [ld.f],
+    [st.f], [add.i], [add.f], [mul.i], [mul.f], [div.i], [div.f],
+    [sqrt.f], [mod.i].  Several mnemonics may map to the same class. *)
+
+val of_mnemonic : string -> t option
+val to_string : t -> string
+val fu_to_string : fu_kind -> string
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit
+val pp_fu : Format.formatter -> fu_kind -> unit

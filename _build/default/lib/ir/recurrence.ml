@@ -1,0 +1,52 @@
+open Hcv_support
+
+type t = { nodes : Instr.id list; ratio : Q.t; min_ii : int; n_edges : int }
+
+let internal_edges ddg nodes =
+  let in_set = Hashtbl.create (List.length nodes) in
+  List.iter (fun v -> Hashtbl.replace in_set v ()) nodes;
+  List.concat_map
+    (fun v ->
+      List.filter (fun (e : Edge.t) -> Hashtbl.mem in_set e.dst) (Ddg.succs ddg v))
+    nodes
+
+let find_all ddg =
+  let comps = Scc.non_trivial ddg in
+  let recs =
+    List.map
+      (fun nodes ->
+        let ratio =
+          match Cycle_ratio.exact_over ddg nodes with
+          | Some r -> r
+          | None -> assert false (* non-trivial SCC always has a cycle *)
+        in
+        {
+          nodes;
+          ratio;
+          min_ii = Q.ceil ratio;
+          n_edges = List.length (internal_edges ddg nodes);
+        })
+      comps
+  in
+  List.sort
+    (fun a b ->
+      match Q.compare b.ratio a.ratio with
+      | 0 -> (
+        match Stdlib.compare (List.length b.nodes) (List.length a.nodes) with
+        | 0 -> Stdlib.compare a.nodes b.nodes
+        | c -> c)
+      | c -> c)
+    recs
+
+let rec_mii ddg =
+  List.fold_left (fun acc r -> max acc r.min_ii) 0 (find_all ddg)
+
+let member_map ddg recs =
+  let map = Array.make (Ddg.n_instrs ddg) (-1) in
+  List.iteri (fun idx r -> List.iter (fun v -> map.(v) <- idx) r.nodes) recs;
+  map
+
+let pp ppf t =
+  Format.fprintf ppf "rec{nodes=[%s]; ratio=%a; min_ii=%d}"
+    (String.concat "," (List.map string_of_int t.nodes))
+    Q.pp t.ratio t.min_ii

@@ -1,0 +1,31 @@
+(** Recurrences of a loop: the non-trivial strongly connected components
+    of its DDG, with their criticality metrics.
+
+    A recurrence placed entirely in a cluster with initiation interval
+    [II] (in that cluster's cycles) is schedulable iff its exact cycle
+    ratio is [<= II]; [min_ii] is that bound rounded up to an integer
+    number of cycles. *)
+
+open Hcv_support
+
+type t = {
+  nodes : Instr.id list;  (** members, ascending id *)
+  ratio : Q.t;  (** exact maximum cycle ratio (cycles per iteration) *)
+  min_ii : int;  (** [ceil ratio]: minimum II hosting this recurrence *)
+  n_edges : int;  (** edges internal to the component *)
+}
+
+val find_all : Ddg.t -> t list
+(** All recurrences, sorted most critical first (descending [ratio],
+    ties broken by more nodes first, then by first node id). *)
+
+val rec_mii : Ddg.t -> int
+(** Recurrence-constrained minimum initiation interval of the whole
+    loop: max over recurrences of [min_ii]; [0] if the loop has no
+    recurrence. *)
+
+val member_map : Ddg.t -> t list -> int array
+(** [member_map ddg recs] maps each instruction id to the index (in
+    [recs]) of the recurrence containing it, or [-1]. *)
+
+val pp : Format.formatter -> t -> unit

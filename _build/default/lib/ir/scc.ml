@@ -1,0 +1,53 @@
+let of_ddg ddg =
+  let n = Ddg.n_instrs ddg in
+  let index = Array.make n (-1) in
+  let lowlink = Array.make n 0 in
+  let on_stack = Array.make n false in
+  let stack = ref [] in
+  let next_index = ref 0 in
+  let components = ref [] in
+  (* Recursive Tarjan; loop DDGs are small (at most a few hundred
+     nodes), so stack depth is not a concern. *)
+  let rec strongconnect v =
+    index.(v) <- !next_index;
+    lowlink.(v) <- !next_index;
+    incr next_index;
+    stack := v :: !stack;
+    on_stack.(v) <- true;
+    List.iter
+      (fun (e : Edge.t) ->
+        let w = e.dst in
+        if index.(w) = -1 then begin
+          strongconnect w;
+          lowlink.(v) <- min lowlink.(v) lowlink.(w)
+        end
+        else if on_stack.(w) then lowlink.(v) <- min lowlink.(v) index.(w))
+      (Ddg.succs ddg v);
+    if lowlink.(v) = index.(v) then begin
+      let rec pop acc =
+        match !stack with
+        | [] -> acc
+        | w :: rest ->
+          stack := rest;
+          on_stack.(w) <- false;
+          if w = v then w :: acc else pop (w :: acc)
+      in
+      let comp = pop [] in
+      components := List.sort Stdlib.compare comp :: !components
+    end
+  in
+  for v = 0 to n - 1 do
+    if index.(v) = -1 then strongconnect v
+  done;
+  !components
+
+let has_self_edge ddg v =
+  List.exists (fun (e : Edge.t) -> e.dst = v) (Ddg.succs ddg v)
+
+let non_trivial ddg =
+  List.filter
+    (function
+      | [] -> false
+      | [ v ] -> has_self_edge ddg v
+      | _ :: _ :: _ -> true)
+    (of_ddg ddg)

@@ -1,0 +1,11 @@
+(** Strongly connected components (Tarjan), over all dependence edges
+    including loop-carried ones. *)
+
+val of_ddg : Ddg.t -> Instr.id list list
+(** Components in reverse topological order of the condensation; each
+    component lists its members in ascending id order.  Singleton
+    components without a self-edge are included. *)
+
+val non_trivial : Ddg.t -> Instr.id list list
+(** Only the components that contain a cycle: size [>= 2], or size 1
+    with a self-edge.  These are the loop's recurrences' node sets. *)

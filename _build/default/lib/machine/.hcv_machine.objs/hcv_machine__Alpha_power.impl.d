@@ -1,0 +1,1 @@
+lib/machine/alpha_power.ml: Hcv_support Q

@@ -1,0 +1,1 @@
+lib/machine/alpha_power.mli: Hcv_support Q

@@ -1,0 +1,1 @@
+lib/machine/cluster.ml: Format Hcv_ir

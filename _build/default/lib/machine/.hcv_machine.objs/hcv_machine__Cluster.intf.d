@@ -1,0 +1,1 @@
+lib/machine/cluster.mli: Format Hcv_ir

@@ -1,0 +1,1 @@
+lib/machine/comp.ml: Format List Printf Stdlib

@@ -1,0 +1,1 @@
+lib/machine/freqgrid.ml: Format Hcv_support List Q

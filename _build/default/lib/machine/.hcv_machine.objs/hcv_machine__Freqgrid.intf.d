@@ -1,0 +1,1 @@
+lib/machine/freqgrid.mli: Format Hcv_support Q

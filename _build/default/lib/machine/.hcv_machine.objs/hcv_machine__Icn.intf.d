@@ -1,0 +1,1 @@
+lib/machine/icn.mli: Format

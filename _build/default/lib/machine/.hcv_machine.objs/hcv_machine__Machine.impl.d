@@ -1,0 +1,1 @@
+lib/machine/machine.ml: Array Cluster Comp Format Freqgrid Icn

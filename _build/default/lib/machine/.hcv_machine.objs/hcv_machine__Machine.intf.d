@@ -1,0 +1,1 @@
+lib/machine/machine.mli: Cluster Comp Format Freqgrid Hcv_ir Icn

@@ -1,0 +1,1 @@
+lib/machine/opconfig.ml: Alpha_power Array Comp Format Hcv_support List Machine Option Printf Q

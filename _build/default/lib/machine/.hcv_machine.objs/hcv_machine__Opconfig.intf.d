@@ -1,0 +1,1 @@
+lib/machine/opconfig.mli: Alpha_power Comp Format Hcv_support Machine Q

@@ -1,0 +1,1 @@
+lib/machine/presets.ml: Array Cluster Freqgrid Hcv_support Icn List Machine Opconfig Printf Q

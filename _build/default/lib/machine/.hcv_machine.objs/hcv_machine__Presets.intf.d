@@ -1,0 +1,1 @@
+lib/machine/presets.mli: Freqgrid Hcv_support Machine Opconfig Q

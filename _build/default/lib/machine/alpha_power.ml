@@ -1,0 +1,28 @@
+open Hcv_support
+
+type params = { alpha : float; vdd_ref : float; vth_ref : float; f_ref : Q.t }
+
+let default = { alpha = 1.5; vdd_ref = 1.0; vth_ref = 0.25; f_ref = Q.one }
+
+(* beta / CL, in GHz * V^(1-alpha). *)
+let k params =
+  Q.to_float params.f_ref *. params.vdd_ref
+  /. ((params.vdd_ref -. params.vth_ref) ** params.alpha)
+
+let fmax params ~vdd ~vth =
+  if vdd <= vth then invalid_arg "Alpha_power.fmax: vdd <= vth";
+  k params *. ((vdd -. vth) ** params.alpha) /. vdd
+
+let vth_for params ~vdd ~f =
+  if f <= 0.0 || vdd <= 0.0 then invalid_arg "Alpha_power.vth_for";
+  (* f = k (vdd - vth)^alpha / vdd  =>  vth = vdd - (f vdd / k)^(1/alpha) *)
+  let overdrive = (f *. vdd /. k params) ** (1.0 /. params.alpha) in
+  let vth = vdd -. overdrive in
+  if vth < 0.0 then None else Some vth
+
+let valid_vth ~vdd ~vth = vth >= 0.1 *. vdd && vth <= 0.9 *. vdd
+
+let supports params ~vdd ~f =
+  match vth_for params ~vdd ~f with
+  | Some vth when valid_vth ~vdd ~vth -> Some vth
+  | Some _ | None -> None

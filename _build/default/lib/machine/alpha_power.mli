@@ -1,0 +1,41 @@
+(** The alpha-power law linking maximum frequency, supply voltage and
+    threshold voltage (paper §3.3):
+
+      fmax = beta * (Vdd - Vth)^alpha / (CL * Vdd)
+
+    The technology constant [beta / CL] is calibrated so that the
+    reference design point (1 GHz at Vdd = 1 V, Vth = 0.25 V in the
+    paper) satisfies the law exactly.  Given a target frequency and a
+    supply voltage, the threshold voltage is recovered by inverting the
+    law; the result must then pass {!valid_vth}, which encodes the
+    paper's metastability / process-variation guard band (the printed
+    inequality is OCR-garbled; we implement the standard reading: the
+    threshold must stay at least 10% of Vdd away from both rails,
+    [0.1*Vdd <= Vth <= 0.9*Vdd]). *)
+
+open Hcv_support
+
+type params = {
+  alpha : float;  (** velocity-saturation exponent, default 1.5 *)
+  vdd_ref : float;  (** volts *)
+  vth_ref : float;  (** volts *)
+  f_ref : Q.t;  (** GHz at the reference (Vdd, Vth) *)
+}
+
+val default : params
+(** alpha = 1.5, 1 GHz at Vdd 1 V / Vth 0.25 V (paper §5). *)
+
+val fmax : params -> vdd:float -> vth:float -> float
+(** Maximum frequency (GHz) sustainable at the given voltages.
+    @raise Invalid_argument if [vdd <= vth]. *)
+
+val vth_for : params -> vdd:float -> f:float -> float option
+(** Threshold voltage at which [fmax = f] given [vdd]; [None] when even
+    [vth = 0] cannot reach [f] (the component cannot run that fast at
+    this supply voltage). *)
+
+val valid_vth : vdd:float -> vth:float -> bool
+
+val supports : params -> vdd:float -> f:float -> float option
+(** [vth_for] filtered by [valid_vth]: the operating threshold voltage
+    if (f, vdd) is a realisable point, else [None]. *)

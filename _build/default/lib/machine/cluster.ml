@@ -1,0 +1,27 @@
+type t = {
+  name : string;
+  int_fus : int;
+  fp_fus : int;
+  mem_ports : int;
+  registers : int;
+}
+
+let make ?(name = "cluster") ~int_fus ~fp_fus ~mem_ports ~registers () =
+  if int_fus < 0 || fp_fus < 0 || mem_ports < 0 || registers < 0 then
+    invalid_arg "Cluster.make: negative resource count";
+  if int_fus + fp_fus + mem_ports = 0 then
+    invalid_arg "Cluster.make: cluster with no execution resources";
+  { name; int_fus; fp_fus; mem_ports; registers }
+
+let fu_count t = function
+  | Hcv_ir.Opcode.Int_fu -> t.int_fus
+  | Hcv_ir.Opcode.Fp_fu -> t.fp_fus
+  | Hcv_ir.Opcode.Mem_port -> t.mem_ports
+
+let issue_width t = t.int_fus + t.fp_fus + t.mem_ports
+
+let paper = make ~name:"paper" ~int_fus:1 ~fp_fus:1 ~mem_ports:1 ~registers:16 ()
+
+let pp ppf t =
+  Format.fprintf ppf "%s{int=%d fp=%d mem=%d regs=%d}" t.name t.int_fus
+    t.fp_fus t.mem_ports t.registers

@@ -1,0 +1,30 @@
+(** Cluster designs: the per-cluster resource mix.
+
+    A cluster is a semi-independent unit of functional units, memory
+    ports and a register file (paper §2.1).  All clusters of the paper's
+    evaluation machine share one design (1 FP FU, 1 integer FU, 1 memory
+    port, 16 registers); this module allows arbitrary mixes. *)
+
+type t = {
+  name : string;
+  int_fus : int;
+  fp_fus : int;
+  mem_ports : int;
+  registers : int;
+}
+
+val make :
+  ?name:string -> int_fus:int -> fp_fus:int -> mem_ports:int
+  -> registers:int -> unit -> t
+(** @raise Invalid_argument on negative counts or no FU at all. *)
+
+val fu_count : t -> Hcv_ir.Opcode.fu_kind -> int
+
+val issue_width : t -> int
+(** Total operations issuable per cycle: sum of FU and port counts. *)
+
+val paper : t
+(** The CGO'07 evaluation cluster: 1 int FU, 1 FP FU, 1 memory port,
+    16 registers. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,12 @@
+type t = Cluster of int | Icn | Cache
+
+let all ~n_clusters = List.init n_clusters (fun i -> Cluster i) @ [ Icn; Cache ]
+let equal a b = a = b
+let compare = Stdlib.compare
+
+let to_string = function
+  | Cluster i -> Printf.sprintf "C%d" i
+  | Icn -> "ICN"
+  | Cache -> "cache"
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)

@@ -1,0 +1,11 @@
+(** Clock/voltage domains of the heterogeneous microarchitecture: each
+    cluster, the inter-cluster connection network, and the on-chip
+    memory hierarchy (paper §2.1). *)
+
+type t = Cluster of int | Icn | Cache
+
+val all : n_clusters:int -> t list
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

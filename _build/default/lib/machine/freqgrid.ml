@@ -1,0 +1,66 @@
+open Hcv_support
+
+type t =
+  | Unrestricted
+  | Uniform of { steps : int; top : Q.t }
+  | Dividers of { steps : int; base : Q.t }
+
+let uniform ~steps ~top =
+  if steps < 1 then invalid_arg "Freqgrid.uniform: steps < 1";
+  if Q.sign top <= 0 then invalid_arg "Freqgrid.uniform: non-positive top";
+  Uniform { steps; top }
+
+let dividers ~steps ~base =
+  if steps < 1 then invalid_arg "Freqgrid.dividers: steps < 1";
+  if Q.sign base <= 0 then invalid_arg "Freqgrid.dividers: non-positive base";
+  Dividers { steps; base }
+
+let frequencies = function
+  | Unrestricted -> None
+  | Uniform { steps; top } ->
+    Some (List.init steps (fun k -> Q.mul_int (Q.div_int top steps) (k + 1)))
+  | Dividers { steps; base } ->
+    Some
+      (List.init steps (fun m -> Q.div_int base (steps - m))
+      (* ascending: base/steps .. base/1 *))
+
+let best_pair t ~fmax ~it =
+  if Q.sign fmax <= 0 || Q.sign it <= 0 then
+    invalid_arg "Freqgrid.best_pair: non-positive fmax or it";
+  match t with
+  | Unrestricted ->
+    let ii = Q.floor (Q.mul fmax it) in
+    if ii < 1 then None else Some (Q.div (Q.of_int ii) it, ii)
+  | Uniform { steps; top } ->
+    let step = Q.div_int top steps in
+    (* Highest k with step*k <= fmax, then scan down for integrality. *)
+    let kmax = min steps (Q.floor (Q.div fmax step)) in
+    let rec scan k =
+      if k < 1 then None
+      else
+        let f = Q.mul_int step k in
+        let ii = Q.mul f it in
+        if Q.is_integer ii && Q.num ii >= 1 then Some (f, Q.num ii)
+        else scan (k - 1)
+    in
+    scan kmax
+  | Dividers { steps; base } ->
+    (* Smallest divider m with base/m <= fmax, then scan up (towards
+       lower frequencies) for integrality. *)
+    let mmin = max 1 (Q.ceil (Q.div base fmax)) in
+    let rec scan m =
+      if m > steps then None
+      else
+        let f = Q.div_int base m in
+        let ii = Q.mul f it in
+        if Q.is_integer ii && Q.num ii >= 1 then Some (f, Q.num ii)
+        else scan (m + 1)
+    in
+    scan mmin
+
+let pp ppf = function
+  | Unrestricted -> Format.pp_print_string ppf "grid{any}"
+  | Uniform { steps; top } ->
+    Format.fprintf ppf "grid{%d steps up to %a}" steps Q.pp top
+  | Dividers { steps; base } ->
+    Format.fprintf ppf "grid{%d dividers of %a}" steps Q.pp base

@@ -1,0 +1,42 @@
+(** Discrete frequency grids (paper §2.1, Fig. 2 and the Fig. 7
+    sensitivity study).
+
+    The clock-generation network derives a limited set of frequencies
+    from a general clock with multipliers and dividers; a component may
+    only run at a grid frequency.  During scheduling, a component with
+    maximum frequency [fmax] (fixed by its supply voltage) must be given
+    a pair (f, II) with [f <= fmax], [f] in the grid and [II = f * it]
+    a positive integer; when no such pair exists the initiation time
+    must be increased ("synchronisation problem", §4). *)
+
+open Hcv_support
+
+type t =
+  | Unrestricted
+      (** any frequency is realisable; [f = floor(fmax*it) / it] *)
+  | Uniform of { steps : int; top : Q.t }
+      (** the [steps] frequencies [top * k/steps], [k = 1..steps] —
+          a linearly spaced grid *)
+  | Dividers of { steps : int; base : Q.t }
+      (** the [steps] frequencies [base / m], [m = 1..steps] — the
+          clock-generation network of the paper's Figure 2: a general
+          clock divided down.  With [base] chosen commensurate with the
+          machine's cycle-time grid, most initiation times admit a
+          synchronisable divider, matching the paper's observation that
+          few supported frequencies cost little. *)
+
+val uniform : steps:int -> top:Q.t -> t
+(** @raise Invalid_argument if [steps < 1] or [top <= 0]. *)
+
+val dividers : steps:int -> base:Q.t -> t
+(** @raise Invalid_argument if [steps < 1] or [base <= 0]. *)
+
+val frequencies : t -> Q.t list option
+(** The grid as a list (ascending), or [None] for [Unrestricted]. *)
+
+val best_pair : t -> fmax:Q.t -> it:Q.t -> (Q.t * int) option
+(** Highest-frequency valid pair (f, II) for initiation time [it]:
+    [f <= fmax], [f] in the grid, [II = f*it] a positive integer.
+    [None] when the component cannot be synchronised at this [it]. *)
+
+val pp : Format.formatter -> t -> unit

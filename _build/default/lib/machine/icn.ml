@@ -1,0 +1,10 @@
+type t = { buses : int; latency_cycles : int }
+
+let make ?(latency_cycles = 1) ~buses () =
+  if buses < 1 then invalid_arg "Icn.make: need at least one bus";
+  if latency_cycles < 1 then invalid_arg "Icn.make: latency below one cycle";
+  { buses; latency_cycles }
+
+let paper_1bus = make ~buses:1 ()
+let paper_2bus = make ~buses:2 ()
+let pp ppf t = Format.fprintf ppf "icn{buses=%d lat=%d}" t.buses t.latency_cycles

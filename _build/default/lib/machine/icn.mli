@@ -1,0 +1,16 @@
+(** Inter-cluster connection network: a set of shared register buses.
+
+    Register values move between clusters through explicit copy
+    operations, each occupying one bus slot for [latency_cycles] ICN
+    cycles (the paper assumes a 1-cycle-latency register bus and
+    evaluates 1 and 2 buses). *)
+
+type t = { buses : int; latency_cycles : int }
+
+val make : ?latency_cycles:int -> buses:int -> unit -> t
+(** [latency_cycles] defaults to 1.
+    @raise Invalid_argument if [buses < 1] or [latency_cycles < 1]. *)
+
+val paper_1bus : t
+val paper_2bus : t
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,27 @@
+type t = {
+  name : string;
+  clusters : Cluster.t array;
+  icn : Icn.t;
+  grid : Freqgrid.t;
+}
+
+let make ?(name = "machine") ?(grid = Freqgrid.Unrestricted) ~clusters ~icn () =
+  if Array.length clusters = 0 then
+    invalid_arg "Machine.make: no clusters";
+  { name; clusters; icn; grid }
+
+let n_clusters t = Array.length t.clusters
+let cluster t i = t.clusters.(i)
+
+let fu_total t kind =
+  Array.fold_left (fun acc c -> acc + Cluster.fu_count c kind) 0 t.clusters
+
+let components t = Comp.all ~n_clusters:(n_clusters t)
+let with_grid t grid = { t with grid }
+let with_icn t icn = { t with icn }
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>%s: %d clusters, %a, %a" t.name (n_clusters t)
+    Icn.pp t.icn Freqgrid.pp t.grid;
+  Array.iter (fun c -> Format.fprintf ppf "@,  %a" Cluster.pp c) t.clusters;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,28 @@
+(** A machine design: the structural part of the microarchitecture,
+    independent of any frequency/voltage operating point. *)
+
+type t = {
+  name : string;
+  clusters : Cluster.t array;
+  icn : Icn.t;
+  grid : Freqgrid.t;
+}
+
+val make :
+  ?name:string -> ?grid:Freqgrid.t -> clusters:Cluster.t array -> icn:Icn.t
+  -> unit -> t
+(** [grid] defaults to [Unrestricted].
+    @raise Invalid_argument if there are no clusters. *)
+
+val n_clusters : t -> int
+val cluster : t -> int -> Cluster.t
+
+val fu_total : t -> Hcv_ir.Opcode.fu_kind -> int
+(** Machine-wide count of a resource kind. *)
+
+val components : t -> Comp.t list
+
+val with_grid : t -> Freqgrid.t -> t
+val with_icn : t -> Icn.t -> t
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,78 @@
+open Hcv_support
+
+type point = { cycle_time : Q.t; vdd : float }
+
+type t = {
+  machine : Machine.t;
+  cluster_points : point array;
+  icn_point : point;
+  cache_point : point;
+}
+
+let check_point what p =
+  if Q.sign p.cycle_time <= 0 then
+    invalid_arg (Printf.sprintf "Opconfig: non-positive cycle time for %s" what);
+  if p.vdd <= 0.0 then
+    invalid_arg (Printf.sprintf "Opconfig: non-positive vdd for %s" what)
+
+let make ~machine ~cluster_points ~icn_point ~cache_point =
+  if Array.length cluster_points <> Machine.n_clusters machine then
+    invalid_arg "Opconfig.make: cluster point arity mismatch";
+  Array.iteri
+    (fun i p -> check_point (Printf.sprintf "cluster %d" i) p)
+    cluster_points;
+  check_point "icn" icn_point;
+  check_point "cache" cache_point;
+  { machine; cluster_points; icn_point; cache_point }
+
+let homogeneous ~machine ~cycle_time ?vdd_cluster ?vdd_icn ?vdd_cache ~vdd () =
+  let v d = Option.value d ~default:vdd in
+  make ~machine
+    ~cluster_points:
+      (Array.make (Machine.n_clusters machine)
+         { cycle_time; vdd = v vdd_cluster })
+    ~icn_point:{ cycle_time; vdd = v vdd_icn }
+    ~cache_point:{ cycle_time; vdd = v vdd_cache }
+
+let point t = function
+  | Comp.Cluster i -> t.cluster_points.(i)
+  | Comp.Icn -> t.icn_point
+  | Comp.Cache -> t.cache_point
+
+let cycle_time t c = (point t c).cycle_time
+let vdd t c = (point t c).vdd
+let fmax t c = Q.inv (cycle_time t c)
+
+let fastest_cluster t =
+  let best = ref 0 in
+  Array.iteri
+    (fun i p ->
+      if Q.( < ) p.cycle_time t.cluster_points.(!best).cycle_time then best := i)
+    t.cluster_points;
+  !best
+
+let fastest_cluster_cycle_time t =
+  t.cluster_points.(fastest_cluster t).cycle_time
+
+let is_homogeneous t =
+  let ct = t.icn_point.cycle_time in
+  Q.equal ct t.cache_point.cycle_time
+  && Array.for_all (fun p -> Q.equal p.cycle_time ct) t.cluster_points
+
+let vth ?(params = Alpha_power.default) t c =
+  Alpha_power.supports params ~vdd:(vdd t c) ~f:(Q.to_float (fmax t c))
+
+let realisable ?params t =
+  List.for_all
+    (fun c -> Option.is_some (vth ?params t c))
+    (Machine.components t.machine)
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>config on %s:" t.machine.Machine.name;
+  List.iter
+    (fun c ->
+      let p = point t c in
+      Format.fprintf ppf "@,  %a: Tcyc=%a ns, Vdd=%.2f V" Comp.pp c Q.pp
+        p.cycle_time p.vdd)
+    (Machine.components t.machine);
+  Format.fprintf ppf "@]"

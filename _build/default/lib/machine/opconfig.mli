@@ -1,0 +1,57 @@
+(** Operating configurations: a frequency/voltage point per clock
+    domain of a machine design.
+
+    A configuration fixes, for every component, its *maximum* cycle time
+    (the frequency the supply voltage can sustain).  During modulo
+    scheduling, components may be clocked below this maximum to align
+    their II with the loop's initiation time (paper §4). *)
+
+open Hcv_support
+
+type point = { cycle_time : Q.t;  (** ns; the minimum cycle time *) vdd : float }
+
+type t = {
+  machine : Machine.t;
+  cluster_points : point array;
+  icn_point : point;
+  cache_point : point;
+}
+
+val make :
+  machine:Machine.t -> cluster_points:point array -> icn_point:point
+  -> cache_point:point -> t
+(** @raise Invalid_argument on arity mismatch or non-positive cycle
+    times / voltages. *)
+
+val homogeneous :
+  machine:Machine.t -> cycle_time:Q.t -> ?vdd_cluster:float -> ?vdd_icn:float
+  -> ?vdd_cache:float -> vdd:float -> unit -> t
+(** Every domain at the same cycle time; per-domain voltages default to
+    [vdd]. *)
+
+val point : t -> Comp.t -> point
+val fmax : t -> Comp.t -> Q.t
+(** Maximum frequency in GHz ([1 / cycle_time] with cycle time in
+    ns). *)
+
+val cycle_time : t -> Comp.t -> Q.t
+val vdd : t -> Comp.t -> float
+
+val fastest_cluster : t -> int
+(** Index of the cluster with the smallest cycle time (first on
+    ties). *)
+
+val fastest_cluster_cycle_time : t -> Q.t
+
+val is_homogeneous : t -> bool
+(** True when all domains share one cycle time. *)
+
+val vth : ?params:Alpha_power.params -> t -> Comp.t -> float option
+(** Operating threshold voltage of the domain: the Vth at which its
+    supply voltage sustains exactly its maximum frequency, if that point
+    is realisable (see {!Alpha_power.supports}). *)
+
+val realisable : ?params:Alpha_power.params -> t -> bool
+(** All domains have a valid threshold voltage. *)
+
+val pp : Format.formatter -> t -> unit

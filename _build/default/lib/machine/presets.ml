@@ -1,0 +1,39 @@
+open Hcv_support
+
+let reference_cycle_time = Q.one
+let reference_vdd = 1.0
+let reference_vth = 0.25
+
+let machine_4c ~buses =
+  Machine.make ~name:(Printf.sprintf "paper-4c-%dbus" buses)
+    ~clusters:(Array.init 4 (fun _ -> Cluster.paper))
+    ~icn:(Icn.make ~buses ())
+    ()
+
+let fast_factors =
+  [ Q.make 9 10; Q.make 19 20; Q.one; Q.make 21 20; Q.make 11 10 ]
+
+let slow_factors = [ Q.one; Q.make 5 4; Q.make 4 3; Q.make 3 2 ]
+
+let volt_range lo hi =
+  (* Inclusive range in 0.05 V steps, computed in integer hundredths of
+     a volt to avoid float accumulation. *)
+  let lo = int_of_float ((lo *. 100.0) +. 0.5)
+  and hi = int_of_float ((hi *. 100.0) +. 0.5) in
+  List.init (((hi - lo) / 5) + 1) (fun i -> float_of_int (lo + (5 * i)) /. 100.0)
+
+let cluster_vdds = volt_range 0.7 1.2
+let icn_vdds = volt_range 0.8 1.1
+let cache_vdds = volt_range 1.0 1.4
+
+let reference_config machine =
+  Opconfig.homogeneous ~machine ~cycle_time:reference_cycle_time
+    ~vdd:reference_vdd ()
+
+let grid_of_steps = function
+  | None -> Freqgrid.Unrestricted
+  | Some n ->
+    (* The generator clock runs at twice the fastest cluster frequency
+       the paper allows (cycle time 0.9 ns -> 20/9 GHz doubled), and
+       the supported frequencies are its dividers (Figure 2). *)
+    Freqgrid.dividers ~steps:n ~base:(Q.make 20 9)

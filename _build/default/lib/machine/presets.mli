@@ -1,0 +1,43 @@
+(** The CGO'07 evaluation parameters (paper §5). *)
+
+open Hcv_support
+
+val reference_cycle_time : Q.t
+(** 1 ns (1 GHz reference). *)
+
+val reference_vdd : float
+(** 1 V. *)
+
+val reference_vth : float
+(** 0.25 V. *)
+
+val machine_4c : buses:int -> Machine.t
+(** The evaluation machine: 4 identical clusters of 1 int FU + 1 FP FU +
+    1 memory port + 16 registers, [buses] 1-cycle register buses. *)
+
+val fast_factors : Q.t list
+(** Allowed fast-cluster cycle times relative to the reference:
+    0.9, 0.95, 1, 1.05, 1.1. *)
+
+val slow_factors : Q.t list
+(** Allowed slow-cluster cycle times relative to the fast cluster:
+    1, 5/4, 4/3, 3/2 (the paper prints 1.25, 1.33, 1.5). *)
+
+val cluster_vdds : float list
+(** Candidate cluster supply voltages, 0.7 V .. 1.2 V in 0.05 V steps. *)
+
+val icn_vdds : float list
+(** 0.8 V .. 1.1 V. *)
+
+val cache_vdds : float list
+(** 1.0 V .. 1.4 V (higher because the cache's static energy share is
+    large). *)
+
+val reference_config : Machine.t -> Opconfig.t
+(** The reference homogeneous configuration: everything at 1 ns / 1 V. *)
+
+val grid_of_steps : int option -> Freqgrid.t
+(** [None] -> unrestricted; [Some n] -> the [n] dividers of a 20/9 GHz
+    generator clock (twice the fastest cluster frequency the paper
+    allows) — the Figure 2 clock-generation network, as used in the
+    Fig. 7 sensitivity study. *)

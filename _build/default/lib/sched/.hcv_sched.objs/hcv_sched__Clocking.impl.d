@@ -1,0 +1,1 @@
+lib/sched/clocking.ml: Array Comp Format Freqgrid Hcv_machine Hcv_support Machine Opconfig Q

@@ -1,0 +1,1 @@
+lib/sched/clocking.mli: Comp Format Hcv_machine Hcv_support Opconfig Q

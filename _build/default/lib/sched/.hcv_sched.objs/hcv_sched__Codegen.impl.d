@@ -1,0 +1,1 @@
+lib/sched/codegen.ml: Array Buffer Clocking Ddg Hcv_ir Hcv_support Instr List Loop Printf Schedule String

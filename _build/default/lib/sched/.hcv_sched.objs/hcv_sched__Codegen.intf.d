@@ -1,0 +1,1 @@
+lib/sched/codegen.mli: Hcv_ir Instr Schedule

@@ -1,0 +1,1 @@
+lib/sched/control.ml: Activity Array Clocking Format Hcv_energy Hcv_ir Hcv_machine Hcv_support Icn Machine Opcode Q Schedule Timing

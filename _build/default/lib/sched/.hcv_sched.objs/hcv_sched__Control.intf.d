@@ -1,0 +1,1 @@
+lib/sched/control.mli: Format Hcv_energy Schedule

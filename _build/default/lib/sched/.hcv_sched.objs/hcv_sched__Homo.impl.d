@@ -1,0 +1,1 @@
+lib/sched/homo.ml: Array Clocking Ddg Hcv_ir Hcv_machine Loop Machine Mii Partition Printf Pseudo Slot_sched

@@ -1,0 +1,1 @@
+lib/sched/list_sched.ml: Array Clocking Cluster Ddg Edge Hashtbl Hcv_ir Hcv_machine Hcv_support Homo Icn Instr List Listx Loop Machine Opcode Option Printf Q Schedule Stdlib String Timing

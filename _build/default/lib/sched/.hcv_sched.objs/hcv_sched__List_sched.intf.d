@@ -1,0 +1,1 @@
+lib/sched/list_sched.mli: Hcv_ir Hcv_machine Hcv_support Loop Machine Q Schedule

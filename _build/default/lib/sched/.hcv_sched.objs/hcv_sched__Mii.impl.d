@@ -1,0 +1,1 @@
+lib/sched/mii.ml: Cluster Ddg Hcv_ir Hcv_machine Instr List Machine Opcode Printf Recurrence

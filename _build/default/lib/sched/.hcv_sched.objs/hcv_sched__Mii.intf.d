@@ -1,0 +1,1 @@
+lib/sched/mii.mli: Hcv_ir Hcv_machine

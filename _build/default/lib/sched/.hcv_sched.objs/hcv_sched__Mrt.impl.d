@@ -1,0 +1,1 @@
+lib/sched/mrt.ml: Array Clocking Cluster Format Hashtbl Hcv_ir Hcv_machine Icn List Machine Opcode String

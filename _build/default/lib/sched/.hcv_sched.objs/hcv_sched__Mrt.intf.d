@@ -1,0 +1,1 @@
+lib/sched/mrt.mli: Clocking Format Hcv_ir Hcv_machine Machine Opcode

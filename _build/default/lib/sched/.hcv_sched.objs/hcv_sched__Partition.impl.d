@@ -1,0 +1,1 @@
+lib/sched/partition.ml: Array Ddg Edge Hashtbl Hcv_ir Hcv_support List Listx Option Stdlib

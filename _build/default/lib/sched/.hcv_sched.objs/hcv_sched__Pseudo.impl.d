@@ -1,0 +1,1 @@
+lib/sched/pseudo.ml: Array Clocking Cluster Ddg Edge Hashtbl Hcv_ir Hcv_machine Hcv_support Icn Instr List Loop Machine Mrt Q Schedule Stdlib Timing

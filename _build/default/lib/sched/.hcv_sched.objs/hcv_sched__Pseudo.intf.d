@@ -1,0 +1,1 @@
+lib/sched/pseudo.mli: Clocking Hcv_ir Hcv_machine Loop Machine Schedule

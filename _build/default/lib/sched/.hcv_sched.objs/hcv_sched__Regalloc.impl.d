@@ -1,0 +1,1 @@
+lib/sched/regalloc.ml: Array Clocking Cluster Ddg Edge Format Fun Hcv_ir Hcv_machine Hcv_support Icn Instr List Loop Machine Q Schedule String

@@ -1,0 +1,1 @@
+lib/sched/regalloc.mli: Format Hcv_ir Hcv_support Instr Q Schedule

@@ -1,0 +1,1 @@
+lib/sched/schedule.ml: Array Clocking Cluster Ddg Edge Format Hashtbl Hcv_ir Hcv_machine Hcv_support Icn Instr List Loop Machine Opcode Option Q Timing

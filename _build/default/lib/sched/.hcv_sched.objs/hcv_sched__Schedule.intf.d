@@ -1,0 +1,1 @@
+lib/sched/schedule.mli: Clocking Format Hcv_ir Hcv_machine Hcv_support Instr Loop Machine Q

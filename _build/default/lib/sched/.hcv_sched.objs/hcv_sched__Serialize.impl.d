@@ -1,0 +1,1 @@
+lib/sched/serialize.ml: Array Buffer Clocking Ddg Hcv_ir Hcv_machine Hcv_support Instr List Loop Machine Printf Q Schedule String

@@ -1,0 +1,1 @@
+lib/sched/serialize.mli: Hcv_ir Hcv_machine Loop Machine Schedule

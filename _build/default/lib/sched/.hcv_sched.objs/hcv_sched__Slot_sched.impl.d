@@ -1,0 +1,1 @@
+lib/sched/slot_sched.ml: Array Clocking Ddg Edge Hashtbl Hcv_ir Hcv_machine Hcv_support Icn Instr List Loop Machine Mrt Printf Q Schedule Stdlib String Timing

@@ -1,0 +1,1 @@
+lib/sched/slot_sched.mli: Clocking Hcv_ir Hcv_machine Loop Machine Schedule

@@ -1,0 +1,1 @@
+lib/sched/timing.ml: Array Clocking Hcv_ir Hcv_support Instr Opcode Q

@@ -1,0 +1,1 @@
+lib/sched/timing.mli: Clocking Hcv_ir Hcv_support Instr Q

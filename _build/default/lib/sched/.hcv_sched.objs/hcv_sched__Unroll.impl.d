@@ -1,0 +1,1 @@
+lib/sched/unroll.ml: Array Ddg Edge Hcv_ir Instr List Loop Printf

@@ -1,0 +1,1 @@
+lib/sched/unroll.mli: Ddg Hcv_ir Instr Loop

@@ -1,0 +1,97 @@
+open Hcv_support
+open Hcv_machine
+
+type t = {
+  it : Q.t;
+  cluster_ii : int array;
+  cluster_ct : Q.t array;
+  icn_ii : int;
+  icn_ct : Q.t;
+  cache_ii : int;
+  cache_ct : Q.t;
+}
+
+let homogeneous ~n_clusters ~ii ~cycle_time =
+  if ii < 1 then invalid_arg "Clocking.homogeneous: ii < 1";
+  if Q.sign cycle_time <= 0 then
+    invalid_arg "Clocking.homogeneous: non-positive cycle time";
+  {
+    it = Q.mul_int cycle_time ii;
+    cluster_ii = Array.make n_clusters ii;
+    cluster_ct = Array.make n_clusters cycle_time;
+    icn_ii = ii;
+    icn_ct = cycle_time;
+    cache_ii = ii;
+    cache_ct = cycle_time;
+  }
+
+let of_config ~config ~it =
+  let machine = config.Opconfig.machine in
+  let grid = machine.Machine.grid in
+  let pick comp =
+    let fmax = Opconfig.fmax config comp in
+    match Freqgrid.best_pair grid ~fmax ~it with
+    | Some (f, ii) -> Ok (ii, Q.inv f)
+    | None -> Error comp
+  in
+  let n = Machine.n_clusters machine in
+  let cluster_ii = Array.make n 0 and cluster_ct = Array.make n Q.one in
+  let rec clusters i =
+    if i >= n then Ok ()
+    else
+      match pick (Comp.Cluster i) with
+      | Error _ as e -> e
+      | Ok (ii, ct) ->
+        cluster_ii.(i) <- ii;
+        cluster_ct.(i) <- ct;
+        clusters (i + 1)
+  in
+  match clusters 0 with
+  | Error c -> Error c
+  | Ok () -> (
+    match (pick Comp.Icn, pick Comp.Cache) with
+    | Error c, _ | _, Error c -> Error c
+    | Ok (icn_ii, icn_ct), Ok (cache_ii, cache_ct) ->
+      Ok { it; cluster_ii; cluster_ct; icn_ii; icn_ct; cache_ii; cache_ct })
+
+let n_clusters t = Array.length t.cluster_ii
+
+let ii t = function
+  | Comp.Cluster i -> t.cluster_ii.(i)
+  | Comp.Icn -> t.icn_ii
+  | Comp.Cache -> t.cache_ii
+
+let ct t = function
+  | Comp.Cluster i -> t.cluster_ct.(i)
+  | Comp.Icn -> t.icn_ct
+  | Comp.Cache -> t.cache_ct
+
+let cycle_start t comp k = Q.mul_int (ct t comp) k
+
+let first_cycle_at_or_after t comp time =
+  let c = ct t comp in
+  max 0 (Q.ceil (Q.div time c))
+
+let fastest_cluster t =
+  let best = ref 0 in
+  Array.iteri
+    (fun i c -> if Q.( < ) c t.cluster_ct.(!best) then best := i)
+    t.cluster_ct;
+  !best
+
+let equal a b =
+  Q.equal a.it b.it
+  && a.cluster_ii = b.cluster_ii
+  && Array.for_all2 Q.equal a.cluster_ct b.cluster_ct
+  && a.icn_ii = b.icn_ii && a.cache_ii = b.cache_ii
+  && Q.equal a.icn_ct b.icn_ct
+  && Q.equal a.cache_ct b.cache_ct
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>clocking IT=%a ns" Q.pp t.it;
+  Array.iteri
+    (fun i ii ->
+      Format.fprintf ppf "@,  C%d: II=%d Tcyc=%a" i ii Q.pp t.cluster_ct.(i))
+    t.cluster_ii;
+  Format.fprintf ppf "@,  ICN: II=%d Tcyc=%a" t.icn_ii Q.pp t.icn_ct;
+  Format.fprintf ppf "@,  cache: II=%d Tcyc=%a@]" t.cache_ii Q.pp t.cache_ct

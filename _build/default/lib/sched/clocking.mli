@@ -1,0 +1,54 @@
+(** Per-domain clocking of one modulo-scheduled loop.
+
+    On a heterogeneous machine the initiation interval is no longer a
+    single constant: the loop has one initiation *time* IT (in ns), and
+    every clock domain X runs at a frequency f_X such that
+    II_X = IT * f_X is a positive integer (paper §2.2).  A clocking
+    bundles the IT with the per-domain (cycle time, II) pairs chosen for
+    the loop.  Domains may be clocked below their configured maximum
+    frequency to satisfy the integrality requirement. *)
+
+open Hcv_support
+open Hcv_machine
+
+type t = {
+  it : Q.t;  (** initiation time, ns *)
+  cluster_ii : int array;
+  cluster_ct : Q.t array;  (** actual cycle time: [it / ii] *)
+  icn_ii : int;
+  icn_ct : Q.t;
+  cache_ii : int;
+  cache_ct : Q.t;
+}
+
+val homogeneous : n_clusters:int -> ii:int -> cycle_time:Q.t -> t
+(** Single-frequency clocking: every domain at [cycle_time] with the
+    same [ii]; [it = ii * cycle_time]. *)
+
+val of_config : config:Opconfig.t -> it:Q.t -> (t, Comp.t) result
+(** Select, for each domain of [config], the best (frequency, II) pair
+    at initiation time [it] under the machine's frequency grid
+    (paper §4): the highest grid frequency [f <= fmax] with [f*it] a
+    positive integer.  [Error comp] reports the first domain that cannot
+    be synchronised at this [it] (the caller must increase the IT). *)
+
+val n_clusters : t -> int
+
+val ii : t -> Comp.t -> int
+(** Initiation interval of one domain, in its own cycles. *)
+
+val ct : t -> Comp.t -> Q.t
+(** Actual cycle time of one domain (its maximum stretched to make the
+    II integral), ns. *)
+
+val cycle_start : t -> Comp.t -> int -> Q.t
+(** Time at which the given absolute cycle of a domain begins. *)
+
+val first_cycle_at_or_after : t -> Comp.t -> Q.t -> int
+(** Smallest cycle index [k] with [cycle_start >= time]. *)
+
+val fastest_cluster : t -> int
+(** Cluster with the smallest actual cycle time (first on ties). *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

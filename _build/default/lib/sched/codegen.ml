@@ -1,0 +1,170 @@
+open Hcv_ir
+
+type op =
+  | Instr of { instr : Instr.id; stage : int }
+  | Copy of { src : Instr.id; dst_cluster : int; stage : int }
+
+type word = op list
+type section = word array
+
+type cluster_code = { prologue : section; kernel : section; epilogue : section }
+
+type t = {
+  schedule : Schedule.t;
+  stage_count : int;
+  clusters : cluster_code array;
+  icn : cluster_code;
+}
+
+(* Build the three sections of one domain given its II and the ops
+   placed at absolute cycles: op [o] at absolute cycle [c] has stage
+   [c / ii] and kernel slot [c mod ii].
+
+   During iteration [k] of the kernel, the machine executes, at slot
+   [s], the ops of stage [t] on behalf of source iteration [k - t].
+   The prologue consists of stages 0..SC-2 of iterations 0..SC-2: in
+   prologue block [p] (0-based), ops with stage <= p issue.  The
+   epilogue drains symmetrically: in epilogue block [p] (0-based, SC-1
+   blocks), ops with stage > p issue. *)
+let sections ~ii ~sc placed =
+  let make_block pred =
+    Array.init ii (fun slot ->
+        List.filter_map
+          (fun (op, abs_cycle) ->
+            let stage = abs_cycle / ii and s = abs_cycle mod ii in
+            if s = slot && pred stage then Some (op stage) else None)
+          placed)
+  in
+  let kernel = make_block (fun _ -> true) in
+  let prologue =
+    Array.concat
+      (List.init (max 0 (sc - 1)) (fun p ->
+           make_block (fun stage -> stage <= p)))
+  in
+  let epilogue =
+    Array.concat
+      (List.init (max 0 (sc - 1)) (fun p ->
+           make_block (fun stage -> stage > p)))
+  in
+  { prologue; kernel; epilogue }
+
+let emit (sched : Schedule.t) =
+  (match Schedule.validate sched with
+  | Ok () -> ()
+  | Error errs ->
+    invalid_arg
+      (Printf.sprintf "Codegen.emit: invalid schedule: %s"
+         (String.concat "; " errs)));
+  let clocking = sched.Schedule.clocking in
+  let n_clusters = Array.length clocking.Clocking.cluster_ii in
+  let sc = max 1 (Schedule.stage_count sched) in
+  let clusters =
+    Array.init n_clusters (fun cl ->
+        let placed = ref [] in
+        Array.iteri
+          (fun i (p : Schedule.placement) ->
+            if p.Schedule.cluster = cl then
+              placed :=
+                ((fun stage -> Instr { instr = i; stage }), p.Schedule.cycle)
+                :: !placed)
+          sched.Schedule.placements;
+        sections ~ii:clocking.Clocking.cluster_ii.(cl) ~sc (List.rev !placed))
+  in
+  let icn =
+    let placed =
+      List.map
+        (fun (tr : Schedule.transfer) ->
+          ( (fun stage ->
+              Copy { src = tr.Schedule.src; dst_cluster = tr.Schedule.dst_cluster; stage }),
+            tr.Schedule.bus_cycle ))
+        sched.Schedule.transfers
+    in
+    sections ~ii:clocking.Clocking.icn_ii ~sc placed
+  in
+  { schedule = sched; stage_count = sc; clusters; icn }
+
+let count_section (s : section) =
+  Array.fold_left (fun acc w -> acc + List.length w) 0 s
+
+let count_code c =
+  count_section c.prologue + count_section c.kernel + count_section c.epilogue
+
+let kernel_ops t =
+  Array.fold_left (fun acc c -> acc + count_section c.kernel) 0 t.clusters
+  + count_section t.icn.kernel
+
+let static_ops t =
+  Array.fold_left (fun acc c -> acc + count_code c) 0 t.clusters
+  + count_code t.icn
+
+let op_to_string ddg = function
+  | Instr { instr; stage } ->
+    Printf.sprintf "%s[%d]" (Ddg.instr ddg instr).Instr.name stage
+  | Copy { src; dst_cluster; stage } ->
+    Printf.sprintf "copy(%s->C%d)[%d]"
+      (Ddg.instr ddg src).Instr.name dst_cluster stage
+
+let render_section buf ddg label (s : section) =
+  Buffer.add_string buf (Printf.sprintf "  %s (%d cycles):\n" label (Array.length s));
+  Array.iteri
+    (fun cyc w ->
+      Buffer.add_string buf
+        (Printf.sprintf "    %3d: %s\n" cyc
+           (if w = [] then "nop"
+            else String.concat " | " (List.map (op_to_string ddg) w))))
+    s
+
+let render t =
+  let ddg = t.schedule.Schedule.loop.Loop.ddg in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "pipelined code for %s (SC=%d)\n"
+       t.schedule.Schedule.loop.Loop.name t.stage_count);
+  Array.iteri
+    (fun cl code ->
+      Buffer.add_string buf (Printf.sprintf "cluster C%d:\n" cl);
+      render_section buf ddg "prologue" code.prologue;
+      render_section buf ddg "kernel" code.kernel;
+      render_section buf ddg "epilogue" code.epilogue)
+    t.clusters;
+  Buffer.add_string buf "icn:\n";
+  render_section buf ddg "prologue" t.icn.prologue;
+  render_section buf ddg "kernel" t.icn.kernel;
+  render_section buf ddg "epilogue" t.icn.epilogue;
+  Buffer.contents buf
+
+let render_kernel_table t =
+  let ddg = t.schedule.Schedule.loop.Loop.ddg in
+  let clocking = t.schedule.Schedule.clocking in
+  let tbl =
+    Hcv_support.Tablefmt.create
+      ~title:
+        (Printf.sprintf "kernel of %s (IT=%s ns)"
+           t.schedule.Schedule.loop.Loop.name
+           (Hcv_support.Q.to_string clocking.Clocking.it))
+      (("slot", Hcv_support.Tablefmt.Right)
+      :: (List.init (Array.length t.clusters) (fun cl ->
+              ( Printf.sprintf "C%d (II=%d)" cl
+                  clocking.Clocking.cluster_ii.(cl),
+                Hcv_support.Tablefmt.Left ))
+         @ [ (Printf.sprintf "bus (II=%d)" clocking.Clocking.icn_ii,
+              Hcv_support.Tablefmt.Left) ]))
+  in
+  let max_ii =
+    Array.fold_left
+      (fun acc c -> max acc (Array.length c.kernel))
+      (Array.length t.icn.kernel) t.clusters
+  in
+  for slot = 0 to max_ii - 1 do
+    let cell (code : cluster_code) =
+      if slot >= Array.length code.kernel then "-"
+      else
+        match code.kernel.(slot) with
+        | [] -> "."
+        | w -> String.concat " " (List.map (op_to_string ddg) w)
+    in
+    Hcv_support.Tablefmt.add_row tbl
+      (string_of_int slot
+      :: (Array.to_list (Array.map cell t.clusters) @ [ cell t.icn ]))
+  done;
+  Hcv_support.Tablefmt.render tbl

@@ -1,0 +1,56 @@
+(** Software-pipelined code emission.
+
+    A modulo schedule only fixes the kernel; executable code also needs
+    the prologue (pipeline fill: stage counts ramp up over SC-1
+    iterations) and the epilogue (drain).  This module materialises all
+    three as per-cluster VLIW instruction streams — the distributed code
+    layout of the paper's Figure 1(b), where each cluster fetches its
+    own stream — plus the bus copy operations.
+
+    An emitted operation [op] records which instruction issues, and from
+    which pipeline stage (iteration offset) it comes. *)
+
+open Hcv_ir
+
+type op =
+  | Instr of { instr : Instr.id; stage : int }
+  | Copy of { src : Instr.id; dst_cluster : int; stage : int }
+      (** a bus transfer issued by the ICN (shown on its own stream) *)
+
+type word = op list
+(** Operations issuing in one cycle of one domain (possibly []). *)
+
+type section = word array
+(** Indexed by domain-local cycle. *)
+
+type cluster_code = {
+  prologue : section;
+  kernel : section;  (** exactly II_C words *)
+  epilogue : section;
+}
+
+type t = {
+  schedule : Schedule.t;
+  stage_count : int;  (** SC: concurrently active iterations *)
+  clusters : cluster_code array;
+  icn : cluster_code;  (** copy operations on the bus domain *)
+}
+
+val emit : Schedule.t -> t
+(** @raise Invalid_argument on a schedule that fails validation. *)
+
+val kernel_ops : t -> int
+(** Total operations in all kernel sections (instructions + copies) —
+    one full iteration's worth. *)
+
+val static_ops : t -> int
+(** Total emitted operations across prologue, kernel and epilogue — the
+    code-size cost of software pipelining. *)
+
+val render : t -> string
+(** ASCII listing: per cluster, the three sections with one line per
+    cycle. *)
+
+val render_kernel_table : t -> string
+(** The kernel as a modulo-slot table (slots x clusters), the view used
+    throughout the paper's examples. *)

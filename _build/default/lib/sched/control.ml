@@ -1,0 +1,60 @@
+open Hcv_support
+open Hcv_ir
+open Hcv_machine
+open Hcv_energy
+
+type t = {
+  branch_ops_per_iter : int;
+  broadcasts_per_iter : int;
+  energy_per_iter : float;
+  slack_ok : bool;
+}
+
+let int_op_energy = Opcode.energy (Opcode.make Opcode.Arith Opcode.Int)
+
+let analyze ?cond_cluster (sched : Schedule.t) =
+  let clocking = sched.Schedule.clocking in
+  let n_clusters = Array.length clocking.Clocking.cluster_ii in
+  let cond_cluster =
+    match cond_cluster with
+    | Some c -> c
+    | None -> Clocking.fastest_cluster clocking
+  in
+  (* Per iteration: one target computation and one control transfer in
+     every cluster, one condition evaluation in the condition cluster. *)
+  let branch_ops_per_iter = (2 * n_clusters) + 1 in
+  let broadcasts_per_iter = max 0 (n_clusters - 1) in
+  let energy_per_iter = float_of_int branch_ops_per_iter *. int_op_energy in
+  (* Slack check: condition (1 int-op latency) + sync + bus transfer
+     must fit within one initiation time. *)
+  let cond_ct = clocking.Clocking.cluster_ct.(cond_cluster) in
+  let cond_time =
+    Q.add
+      (Q.mul_int cond_ct (Opcode.latency (Opcode.make Opcode.Arith Opcode.Int)))
+      (Q.add (Timing.sync_penalty clocking)
+         (Q.mul_int clocking.Clocking.icn_ct
+            sched.Schedule.machine.Machine.icn.Icn.latency_cycles))
+  in
+  let slack_ok = Q.( <= ) cond_time clocking.Clocking.it in
+  { branch_ops_per_iter; broadcasts_per_iter; energy_per_iter; slack_ok }
+
+let overhead_activity t ~trip ~n_clusters ~cond_cluster (act : Activity.t) =
+  let per_cluster = Array.copy act.Activity.per_cluster_ins_energy in
+  let trip_f = float_of_int trip in
+  (* Two ops (target + transfer) in every cluster, one extra condition
+     op in the condition cluster. *)
+  for c = 0 to n_clusters - 1 do
+    per_cluster.(c) <- per_cluster.(c) +. (2.0 *. int_op_energy *. trip_f)
+  done;
+  per_cluster.(cond_cluster) <-
+    per_cluster.(cond_cluster) +. (int_op_energy *. trip_f);
+  Activity.make ~exec_time_ns:act.Activity.exec_time_ns
+    ~per_cluster_ins_energy:per_cluster
+    ~n_comms:(act.Activity.n_comms +. (float_of_int t.broadcasts_per_iter *. trip_f))
+    ~n_mem:act.Activity.n_mem
+
+let pp ppf t =
+  Format.fprintf ppf
+    "control{%d branch ops/iter, %d broadcasts/iter, E=%.1f, slack %s}"
+    t.branch_ops_per_iter t.broadcasts_per_iter t.energy_per_iter
+    (if t.slack_ok then "ok" else "INSUFFICIENT")

@@ -1,0 +1,43 @@
+(** Control-path overhead of the distributed clustered VLIW (paper
+    §2.1).
+
+    The machine follows HPL-PD's unbundled branch architecture with a
+    distributed control path: every cluster keeps its own PC and
+    executes, per loop iteration,
+    - one branch-target computation (an integer operation per cluster),
+    - one branch-condition evaluation in a single cluster (the one
+      hosting the loop counter), whose result is broadcast to the other
+      clusters over the ICN,
+    - one control-transfer operation per cluster when the branch is
+      taken.
+
+    The modulo schedulers treat the loop back-branch as free (the paper
+    does too: the branch executes in parallel with the kernel); this
+    module quantifies that overhead for a given schedule so it can be
+    reported or charged explicitly. *)
+
+
+type t = {
+  branch_ops_per_iter : int;
+      (** target computations + control transfers across clusters,
+          plus the single condition evaluation *)
+  broadcasts_per_iter : int;  (** condition broadcasts over the ICN *)
+  energy_per_iter : float;
+      (** Table-1 relative energy of the control operations *)
+  slack_ok : bool;
+      (** the condition can be computed and broadcast within one II on
+          the condition cluster (no IT increase needed) *)
+}
+
+val analyze : ?cond_cluster:int -> Schedule.t -> t
+(** [cond_cluster] defaults to the schedule's fastest cluster.  The
+    branch ops are integer-arithmetic class; each broadcast costs one
+    bus transfer. *)
+
+val overhead_activity : t -> trip:int -> n_clusters:int -> cond_cluster:int
+  -> Hcv_energy.Activity.t -> Hcv_energy.Activity.t
+(** Add the control overhead of [trip] iterations to an activity (the
+    instruction energy is charged to the clusters, the broadcasts to the
+    ICN); execution time is unchanged when [slack_ok]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,32 @@
+open Hcv_ir
+open Hcv_machine
+
+type stats = { ii : int; tries : int; mii : int }
+
+let schedule ~machine ~cycle_time ~loop ?(max_tries = 64) ?(seed = 0) () =
+  let ddg = loop.Loop.ddg in
+  let n_clusters = Machine.n_clusters machine in
+  let mii = Mii.mii machine ddg in
+  let rec attempt ii tries =
+    if tries > max_tries then
+      Error
+        (Printf.sprintf "no schedule for %s within %d IIs above MII=%d"
+           loop.Loop.name max_tries mii)
+    else begin
+      let clocking = Clocking.homogeneous ~n_clusters ~ii ~cycle_time in
+      let assignment =
+        if n_clusters = 1 then Array.make (Ddg.n_instrs ddg) 0
+        else begin
+          let score a =
+            Pseudo.score
+              (Pseudo.estimate ~machine ~clocking ~loop ~assignment:a)
+          in
+          (Partition.run ~n_clusters ~ddg ~seed ~score ()).Partition.assignment
+        end
+      in
+      match Slot_sched.run ~machine ~clocking ~loop ~assignment () with
+      | Ok sched -> Ok (sched, { ii; tries; mii })
+      | Error _ -> attempt (ii + 1) (tries + 1)
+    end
+  in
+  attempt (max mii 1) 1

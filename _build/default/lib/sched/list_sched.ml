@@ -1,0 +1,237 @@
+open Hcv_support
+open Hcv_ir
+open Hcv_machine
+
+(* Non-modulo occupancy tables. *)
+type tables = {
+  fu : (int * Opcode.fu_kind * int, int) Hashtbl.t;
+  bus : (int, int) Hashtbl.t;
+}
+
+let fu_free tables machine ~cluster ~kind ~cycle =
+  Option.value (Hashtbl.find_opt tables.fu (cluster, kind, cycle)) ~default:0
+  < Cluster.fu_count (Machine.cluster machine cluster) kind
+
+let fu_take tables ~cluster ~kind ~cycle =
+  let key = (cluster, kind, cycle) in
+  Hashtbl.replace tables.fu key
+    (1 + Option.value (Hashtbl.find_opt tables.fu key) ~default:0)
+
+let bus_free tables machine ~cycle =
+  Option.value (Hashtbl.find_opt tables.bus cycle) ~default:0
+  < machine.Machine.icn.Icn.buses
+
+let bus_take tables ~cycle =
+  Hashtbl.replace tables.bus cycle
+    (1 + Option.value (Hashtbl.find_opt tables.bus cycle) ~default:0)
+
+let run ~machine ~cycle_time ~loop () =
+  let ddg = loop.Loop.ddg in
+  let n = Ddg.n_instrs ddg in
+  let n_clusters = Machine.n_clusters machine in
+  (* A provisional single-frequency clocking; the II is fixed up once
+     the schedule length is known. *)
+  let provisional ii = Clocking.homogeneous ~n_clusters ~ii ~cycle_time in
+  let clk = provisional 1 (* cycle times only; II unused below *) in
+  let buslat = machine.Machine.icn.Icn.latency_cycles in
+  let tables = { fu = Hashtbl.create 64; bus = Hashtbl.create 16 } in
+  let cluster_of = Array.make n 0 in
+  let cycle_of = Array.make n 0 in
+  let placed = Array.make n false in
+  let transfers : (int * int, int) Hashtbl.t = Hashtbl.create 16 in
+  let heights = Ddg.heights ddg in
+  (* Priority: height (critical path) descending, then id. *)
+  let order =
+    List.sort
+      (fun a b ->
+        match compare heights.(b) heights.(a) with
+        | 0 -> compare a b
+        | c -> c)
+      (Ddg.topo_order ddg)
+  in
+  (* Process in topological order but prefer high priority among ready
+     nodes: a simple ready-list loop. *)
+  let in_degree = Array.make n 0 in
+  List.iter
+    (fun (e : Edge.t) ->
+      if e.distance = 0 then in_degree.(e.dst) <- in_degree.(e.dst) + 1)
+    (Ddg.edges ddg);
+  let ready = ref (List.filter (fun i -> in_degree.(i) = 0) order) in
+  let def_time i =
+    Timing.def_time clk ~cluster:cluster_of.(i) ~cycle:cycle_of.(i)
+      (Ddg.instr ddg i)
+  in
+  let failure = ref None in
+  while !ready <> [] && !failure = None do
+    (* Highest node by priority among the ready set. *)
+    let i =
+      Listx.max_by (fun i -> (heights.(i), -i)) !ready
+    in
+    ready := List.filter (fun j -> j <> i) !ready;
+    let ins = Ddg.instr ddg i in
+    let kind = Instr.fu ins in
+    (* Evaluate each cluster: earliest feasible start cycle. *)
+    let best = ref None in
+    for cl = 0 to n_clusters - 1 do
+      if Cluster.fu_count (Machine.cluster machine cl) kind > 0 then begin
+        (* Ready time from same-iteration predecessors. *)
+        let ready_t =
+          List.fold_left
+            (fun acc (e : Edge.t) ->
+              if e.distance > 0 then acc
+              else begin
+                let def = def_time e.src in
+                let t =
+                  if cluster_of.(e.src) = cl then def
+                  else if Edge.carries_value e then
+                    (* Earliest arrival through the bus (slot found
+                       later; assume the earliest). *)
+                    Timing.bus_arrival clk ~buslat
+                      ~bus_cycle:(Timing.earliest_bus_cycle clk ~def_time:def)
+                  else Q.add def (Timing.sync_penalty clk)
+                in
+                Q.max acc t
+              end)
+            Q.zero (Ddg.preds ddg i)
+        in
+        let rec find_cycle k =
+          if fu_free tables machine ~cluster:cl ~kind ~cycle:k then k
+          else find_cycle (k + 1)
+        in
+        let k = find_cycle (Timing.earliest_cycle clk ~cluster:cl ~ready:ready_t) in
+        let finish =
+          Q.add
+            (Timing.start_time clk ~cluster:cl ~cycle:k)
+            (Q.mul_int (Timing.eff_ct clk ~cluster:cl ins) (Instr.latency ins))
+        in
+        match !best with
+        | Some (_, bf) when Q.( <= ) bf finish -> ()
+        | Some _ | None -> best := Some ((cl, k), finish)
+      end
+    done;
+    (match !best with
+    | None ->
+      failure :=
+        Some
+          (Printf.sprintf "no cluster can execute %s" ins.Instr.name)
+    | Some ((cl, k), _) -> (
+      cluster_of.(i) <- cl;
+      cycle_of.(i) <- k;
+      placed.(i) <- true;
+      fu_take tables ~cluster:cl ~kind ~cycle:k;
+      (* Schedule bus transfers for cross-cluster value preds. *)
+      let ok =
+        List.for_all
+          (fun (e : Edge.t) ->
+            e.distance > 0
+            || cluster_of.(e.src) = cl
+            || (not (Edge.carries_value e))
+            ||
+            let key = (e.src, cl) in
+            Hashtbl.mem transfers key
+            ||
+            let earliest =
+              Timing.earliest_bus_cycle clk ~def_time:(def_time e.src)
+            in
+            let latest =
+              Timing.latest_bus_cycle clk ~buslat
+                ~need:(Timing.start_time clk ~cluster:cl ~cycle:k)
+            in
+            let rec find b =
+              if b > latest then None
+              else if bus_free tables machine ~cycle:b then Some b
+              else find (b + 1)
+            in
+            (match find earliest with
+            | Some b ->
+              bus_take tables ~cycle:b;
+              Hashtbl.replace transfers key b;
+              true
+            | None -> false))
+          (Ddg.preds ddg i)
+      in
+      if not ok then
+        (* Bus congestion: retry this instruction one cycle later by
+           re-running at k+1 would complicate the loop; instead report
+           failure (rare: requires a saturated bus). *)
+        failure :=
+          Some (Printf.sprintf "no bus slot for an operand of %s" ins.Instr.name);
+      List.iter
+        (fun (e : Edge.t) ->
+          if e.distance = 0 then begin
+            in_degree.(e.dst) <- in_degree.(e.dst) - 1;
+            if in_degree.(e.dst) = 0 then ready := e.dst :: !ready
+          end)
+        (Ddg.succs ddg i)))
+  done;
+  (* Loop-carried values crossing clusters also ride the bus; their
+     deadline is an iteration length away, so the earliest free slot
+     always serves. *)
+  if !failure = None then
+    List.iter
+      (fun (e : Edge.t) ->
+        if
+          e.distance > 0
+          && Edge.carries_value e
+          && cluster_of.(e.src) <> cluster_of.(e.dst)
+          && not (Hashtbl.mem transfers (e.src, cluster_of.(e.dst)))
+        then begin
+          let rec find b =
+            if bus_free tables machine ~cycle:b then b else find (b + 1)
+          in
+          let b =
+            find (Timing.earliest_bus_cycle clk ~def_time:(def_time e.src))
+          in
+          bus_take tables ~cycle:b;
+          Hashtbl.replace transfers (e.src, cluster_of.(e.dst)) b
+        end)
+      (Ddg.edges ddg);
+  match !failure with
+  | Some msg -> Error (Printf.sprintf "List_sched: %s" msg)
+  | None ->
+    (* Iteration length in cycles; II = that length so iterations do
+       not overlap and the modulo wrap never bites. *)
+    let len_cycles =
+      Array.to_list (Array.init n (fun i -> i))
+      |> List.fold_left
+           (fun acc i ->
+             let fin = Q.div (def_time i) cycle_time in
+             max acc (Q.ceil fin))
+           1
+    in
+    let len_cycles =
+      Hashtbl.fold
+        (fun _ b acc -> max acc (b + buslat))
+        transfers len_cycles
+    in
+    let clocking = provisional len_cycles in
+    let placements =
+      Array.init n (fun i ->
+          { Schedule.cluster = cluster_of.(i); cycle = cycle_of.(i) })
+    in
+    let transfers =
+      Hashtbl.fold
+        (fun (src, dst_cluster) b acc ->
+          { Schedule.src; dst_cluster; bus_cycle = b } :: acc)
+        transfers []
+      |> List.sort Stdlib.compare
+    in
+    let sched = Schedule.make ~loop ~machine ~clocking ~placements ~transfers in
+    (match Schedule.validate sched with
+    | Ok () -> Ok sched
+    | Error errs ->
+      Error
+        (Printf.sprintf "List_sched: internal error: %s"
+           (String.concat "; " errs)))
+
+let speedup_of_pipelining ~machine ~cycle_time ~loop () =
+  match
+    ( run ~machine ~cycle_time ~loop (),
+      Homo.schedule ~machine ~cycle_time ~loop () )
+  with
+  | Ok acyclic, Ok (pipelined, _) ->
+    Ok
+      (Schedule.exec_time_ns acyclic ~trip:loop.Loop.trip
+      /. Schedule.exec_time_ns pipelined ~trip:loop.Loop.trip)
+  | Error msg, _ -> Error msg
+  | _, Error msg -> Error msg

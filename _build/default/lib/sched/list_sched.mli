@@ -1,0 +1,29 @@
+(** Acyclic list scheduling — the non-pipelined baseline.
+
+    The paper notes (§5) that loops whose DDG collapses into one big
+    recurrence (e.g. pointer-heavy C code) gain nothing from modulo
+    scheduling and are better served by acyclic scheduling.  This module
+    schedules one iteration at a time on the clustered machine: greedy
+    critical-path list scheduling with on-the-fly cluster selection
+    (earliest-finish cluster, accounting for bus transfer delays).
+
+    The result is returned as a degenerate modulo schedule whose II
+    equals the iteration length, so all downstream tooling (validator,
+    simulator, code emission, energy accounting) applies unchanged. *)
+
+open Hcv_support
+open Hcv_ir
+open Hcv_machine
+
+val run :
+  machine:Machine.t -> cycle_time:Q.t -> loop:Loop.t -> unit
+  -> (Schedule.t, string) result
+(** Iterations do not overlap: consecutive iterations are separated by
+    the full iteration length. *)
+
+val speedup_of_pipelining :
+  machine:Machine.t -> cycle_time:Q.t -> loop:Loop.t -> unit
+  -> (float, string) result
+(** Ratio of the acyclic schedule's execution time to the modulo
+    schedule's, at the loop's trip count — how much software pipelining
+    buys on this loop. *)

@@ -1,0 +1,59 @@
+open Hcv_ir
+open Hcv_machine
+
+let ceil_div a b = (a + b - 1) / b
+
+let res_mii machine ddg =
+  let bound =
+    List.fold_left
+      (fun acc (kind, demand) ->
+        if demand = 0 then acc
+        else begin
+          let avail = Machine.fu_total machine kind in
+          if avail = 0 then
+            invalid_arg
+              (Printf.sprintf "Mii.res_mii: no %s in the machine"
+                 (Opcode.fu_to_string kind));
+          max acc (ceil_div demand avail)
+        end)
+      0 (Ddg.fu_demand ddg)
+  in
+  if Ddg.n_instrs ddg = 0 then 0 else max bound 1
+
+let res_mii_cluster cluster ddg members =
+  List.fold_left
+    (fun acc kind ->
+      let demand =
+        List.fold_left
+          (fun d i -> if Instr.fu (Ddg.instr ddg i) = kind then d + 1 else d)
+          0 members
+      in
+      if demand = 0 then acc
+      else begin
+        let avail = Cluster.fu_count cluster kind in
+        if avail = 0 then max_int (* unschedulable in this cluster *)
+        else max acc (ceil_div demand avail)
+      end)
+    0 Opcode.all_fu_kinds
+
+let rec_mii = Recurrence.rec_mii
+
+let mii machine ddg = max 1 (max (res_mii machine ddg) (rec_mii ddg))
+
+type constraint_class =
+  | Resource_constrained
+  | Borderline
+  | Recurrence_constrained
+
+let classify machine ddg =
+  let res = res_mii machine ddg and re = rec_mii ddg in
+  (* Table 2 uses: recMII < resMII | resMII <= recMII < 1.3 resMII |
+     1.3 resMII <= recMII, comparing with exact arithmetic. *)
+  if re < res then Resource_constrained
+  else if 10 * re < 13 * res then Borderline
+  else Recurrence_constrained
+
+let class_to_string = function
+  | Resource_constrained -> "resource"
+  | Borderline -> "borderline"
+  | Recurrence_constrained -> "recurrence"

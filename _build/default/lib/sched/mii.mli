@@ -1,0 +1,28 @@
+(** Minimum initiation interval bounds for homogeneous machines
+    (Rau's resMII / recMII, paper §2.2). *)
+
+val res_mii : Hcv_machine.Machine.t -> Hcv_ir.Ddg.t -> int
+(** Resource-constrained bound: max over resource kinds of
+    [ceil(demand / machine-wide count)].  Kinds with demand but no
+    resource raise [Invalid_argument].  At least 1 for non-empty
+    loops. *)
+
+val res_mii_cluster : Hcv_machine.Cluster.t -> Hcv_ir.Ddg.t -> Hcv_ir.Instr.id list -> int
+(** Same bound restricted to the instructions assigned to one
+    cluster. *)
+
+val rec_mii : Hcv_ir.Ddg.t -> int
+(** Recurrence-constrained bound (0 when the loop has no
+    recurrence). *)
+
+val mii : Hcv_machine.Machine.t -> Hcv_ir.Ddg.t -> int
+(** [max (res_mii, rec_mii, 1)]. *)
+
+type constraint_class =
+  | Resource_constrained  (** recMII < resMII *)
+  | Borderline  (** resMII <= recMII < 1.3 * resMII *)
+  | Recurrence_constrained  (** recMII >= 1.3 * resMII *)
+      (** The paper's Table 2 classification of loops. *)
+
+val classify : Hcv_machine.Machine.t -> Hcv_ir.Ddg.t -> constraint_class
+val class_to_string : constraint_class -> string

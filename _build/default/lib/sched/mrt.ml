@@ -1,0 +1,100 @@
+open Hcv_ir
+open Hcv_machine
+
+type cluster_table = {
+  ii : int;
+  capacity : Opcode.fu_kind -> int;
+  used : (Opcode.fu_kind, int array) Hashtbl.t;
+}
+
+type t = {
+  clusters : cluster_table array;
+  bus_ii : int;
+  bus_capacity : int;
+  bus_used : int array;
+}
+
+let create machine clocking =
+  if Machine.n_clusters machine <> Clocking.n_clusters clocking then
+    invalid_arg "Mrt.create: cluster count mismatch";
+  let clusters =
+    Array.mapi
+      (fun i cluster ->
+        let ii = clocking.Clocking.cluster_ii.(i) in
+        let used = Hashtbl.create 4 in
+        List.iter
+          (fun kind -> Hashtbl.replace used kind (Array.make ii 0))
+          Opcode.all_fu_kinds;
+        { ii; capacity = Cluster.fu_count cluster; used })
+      machine.Machine.clusters
+  in
+  {
+    clusters;
+    bus_ii = clocking.Clocking.icn_ii;
+    bus_capacity = machine.Machine.icn.Icn.buses;
+    bus_used = Array.make clocking.Clocking.icn_ii 0;
+  }
+
+let slot_of ii cycle =
+  if cycle < 0 then invalid_arg "Mrt: negative cycle";
+  cycle mod ii
+
+let row ct kind =
+  match Hashtbl.find_opt ct.used kind with
+  | Some r -> r
+  | None -> invalid_arg "Mrt: unknown fu kind"
+
+let fu_available t ~cluster ~kind ~cycle =
+  let ct = t.clusters.(cluster) in
+  (row ct kind).(slot_of ct.ii cycle) < ct.capacity kind
+
+let fu_reserve t ~cluster ~kind ~cycle =
+  let ct = t.clusters.(cluster) in
+  let r = row ct kind in
+  let s = slot_of ct.ii cycle in
+  if r.(s) >= ct.capacity kind then invalid_arg "Mrt.fu_reserve: slot full";
+  r.(s) <- r.(s) + 1
+
+let fu_release t ~cluster ~kind ~cycle =
+  let ct = t.clusters.(cluster) in
+  let r = row ct kind in
+  let s = slot_of ct.ii cycle in
+  if r.(s) <= 0 then invalid_arg "Mrt.fu_release: slot empty";
+  r.(s) <- r.(s) - 1
+
+let bus_available t ~cycle = t.bus_used.(slot_of t.bus_ii cycle) < t.bus_capacity
+
+let bus_reserve t ~cycle =
+  let s = slot_of t.bus_ii cycle in
+  if t.bus_used.(s) >= t.bus_capacity then
+    invalid_arg "Mrt.bus_reserve: slot full";
+  t.bus_used.(s) <- t.bus_used.(s) + 1
+
+let bus_release t ~cycle =
+  let s = slot_of t.bus_ii cycle in
+  if t.bus_used.(s) <= 0 then invalid_arg "Mrt.bus_release: slot empty";
+  t.bus_used.(s) <- t.bus_used.(s) - 1
+
+let fu_used t ~cluster ~kind ~slot = (row t.clusters.(cluster) kind).(slot)
+let bus_used t ~slot = t.bus_used.(slot)
+
+let clear t =
+  Array.iter
+    (fun ct -> Hashtbl.iter (fun _ r -> Array.fill r 0 (Array.length r) 0) ct.used)
+    t.clusters;
+  Array.fill t.bus_used 0 (Array.length t.bus_used) 0
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>mrt:";
+  Array.iteri
+    (fun i ct ->
+      Format.fprintf ppf "@,  C%d (II=%d):" i ct.ii;
+      List.iter
+        (fun kind ->
+          let r = row ct kind in
+          Format.fprintf ppf " %a=[%s]" Opcode.pp_fu kind
+            (String.concat ";" (Array.to_list (Array.map string_of_int r))))
+        Opcode.all_fu_kinds)
+    t.clusters;
+  Format.fprintf ppf "@,  bus (II=%d cap=%d): [%s]@]" t.bus_ii t.bus_capacity
+    (String.concat ";" (Array.to_list (Array.map string_of_int t.bus_used)))

@@ -1,0 +1,35 @@
+(** Modulo reservation tables.
+
+    One table per cluster (II_C columns, one row per functional-unit
+    kind with the cluster's capacity) plus one for the ICN buses (II_ICN
+    columns, capacity = number of buses).  An operation issued at
+    absolute cycle [k] occupies column [k mod II] of its domain. *)
+
+open Hcv_ir
+open Hcv_machine
+
+type t
+
+val create : Machine.t -> Clocking.t -> t
+(** Empty tables for the given clocking.
+    @raise Invalid_argument on cluster-count mismatch. *)
+
+val fu_available : t -> cluster:int -> kind:Opcode.fu_kind -> cycle:int -> bool
+val fu_reserve : t -> cluster:int -> kind:Opcode.fu_kind -> cycle:int -> unit
+(** @raise Invalid_argument when the slot is full (callers must check
+    {!fu_available} first). *)
+
+val fu_release : t -> cluster:int -> kind:Opcode.fu_kind -> cycle:int -> unit
+(** @raise Invalid_argument when the slot is already empty. *)
+
+val bus_available : t -> cycle:int -> bool
+val bus_reserve : t -> cycle:int -> unit
+val bus_release : t -> cycle:int -> unit
+
+val fu_used : t -> cluster:int -> kind:Opcode.fu_kind -> slot:int -> int
+(** Occupancy of one column (for tests and pretty-printing). *)
+
+val bus_used : t -> slot:int -> int
+
+val clear : t -> unit
+val pp : Format.formatter -> t -> unit

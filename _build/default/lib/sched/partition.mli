@@ -1,0 +1,39 @@
+(** Multilevel graph partitioning for cluster assignment (paper §4.1,
+    following Aletà et al. MICRO'01 / PACT'02).
+
+    The DDG is repeatedly *coarsened* by heavy-edge matching until at
+    most as many macronodes remain as there are clusters; the coarsest
+    graph gets an initial assignment; then each level is *refined* by
+    greedy node moves guided by an externally supplied score (the
+    homogeneous baseline scores pseudo-schedules with {!Pseudo.score};
+    the heterogeneous scheduler scores predicted ED²).
+
+    Nodes may be pre-assigned ([fixed]): they are kept in their cluster
+    through coarsening (only compatible macronodes merge) and never
+    moved during refinement — this implements the paper's pre-placement
+    of critical recurrences (§4.1.1). *)
+
+open Hcv_ir
+
+type result = { assignment : int array; score : float }
+
+val run :
+  n_clusters:int -> ddg:Ddg.t -> ?fixed:(Instr.id * int) list
+  -> ?groups:Instr.id list list -> ?seed:int -> score:(int array -> float)
+  -> unit -> result
+(** [score] maps a full per-instruction assignment to a cost (lower is
+    better); it is called many times and should be cheap.  [seed]
+    (default 0) perturbs tie-breaking deterministically.
+
+    [groups] lists sets of instructions that must stay together through
+    coarsening (the paper keeps recurrences whole, §4.1.1): each group
+    becomes a single macronode one level above the instruction level, so
+    groups can only be split by instruction-level refinement moves.
+    Groups must be disjoint; instructions of one group must not carry
+    conflicting [fixed] clusters.
+    @raise Invalid_argument if [n_clusters < 1], an id is out of range,
+    a fixed cluster is out of range, or groups overlap/conflict. *)
+
+val initial_even : n_clusters:int -> Ddg.t -> int array
+(** A trivial deterministic assignment (round-robin over a topological
+    order) — used as a fallback and in tests. *)

@@ -1,0 +1,197 @@
+open Hcv_support
+open Hcv_ir
+open Hcv_machine
+
+type t = {
+  schedule : Schedule.t;
+  overflow : int;
+  back_violations : int;
+  regs_ok : bool;
+}
+
+let feasible t = t.overflow = 0 && t.back_violations = 0 && t.regs_ok
+
+let estimate ~machine ~clocking ~loop ~assignment =
+  let ddg = loop.Loop.ddg in
+  let n = Ddg.n_instrs ddg in
+  if Array.length assignment <> n then
+    invalid_arg "Pseudo.estimate: assignment arity mismatch";
+  let it = clocking.Clocking.it in
+  let buslat = machine.Machine.icn.Icn.latency_cycles in
+  let mrt = Mrt.create machine clocking in
+  let cyc = Array.make n 0 in
+  let placed = Array.make n false in
+  let overflow = ref 0 in
+  (* One transfer per (producer, destination cluster); moving a transfer
+     earlier is always safe for already-served consumers. *)
+  let transfers : (int * int, int ref) Hashtbl.t = Hashtbl.create 16 in
+  let start_of i =
+    Timing.start_time clocking ~cluster:assignment.(i) ~cycle:cyc.(i)
+  in
+  let def_of_edge (e : Edge.t) =
+    (* Source definition time under the edge's latency. *)
+    Q.add (start_of e.src)
+      (Q.mul_int
+         (Timing.eff_ct clocking ~cluster:assignment.(e.src)
+            (Ddg.instr ddg e.src))
+         e.latency)
+  in
+  (* Plan (without committing) a bus slot in [earliest, latest]; prefer
+     the earliest free cycle. *)
+  let find_bus ~earliest ~latest =
+    let rec go b = if b > latest then None
+      else if Mrt.bus_available mrt ~cycle:b then Some b
+      else go (b + 1)
+    in
+    if earliest > latest then None else go (max 0 earliest)
+  in
+  (* Serve a cross-cluster value edge for a consumer starting at [need]:
+     reuse (or advance) the transfer, or create one.  Returns false when
+     no bus slot can make the delivery. *)
+  let serve_transfer ~src ~dst_cluster ~need =
+    let key = (src, dst_cluster) in
+    let def = start_of src in
+    let def =
+      Q.add def
+        (Q.mul_int
+           (Timing.eff_ct clocking ~cluster:assignment.(src)
+              (Ddg.instr ddg src))
+           (Instr.latency (Ddg.instr ddg src)))
+    in
+    let earliest = Timing.earliest_bus_cycle clocking ~def_time:def in
+    let latest = Timing.latest_bus_cycle clocking ~buslat ~need in
+    match Hashtbl.find_opt transfers key with
+    | Some b when !b <= latest -> true
+    | Some b -> (
+      (* Existing transfer arrives too late for this consumer; try to
+         move it earlier (earlier arrival serves everyone). *)
+      match find_bus ~earliest ~latest with
+      | Some b' ->
+        Mrt.bus_release mrt ~cycle:!b;
+        Mrt.bus_reserve mrt ~cycle:b';
+        b := b';
+        true
+      | None -> false)
+    | None -> (
+      match find_bus ~earliest ~latest with
+      | Some b ->
+        Mrt.bus_reserve mrt ~cycle:b;
+        Hashtbl.replace transfers key (ref b);
+        true
+      | None -> false)
+  in
+  (* Greedy placement in topological order of the acyclic subgraph. *)
+  List.iter
+    (fun i ->
+      let c = assignment.(i) in
+      let ins = Ddg.instr ddg i in
+      let kind = Instr.fu ins in
+      let ii = clocking.Clocking.cluster_ii.(c) in
+      let ready =
+        List.fold_left
+          (fun acc (e : Edge.t) ->
+            if not placed.(e.src) then acc
+            else begin
+              let def = def_of_edge e in
+              let r =
+                if assignment.(e.src) = c then
+                  Timing.dep_ready_same clocking ~it ~def_time:def
+                    ~distance:e.distance
+                else if Edge.carries_value e then
+                  (* Earliest conceivable arrival through the bus. *)
+                  Q.sub
+                    (Timing.bus_arrival clocking ~buslat
+                       ~bus_cycle:
+                         (Timing.earliest_bus_cycle clocking ~def_time:def))
+                    (Q.mul_int it e.distance)
+                else
+                  Q.sub
+                    (Q.add def (Timing.sync_penalty clocking))
+                    (Q.mul_int it e.distance)
+              in
+              Q.max acc r
+            end)
+          Q.zero (Ddg.preds ddg i)
+      in
+      let e0 = Timing.earliest_cycle clocking ~cluster:c ~ready in
+      let try_cycle k =
+        if not (Mrt.fu_available mrt ~cluster:c ~kind ~cycle:k) then false
+        else begin
+          (* Tentatively adopt cycle k to compute consumer needs. *)
+          let prev = cyc.(i) in
+          cyc.(i) <- k;
+          let ok =
+            List.for_all
+              (fun (e : Edge.t) ->
+                (not placed.(e.src))
+                || assignment.(e.src) = c
+                || (not (Edge.carries_value e))
+                ||
+                let need = Q.add (start_of i) (Q.mul_int it e.distance) in
+                serve_transfer ~src:e.src ~dst_cluster:c ~need)
+              (Ddg.preds ddg i)
+          in
+          if not ok then cyc.(i) <- prev;
+          ok
+        end
+      in
+      let rec place k tries =
+        if tries = 0 then begin
+          (* Overbook at the dependence-ready cycle. *)
+          incr overflow;
+          cyc.(i) <- e0
+        end
+        else if try_cycle k then Mrt.fu_reserve mrt ~cluster:c ~kind ~cycle:k
+        else place (k + 1) (tries - 1)
+      in
+      place e0 (max ii 1);
+      placed.(i) <- true)
+    (Ddg.topo_order ddg);
+  (* Loop-carried dependences: check, and reserve buses for the value
+     transfers the greedy forward pass did not see. *)
+  let back_violations = ref 0 in
+  List.iter
+    (fun (e : Edge.t) ->
+      if e.distance > 0 then begin
+        let lhs = Q.add (start_of e.dst) (Q.mul_int it e.distance) in
+        let def = def_of_edge e in
+        if assignment.(e.src) = assignment.(e.dst) then begin
+          if Q.( < ) lhs def then incr back_violations
+        end
+        else if Edge.carries_value e then begin
+          if not (serve_transfer ~src:e.src ~dst_cluster:assignment.(e.dst) ~need:lhs)
+          then incr back_violations
+        end
+        else if Q.( < ) lhs (Q.add def (Timing.sync_penalty clocking)) then
+          incr back_violations
+      end)
+    (Ddg.edges ddg);
+  let placements =
+    Array.init n (fun i ->
+        { Schedule.cluster = assignment.(i); cycle = cyc.(i) })
+  in
+  let transfer_list =
+    Hashtbl.fold
+      (fun (src, dst_cluster) b acc ->
+        { Schedule.src; dst_cluster; bus_cycle = !b } :: acc)
+      transfers []
+    |> List.sort Stdlib.compare
+  in
+  let schedule =
+    Schedule.make ~loop ~machine ~clocking ~placements ~transfers:transfer_list
+  in
+  let regs_ok =
+    let spans = Schedule.lifetimes_ns schedule in
+    Array.for_all2
+      (fun span (cl : Cluster.t) ->
+        Q.( <= ) span (Q.mul_int it cl.Cluster.registers))
+      spans machine.Machine.clusters
+  in
+  { schedule; overflow = !overflow; back_violations = !back_violations; regs_ok }
+
+let score t =
+  (float_of_int t.overflow *. 1e12)
+  +. (float_of_int t.back_violations *. 1e9)
+  +. (if t.regs_ok then 0.0 else 1e7)
+  +. (float_of_int (Schedule.n_comms t.schedule) *. 100.0)
+  +. Q.to_float (Schedule.it_length t.schedule)

@@ -1,0 +1,154 @@
+open Hcv_support
+open Hcv_ir
+open Hcv_machine
+
+type value = {
+  producer : Instr.id;
+  cluster : int;
+  via_bus : bool;
+  birth : Q.t;
+  span : Q.t;
+  instances : int;
+}
+
+type t = {
+  values : value list;
+  max_lives : int array;
+  mve_factor : int;
+  fits : bool array;
+}
+
+(* Collect every value's (cluster, birth, death): producer-side copies
+   live from definition to last local read or bus send; bus-delivered
+   copies live in the destination cluster from arrival to last read
+   there.  Mirrors Schedule.lifetimes_ns, but keeps the per-value
+   structure. *)
+let collect (sched : Schedule.t) =
+  let ddg = sched.Schedule.loop.Loop.ddg in
+  let it = sched.Schedule.clocking.Clocking.it in
+  let buslat = sched.Schedule.machine.Machine.icn.Icn.latency_cycles in
+  let values = ref [] in
+  let read_time (e : Edge.t) =
+    Q.add (Schedule.start_time sched e.dst) (Q.mul_int it e.distance)
+  in
+  Array.iteri
+    (fun i (p : Schedule.placement) ->
+      let birth = Schedule.def_time sched i in
+      let death = ref birth in
+      List.iter
+        (fun (e : Edge.t) ->
+          if
+            Edge.carries_value e
+            && sched.Schedule.placements.(e.dst).Schedule.cluster
+               = p.Schedule.cluster
+          then death := Q.max !death (read_time e))
+        (Ddg.succs ddg i);
+      List.iter
+        (fun (tr : Schedule.transfer) ->
+          if tr.Schedule.src = i then
+            death :=
+              Q.max !death
+                (Q.mul_int sched.Schedule.clocking.Clocking.icn_ct
+                   tr.Schedule.bus_cycle))
+        sched.Schedule.transfers;
+      let span = Q.sub !death birth in
+      if Q.sign span > 0 then
+        values :=
+          {
+            producer = i;
+            cluster = p.Schedule.cluster;
+            via_bus = false;
+            birth;
+            span;
+            instances = max 1 (Q.ceil (Q.div span it));
+          }
+          :: !values)
+    sched.Schedule.placements;
+  List.iter
+    (fun (tr : Schedule.transfer) ->
+      let birth =
+        Q.mul_int sched.Schedule.clocking.Clocking.icn_ct
+          (tr.Schedule.bus_cycle + buslat)
+      in
+      let death = ref birth in
+      List.iter
+        (fun (e : Edge.t) ->
+          if
+            Edge.carries_value e
+            && sched.Schedule.placements.(e.dst).Schedule.cluster
+               = tr.Schedule.dst_cluster
+          then death := Q.max !death (read_time e))
+        (Ddg.succs ddg tr.Schedule.src);
+      let span = Q.sub !death birth in
+      if Q.sign span > 0 then
+        values :=
+          {
+            producer = tr.Schedule.src;
+            cluster = tr.Schedule.dst_cluster;
+            via_bus = true;
+            birth;
+            span;
+            instances = max 1 (Q.ceil (Q.div span it));
+          }
+          :: !values)
+    sched.Schedule.transfers;
+  List.rev !values
+
+(* Steady-state live count of one value at kernel phase [phi]: copies
+   from iterations whose span covers phi.  With birth phase beta and
+   span L: delta = (phi - beta) mod IT, count = floor((L - delta)/IT)+1
+   when L > delta else 0. *)
+let live_at it (v : value) phi =
+  let beta =
+    let m = Q.sub v.birth (Q.mul_int it (Q.floor (Q.div v.birth it))) in
+    m
+  in
+  let delta =
+    let d = Q.sub phi beta in
+    if Q.sign d >= 0 then d else Q.add d it
+  in
+  if Q.( > ) v.span delta then Q.floor (Q.div (Q.sub v.span delta) it) + 1
+  else 0
+
+let rec gcd a b = if b = 0 then a else gcd b (a mod b)
+let lcm a b = a / gcd a b * b
+
+let analyze (sched : Schedule.t) =
+  let it = sched.Schedule.clocking.Clocking.it in
+  let machine = sched.Schedule.machine in
+  let n_clusters = Machine.n_clusters machine in
+  let values = collect sched in
+  (* Candidate phases: just after each birth (local maxima of the live
+     count). *)
+  let phases =
+    List.map
+      (fun v ->
+        Q.sub v.birth (Q.mul_int it (Q.floor (Q.div v.birth it))))
+      values
+    |> List.sort_uniq Q.compare
+  in
+  let max_lives =
+    Array.init n_clusters (fun cl ->
+        let vs = List.filter (fun v -> v.cluster = cl) values in
+        List.fold_left
+          (fun acc phi ->
+            max acc (List.fold_left (fun s v -> s + live_at it v phi) 0 vs))
+          0 phases)
+  in
+  let mve_factor =
+    List.fold_left (fun acc v -> lcm acc (max 1 v.instances)) 1 values
+  in
+  let fits =
+    Array.mapi
+      (fun cl lives ->
+        lives <= (Machine.cluster machine cl).Cluster.registers)
+      max_lives
+  in
+  { values; max_lives; mve_factor; fits }
+
+let pp ppf t =
+  Format.fprintf ppf "regalloc{values=%d; maxlives=[%s]; mve=%d; fits=%s}"
+    (List.length t.values)
+    (String.concat ";" (Array.to_list (Array.map string_of_int t.max_lives)))
+    t.mve_factor
+    (if Array.for_all Fun.id t.fits then "yes" else "NO")

@@ -1,0 +1,39 @@
+(** Register requirements of a modulo schedule.
+
+    In a software-pipelined loop a value may stay live longer than one
+    initiation interval, so several instances of it (from consecutive
+    iterations) are live at once.  Machines with rotating register files
+    handle this in hardware; others need modulo variable expansion
+    (MVE): the kernel is replicated so that each live instance gets its
+    own architectural register.
+
+    This module computes, from a validated schedule:
+    - per-value lifetimes and instance counts,
+    - MaxLives per cluster (the steady-state peak of simultaneously
+      live values — the classical lower bound on registers),
+    - the MVE factor (how many kernel copies a non-rotating machine
+      needs),
+    - whether the schedule fits each cluster's register file. *)
+
+open Hcv_support
+open Hcv_ir
+
+type value = {
+  producer : Instr.id;
+  cluster : int;  (** register file holding this value *)
+  via_bus : bool;  (** true for the copy living in a consumer cluster *)
+  birth : Q.t;  (** definition or bus-arrival time, ns *)
+  span : Q.t;  (** lifetime length, ns *)
+  instances : int;  (** ceil(span / IT), concurrent live copies *)
+}
+
+type t = {
+  values : value list;
+  max_lives : int array;  (** per cluster, steady-state peak *)
+  mve_factor : int;  (** lcm of instance counts (1 if none exceeds 1) *)
+  fits : bool array;  (** max_lives <= registers, per cluster *)
+}
+
+val analyze : Schedule.t -> t
+
+val pp : Format.formatter -> t -> unit

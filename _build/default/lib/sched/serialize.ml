@@ -1,0 +1,154 @@
+open Hcv_support
+open Hcv_ir
+open Hcv_machine
+
+let to_string (s : Schedule.t) =
+  let buf = Buffer.create 512 in
+  let ddg = s.Schedule.loop.Loop.ddg in
+  let name i = (Ddg.instr ddg i).Instr.name in
+  Buffer.add_string buf
+    (Printf.sprintf "schedule %s\n" s.Schedule.loop.Loop.name);
+  Buffer.add_string buf
+    (Printf.sprintf "  it %s\n" (Q.to_string s.Schedule.clocking.Clocking.it));
+  Array.iteri
+    (fun i ii ->
+      Buffer.add_string buf
+        (Printf.sprintf "  domain C%d ii %d ct %s\n" i ii
+           (Q.to_string s.Schedule.clocking.Clocking.cluster_ct.(i))))
+    s.Schedule.clocking.Clocking.cluster_ii;
+  Buffer.add_string buf
+    (Printf.sprintf "  domain ICN ii %d ct %s\n"
+       s.Schedule.clocking.Clocking.icn_ii
+       (Q.to_string s.Schedule.clocking.Clocking.icn_ct));
+  Buffer.add_string buf
+    (Printf.sprintf "  domain cache ii %d ct %s\n"
+       s.Schedule.clocking.Clocking.cache_ii
+       (Q.to_string s.Schedule.clocking.Clocking.cache_ct));
+  Array.iteri
+    (fun i (p : Schedule.placement) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  place %s %d %d\n" (name i) p.Schedule.cluster
+           p.Schedule.cycle))
+    s.Schedule.placements;
+  List.iter
+    (fun (tr : Schedule.transfer) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  copy %s %d %d\n" (name tr.Schedule.src)
+           tr.Schedule.dst_cluster tr.Schedule.bus_cycle))
+    s.Schedule.transfers;
+  Buffer.add_string buf "end\n";
+  Buffer.contents buf
+
+exception Bad of string
+
+let parse_q what s =
+  match String.split_on_char '/' s with
+  | [ n ] -> (
+    match int_of_string_opt n with
+    | Some v -> Q.of_int v
+    | None -> raise (Bad (Printf.sprintf "bad %s %S" what s)))
+  | [ n; d ] -> (
+    match (int_of_string_opt n, int_of_string_opt d) with
+    | Some n, Some d when d > 0 -> Q.make n d
+    | _, _ -> raise (Bad (Printf.sprintf "bad %s %S" what s)))
+  | _ -> raise (Bad (Printf.sprintf "bad %s %S" what s))
+
+let parse_int what s =
+  match int_of_string_opt s with
+  | Some v -> v
+  | None -> raise (Bad (Printf.sprintf "bad %s %S" what s))
+
+let of_string ~machine ~loop text =
+  let ddg = loop.Loop.ddg in
+  let n = Ddg.n_instrs ddg in
+  let n_clusters = Machine.n_clusters machine in
+  let resolve nm =
+    match Ddg.find_instr ddg nm with
+    | Some ins -> ins.Instr.id
+    | None -> raise (Bad (Printf.sprintf "unknown instruction %S" nm))
+  in
+  try
+    let it = ref None in
+    let cluster_ii = Array.make n_clusters 0 in
+    let cluster_ct = Array.make n_clusters Q.one in
+    let icn = ref None and cache = ref None in
+    let placements = Array.make n None in
+    let transfers = ref [] in
+    List.iter
+      (fun line ->
+        let tokens =
+          String.split_on_char ' ' line |> List.filter (fun t -> t <> "")
+        in
+        match tokens with
+        | [] | "schedule" :: _ | [ "end" ] -> ()
+        | [ "it"; v ] -> it := Some (parse_q "it" v)
+        | [ "domain"; dom; "ii"; ii; "ct"; ct ] -> (
+          let ii = parse_int "ii" ii and ct = parse_q "ct" ct in
+          match dom with
+          | "ICN" -> icn := Some (ii, ct)
+          | "cache" -> cache := Some (ii, ct)
+          | _ ->
+            if String.length dom < 2 || dom.[0] <> 'C' then
+              raise (Bad (Printf.sprintf "bad domain %S" dom));
+            let c = parse_int "cluster" (String.sub dom 1 (String.length dom - 1)) in
+            if c < 0 || c >= n_clusters then
+              raise (Bad (Printf.sprintf "cluster %d out of range" c));
+            cluster_ii.(c) <- ii;
+            cluster_ct.(c) <- ct)
+        | [ "place"; nm; cl; cyc ] ->
+          placements.(resolve nm) <-
+            Some
+              {
+                Schedule.cluster = parse_int "cluster" cl;
+                cycle = parse_int "cycle" cyc;
+              }
+        | [ "copy"; nm; dcl; b ] ->
+          transfers :=
+            {
+              Schedule.src = resolve nm;
+              dst_cluster = parse_int "cluster" dcl;
+              bus_cycle = parse_int "bus cycle" b;
+            }
+            :: !transfers
+        | tok :: _ -> raise (Bad (Printf.sprintf "unknown directive %S" tok)))
+      (String.split_on_char '\n' text);
+    let it = match !it with Some v -> v | None -> raise (Bad "missing it") in
+    let icn_ii, icn_ct =
+      match !icn with Some v -> v | None -> raise (Bad "missing ICN domain")
+    in
+    let cache_ii, cache_ct =
+      match !cache with
+      | Some v -> v
+      | None -> raise (Bad "missing cache domain")
+    in
+    let placements =
+      Array.mapi
+        (fun i p ->
+          match p with
+          | Some p -> p
+          | None ->
+            raise
+              (Bad
+                 (Printf.sprintf "missing placement for %s"
+                    (Ddg.instr ddg i).Instr.name)))
+        placements
+    in
+    let clocking =
+      {
+        Clocking.it;
+        cluster_ii;
+        cluster_ct;
+        icn_ii;
+        icn_ct;
+        cache_ii;
+        cache_ct;
+      }
+    in
+    let sched =
+      Schedule.make ~loop ~machine ~clocking ~placements
+        ~transfers:(List.rev !transfers)
+    in
+    match Schedule.validate sched with
+    | Ok () -> Ok sched
+    | Error errs -> Error (String.concat "; " errs)
+  with Bad msg -> Error msg

@@ -1,0 +1,30 @@
+(** Textual serialisation of schedules.
+
+    A schedule is stored as a line-oriented block (in the spirit of the
+    [.loop] DSL) recording the initiation time, the per-domain (II,
+    cycle-time) pairs, every placement and every bus transfer:
+
+    {v
+    schedule dotprod
+      it 27/5
+      domain C0 ii 6 ct 9/10
+      domain ICN ii 6 ct 9/10
+      domain cache ii 6 ct 9/10
+      place mul 0 3          # instruction, cluster, cycle
+      copy mul 1 4           # source, destination cluster, bus cycle
+    end
+    v}
+
+    Deserialisation needs the machine and the loop (the schedule only
+    references them), validates the clocking against the machine shape
+    and re-runs the full {!Schedule.validate}. *)
+
+open Hcv_ir
+open Hcv_machine
+
+val to_string : Schedule.t -> string
+
+val of_string :
+  machine:Machine.t -> loop:Loop.t -> string -> (Schedule.t, string) result
+(** Round-trips [to_string]; rejects unknown instruction names, malformed
+    domains and semantically invalid schedules. *)

@@ -1,0 +1,37 @@
+open Hcv_support
+open Hcv_ir
+
+let eff_ct clocking ~cluster ins =
+  let ct = clocking.Clocking.cluster_ct.(cluster) in
+  match Instr.fu ins with
+  | Opcode.Mem_port -> Q.max ct clocking.Clocking.cache_ct
+  | Opcode.Int_fu | Opcode.Fp_fu -> ct
+
+let start_time clocking ~cluster ~cycle =
+  Q.mul_int clocking.Clocking.cluster_ct.(cluster) cycle
+
+let def_time clocking ~cluster ~cycle ins =
+  Q.add (start_time clocking ~cluster ~cycle)
+    (Q.mul_int (eff_ct clocking ~cluster ins) (Instr.latency ins))
+
+let earliest_bus_cycle clocking ~def_time =
+  (* One sync cycle: the transfer may start at the first ICN cycle
+     boundary at least one ICN cycle after the value is ready. *)
+  let ct = clocking.Clocking.icn_ct in
+  max 0 (Q.ceil (Q.div (Q.add def_time ct) ct))
+
+let latest_bus_cycle clocking ~buslat ~need =
+  let ct = clocking.Clocking.icn_ct in
+  Q.floor (Q.div need ct) - buslat
+
+let bus_arrival clocking ~buslat ~bus_cycle =
+  Q.mul_int clocking.Clocking.icn_ct (bus_cycle + buslat)
+
+let earliest_cycle clocking ~cluster ~ready =
+  let ct = clocking.Clocking.cluster_ct.(cluster) in
+  max 0 (Q.ceil (Q.div ready ct))
+
+let dep_ready_same _clocking ~it ~def_time ~distance =
+  Q.sub def_time (Q.mul_int it distance)
+
+let sync_penalty clocking = clocking.Clocking.icn_ct

@@ -1,0 +1,51 @@
+(** The timing rules shared by the scheduler, the schedule validator and
+    the cycle simulator.
+
+    All times are exact rationals in ns, measured from the start of the
+    kernel's iteration 0.
+
+    Rules:
+    - an instruction issued at cycle [k] of cluster [c] starts at
+      [k * ct_c] and defines its value at [(k + latency) * ct_eff],
+      where [ct_eff = ct_c] except for memory operations, which advance
+      at [max ct_c ct_cache] per cycle (the cache cannot deliver faster
+      than its own clock; the paper always clocks the cache with the
+      fastest cluster so this never bites in the evaluation);
+    - a same-cluster dependence of distance [d] requires
+      [start(dst) + d*IT >= def_time(src)];
+    - a cross-cluster value transfer enters a synchronisation queue for
+      one ICN cycle, occupies a bus for [Icn.latency_cycles] ICN cycles
+      starting at bus cycle [b], and arrives at
+      [(b + latency_cycles) * ct_icn]; the consumer then requires
+      [start(dst) + d*IT >= arrival];
+    - cross-cluster dependences that carry no value (anti/output/memory
+      ordering) need no bus but pay one ICN cycle of synchronisation:
+      [start(dst) + d*IT >= def_time(src) + ct_icn]. *)
+
+open Hcv_support
+open Hcv_ir
+
+val eff_ct : Clocking.t -> cluster:int -> Instr.t -> Q.t
+val start_time : Clocking.t -> cluster:int -> cycle:int -> Q.t
+val def_time : Clocking.t -> cluster:int -> cycle:int -> Instr.t -> Q.t
+
+val earliest_bus_cycle : Clocking.t -> def_time:Q.t -> int
+(** First bus cycle usable by a value defined at [def_time] (includes
+    the one-cycle synchronisation penalty). *)
+
+val latest_bus_cycle : Clocking.t -> buslat:int -> need:Q.t -> int
+(** Last bus cycle whose arrival is no later than [need] (may be
+    negative, meaning no bus cycle can make it). *)
+
+val bus_arrival : Clocking.t -> buslat:int -> bus_cycle:int -> Q.t
+
+val earliest_cycle : Clocking.t -> cluster:int -> ready:Q.t -> int
+(** First issue cycle of the cluster starting at or after [ready]
+    (never negative). *)
+
+val dep_ready_same : Clocking.t -> it:Q.t -> def_time:Q.t -> distance:int -> Q.t
+(** Earliest start time of the consumer of a same-cluster dependence:
+    [def_time - distance * it]. *)
+
+val sync_penalty : Clocking.t -> Q.t
+(** One ICN cycle, the cost of crossing clock domains without a bus. *)

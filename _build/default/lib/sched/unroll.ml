@@ -1,0 +1,45 @@
+open Hcv_ir
+
+let ddg ~factor g =
+  if factor < 1 then invalid_arg "Unroll.ddg: factor < 1";
+  if factor = 1 then g
+  else begin
+    let n = Ddg.n_instrs g in
+    let instrs =
+      Array.init (n * factor) (fun id ->
+          let c = id / n and orig = id mod n in
+          let ins = Ddg.instr g orig in
+          Instr.make ~id
+            ~name:(Printf.sprintf "%s__u%d" ins.Instr.name c)
+            ~op:ins.Instr.op)
+    in
+    let edges =
+      List.concat_map
+        (fun (e : Edge.t) ->
+          List.init factor (fun c ->
+              (* Destination copy c reads from source copy c', spanning
+                 d_unrolled unrolled iterations. *)
+              let c' = ((c - e.distance) mod factor + factor) mod factor in
+              let d_unrolled = (e.distance - c + c') / factor in
+              Edge.make ~kind:e.kind ~distance:d_unrolled
+                ~src:(e.src + (c' * n))
+                ~dst:(e.dst + (c * n))
+                ~latency:e.latency ()))
+        (Ddg.edges g)
+    in
+    Ddg.of_instrs instrs edges
+  end
+
+let loop ~factor (l : Loop.t) =
+  if factor < 1 then invalid_arg "Unroll.loop: factor < 1";
+  if factor = 1 then l
+  else
+    Loop.make
+      ~trip:(max 1 ((l.Loop.trip + factor - 1) / factor))
+      ~weight:l.Loop.weight
+      ~name:(Printf.sprintf "%s__x%d" l.Loop.name factor)
+      (ddg ~factor l.Loop.ddg)
+
+let copy_of ~factor ~n_orig id =
+  if factor < 1 || n_orig < 1 then invalid_arg "Unroll.copy_of";
+  (id / n_orig, id mod n_orig)

@@ -1,0 +1,28 @@
+(** Loop unrolling (paper §5.3).
+
+    Unrolling multiplies the MIT of a loop, which shrinks the *relative*
+    penalty of increasing the IT for synchronisation when the machine
+    supports few frequencies, and the unroll factor can be chosen so
+    that the resulting IT synchronises directly.
+
+    Unrolling by [factor] k replicates the body k times: copy [c] of an
+    instruction executes original iteration [K*k + c] during unrolled
+    iteration [K].  A dependence of distance [d] from [src] to [dst]
+    becomes, for each destination copy [c], an edge from source copy
+    [(c - d) mod k] with distance [(d - c + c') / k]. *)
+
+open Hcv_ir
+
+val ddg : factor:int -> Ddg.t -> Ddg.t
+(** @raise Invalid_argument if [factor < 1]. *)
+
+val loop : factor:int -> Loop.t -> Loop.t
+(** Unrolls the body and divides the trip count (rounding up; the
+    remainder iterations a production compiler would peel into an
+    epilogue loop are charged as one extra unrolled iteration).  The
+    name gains an [__x<factor>] suffix.  [factor = 1] returns the loop
+    unchanged. *)
+
+val copy_of : factor:int -> n_orig:int -> Instr.id -> int * Instr.id
+(** [copy_of ~factor ~n_orig id] maps an unrolled instruction id back to
+    [(copy index, original id)]. *)

@@ -1,0 +1,1 @@
+lib/sim/pqueue.mli: Hcv_support Q

@@ -1,0 +1,1 @@
+lib/sim/simulator.mli: Activity Format Hcv_energy Hcv_sched Hcv_support Q Schedule Stdlib

@@ -1,0 +1,63 @@
+open Hcv_support
+
+type 'a t = { mutable keys : Q.t array; mutable vals : 'a array; mutable n : int }
+
+let create () = { keys = [||]; vals = [||]; n = 0 }
+let is_empty t = t.n = 0
+let length t = t.n
+
+let grow t v =
+  let cap = max 16 (2 * Array.length t.keys) in
+  let keys = Array.make cap Q.zero and vals = Array.make cap v in
+  Array.blit t.keys 0 keys 0 t.n;
+  Array.blit t.vals 0 vals 0 t.n;
+  t.keys <- keys;
+  t.vals <- vals
+
+let swap t i j =
+  let k = t.keys.(i) and v = t.vals.(i) in
+  t.keys.(i) <- t.keys.(j);
+  t.vals.(i) <- t.vals.(j);
+  t.keys.(j) <- k;
+  t.vals.(j) <- v
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if Q.( < ) t.keys.(i) t.keys.(parent) then begin
+      swap t i parent;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < t.n && Q.( < ) t.keys.(l) t.keys.(!smallest) then smallest := l;
+  if r < t.n && Q.( < ) t.keys.(r) t.keys.(!smallest) then smallest := r;
+  if !smallest <> i then begin
+    swap t i !smallest;
+    sift_down t !smallest
+  end
+
+let push t key v =
+  if t.n >= Array.length t.keys then grow t v;
+  t.keys.(t.n) <- key;
+  t.vals.(t.n) <- v;
+  t.n <- t.n + 1;
+  sift_up t (t.n - 1)
+
+let pop t =
+  if t.n = 0 then None
+  else begin
+    let key = t.keys.(0) and v = t.vals.(0) in
+    t.n <- t.n - 1;
+    if t.n > 0 then begin
+      t.keys.(0) <- t.keys.(t.n);
+      t.vals.(0) <- t.vals.(t.n);
+      sift_down t 0
+    end;
+    Some (key, v)
+  end
+
+let peek_key t = if t.n = 0 then None else Some t.keys.(0)

@@ -1,0 +1,16 @@
+(** A minimal binary min-heap priority queue over rational keys, used by
+    the event-driven simulator. *)
+
+open Hcv_support
+
+type 'a t
+
+val create : unit -> 'a t
+val is_empty : 'a t -> bool
+val length : 'a t -> int
+val push : 'a t -> Q.t -> 'a -> unit
+
+val pop : 'a t -> (Q.t * 'a) option
+(** Smallest key first; ties pop in unspecified order. *)
+
+val peek_key : 'a t -> Q.t option

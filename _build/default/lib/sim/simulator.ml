@@ -1,0 +1,236 @@
+open Hcv_support
+open Hcv_ir
+open Hcv_energy
+open Hcv_machine
+open Hcv_sched
+
+type event =
+  | Issue of { instr : Instr.id; iter : int }
+  | Complete of { instr : Instr.id; iter : int }
+  | Bus_depart of { t_idx : int; iter : int }
+  | Bus_arrive of { t_idx : int; iter : int }
+
+type cache_model = { miss_rate : float; miss_penalty_cycles : int }
+
+type result = {
+  exec_ns : Q.t;
+  n_issues : int;
+  n_transfers : int;
+  n_mem_accesses : int;
+  per_cluster_ins_energy : float array;
+  violations : string list;
+  events : int;
+  n_misses : int;
+  stall_ns : Q.t;
+}
+
+let max_violations = 64
+
+(* Deterministic per-access miss decision: splitmix64 of (instr, iter)
+   compared against the miss rate. *)
+let misses cache ~instr ~iter =
+  match cache with
+  | None -> false
+  | Some { miss_rate; _ } ->
+    let rng = Hcv_support.Rng.create ((instr * 1000003) + iter) in
+    Hcv_support.Rng.chance rng miss_rate
+
+let run ?cache ~schedule ~trip () =
+  if trip < 1 then invalid_arg "Simulator.run: trip < 1";
+  let sched = schedule in
+  let machine = sched.Schedule.machine in
+  let clocking = sched.Schedule.clocking in
+  let loop = sched.Schedule.loop in
+  let ddg = loop.Loop.ddg in
+  let n = Ddg.n_instrs ddg in
+  let it = clocking.Clocking.it in
+  let buslat = machine.Machine.icn.Icn.latency_cycles in
+  let transfers = Array.of_list sched.Schedule.transfers in
+  let violations = ref [] in
+  let n_viol = ref 0 in
+  let violate fmt =
+    Format.kasprintf
+      (fun s ->
+        incr n_viol;
+        if !n_viol <= max_violations then violations := s :: !violations)
+      fmt
+  in
+  (* Deterministic per-(instr, iter) times. *)
+  let issue_time i k = Q.add (Schedule.start_time sched i) (Q.mul_int it k) in
+  let complete_time i k = Q.add (Schedule.def_time sched i) (Q.mul_int it k) in
+  let depart_time ti k =
+    Q.add
+      (Q.mul_int clocking.Clocking.icn_ct transfers.(ti).Schedule.bus_cycle)
+      (Q.mul_int it k)
+  in
+  let arrive_time ti k =
+    Q.add
+      (Q.mul_int clocking.Clocking.icn_ct
+         (transfers.(ti).Schedule.bus_cycle + buslat))
+      (Q.mul_int it k)
+  in
+  (* Build the event queue. *)
+  let q = Pqueue.create () in
+  for k = 0 to trip - 1 do
+    for i = 0 to n - 1 do
+      Pqueue.push q (issue_time i k) (Issue { instr = i; iter = k });
+      Pqueue.push q (complete_time i k) (Complete { instr = i; iter = k })
+    done;
+    Array.iteri
+      (fun ti _ ->
+        Pqueue.push q (depart_time ti k) (Bus_depart { t_idx = ti; iter = k });
+        Pqueue.push q (arrive_time ti k) (Bus_arrive { t_idx = ti; iter = k }))
+      transfers
+  done;
+  (* Occupancy tracking per absolute cycle of each domain. *)
+  let fu_busy : (int * Opcode.fu_kind * int, int) Hashtbl.t =
+    Hashtbl.create 1024
+  in
+  let bus_busy : (int, int) Hashtbl.t = Hashtbl.create 1024 in
+  let bump tbl key cap what =
+    let v = 1 + Option.value (Hashtbl.find_opt tbl key) ~default:0 in
+    Hashtbl.replace tbl key v;
+    if v > cap then violate "%s over capacity (%d > %d)" what v cap
+  in
+  (* Find the transfer serving a cross-cluster value edge. *)
+  let transfer_for src dst_cluster =
+    let found = ref (-1) in
+    Array.iteri
+      (fun ti (tr : Schedule.transfer) ->
+        if !found = -1 && tr.Schedule.src = src
+           && tr.Schedule.dst_cluster = dst_cluster
+        then found := ti)
+      transfers;
+    !found
+  in
+  let sync = Timing.sync_penalty clocking in
+  let check_operands i k now =
+    List.iter
+      (fun (e : Edge.t) ->
+        let src_iter = k - e.distance in
+        if src_iter >= 0 then begin
+          let p = sched.Schedule.placements.(e.src) in
+          let pd = sched.Schedule.placements.(i) in
+          if p.Schedule.cluster = pd.Schedule.cluster then begin
+            (* The edge's latency may be below the full instruction
+               latency (e.g. 0-latency orderings). *)
+            let avail =
+              Q.add
+                (Q.add (issue_time e.src src_iter)
+                   (Q.mul_int
+                      (Timing.eff_ct clocking ~cluster:p.Schedule.cluster
+                         (Ddg.instr ddg e.src))
+                      e.latency))
+                Q.zero
+            in
+            if Q.( < ) now avail then
+              violate "iter %d: %a issued at %a before operand ready at %a" k
+                Edge.pp e Q.pp now Q.pp avail
+          end
+          else if Edge.carries_value e then begin
+            match transfer_for e.src pd.Schedule.cluster with
+            | -1 -> violate "iter %d: missing transfer for %a" k Edge.pp e
+            | ti ->
+              let avail = arrive_time ti src_iter in
+              if Q.( < ) now avail then
+                violate "iter %d: %a issued at %a before arrival at %a" k
+                  Edge.pp e Q.pp now Q.pp avail
+          end
+          else begin
+            let avail = Q.add (complete_time e.src src_iter) sync in
+            if Q.( < ) now avail then
+              violate "iter %d: %a issued at %a before sync'd source at %a" k
+                Edge.pp e Q.pp now Q.pp avail
+          end
+        end)
+      (Ddg.preds ddg i)
+  in
+  let per_cluster = Array.make (Machine.n_clusters machine) 0.0 in
+  let n_issues = ref 0 and n_transfers = ref 0 and n_mem = ref 0 in
+  let n_misses = ref 0 in
+  let stall = ref Q.zero in
+  let events = ref 0 in
+  let last = ref Q.zero in
+  let continue_ = ref true in
+  while !continue_ do
+    match Pqueue.pop q with
+    | None -> continue_ := false
+    | Some (now, ev) ->
+      incr events;
+      last := Q.max !last now;
+      (match ev with
+      | Issue { instr = i; iter = k } ->
+        let p = sched.Schedule.placements.(i) in
+        let ins = Ddg.instr ddg i in
+        let kind = Instr.fu ins in
+        incr n_issues;
+        per_cluster.(p.Schedule.cluster) <-
+          per_cluster.(p.Schedule.cluster) +. Instr.energy ins;
+        if kind = Opcode.Mem_port then begin
+          incr n_mem;
+          if misses cache ~instr:i ~iter:k then begin
+            incr n_misses;
+            stall :=
+              Q.add !stall
+                (Q.mul_int clocking.Clocking.cache_ct
+                   (match cache with
+                   | Some c -> c.miss_penalty_cycles
+                   | None -> 0))
+          end
+        end;
+        let abs_cycle =
+          p.Schedule.cycle + (k * clocking.Clocking.cluster_ii.(p.Schedule.cluster))
+        in
+        bump fu_busy
+          (p.Schedule.cluster, kind, abs_cycle)
+          (Cluster.fu_count (Machine.cluster machine p.Schedule.cluster) kind)
+          (Printf.sprintf "C%d %s cycle %d" p.Schedule.cluster
+             (Opcode.fu_to_string kind) abs_cycle);
+        check_operands i k now
+      | Complete _ -> ()
+      | Bus_depart { t_idx = ti; iter = k } ->
+        let tr = transfers.(ti) in
+        incr n_transfers;
+        (* The value must have left its producer and crossed the sync
+           queue before the bus picks it up. *)
+        let avail = Q.add (complete_time tr.Schedule.src k) sync in
+        if Q.( < ) now avail then
+          violate "iter %d: transfer of %d departs at %a before %a" k
+            tr.Schedule.src Q.pp now Q.pp avail;
+        let base = tr.Schedule.bus_cycle + (k * clocking.Clocking.icn_ii) in
+        for c = base to base + buslat - 1 do
+          bump bus_busy c machine.Machine.icn.Icn.buses
+            (Printf.sprintf "bus cycle %d" c)
+        done
+      | Bus_arrive _ -> ())
+  done;
+  {
+    exec_ns = Q.add !last !stall;
+    n_issues = !n_issues;
+    n_transfers = !n_transfers;
+    (* A miss refills through the cache: one extra access of dynamic
+       energy. *)
+    n_mem_accesses = !n_mem + !n_misses;
+    per_cluster_ins_energy = per_cluster;
+    violations = List.rev !violations;
+    events = !events;
+    n_misses = !n_misses;
+    stall_ns = !stall;
+  }
+
+let measure ~schedule ~trip =
+  let r = run ~schedule ~trip () in
+  if r.violations <> [] then Error r.violations
+  else
+    Ok
+      (Activity.make
+         ~exec_time_ns:(Q.to_float r.exec_ns)
+         ~per_cluster_ins_energy:r.per_cluster_ins_energy
+         ~n_comms:(float_of_int r.n_transfers)
+         ~n_mem:(float_of_int r.n_mem_accesses))
+
+let pp_result ppf r =
+  Format.fprintf ppf
+    "sim{t=%a ns, issues=%d, transfers=%d, mem=%d, misses=%d, events=%d, violations=%d}"
+    Q.pp r.exec_ns r.n_issues r.n_transfers r.n_mem_accesses r.n_misses
+    r.events (List.length r.violations)

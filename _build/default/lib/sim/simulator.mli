@@ -1,0 +1,63 @@
+(** Event-driven execution of a modulo schedule on a multi-clock-domain
+    clustered VLIW.
+
+    The simulator replays [trip] kernel iterations of a schedule on its
+    operating configuration: every instruction issue, completion, bus
+    departure and bus arrival becomes a timestamped event (exact
+    rational ns, as in the machine's synchronised-enable clocking,
+    §2.1).  It independently re-checks, at run time, everything the
+    static validator promised:
+
+    - operand availability: a consumer must not issue before every
+      producer of the right iteration has completed (or its bus copy
+      arrived);
+    - functional-unit and memory-port occupancy per absolute cluster
+      cycle;
+    - register-bus occupancy per absolute ICN cycle;
+    - synchronisation-queue delay on every clock-domain crossing.
+
+    It also counts dynamic events (instructions per cluster,
+    communications, memory accesses) and the elapsed time per domain,
+    which {!measure} converts into an {!Hcv_energy.Activity.t} for the
+    §3.1 energy model — the measured counterpart of the compile-time
+    estimates. *)
+
+open Hcv_support
+open Hcv_energy
+open Hcv_sched
+
+type cache_model = {
+  miss_rate : float;  (** fraction of memory accesses that miss *)
+  miss_penalty_cycles : int;  (** whole-machine stall, in cache cycles *)
+}
+(** The paper evaluates with "all cache accesses are hits" (§5); this
+    optional model relaxes that: a deterministic pseudo-random subset of
+    accesses misses, and — as in any statically scheduled in-order
+    machine — the whole machine stalls for the penalty.  Stalls shift
+    every later event uniformly, so the schedule's correctness is
+    unaffected; only time (and one extra cache access of energy per
+    miss) is added. *)
+
+type result = {
+  exec_ns : Q.t;  (** time of the last event *)
+  n_issues : int;
+  n_transfers : int;
+  n_mem_accesses : int;
+  per_cluster_ins_energy : float array;
+  violations : string list;  (** empty for a correct schedule *)
+  events : int;  (** total events processed *)
+  n_misses : int;  (** cache misses (0 without a cache model) *)
+  stall_ns : Q.t;  (** total stall time added by misses *)
+}
+
+val run : ?cache:cache_model -> schedule:Schedule.t -> trip:int -> unit -> result
+(** Simulate [trip] iterations.  @raise Invalid_argument if
+    [trip < 1]. *)
+
+val measure :
+  schedule:Schedule.t -> trip:int -> (Activity.t, string list) Stdlib.result
+(** Activity of a [trip]-iteration execution, or the violations found.
+    The returned activity is directly comparable with
+    {!Hcv_core.Profile.activity_of_schedule}. *)
+
+val pp_result : Format.formatter -> result -> unit

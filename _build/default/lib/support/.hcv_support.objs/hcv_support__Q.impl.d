@@ -1,0 +1,1 @@
+lib/support/q.ml: Float Format Stdlib

@@ -1,0 +1,1 @@
+lib/support/q.mli: Format

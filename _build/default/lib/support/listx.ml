@@ -1,0 +1,67 @@
+let sum_int = List.fold_left ( + ) 0
+let sum_float = List.fold_left ( +. ) 0.0
+
+let mean = function
+  | [] -> invalid_arg "Listx.mean: empty list"
+  | l -> sum_float l /. float_of_int (List.length l)
+
+let geomean = function
+  | [] -> invalid_arg "Listx.geomean: empty list"
+  | l ->
+    let logs =
+      List.map
+        (fun v ->
+          if v <= 0.0 then invalid_arg "Listx.geomean: non-positive value";
+          Float.log v)
+        l
+    in
+    Float.exp (mean logs)
+
+let min_by key = function
+  | [] -> invalid_arg "Listx.min_by: empty list"
+  | x :: rest ->
+    fst
+      (List.fold_left
+         (fun (best, bk) y ->
+           let yk = key y in
+           if yk < bk then (y, yk) else (best, bk))
+         (x, key x) rest)
+
+let max_by key = function
+  | [] -> invalid_arg "Listx.max_by: empty list"
+  | x :: rest ->
+    fst
+      (List.fold_left
+         (fun (best, bk) y ->
+           let yk = key y in
+           if yk > bk then (y, yk) else (best, bk))
+         (x, key x) rest)
+
+let range lo hi = List.init (max 0 (hi - lo)) (fun i -> lo + i)
+
+let rec take n = function
+  | [] -> []
+  | _ when n <= 0 -> []
+  | x :: rest -> x :: take (n - 1) rest
+
+let group_by key l =
+  let keys = ref [] in
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun x ->
+      let k = key x in
+      if not (Hashtbl.mem tbl k) then keys := k :: !keys;
+      Hashtbl.replace tbl k (x :: (try Hashtbl.find tbl k with Not_found -> [])))
+    l;
+  List.rev_map (fun k -> (k, List.rev (Hashtbl.find tbl k))) !keys
+
+let uniq l =
+  let seen = Hashtbl.create 16 in
+  List.filter
+    (fun x ->
+      if Hashtbl.mem seen x then false
+      else begin
+        Hashtbl.add seen x ();
+        true
+      end)
+    l

@@ -1,0 +1,30 @@
+(** Small list/float helpers used across the project. *)
+
+val sum_int : int list -> int
+val sum_float : float list -> float
+val mean : float list -> float
+(** Arithmetic mean. @raise Invalid_argument on the empty list. *)
+
+val geomean : float list -> float
+(** Geometric mean of positive values.
+    @raise Invalid_argument on the empty list or non-positive values. *)
+
+val min_by : ('a -> 'b) -> 'a list -> 'a
+(** Element minimising the key (first on ties).
+    @raise Invalid_argument on the empty list. *)
+
+val max_by : ('a -> 'b) -> 'a list -> 'a
+(** Element maximising the key (first on ties).
+    @raise Invalid_argument on the empty list. *)
+
+val range : int -> int -> int list
+(** [range lo hi] is [\[lo; lo+1; ...; hi-1\]] ([\[\]] if [hi <= lo]). *)
+
+val take : int -> 'a list -> 'a list
+val group_by : ('a -> 'b) -> 'a list -> ('b * 'a list) list
+(** Groups preserve first-occurrence order of keys and element order
+    within a group.  Keys are compared with polymorphic equality. *)
+
+val uniq : 'a list -> 'a list
+(** Remove duplicates (polymorphic equality), keeping first
+    occurrences. *)

@@ -1,0 +1,86 @@
+type t = { num : int; den : int }
+
+let rec gcd_pos a b = if b = 0 then a else gcd_pos b (a mod b)
+let gcd a b = gcd_pos (abs a) (abs b)
+let lcm a b = if a = 0 || b = 0 then 0 else abs (a / gcd a b * b)
+
+let make num den =
+  if den = 0 then invalid_arg "Q.make: zero denominator";
+  let s = if den < 0 then -1 else 1 in
+  let num = s * num and den = s * den in
+  let g = gcd num den in
+  if g = 0 then { num = 0; den = 1 } else { num = num / g; den = den / g }
+
+let of_int n = { num = n; den = 1 }
+let zero = of_int 0
+let one = of_int 1
+let num t = t.num
+let den t = t.den
+let add a b = make ((a.num * b.den) + (b.num * a.den)) (a.den * b.den)
+let sub a b = make ((a.num * b.den) - (b.num * a.den)) (a.den * b.den)
+let mul a b = make (a.num * b.num) (a.den * b.den)
+
+let div a b =
+  if b.num = 0 then raise Division_by_zero;
+  make (a.num * b.den) (a.den * b.num)
+
+let neg a = { a with num = -a.num }
+
+let inv a =
+  if a.num = 0 then raise Division_by_zero;
+  make a.den a.num
+
+let compare a b = Stdlib.compare (a.num * b.den) (b.num * a.den)
+let equal a b = a.num = b.num && a.den = b.den
+let min a b = if compare a b <= 0 then a else b
+let max a b = if compare a b >= 0 then a else b
+let is_integer t = t.den = 1
+
+let floor t =
+  if t.num >= 0 then t.num / t.den
+  else if t.num mod t.den = 0 then t.num / t.den
+  else (t.num / t.den) - 1
+
+let ceil t = -floor (neg t)
+let sign t = Stdlib.compare t.num 0
+let to_float t = float_of_int t.num /. float_of_int t.den
+
+let of_float_approx ?(max_den = 1_000_000) f =
+  if Float.is_nan f || Float.is_integer f then of_int (int_of_float f)
+  else begin
+    let negative = f < 0.0 in
+    let f = Float.abs f in
+    let a0 = int_of_float (Float.floor f) in
+    let frac = f -. float_of_int a0 in
+    (* Continued-fraction convergents p/q with q bounded by max_den;
+       [x >= 1] is the reciprocal of the remaining fractional part. *)
+    let rec go x p_prev q_prev p q depth =
+      let a = int_of_float (Float.floor x) in
+      let p' = (a * p) + p_prev and q' = (a * q) + q_prev in
+      if q' > max_den || depth > 64 then (p, q)
+      else
+        let rem = x -. float_of_int a in
+        if rem < 1e-12 then (p', q')
+        else go (1.0 /. rem) p q p' q' (depth + 1)
+    in
+    let p, q =
+      if frac < 1e-12 then (a0, 1) else go (1.0 /. frac) 1 0 a0 1 0
+    in
+    make (if negative then -p else p) q
+  end
+
+let mul_int t n = make (t.num * n) t.den
+let div_int t n = make t.num (t.den * n)
+
+let pp ppf t =
+  if t.den = 1 then Format.fprintf ppf "%d" t.num
+  else Format.fprintf ppf "%d/%d" t.num t.den
+
+let to_string t = Format.asprintf "%a" pp t
+
+(* Comparison operators over [t] come last so that the int/float
+   comparisons above keep their Stdlib meaning. *)
+let ( < ) a b = compare a b < 0
+let ( <= ) a b = compare a b <= 0
+let ( > ) a b = compare a b > 0
+let ( >= ) a b = compare a b >= 0

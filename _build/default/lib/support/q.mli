@@ -1,0 +1,69 @@
+(** Exact rational arithmetic over native 63-bit integers.
+
+    Times (initiation times, cycle times) and frequencies in this project
+    are exact rationals so that questions such as "is [it * f] an
+    integer?" or "does this frequency belong to the machine's discrete
+    grid?" are decidable without floating-point fuzz.  Values are kept in
+    normal form: positive denominator, reduced by gcd.  Magnitudes in
+    this project are tiny (cycle times are small multiples of
+    picoseconds), so native ints never overflow in practice. *)
+
+type t = private { num : int; den : int }
+
+val make : int -> int -> t
+(** [make num den] is the normalised rational [num/den].
+    @raise Invalid_argument if [den = 0]. *)
+
+val of_int : int -> t
+val zero : t
+val one : t
+
+val num : t -> int
+val den : t -> int
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val div : t -> t -> t
+(** @raise Division_by_zero if the divisor is zero. *)
+
+val neg : t -> t
+val inv : t -> t
+(** @raise Division_by_zero on [inv zero]. *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val ( < ) : t -> t -> bool
+val ( <= ) : t -> t -> bool
+val ( > ) : t -> t -> bool
+val ( >= ) : t -> t -> bool
+
+val min : t -> t -> t
+val max : t -> t -> t
+
+val is_integer : t -> bool
+
+val floor : t -> int
+(** Largest integer [<= t] (mathematical floor, also for negatives). *)
+
+val ceil : t -> int
+(** Smallest integer [>= t]. *)
+
+val sign : t -> int
+
+val to_float : t -> float
+val of_float_approx : ?max_den:int -> float -> t
+(** Best rational approximation with denominator [<= max_den]
+    (default 1_000_000), via continued fractions.  Used only for
+    display-level conversions, never in scheduling decisions. *)
+
+val mul_int : t -> int -> t
+val div_int : t -> int -> t
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+val gcd : int -> int -> int
+(** Greatest common divisor on non-negative representatives. *)
+
+val lcm : int -> int -> int

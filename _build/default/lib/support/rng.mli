@@ -1,0 +1,45 @@
+(** Deterministic pseudo-random number generation (splitmix64).
+
+    Every stochastic component of the workload generator draws from this
+    generator with an explicit seed, so the whole evaluation pipeline is
+    reproducible bit-for-bit and independent of [Stdlib.Random] state. *)
+
+type t
+
+val create : int -> t
+(** [create seed] is a fresh generator.  Equal seeds give equal
+    streams. *)
+
+val copy : t -> t
+val split : t -> t
+(** [split t] advances [t] and returns an independent generator, for
+    giving sub-components their own streams. *)
+
+val next : t -> int64
+(** Next raw 64-bit value. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)].
+    @raise Invalid_argument if [bound <= 0]. *)
+
+val int_in : t -> int -> int -> int
+(** [int_in t lo hi] is uniform in [\[lo, hi\]] inclusive.
+    @raise Invalid_argument if [hi < lo]. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [\[0, bound)]. *)
+
+val bool : t -> bool
+
+val chance : t -> float -> bool
+(** [chance t p] is true with probability [p] (clamped to [\[0,1\]]). *)
+
+val pick : t -> 'a list -> 'a
+(** Uniform choice. @raise Invalid_argument on the empty list. *)
+
+val pick_weighted : t -> ('a * float) list -> 'a
+(** Choice proportional to the (non-negative) weights.
+    @raise Invalid_argument if the list is empty or all weights are 0. *)
+
+val shuffle : t -> 'a list -> 'a list
+(** Fisher–Yates shuffle. *)

@@ -1,0 +1,71 @@
+type align = Left | Right | Center
+
+type row = Cells of string list | Sep
+
+type t = {
+  title : string option;
+  headers : string list;
+  aligns : align list;
+  mutable rows : row list; (* reversed *)
+}
+
+let create ?title cols =
+  { title; headers = List.map fst cols; aligns = List.map snd cols; rows = [] }
+
+let add_row t cells =
+  if List.length cells <> List.length t.headers then
+    invalid_arg "Tablefmt.add_row: arity mismatch";
+  t.rows <- Cells cells :: t.rows
+
+let add_sep t = t.rows <- Sep :: t.rows
+
+let pad align width s =
+  let n = String.length s in
+  if n >= width then s
+  else
+    match align with
+    | Left -> s ^ String.make (width - n) ' '
+    | Right -> String.make (width - n) ' ' ^ s
+    | Center ->
+      let l = (width - n) / 2 in
+      String.make l ' ' ^ s ^ String.make (width - n - l) ' '
+
+let render t =
+  let rows = List.rev t.rows in
+  let widths =
+    List.fold_left
+      (fun ws row ->
+        match row with
+        | Sep -> ws
+        | Cells cs -> List.map2 (fun w c -> max w (String.length c)) ws cs)
+      (List.map String.length t.headers)
+      rows
+  in
+  let buf = Buffer.create 256 in
+  let rule () =
+    List.iter (fun w -> Buffer.add_string buf ("+" ^ String.make (w + 2) '-')) widths;
+    Buffer.add_string buf "+\n"
+  in
+  let line cells =
+    List.iteri
+      (fun i c ->
+        let w = List.nth widths i in
+        let a = List.nth t.aligns i in
+        Buffer.add_string buf ("| " ^ pad a w c ^ " "))
+      cells;
+    Buffer.add_string buf "|\n"
+  in
+  (match t.title with
+  | None -> ()
+  | Some title -> Buffer.add_string buf (title ^ "\n"));
+  rule ();
+  line t.headers;
+  rule ();
+  List.iter (function Sep -> rule () | Cells cs -> line cs) rows;
+  rule ();
+  Buffer.contents buf
+
+let print t = print_string (render t)
+
+let cell_f v = Printf.sprintf "%.3f" v
+let cell_pct v = Printf.sprintf "%.2f%%" (100.0 *. v)

@@ -1,0 +1,25 @@
+(** Plain-text table rendering for benchmark and report output. *)
+
+type align = Left | Right | Center
+
+type t
+
+val create : ?title:string -> (string * align) list -> t
+(** [create cols] is an empty table with the given column headers. *)
+
+val add_row : t -> string list -> unit
+(** @raise Invalid_argument if the row arity differs from the header. *)
+
+val add_sep : t -> unit
+(** Insert a horizontal separator before the next row. *)
+
+val render : t -> string
+val print : t -> unit
+(** [render]/[print] draw the table with box-drawing-free ASCII rules. *)
+
+val cell_f : float -> string
+(** Format a float with 3 decimals, the project-wide table convention. *)
+
+val cell_pct : float -> string
+(** Format a ratio as a percentage with 2 decimals, e.g. [0.154] ->
+    ["15.40%"]. *)

@@ -1,0 +1,1 @@
+lib/workload/shapes.ml: Ddg Edge Hcv_ir Hcv_support List Loop Opcode Printf Rng

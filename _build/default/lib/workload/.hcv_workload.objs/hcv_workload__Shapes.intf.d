@@ -1,0 +1,1 @@
+lib/workload/shapes.mli: Hcv_ir Hcv_support Loop Rng

@@ -1,0 +1,1 @@
+lib/workload/specfp.ml: Array Float Hashtbl Hcv_ir Hcv_machine Hcv_sched Hcv_support List Loop Mii Option Presets Printf Recurrence Rng Shapes

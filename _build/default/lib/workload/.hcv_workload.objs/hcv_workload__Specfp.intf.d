@@ -1,0 +1,1 @@
+lib/workload/specfp.mli: Hcv_ir Hcv_machine Loop

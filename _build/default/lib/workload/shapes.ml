@@ -1,0 +1,220 @@
+open Hcv_support
+open Hcv_ir
+
+let op_ld = Opcode.make Opcode.Memory Opcode.Fp
+let op_st = Opcode.make Opcode.Memory Opcode.Fp
+let op_add = Opcode.make Opcode.Arith Opcode.Fp
+let op_mul = Opcode.make Opcode.Mult Opcode.Fp
+let op_div = Opcode.make Opcode.Div Opcode.Fp
+let op_addi = Opcode.make Opcode.Arith Opcode.Int
+
+(* Pick an FP compute opcode, biased towards adds and multiplies. *)
+let compute_op rng =
+  Rng.pick_weighted rng [ (op_add, 5.0); (op_mul, 3.0); (op_div, 0.5) ]
+
+let recurrence_chain ~rng ~name ~rec_len ~extra ?(trip = 200) ?(weight = 1.0)
+    () =
+  if rec_len < 1 then invalid_arg "Shapes.recurrence_chain: rec_len < 1";
+  let b = Ddg.Builder.create () in
+  (* The critical recurrence: a chain of FP ops closed by a distance-1
+     back edge.  Use multiply-heavy ops so the recurrence latency
+     dominates. *)
+  let rec_nodes =
+    List.init rec_len (fun k ->
+        let op =
+          if rec_len <= 3 then
+            Rng.pick_weighted rng [ (op_mul, 3.0); (op_div, 1.0) ]
+          else Rng.pick_weighted rng [ (op_add, 2.0); (op_mul, 2.0) ]
+        in
+        Ddg.Builder.add_instr b ~name:(Printf.sprintf "r%d" k) op)
+  in
+  let rec link = function
+    | a :: (b' :: _ as rest) ->
+      Ddg.Builder.add_edge b a b';
+      link rest
+    | [ _ ] | [] -> ()
+  in
+  link rec_nodes;
+  (match (rec_nodes, List.rev rec_nodes) with
+  | first :: _, last :: _ -> Ddg.Builder.add_edge b ~distance:1 last first
+  | _, _ -> assert false);
+  (* Off-recurrence work: load/compute/store lanes that read the
+     recurrence value, share data with earlier lanes and occasionally
+     chain into the next lane — the interconnected bulk of a real
+     unrolled loop body, which is what keeps the register buses busy
+     once the partitioner has to spread it over clusters. *)
+  let first_rec = List.hd rec_nodes in
+  let remaining = ref extra in
+  let lane = ref 0 in
+  (* Pool of earlier value-producing nodes available as extra operands;
+     drawing operands from it creates the dense shared dataflow of a
+     real unrolled body (common subexpressions, shared addresses),
+     which is what keeps the register buses busy once the body spreads
+     over several clusters. *)
+  let producers = ref [ first_rec ] in
+  while !remaining > 0 do
+    let len = min !remaining (Rng.int_in rng 3 5) in
+    let ld =
+      Ddg.Builder.add_instr b ~name:(Printf.sprintf "ld%d" !lane) op_ld
+    in
+    let lane_producers = ref [ ld ] in
+    let prev = ref ld in
+    for k = 1 to len - 1 do
+      let is_store = k = len - 1 && Rng.chance rng 0.5 in
+      let node =
+        if is_store then
+          Ddg.Builder.add_instr b ~name:(Printf.sprintf "st%d_%d" !lane k) op_st
+        else
+          Ddg.Builder.add_instr b
+            ~name:(Printf.sprintf "w%d_%d" !lane k)
+            (compute_op rng)
+      in
+      Ddg.Builder.add_edge b !prev node;
+      if k = 1 && Rng.chance rng 0.4 then
+        (* Consume the recurrence value (forward edge only). *)
+        Ddg.Builder.add_edge b first_rec node;
+      if Rng.chance rng 0.6 then
+        Ddg.Builder.add_edge b (Rng.pick rng !producers) node;
+      if not is_store then lane_producers := node :: !lane_producers;
+      prev := node
+    done;
+    producers := !lane_producers @ !producers;
+    remaining := !remaining - len;
+    incr lane
+  done;
+  Loop.make ~trip ~weight ~name (Ddg.Builder.build b)
+
+let reduction ~rng ~name ~width ?(trip = 200) ?(weight = 1.0) () =
+  if width < 1 then invalid_arg "Shapes.reduction: width < 1";
+  let b = Ddg.Builder.create () in
+  let acc = Ddg.Builder.add_instr b ~name:"acc" op_add in
+  Ddg.Builder.add_edge b ~distance:1 acc acc;
+  for k = 0 to width - 1 do
+    let l1 = Ddg.Builder.add_instr b ~name:(Printf.sprintf "a%d" k) op_ld in
+    let l2 = Ddg.Builder.add_instr b ~name:(Printf.sprintf "b%d" k) op_ld in
+    let m = Ddg.Builder.add_instr b ~name:(Printf.sprintf "m%d" k) op_mul in
+    Ddg.Builder.add_edge b l1 m;
+    Ddg.Builder.add_edge b l2 m;
+    Ddg.Builder.add_edge b m acc;
+    if Rng.chance rng 0.2 then begin
+      (* An occasional address update on the integer side. *)
+      let upd =
+        Ddg.Builder.add_instr b ~name:(Printf.sprintf "i%d" k) op_addi
+      in
+      Ddg.Builder.add_edge b upd l1;
+      Ddg.Builder.add_edge b ~distance:1 upd upd
+    end
+  done;
+  Loop.make ~trip ~weight ~name (Ddg.Builder.build b)
+
+let stencil ~rng ~name ~points ?(carry = 1) ?(trip = 200) ?(weight = 1.0) () =
+  if points < 2 then invalid_arg "Shapes.stencil: points < 2";
+  let b = Ddg.Builder.create () in
+  let loads =
+    List.init points (fun k ->
+        Ddg.Builder.add_instr b ~name:(Printf.sprintf "ld%d" k) op_ld)
+  in
+  (* Weighted-sum tree: scale each point, then fold. *)
+  let scaled =
+    List.mapi
+      (fun k ld ->
+        let m = Ddg.Builder.add_instr b ~name:(Printf.sprintf "m%d" k) op_mul in
+        Ddg.Builder.add_edge b ld m;
+        m)
+      loads
+  in
+  let rec fold acc k = function
+    | [] -> acc
+    | x :: rest ->
+      let s = Ddg.Builder.add_instr b ~name:(Printf.sprintf "s%d" k) op_add in
+      Ddg.Builder.add_edge b acc s;
+      Ddg.Builder.add_edge b x s;
+      fold s (k + 1) rest
+  in
+  let sum =
+    match scaled with
+    | first :: rest -> fold first 0 rest
+    | [] -> assert false
+  in
+  let st = Ddg.Builder.add_instr b ~name:"st" op_st in
+  Ddg.Builder.add_edge b sum st;
+  (* The loop-carried memory recurrence: this iteration's store feeds a
+     load [carry] iterations later. *)
+  let fed_load = Rng.pick rng loads in
+  Ddg.Builder.add_edge b ~distance:carry ~kind:Edge.Mem st fed_load;
+  Loop.make ~trip ~weight ~name (Ddg.Builder.build b)
+
+let wide_parallel ~rng ~name ~lanes ?(depth = 2) ?(merge = false)
+    ?(trip = 200) ?(weight = 1.0) () =
+  if lanes < 1 then invalid_arg "Shapes.wide_parallel: lanes < 1";
+  let b = Ddg.Builder.create () in
+  let tails = ref [] in
+  let producers = ref [] in
+  for k = 0 to lanes - 1 do
+    let ld = Ddg.Builder.add_instr b ~name:(Printf.sprintf "ld%d" k) op_ld in
+    producers := ld :: !producers;
+    let prev = ref ld in
+    for d = 0 to depth - 1 do
+      let node =
+        Ddg.Builder.add_instr b
+          ~name:(Printf.sprintf "c%d_%d" k d)
+          (compute_op rng)
+      in
+      Ddg.Builder.add_edge b !prev node;
+      if Rng.chance rng 0.35 then
+        (* A shared operand from another lane. *)
+        Ddg.Builder.add_edge b (Rng.pick rng !producers) node;
+      producers := node :: !producers;
+      prev := node
+    done;
+    if merge then tails := !prev :: !tails
+    else begin
+      let st = Ddg.Builder.add_instr b ~name:(Printf.sprintf "st%d" k) op_st in
+      Ddg.Builder.add_edge b !prev st
+    end
+  done;
+  (if merge then
+     (* A reduction tree joins the lanes — inter-lane dataflow that
+        forces cross-cluster traffic when lanes spread out. *)
+     match !tails with
+     | [] -> ()
+     | first :: rest ->
+       let sum = ref first in
+       List.iteri
+         (fun k t ->
+           let s =
+             Ddg.Builder.add_instr b ~name:(Printf.sprintf "t%d" k) op_add
+           in
+           Ddg.Builder.add_edge b !sum s;
+           Ddg.Builder.add_edge b t s;
+           sum := s)
+         rest;
+       let st = Ddg.Builder.add_instr b ~name:"st" op_st in
+       Ddg.Builder.add_edge b !sum st);
+  Loop.make ~trip ~weight ~name (Ddg.Builder.build b)
+
+let register_heavy ~rng ~name ~values ?(span = 4) ?(trip = 200)
+    ?(weight = 1.0) () =
+  if values < 2 then invalid_arg "Shapes.register_heavy: values < 2";
+  let b = Ddg.Builder.create () in
+  let loads =
+    List.init values (fun k ->
+        Ddg.Builder.add_instr b ~name:(Printf.sprintf "v%d" k) op_ld)
+  in
+  (* A serial spine delays the consumers, stretching every load's
+     lifetime. *)
+  let spine = ref (Ddg.Builder.add_instr b ~name:"sp0" (compute_op rng)) in
+  for k = 1 to span - 1 do
+    let s =
+      Ddg.Builder.add_instr b ~name:(Printf.sprintf "sp%d" k) (compute_op rng)
+    in
+    Ddg.Builder.add_edge b !spine s;
+    spine := s
+  done;
+  List.iteri
+    (fun k ld ->
+      let c = Ddg.Builder.add_instr b ~name:(Printf.sprintf "u%d" k) op_add in
+      Ddg.Builder.add_edge b ld c;
+      Ddg.Builder.add_edge b !spine c)
+    loads;
+  Loop.make ~trip ~weight ~name (Ddg.Builder.build b)

@@ -1,0 +1,47 @@
+(** Parameterised loop-shape generators.
+
+    Every generator draws from an explicit {!Hcv_support.Rng.t} and
+    produces a structurally valid loop (no zero-distance cycles).  The
+    shapes correspond to the kinds of floating-point loop bodies the
+    paper's discussion distinguishes (§5.2): loops dominated by a
+    critical recurrence (short or long), borderline loops, wide
+    resource-bound loops, and register-pressure-heavy loops. *)
+
+open Hcv_support
+open Hcv_ir
+
+val recurrence_chain :
+  rng:Rng.t -> name:string -> rec_len:int -> extra:int -> ?trip:int
+  -> ?weight:float -> unit -> Loop.t
+(** A single cyclic chain of [rec_len] FP operations (distance-1 back
+    edge) — the critical recurrence — plus [extra] instructions of
+    independent load/compute/store work hanging off it.  Small
+    [rec_len] with high-latency ops gives the
+    few-critical-instructions profile of sixtrack/facerec. *)
+
+val reduction :
+  rng:Rng.t -> name:string -> width:int -> ?trip:int -> ?weight:float -> unit
+  -> Loop.t
+(** [width] parallel load+multiply lanes feeding a serial accumulate
+    (self-recurrence of one FP add). *)
+
+val stencil :
+  rng:Rng.t -> name:string -> points:int -> ?carry:int -> ?trip:int
+  -> ?weight:float -> unit -> Loop.t
+(** A [points]-point stencil: loads, a weighted-sum tree, a store, and a
+    loop-carried dependence of distance [carry] (default 1) from the
+    store back to one load (memory recurrence). *)
+
+val wide_parallel :
+  rng:Rng.t -> name:string -> lanes:int -> ?depth:int -> ?merge:bool
+  -> ?trip:int -> ?weight:float -> unit -> Loop.t
+(** [lanes] load/op^depth chains — resource bound, no recurrence.  With
+    [merge] (default false) the lanes feed a final reduction tree and a
+    single store instead of per-lane stores. *)
+
+val register_heavy :
+  rng:Rng.t -> name:string -> values:int -> ?span:int -> ?trip:int
+  -> ?weight:float -> unit -> Loop.t
+(** [values] loads whose results are all consumed by a late chain of
+    adds, creating long overlapping lifetimes (about [span] consumers
+    deep). *)

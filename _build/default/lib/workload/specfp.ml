@@ -1,0 +1,182 @@
+open Hcv_support
+open Hcv_ir
+open Hcv_machine
+open Hcv_sched
+
+type spec = {
+  name : string;
+  res_share : float;
+  border_share : float;
+  rec_share : float;
+  small_rec : bool;
+  trip : int;
+  reg_heavy : bool;
+  default_loops : int;
+}
+
+(* Table 2 of the paper, with the per-benchmark characteristics §5.2
+   discusses. *)
+let all =
+  [
+    { name = "wupwise"; res_share = 0.1404; border_share = 0.6876;
+      rec_share = 0.172; small_rec = false; trip = 200; reg_heavy = false;
+      default_loops = 16 };
+    { name = "swim"; res_share = 1.0; border_share = 0.0; rec_share = 0.0;
+      small_rec = false; trip = 200; reg_heavy = true; default_loops = 16 };
+    { name = "mgrid"; res_share = 0.9554; border_share = 0.0;
+      rec_share = 0.0446; small_rec = false; trip = 200; reg_heavy = true;
+      default_loops = 16 };
+    { name = "applu"; res_share = 0.3194; border_share = 0.0617;
+      rec_share = 0.6189; small_rec = true; trip = 8; reg_heavy = false;
+      default_loops = 16 };
+    { name = "galgel"; res_share = 0.3327; border_share = 0.0918;
+      rec_share = 0.5755; small_rec = true; trip = 200; reg_heavy = false;
+      default_loops = 16 };
+    { name = "facerec"; res_share = 0.1659; border_share = 0.0;
+      rec_share = 0.8341; small_rec = true; trip = 300; reg_heavy = false;
+      default_loops = 16 };
+    { name = "lucas"; res_share = 0.3213; border_share = 0.0002;
+      rec_share = 0.6785; small_rec = true; trip = 300; reg_heavy = false;
+      default_loops = 16 };
+    { name = "fma3d"; res_share = 0.1522; border_share = 0.0296;
+      rec_share = 0.8182; small_rec = false; trip = 200; reg_heavy = false;
+      default_loops = 16 };
+    { name = "sixtrack"; res_share = 0.0008; border_share = 0.0;
+      rec_share = 0.9992; small_rec = true; trip = 300; reg_heavy = false;
+      default_loops = 16 };
+    { name = "apsi"; res_share = 0.155; border_share = 0.0337;
+      rec_share = 0.8113; small_rec = false; trip = 200; reg_heavy = false;
+      default_loops = 16 };
+  ]
+
+let find name = List.find_opt (fun s -> s.name = name) all
+
+let machine = Presets.machine_4c ~buses:1
+
+type clazz = Res | Border | Rec
+
+let classify loop =
+  match Mii.classify machine loop.Loop.ddg with
+  | Mii.Resource_constrained -> Res
+  | Mii.Borderline -> Border
+  | Mii.Recurrence_constrained -> Rec
+
+(* One generation attempt for a target class. *)
+let attempt rng spec target idx =
+  let name = Printf.sprintf "%s_l%d" spec.name idx in
+  let trip = max 2 (spec.trip + Rng.int_in rng (-spec.trip / 4) (spec.trip / 4)) in
+  match target with
+  | Rec ->
+    let rec_len =
+      if spec.small_rec then Rng.int_in rng 2 3 else Rng.int_in rng 9 14
+    in
+    (* Size the off-recurrence work relative to the recurrence's own
+       recMII so that, at the recurrence-bound II, the body still needs
+       several clusters (the §5.2 profiles: sixtrack-like benchmarks
+       have tiny critical recurrences inside big bodies, fma3d-like
+       ones have big recurrences and comparatively less other work). *)
+    let base_seed = Rng.int rng 0x3FFFFFFF in
+    let probe =
+      Shapes.recurrence_chain
+        ~rng:(Rng.create base_seed)
+        ~name ~rec_len ~extra:0 ~trip ()
+    in
+    let recmii = max 1 (Recurrence.rec_mii probe.Loop.ddg) in
+    let factor =
+      if spec.small_rec then 2.5 +. Rng.float rng 1.0
+      else 0.08 +. Rng.float rng 0.12
+    in
+    let extra =
+      min 90 (max 8 (int_of_float (float_of_int recmii *. factor)))
+    in
+    Shapes.recurrence_chain
+      ~rng:(Rng.create base_seed)
+      ~name ~rec_len ~extra ~trip ()
+  | Border ->
+    (* A modest recurrence padded with parallel work until resMII is
+       just below recMII: grow the off-recurrence work until the class
+       flips from recurrence-constrained to borderline.  Reseeding a
+       fresh generator per step keeps the recurrence identical while
+       the padding grows. *)
+    let rec_len = Rng.int_in rng 2 4 in
+    let base_seed = Rng.int rng 0x3FFFFFFF in
+    let build extra =
+      Shapes.recurrence_chain
+        ~rng:(Rng.create base_seed)
+        ~name ~rec_len ~extra ~trip ()
+    in
+    let rec scan extra =
+      if extra > 80 then build 40
+      else
+        let loop = build extra in
+        (match classify loop with
+        | Border -> loop
+        | Rec -> scan (extra + 2)
+        | Res -> loop (* overshot the window; accept the nearest *))
+    in
+    scan 4
+  | Res ->
+    if spec.reg_heavy && Rng.chance rng 0.3 then
+      Shapes.register_heavy ~rng ~name ~values:(Rng.int_in rng 8 12)
+        ~span:(Rng.int_in rng 3 5) ~trip ()
+    else if Rng.chance rng 0.4 then
+      Shapes.reduction ~rng ~name ~width:(Rng.int_in rng 8 14) ~trip ()
+    else
+      Shapes.wide_parallel ~rng ~name
+        ~lanes:(Rng.int_in rng 7 11)
+        ~depth:(Rng.int_in rng 2 3)
+        ~merge:(Rng.chance rng 0.5) ~trip ()
+
+let generate_class rng spec target idx =
+  let rec go tries =
+    let loop = attempt rng spec target idx in
+    if classify loop = target || tries <= 0 then loop else go (tries - 1)
+  in
+  go 50
+
+let loops ?n_loops ~seed spec =
+  let n = Option.value n_loops ~default:spec.default_loops in
+  let rng = Rng.create (seed lxor Hashtbl.hash spec.name) in
+  (* Distribute the loop count across classes proportionally to the
+     Table 2 shares (at least one loop per class with a nonzero
+     share). *)
+  let counts =
+    List.map
+      (fun (cls, share) ->
+        let c =
+          if share <= 0.0 then 0
+          else max 1 (int_of_float (Float.round (share *. float_of_int n)))
+        in
+        (cls, share, c))
+      [ (Res, spec.res_share); (Border, spec.border_share); (Rec, spec.rec_share) ]
+  in
+  List.concat_map
+    (fun (cls, share, count) ->
+      List.init count (fun k ->
+          let idx =
+            (match cls with Res -> 0 | Border -> 1000 | Rec -> 2000) + k
+          in
+          let loop = generate_class rng spec cls idx in
+          (* Split the class share evenly across its loops. *)
+          let weight = share /. float_of_int count in
+          { loop with Loop.weight = max weight 1e-6 }))
+    counts
+
+let benchmarks ?n_loops ?(seed = 42) () =
+  List.map (fun spec -> (spec.name, loops ?n_loops ~seed spec)) all
+
+let table2_row machine loops =
+  let shares = [| 0.0; 0.0; 0.0 |] in
+  List.iter
+    (fun (loop : Loop.t) ->
+      let idx =
+        match Mii.classify machine loop.Loop.ddg with
+        | Mii.Resource_constrained -> 0
+        | Mii.Borderline -> 1
+        | Mii.Recurrence_constrained -> 2
+      in
+      shares.(idx) <- shares.(idx) +. loop.Loop.weight)
+    loops;
+  let total = shares.(0) +. shares.(1) +. shares.(2) in
+  if total <= 0.0 then (0.0, 0.0, 0.0)
+  else (shares.(0) /. total, shares.(1) /. total, shares.(2) /. total)

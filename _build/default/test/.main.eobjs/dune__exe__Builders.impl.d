@@ -1,0 +1,1 @@
+test/builders.ml: Cluster Ddg Hcv_ir Hcv_machine Icn Loop Machine Opcode Presets Printf

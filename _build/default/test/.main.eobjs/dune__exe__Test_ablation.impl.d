@@ -1,0 +1,1 @@
+test/test_ablation.ml: Alcotest Hcv_core Hcv_energy Hcv_machine Hcv_workload Hsched List Model Option Params Pipeline Presets Printf Profile Result Select Specfp Units

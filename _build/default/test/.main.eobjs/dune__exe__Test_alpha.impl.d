@@ -1,0 +1,1 @@
+test/test_alpha.ml: Alcotest Alpha_power Hcv_machine List Printf

@@ -1,0 +1,1 @@
+test/test_clocking.ml: Alcotest Array Clocking Cluster Comp Freqgrid Hcv_machine Hcv_sched Hcv_support Icn Machine Opconfig Presets Q

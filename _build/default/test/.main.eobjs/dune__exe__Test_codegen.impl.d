@@ -1,0 +1,1 @@
+test/test_codegen.ml: Alcotest Array Builders Clocking Codegen Ddg Hcv_ir Hcv_sched Hcv_support Homo List Loop Printf Q Schedule String

@@ -1,0 +1,1 @@
+test/test_control.ml: Activity Alcotest Array Builders Control Hcv_energy Hcv_sched Hcv_support Homo Q

@@ -1,0 +1,1 @@
+test/test_cycle_ratio.ml: Alcotest Cycle_ratio Ddg Hcv_ir Hcv_support List Opcode Q QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_ddg.ml: Alcotest Array Ddg Edge Hcv_ir Hcv_support Instr List Opcode QCheck QCheck_alcotest

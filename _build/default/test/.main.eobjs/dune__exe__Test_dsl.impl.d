@@ -1,0 +1,1 @@
+test/test_dsl.ml: Alcotest Builders Ddg Dsl Edge Hcv_ir Hcv_workload List Loop Option

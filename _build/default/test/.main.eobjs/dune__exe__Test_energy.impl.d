@@ -1,0 +1,1 @@
+test/test_energy.ml: Activity Alcotest Hcv_energy Hcv_machine Hcv_support List Model Opconfig Params Presets Q Scale Units

@@ -1,0 +1,1 @@
+test/test_freqgrid.ml: Alcotest Freqgrid Hcv_machine Hcv_support List Q QCheck QCheck_alcotest

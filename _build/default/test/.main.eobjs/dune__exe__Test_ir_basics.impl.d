@@ -1,0 +1,1 @@
+test/test_ir_basics.ml: Alcotest Builders Ddg Dot Edge Hcv_ir Instr Loop Opcode String

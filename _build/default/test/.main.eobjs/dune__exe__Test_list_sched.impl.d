@@ -1,0 +1,1 @@
+test/test_list_sched.ml: Alcotest Builders Ddg Hcv_ir Hcv_sched Hcv_sim Hcv_support List List_sched Loop Printf Q Schedule

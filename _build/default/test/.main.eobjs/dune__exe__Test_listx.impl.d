@@ -1,0 +1,1 @@
+test/test_listx.ml: Alcotest Hcv_support List Listx String

@@ -1,0 +1,1 @@
+test/test_machine.ml: Alcotest Cluster Comp Hcv_ir Hcv_machine Hcv_support Icn List Machine Opcode Opconfig Presets Q String

@@ -1,0 +1,1 @@
+test/test_mii.ml: Alcotest Cluster Ddg Hcv_ir Hcv_machine Hcv_sched Icn Machine Mii Opcode Presets

@@ -1,0 +1,1 @@
+test/test_mit.ml: Alcotest Builders Cluster Ddg Hcv_core Hcv_ir Hcv_machine Hcv_sched Hcv_support Icn List Listx Loop Machine Mit Opcode Opconfig Presets Q

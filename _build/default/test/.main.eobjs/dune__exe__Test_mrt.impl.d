@@ -1,0 +1,1 @@
+test/test_mrt.ml: Alcotest Clocking Hcv_ir Hcv_machine Hcv_sched Hcv_support Mrt Opcode Presets Q

@@ -1,0 +1,1 @@
+test/test_opcode.ml: Alcotest Hcv_ir List Opcode

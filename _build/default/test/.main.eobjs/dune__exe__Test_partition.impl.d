@@ -1,0 +1,1 @@
+test/test_partition.ml: Alcotest Array Ddg Edge Hcv_ir Hcv_sched Hcv_support List Opcode Partition QCheck QCheck_alcotest Rng

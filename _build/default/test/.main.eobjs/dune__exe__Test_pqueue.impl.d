@@ -1,0 +1,1 @@
+test/test_pqueue.ml: Alcotest Hcv_sim Hcv_support List Pqueue Q QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_pseudo.ml: Alcotest Array Builders Clocking Ddg Hcv_ir Hcv_machine Hcv_sched Hcv_support Loop Opcode Partition Presets Pseudo Q Schedule

@@ -1,0 +1,1 @@
+test/test_q.ml: Alcotest Float Hcv_support Q QCheck QCheck_alcotest

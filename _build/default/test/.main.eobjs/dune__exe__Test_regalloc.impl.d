@@ -1,0 +1,1 @@
+test/test_regalloc.ml: Alcotest Array Builders Clocking Ddg Fun Hcv_ir Hcv_sched Hcv_support Homo List Loop Opcode Printf Q Regalloc Schedule

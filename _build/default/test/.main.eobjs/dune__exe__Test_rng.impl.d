@@ -1,0 +1,1 @@
+test/test_rng.ml: Alcotest Hcv_support List Listx Rng

@@ -1,0 +1,1 @@
+test/test_scc.ml: Alcotest Array Ddg Hcv_ir Hcv_support List Opcode Q Recurrence Scc

@@ -1,0 +1,1 @@
+test/test_sched_smoke.ml: Alcotest Builders Hcv_sched Hcv_support Homo Q Schedule String

@@ -1,0 +1,1 @@
+test/test_schedule.ml: Alcotest Array Clocking Ddg Hcv_ir Hcv_machine Hcv_sched Hcv_support List Loop Opcode Presets Q Schedule String

@@ -1,0 +1,1 @@
+test/test_serialize.ml: Alcotest Array Builders Clocking Hcv_ir Hcv_machine Hcv_sched Hcv_support Homo List Q Schedule Serialize Slot_sched String

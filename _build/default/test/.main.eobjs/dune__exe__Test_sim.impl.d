@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Builders Hcv_core Hcv_energy Hcv_ir Hcv_sched Hcv_sim Hcv_support Homo List Printf Q Schedule Simulator String

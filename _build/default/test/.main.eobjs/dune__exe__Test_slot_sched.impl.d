@@ -1,0 +1,1 @@
+test/test_slot_sched.ml: Alcotest Clocking Cluster Ddg Hcv_ir Hcv_machine Hcv_sched Hcv_support Icn Loop Machine Mii Opcode Partition Presets Printf Q QCheck QCheck_alcotest Rng Schedule Slot_sched

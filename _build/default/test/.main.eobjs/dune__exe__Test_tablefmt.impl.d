@@ -1,0 +1,1 @@
+test/test_tablefmt.ml: Alcotest Hcv_support List Option String Tablefmt

@@ -1,0 +1,1 @@
+test/test_timing.ml: Alcotest Clocking Hcv_ir Hcv_sched Hcv_support Instr Opcode Q Timing

@@ -1,0 +1,1 @@
+test/test_unroll.ml: Alcotest Builders Ddg Edge Hcv_ir Hcv_machine Hcv_sched Hcv_support Homo List Loop Opcode Presets Printf Q Recurrence Schedule Unroll

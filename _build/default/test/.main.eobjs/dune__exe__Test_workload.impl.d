@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Ddg Float Hcv_ir Hcv_machine Hcv_sched Hcv_support Hcv_workload Homo List Loop Mii Option Presets Recurrence Rng Shapes Specfp

@@ -1,0 +1,62 @@
+(* The ablation switches of the heterogeneous scheduler. *)
+
+open Hcv_machine
+open Hcv_energy
+open Hcv_core
+open Hcv_workload
+
+let machine = Presets.machine_4c ~buses:1
+
+let setup () =
+  let spec = Option.get (Specfp.find "sixtrack") in
+  let loops = Specfp.loops ~n_loops:4 ~seed:11 spec in
+  let profile = Result.get_ok (Profile.profile ~machine ~loops) in
+  let units =
+    Units.of_reference ~params:Params.default ~n_clusters:4
+      profile.Profile.activity
+  in
+  let ctx = Model.ctx ~params:Params.default ~units () in
+  let config =
+    (Select.select_heterogeneous ~ctx ~machine profile).Select.config
+  in
+  (ctx, profile, config)
+
+let test_variants_schedule () =
+  let ctx, profile, config = setup () in
+  List.iter
+    (fun (label, preplace, score_mode) ->
+      let _, ed2, fallbacks =
+        Pipeline.measure_config ~preplace ~score_mode ~ctx ~machine ~profile
+          ~config ()
+      in
+      Alcotest.(check bool) (label ^ " positive ed2") true (ed2 > 0.0);
+      Alcotest.(check int) (label ^ " no fallbacks") 0 fallbacks)
+    [
+      ("full", true, Hsched.Ed2);
+      ("no-preplace", false, Hsched.Ed2);
+      ("schedulability", true, Hsched.Schedulability);
+    ]
+
+let test_ed2_scoring_not_worse () =
+  (* On a recurrence-heavy population, the ED2-guided refinement should
+     not lose to pure schedulability scoring. *)
+  let ctx, profile, config = setup () in
+  let measure score_mode =
+    let _, ed2, _ =
+      Pipeline.measure_config ~score_mode ~ctx ~machine ~profile ~config ()
+    in
+    ed2
+  in
+  let full = measure Hsched.Ed2 in
+  let sched_only = measure Hsched.Schedulability in
+  Alcotest.(check bool)
+    (Printf.sprintf "ed2 %.4g <= sched-only %.4g * 1.02" full sched_only)
+    true
+    (full <= sched_only *. 1.02)
+
+let suite =
+  [
+    Alcotest.test_case "all variants schedule" `Quick test_variants_schedule;
+    Alcotest.test_case "ED2 scoring not worse" `Quick
+      test_ed2_scoring_not_worse;
+  ]

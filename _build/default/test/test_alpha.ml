@@ -1,0 +1,59 @@
+(* The alpha-power voltage/frequency model. *)
+
+open Hcv_machine
+
+let p = Alpha_power.default
+
+let test_calibration_point () =
+  (* The reference point satisfies the law exactly. *)
+  Alcotest.(check (float 1e-9)) "1 GHz at 1 V / 0.25 V" 1.0
+    (Alpha_power.fmax p ~vdd:1.0 ~vth:0.25)
+
+let test_vth_inverts_fmax () =
+  List.iter
+    (fun (vdd, f) ->
+      match Alpha_power.vth_for p ~vdd ~f with
+      | None -> Alcotest.failf "no vth for vdd=%g f=%g" vdd f
+      | Some vth ->
+        Alcotest.(check (float 1e-9))
+          (Printf.sprintf "fmax(vdd=%g, vth_for)=f" vdd)
+          f
+          (Alpha_power.fmax p ~vdd ~vth))
+    [ (1.0, 0.8); (1.1, 1.0); (0.9, 0.5); (1.2, 1.1) ]
+
+let test_monotonic_in_vth () =
+  (* Lower threshold -> faster. *)
+  let f1 = Alpha_power.fmax p ~vdd:1.0 ~vth:0.2 in
+  let f2 = Alpha_power.fmax p ~vdd:1.0 ~vth:0.3 in
+  Alcotest.(check bool) "vth down, f up" true (f1 > f2)
+
+let test_unreachable_frequency () =
+  (* Even vth = 0 cannot reach 10 GHz at 1 V. *)
+  Alcotest.(check bool) "none" true (Alpha_power.vth_for p ~vdd:1.0 ~f:10.0 = None)
+
+let test_valid_vth_band () =
+  Alcotest.(check bool) "mid ok" true (Alpha_power.valid_vth ~vdd:1.0 ~vth:0.5);
+  Alcotest.(check bool) "too low" false
+    (Alpha_power.valid_vth ~vdd:1.0 ~vth:0.05);
+  Alcotest.(check bool) "too high" false
+    (Alpha_power.valid_vth ~vdd:1.0 ~vth:0.95)
+
+let test_supports () =
+  (* The reference point is supported. *)
+  Alcotest.(check bool) "reference supported" true
+    (Alpha_power.supports p ~vdd:1.0 ~f:1.0 <> None);
+  (* A very low frequency at high vdd pushes vth above the guard
+     band. *)
+  Alcotest.(check bool) "underclocked out of band" true
+    (Alpha_power.supports p ~vdd:1.2 ~f:0.01 = None)
+
+let suite =
+  [
+    Alcotest.test_case "calibration point" `Quick test_calibration_point;
+    Alcotest.test_case "vth_for inverts fmax" `Quick test_vth_inverts_fmax;
+    Alcotest.test_case "monotonicity" `Quick test_monotonic_in_vth;
+    Alcotest.test_case "unreachable frequency" `Quick
+      test_unreachable_frequency;
+    Alcotest.test_case "vth guard band" `Quick test_valid_vth_band;
+    Alcotest.test_case "supports" `Quick test_supports;
+  ]

@@ -1,0 +1,86 @@
+(* Per-domain clocking: (frequency, II) selection at a given IT. *)
+
+open Hcv_support
+open Hcv_machine
+open Hcv_sched
+
+let machine = Presets.machine_4c ~buses:1
+let q = Alcotest.testable Q.pp Q.equal
+
+(* The paper's Figure 3: cluster 1 at 1 ns, cluster 2 at 1.5 ns,
+   IT = 3 ns gives II1 = 3 and II2 = 2. *)
+let test_paper_figure3 () =
+  let machine2 =
+    Machine.make ~name:"fig3"
+      ~clusters:[| Cluster.paper; Cluster.paper |]
+      ~icn:(Icn.make ~buses:1 ())
+      ()
+  in
+  let pt ct = { Opconfig.cycle_time = ct; vdd = 1.0 } in
+  let config =
+    Opconfig.make ~machine:machine2
+      ~cluster_points:[| pt Q.one; pt (Q.make 3 2) |]
+      ~icn_point:(pt Q.one) ~cache_point:(pt Q.one)
+  in
+  match Clocking.of_config ~config ~it:(Q.of_int 3) with
+  | Error c -> Alcotest.failf "sync failure at %s" (Comp.to_string c)
+  | Ok clocking ->
+    Alcotest.(check int) "II C1 = 3" 3 clocking.Clocking.cluster_ii.(0);
+    Alcotest.(check int) "II C2 = 2" 2 clocking.Clocking.cluster_ii.(1);
+    Alcotest.(check q) "C2 actual cycle time" (Q.make 3 2)
+      clocking.Clocking.cluster_ct.(1)
+
+let test_homogeneous () =
+  let c = Clocking.homogeneous ~n_clusters:4 ~ii:5 ~cycle_time:Q.one in
+  Alcotest.(check q) "IT" (Q.of_int 5) c.Clocking.it;
+  Alcotest.(check int) "icn II" 5 c.Clocking.icn_ii;
+  Alcotest.(check int) "fastest" 0 (Clocking.fastest_cluster c)
+
+let test_frequency_scaling_down () =
+  (* IT not an integer multiple of the cycle time: the domain is
+     clocked below its maximum. *)
+  let config = Presets.reference_config machine in
+  match Clocking.of_config ~config ~it:(Q.make 7 2) with
+  | Error c -> Alcotest.failf "sync failure at %s" (Comp.to_string c)
+  | Ok clocking ->
+    Alcotest.(check int) "II = 3" 3 clocking.Clocking.cluster_ii.(0);
+    (* Actual cycle time = IT / II = 7/6 > 1. *)
+    Alcotest.(check q) "stretched cycle" (Q.make 7 6)
+      clocking.Clocking.cluster_ct.(0)
+
+let test_grid_sync_failure () =
+  (* With a coarse grid, some ITs admit no (f, II) pair. *)
+  let gridded =
+    Machine.with_grid machine (Freqgrid.uniform ~steps:2 ~top:(Q.of_int 2))
+  in
+  (* Grid = {1, 2} GHz.  IT = 7/2: f=1 -> 3.5 not integer; f=2 -> 7
+     (integer!) but 2 GHz > fmax=1.  So sync failure. *)
+  let config = Presets.reference_config gridded in
+  (match Clocking.of_config ~config ~it:(Q.make 7 2) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected sync failure");
+  (* IT = 4 works at f = 1. *)
+  match Clocking.of_config ~config ~it:(Q.of_int 4) with
+  | Ok c -> Alcotest.(check int) "II 4" 4 c.Clocking.cluster_ii.(0)
+  | Error _ -> Alcotest.fail "IT=4 must synchronise"
+
+let test_cycle_helpers () =
+  let c = Clocking.homogeneous ~n_clusters:1 ~ii:4 ~cycle_time:(Q.make 3 2) in
+  Alcotest.(check q) "cycle 2 starts at 3" (Q.of_int 3)
+    (Clocking.cycle_start c (Comp.Cluster 0) 2);
+  Alcotest.(check int) "first cycle at 2.9" 2
+    (Clocking.first_cycle_at_or_after c (Comp.Cluster 0) (Q.make 29 10));
+  Alcotest.(check int) "first cycle at 3.0" 2
+    (Clocking.first_cycle_at_or_after c (Comp.Cluster 0) (Q.of_int 3));
+  Alcotest.(check int) "never negative" 0
+    (Clocking.first_cycle_at_or_after c (Comp.Cluster 0) (Q.of_int (-5)))
+
+let suite =
+  [
+    Alcotest.test_case "paper figure 3" `Quick test_paper_figure3;
+    Alcotest.test_case "homogeneous" `Quick test_homogeneous;
+    Alcotest.test_case "frequency scaled down" `Quick
+      test_frequency_scaling_down;
+    Alcotest.test_case "grid sync failure" `Quick test_grid_sync_failure;
+    Alcotest.test_case "cycle helpers" `Quick test_cycle_helpers;
+  ]

@@ -1,0 +1,99 @@
+(* Software-pipelined code emission. *)
+
+open Hcv_support
+open Hcv_ir
+open Hcv_sched
+
+let machine = Builders.machine_1bus
+
+let emit loop =
+  match Homo.schedule ~machine ~cycle_time:Q.one ~loop () with
+  | Ok (sched, _) -> Codegen.emit sched
+  | Error msg -> Alcotest.failf "scheduling failed: %s" msg
+
+let test_kernel_is_one_iteration () =
+  let loop = Builders.recurrence_loop () in
+  let code = emit loop in
+  Alcotest.(check int) "kernel ops = instrs + comms"
+    (Ddg.n_instrs loop.Loop.ddg
+    + Schedule.n_comms code.Codegen.schedule)
+    (Codegen.kernel_ops code)
+
+let test_prologue_epilogue_counts () =
+  (* Each instruction of stage s appears (SC-1-s) times in the prologue
+     and s times in the epilogue: together SC-1 times. *)
+  let loop = Builders.recurrence_loop () in
+  let code = emit loop in
+  let sc = code.Codegen.stage_count in
+  let n_ops =
+    Ddg.n_instrs loop.Loop.ddg + Schedule.n_comms code.Codegen.schedule
+  in
+  Alcotest.(check int) "ramp ops"
+    ((sc - 1) * n_ops)
+    (Codegen.static_ops code - Codegen.kernel_ops code)
+
+let test_kernel_length () =
+  let loop = Builders.dotprod () in
+  let code = emit loop in
+  let clocking = code.Codegen.schedule.Schedule.clocking in
+  Array.iteri
+    (fun cl (c : Codegen.cluster_code) ->
+      Alcotest.(check int)
+        (Printf.sprintf "kernel II cluster %d" cl)
+        clocking.Clocking.cluster_ii.(cl)
+        (Array.length c.Codegen.kernel))
+    code.Codegen.clusters;
+  Alcotest.(check int) "prologue length"
+    ((code.Codegen.stage_count - 1) * clocking.Clocking.cluster_ii.(0))
+    (Array.length code.Codegen.clusters.(0).Codegen.prologue)
+
+let test_stage_annotations () =
+  let loop = Builders.recurrence_loop () in
+  let code = emit loop in
+  let sc = code.Codegen.stage_count in
+  Array.iter
+    (fun (c : Codegen.cluster_code) ->
+      Array.iter
+        (fun word ->
+          List.iter
+            (function
+              | Codegen.Instr { stage; _ } | Codegen.Copy { stage; _ } ->
+                if stage < 0 || stage >= sc then
+                  Alcotest.failf "stage %d out of [0,%d)" stage sc)
+            word)
+        c.Codegen.kernel)
+    code.Codegen.clusters
+
+let test_render () =
+  let loop = Builders.dotprod () in
+  let code = emit loop in
+  let listing = Codegen.render code in
+  let table = Codegen.render_kernel_table code in
+  Alcotest.(check bool) "listing mentions kernel" true
+    (String.length listing > 0);
+  Alcotest.(check bool) "table nonempty" true (String.length table > 0)
+
+let test_invalid_rejected () =
+  let loop = Builders.dotprod () in
+  match Homo.schedule ~machine ~cycle_time:Q.one ~loop () with
+  | Error msg -> Alcotest.failf "scheduling failed: %s" msg
+  | Ok (sched, _) ->
+    let placements = Array.copy sched.Schedule.placements in
+    placements.(3) <- { Schedule.cluster = 0; cycle = 0 };
+    let broken = { sched with Schedule.placements } in
+    (match Codegen.emit broken with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.fail "expected Invalid_argument")
+
+let suite =
+  [
+    Alcotest.test_case "kernel = one iteration" `Quick
+      test_kernel_is_one_iteration;
+    Alcotest.test_case "prologue/epilogue counts" `Quick
+      test_prologue_epilogue_counts;
+    Alcotest.test_case "kernel lengths" `Quick test_kernel_length;
+    Alcotest.test_case "stage annotations" `Quick test_stage_annotations;
+    Alcotest.test_case "rendering" `Quick test_render;
+    Alcotest.test_case "invalid schedules rejected" `Quick
+      test_invalid_rejected;
+  ]

@@ -1,0 +1,54 @@
+(* Control-path overhead (distributed unbundled branches). *)
+
+open Hcv_support
+open Hcv_energy
+open Hcv_sched
+
+let machine = Builders.machine_1bus
+
+let sched_of loop =
+  match Homo.schedule ~machine ~cycle_time:Q.one ~loop () with
+  | Ok (s, _) -> s
+  | Error msg -> Alcotest.failf "scheduling failed: %s" msg
+
+let test_counts () =
+  let sched = sched_of (Builders.dotprod ()) in
+  let c = Control.analyze sched in
+  (* 4 clusters: 2 ops each + 1 condition = 9; 3 broadcasts. *)
+  Alcotest.(check int) "branch ops" 9 c.Control.branch_ops_per_iter;
+  Alcotest.(check int) "broadcasts" 3 c.Control.broadcasts_per_iter;
+  Alcotest.(check (float 1e-9)) "energy" 9.0 c.Control.energy_per_iter
+
+let test_slack () =
+  (* At II=3 and 1 ns cycles: condition (1) + sync (1) + bus (1) = 3 ns
+     fits the 3 ns IT. *)
+  let sched = sched_of (Builders.dotprod ()) in
+  let c = Control.analyze sched in
+  Alcotest.(check bool) "slack ok" true c.Control.slack_ok
+
+let test_overhead_activity () =
+  let sched = sched_of (Builders.dotprod ()) in
+  let c = Control.analyze sched in
+  let base =
+    Activity.make ~exec_time_ns:100.0
+      ~per_cluster_ins_energy:[| 10.0; 10.0; 10.0; 10.0 |]
+      ~n_comms:5.0 ~n_mem:2.0
+  in
+  let act =
+    Control.overhead_activity c ~trip:10 ~n_clusters:4 ~cond_cluster:0 base
+  in
+  (* +2 int ops per cluster per iteration, +1 on the condition cluster. *)
+  Alcotest.(check (float 1e-9)) "cond cluster" (10.0 +. 30.0)
+    act.Activity.per_cluster_ins_energy.(0);
+  Alcotest.(check (float 1e-9)) "other cluster" (10.0 +. 20.0)
+    act.Activity.per_cluster_ins_energy.(1);
+  Alcotest.(check (float 1e-9)) "broadcasts" (5.0 +. 30.0) act.Activity.n_comms;
+  Alcotest.(check (float 1e-9)) "time unchanged" 100.0
+    act.Activity.exec_time_ns
+
+let suite =
+  [
+    Alcotest.test_case "per-iteration counts" `Quick test_counts;
+    Alcotest.test_case "slack check" `Quick test_slack;
+    Alcotest.test_case "overhead activity" `Quick test_overhead_activity;
+  ]

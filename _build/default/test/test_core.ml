@@ -1,0 +1,206 @@
+(* The heterogeneous core: profiling, estimation, selection, the
+   Fig. 5 scheduler and the pipeline. *)
+
+open Hcv_support
+open Hcv_ir
+open Hcv_machine
+open Hcv_energy
+open Hcv_core
+
+let machine = Presets.machine_4c ~buses:1
+
+let small_loops () =
+  [
+    Builders.dotprod ~trip:50 ();
+    Builders.recurrence_loop ~trip:80 ();
+    Builders.wide_loop ~trip:60 ~width:6 ();
+  ]
+
+let make_ctx profile =
+  let units =
+    Units.of_reference ~params:Params.default ~n_clusters:4
+      profile.Profile.activity
+  in
+  Model.ctx ~params:Params.default ~units ()
+
+let with_profile f =
+  match Profile.profile ~machine ~loops:(small_loops ()) with
+  | Error msg -> Alcotest.failf "profiling failed: %s" msg
+  | Ok p -> f p
+
+let test_profile_basics () =
+  with_profile (fun p ->
+      Alcotest.(check int) "3 loops" 3 (List.length p.Profile.loops);
+      (* The normalised run spans t_norm_ns. *)
+      Alcotest.(check (float 1.0)) "normalised time" Profile.t_norm_ns
+        p.Profile.activity.Activity.exec_time_ns;
+      List.iter
+        (fun (lp : Profile.loop_profile) ->
+          Alcotest.(check bool) "ii >= mii" true
+            (lp.Profile.ii_hom >= lp.Profile.mii_hom);
+          Alcotest.(check bool) "positive reps" true (lp.Profile.reps > 0.0))
+        p.Profile.loops)
+
+let test_scale_cycle_time () =
+  with_profile (fun p ->
+      let a = Profile.scale_cycle_time p (Q.make 3 2) in
+      Alcotest.(check (float 1.0)) "time scales"
+        (1.5 *. Profile.t_norm_ns)
+        a.Activity.exec_time_ns;
+      Alcotest.(check (float 1e-6)) "counts unchanged"
+        p.Profile.activity.Activity.n_comms a.Activity.n_comms)
+
+let hetero_config () =
+  let pt ct vdd = { Opconfig.cycle_time = ct; vdd } in
+  Opconfig.make ~machine
+    ~cluster_points:
+      [|
+        pt (Q.make 9 10) 1.2;
+        pt (Q.make 27 20) 0.9;
+        pt (Q.make 27 20) 0.9;
+        pt (Q.make 27 20) 0.9;
+      |]
+    ~icn_point:(pt (Q.make 9 10) 1.0)
+    ~cache_point:(pt (Q.make 9 10) 1.2)
+
+let test_estimate_bounds () =
+  with_profile (fun p ->
+      let config = hetero_config () in
+      List.iter
+        (fun (lp : Profile.loop_profile) ->
+          let it = Estimate.loop_it ~config lp in
+          (* The estimated IT is at least the MIT. *)
+          Alcotest.(check bool) "it >= mit" true
+            (Q.( >= ) it (Mit.mit ~config lp.Profile.loop.Loop.ddg));
+          let est = Estimate.loop_estimate ~config lp in
+          Alcotest.(check bool) "positive exec" true (est.Estimate.exec_ns > 0.0))
+        p.Profile.loops)
+
+let test_estimate_activity () =
+  with_profile (fun p ->
+      let config = hetero_config () in
+      let act = Estimate.predict_activity ~config p in
+      (* Event counts carry over from the reference. *)
+      Alcotest.(check (float 1e-3)) "comms preserved"
+        p.Profile.activity.Activity.n_comms act.Activity.n_comms;
+      Alcotest.(check (float 1e-3)) "mem preserved"
+        p.Profile.activity.Activity.n_mem act.Activity.n_mem)
+
+let test_selection () =
+  with_profile (fun p ->
+      let ctx = make_ctx p in
+      let homo = Select.optimum_homogeneous ~ctx ~machine p in
+      (* The optimum homogeneous is no worse than the reference design
+         itself (which is in the sweep at ct=1, vdd=1). *)
+      let ref_ed2 =
+        Model.ed2 ctx
+          ~config:(Presets.reference_config machine)
+          p.Profile.activity
+      in
+      Alcotest.(check bool) "homo optimum <= reference" true
+        (homo.Select.predicted_ed2 <= ref_ed2 +. 1e-9);
+      (* Homogeneous configs share one voltage. *)
+      let cfg = homo.Select.config in
+      Alcotest.(check bool) "single voltage" true
+        (Opconfig.vdd cfg (Comp.Cluster 0) = Opconfig.vdd cfg Comp.Icn
+        && Opconfig.vdd cfg Comp.Icn = Opconfig.vdd cfg Comp.Cache);
+      let hetero = Select.select_heterogeneous ~ctx ~machine p in
+      Alcotest.(check bool) "hetero config realisable" true
+        (Opconfig.realisable hetero.Select.config);
+      let uniform = Select.select_uniform ~ctx ~machine p in
+      Alcotest.(check bool) "uniform is homogeneous-frequency" true
+        (Opconfig.is_homogeneous uniform.Select.config);
+      (* The heterogeneous sweep includes the uniform points. *)
+      Alcotest.(check bool) "hetero <= uniform (predicted)" true
+        (hetero.Select.predicted_ed2 <= uniform.Select.predicted_ed2 +. 1e-9))
+
+let test_preplacement () =
+  with_profile (fun p ->
+      let config = hetero_config () in
+      let lp =
+        List.find
+          (fun (lp : Profile.loop_profile) ->
+            lp.Profile.loop.Loop.name = "recurrence")
+          p.Profile.loops
+      in
+      let ddg = lp.Profile.loop.Loop.ddg in
+      let mit = Mit.mit ~config ddg in
+      match Hcv_sched.Clocking.of_config ~config ~it:mit with
+      | Error _ -> Alcotest.fail "clocking failed at MIT"
+      | Ok clocking -> (
+        match Hsched.preplace_recurrences ~config ~clocking ddg with
+        | Error msg -> Alcotest.failf "preplacement failed: %s" msg
+        | Ok fixed ->
+          (* The loop's 3-node critical recurrence does not fit the slow
+             clusters at MIT, so it must be pre-placed — on the fast
+             cluster. *)
+          Alcotest.(check int) "3 nodes fixed" 3 (List.length fixed);
+          List.iter
+            (fun (_, c) -> Alcotest.(check int) "fast cluster" 0 c)
+            fixed))
+
+let test_hsched_valid () =
+  with_profile (fun p ->
+      let ctx = make_ctx p in
+      let config = hetero_config () in
+      List.iter
+        (fun (lp : Profile.loop_profile) ->
+          match Hsched.schedule ~ctx ~config ~loop:lp.Profile.loop () with
+          | Error msg -> Alcotest.failf "hsched failed: %s" msg
+          | Ok (sched, stats) ->
+            Alcotest.(check bool) "validates" true
+              (Hcv_sched.Schedule.validate sched = Ok ());
+            Alcotest.(check bool) "IT >= MIT" true
+              (Q.( >= ) stats.Hsched.it stats.Hsched.mit))
+        p.Profile.loops)
+
+let test_pipeline () =
+  match
+    Pipeline.run ~machine ~name:"mini" ~loops:(small_loops ()) ()
+  with
+  | Error msg -> Alcotest.failf "pipeline failed: %s" msg
+  | Ok r ->
+    Alcotest.(check int) "no fallbacks" 0 r.Pipeline.fallbacks;
+    (* A 3-loop toy workload is not the calibrated population; just
+       require a sane, finite ratio. *)
+    Alcotest.(check bool) "ratio sane" true
+      (r.Pipeline.ed2_ratio > 0.3 && r.Pipeline.ed2_ratio < 1.3);
+    Alcotest.(check bool) "positive times" true
+      (r.Pipeline.ed2_homo > 0.0 && r.Pipeline.ed2_hetero > 0.0)
+
+let test_pipeline_hetero_sim_agrees () =
+  (* Cross-check the measured heterogeneous schedules against the
+     event-driven simulator. *)
+  match Pipeline.run ~machine ~name:"mini" ~loops:(small_loops ()) () with
+  | Error msg -> Alcotest.failf "pipeline failed: %s" msg
+  | Ok r ->
+    List.iter
+      (fun (lr : Pipeline.loop_result) ->
+        let trip = lr.Pipeline.profile.Profile.loop.Loop.trip in
+        match Hcv_sim.Simulator.measure ~schedule:lr.Pipeline.schedule ~trip with
+        | Error vs ->
+          Alcotest.failf "sim violations: %s" (String.concat "; " vs)
+        | Ok act ->
+          let analytic =
+            Profile.activity_of_schedule lr.Pipeline.schedule ~trip
+          in
+          Alcotest.(check (float 1e-6))
+            "sim time = analytic" analytic.Activity.exec_time_ns
+            act.Activity.exec_time_ns)
+      r.Pipeline.loop_results
+
+let suite =
+  [
+    Alcotest.test_case "profile basics" `Quick test_profile_basics;
+    Alcotest.test_case "homogeneous cycle-time scaling" `Quick
+      test_scale_cycle_time;
+    Alcotest.test_case "estimate bounds" `Quick test_estimate_bounds;
+    Alcotest.test_case "estimate activity" `Quick test_estimate_activity;
+    Alcotest.test_case "selection" `Quick test_selection;
+    Alcotest.test_case "recurrence pre-placement" `Quick test_preplacement;
+    Alcotest.test_case "heterogeneous schedules validate" `Quick
+      test_hsched_valid;
+    Alcotest.test_case "pipeline" `Quick test_pipeline;
+    Alcotest.test_case "pipeline vs simulator" `Quick
+      test_pipeline_hetero_sim_agrees;
+  ]

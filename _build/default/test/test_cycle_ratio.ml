@@ -1,0 +1,140 @@
+(* Maximum cycle ratio: the exact recurrence bound. *)
+
+open Hcv_support
+open Hcv_ir
+
+let add = Opcode.make Opcode.Arith Opcode.Int
+
+let build edges n =
+  let b = Ddg.Builder.create () in
+  for _ = 1 to n do
+    ignore (Ddg.Builder.add_instr b add)
+  done;
+  List.iter
+    (fun (src, dst, lat, dist) ->
+      Ddg.Builder.add_edge b ~latency:lat ~distance:dist src dst)
+    edges;
+  Ddg.Builder.build b
+
+let all_nodes n = List.init n (fun i -> i)
+let q = Alcotest.testable Q.pp Q.equal
+
+let test_simple_self_loop () =
+  let g = build [ (0, 0, 3, 1) ] 1 in
+  Alcotest.(check (option q)) "ratio 3" (Some (Q.of_int 3))
+    (Cycle_ratio.exact_over g (all_nodes 1));
+  Alcotest.(check int) "ceil 3" 3 (Cycle_ratio.ceil_over g (all_nodes 1))
+
+let test_fractional_ratio () =
+  (* Cycle of latency 7 spanning 2 iterations: ratio 7/2. *)
+  let g = build [ (0, 1, 3, 0); (1, 0, 4, 2) ] 2 in
+  Alcotest.(check (option q)) "ratio 7/2" (Some (Q.make 7 2))
+    (Cycle_ratio.exact_over g (all_nodes 2));
+  Alcotest.(check int) "ceil 4" 4 (Cycle_ratio.ceil_over g (all_nodes 2))
+
+let test_max_of_two_cycles () =
+  (* Two cycles: 0<->1 with ratio 5, 0 self loop ratio 2: max is 5. *)
+  let g = build [ (0, 1, 2, 0); (1, 0, 3, 1); (0, 0, 2, 1) ] 2 in
+  Alcotest.(check (option q)) "max ratio" (Some (Q.of_int 5))
+    (Cycle_ratio.exact_over g (all_nodes 2))
+
+let test_no_cycle () =
+  let g = build [ (0, 1, 5, 0) ] 2 in
+  Alcotest.(check (option q)) "acyclic" None
+    (Cycle_ratio.exact_over g (all_nodes 2));
+  Alcotest.(check int) "ceil 0" 0 (Cycle_ratio.ceil_over g (all_nodes 2))
+
+let test_zero_latency_cycle () =
+  let g = build [ (0, 1, 0, 0); (1, 0, 0, 1) ] 2 in
+  Alcotest.(check (option q)) "ratio 0" (Some Q.zero)
+    (Cycle_ratio.exact_over g (all_nodes 2))
+
+let test_subset_restriction () =
+  (* The critical cycle is outside the queried subset. *)
+  let g = build [ (0, 0, 9, 1); (1, 1, 2, 1) ] 2 in
+  Alcotest.(check (option q)) "only node 1" (Some (Q.of_int 2))
+    (Cycle_ratio.exact_over g [ 1 ])
+
+let test_positive_cycle_monotone () =
+  let g = build [ (0, 1, 3, 0); (1, 0, 4, 2) ] 2 in
+  (* lambda* = 7/2: positive cycle strictly below, none at or above. *)
+  Alcotest.(check bool) "below" true
+    (Cycle_ratio.has_positive_cycle g (all_nodes 2) (Q.of_int 3));
+  Alcotest.(check bool) "at" false
+    (Cycle_ratio.has_positive_cycle g (all_nodes 2) (Q.make 7 2));
+  Alcotest.(check bool) "above" false
+    (Cycle_ratio.has_positive_cycle g (all_nodes 2) (Q.of_int 4))
+
+(* Property: ceil_over = ceil(exact_over) on random strongly cyclic
+   graphs. *)
+let prop_ceil_consistent =
+  let gen =
+    QCheck.make
+      (QCheck.Gen.map
+         (fun seed ->
+           let rng = Hcv_support.Rng.create seed in
+           let n = 2 + Hcv_support.Rng.int rng 6 in
+           (* A ring with distances >= 1 on one edge plus chords. *)
+           let edges = ref [] in
+           for i = 0 to n - 1 do
+             let dist = if i = n - 1 then 1 + Hcv_support.Rng.int rng 3 else 0 in
+             edges :=
+               (i, (i + 1) mod n, 1 + Hcv_support.Rng.int rng 8, dist)
+               :: !edges
+           done;
+           for _ = 1 to Hcv_support.Rng.int rng 4 do
+             let a = Hcv_support.Rng.int rng n
+             and b = Hcv_support.Rng.int rng n in
+             edges :=
+               (a, b, 1 + Hcv_support.Rng.int rng 8,
+                1 + Hcv_support.Rng.int rng 2)
+               :: !edges
+           done;
+           build !edges n)
+         QCheck.Gen.int)
+  in
+  QCheck.Test.make ~name:"ceil_over = ceil(exact_over)" ~count:100 gen
+    (fun g ->
+      let nodes = all_nodes (Ddg.n_instrs g) in
+      match Cycle_ratio.exact_over g nodes with
+      | None -> Cycle_ratio.ceil_over g nodes = 0
+      | Some r -> Cycle_ratio.ceil_over g nodes = Q.ceil r)
+
+(* Property: the exact ratio is the feasibility boundary: the
+   positive-cycle test fails at the ratio itself and succeeds just
+   below it. *)
+let prop_exact_is_boundary =
+  let gen =
+    QCheck.make
+      (QCheck.Gen.map
+         (fun seed ->
+           let rng = Hcv_support.Rng.create seed in
+           let lat = 1 + Hcv_support.Rng.int rng 12 in
+           let dist = 1 + Hcv_support.Rng.int rng 4 in
+           let lat2 = 1 + Hcv_support.Rng.int rng 12 in
+           build [ (0, 1, lat, 0); (1, 0, lat2, dist) ] 2)
+         QCheck.Gen.int)
+  in
+  QCheck.Test.make ~name:"exact ratio is the feasibility boundary" ~count:100
+    gen (fun g ->
+      let nodes = all_nodes 2 in
+      match Cycle_ratio.exact_over g nodes with
+      | None -> false
+      | Some r ->
+        (not (Cycle_ratio.has_positive_cycle g nodes r))
+        && Cycle_ratio.has_positive_cycle g nodes
+             (Q.sub r (Q.make 1 1000)))
+
+let suite =
+  [
+    Alcotest.test_case "self loop" `Quick test_simple_self_loop;
+    Alcotest.test_case "fractional ratio" `Quick test_fractional_ratio;
+    Alcotest.test_case "max of two cycles" `Quick test_max_of_two_cycles;
+    Alcotest.test_case "no cycle" `Quick test_no_cycle;
+    Alcotest.test_case "zero-latency cycle" `Quick test_zero_latency_cycle;
+    Alcotest.test_case "subset restriction" `Quick test_subset_restriction;
+    Alcotest.test_case "positive-cycle monotone" `Quick
+      test_positive_cycle_monotone;
+    QCheck_alcotest.to_alcotest prop_ceil_consistent;
+    QCheck_alcotest.to_alcotest prop_exact_is_boundary;
+  ]

@@ -1,0 +1,147 @@
+(* DDG construction and analyses. *)
+
+open Hcv_ir
+
+let add = Opcode.make Opcode.Arith Opcode.Int
+let fmul = Opcode.make Opcode.Mult Opcode.Fp
+
+let diamond () =
+  (* a -> b, a -> c, b -> d, c -> d *)
+  let b = Ddg.Builder.create () in
+  let a = Ddg.Builder.add_instr b ~name:"a" add in
+  let b1 = Ddg.Builder.add_instr b ~name:"b" fmul in
+  let c = Ddg.Builder.add_instr b ~name:"c" add in
+  let d = Ddg.Builder.add_instr b ~name:"d" add in
+  Ddg.Builder.add_edge b a b1;
+  Ddg.Builder.add_edge b a c;
+  Ddg.Builder.add_edge b b1 d;
+  Ddg.Builder.add_edge b c d;
+  Ddg.Builder.build b
+
+let test_builder_basic () =
+  let g = diamond () in
+  Alcotest.(check int) "4 instrs" 4 (Ddg.n_instrs g);
+  Alcotest.(check int) "4 edges" 4 (Ddg.n_edges g);
+  Alcotest.(check int) "a has 2 succs" 2 (List.length (Ddg.succs g 0));
+  Alcotest.(check int) "d has 2 preds" 2 (List.length (Ddg.preds g 3))
+
+let test_default_edge_latency () =
+  let g = diamond () in
+  (* Edge a->b defaults to a's latency (int add = 1); b->d to fp mult's
+     latency (6). *)
+  let e_ab = List.find (fun (e : Edge.t) -> e.dst = 1) (Ddg.succs g 0) in
+  Alcotest.(check int) "a->b latency" 1 e_ab.Edge.latency;
+  let e_bd = List.hd (Ddg.succs g 1) in
+  Alcotest.(check int) "b->d latency" 6 e_bd.Edge.latency
+
+let test_zero_cycle_rejected () =
+  let b = Ddg.Builder.create () in
+  let a = Ddg.Builder.add_instr b add in
+  let c = Ddg.Builder.add_instr b add in
+  Ddg.Builder.add_edge b a c;
+  Ddg.Builder.add_edge b c a;
+  Alcotest.check_raises "0-distance cycle"
+    (Invalid_argument "Ddg.of_instrs: zero-distance dependence cycle")
+    (fun () -> ignore (Ddg.Builder.build b))
+
+let test_loop_carried_cycle_ok () =
+  let b = Ddg.Builder.create () in
+  let a = Ddg.Builder.add_instr b add in
+  let c = Ddg.Builder.add_instr b add in
+  Ddg.Builder.add_edge b a c;
+  Ddg.Builder.add_edge b ~distance:1 c a;
+  let g = Ddg.Builder.build b in
+  Alcotest.(check int) "built" 2 (Ddg.n_instrs g)
+
+let test_topo_order () =
+  let g = diamond () in
+  let order = Ddg.topo_order g in
+  let pos = Array.make 4 0 in
+  List.iteri (fun idx i -> pos.(i) <- idx) order;
+  List.iter
+    (fun (e : Edge.t) ->
+      if e.distance = 0 then
+        Alcotest.(check bool) "src before dst" true (pos.(e.src) < pos.(e.dst)))
+    (Ddg.edges g)
+
+let test_heights_and_critical_path () =
+  let g = diamond () in
+  let h = Ddg.heights g in
+  (* d: 1; b: 6 + 1 = 7; c: 1 + 1 = 2; a: 1 + 7 = 8. *)
+  Alcotest.(check int) "height d" 1 h.(3);
+  Alcotest.(check int) "height b" 7 h.(1);
+  Alcotest.(check int) "height c" 2 h.(2);
+  Alcotest.(check int) "height a" 8 h.(0);
+  Alcotest.(check int) "critical path" 8 (Ddg.acyclic_critical_path g)
+
+let test_earliest_starts () =
+  let g = diamond () in
+  let s = Ddg.earliest_starts g in
+  Alcotest.(check int) "a at 0" 0 s.(0);
+  Alcotest.(check int) "b at 1" 1 s.(1);
+  Alcotest.(check int) "c at 1" 1 s.(2);
+  Alcotest.(check int) "d after b" 7 s.(3)
+
+let test_fu_demand () =
+  let g = diamond () in
+  let demand = Ddg.fu_demand g in
+  Alcotest.(check int) "int ops" 3 (List.assoc Opcode.Int_fu demand);
+  Alcotest.(check int) "fp ops" 1 (List.assoc Opcode.Fp_fu demand);
+  Alcotest.(check int) "mem ops" 0 (List.assoc Opcode.Mem_port demand)
+
+let test_find_instr () =
+  let g = diamond () in
+  (match Ddg.find_instr g "c" with
+  | Some ins -> Alcotest.(check int) "id of c" 2 ins.Instr.id
+  | None -> Alcotest.fail "c not found");
+  Alcotest.(check bool) "missing" true (Ddg.find_instr g "zz" = None)
+
+let test_total_energy () =
+  let g = diamond () in
+  (* 3 int adds (1.0) + 1 fp mult (1.5). *)
+  Alcotest.(check (float 1e-9)) "energy" 4.5 (Ddg.total_energy g)
+
+(* Property: random DAGs (edges only forward) always build and
+   topo-sort. *)
+let prop_random_dag =
+  let gen =
+    QCheck.make
+      (QCheck.Gen.map
+         (fun seed ->
+           let rng = Hcv_support.Rng.create seed in
+           let n = 2 + Hcv_support.Rng.int rng 20 in
+           let b = Ddg.Builder.create () in
+           for _ = 1 to n do
+             ignore (Ddg.Builder.add_instr b add)
+           done;
+           for dst = 1 to n - 1 do
+             let n_preds = Hcv_support.Rng.int rng 3 in
+             for _ = 1 to n_preds do
+               Ddg.Builder.add_edge b (Hcv_support.Rng.int rng dst) dst
+             done
+           done;
+           Ddg.Builder.build b)
+         QCheck.Gen.int)
+  in
+  QCheck.Test.make ~name:"random forward DAGs topo-sort" ~count:100 gen
+    (fun g ->
+      let order = Ddg.topo_order g in
+      List.length order = Ddg.n_instrs g)
+
+let suite =
+  [
+    Alcotest.test_case "builder" `Quick test_builder_basic;
+    Alcotest.test_case "default edge latency" `Quick test_default_edge_latency;
+    Alcotest.test_case "zero-distance cycle rejected" `Quick
+      test_zero_cycle_rejected;
+    Alcotest.test_case "loop-carried cycle ok" `Quick
+      test_loop_carried_cycle_ok;
+    Alcotest.test_case "topological order" `Quick test_topo_order;
+    Alcotest.test_case "heights / critical path" `Quick
+      test_heights_and_critical_path;
+    Alcotest.test_case "earliest starts" `Quick test_earliest_starts;
+    Alcotest.test_case "fu demand" `Quick test_fu_demand;
+    Alcotest.test_case "find by name" `Quick test_find_instr;
+    Alcotest.test_case "total energy" `Quick test_total_energy;
+    QCheck_alcotest.to_alcotest prop_random_dag;
+  ]

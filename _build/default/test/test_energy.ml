@@ -1,0 +1,130 @@
+(* The §3.1 energy model: units, scaling factors and the reconstruction
+   invariant (the reference run on the reference machine costs exactly
+   1.0). *)
+
+open Hcv_machine
+open Hcv_energy
+open Hcv_support
+
+let machine = Presets.machine_4c ~buses:1
+
+let ref_activity =
+  Activity.make ~exec_time_ns:1000.0
+    ~per_cluster_ins_energy:[| 100.0; 110.0; 90.0; 100.0 |]
+    ~n_comms:120.0 ~n_mem:130.0
+
+let ctx_of params =
+  let units = Units.of_reference ~params ~n_clusters:4 ref_activity in
+  Model.ctx ~params ~units ()
+
+let test_params_validation () =
+  Alcotest.check_raises "shares leave nothing"
+    (Invalid_argument
+       "Params.make: icn and cache shares leave nothing for clusters")
+    (fun () -> ignore (Params.make ~frac_icn:0.5 ~frac_cache:0.5 ()));
+  let p = Params.default in
+  Alcotest.(check (float 1e-9)) "cluster share" (1.0 -. 0.1 -. (1.0 /. 3.0))
+    (Params.frac_cluster p)
+
+let test_reference_reconstruction () =
+  (* Evaluating the reference activity on the reference configuration
+     must reproduce exactly 1.0 total energy, with the configured
+     component shares. *)
+  let params = Params.default in
+  let ctx = ctx_of params in
+  let config = Presets.reference_config machine in
+  let b = Model.energy ctx ~config ref_activity in
+  Alcotest.(check (float 1e-9)) "total = 1" 1.0 (Model.total b);
+  Alcotest.(check (float 1e-9)) "icn share" 0.1 (b.Model.dyn_icn +. b.Model.stat_icn);
+  Alcotest.(check (float 1e-9)) "cache share" (1.0 /. 3.0)
+    (b.Model.dyn_cache +. b.Model.stat_cache);
+  Alcotest.(check (float 1e-9)) "cluster leakage share"
+    ((1.0 /. 3.0) *. Params.frac_cluster params)
+    b.Model.stat_cluster
+
+let test_reconstruction_other_params () =
+  (* The invariant holds for any breakdown (the Fig. 8/9 knobs). *)
+  List.iter
+    (fun (fi, fc, li, lc, lcl) ->
+      let params =
+        Params.make ~frac_icn:fi ~frac_cache:fc ~leak_icn:li ~leak_cache:lc
+          ~leak_cluster:lcl ()
+      in
+      let ctx = ctx_of params in
+      let config = Presets.reference_config machine in
+      let b = Model.energy ctx ~config ref_activity in
+      Alcotest.(check (float 1e-9)) "total = 1" 1.0 (Model.total b))
+    [
+      (0.1, 0.25, 0.1, 2.0 /. 3.0, 1.0 /. 3.0);
+      (0.2, 0.3, 0.15, 0.7, 0.4);
+      (0.15, 0.3, 0.05, 0.6, 0.25);
+    ]
+
+let test_scale_factors_at_reference () =
+  Alcotest.(check (float 1e-9)) "delta(ref)=1" 1.0
+    (Scale.delta ~vdd:1.0 ~vdd_ref:1.0);
+  Alcotest.(check (float 1e-9)) "sigma(ref)=1" 1.0
+    (Scale.sigma ~vdd:1.0 ~vth:0.25 ~vdd_ref:1.0 ~vth_ref:0.25 ());
+  Alcotest.(check (float 1e-9)) "delta quadratic" 4.0
+    (Scale.delta ~vdd:2.0 ~vdd_ref:1.0);
+  (* One subthreshold swing of vth change = 10x leakage. *)
+  Alcotest.(check (float 1e-6)) "sigma decade" 10.0
+    (Scale.sigma ~vdd:1.0 ~vth:0.15 ~vdd_ref:1.0 ~vth_ref:0.25 ())
+
+let test_voltage_scaling_direction () =
+  (* Dropping every supply voltage (same frequency headroom aside) must
+     not increase dynamic energy. *)
+  let ctx = ctx_of Params.default in
+  let lo =
+    Opconfig.homogeneous ~machine ~cycle_time:(Q.make 3 2) ~vdd:0.8 ()
+  in
+  let hi = Opconfig.homogeneous ~machine ~cycle_time:(Q.make 3 2) ~vdd:1.0 () in
+  let b_lo = Model.energy ctx ~config:lo ref_activity in
+  let b_hi = Model.energy ctx ~config:hi ref_activity in
+  Alcotest.(check bool) "dyn cluster lower" true
+    (b_lo.Model.dyn_cluster < b_hi.Model.dyn_cluster);
+  Alcotest.(check bool) "dyn cache lower" true
+    (b_lo.Model.dyn_cache < b_hi.Model.dyn_cache)
+
+let test_ed2 () =
+  let ctx = ctx_of Params.default in
+  let config = Presets.reference_config machine in
+  Alcotest.(check (float 1e-3)) "ed2 = E * T^2" 1e6
+    (Model.ed2 ctx ~config ref_activity)
+
+let test_unrealisable_rejected () =
+  let ctx = ctx_of Params.default in
+  (* 0.7 V cannot sustain 1 GHz within the vth guard band... it can
+     actually; use an absurd frequency instead. *)
+  let config =
+    Opconfig.homogeneous ~machine ~cycle_time:(Q.make 1 10) ~vdd:1.0 ()
+  in
+  Alcotest.(check bool) "unrealisable" false (Opconfig.realisable config);
+  match Model.energy ctx ~config ref_activity with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected Invalid_argument"
+
+let test_activity_ops () =
+  let a = Activity.scale ref_activity 2.0 in
+  Alcotest.(check (float 1e-9)) "scale time" 2000.0 a.Activity.exec_time_ns;
+  Alcotest.(check (float 1e-9)) "scale comms" 240.0 a.Activity.n_comms;
+  let s = Activity.add ref_activity ref_activity in
+  Alcotest.(check (float 1e-9)) "add" (Activity.total_ins_energy a)
+    (Activity.total_ins_energy s)
+
+let suite =
+  [
+    Alcotest.test_case "params validation" `Quick test_params_validation;
+    Alcotest.test_case "reference reconstructs to 1.0" `Quick
+      test_reference_reconstruction;
+    Alcotest.test_case "reconstruction across params" `Quick
+      test_reconstruction_other_params;
+    Alcotest.test_case "delta/sigma at reference" `Quick
+      test_scale_factors_at_reference;
+    Alcotest.test_case "voltage scaling direction" `Quick
+      test_voltage_scaling_direction;
+    Alcotest.test_case "ed2" `Quick test_ed2;
+    Alcotest.test_case "unrealisable configs rejected" `Quick
+      test_unrealisable_rejected;
+    Alcotest.test_case "activity scale/add" `Quick test_activity_ops;
+  ]

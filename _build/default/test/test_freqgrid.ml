@@ -1,0 +1,121 @@
+(* Frequency grids and (frequency, II) pair selection. *)
+
+open Hcv_support
+open Hcv_machine
+
+let q = Alcotest.testable Q.pp Q.equal
+
+let test_unrestricted () =
+  (* fmax = 1 GHz, IT = 3.5 ns: II = 3, f = 3/3.5 = 6/7. *)
+  match Freqgrid.best_pair Freqgrid.Unrestricted ~fmax:Q.one ~it:(Q.make 7 2) with
+  | Some (f, ii) ->
+    Alcotest.(check int) "II" 3 ii;
+    Alcotest.(check q) "f" (Q.make 6 7) f
+  | None -> Alcotest.fail "expected a pair"
+
+let test_unrestricted_exact () =
+  (* Integral product: run at fmax. *)
+  match Freqgrid.best_pair Freqgrid.Unrestricted ~fmax:Q.one ~it:(Q.of_int 4) with
+  | Some (f, ii) ->
+    Alcotest.(check int) "II" 4 ii;
+    Alcotest.(check q) "f = fmax" Q.one f
+  | None -> Alcotest.fail "expected a pair"
+
+let test_unrestricted_too_small () =
+  (* IT below one cycle: no pair. *)
+  Alcotest.(check bool) "none" true
+    (Freqgrid.best_pair Freqgrid.Unrestricted ~fmax:Q.one ~it:(Q.make 1 2)
+    = None)
+
+let test_uniform_membership () =
+  let grid = Freqgrid.uniform ~steps:4 ~top:(Q.of_int 2) in
+  (* Grid = {1/2, 1, 3/2, 2}. *)
+  (match Freqgrid.frequencies grid with
+  | Some fs ->
+    Alcotest.(check int) "4 freqs" 4 (List.length fs);
+    Alcotest.(check q) "lowest" (Q.make 1 2) (List.hd fs)
+  | None -> Alcotest.fail "uniform grid lists frequencies");
+  (* fmax = 1, IT = 2: best grid f with f*2 integer and f <= 1: f = 1
+     (II 2). *)
+  match Freqgrid.best_pair grid ~fmax:Q.one ~it:(Q.of_int 2) with
+  | Some (f, ii) ->
+    Alcotest.(check q) "f" Q.one f;
+    Alcotest.(check int) "II" 2 ii
+  | None -> Alcotest.fail "expected a pair"
+
+let test_uniform_integrality () =
+  let grid = Freqgrid.uniform ~steps:4 ~top:(Q.of_int 2) in
+  (* IT = 7/3: 1 * 7/3 not integral; 3/2 * 7/3 = 7/2 not integral;
+     1/2 * 7/3 = 7/6 not integral -> no pair. *)
+  Alcotest.(check bool) "sync failure" true
+    (Freqgrid.best_pair grid ~fmax:Q.one ~it:(Q.make 7 3) = None);
+  (* IT = 2: fine. *)
+  Alcotest.(check bool) "sync ok" true
+    (Freqgrid.best_pair grid ~fmax:Q.one ~it:(Q.of_int 2) <> None)
+
+let prop_pair_is_valid =
+  let gen =
+    QCheck.make
+      (QCheck.Gen.map
+         (fun seed ->
+           let rng = Hcv_support.Rng.create seed in
+           let steps = 1 + Hcv_support.Rng.int rng 16 in
+           let fmax =
+             Q.make (1 + Hcv_support.Rng.int rng 20) (1 + Hcv_support.Rng.int rng 10)
+           in
+           let it =
+             Q.make (1 + Hcv_support.Rng.int rng 40) (1 + Hcv_support.Rng.int rng 8)
+           in
+           (steps, fmax, it))
+         QCheck.Gen.int)
+  in
+  QCheck.Test.make ~name:"best_pair invariants" ~count:200 gen
+    (fun (steps, fmax, it) ->
+      let grid = Freqgrid.uniform ~steps ~top:(Q.of_int 2) in
+      match Freqgrid.best_pair grid ~fmax ~it with
+      | None -> true
+      | Some (f, ii) ->
+        ii >= 1
+        && Q.( <= ) f fmax
+        && Q.equal (Q.mul f it) (Q.of_int ii)
+        &&
+        (* f is a grid frequency. *)
+        (match Freqgrid.frequencies grid with
+        | Some fs -> List.exists (Q.equal f) fs
+        | None -> false))
+
+
+(* Divider grids (the Fig. 2 clock-generation network). *)
+let test_dividers () =
+  let grid = Freqgrid.dividers ~steps:4 ~base:(Q.of_int 2) in
+  (match Freqgrid.frequencies grid with
+  | Some fs ->
+    Alcotest.(check int) "4 freqs" 4 (List.length fs);
+    Alcotest.(check q) "lowest = base/steps" (Q.make 1 2) (List.hd fs);
+    Alcotest.(check q) "highest = base" (Q.of_int 2)
+      (List.nth fs 3)
+  | None -> Alcotest.fail "dividers list frequencies");
+  (* fmax = 1: dividers 2 (f=1), 3 (2/3), 4 (1/2) are usable.
+     IT = 3: f=1 -> II 3 (integer): picked. *)
+  (match Freqgrid.best_pair grid ~fmax:Q.one ~it:(Q.of_int 3) with
+  | Some (f, ii) ->
+    Alcotest.(check q) "f" Q.one f;
+    Alcotest.(check int) "II" 3 ii
+  | None -> Alcotest.fail "expected a pair");
+  (* IT = 3/2: f=1 -> 3/2 not integral; f=2/3 -> 1 (integral). *)
+  match Freqgrid.best_pair grid ~fmax:Q.one ~it:(Q.make 3 2) with
+  | Some (f, ii) ->
+    Alcotest.(check q) "lower divider" (Q.make 2 3) f;
+    Alcotest.(check int) "II 1" 1 ii
+  | None -> Alcotest.fail "expected a divider pair"
+
+let suite =
+  [
+    Alcotest.test_case "unrestricted" `Quick test_unrestricted;
+    Alcotest.test_case "unrestricted exact" `Quick test_unrestricted_exact;
+    Alcotest.test_case "IT below a cycle" `Quick test_unrestricted_too_small;
+    Alcotest.test_case "uniform membership" `Quick test_uniform_membership;
+    Alcotest.test_case "uniform integrality" `Quick test_uniform_integrality;
+    QCheck_alcotest.to_alcotest prop_pair_is_valid;
+    Alcotest.test_case "divider grids" `Quick test_dividers;
+  ]

@@ -1,0 +1,118 @@
+(* Property tests of the scheduler under *randomised heterogeneous
+   clockings*: random loops on random per-cluster cycle times must
+   either schedule to a fully validated schedule or fail with a clean
+   error — never emit a wrong schedule. *)
+
+open Hcv_support
+open Hcv_ir
+open Hcv_machine
+open Hcv_sched
+open Hcv_core
+
+let machine = Presets.machine_4c ~buses:1
+
+let random_loop rng =
+  let ops =
+    [
+      Opcode.make Opcode.Arith Opcode.Fp;
+      Opcode.make Opcode.Mult Opcode.Fp;
+      Opcode.make Opcode.Div Opcode.Fp;
+      Opcode.make Opcode.Arith Opcode.Int;
+      Opcode.make Opcode.Memory Opcode.Fp;
+    ]
+  in
+  let n = 3 + Rng.int rng 14 in
+  let b = Ddg.Builder.create () in
+  for _ = 1 to n do
+    ignore (Ddg.Builder.add_instr b (Rng.pick rng ops))
+  done;
+  for dst = 1 to n - 1 do
+    if Rng.chance rng 0.75 then Ddg.Builder.add_edge b (Rng.int rng dst) dst;
+    if Rng.chance rng 0.2 then
+      Ddg.Builder.add_edge b ~distance:(1 + Rng.int rng 2) dst (Rng.int rng dst)
+  done;
+  Loop.make ~trip:(10 + Rng.int rng 100) ~name:"prop" (Ddg.Builder.build b)
+
+let random_config rng =
+  let fast = Rng.pick rng Presets.fast_factors in
+  let slow = Rng.pick rng Presets.slow_factors in
+  let fast_ct = Q.mul Presets.reference_cycle_time fast in
+  let slow_ct = Q.mul fast_ct slow in
+  let n_fast = 1 + Rng.int rng 3 in
+  let pt ct = { Opconfig.cycle_time = ct; vdd = 1.0 } in
+  Opconfig.make ~machine
+    ~cluster_points:
+      (Array.init 4 (fun i -> pt (if i < n_fast then fast_ct else slow_ct)))
+    ~icn_point:(pt fast_ct) ~cache_point:(pt fast_ct)
+
+(* A throwaway model context (scoring only compares candidates). *)
+let ctx =
+  let act =
+    Hcv_energy.Activity.make ~exec_time_ns:1e6
+      ~per_cluster_ins_energy:[| 100.; 100.; 100.; 100. |]
+      ~n_comms:100. ~n_mem:100.
+  in
+  Hcv_energy.Model.ctx ~params:Hcv_energy.Params.default
+    ~units:
+      (Hcv_energy.Units.of_reference ~params:Hcv_energy.Params.default
+         ~n_clusters:4 act)
+    ()
+
+let prop_hetero_schedules_validate =
+  QCheck.Test.make ~name:"heterogeneous schedules validate" ~count:40
+    (QCheck.make QCheck.Gen.int) (fun seed ->
+      let rng = Rng.create seed in
+      let loop = random_loop rng in
+      let config = random_config rng in
+      match Hsched.schedule ~ctx ~config ~loop () with
+      | Error _ -> true (* clean failure is acceptable *)
+      | Ok (sched, stats) ->
+        Schedule.validate sched = Ok ()
+        && Q.( >= ) stats.Hsched.it stats.Hsched.mit)
+
+let prop_hetero_sim_clean =
+  QCheck.Test.make ~name:"heterogeneous schedules simulate clean" ~count:25
+    (QCheck.make QCheck.Gen.int) (fun seed ->
+      let rng = Rng.create (seed lxor 0x5bd1e995) in
+      let loop = random_loop rng in
+      let config = random_config rng in
+      match Hsched.schedule ~ctx ~config ~loop () with
+      | Error _ -> true
+      | Ok (sched, _) -> (
+        match Hcv_sim.Simulator.measure ~schedule:sched ~trip:15 with
+        | Ok _ -> true
+        | Error _ -> false))
+
+let prop_it_on_candidate_grid =
+  QCheck.Test.make ~name:"final IT admits integral IIs everywhere" ~count:40
+    (QCheck.make QCheck.Gen.int) (fun seed ->
+      let rng = Rng.create (seed lxor 0x2545f491) in
+      let loop = random_loop rng in
+      let config = random_config rng in
+      match Hsched.schedule ~ctx ~config ~loop () with
+      | Error _ -> true
+      | Ok (sched, _) ->
+        let clocking = sched.Schedule.clocking in
+        (* Every domain: II >= 1 and II * actual-ct = IT. *)
+        Array.for_all2
+          (fun ii ct ->
+            ii >= 1 && Q.equal (Q.mul_int ct ii) clocking.Clocking.it)
+          clocking.Clocking.cluster_ii clocking.Clocking.cluster_ct)
+
+let prop_unrolled_hetero =
+  QCheck.Test.make ~name:"unrolled loops schedule heterogeneously" ~count:15
+    (QCheck.make QCheck.Gen.int) (fun seed ->
+      let rng = Rng.create (seed lxor 0x9e3779b9) in
+      let loop = Unroll.loop ~factor:2 (random_loop rng) in
+      let config = random_config rng in
+      match Hsched.schedule ~ctx ~config ~loop () with
+      | Error _ -> true
+      | Ok (sched, _) -> Schedule.validate sched = Ok ())
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest prop_hetero_schedules_validate;
+    QCheck_alcotest.to_alcotest prop_hetero_sim_clean;
+    QCheck_alcotest.to_alcotest prop_it_on_candidate_grid;
+    QCheck_alcotest.to_alcotest prop_unrolled_hetero;
+  ]

@@ -1,0 +1,139 @@
+(* End-to-end integration: DSL text -> heterogeneous scheduling ->
+   code emission -> simulation, all consistent with each other. *)
+
+open Hcv_support
+open Hcv_ir
+open Hcv_machine
+open Hcv_energy
+open Hcv_sched
+open Hcv_core
+
+let machine = Presets.machine_4c ~buses:1
+
+let source =
+  {|
+loop saxpy trip 120 weight 0.5
+  node lx ld.f
+  node ly ld.f
+  node m mul.f
+  node s add.f
+  node st st.f
+  node i add.i
+  edge lx m
+  edge ly s
+  edge m s
+  edge s st
+  edge i lx
+  edge i ly
+  edge i i dist 1
+end
+
+loop horner trip 200 weight 0.5
+  node c0 ld.f
+  node m mul.f
+  node a add.f
+  edge c0 a
+  edge m a
+  edge a m dist 1
+end
+|}
+
+let parse () =
+  match Dsl.parse source with
+  | Ok loops -> loops
+  | Error e -> Alcotest.failf "parse: %a" Dsl.pp_error e
+
+let test_full_flow () =
+  let loops = parse () in
+  match Pipeline.run ~machine ~name:"integration" ~loops () with
+  | Error msg -> Alcotest.failf "pipeline: %s" msg
+  | Ok r ->
+    Alcotest.(check int) "all loops scheduled" (List.length loops)
+      (List.length r.Pipeline.loop_results);
+    List.iter
+      (fun (lr : Pipeline.loop_result) ->
+        let sched = lr.Pipeline.schedule in
+        let trip = lr.Pipeline.profile.Profile.loop.Loop.trip in
+        (* Code emission succeeds and its kernel covers one iteration. *)
+        let code = Codegen.emit sched in
+        Alcotest.(check int) "kernel ops"
+          (Ddg.n_instrs sched.Schedule.loop.Loop.ddg + Schedule.n_comms sched)
+          (Codegen.kernel_ops code);
+        (* The simulator replays it with no violations and agrees with
+           the analytic time. *)
+        (match Hcv_sim.Simulator.measure ~schedule:sched ~trip with
+        | Error vs -> Alcotest.failf "sim: %s" (String.concat "; " vs)
+        | Ok act ->
+          Alcotest.(check (float 1e-6))
+            "time agrees"
+            (Schedule.exec_time_ns sched ~trip)
+            act.Activity.exec_time_ns);
+        (* Registers fit. *)
+        let ra = Regalloc.analyze sched in
+        Alcotest.(check bool) "registers fit" true
+          (Array.for_all Fun.id ra.Regalloc.fits))
+      r.Pipeline.loop_results
+
+let test_energy_model_consistency () =
+  (* Measured activity through the simulator gives the same model
+     energy as the analytic activity. *)
+  let loops = parse () in
+  match Pipeline.run ~machine ~name:"integration" ~loops () with
+  | Error msg -> Alcotest.failf "pipeline: %s" msg
+  | Ok r ->
+    let config = r.Pipeline.hetero.Select.config in
+    List.iter
+      (fun (lr : Pipeline.loop_result) ->
+        let trip = lr.Pipeline.profile.Profile.loop.Loop.trip in
+        let analytic =
+          Profile.activity_of_schedule lr.Pipeline.schedule ~trip
+        in
+        match Hcv_sim.Simulator.measure ~schedule:lr.Pipeline.schedule ~trip with
+        | Error vs -> Alcotest.failf "sim: %s" (String.concat "; " vs)
+        | Ok measured ->
+          let e1 =
+            Model.total (Model.energy r.Pipeline.ctx ~config analytic)
+          in
+          let e2 =
+            Model.total (Model.energy r.Pipeline.ctx ~config measured)
+          in
+          Alcotest.(check (float 1e-9)) "same energy" e1 e2)
+      r.Pipeline.loop_results
+
+let test_dsl_roundtrip_through_scheduler () =
+  (* Print the loops back out, reparse, and get identical MIIs. *)
+  let loops = parse () in
+  match Dsl.parse (Dsl.print_all loops) with
+  | Error e -> Alcotest.failf "reparse: %a" Dsl.pp_error e
+  | Ok loops2 ->
+    List.iter2
+      (fun (a : Loop.t) (b : Loop.t) ->
+        Alcotest.(check int) "same MII"
+          (Mii.mii machine a.Loop.ddg)
+          (Mii.mii machine b.Loop.ddg))
+      loops loops2
+
+let test_acyclic_vs_pipelined () =
+  (* For the horner recurrence the acyclic schedule is nearly as good
+     (the recurrence serialises everything); for saxpy pipelining
+     wins clearly. *)
+  let loops = parse () in
+  let saxpy = List.find (fun (l : Loop.t) -> l.Loop.name = "saxpy") loops in
+  match
+    List_sched.speedup_of_pipelining ~machine ~cycle_time:Q.one ~loop:saxpy ()
+  with
+  | Error msg -> Alcotest.failf "failed: %s" msg
+  | Ok speedup ->
+    Alcotest.(check bool)
+      (Printf.sprintf "saxpy speedup %.2f > 1.5" speedup)
+      true (speedup > 1.5)
+
+let suite =
+  [
+    Alcotest.test_case "full flow" `Quick test_full_flow;
+    Alcotest.test_case "energy model consistency" `Quick
+      test_energy_model_consistency;
+    Alcotest.test_case "DSL roundtrip through the scheduler" `Quick
+      test_dsl_roundtrip_through_scheduler;
+    Alcotest.test_case "acyclic vs pipelined" `Quick test_acyclic_vs_pipelined;
+  ]

@@ -1,0 +1,70 @@
+(* Small IR types: instructions, edges, loops. *)
+
+open Hcv_ir
+
+let fadd = Opcode.make Opcode.Arith Opcode.Fp
+
+let test_instr () =
+  let i = Instr.make ~id:3 ~name:"x" ~op:fadd in
+  Alcotest.(check int) "latency" 3 (Instr.latency i);
+  Alcotest.(check (float 1e-9)) "energy" 1.2 (Instr.energy i);
+  Alcotest.(check bool) "fu" true (Instr.fu i = Opcode.Fp_fu);
+  let j = Instr.make ~id:3 ~name:"y" ~op:fadd in
+  Alcotest.(check bool) "equal by id" true (Instr.equal i j)
+
+let test_edge_validation () =
+  Alcotest.check_raises "negative latency"
+    (Invalid_argument "Edge.make: negative latency") (fun () ->
+      ignore (Edge.make ~src:0 ~dst:1 ~latency:(-1) ()));
+  Alcotest.check_raises "negative distance"
+    (Invalid_argument "Edge.make: negative distance") (fun () ->
+      ignore (Edge.make ~distance:(-2) ~src:0 ~dst:1 ~latency:1 ()))
+
+let test_edge_kinds () =
+  let e = Edge.make ~kind:Edge.Anti ~src:0 ~dst:1 ~latency:0 () in
+  Alcotest.(check bool) "anti carries no value" false (Edge.carries_value e);
+  Alcotest.(check bool) "not loop carried" false (Edge.is_loop_carried e);
+  let f = Edge.make ~distance:2 ~src:0 ~dst:1 ~latency:3 () in
+  Alcotest.(check bool) "flow carries value" true (Edge.carries_value f);
+  Alcotest.(check bool) "loop carried" true (Edge.is_loop_carried f)
+
+let test_loop_validation () =
+  let b = Ddg.Builder.create () in
+  let _ = Ddg.Builder.add_instr b fadd in
+  let g = Ddg.Builder.build b in
+  Alcotest.check_raises "trip" (Invalid_argument "Loop.make: trip < 1")
+    (fun () -> ignore (Loop.make ~trip:0 ~name:"l" g));
+  Alcotest.check_raises "weight"
+    (Invalid_argument "Loop.make: non-positive weight") (fun () ->
+      ignore (Loop.make ~weight:0.0 ~name:"l" g))
+
+let test_loop_mem_count () =
+  let b = Ddg.Builder.create () in
+  let _ = Ddg.Builder.add_instr b (Opcode.make Opcode.Memory Opcode.Fp) in
+  let _ = Ddg.Builder.add_instr b fadd in
+  let _ = Ddg.Builder.add_instr b (Opcode.make Opcode.Memory Opcode.Int) in
+  let loop = Loop.make ~name:"l" (Ddg.Builder.build b) in
+  Alcotest.(check int) "mem accesses" 2 (Loop.mem_accesses_per_iter loop);
+  Alcotest.(check int) "instrs" 3 (Loop.n_instrs loop)
+
+let test_dot_output () =
+  let loop = Builders.dotprod () in
+  let dot = Dot.of_loop loop in
+  Alcotest.(check bool) "digraph" true
+    (String.length dot > 8 && String.sub dot 0 8 = "digraph ");
+  (* Colour by cluster when an assignment is given. *)
+  let coloured =
+    Dot.of_ddg ~cluster_of:(fun i -> Some (i mod 2)) loop.Loop.ddg
+  in
+  Alcotest.(check bool) "filled nodes" true
+    (String.length coloured > String.length dot)
+
+let suite =
+  [
+    Alcotest.test_case "instr" `Quick test_instr;
+    Alcotest.test_case "edge validation" `Quick test_edge_validation;
+    Alcotest.test_case "edge kinds" `Quick test_edge_kinds;
+    Alcotest.test_case "loop validation" `Quick test_loop_validation;
+    Alcotest.test_case "loop mem count" `Quick test_loop_mem_count;
+    Alcotest.test_case "dot export" `Quick test_dot_output;
+  ]

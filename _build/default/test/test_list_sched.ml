@@ -1,0 +1,63 @@
+(* The acyclic list-scheduling baseline. *)
+
+open Hcv_support
+open Hcv_ir
+open Hcv_sched
+
+let machine = Builders.machine_1bus
+
+let test_validates () =
+  List.iter
+    (fun loop ->
+      match List_sched.run ~machine ~cycle_time:Q.one ~loop () with
+      | Ok sched ->
+        Alcotest.(check bool) "validates" true (Schedule.validate sched = Ok ())
+      | Error msg -> Alcotest.failf "%s: %s" loop.Loop.name msg)
+    [ Builders.dotprod (); Builders.recurrence_loop (); Builders.wide_loop () ]
+
+let test_no_overlap () =
+  (* The acyclic schedule's II equals its iteration length: SC = 1. *)
+  let loop = Builders.wide_loop ~width:6 () in
+  match List_sched.run ~machine ~cycle_time:Q.one ~loop () with
+  | Ok sched -> Alcotest.(check int) "one stage" 1 (Schedule.stage_count sched)
+  | Error msg -> Alcotest.failf "failed: %s" msg
+
+let test_pipelining_wins_on_parallel_loops () =
+  (* Software pipelining must beat acyclic scheduling on a wide loop
+     with a long trip. *)
+  let loop = Builders.wide_loop ~trip:200 ~width:8 () in
+  match List_sched.speedup_of_pipelining ~machine ~cycle_time:Q.one ~loop () with
+  | Ok speedup ->
+    Alcotest.(check bool)
+      (Printf.sprintf "speedup %.2f > 1.2" speedup)
+      true (speedup > 1.2)
+  | Error msg -> Alcotest.failf "failed: %s" msg
+
+let test_respects_latency () =
+  (* The acyclic critical path lower-bounds the iteration length. *)
+  let loop = Builders.dotprod () in
+  match List_sched.run ~machine ~cycle_time:Q.one ~loop () with
+  | Ok sched ->
+    let cp = Ddg.acyclic_critical_path loop.Loop.ddg in
+    Alcotest.(check bool) "length >= critical path" true
+      (Q.( >= ) (Schedule.it_length sched) (Q.of_int cp))
+  | Error msg -> Alcotest.failf "failed: %s" msg
+
+let test_simulates () =
+  let loop = Builders.recurrence_loop ~trip:20 () in
+  match List_sched.run ~machine ~cycle_time:Q.one ~loop () with
+  | Ok sched ->
+    let r = Hcv_sim.Simulator.run ~schedule:sched ~trip:20 () in
+    Alcotest.(check (list string)) "no violations" []
+      r.Hcv_sim.Simulator.violations
+  | Error msg -> Alcotest.failf "failed: %s" msg
+
+let suite =
+  [
+    Alcotest.test_case "schedules validate" `Quick test_validates;
+    Alcotest.test_case "no iteration overlap" `Quick test_no_overlap;
+    Alcotest.test_case "pipelining wins" `Quick
+      test_pipelining_wins_on_parallel_loops;
+    Alcotest.test_case "respects latency" `Quick test_respects_latency;
+    Alcotest.test_case "simulates cleanly" `Quick test_simulates;
+  ]

@@ -1,0 +1,56 @@
+(* List helpers. *)
+
+open Hcv_support
+
+let test_sums () =
+  Alcotest.(check int) "sum_int" 10 (Listx.sum_int [ 1; 2; 3; 4 ]);
+  Alcotest.(check (float 1e-9)) "sum_float" 1.5 (Listx.sum_float [ 0.5; 1.0 ]);
+  Alcotest.(check int) "empty" 0 (Listx.sum_int [])
+
+let test_mean () =
+  Alcotest.(check (float 1e-9)) "mean" 2.0 (Listx.mean [ 1.0; 2.0; 3.0 ]);
+  Alcotest.check_raises "empty" (Invalid_argument "Listx.mean: empty list")
+    (fun () -> ignore (Listx.mean []))
+
+let test_geomean () =
+  Alcotest.(check (float 1e-9)) "geomean" 2.0 (Listx.geomean [ 1.0; 4.0 ]);
+  Alcotest.check_raises "non-positive"
+    (Invalid_argument "Listx.geomean: non-positive value") (fun () ->
+      ignore (Listx.geomean [ 1.0; 0.0 ]))
+
+let test_min_max_by () =
+  Alcotest.(check string) "min_by" "a" (Listx.min_by String.length [ "bb"; "a"; "ccc" ]);
+  Alcotest.(check string) "max_by" "ccc" (Listx.max_by String.length [ "bb"; "a"; "ccc" ]);
+  (* First on ties. *)
+  Alcotest.(check string) "min tie" "xy" (Listx.min_by String.length [ "xy"; "ab" ])
+
+let test_range () =
+  Alcotest.(check (list int)) "range" [ 2; 3; 4 ] (Listx.range 2 5);
+  Alcotest.(check (list int)) "empty range" [] (Listx.range 5 2)
+
+let test_take () =
+  Alcotest.(check (list int)) "take 2" [ 1; 2 ] (Listx.take 2 [ 1; 2; 3 ]);
+  Alcotest.(check (list int)) "take more" [ 1 ] (Listx.take 5 [ 1 ]);
+  Alcotest.(check (list int)) "take 0" [] (Listx.take 0 [ 1 ])
+
+let test_group_by () =
+  let groups = Listx.group_by (fun x -> x mod 2) [ 1; 2; 3; 4; 5 ] in
+  Alcotest.(check int) "two groups" 2 (List.length groups);
+  Alcotest.(check (list int)) "odds first (first occurrence order)"
+    [ 1; 3; 5 ] (List.assoc 1 groups);
+  Alcotest.(check (list int)) "evens" [ 2; 4 ] (List.assoc 0 groups)
+
+let test_uniq () =
+  Alcotest.(check (list int)) "uniq" [ 3; 1; 2 ] (Listx.uniq [ 3; 1; 3; 2; 1 ])
+
+let suite =
+  [
+    Alcotest.test_case "sums" `Quick test_sums;
+    Alcotest.test_case "mean" `Quick test_mean;
+    Alcotest.test_case "geomean" `Quick test_geomean;
+    Alcotest.test_case "min_by/max_by" `Quick test_min_max_by;
+    Alcotest.test_case "range" `Quick test_range;
+    Alcotest.test_case "take" `Quick test_take;
+    Alcotest.test_case "group_by" `Quick test_group_by;
+    Alcotest.test_case "uniq" `Quick test_uniq;
+  ]

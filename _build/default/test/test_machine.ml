@@ -1,0 +1,92 @@
+(* Machine descriptions: clusters, ICN, designs, presets. *)
+
+open Hcv_support
+open Hcv_ir
+open Hcv_machine
+
+let test_cluster () =
+  let c = Cluster.paper in
+  Alcotest.(check int) "int fu" 1 (Cluster.fu_count c Opcode.Int_fu);
+  Alcotest.(check int) "fp fu" 1 (Cluster.fu_count c Opcode.Fp_fu);
+  Alcotest.(check int) "mem port" 1 (Cluster.fu_count c Opcode.Mem_port);
+  Alcotest.(check int) "registers" 16 c.Cluster.registers;
+  Alcotest.(check int) "issue width" 3 (Cluster.issue_width c);
+  Alcotest.check_raises "no resources"
+    (Invalid_argument "Cluster.make: cluster with no execution resources")
+    (fun () ->
+      ignore (Cluster.make ~int_fus:0 ~fp_fus:0 ~mem_ports:0 ~registers:4 ()))
+
+let test_icn () =
+  Alcotest.(check int) "1 bus" 1 Icn.paper_1bus.Icn.buses;
+  Alcotest.(check int) "2 buses" 2 Icn.paper_2bus.Icn.buses;
+  Alcotest.(check int) "latency" 1 Icn.paper_1bus.Icn.latency_cycles;
+  Alcotest.check_raises "no buses"
+    (Invalid_argument "Icn.make: need at least one bus") (fun () ->
+      ignore (Icn.make ~buses:0 ()))
+
+let test_paper_machine () =
+  let m = Presets.machine_4c ~buses:1 in
+  Alcotest.(check int) "4 clusters" 4 (Machine.n_clusters m);
+  Alcotest.(check int) "4 int fus" 4 (Machine.fu_total m Opcode.Int_fu);
+  Alcotest.(check int) "4 fp fus" 4 (Machine.fu_total m Opcode.Fp_fu);
+  Alcotest.(check int) "4 mem ports" 4 (Machine.fu_total m Opcode.Mem_port);
+  Alcotest.(check int) "6 components" 6 (List.length (Machine.components m))
+
+let test_presets_factors () =
+  Alcotest.(check int) "5 fast factors" 5 (List.length Presets.fast_factors);
+  Alcotest.(check int) "4 slow factors" 4 (List.length Presets.slow_factors);
+  Alcotest.(check bool) "slow includes 1" true
+    (List.exists (Q.equal Q.one) Presets.slow_factors);
+  (* The paper's 1.33 is the exact 4/3. *)
+  Alcotest.(check bool) "4/3 present" true
+    (List.exists (Q.equal (Q.make 4 3)) Presets.slow_factors)
+
+let test_volt_ranges () =
+  Alcotest.(check (float 1e-9)) "cluster lo" 0.7 (List.hd Presets.cluster_vdds);
+  Alcotest.(check (float 1e-9)) "cluster hi" 1.2
+    (List.nth Presets.cluster_vdds (List.length Presets.cluster_vdds - 1));
+  Alcotest.(check (float 1e-9)) "icn lo" 0.8 (List.hd Presets.icn_vdds);
+  Alcotest.(check (float 1e-9)) "cache hi" 1.4
+    (List.nth Presets.cache_vdds (List.length Presets.cache_vdds - 1));
+  (* 0.05 V steps. *)
+  Alcotest.(check int) "cluster count" 11 (List.length Presets.cluster_vdds)
+
+let test_opconfig_basics () =
+  let m = Presets.machine_4c ~buses:1 in
+  let cfg = Presets.reference_config m in
+  Alcotest.(check bool) "homogeneous" true (Opconfig.is_homogeneous cfg);
+  Alcotest.(check int) "fastest cluster" 0 (Opconfig.fastest_cluster cfg);
+  Alcotest.(check bool) "fmax is 1 GHz" true
+    (Q.equal (Opconfig.fmax cfg (Comp.Cluster 0)) Q.one);
+  Alcotest.(check bool) "realisable" true (Opconfig.realisable cfg)
+
+let test_opconfig_hetero () =
+  let m = Presets.machine_4c ~buses:1 in
+  let pts k = { Opconfig.cycle_time = Q.make k 10; vdd = 1.0 } in
+  let cfg =
+    Opconfig.make ~machine:m
+      ~cluster_points:[| pts 9; pts 12; pts 12; pts 12 |]
+      ~icn_point:(pts 9) ~cache_point:(pts 9)
+  in
+  Alcotest.(check bool) "not homogeneous" false (Opconfig.is_homogeneous cfg);
+  Alcotest.(check int) "fastest is 0" 0 (Opconfig.fastest_cluster cfg);
+  Alcotest.(check bool) "fastest ct" true
+    (Q.equal (Opconfig.fastest_cluster_cycle_time cfg) (Q.make 9 10))
+
+let test_comp () =
+  let comps = Comp.all ~n_clusters:2 in
+  Alcotest.(check int) "4 comps" 4 (List.length comps);
+  Alcotest.(check string) "names" "C0,C1,ICN,cache"
+    (String.concat "," (List.map Comp.to_string comps))
+
+let suite =
+  [
+    Alcotest.test_case "cluster" `Quick test_cluster;
+    Alcotest.test_case "icn" `Quick test_icn;
+    Alcotest.test_case "paper machine" `Quick test_paper_machine;
+    Alcotest.test_case "cycle-time factors" `Quick test_presets_factors;
+    Alcotest.test_case "voltage ranges" `Quick test_volt_ranges;
+    Alcotest.test_case "reference config" `Quick test_opconfig_basics;
+    Alcotest.test_case "heterogeneous config" `Quick test_opconfig_hetero;
+    Alcotest.test_case "components" `Quick test_comp;
+  ]

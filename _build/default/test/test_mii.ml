@@ -1,0 +1,93 @@
+(* resMII / recMII and the Table 2 classification. *)
+
+open Hcv_ir
+open Hcv_machine
+open Hcv_sched
+
+let machine = Presets.machine_4c ~buses:1
+let fadd = Opcode.make Opcode.Arith Opcode.Fp
+let ld = Opcode.make Opcode.Memory Opcode.Fp
+
+let loop_with ~fp_ops ~mem_ops ~rec_latency =
+  let b = Ddg.Builder.create () in
+  let first = Ddg.Builder.add_instr b fadd in
+  if rec_latency > 0 then
+    Ddg.Builder.add_edge b ~latency:rec_latency ~distance:1 first first;
+  for _ = 2 to fp_ops do
+    ignore (Ddg.Builder.add_instr b fadd)
+  done;
+  for _ = 1 to mem_ops do
+    ignore (Ddg.Builder.add_instr b ld)
+  done;
+  Ddg.Builder.build b
+
+let test_res_mii () =
+  (* 9 FP ops over 4 FP units: ceil(9/4) = 3. *)
+  let g = loop_with ~fp_ops:9 ~mem_ops:2 ~rec_latency:0 in
+  Alcotest.(check int) "resMII" 3 (Mii.res_mii machine g);
+  (* 5 mem ops over 4 ports: 2 > fp bound when fp is low. *)
+  let g2 = loop_with ~fp_ops:1 ~mem_ops:5 ~rec_latency:0 in
+  Alcotest.(check int) "mem-bound" 2 (Mii.res_mii machine g2)
+
+let test_rec_mii () =
+  let g = loop_with ~fp_ops:2 ~mem_ops:0 ~rec_latency:7 in
+  Alcotest.(check int) "recMII" 7 (Mii.rec_mii g);
+  Alcotest.(check int) "mii = max" 7 (Mii.mii machine g)
+
+let test_res_mii_cluster () =
+  let g = loop_with ~fp_ops:3 ~mem_ops:2 ~rec_latency:0 in
+  let members = [ 0; 1; 2; 3; 4 ] in
+  (* One cluster: 1 fp fu, 1 mem port -> max(3, 2) = 3. *)
+  Alcotest.(check int) "cluster bound" 3
+    (Mii.res_mii_cluster Cluster.paper g members);
+  (* A cluster with no FP units cannot host FP ops. *)
+  let intonly =
+    Cluster.make ~int_fus:1 ~fp_fus:0 ~mem_ports:1 ~registers:8 ()
+  in
+  Alcotest.(check int) "impossible" max_int
+    (Mii.res_mii_cluster intonly g members)
+
+let test_classification () =
+  let check_class name expected g =
+    Alcotest.(check string) name expected
+      (Mii.class_to_string (Mii.classify machine g))
+  in
+  (* resMII 3, recMII 0. *)
+  check_class "resource" "resource" (loop_with ~fp_ops:9 ~mem_ops:0 ~rec_latency:0);
+  (* resMII 3, recMII 3: borderline (3 < 1.3*3). *)
+  check_class "borderline" "borderline"
+    (loop_with ~fp_ops:9 ~mem_ops:0 ~rec_latency:3);
+  (* recMII 4 >= 1.3 * resMII 3?  1.3*3 = 3.9 <= 4: recurrence. *)
+  check_class "recurrence" "recurrence"
+    (loop_with ~fp_ops:9 ~mem_ops:0 ~rec_latency:4)
+
+let test_boundary_exactness () =
+  (* recMII = 13, resMII = 10: 13 = 1.3 * 10 exactly -> recurrence
+     class (the paper's ">= 1.3 resMII" bucket), checked with integer
+     arithmetic. *)
+  let g = loop_with ~fp_ops:39 ~mem_ops:0 ~rec_latency:13 in
+  Alcotest.(check int) "resMII 10" 10 (Mii.res_mii machine g);
+  Alcotest.(check string) "exact 1.3 boundary" "recurrence"
+    (Mii.class_to_string (Mii.classify machine g))
+
+let test_missing_resource () =
+  let no_fp =
+    Machine.make
+      ~clusters:[| Cluster.make ~int_fus:1 ~fp_fus:0 ~mem_ports:1 ~registers:8 () |]
+      ~icn:(Icn.make ~buses:1 ())
+      ()
+  in
+  let g = loop_with ~fp_ops:2 ~mem_ops:0 ~rec_latency:0 in
+  Alcotest.check_raises "no fp anywhere"
+    (Invalid_argument "Mii.res_mii: no fp-fu in the machine") (fun () ->
+      ignore (Mii.res_mii no_fp g))
+
+let suite =
+  [
+    Alcotest.test_case "resMII" `Quick test_res_mii;
+    Alcotest.test_case "recMII" `Quick test_rec_mii;
+    Alcotest.test_case "per-cluster resMII" `Quick test_res_mii_cluster;
+    Alcotest.test_case "Table 2 classification" `Quick test_classification;
+    Alcotest.test_case "exact 1.3 boundary" `Quick test_boundary_exactness;
+    Alcotest.test_case "missing resource kind" `Quick test_missing_resource;
+  ]

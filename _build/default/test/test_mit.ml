@@ -1,0 +1,92 @@
+(* Minimum initiation time, including the paper's Figure 4 example. *)
+
+open Hcv_support
+open Hcv_ir
+open Hcv_machine
+open Hcv_core
+
+let q = Alcotest.testable Q.pp Q.equal
+let iadd = Opcode.make Opcode.Arith Opcode.Int
+
+(* Paper Figure 4: five 1-cycle instructions, a 3-cycle recurrence
+   {A,B,C}; two clusters at 1 ns and 5/3 ns (the paper prints 1.67).
+   recMIT = 3 cycles x 1 ns = 3 ns; resMIT = 10/3 ns (3 slots in C1 + 2
+   in C2); MIT = 10/3 ns. *)
+let fig4_config () =
+  let int_cluster =
+    Cluster.make ~name:"c" ~int_fus:1 ~fp_fus:0 ~mem_ports:0 ~registers:16 ()
+  in
+  let machine =
+    Machine.make ~name:"fig4"
+      ~clusters:[| int_cluster; int_cluster |]
+      ~icn:(Icn.make ~buses:1 ())
+      ()
+  in
+  let pt ct = { Opconfig.cycle_time = ct; vdd = 1.0 } in
+  Opconfig.make ~machine
+    ~cluster_points:[| pt Q.one; pt (Q.make 5 3) |]
+    ~icn_point:(pt Q.one) ~cache_point:(pt Q.one)
+
+let fig4_ddg () =
+  let b = Ddg.Builder.create () in
+  let a = Ddg.Builder.add_instr b ~name:"A" iadd in
+  let b1 = Ddg.Builder.add_instr b ~name:"B" iadd in
+  let c = Ddg.Builder.add_instr b ~name:"C" iadd in
+  let d = Ddg.Builder.add_instr b ~name:"D" iadd in
+  let _e = Ddg.Builder.add_instr b ~name:"E" iadd in
+  Ddg.Builder.add_edge b a b1;
+  Ddg.Builder.add_edge b b1 c;
+  Ddg.Builder.add_edge b ~distance:1 c a;
+  Ddg.Builder.add_edge b a d;
+  Ddg.Builder.build b
+
+let test_fig4 () =
+  let config = fig4_config () in
+  let ddg = fig4_ddg () in
+  Alcotest.(check q) "recMIT = 3 ns" (Q.of_int 3) (Mit.rec_mit ~config ddg);
+  Alcotest.(check q) "resMIT = 10/3 ns" (Q.make 10 3) (Mit.res_mit ~config ddg);
+  Alcotest.(check q) "MIT = 10/3 ns" (Q.make 10 3) (Mit.mit ~config ddg)
+
+let test_capacity_table () =
+  (* The paper's Figure 4 capacity table: IT -> slots. *)
+  let config = fig4_config () in
+  let cap it = Mit.capacity_at ~config ~it Opcode.Int_fu in
+  Alcotest.(check int) "IT=1 -> 1 slot" 1 (cap Q.one);
+  Alcotest.(check int) "IT=5/3 -> 2 slots" 2 (cap (Q.make 5 3));
+  Alcotest.(check int) "IT=2 -> 3 slots" 3 (cap (Q.of_int 2));
+  Alcotest.(check int) "IT=3 -> 4 slots" 4 (cap (Q.of_int 3));
+  Alcotest.(check int) "IT=10/3 -> 5 slots" 5 (cap (Q.make 10 3))
+
+let test_candidates () =
+  let config = fig4_config () in
+  let cands = Mit.candidates ~config ~upto:(Q.make 7 2) in
+  (* Multiples of 1: 1,2,3; of 5/3: 5/3, 10/3. *)
+  Alcotest.(check int) "5 candidates" 5 (List.length cands);
+  Alcotest.(check bool) "sorted" true
+    (List.for_all2 Q.( <= ) (Listx.take 4 cands) (List.tl cands))
+
+let test_next_candidate () =
+  let config = fig4_config () in
+  Alcotest.(check q) "after 1" (Q.make 5 3)
+    (Mit.next_candidate ~config ~after:Q.one);
+  Alcotest.(check q) "after 5/3" (Q.of_int 2)
+    (Mit.next_candidate ~config ~after:(Q.make 5 3));
+  Alcotest.(check q) "after 0" Q.one (Mit.next_candidate ~config ~after:Q.zero)
+
+let test_paper_machine_mit () =
+  (* On the homogeneous reference, MIT = MII * 1 ns. *)
+  let machine = Presets.machine_4c ~buses:1 in
+  let config = Presets.reference_config machine in
+  let loop = Builders.recurrence_loop () in
+  let mii = Hcv_sched.Mii.mii machine loop.Loop.ddg in
+  Alcotest.(check q) "MIT = MII ns" (Q.of_int mii)
+    (Mit.mit ~config loop.Loop.ddg)
+
+let suite =
+  [
+    Alcotest.test_case "paper figure 4" `Quick test_fig4;
+    Alcotest.test_case "capacity table" `Quick test_capacity_table;
+    Alcotest.test_case "candidate grid" `Quick test_candidates;
+    Alcotest.test_case "next candidate" `Quick test_next_candidate;
+    Alcotest.test_case "homogeneous MIT = MII" `Quick test_paper_machine_mit;
+  ]

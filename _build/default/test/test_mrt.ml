@@ -1,0 +1,81 @@
+(* Modulo reservation tables. *)
+
+open Hcv_support
+open Hcv_ir
+open Hcv_machine
+open Hcv_sched
+
+let machine = Presets.machine_4c ~buses:1
+let clocking = Clocking.homogeneous ~n_clusters:4 ~ii:3 ~cycle_time:Q.one
+
+let test_fu_capacity () =
+  let m = Mrt.create machine clocking in
+  Alcotest.(check bool) "free" true
+    (Mrt.fu_available m ~cluster:0 ~kind:Opcode.Fp_fu ~cycle:1);
+  Mrt.fu_reserve m ~cluster:0 ~kind:Opcode.Fp_fu ~cycle:1;
+  (* 1 FP unit per cluster: slot now full, also for conflicting
+     cycles mod II. *)
+  Alcotest.(check bool) "full" false
+    (Mrt.fu_available m ~cluster:0 ~kind:Opcode.Fp_fu ~cycle:1);
+  Alcotest.(check bool) "modulo conflict" false
+    (Mrt.fu_available m ~cluster:0 ~kind:Opcode.Fp_fu ~cycle:4);
+  (* Other kinds, cycles, clusters unaffected. *)
+  Alcotest.(check bool) "other kind" true
+    (Mrt.fu_available m ~cluster:0 ~kind:Opcode.Int_fu ~cycle:1);
+  Alcotest.(check bool) "other cycle" true
+    (Mrt.fu_available m ~cluster:0 ~kind:Opcode.Fp_fu ~cycle:2);
+  Alcotest.(check bool) "other cluster" true
+    (Mrt.fu_available m ~cluster:1 ~kind:Opcode.Fp_fu ~cycle:1)
+
+let test_release () =
+  let m = Mrt.create machine clocking in
+  Mrt.fu_reserve m ~cluster:2 ~kind:Opcode.Mem_port ~cycle:5;
+  Mrt.fu_release m ~cluster:2 ~kind:Opcode.Mem_port ~cycle:5;
+  Alcotest.(check bool) "free again" true
+    (Mrt.fu_available m ~cluster:2 ~kind:Opcode.Mem_port ~cycle:5);
+  Alcotest.check_raises "double release"
+    (Invalid_argument "Mrt.fu_release: slot empty") (fun () ->
+      Mrt.fu_release m ~cluster:2 ~kind:Opcode.Mem_port ~cycle:5)
+
+let test_overbook_rejected () =
+  let m = Mrt.create machine clocking in
+  Mrt.fu_reserve m ~cluster:0 ~kind:Opcode.Int_fu ~cycle:0;
+  Alcotest.check_raises "overbook"
+    (Invalid_argument "Mrt.fu_reserve: slot full") (fun () ->
+      Mrt.fu_reserve m ~cluster:0 ~kind:Opcode.Int_fu ~cycle:3)
+
+let test_bus () =
+  let m = Mrt.create machine clocking in
+  Mrt.bus_reserve m ~cycle:2;
+  Alcotest.(check bool) "1 bus full" false (Mrt.bus_available m ~cycle:5);
+  Alcotest.(check int) "occupancy" 1 (Mrt.bus_used m ~slot:2);
+  Mrt.bus_release m ~cycle:2;
+  Alcotest.(check bool) "free" true (Mrt.bus_available m ~cycle:2);
+  (* Two buses allow two transfers in the same slot. *)
+  let m2 = Mrt.create (Presets.machine_4c ~buses:2) clocking in
+  Mrt.bus_reserve m2 ~cycle:2;
+  Alcotest.(check bool) "second bus" true (Mrt.bus_available m2 ~cycle:2)
+
+let test_clear () =
+  let m = Mrt.create machine clocking in
+  Mrt.fu_reserve m ~cluster:0 ~kind:Opcode.Int_fu ~cycle:0;
+  Mrt.bus_reserve m ~cycle:0;
+  Mrt.clear m;
+  Alcotest.(check bool) "fu cleared" true
+    (Mrt.fu_available m ~cluster:0 ~kind:Opcode.Int_fu ~cycle:0);
+  Alcotest.(check bool) "bus cleared" true (Mrt.bus_available m ~cycle:0)
+
+let test_negative_cycle () =
+  let m = Mrt.create machine clocking in
+  Alcotest.check_raises "negative" (Invalid_argument "Mrt: negative cycle")
+    (fun () -> ignore (Mrt.fu_available m ~cluster:0 ~kind:Opcode.Int_fu ~cycle:(-1)))
+
+let suite =
+  [
+    Alcotest.test_case "fu capacity and modulo" `Quick test_fu_capacity;
+    Alcotest.test_case "release" `Quick test_release;
+    Alcotest.test_case "overbooking rejected" `Quick test_overbook_rejected;
+    Alcotest.test_case "bus slots" `Quick test_bus;
+    Alcotest.test_case "clear" `Quick test_clear;
+    Alcotest.test_case "negative cycle" `Quick test_negative_cycle;
+  ]

@@ -1,0 +1,63 @@
+(* Table 1 of the paper: latencies and relative energies. *)
+
+open Hcv_ir
+
+let lat clazz domain = Opcode.latency (Opcode.make clazz domain)
+let en clazz domain = Opcode.energy (Opcode.make clazz domain)
+
+let test_latencies () =
+  Alcotest.(check int) "mem int" 2 (lat Opcode.Memory Opcode.Int);
+  Alcotest.(check int) "mem fp" 2 (lat Opcode.Memory Opcode.Fp);
+  Alcotest.(check int) "arith int" 1 (lat Opcode.Arith Opcode.Int);
+  Alcotest.(check int) "arith fp" 3 (lat Opcode.Arith Opcode.Fp);
+  Alcotest.(check int) "mult int" 2 (lat Opcode.Mult Opcode.Int);
+  Alcotest.(check int) "mult fp" 6 (lat Opcode.Mult Opcode.Fp);
+  Alcotest.(check int) "div int" 6 (lat Opcode.Div Opcode.Int);
+  Alcotest.(check int) "div fp" 18 (lat Opcode.Div Opcode.Fp)
+
+let test_energies () =
+  Alcotest.(check (float 1e-9)) "mem" 1.0 (en Opcode.Memory Opcode.Int);
+  Alcotest.(check (float 1e-9)) "int add (reference)" 1.0
+    (en Opcode.Arith Opcode.Int);
+  Alcotest.(check (float 1e-9)) "fp arith" 1.2 (en Opcode.Arith Opcode.Fp);
+  Alcotest.(check (float 1e-9)) "int mult" 1.1 (en Opcode.Mult Opcode.Int);
+  Alcotest.(check (float 1e-9)) "fp mult" 1.5 (en Opcode.Mult Opcode.Fp);
+  Alcotest.(check (float 1e-9)) "int div" 1.4 (en Opcode.Div Opcode.Int);
+  Alcotest.(check (float 1e-9)) "fp div" 2.0 (en Opcode.Div Opcode.Fp)
+
+let test_fu_mapping () =
+  Alcotest.(check bool) "mem -> port" true
+    (Opcode.fu (Opcode.make Opcode.Memory Opcode.Fp) = Opcode.Mem_port);
+  Alcotest.(check bool) "int arith -> int fu" true
+    (Opcode.fu (Opcode.make Opcode.Arith Opcode.Int) = Opcode.Int_fu);
+  Alcotest.(check bool) "fp div -> fp fu" true
+    (Opcode.fu (Opcode.make Opcode.Div Opcode.Fp) = Opcode.Fp_fu)
+
+let test_mnemonics () =
+  List.iter
+    (fun (m, op) ->
+      match Opcode.of_mnemonic m with
+      | Some op' -> Alcotest.(check bool) m true (Opcode.equal op op')
+      | None -> Alcotest.failf "mnemonic %s not parsed" m)
+    Opcode.mnemonics;
+  Alcotest.(check bool) "unknown" true (Opcode.of_mnemonic "bogus" = None)
+
+let test_all_coverage () =
+  Alcotest.(check int) "eight classes" 8 (List.length Opcode.all);
+  (* Every class has at least one mnemonic. *)
+  List.iter
+    (fun op ->
+      let found =
+        List.exists (fun (_, o) -> Opcode.equal o op) Opcode.mnemonics
+      in
+      Alcotest.(check bool) (Opcode.to_string op) true found)
+    Opcode.all
+
+let suite =
+  [
+    Alcotest.test_case "Table 1 latencies" `Quick test_latencies;
+    Alcotest.test_case "Table 1 energies" `Quick test_energies;
+    Alcotest.test_case "FU mapping" `Quick test_fu_mapping;
+    Alcotest.test_case "mnemonics" `Quick test_mnemonics;
+    Alcotest.test_case "class coverage" `Quick test_all_coverage;
+  ]

@@ -1,0 +1,153 @@
+(* Multilevel graph partitioning. *)
+
+open Hcv_support
+open Hcv_ir
+open Hcv_sched
+
+let add = Opcode.make Opcode.Arith Opcode.Int
+
+let chain n =
+  let b = Ddg.Builder.create () in
+  let prev = ref (Ddg.Builder.add_instr b add) in
+  for _ = 2 to n do
+    let x = Ddg.Builder.add_instr b add in
+    Ddg.Builder.add_edge b !prev x;
+    prev := x
+  done;
+  Ddg.Builder.build b
+
+(* Count of cut flow edges: the canonical min-comm objective. *)
+let cut_score ddg a =
+  float_of_int
+    (List.length
+       (List.filter
+          (fun (e : Edge.t) ->
+            Edge.carries_value e && a.(e.src) <> a.(e.dst))
+          (Ddg.edges ddg)))
+
+let test_respects_fixed () =
+  let g = chain 10 in
+  let fixed = [ (0, 2); (9, 3) ] in
+  let r =
+    Partition.run ~n_clusters:4 ~ddg:g ~fixed ~score:(cut_score g) ()
+  in
+  Alcotest.(check int) "node 0 fixed" 2 r.Partition.assignment.(0);
+  Alcotest.(check int) "node 9 fixed" 3 r.Partition.assignment.(9)
+
+let test_range () =
+  let g = chain 20 in
+  let r = Partition.run ~n_clusters:4 ~ddg:g ~score:(cut_score g) () in
+  Array.iter
+    (fun c -> if c < 0 || c >= 4 then Alcotest.failf "out of range %d" c)
+    r.Partition.assignment
+
+let test_min_cut_on_chain () =
+  (* With a pure cut objective and no capacity pressure, a chain ends up
+     in one cluster (cut 0). *)
+  let g = chain 12 in
+  let r = Partition.run ~n_clusters:4 ~ddg:g ~score:(cut_score g) () in
+  Alcotest.(check (float 1e-9)) "zero cut" 0.0 r.Partition.score
+
+let test_balance_objective () =
+  (* With a balance objective, two independent chains separate. *)
+  let b = Ddg.Builder.create () in
+  for _ = 1 to 2 do
+    let prev = ref (Ddg.Builder.add_instr b add) in
+    for _ = 2 to 5 do
+      let x = Ddg.Builder.add_instr b add in
+      Ddg.Builder.add_edge b !prev x;
+      prev := x
+    done
+  done;
+  let g = Ddg.Builder.build b in
+  let score a =
+    let counts = Array.make 2 0 in
+    Array.iter (fun c -> counts.(c) <- counts.(c) + 1) a;
+    (* imbalance plus cut *)
+    float_of_int (abs (counts.(0) - counts.(1))) +. cut_score g a
+  in
+  let r = Partition.run ~n_clusters:2 ~ddg:g ~score () in
+  Alcotest.(check (float 1e-9)) "balanced, no cut" 0.0 r.Partition.score
+
+let test_groups_stay_together () =
+  (* Two groups and a pathological score that rewards splitting a
+     group's members would still start with groups whole; with a neutral
+     score, groups remain whole. *)
+  let g = chain 8 in
+  let groups = [ [ 0; 1; 2 ]; [ 5; 6 ] ] in
+  let r =
+    Partition.run ~n_clusters:4 ~ddg:g ~groups ~score:(cut_score g) ()
+  in
+  let a = r.Partition.assignment in
+  Alcotest.(check bool) "group 1 together" true (a.(0) = a.(1) && a.(1) = a.(2));
+  Alcotest.(check bool) "group 2 together" true (a.(5) = a.(6))
+
+let test_group_overlap_rejected () =
+  let g = chain 4 in
+  Alcotest.check_raises "overlap"
+    (Invalid_argument "Partition.run: groups overlap") (fun () ->
+      ignore
+        (Partition.run ~n_clusters:2 ~ddg:g
+           ~groups:[ [ 0; 1 ]; [ 1; 2 ] ]
+           ~score:(cut_score g) ()))
+
+let test_fixed_validation () =
+  let g = chain 4 in
+  Alcotest.check_raises "bad cluster"
+    (Invalid_argument "Partition.run: fixed cluster out of range") (fun () ->
+      ignore
+        (Partition.run ~n_clusters:2 ~ddg:g ~fixed:[ (0, 7) ]
+           ~score:(cut_score g) ()))
+
+let test_empty_graph () =
+  let g = Ddg.Builder.build (Ddg.Builder.create ()) in
+  let r = Partition.run ~n_clusters:4 ~ddg:g ~score:(fun _ -> 0.0) () in
+  Alcotest.(check int) "empty" 0 (Array.length r.Partition.assignment)
+
+let prop_random_valid =
+  let gen =
+    QCheck.make
+      (QCheck.Gen.map
+         (fun seed ->
+           let rng = Rng.create seed in
+           let n = 1 + Rng.int rng 25 in
+           let b = Ddg.Builder.create () in
+           for _ = 1 to n do
+             ignore (Ddg.Builder.add_instr b add)
+           done;
+           for dst = 1 to n - 1 do
+             if Rng.chance rng 0.7 then
+               Ddg.Builder.add_edge b (Rng.int rng dst) dst
+           done;
+           let g = Ddg.Builder.build b in
+           let fixed = if n > 2 then [ (0, 0); (n - 1, 1) ] else [] in
+           (g, fixed))
+         QCheck.Gen.int)
+  in
+  QCheck.Test.make ~name:"random graphs partition validly" ~count:60 gen
+    (fun (g, fixed) ->
+      let r =
+        Partition.run ~n_clusters:3 ~ddg:g ~fixed ~score:(cut_score g) ()
+      in
+      Array.for_all (fun c -> c >= 0 && c < 3) r.Partition.assignment
+      && List.for_all (fun (i, c) -> r.Partition.assignment.(i) = c) fixed)
+
+let test_initial_even () =
+  let g = chain 7 in
+  let a = Partition.initial_even ~n_clusters:3 g in
+  Array.iter (fun c -> if c < 0 || c >= 3 then Alcotest.fail "range") a
+
+let suite =
+  [
+    Alcotest.test_case "respects fixed nodes" `Quick test_respects_fixed;
+    Alcotest.test_case "assignment in range" `Quick test_range;
+    Alcotest.test_case "min cut on a chain" `Quick test_min_cut_on_chain;
+    Alcotest.test_case "balance objective" `Quick test_balance_objective;
+    Alcotest.test_case "groups stay together" `Quick test_groups_stay_together;
+    Alcotest.test_case "group overlap rejected" `Quick
+      test_group_overlap_rejected;
+    Alcotest.test_case "fixed validation" `Quick test_fixed_validation;
+    Alcotest.test_case "empty graph" `Quick test_empty_graph;
+    Alcotest.test_case "initial_even" `Quick test_initial_even;
+    QCheck_alcotest.to_alcotest prop_random_valid;
+  ]

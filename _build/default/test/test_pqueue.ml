@@ -1,0 +1,63 @@
+(* The simulator's priority queue. *)
+
+open Hcv_support
+open Hcv_sim
+
+let test_ordering () =
+  let q = Pqueue.create () in
+  List.iter
+    (fun k -> Pqueue.push q (Q.make k 7) k)
+    [ 5; 1; 4; 2; 3; 9; 0; 8; 7; 6 ];
+  let rec drain acc =
+    match Pqueue.pop q with
+    | None -> List.rev acc
+    | Some (_, v) -> drain (v :: acc)
+  in
+  Alcotest.(check (list int)) "sorted" [ 0; 1; 2; 3; 4; 5; 6; 7; 8; 9 ]
+    (drain [])
+
+let test_empty () =
+  let q = Pqueue.create () in
+  Alcotest.(check bool) "empty" true (Pqueue.is_empty q);
+  Alcotest.(check bool) "pop none" true (Pqueue.pop q = None);
+  Alcotest.(check bool) "peek none" true (Pqueue.peek_key q = None)
+
+let test_interleaved () =
+  let q = Pqueue.create () in
+  Pqueue.push q (Q.of_int 5) "e";
+  Pqueue.push q (Q.of_int 1) "a";
+  (match Pqueue.pop q with
+  | Some (_, v) -> Alcotest.(check string) "min first" "a" v
+  | None -> Alcotest.fail "expected a value");
+  Pqueue.push q (Q.of_int 3) "c";
+  Pqueue.push q (Q.of_int 2) "b";
+  (match Pqueue.peek_key q with
+  | Some k -> Alcotest.(check bool) "peek = 2" true (Q.equal k (Q.of_int 2))
+  | None -> Alcotest.fail "expected a key");
+  Alcotest.(check int) "length" 3 (Pqueue.length q)
+
+let prop_heap_sorts =
+  QCheck.Test.make ~name:"pqueue drains sorted" ~count:100
+    QCheck.(list (pair (int_range (-500) 500) (int_range 1 50)))
+    (fun pairs ->
+      let q = Pqueue.create () in
+      List.iteri (fun i (n, d) -> Pqueue.push q (Q.make n d) i) pairs;
+      let rec drain acc =
+        match Pqueue.pop q with
+        | None -> List.rev acc
+        | Some (k, _) -> drain (k :: acc)
+      in
+      let keys = drain [] in
+      let rec sorted = function
+        | a :: (b :: _ as rest) -> Q.( <= ) a b && sorted rest
+        | [ _ ] | [] -> true
+      in
+      sorted keys && List.length keys = List.length pairs)
+
+let suite =
+  [
+    Alcotest.test_case "ordering" `Quick test_ordering;
+    Alcotest.test_case "empty" `Quick test_empty;
+    Alcotest.test_case "interleaved" `Quick test_interleaved;
+    QCheck_alcotest.to_alcotest prop_heap_sorts;
+  ]

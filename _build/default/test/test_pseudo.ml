@@ -1,0 +1,76 @@
+(* Pseudo-schedules: cheap estimates used during refinement. *)
+
+open Hcv_support
+open Hcv_ir
+open Hcv_machine
+open Hcv_sched
+
+let machine = Presets.machine_4c ~buses:1
+
+let test_feasible_simple () =
+  let loop = Builders.dotprod () in
+  let clocking = Clocking.homogeneous ~n_clusters:4 ~ii:6 ~cycle_time:Q.one in
+  let assignment = Array.make (Ddg.n_instrs loop.Loop.ddg) 0 in
+  let est = Pseudo.estimate ~machine ~clocking ~loop ~assignment in
+  Alcotest.(check bool) "feasible" true (Pseudo.feasible est);
+  Alcotest.(check int) "no comms on one cluster" 0
+    (Schedule.n_comms est.Pseudo.schedule)
+
+let test_overflow_on_tiny_ii () =
+  (* 8 memory ops on one cluster (1 port) at II=2: overflow. *)
+  let loop = Builders.wide_loop ~width:4 () in
+  let clocking = Clocking.homogeneous ~n_clusters:4 ~ii:2 ~cycle_time:Q.one in
+  let assignment = Array.make (Ddg.n_instrs loop.Loop.ddg) 0 in
+  let est = Pseudo.estimate ~machine ~clocking ~loop ~assignment in
+  Alcotest.(check bool) "overflow" true (est.Pseudo.overflow > 0);
+  Alcotest.(check bool) "infeasible" false (Pseudo.feasible est)
+
+let test_back_violation () =
+  (* Recurrence latency 12 at II=2: the greedy placement cannot satisfy
+     the back edge. *)
+  let b = Ddg.Builder.create () in
+  let a = Ddg.Builder.add_instr b (Opcode.make Opcode.Mult Opcode.Fp) in
+  let c = Ddg.Builder.add_instr b (Opcode.make Opcode.Mult Opcode.Fp) in
+  Ddg.Builder.add_edge b a c;
+  Ddg.Builder.add_edge b ~distance:1 c a;
+  let loop = Loop.make ~name:"r" (Ddg.Builder.build b) in
+  let clocking = Clocking.homogeneous ~n_clusters:4 ~ii:2 ~cycle_time:Q.one in
+  let est =
+    Pseudo.estimate ~machine ~clocking ~loop ~assignment:[| 0; 0 |]
+  in
+  Alcotest.(check bool) "back violation" true (est.Pseudo.back_violations > 0)
+
+let test_score_ordering () =
+  (* Feasible estimates score strictly below infeasible ones. *)
+  let loop = Builders.wide_loop ~width:4 () in
+  let n = Ddg.n_instrs loop.Loop.ddg in
+  let tight = Clocking.homogeneous ~n_clusters:4 ~ii:2 ~cycle_time:Q.one in
+  let loose = Clocking.homogeneous ~n_clusters:4 ~ii:8 ~cycle_time:Q.one in
+  let bad =
+    Pseudo.estimate ~machine ~clocking:tight ~loop ~assignment:(Array.make n 0)
+  in
+  let good =
+    Pseudo.estimate ~machine ~clocking:loose ~loop
+      ~assignment:(Partition.initial_even ~n_clusters:4 loop.Loop.ddg)
+  in
+  Alcotest.(check bool) "ordering" true (Pseudo.score good < Pseudo.score bad)
+
+let test_comms_counted () =
+  (* A chain split across clusters must count transfers. *)
+  let b = Ddg.Builder.create () in
+  let x = Ddg.Builder.add_instr b (Opcode.make Opcode.Arith Opcode.Fp) in
+  let y = Ddg.Builder.add_instr b (Opcode.make Opcode.Arith Opcode.Fp) in
+  Ddg.Builder.add_edge b x y;
+  let loop = Loop.make ~name:"xy" (Ddg.Builder.build b) in
+  let clocking = Clocking.homogeneous ~n_clusters:4 ~ii:4 ~cycle_time:Q.one in
+  let est = Pseudo.estimate ~machine ~clocking ~loop ~assignment:[| 0; 2 |] in
+  Alcotest.(check int) "one comm" 1 (Schedule.n_comms est.Pseudo.schedule)
+
+let suite =
+  [
+    Alcotest.test_case "feasible estimate" `Quick test_feasible_simple;
+    Alcotest.test_case "overflow detection" `Quick test_overflow_on_tiny_ii;
+    Alcotest.test_case "back-edge violation" `Quick test_back_violation;
+    Alcotest.test_case "score ordering" `Quick test_score_ordering;
+    Alcotest.test_case "comms counted" `Quick test_comms_counted;
+  ]

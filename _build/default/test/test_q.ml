@@ -1,0 +1,101 @@
+(* Exact rational arithmetic. *)
+
+open Hcv_support
+
+let q = Alcotest.testable Q.pp Q.equal
+
+let test_normalisation () =
+  Alcotest.(check q) "6/4 = 3/2" (Q.make 3 2) (Q.make 6 4);
+  Alcotest.(check q) "-6/-4 = 3/2" (Q.make 3 2) (Q.make (-6) (-4));
+  Alcotest.(check q) "6/-4 = -3/2" (Q.make (-3) 2) (Q.make 6 (-4));
+  Alcotest.(check q) "0/7 = 0" Q.zero (Q.make 0 7);
+  Alcotest.check_raises "zero denominator"
+    (Invalid_argument "Q.make: zero denominator") (fun () ->
+      ignore (Q.make 1 0))
+
+let test_arith () =
+  Alcotest.(check q) "1/2 + 1/3" (Q.make 5 6) (Q.add (Q.make 1 2) (Q.make 1 3));
+  Alcotest.(check q) "1/2 - 1/3" (Q.make 1 6) (Q.sub (Q.make 1 2) (Q.make 1 3));
+  Alcotest.(check q) "2/3 * 3/4" (Q.make 1 2) (Q.mul (Q.make 2 3) (Q.make 3 4));
+  Alcotest.(check q) "1/2 / 1/4" (Q.of_int 2) (Q.div (Q.make 1 2) (Q.make 1 4));
+  Alcotest.(check q) "inv 3/5" (Q.make 5 3) (Q.inv (Q.make 3 5));
+  Alcotest.check_raises "div by zero" Division_by_zero (fun () ->
+      ignore (Q.div Q.one Q.zero))
+
+let test_floor_ceil () =
+  Alcotest.(check int) "floor 7/2" 3 (Q.floor (Q.make 7 2));
+  Alcotest.(check int) "ceil 7/2" 4 (Q.ceil (Q.make 7 2));
+  Alcotest.(check int) "floor -7/2" (-4) (Q.floor (Q.make (-7) 2));
+  Alcotest.(check int) "ceil -7/2" (-3) (Q.ceil (Q.make (-7) 2));
+  Alcotest.(check int) "floor 4" 4 (Q.floor (Q.of_int 4));
+  Alcotest.(check int) "ceil 4" 4 (Q.ceil (Q.of_int 4))
+
+let test_compare () =
+  Alcotest.(check bool) "1/3 < 1/2" true Q.(Q.make 1 3 < Q.make 1 2);
+  Alcotest.(check bool) "2/4 = 1/2" true (Q.equal (Q.make 2 4) (Q.make 1 2));
+  Alcotest.(check q) "min" (Q.make 1 3) (Q.min (Q.make 1 3) (Q.make 1 2));
+  Alcotest.(check q) "max" (Q.make 1 2) (Q.max (Q.make 1 3) (Q.make 1 2))
+
+let test_of_float_approx () =
+  Alcotest.(check q) "0.5" (Q.make 1 2) (Q.of_float_approx 0.5);
+  Alcotest.(check q) "1.25" (Q.make 5 4) (Q.of_float_approx 1.25);
+  Alcotest.(check q) "integers" (Q.of_int 7) (Q.of_float_approx 7.0);
+  (* 1/3 is not exactly representable; the approximation must be
+     closer than 1e-6. *)
+  let approx = Q.of_float_approx (1.0 /. 3.0) in
+  Alcotest.(check bool) "1/3 approx" true
+    (Float.abs (Q.to_float approx -. (1.0 /. 3.0)) < 1e-6)
+
+let test_gcd_lcm () =
+  Alcotest.(check int) "gcd 12 18" 6 (Q.gcd 12 18);
+  Alcotest.(check int) "gcd 0 5" 5 (Q.gcd 0 5);
+  Alcotest.(check int) "gcd -12 18" 6 (Q.gcd (-12) 18);
+  Alcotest.(check int) "lcm 4 6" 12 (Q.lcm 4 6);
+  Alcotest.(check int) "lcm 0 6" 0 (Q.lcm 0 6)
+
+(* Property tests. *)
+
+let arb_q =
+  QCheck.map
+    (fun (n, d) -> Q.make n d)
+    (QCheck.pair (QCheck.int_range (-1000) 1000) (QCheck.int_range 1 1000))
+
+let prop_add_comm =
+  QCheck.Test.make ~name:"add commutative" ~count:200 (QCheck.pair arb_q arb_q)
+    (fun (a, b) -> Q.equal (Q.add a b) (Q.add b a))
+
+let prop_mul_assoc =
+  QCheck.Test.make ~name:"mul associative" ~count:200
+    (QCheck.triple arb_q arb_q arb_q) (fun (a, b, c) ->
+      Q.equal (Q.mul (Q.mul a b) c) (Q.mul a (Q.mul b c)))
+
+let prop_floor_ceil =
+  QCheck.Test.make ~name:"floor <= q <= ceil, within 1" ~count:200 arb_q
+    (fun a ->
+      let f = Q.floor a and c = Q.ceil a in
+      Q.(of_int f <= a) && Q.(a <= of_int c) && c - f <= 1)
+
+let prop_sub_add_inverse =
+  QCheck.Test.make ~name:"a - b + b = a" ~count:200 (QCheck.pair arb_q arb_q)
+    (fun (a, b) -> Q.equal (Q.add (Q.sub a b) b) a)
+
+let prop_normal_form =
+  QCheck.Test.make ~name:"results are in normal form" ~count:200
+    (QCheck.pair arb_q arb_q) (fun (a, b) ->
+      let r = Q.add a b in
+      Q.den r > 0 && Q.gcd (Q.num r) (Q.den r) = 1)
+
+let suite =
+  [
+    Alcotest.test_case "normalisation" `Quick test_normalisation;
+    Alcotest.test_case "arithmetic" `Quick test_arith;
+    Alcotest.test_case "floor/ceil" `Quick test_floor_ceil;
+    Alcotest.test_case "comparisons" `Quick test_compare;
+    Alcotest.test_case "of_float_approx" `Quick test_of_float_approx;
+    Alcotest.test_case "gcd/lcm" `Quick test_gcd_lcm;
+    QCheck_alcotest.to_alcotest prop_add_comm;
+    QCheck_alcotest.to_alcotest prop_mul_assoc;
+    QCheck_alcotest.to_alcotest prop_floor_ceil;
+    QCheck_alcotest.to_alcotest prop_sub_add_inverse;
+    QCheck_alcotest.to_alcotest prop_normal_form;
+  ]

@@ -1,0 +1,89 @@
+(* Deterministic PRNG. *)
+
+open Hcv_support
+
+let test_determinism () =
+  let a = Rng.create 7 and b = Rng.create 7 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.next a) (Rng.next b)
+  done
+
+let test_different_seeds () =
+  let a = Rng.create 1 and b = Rng.create 2 in
+  Alcotest.(check bool) "different streams" true (Rng.next a <> Rng.next b)
+
+let test_split_independent () =
+  let a = Rng.create 5 in
+  let c = Rng.split a in
+  (* The split stream differs from the parent's continuation. *)
+  Alcotest.(check bool) "split differs" true (Rng.next c <> Rng.next a)
+
+let test_int_bounds () =
+  let r = Rng.create 3 in
+  for _ = 1 to 1000 do
+    let v = Rng.int r 17 in
+    if v < 0 || v >= 17 then Alcotest.failf "out of range: %d" v
+  done;
+  Alcotest.check_raises "non-positive bound"
+    (Invalid_argument "Rng.int: non-positive bound") (fun () ->
+      ignore (Rng.int r 0))
+
+let test_int_in_bounds () =
+  let r = Rng.create 4 in
+  for _ = 1 to 1000 do
+    let v = Rng.int_in r (-5) 5 in
+    if v < -5 || v > 5 then Alcotest.failf "out of range: %d" v
+  done
+
+let test_float_bounds () =
+  let r = Rng.create 9 in
+  for _ = 1 to 1000 do
+    let v = Rng.float r 2.5 in
+    if v < 0.0 || v >= 2.5 then Alcotest.failf "out of range: %g" v
+  done
+
+let test_pick () =
+  let r = Rng.create 11 in
+  for _ = 1 to 100 do
+    let v = Rng.pick r [ 1; 2; 3 ] in
+    if v < 1 || v > 3 then Alcotest.failf "bad pick %d" v
+  done;
+  Alcotest.check_raises "empty list"
+    (Invalid_argument "Rng.pick: empty list") (fun () ->
+      ignore (Rng.pick r []))
+
+let test_pick_weighted () =
+  let r = Rng.create 13 in
+  (* Zero-weight elements are never picked. *)
+  for _ = 1 to 200 do
+    let v = Rng.pick_weighted r [ ("a", 1.0); ("b", 0.0) ] in
+    Alcotest.(check string) "only positive weight" "a" v
+  done
+
+let test_shuffle_permutation () =
+  let r = Rng.create 17 in
+  let l = Listx.range 0 50 in
+  let s = Rng.shuffle r l in
+  Alcotest.(check (list int)) "same multiset" l (List.sort compare s)
+
+let test_chance_extremes () =
+  let r = Rng.create 19 in
+  for _ = 1 to 50 do
+    Alcotest.(check bool) "p=1 always" true (Rng.chance r 1.0);
+    Alcotest.(check bool) "p=0 never" false (Rng.chance r 0.0)
+  done
+
+let suite =
+  [
+    Alcotest.test_case "determinism" `Quick test_determinism;
+    Alcotest.test_case "seed sensitivity" `Quick test_different_seeds;
+    Alcotest.test_case "split" `Quick test_split_independent;
+    Alcotest.test_case "int bounds" `Quick test_int_bounds;
+    Alcotest.test_case "int_in bounds" `Quick test_int_in_bounds;
+    Alcotest.test_case "float bounds" `Quick test_float_bounds;
+    Alcotest.test_case "pick" `Quick test_pick;
+    Alcotest.test_case "pick_weighted" `Quick test_pick_weighted;
+    Alcotest.test_case "shuffle is a permutation" `Quick
+      test_shuffle_permutation;
+    Alcotest.test_case "chance extremes" `Quick test_chance_extremes;
+  ]

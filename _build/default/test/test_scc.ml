@@ -1,0 +1,75 @@
+(* SCCs and recurrences. *)
+
+open Hcv_support
+open Hcv_ir
+
+let add = Opcode.make Opcode.Arith Opcode.Int
+
+let build edges n =
+  let b = Ddg.Builder.create () in
+  for _ = 1 to n do
+    ignore (Ddg.Builder.add_instr b add)
+  done;
+  List.iter
+    (fun (src, dst, lat, dist) ->
+      Ddg.Builder.add_edge b ~latency:lat ~distance:dist src dst)
+    edges;
+  Ddg.Builder.build b
+
+let test_acyclic_singletons () =
+  let g = build [ (0, 1, 1, 0); (1, 2, 1, 0) ] 3 in
+  Alcotest.(check int) "3 components" 3 (List.length (Scc.of_ddg g));
+  Alcotest.(check int) "no recurrences" 0 (List.length (Scc.non_trivial g))
+
+let test_two_recurrences () =
+  let g =
+    build
+      [ (0, 1, 1, 0); (1, 0, 1, 1); (2, 3, 1, 0); (3, 2, 1, 1); (1, 2, 1, 0) ]
+      4
+  in
+  let recs = Scc.non_trivial g in
+  Alcotest.(check int) "two recurrences" 2 (List.length recs);
+  Alcotest.(check (list (list int))) "members" [ [ 0; 1 ]; [ 2; 3 ] ]
+    (List.sort compare recs)
+
+let test_self_edge () =
+  let g = build [ (0, 0, 2, 1) ] 2 in
+  Alcotest.(check (list (list int))) "self recurrence" [ [ 0 ] ]
+    (Scc.non_trivial g)
+
+let test_recurrence_analysis () =
+  let g =
+    build [ (0, 1, 3, 0); (1, 0, 3, 1); (2, 2, 2, 1); (0, 3, 1, 0) ] 4
+  in
+  let recs = Recurrence.find_all g in
+  Alcotest.(check int) "two recurrences" 2 (List.length recs);
+  (* Sorted most critical first: ratio 6 before ratio 2. *)
+  let first = List.hd recs in
+  Alcotest.(check bool) "critical first" true
+    (Q.equal first.Recurrence.ratio (Q.of_int 6));
+  Alcotest.(check (list int)) "members" [ 0; 1 ] first.Recurrence.nodes;
+  Alcotest.(check int) "min_ii" 6 first.Recurrence.min_ii;
+  Alcotest.(check int) "rec_mii is max" 6 (Recurrence.rec_mii g)
+
+let test_member_map () =
+  let g = build [ (0, 1, 3, 0); (1, 0, 3, 1) ] 3 in
+  let recs = Recurrence.find_all g in
+  let map = Recurrence.member_map g recs in
+  Alcotest.(check int) "node 0 in rec 0" 0 map.(0);
+  Alcotest.(check int) "node 1 in rec 0" 0 map.(1);
+  Alcotest.(check int) "node 2 free" (-1) map.(2)
+
+let test_rec_mii_no_recurrence () =
+  let g = build [ (0, 1, 1, 0) ] 2 in
+  Alcotest.(check int) "0 without recurrences" 0 (Recurrence.rec_mii g)
+
+let suite =
+  [
+    Alcotest.test_case "acyclic -> singletons" `Quick test_acyclic_singletons;
+    Alcotest.test_case "two recurrences" `Quick test_two_recurrences;
+    Alcotest.test_case "self edge" `Quick test_self_edge;
+    Alcotest.test_case "recurrence analysis" `Quick test_recurrence_analysis;
+    Alcotest.test_case "member map" `Quick test_member_map;
+    Alcotest.test_case "rec_mii without recurrences" `Quick
+      test_rec_mii_no_recurrence;
+  ]

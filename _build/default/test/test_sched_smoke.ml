@@ -1,0 +1,61 @@
+(* End-to-end smoke tests for the homogeneous scheduler: every loop
+   shape must produce a schedule that passes full validation at an II
+   close to its MII. *)
+
+open Hcv_support
+open Hcv_sched
+
+let check_valid sched =
+  match Schedule.validate sched with
+  | Ok () -> ()
+  | Error errs -> Alcotest.failf "invalid schedule: %s" (String.concat "; " errs)
+
+let schedule_ok machine loop =
+  match
+    Homo.schedule ~machine ~cycle_time:Q.one ~loop ()
+  with
+  | Ok (sched, stats) ->
+    check_valid sched;
+    (sched, stats)
+  | Error msg -> Alcotest.failf "scheduling failed: %s" msg
+
+let test_dotprod () =
+  let loop = Builders.dotprod () in
+  let sched, stats = schedule_ok Builders.machine_1bus loop in
+  Alcotest.(check bool) "ii >= mii" true (stats.Homo.ii >= stats.Homo.mii);
+  Alcotest.(check bool)
+    "positive length" true
+    (Q.sign (Schedule.it_length sched) > 0)
+
+let test_recurrence () =
+  let loop = Builders.recurrence_loop () in
+  let sched, _ = schedule_ok Builders.machine_1bus loop in
+  check_valid sched
+
+let test_wide () =
+  let loop = Builders.wide_loop ~width:8 () in
+  let sched, stats = schedule_ok Builders.machine_1bus loop in
+  check_valid sched;
+  (* 16 memory ops over 4 memory ports: resMII = 4. *)
+  Alcotest.(check bool) "ii >= 4" true (stats.Homo.ii >= 4)
+
+let test_single_cluster () =
+  let loop = Builders.dotprod () in
+  let sched, _ = schedule_ok Builders.single_cluster loop in
+  check_valid sched;
+  Alcotest.(check int) "no comms on one cluster" 0 (Schedule.n_comms sched)
+
+let test_two_bus_not_worse () =
+  let loop = Builders.wide_loop ~width:6 () in
+  let _, s1 = schedule_ok Builders.machine_1bus loop in
+  let _, s2 = schedule_ok Builders.machine_2bus loop in
+  Alcotest.(check bool) "2 buses not worse" true (s2.Homo.ii <= s1.Homo.ii + 1)
+
+let suite =
+  [
+    Alcotest.test_case "dotprod schedules" `Quick test_dotprod;
+    Alcotest.test_case "recurrence loop schedules" `Quick test_recurrence;
+    Alcotest.test_case "wide loop schedules" `Quick test_wide;
+    Alcotest.test_case "single cluster" `Quick test_single_cluster;
+    Alcotest.test_case "two buses" `Quick test_two_bus_not_worse;
+  ]

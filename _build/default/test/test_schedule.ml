@@ -1,0 +1,143 @@
+(* Schedule semantics and the static validator. *)
+
+open Hcv_support
+open Hcv_ir
+open Hcv_machine
+open Hcv_sched
+
+let machine = Presets.machine_4c ~buses:1
+let q = Alcotest.testable Q.pp Q.equal
+
+(* a (ld) -> b (fp add), manual placement. *)
+let tiny_loop () =
+  let b = Ddg.Builder.create () in
+  let a = Ddg.Builder.add_instr b ~name:"a" (Opcode.make Opcode.Memory Opcode.Fp) in
+  let c =
+    Ddg.Builder.add_instr b ~name:"b" (Opcode.make Opcode.Arith Opcode.Fp)
+  in
+  Ddg.Builder.add_edge b a c;
+  Loop.make ~name:"tiny" (Ddg.Builder.build b)
+
+let clocking = Clocking.homogeneous ~n_clusters:4 ~ii:2 ~cycle_time:Q.one
+
+let sched_with placements transfers =
+  Schedule.make ~loop:(tiny_loop ()) ~machine ~clocking
+    ~placements:(Array.of_list placements)
+    ~transfers
+
+let ok_same_cluster () =
+  sched_with
+    [ { Schedule.cluster = 0; cycle = 0 }; { Schedule.cluster = 0; cycle = 2 } ]
+    []
+
+let test_valid_same_cluster () =
+  match Schedule.validate (ok_same_cluster ()) with
+  | Ok () -> ()
+  | Error es -> Alcotest.failf "unexpected: %s" (String.concat "; " es)
+
+let test_dependence_violation () =
+  (* Consumer at cycle 1 < producer latency 2. *)
+  let s =
+    sched_with
+      [ { Schedule.cluster = 0; cycle = 0 }; { Schedule.cluster = 0; cycle = 1 } ]
+      []
+  in
+  match Schedule.validate s with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "expected violation"
+
+let test_missing_transfer () =
+  let s =
+    sched_with
+      [ { Schedule.cluster = 0; cycle = 0 }; { Schedule.cluster = 1; cycle = 9 } ]
+      []
+  in
+  match Schedule.validate s with
+  | Error es ->
+    Alcotest.(check bool) "mentions transfer" true
+      (List.exists
+         (fun m ->
+           let rec has i =
+             i + 8 <= String.length m
+             && (String.sub m i 8 = "transfer" || has (i + 1))
+           in
+           has 0)
+         es)
+  | Ok () -> Alcotest.fail "expected violation"
+
+let test_cross_cluster_with_transfer () =
+  (* a defines at t=2 (ld latency 2).  Earliest bus cycle: ceil((2+1)/1)
+     = 3 (one sync cycle).  Arrival = (3+1) = 4.  Consumer at cycle 9 >=
+     4: fine. *)
+  let s =
+    sched_with
+      [ { Schedule.cluster = 0; cycle = 0 }; { Schedule.cluster = 1; cycle = 9 } ]
+      [ { Schedule.src = 0; dst_cluster = 1; bus_cycle = 3 } ]
+  in
+  (match Schedule.validate s with
+  | Ok () -> ()
+  | Error es -> Alcotest.failf "unexpected: %s" (String.concat "; " es));
+  Alcotest.(check int) "1 comm" 1 (Schedule.n_comms s)
+
+let test_late_transfer_rejected () =
+  (* Transfer arriving after the consumer started. *)
+  let s =
+    sched_with
+      [ { Schedule.cluster = 0; cycle = 0 }; { Schedule.cluster = 1; cycle = 3 } ]
+      [ { Schedule.src = 0; dst_cluster = 1; bus_cycle = 3 } ]
+  in
+  match Schedule.validate s with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "expected violation"
+
+let test_fu_conflict () =
+  (* Two memory ops in the same cluster, same modulo slot. *)
+  let b = Ddg.Builder.create () in
+  let _ = Ddg.Builder.add_instr b (Opcode.make Opcode.Memory Opcode.Fp) in
+  let _ = Ddg.Builder.add_instr b (Opcode.make Opcode.Memory Opcode.Fp) in
+  let loop = Loop.make ~name:"mm" (Ddg.Builder.build b) in
+  let s =
+    Schedule.make ~loop ~machine ~clocking
+      ~placements:
+        [| { Schedule.cluster = 0; cycle = 0 }; { Schedule.cluster = 0; cycle = 2 } |]
+      ~transfers:[]
+  in
+  match Schedule.validate s with
+  | Error es ->
+    Alcotest.(check bool) "capacity error" true
+      (List.exists (fun m -> String.length m > 0) es)
+  | Ok () -> Alcotest.fail "expected fu conflict"
+
+let test_metrics () =
+  let s = ok_same_cluster () in
+  (* it_length: b starts at 2, fp add latency 3 -> 5. *)
+  Alcotest.(check q) "it_length" (Q.of_int 5) (Schedule.it_length s);
+  Alcotest.(check int) "stage count ceil(5/2)" 3 (Schedule.stage_count s);
+  Alcotest.(check (float 1e-9)) "exec time, 10 iters"
+    ((10.0 -. 1.0) *. 2.0 +. 5.0)
+    (Schedule.exec_time_ns s ~trip:10);
+  Alcotest.(check int) "n_mem" 1 (Schedule.n_mem s);
+  let e = Schedule.per_cluster_ins_energy s in
+  Alcotest.(check (float 1e-9)) "cluster 0 energy" 2.2 e.(0)
+
+let test_lifetimes () =
+  let s = ok_same_cluster () in
+  let spans = Schedule.lifetimes_ns s in
+  (* Value of a: born at 2, read by b at 2... last read = start(b) = 2:
+     span 0.  b's value has no consumer: 0. *)
+  Alcotest.(check q) "cluster 0 span" Q.zero spans.(0)
+
+let suite =
+  [
+    Alcotest.test_case "valid same-cluster schedule" `Quick
+      test_valid_same_cluster;
+    Alcotest.test_case "dependence violation" `Quick test_dependence_violation;
+    Alcotest.test_case "missing transfer" `Quick test_missing_transfer;
+    Alcotest.test_case "cross-cluster with transfer" `Quick
+      test_cross_cluster_with_transfer;
+    Alcotest.test_case "late transfer rejected" `Quick
+      test_late_transfer_rejected;
+    Alcotest.test_case "fu conflict" `Quick test_fu_conflict;
+    Alcotest.test_case "derived metrics" `Quick test_metrics;
+    Alcotest.test_case "lifetimes" `Quick test_lifetimes;
+  ]

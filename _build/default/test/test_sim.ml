@@ -1,0 +1,134 @@
+(* The simulator must agree with the analytic modulo-schedule formulas
+   and find no violations in validated schedules. *)
+
+open Hcv_support
+open Hcv_sched
+open Hcv_sim
+
+let simulate_homo loop trip =
+  match
+    Homo.schedule ~machine:Builders.machine_1bus ~cycle_time:Q.one ~loop ()
+  with
+  | Error msg -> Alcotest.failf "scheduling failed: %s" msg
+  | Ok (sched, _) -> (sched, Simulator.run ~schedule:sched ~trip ())
+
+let test_no_violations () =
+  List.iter
+    (fun loop ->
+      let _, r = simulate_homo loop 20 in
+      Alcotest.(check (list string)) "no violations" [] r.Simulator.violations)
+    [ Builders.dotprod (); Builders.recurrence_loop (); Builders.wide_loop () ]
+
+let test_exec_time_formula () =
+  List.iter
+    (fun loop ->
+      let trip = 33 in
+      let sched, r = simulate_homo loop trip in
+      let analytic = Schedule.exec_time_ns sched ~trip in
+      Alcotest.(check (float 1e-9))
+        "sim time = (N-1)*IT + it_length" analytic
+        (Q.to_float r.Simulator.exec_ns))
+    [ Builders.dotprod (); Builders.recurrence_loop (); Builders.wide_loop () ]
+
+let test_counts () =
+  let loop = Builders.dotprod () in
+  let trip = 10 in
+  let sched, r = simulate_homo loop trip in
+  Alcotest.(check int)
+    "issues = n * trip"
+    (Hcv_ir.Ddg.n_instrs loop.Hcv_ir.Loop.ddg * trip)
+    r.Simulator.n_issues;
+  Alcotest.(check int)
+    "transfers = comms * trip"
+    (Schedule.n_comms sched * trip)
+    r.Simulator.n_transfers;
+  Alcotest.(check int)
+    "mem accesses"
+    (Schedule.n_mem sched * trip)
+    r.Simulator.n_mem_accesses
+
+let test_measure_matches_activity () =
+  let loop = Builders.recurrence_loop () in
+  let trip = 25 in
+  let sched, _ = simulate_homo loop trip in
+  match Simulator.measure ~schedule:sched ~trip with
+  | Error vs -> Alcotest.failf "violations: %s" (String.concat "; " vs)
+  | Ok act ->
+    let analytic = Hcv_core.Profile.activity_of_schedule sched ~trip in
+    Alcotest.(check (float 1e-6))
+      "exec time" analytic.Hcv_energy.Activity.exec_time_ns
+      act.Hcv_energy.Activity.exec_time_ns;
+    Alcotest.(check (float 1e-6))
+      "comms" analytic.Hcv_energy.Activity.n_comms
+      act.Hcv_energy.Activity.n_comms;
+    Array.iteri
+      (fun i e ->
+        Alcotest.(check (float 1e-6))
+          (Printf.sprintf "cluster %d energy" i)
+          analytic.Hcv_energy.Activity.per_cluster_ins_energy.(i)
+          e)
+      act.Hcv_energy.Activity.per_cluster_ins_energy
+
+let test_detects_broken_schedule () =
+  (* Corrupt a valid schedule: pull a dependent instruction to cycle 0;
+     the simulator must flag an operand violation (or a resource
+     conflict). *)
+  let loop = Builders.dotprod () in
+  let sched, _ = simulate_homo loop 1 in
+  let placements = Array.copy sched.Schedule.placements in
+  (* Instruction 3 ("s") depends on 2 ("m"); force it to cycle 0 in the
+     same cluster as its producer. *)
+  placements.(3) <-
+    { Schedule.cluster = placements.(2).Schedule.cluster; cycle = 0 };
+  let broken = { sched with Schedule.placements } in
+  let r = Simulator.run ~schedule:broken ~trip:3 () in
+  Alcotest.(check bool) "violations found" true (r.Simulator.violations <> [])
+
+
+let test_cache_model () =
+  let loop = Builders.dotprod () in
+  let sched, base = simulate_homo loop 50 in
+  (* Zero miss rate: identical to the baseline. *)
+  let zero =
+    Simulator.run
+      ~cache:{ Simulator.miss_rate = 0.0; miss_penalty_cycles = 20 }
+      ~schedule:sched ~trip:50 ()
+  in
+  Alcotest.(check int) "no misses" 0 zero.Simulator.n_misses;
+  Alcotest.(check bool) "same time" true
+    (Q.equal zero.Simulator.exec_ns base.Simulator.exec_ns);
+  (* Every access misses: time grows by misses * penalty, and each miss
+     adds one refill access. *)
+  let all =
+    Simulator.run
+      ~cache:{ Simulator.miss_rate = 1.0; miss_penalty_cycles = 20 }
+      ~schedule:sched ~trip:50 ()
+  in
+  Alcotest.(check int) "all miss" all.Simulator.n_mem_accesses
+    (2 * base.Simulator.n_mem_accesses);
+  Alcotest.(check bool) "slower" true
+    Q.(all.Simulator.exec_ns > base.Simulator.exec_ns);
+  Alcotest.(check bool) "stall accounted" true
+    (Q.equal all.Simulator.exec_ns
+       (Q.add base.Simulator.exec_ns all.Simulator.stall_ns));
+  (* A middling rate lies in between (monotonicity). *)
+  let half =
+    Simulator.run
+      ~cache:{ Simulator.miss_rate = 0.5; miss_penalty_cycles = 20 }
+      ~schedule:sched ~trip:50 ()
+  in
+  Alcotest.(check bool) "monotone" true
+    (half.Simulator.n_misses > 0
+    && half.Simulator.n_misses < all.Simulator.n_misses)
+
+let suite =
+  [
+    Alcotest.test_case "validated schedules run clean" `Quick test_no_violations;
+    Alcotest.test_case "exec time formula" `Quick test_exec_time_formula;
+    Alcotest.test_case "event counts" `Quick test_counts;
+    Alcotest.test_case "measure = analytic activity" `Quick
+      test_measure_matches_activity;
+    Alcotest.test_case "detects broken schedules" `Quick
+      test_detects_broken_schedule;
+    Alcotest.test_case "cache-miss extension" `Quick test_cache_model;
+  ]

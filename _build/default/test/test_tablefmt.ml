@@ -1,0 +1,44 @@
+(* Table rendering. *)
+
+open Hcv_support
+
+let test_basic_render () =
+  let t = Tablefmt.create [ ("name", Tablefmt.Left); ("v", Tablefmt.Right) ] in
+  Tablefmt.add_row t [ "alpha"; "1" ];
+  Tablefmt.add_row t [ "b"; "22" ];
+  let s = Tablefmt.render t in
+  Alcotest.(check bool) "contains header" true
+    (String.length s > 0 && Option.is_some (String.index_opt s '+'));
+  (* Every line has the same width. *)
+  let widths =
+    String.split_on_char '\n' s
+    |> List.filter (fun l -> l <> "")
+    |> List.map String.length
+  in
+  Alcotest.(check bool) "rectangular" true
+    (List.for_all (fun w -> w = List.hd widths) widths)
+
+let test_arity_check () =
+  let t = Tablefmt.create [ ("a", Tablefmt.Left) ] in
+  Alcotest.check_raises "arity"
+    (Invalid_argument "Tablefmt.add_row: arity mismatch") (fun () ->
+      Tablefmt.add_row t [ "x"; "y" ])
+
+let test_title () =
+  let t = Tablefmt.create ~title:"My Table" [ ("a", Tablefmt.Center) ] in
+  Tablefmt.add_row t [ "x" ];
+  let s = Tablefmt.render t in
+  Alcotest.(check bool) "title present" true
+    (String.length s >= 8 && String.sub s 0 8 = "My Table")
+
+let test_cells () =
+  Alcotest.(check string) "cell_f" "1.500" (Tablefmt.cell_f 1.5);
+  Alcotest.(check string) "cell_pct" "15.40%" (Tablefmt.cell_pct 0.154)
+
+let suite =
+  [
+    Alcotest.test_case "render" `Quick test_basic_render;
+    Alcotest.test_case "arity" `Quick test_arity_check;
+    Alcotest.test_case "title" `Quick test_title;
+    Alcotest.test_case "cell formatting" `Quick test_cells;
+  ]

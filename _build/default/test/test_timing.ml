@@ -1,0 +1,78 @@
+(* The shared multi-clock timing rules. *)
+
+open Hcv_support
+open Hcv_ir
+open Hcv_sched
+
+let q = Alcotest.testable Q.pp Q.equal
+
+let fadd = Instr.make ~id:0 ~name:"a" ~op:(Opcode.make Opcode.Arith Opcode.Fp)
+let ld = Instr.make ~id:1 ~name:"l" ~op:(Opcode.make Opcode.Memory Opcode.Fp)
+
+(* Heterogeneous clocking: cluster 0 at 1 ns, cluster 1 at 3/2 ns, ICN
+   and cache at 1 ns, IT = 6. *)
+let clocking =
+  {
+    Clocking.it = Q.of_int 6;
+    cluster_ii = [| 6; 4 |];
+    cluster_ct = [| Q.one; Q.make 3 2 |];
+    icn_ii = 6;
+    icn_ct = Q.one;
+    cache_ii = 6;
+    cache_ct = Q.one;
+  }
+
+let test_start_and_def () =
+  Alcotest.(check q) "start c1 cycle 2" (Q.of_int 3)
+    (Timing.start_time clocking ~cluster:1 ~cycle:2);
+  (* fp add latency 3 on the 3/2 ns cluster: def at 3 + 4.5. *)
+  Alcotest.(check q) "def" (Q.make 15 2)
+    (Timing.def_time clocking ~cluster:1 ~cycle:2 fadd)
+
+let test_memory_effective_ct () =
+  (* Memory ops advance at max(cluster, cache) cycle time.  Cache at
+     1 ns < cluster at 3/2 ns: the cluster dominates. *)
+  Alcotest.(check q) "mem eff ct" (Q.make 3 2)
+    (Timing.eff_ct clocking ~cluster:1 ld);
+  (* A slower cache would dominate instead. *)
+  let slow_cache = { clocking with Clocking.cache_ct = Q.of_int 2 } in
+  Alcotest.(check q) "slow cache dominates" (Q.of_int 2)
+    (Timing.eff_ct slow_cache ~cluster:1 ld);
+  (* Non-memory ops never see the cache clock. *)
+  Alcotest.(check q) "fp unaffected" (Q.make 3 2)
+    (Timing.eff_ct slow_cache ~cluster:1 fadd)
+
+let test_bus_windows () =
+  (* Value defined at t=3: one sync cycle, so the earliest bus cycle
+     starts at ceil((3+1)/1) = 4. *)
+  Alcotest.(check int) "earliest bus" 4
+    (Timing.earliest_bus_cycle clocking ~def_time:(Q.of_int 3));
+  (* Need by t=9 with buslat 1: latest departure at floor(9/1) - 1. *)
+  Alcotest.(check int) "latest bus" 8
+    (Timing.latest_bus_cycle clocking ~buslat:1 ~need:(Q.of_int 9));
+  Alcotest.(check q) "arrival" (Q.of_int 6)
+    (Timing.bus_arrival clocking ~buslat:1 ~bus_cycle:5)
+
+let test_earliest_cycle () =
+  Alcotest.(check int) "exact boundary" 2
+    (Timing.earliest_cycle clocking ~cluster:1 ~ready:(Q.of_int 3));
+  Alcotest.(check int) "round up" 3
+    (Timing.earliest_cycle clocking ~cluster:1 ~ready:(Q.make 7 2));
+  Alcotest.(check int) "negative clamps" 0
+    (Timing.earliest_cycle clocking ~cluster:0 ~ready:(Q.of_int (-4)))
+
+let test_dep_ready () =
+  (* distance 2 rewinds two ITs. *)
+  Alcotest.(check q) "same-cluster ready" (Q.of_int (-5))
+    (Timing.dep_ready_same clocking ~it:(Q.of_int 6) ~def_time:(Q.of_int 7)
+       ~distance:2)
+
+let suite =
+  [
+    Alcotest.test_case "start/def times" `Quick test_start_and_def;
+    Alcotest.test_case "memory effective cycle time" `Quick
+      test_memory_effective_ct;
+    Alcotest.test_case "bus windows" `Quick test_bus_windows;
+    Alcotest.test_case "earliest cycle" `Quick test_earliest_cycle;
+    Alcotest.test_case "dependence rewind" `Quick test_dep_ready;
+  ]

@@ -1,0 +1,90 @@
+(* Loop unrolling. *)
+
+open Hcv_support
+open Hcv_ir
+open Hcv_machine
+open Hcv_sched
+
+let machine = Presets.machine_4c ~buses:1
+
+let test_structure () =
+  let loop = Builders.dotprod ~trip:100 () in
+  let n = Ddg.n_instrs loop.Loop.ddg in
+  let u = Unroll.loop ~factor:3 loop in
+  Alcotest.(check int) "3x instructions" (3 * n) (Ddg.n_instrs u.Loop.ddg);
+  Alcotest.(check int) "3x edges"
+    (3 * Ddg.n_edges loop.Loop.ddg)
+    (Ddg.n_edges u.Loop.ddg);
+  Alcotest.(check int) "trip divided" 34 u.Loop.trip;
+  Alcotest.(check string) "name suffix" "dotprod__x3" u.Loop.name
+
+let test_factor_one_identity () =
+  let loop = Builders.recurrence_loop () in
+  let u = Unroll.loop ~factor:1 loop in
+  Alcotest.(check string) "same loop" loop.Loop.name u.Loop.name
+
+let test_distance_remapping () =
+  (* Self edge (s, s, dist 1) unrolled by 2: copy0 <- copy1 at distance
+     1, copy1 <- copy0 at distance 0. *)
+  let b = Ddg.Builder.create () in
+  let s = Ddg.Builder.add_instr b ~name:"s" (Opcode.make Opcode.Arith Opcode.Fp) in
+  Ddg.Builder.add_edge b ~distance:1 s s;
+  let g = Unroll.ddg ~factor:2 (Ddg.Builder.build b) in
+  let edges = List.sort compare (Ddg.edges g) in
+  match edges with
+  | [ e1; e2 ] ->
+    (* copy0 -> copy1, distance 0. *)
+    Alcotest.(check (pair int int)) "forward" (0, 1) (e1.Edge.src, e1.Edge.dst);
+    Alcotest.(check int) "dist 0" 0 e1.Edge.distance;
+    (* copy1 -> copy0, distance 1. *)
+    Alcotest.(check (pair int int)) "wrap" (1, 0) (e2.Edge.src, e2.Edge.dst);
+    Alcotest.(check int) "dist 1" 1 e2.Edge.distance
+  | es -> Alcotest.failf "expected 2 edges, got %d" (List.length es)
+
+let test_recmii_scales () =
+  (* Unrolling multiplies the recurrence MII (the §5.3 argument). *)
+  let loop = Builders.recurrence_loop () in
+  let base = Recurrence.rec_mii loop.Loop.ddg in
+  let u = Unroll.ddg ~factor:2 loop.Loop.ddg in
+  Alcotest.(check int) "recMII doubles" (2 * base) (Recurrence.rec_mii u)
+
+let test_unrolled_schedules () =
+  (* The unrolled loop still schedules and validates. *)
+  let loop = Unroll.loop ~factor:2 (Builders.dotprod ()) in
+  match Homo.schedule ~machine ~cycle_time:Q.one ~loop () with
+  | Ok (sched, _) ->
+    Alcotest.(check bool) "validates" true (Schedule.validate sched = Ok ())
+  | Error msg -> Alcotest.failf "failed: %s" msg
+
+let test_copy_of () =
+  Alcotest.(check (pair int int)) "copy_of" (2, 1)
+    (Unroll.copy_of ~factor:3 ~n_orig:4 9)
+
+let test_semantics_preserved () =
+  (* Per-original-iteration execution time should not degrade much:
+     unrolled exec of trip/k iterations covers the same work. *)
+  let loop = Builders.wide_loop ~trip:120 ~width:6 () in
+  let u = Unroll.loop ~factor:2 loop in
+  match
+    ( Homo.schedule ~machine ~cycle_time:Q.one ~loop (),
+      Homo.schedule ~machine ~cycle_time:Q.one ~loop:u () )
+  with
+  | Ok (s1, _), Ok (s2, _) ->
+    let t1 = Schedule.exec_time_ns s1 ~trip:loop.Loop.trip in
+    let t2 = Schedule.exec_time_ns s2 ~trip:u.Loop.trip in
+    Alcotest.(check bool)
+      (Printf.sprintf "within 2x (%.0f vs %.0f)" t1 t2)
+      true
+      (t2 < 2.0 *. t1)
+  | Error m, _ | _, Error m -> Alcotest.failf "failed: %s" m
+
+let suite =
+  [
+    Alcotest.test_case "structure" `Quick test_structure;
+    Alcotest.test_case "factor 1 is identity" `Quick test_factor_one_identity;
+    Alcotest.test_case "distance remapping" `Quick test_distance_remapping;
+    Alcotest.test_case "recMII scales" `Quick test_recmii_scales;
+    Alcotest.test_case "unrolled loops schedule" `Quick test_unrolled_schedules;
+    Alcotest.test_case "copy_of" `Quick test_copy_of;
+    Alcotest.test_case "semantics preserved" `Quick test_semantics_preserved;
+  ]

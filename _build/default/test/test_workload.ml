@@ -1,0 +1,105 @@
+(* Synthetic workload generators and the SPECfp2000 populations. *)
+
+open Hcv_support
+open Hcv_ir
+open Hcv_machine
+open Hcv_sched
+open Hcv_workload
+
+let machine = Presets.machine_4c ~buses:1
+
+let test_shapes_valid () =
+  let rng = Rng.create 5 in
+  let loops =
+    [
+      Shapes.recurrence_chain ~rng ~name:"rc" ~rec_len:3 ~extra:12 ();
+      Shapes.reduction ~rng ~name:"red" ~width:6 ();
+      Shapes.stencil ~rng ~name:"st" ~points:5 ();
+      Shapes.wide_parallel ~rng ~name:"wp" ~lanes:5 ~merge:true ();
+      Shapes.register_heavy ~rng ~name:"rh" ~values:8 ();
+    ]
+  in
+  (* Construction already validates (no zero-distance cycles); check
+     basic structure. *)
+  List.iter
+    (fun (l : Loop.t) ->
+      Alcotest.(check bool) (l.Loop.name ^ " nonempty") true
+        (Ddg.n_instrs l.Loop.ddg > 0))
+    loops
+
+let test_recurrence_chain_class () =
+  let rng = Rng.create 7 in
+  let l = Shapes.recurrence_chain ~rng ~name:"r" ~rec_len:3 ~extra:6 () in
+  (* A 3-op multiply-heavy recurrence dominates a small body. *)
+  Alcotest.(check bool) "has recurrence" true
+    (Recurrence.rec_mii l.Loop.ddg > 0)
+
+let test_wide_parallel_class () =
+  let rng = Rng.create 8 in
+  let l = Shapes.wide_parallel ~rng ~name:"w" ~lanes:8 ~depth:2 () in
+  Alcotest.(check int) "no recurrence" 0 (Recurrence.rec_mii l.Loop.ddg);
+  Alcotest.(check string) "resource class" "resource"
+    (Mii.class_to_string (Mii.classify machine l.Loop.ddg))
+
+let test_specfp_table2 () =
+  (* Every population's measured class mix matches its Table 2 row. *)
+  List.iter
+    (fun spec ->
+      let loops = Specfp.loops ~seed:42 spec in
+      let res, border, rec_ = Specfp.table2_row machine loops in
+      let close what a b =
+        if Float.abs (a -. b) > 0.02 then
+          Alcotest.failf "%s/%s: %.4f vs %.4f" spec.Specfp.name what a b
+      in
+      close "res" res spec.Specfp.res_share;
+      close "border" border spec.Specfp.border_share;
+      close "rec" rec_ spec.Specfp.rec_share)
+    Specfp.all
+
+let test_specfp_deterministic () =
+  let spec = Option.get (Specfp.find "facerec") in
+  let a = Specfp.loops ~seed:9 spec and b = Specfp.loops ~seed:9 spec in
+  List.iter2
+    (fun (x : Loop.t) (y : Loop.t) ->
+      Alcotest.(check int) "same sizes" (Ddg.n_instrs x.Loop.ddg)
+        (Ddg.n_instrs y.Loop.ddg);
+      Alcotest.(check int) "same edges" (Ddg.n_edges x.Loop.ddg)
+        (Ddg.n_edges y.Loop.ddg))
+    a b;
+  let c = Specfp.loops ~seed:10 spec in
+  (* Different seeds give a different population (very likely). *)
+  let sizes l = List.map (fun (x : Loop.t) -> Ddg.n_instrs x.Loop.ddg) l in
+  Alcotest.(check bool) "seed sensitivity" true (sizes a <> sizes c)
+
+let test_specfp_all_schedule () =
+  (* Every loop of one population schedules on the reference machine. *)
+  let spec = Option.get (Specfp.find "galgel") in
+  List.iter
+    (fun loop ->
+      match
+        Homo.schedule ~machine ~cycle_time:Presets.reference_cycle_time ~loop ()
+      with
+      | Ok _ -> ()
+      | Error msg -> Alcotest.failf "%s: %s" loop.Loop.name msg)
+    (Specfp.loops ~n_loops:8 ~seed:3 spec)
+
+let test_ten_benchmarks () =
+  Alcotest.(check int) "10 benchmarks" 10 (List.length Specfp.all);
+  Alcotest.(check (list string)) "names"
+    [ "wupwise"; "swim"; "mgrid"; "applu"; "galgel"; "facerec"; "lucas";
+      "fma3d"; "sixtrack"; "apsi" ]
+    (List.map (fun s -> s.Specfp.name) Specfp.all)
+
+let suite =
+  [
+    Alcotest.test_case "shapes build" `Quick test_shapes_valid;
+    Alcotest.test_case "recurrence chain has recurrence" `Quick
+      test_recurrence_chain_class;
+    Alcotest.test_case "wide parallel is resource class" `Quick
+      test_wide_parallel_class;
+    Alcotest.test_case "Table 2 mixes match" `Quick test_specfp_table2;
+    Alcotest.test_case "deterministic generation" `Quick
+      test_specfp_deterministic;
+    Alcotest.test_case "populations schedule" `Quick test_specfp_all_schedule;
+    Alcotest.test_case "ten benchmarks" `Quick test_ten_benchmarks;
+  ]
