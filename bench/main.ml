@@ -4,9 +4,20 @@
 
    Usage:
      main.exe [table1] [table2] [fig6] [fig7] [fig8] [fig9] [ablation]
-              [micro] [--quick]
+              [micro] [--quick] [--jobs N] [--cache DIR] [--resume]
+              [--telemetry-csv FILE]
    With no selector, everything runs.  --quick shrinks the populations
-   and skips the 2-bus variants of the sensitivity figures. *)
+   (figures *and* ablations) and skips the 2-bus variants of the
+   sensitivity figures.
+
+   Every figure/ablation sweep runs through the Hcv_explore engine:
+   --jobs N computes the independent (configuration, benchmark) cells
+   on N worker domains, --cache DIR memoises completed cells on disk so
+   repeated runs and --resume after an interruption skip them, and the
+   per-stage telemetry (cells, cache hits, wall clock) goes to stderr
+   (and to --telemetry-csv as CSV).  Tables are assembled from the
+   results in submission order, so stdout is byte-identical whatever
+   the worker count and cache state. *)
 
 open Hcv_support
 open Hcv_ir
@@ -14,6 +25,7 @@ open Hcv_machine
 open Hcv_energy
 open Hcv_core
 open Hcv_workload
+module E = Hcv_explore
 
 let quick = ref false
 let seed = 42
@@ -21,6 +33,13 @@ let seed = 42
 let fig_loops () = if !quick then Some 6 else Some 10
 let fig6_loops () = if !quick then Some 8 else None (* per-spec default *)
 let sense_buses () = if !quick then [ 1 ] else [ 1; 2 ]
+
+(* --quick must bound the ablation bench too, not just the figures. *)
+let ablation_benches () =
+  if !quick then [ "sixtrack"; "facerec" ]
+  else [ "sixtrack"; "facerec"; "fma3d" ]
+
+let unroll_loops () = if !quick then 4 else 8
 
 (* ------------------------------------------------------------------ *)
 
@@ -96,22 +115,32 @@ let table2 () =
 
 (* ------------------------------------------------------------------ *)
 
-let run_all_benchmarks ?n_loops ?(params = Params.default) ~buses () =
-  let machine = Presets.machine_4c ~buses in
-  List.filter_map
+let loops_of (c : Sweep.cell) =
+  match Specfp.find c.Sweep.bench with
+  | Some spec -> Specfp.loops ?n_loops:c.Sweep.n_loops ~seed:c.Sweep.seed spec
+  | None -> failwith (Printf.sprintf "unknown benchmark %S" c.Sweep.bench)
+
+let all_cells ?n_loops ?grid_steps ?params ~buses () =
+  List.map
     (fun spec ->
-      let loops = Specfp.loops ?n_loops ~seed spec in
-      match
-        Pipeline.run ~params ~machine ~name:spec.Specfp.name ~loops ()
-      with
-      | Ok r -> Some r
-      | Error msg ->
-        Printf.printf "  !! %s failed: %s\n%!" spec.Specfp.name msg;
-        None)
+      Sweep.cell ~buses ?n_loops ~seed ?grid_steps ?params spec.Specfp.name)
     Specfp.all
 
-let mean_ratio results =
-  Listx.mean (List.map (fun r -> r.Pipeline.ed2_ratio) results)
+(* Report failed cells exactly where the serial run reported them, then
+   keep only the successful ones (the serial code dropped failures from
+   the means as well). *)
+let report_failures outcomes =
+  List.filter
+    (fun (o : Sweep.outcome) ->
+      match o.Sweep.error with
+      | None -> true
+      | Some msg ->
+        Printf.printf "  !! %s failed: %s\n%!" o.Sweep.bench msg;
+        false)
+    outcomes
+
+let mean_ratio outcomes =
+  Listx.mean (List.map (fun (o : Sweep.outcome) -> o.Sweep.ed2_ratio) outcomes)
 
 (* Paper Figure 6 per-benchmark readings (approximate, from the bar
    chart; 1-bus values; used only as the "paper" column). *)
@@ -122,12 +151,26 @@ let fig6_paper =
     ("sixtrack", 0.65); ("apsi", 0.85);
   ]
 
-let fig6 () =
-  List.iter
-    (fun buses ->
-      Printf.printf "Figure 6 (%d bus%s): ED2 normalised to the optimum homogeneous\n%!"
+let fig6 engine =
+  let buses_list = [ 1; 2 ] in
+  (* One sweep for the whole figure: every (bus count, benchmark) cell
+     is independent. *)
+  let cells =
+    List.concat_map
+      (fun buses -> all_cells ?n_loops:(fig6_loops ()) ~buses ())
+      buses_list
+  in
+  let outcomes = Sweep.run engine ~label:"fig6" ~loops_of cells in
+  let n_specs = List.length Specfp.all in
+  List.iteri
+    (fun i buses ->
+      Printf.printf
+        "Figure 6 (%d bus%s): ED2 normalised to the optimum homogeneous\n%!"
         buses (if buses > 1 then "es" else "");
-      let results = run_all_benchmarks ?n_loops:(fig6_loops ()) ~buses () in
+      let results =
+        report_failures
+          (Listx.take n_specs (Listx.drop (i * n_specs) outcomes))
+      in
       let t =
         Tablefmt.create
           [
@@ -139,16 +182,16 @@ let fig6 () =
           ]
       in
       List.iter
-        (fun r ->
+        (fun (o : Sweep.outcome) ->
           Tablefmt.add_row t
             [
-              r.Pipeline.name;
-              (match List.assoc_opt r.Pipeline.name fig6_paper with
+              o.Sweep.bench;
+              (match List.assoc_opt o.Sweep.bench fig6_paper with
               | Some v -> Tablefmt.cell_f v
               | None -> "-");
-              Tablefmt.cell_f r.Pipeline.ed2_ratio;
-              Tablefmt.cell_f r.Pipeline.time_ratio;
-              Tablefmt.cell_f r.Pipeline.energy_ratio;
+              Tablefmt.cell_f o.Sweep.ed2_ratio;
+              Tablefmt.cell_f o.Sweep.time_ratio;
+              Tablefmt.cell_f o.Sweep.energy_ratio;
             ])
         results;
       Tablefmt.add_sep t;
@@ -157,13 +200,30 @@ let fig6 () =
           "-"; "-" ];
       Tablefmt.print t;
       print_newline ())
-    [ 1; 2 ]
+    buses_list
 
 (* ------------------------------------------------------------------ *)
 
-let fig7 () =
+let fig7 engine =
   Printf.printf
     "Figure 7: mean ED2 ratio vs number of supported frequencies\n%!";
+  let steps_list = [ None; Some 16; Some 8; Some 4 ] in
+  let cells =
+    List.concat_map
+      (fun buses ->
+        List.concat_map
+          (fun steps ->
+            all_cells ?n_loops:(fig_loops ()) ?grid_steps:steps ~buses ())
+          steps_list)
+      (sense_buses ())
+  in
+  let outcomes = ref (Sweep.run engine ~label:"fig7" ~loops_of cells) in
+  let next_group n =
+    let g = Listx.take n !outcomes in
+    outcomes := Listx.drop n !outcomes;
+    g
+  in
+  let n_specs = List.length Specfp.all in
   let t =
     Tablefmt.create
       [
@@ -178,25 +238,14 @@ let fig7 () =
     (fun buses ->
       let cells =
         List.map
-          (fun steps ->
-            let machine =
-              Machine.with_grid
-                (Presets.machine_4c ~buses)
-                (Presets.grid_of_steps steps)
+          (fun _steps ->
+            let ok =
+              List.filter
+                (fun (o : Sweep.outcome) -> o.Sweep.error = None)
+                (next_group n_specs)
             in
-            let results =
-              List.filter_map
-                (fun spec ->
-                  let loops = Specfp.loops ?n_loops:(fig_loops ()) ~seed spec in
-                  match
-                    Pipeline.run ~machine ~name:spec.Specfp.name ~loops ()
-                  with
-                  | Ok r -> Some r
-                  | Error _ -> None)
-                Specfp.all
-            in
-            Tablefmt.cell_f (mean_ratio results))
-          [ None; Some 16; Some 8; Some 4 ]
+            Tablefmt.cell_f (mean_ratio ok))
+          steps_list
       in
       Tablefmt.add_row t (string_of_int buses :: cells))
     (sense_buses ());
@@ -206,84 +255,171 @@ let fig7 () =
 
 (* ------------------------------------------------------------------ *)
 
-let fig8 () =
-  Printf.printf
-    "Figure 8: mean ED2 ratio varying the ICN/cache energy shares\n%!";
-  let variants =
-    [
-      ("0.10/0.25", 0.10, 0.25);
-      ("0.10/0.33", 0.10, 1.0 /. 3.0);
-      ("0.15/0.30", 0.15, 0.30);
-      ("0.20/0.25", 0.20, 0.25);
-      ("0.20/0.30", 0.20, 0.30);
-    ]
+(* Figures 8 and 9 share their shape: a (buses x parameter-variant)
+   grid of whole-population sweeps, one mean ED2 ratio per grid
+   point. *)
+let param_sense_figure engine ~label ~header ~footer variants =
+  Printf.printf "%s\n%!" header;
+  let cells =
+    List.concat_map
+      (fun buses ->
+        List.concat_map
+          (fun (_, params) ->
+            all_cells ?n_loops:(fig_loops ()) ~params ~buses ())
+          variants)
+      (sense_buses ())
+  in
+  let outcomes = ref (Sweep.run engine ~label ~loops_of cells) in
+  let n_specs = List.length Specfp.all in
+  let next_group () =
+    let g = Listx.take n_specs !outcomes in
+    outcomes := Listx.drop n_specs !outcomes;
+    g
   in
   let t =
     Tablefmt.create
       (("buses", Tablefmt.Right)
-      :: List.map (fun (label, _, _) -> (label, Tablefmt.Right)) variants)
+      :: List.map (fun (label, _) -> (label, Tablefmt.Right)) variants)
   in
   List.iter
     (fun buses ->
       let cells =
         List.map
-          (fun (_, frac_icn, frac_cache) ->
-            let params = Params.make ~frac_icn ~frac_cache () in
-            let results =
-              run_all_benchmarks ?n_loops:(fig_loops ()) ~params ~buses ()
-            in
-            Tablefmt.cell_f (mean_ratio results))
+          (fun _ ->
+            let ok = report_failures (next_group ()) in
+            Tablefmt.cell_f (mean_ratio ok))
           variants
       in
       Tablefmt.add_row t (string_of_int buses :: cells))
     (sense_buses ());
   Tablefmt.print t;
-  Printf.printf "(paper: results vary only slightly across shares)\n\n%!"
+  Printf.printf "%s\n\n%!" footer
+
+let fig8 engine =
+  param_sense_figure engine ~label:"fig8"
+    ~header:"Figure 8: mean ED2 ratio varying the ICN/cache energy shares"
+    ~footer:"(paper: results vary only slightly across shares)"
+    (List.map
+       (fun (label, frac_icn, frac_cache) ->
+         (label, Params.make ~frac_icn ~frac_cache ()))
+       [
+         ("0.10/0.25", 0.10, 0.25);
+         ("0.10/0.33", 0.10, 1.0 /. 3.0);
+         ("0.15/0.30", 0.15, 0.30);
+         ("0.20/0.25", 0.20, 0.25);
+         ("0.20/0.30", 0.20, 0.30);
+       ])
+
+let fig9 engine =
+  param_sense_figure engine ~label:"fig9"
+    ~header:
+      "Figure 9: mean ED2 ratio varying the leakage shares (cluster/ICN/cache)"
+    ~footer:"(paper: changing leakage shares has little impact)"
+    (List.map
+       (fun (label, leak_cluster, leak_icn, leak_cache) ->
+         (label, Params.make ~leak_cluster ~leak_icn ~leak_cache ()))
+       [
+         ("0.25/0.05/0.60", 0.25, 0.05, 0.60);
+         ("0.33/0.10/0.66", 1.0 /. 3.0, 0.10, 2.0 /. 3.0);
+         ("0.40/0.15/0.70", 0.40, 0.15, 0.70);
+         ("0.20/0.10/0.75", 0.20, 0.10, 0.75);
+       ])
 
 (* ------------------------------------------------------------------ *)
 
-let fig9 () =
-  Printf.printf
-    "Figure 9: mean ED2 ratio varying the leakage shares (cluster/ICN/cache)\n%!";
-  let variants =
-    [
-      ("0.25/0.05/0.60", 0.25, 0.05, 0.60);
-      ("0.33/0.10/0.66", 1.0 /. 3.0, 0.10, 2.0 /. 3.0);
-      ("0.40/0.15/0.70", 0.40, 0.15, 0.70);
-      ("0.20/0.10/0.75", 0.20, 0.10, 0.75);
-    ]
-  in
-  let t =
-    Tablefmt.create
-      (("buses", Tablefmt.Right)
-      :: List.map (fun (label, _, _, _) -> (label, Tablefmt.Right)) variants)
-  in
-  List.iter
-    (fun buses ->
-      let cells =
-        List.map
-          (fun (_, leak_cluster, leak_icn, leak_cache) ->
-            let params = Params.make ~leak_cluster ~leak_icn ~leak_cache () in
-            let results =
-              run_all_benchmarks ?n_loops:(fig_loops ()) ~params ~buses ()
-            in
-            Tablefmt.cell_f (mean_ratio results))
-          variants
-      in
-      Tablefmt.add_row t (string_of_int buses :: cells))
-    (sense_buses ());
-  Tablefmt.print t;
-  Printf.printf "(paper: changing leakage shares has little impact)\n\n%!"
+(* Ablation sweep cells: a few numbers per cell, serialized as a JSON
+   row so a failure message survives the cache round-trip. *)
+type abl_row = { values : float list; failure : string option }
 
-(* ------------------------------------------------------------------ *)
+let abl_codec ~salt =
+  {
+    E.Engine.cell_key =
+      (fun (name, extras) -> E.Codec.digest (salt :: name :: extras));
+    encode =
+      (fun r ->
+        let fields =
+          [
+            ( "values",
+              E.Jsonx.List
+                (List.map
+                   (fun f -> E.Jsonx.Str (E.Codec.float_to_string f))
+                   r.values) );
+          ]
+          @ match r.failure with
+            | None -> []
+            | Some m -> [ ("error", E.Jsonx.Str m) ]
+        in
+        E.Jsonx.to_string (E.Jsonx.Obj fields));
+    decode =
+      (fun s ->
+        match E.Jsonx.of_string s with
+        | Error _ -> None
+        | Ok j ->
+          let failure = Option.bind (E.Jsonx.member "error" j) E.Jsonx.str in
+          Option.bind (E.Jsonx.member "values" j) E.Jsonx.list
+          |> Option.map (fun xs ->
+                 List.filter_map
+                   (fun v ->
+                     Option.bind (E.Jsonx.str v) E.Codec.float_of_string)
+                   xs)
+          |> Option.map (fun values -> { values; failure }));
+  }
 
 (* Ablations of the two heterogeneous-specific scheduling ingredients
    (§4.1): recurrence pre-placement and ED2-guided refinement; plus the
    §5.3 unrolling mitigation for coarse frequency grids. *)
-let ablation () =
+let ablation engine =
   Printf.printf "Ablations (design choices called out in DESIGN.md)\n%!";
   let machine = Presets.machine_4c ~buses:1 in
-  let bench_names = [ "sixtrack"; "facerec"; "fma3d" ] in
+  let bench_names = ablation_benches () in
+  let n_loops = fig_loops () in
+  let abl_cell name =
+    ( name,
+      [
+        E.Codec.machine_key machine;
+        E.Codec.params_key Params.default;
+        string_of_int seed;
+        (match n_loops with None -> "-" | Some n -> string_of_int n);
+      ] )
+  in
+  let run_variants (name, _) =
+    let spec = Option.get (Specfp.find name) in
+    let loops = Specfp.loops ?n_loops ~seed spec in
+    match Profile.profile ~machine ~loops with
+    | Error msg -> { values = []; failure = Some msg }
+    | Ok profile ->
+      let units =
+        Units.of_reference ~params:Params.default ~n_clusters:4
+          profile.Profile.activity
+      in
+      let ctx = Model.ctx ~params:Params.default ~units () in
+      let homo = Select.optimum_homogeneous ~ctx ~machine profile in
+      let config =
+        (Select.select_heterogeneous ~ctx ~machine profile).Select.config
+      in
+      let measure ?preplace ?score_mode () =
+        let _, ed2, _ =
+          Pipeline.measure_config ?preplace ?score_mode ~ctx ~machine ~profile
+            ~config ()
+        in
+        ed2 /. homo.Select.predicted_ed2
+      in
+      {
+        values =
+          [
+            measure ();
+            measure ~preplace:false ();
+            measure ~score_mode:Hsched.Schedulability ();
+          ];
+        failure = None;
+      }
+  in
+  let rows =
+    E.Engine.sweep engine ~label:"ablation"
+      ~codec:(abl_codec ~salt:"hcv-ablation-v1")
+      run_variants
+      (List.map abl_cell bench_names)
+  in
   let t =
     Tablefmt.create
       ~title:"measured ED2 vs optimum homogeneous, per scheduler variant"
@@ -294,77 +430,77 @@ let ablation () =
         ("schedulability score", Tablefmt.Right);
       ]
   in
-  List.iter
-    (fun name ->
-      let spec = Option.get (Specfp.find name) in
-      let loops = Specfp.loops ?n_loops:(fig_loops ()) ~seed spec in
-      match Profile.profile ~machine ~loops with
-      | Error msg -> Printf.printf "  !! %s: %s\n%!" name msg
-      | Ok profile ->
-        let units =
-          Units.of_reference ~params:Params.default ~n_clusters:4
-            profile.Profile.activity
-        in
-        let ctx = Model.ctx ~params:Params.default ~units () in
-        let homo = Select.optimum_homogeneous ~ctx ~machine profile in
-        let config =
-          (Select.select_heterogeneous ~ctx ~machine profile).Select.config
-        in
-        let measure ?preplace ?score_mode () =
-          let _, ed2, _ =
-            Pipeline.measure_config ?preplace ?score_mode ~ctx ~machine
-              ~profile ~config ()
-          in
-          ed2 /. homo.Select.predicted_ed2
-        in
+  List.iter2
+    (fun name row ->
+      match row with
+      | { failure = Some msg; _ } -> Printf.printf "  !! %s: %s\n%!" name msg
+      | { values = [ full; no_pre; score ]; _ } ->
         Tablefmt.add_row t
           [
-            name;
-            Tablefmt.cell_f (measure ());
-            Tablefmt.cell_f (measure ~preplace:false ());
-            Tablefmt.cell_f (measure ~score_mode:Hsched.Schedulability ());
-          ])
-    bench_names;
+            name; Tablefmt.cell_f full; Tablefmt.cell_f no_pre;
+            Tablefmt.cell_f score;
+          ]
+      | _ -> Printf.printf "  !! %s: malformed ablation row\n%!" name)
+    bench_names rows;
   Tablefmt.print t;
   (* Unrolling vs coarse frequency grids: mean loop-level ED2 with a
      4-frequency grid, scheduling the plain vs the 2x-unrolled loop. *)
-  let machine4 =
-    Machine.with_grid machine (Presets.grid_of_steps (Some 4))
+  let machine4 = Machine.with_grid machine (Presets.grid_of_steps (Some 4)) in
+  let unroll_cell =
+    ( "sixtrack-unroll",
+      [
+        E.Codec.machine_key machine4;
+        string_of_int seed;
+        string_of_int (unroll_loops ());
+      ] )
   in
-  let spec = Option.get (Specfp.find "sixtrack") in
-  let loops = Specfp.loops ~n_loops:8 ~seed spec in
-  (match Profile.profile ~machine:machine4 ~loops with
-  | Error msg -> Printf.printf "  !! unroll ablation: %s\n%!" msg
-  | Ok profile ->
-    let units =
-      Units.of_reference ~params:Params.default ~n_clusters:4
-        profile.Profile.activity
-    in
-    let ctx = Model.ctx ~params:Params.default ~units () in
-    let config =
-      (Select.select_heterogeneous ~ctx ~machine:machine4 profile).Select.config
-    in
-    let sync_and_time unroll =
-      List.fold_left
-        (fun (bumps, time) (lp : Profile.loop_profile) ->
-          let loop = Hcv_sched.Unroll.loop ~factor:unroll lp.Profile.loop in
-          match Hsched.schedule ~ctx ~config ~loop () with
-          | Ok (sched, stats) ->
-            ( bumps + stats.Hsched.sync_bumps,
-              time
-              +. lp.Profile.reps
-                 *. Hcv_sched.Schedule.exec_time_ns sched
-                      ~trip:loop.Loop.trip )
-          | Error _ -> (bumps, time))
-        (0, 0.0) profile.Profile.loops
-    in
-    let b1, t1 = sync_and_time 1 in
-    let b2, t2 = sync_and_time 2 in
+  let run_unroll (_, _) =
+    let spec = Option.get (Specfp.find "sixtrack") in
+    let loops = Specfp.loops ~n_loops:(unroll_loops ()) ~seed spec in
+    match Profile.profile ~machine:machine4 ~loops with
+    | Error msg -> { values = []; failure = Some msg }
+    | Ok profile ->
+      let units =
+        Units.of_reference ~params:Params.default ~n_clusters:4
+          profile.Profile.activity
+      in
+      let ctx = Model.ctx ~params:Params.default ~units () in
+      let config =
+        (Select.select_heterogeneous ~ctx ~machine:machine4 profile)
+          .Select.config
+      in
+      let sync_and_time unroll =
+        List.fold_left
+          (fun (bumps, time) (lp : Profile.loop_profile) ->
+            let loop = Hcv_sched.Unroll.loop ~factor:unroll lp.Profile.loop in
+            match Hsched.schedule ~ctx ~config ~loop () with
+            | Ok (sched, stats) ->
+              ( bumps + stats.Hsched.sync_bumps,
+                time
+                +. lp.Profile.reps
+                   *. Hcv_sched.Schedule.exec_time_ns sched ~trip:loop.Loop.trip
+              )
+            | Error _ -> (bumps, time))
+          (0, 0.0) profile.Profile.loops
+      in
+      let b1, t1 = sync_and_time 1 in
+      let b2, t2 = sync_and_time 2 in
+      { values = [ float_of_int b1; t1; float_of_int b2; t2 ]; failure = None }
+  in
+  (match
+     E.Engine.sweep engine ~label:"ablation-unroll"
+       ~codec:(abl_codec ~salt:"hcv-ablation-unroll-v1")
+       run_unroll [ unroll_cell ]
+   with
+  | [ { failure = Some msg; _ } ] ->
+    Printf.printf "  !! unroll ablation: %s\n%!" msg
+  | [ { values = [ b1; t1; b2; t2 ]; _ } ] ->
     Printf.printf
       "unrolling under a 4-frequency grid (sixtrack): plain %d sync bumps, \
        %.0f ns; unrolled x2 %d sync bumps, %.0f ns (%.1f%% time change)\n\n%!"
-      b1 t1 b2 t2
-      (100.0 *. ((t2 /. t1) -. 1.0)));
+      (int_of_float b1) t1 (int_of_float b2) t2
+      (100.0 *. ((t2 /. t1) -. 1.0))
+  | _ -> Printf.printf "  !! unroll ablation: malformed row\n%!");
   ()
 
 (* ------------------------------------------------------------------ *)
@@ -431,17 +567,78 @@ let micro () =
 
 (* ------------------------------------------------------------------ *)
 
+let usage () =
+  prerr_endline
+    "usage: main.exe [table1] [table2] [fig6] [fig7] [fig8] [fig9] [ablation]\n\
+    \                [micro] [--quick] [--jobs N] [--cache DIR] [--resume]\n\
+    \                [--telemetry-csv FILE]";
+  exit 2
+
 let () =
-  let args = List.tl (Array.to_list Sys.argv) in
-  quick := List.mem "--quick" args;
-  let args = List.filter (fun a -> a <> "--quick") args in
-  let selected = if args = [] then [ "all" ] else args in
-  let want name = List.mem name selected || List.mem "all" selected in
-  if want "table1" then table1 ();
-  if want "table2" then table2 ();
-  if want "fig6" then fig6 ();
-  if want "fig7" then fig7 ();
-  if want "fig8" then fig8 ();
-  if want "fig9" then fig9 ();
-  if want "ablation" then ablation ();
-  if want "micro" then micro ()
+  let jobs = ref 1 in
+  let cache_dir = ref None in
+  let resume = ref false in
+  let csv = ref None in
+  let int_arg name v =
+    match int_of_string_opt v with
+    | Some n when n >= 1 -> n
+    | Some _ | None ->
+      Printf.eprintf "error: %s expects a positive integer, got %S\n" name v;
+      usage ()
+  in
+  let rec parse selected = function
+    | [] -> List.rev selected
+    | "--quick" :: rest ->
+      quick := true;
+      parse selected rest
+    | "--jobs" :: v :: rest ->
+      jobs := int_arg "--jobs" v;
+      parse selected rest
+    | "--cache" :: dir :: rest ->
+      cache_dir := Some dir;
+      parse selected rest
+    | "--resume" :: rest ->
+      resume := true;
+      parse selected rest
+    | "--telemetry-csv" :: file :: rest ->
+      csv := Some file;
+      parse selected rest
+    | ("--jobs" | "--cache" | "--telemetry-csv") :: [] -> usage ()
+    | arg :: _ when String.length arg > 1 && arg.[0] = '-' ->
+      Printf.eprintf "error: unknown option %s\n" arg;
+      usage ()
+    | name :: rest -> parse (name :: selected) rest
+  in
+  let args = parse [] (List.tl (Array.to_list Sys.argv)) in
+  if !resume && !cache_dir = None then begin
+    prerr_endline "error: --resume needs --cache DIR";
+    usage ()
+  end;
+  let cache = Option.map E.Cache.open_dir !cache_dir in
+  (match (cache, !resume) with
+  | Some c, true ->
+    Printf.eprintf "resuming: %d completed cells on disk\n%!"
+      (E.Cache.stats c).E.Cache.entries
+  | _, _ -> ());
+  let progress = E.Progress.create ~verbose:true ?csv:!csv () in
+  let engine = E.Engine.create ~jobs:!jobs ?cache ~progress () in
+  Fun.protect
+    ~finally:(fun () ->
+      (match cache with
+      | Some c ->
+        let s = E.Cache.stats c in
+        Printf.eprintf "cache: %d hits, %d misses, %d entries\n%!"
+          s.E.Cache.hits s.E.Cache.misses s.E.Cache.entries
+      | None -> ());
+      E.Engine.shutdown engine)
+    (fun () ->
+      let selected = if args = [] then [ "all" ] else args in
+      let want name = List.mem name selected || List.mem "all" selected in
+      if want "table1" then table1 ();
+      if want "table2" then table2 ();
+      if want "fig6" then fig6 engine;
+      if want "fig7" then fig7 engine;
+      if want "fig8" then fig8 engine;
+      if want "fig9" then fig9 engine;
+      if want "ablation" then ablation engine;
+      if want "micro" then micro ())

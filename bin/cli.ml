@@ -192,31 +192,181 @@ let gen_cmd =
 
 (* ----- explore ------------------------------------------------------ *)
 
+module E = Hcv_explore
+
+(* Parallel, memoised design-space exploration over the synthetic
+   SPECfp population: every (benchmark, machine variant) cell runs the
+   full profile/select/schedule pipeline on the Hcv_explore engine.
+   With --cache the completed cells persist to disk, so a repeated run
+   — or --resume after an interruption — only computes what is
+   missing; results are reassembled in submission order, making the
+   output independent of --jobs and of the cache state. *)
 let explore_cmd =
-  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
-  let buses = Arg.(value & opt int 1 & info [ "buses" ]) in
-  let run file buses =
+  let bench_arg =
+    Arg.(
+      value & pos_all string [ "all" ]
+      & info [] ~docv:"BENCHMARK"
+          ~doc:"Benchmarks to explore (default: the whole population).")
+  in
+  let buses =
+    Arg.(value & opt int 1 & info [ "buses" ] ~doc:"Number of register buses.")
+  in
+  let n_loops =
+    Arg.(
+      value & opt (some int) None
+      & info [ "loops" ] ~doc:"Loops per benchmark (default: per-spec).")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Workload seed.") in
+  let steps =
+    Arg.(
+      value & opt (some int) None
+      & info [ "steps" ]
+          ~doc:"Frequency-grid steps (default: unrestricted frequencies).")
+  in
+  let jobs =
+    Arg.(
+      value & opt int 1
+      & info [ "jobs"; "j" ] ~docv:"N"
+          ~doc:"Worker domains for the sweep (1 = serial; the result is \
+                identical for any value).")
+  in
+  let cache =
+    Arg.(
+      value & opt (some string) None
+      & info [ "cache" ] ~docv:"DIR"
+          ~doc:"Persist completed cells to $(docv)/cache.jsonl and reuse \
+                them on later runs.")
+  in
+  let resume =
+    Arg.(
+      value & flag
+      & info [ "resume" ]
+          ~doc:"Resume an interrupted sweep from --cache: report how many \
+                cells were recovered, compute only the rest.")
+  in
+  let csv =
+    Arg.(
+      value & opt (some string) None
+      & info [ "csv" ] ~docv:"FILE"
+          ~doc:"Append per-stage telemetry (cells, hits, wall clock) to \
+                $(docv).")
+  in
+  let show_config =
+    Arg.(
+      value & flag
+      & info [ "show-config" ]
+          ~doc:"Also print each benchmark's selected heterogeneous \
+                configuration.")
+  in
+  let run benches buses n_loops seed steps jobs cache resume csv show_config =
     setup_logs ();
-    let machine = machine_of ~buses in
-    let loops = or_die (load_loops file) in
-    let profile = or_die (Profile.profile ~machine ~loops) in
-    let units =
-      Units.of_reference ~params:Params.default
-        ~n_clusters:(Machine.n_clusters machine)
-        profile.Profile.activity
+    if resume && cache = None then
+      or_die (Error "--resume needs --cache DIR");
+    let names =
+      if List.mem "all" benches then
+        List.map (fun s -> s.Specfp.name) Specfp.all
+      else benches
     in
-    let ctx = Model.ctx ~params:Params.default ~units () in
-    let homo = Select.optimum_homogeneous ~ctx ~machine profile in
-    let hetero = Select.select_heterogeneous ~ctx ~machine profile in
-    Format.printf "optimum homogeneous:@.%a@.@." Select.pp_choice homo;
-    Format.printf "selected heterogeneous:@.%a@.@." Select.pp_choice hetero;
-    Format.printf "predicted ED2 ratio: %.3f@."
-      (hetero.Select.predicted_ed2 /. homo.Select.predicted_ed2)
+    List.iter
+      (fun n ->
+        if Specfp.find n = None then
+          or_die (Error (Printf.sprintf "unknown benchmark %S" n)))
+      names;
+    let cells =
+      List.map
+        (fun name ->
+          Sweep.cell ~buses ?n_loops ~seed ?grid_steps:steps name)
+        names
+    in
+    let cache = Option.map E.Cache.open_dir cache in
+    (match (cache, resume) with
+    | Some c, true ->
+      Printf.eprintf "resuming: %d completed cells on disk\n%!"
+        (E.Cache.stats c).E.Cache.entries
+    | _, _ -> ());
+    let progress = E.Progress.create ~verbose:true ?csv () in
+    let engine = E.Engine.create ~jobs ?cache ~progress () in
+    Fun.protect
+      ~finally:(fun () -> E.Engine.shutdown engine)
+      (fun () ->
+        let loops_of (c : Sweep.cell) =
+          Specfp.loops ?n_loops:c.Sweep.n_loops ~seed:c.Sweep.seed
+            (Option.get (Specfp.find c.Sweep.bench))
+        in
+        let outcomes = Sweep.run engine ~label:"explore" ~loops_of cells in
+        let t =
+          Tablefmt.create
+            [
+              ("benchmark", Tablefmt.Left);
+              ("ED2 ratio", Tablefmt.Right);
+              ("time ratio", Tablefmt.Right);
+              ("energy ratio", Tablefmt.Right);
+              ("fallbacks", Tablefmt.Right);
+            ]
+        in
+        let ok =
+          List.filter
+            (fun (o : Sweep.outcome) ->
+              match o.Sweep.error with
+              | None -> true
+              | Some msg ->
+                Printf.printf "  !! %s failed: %s\n%!" o.Sweep.bench msg;
+                false)
+            outcomes
+        in
+        List.iter
+          (fun (o : Sweep.outcome) ->
+            Tablefmt.add_row t
+              [
+                o.Sweep.bench;
+                Tablefmt.cell_f o.Sweep.ed2_ratio;
+                Tablefmt.cell_f o.Sweep.time_ratio;
+                Tablefmt.cell_f o.Sweep.energy_ratio;
+                string_of_int o.Sweep.fallbacks;
+              ])
+          ok;
+        if ok <> [] then begin
+          Tablefmt.add_sep t;
+          Tablefmt.add_row t
+            [
+              "mean";
+              Tablefmt.cell_f
+                (Listx.mean
+                   (List.map (fun (o : Sweep.outcome) -> o.Sweep.ed2_ratio) ok));
+              "-"; "-"; "-";
+            ]
+        end;
+        Tablefmt.print t;
+        if show_config then
+          List.iter
+            (fun (o : Sweep.outcome) ->
+              let machine =
+                Sweep.machine_of_cell
+                  (Sweep.cell ~buses ?n_loops ~seed ?grid_steps:steps
+                     o.Sweep.bench)
+              in
+              match Sweep.choice_of_string ~machine o.Sweep.hetero with
+              | Some choice ->
+                Format.printf "@.%s:@.%a@." o.Sweep.bench Select.pp_choice
+                  choice
+              | None -> ())
+            ok;
+        (match cache with
+        | Some c ->
+          let s = E.Cache.stats c in
+          Printf.eprintf "cache: %d hits, %d misses, %d entries\n%!"
+            s.E.Cache.hits s.E.Cache.misses s.E.Cache.entries
+        | None -> ()))
   in
   Cmd.v
     (Cmd.info "explore"
-       ~doc:"Run the configuration-selection models on a .loop file.")
-    Term.(const run $ file $ buses)
+       ~doc:
+         "Explore the design space over the benchmark population on a \
+          parallel worker pool, with a persistent result cache and \
+          checkpoint/resume.")
+    Term.(
+      const run $ bench_arg $ buses $ n_loops $ seed $ steps $ jobs $ cache
+      $ resume $ csv $ show_config)
 
 (* ----- simulate: run loops through the cycle simulator ------------- *)
 

@@ -71,7 +71,7 @@ let evaluate ?preplace ?score_mode ~ctx ~machine ~name (profile : Profile.t)
   let ed2 = Model.ed2 ctx ~config activity in
   (loop_results, List.length fallback_acts, activity, ed2)
 
-let run ?(params = Params.default) ~machine ~name ~loops () =
+let run ?pool ?(params = Params.default) ~machine ~name ~loops () =
   match Profile.profile ~machine ~loops with
   | Error msg -> Error (Printf.sprintf "%s: profiling failed: %s" name msg)
   | Ok profile ->
@@ -85,8 +85,8 @@ let run ?(params = Params.default) ~machine ~name ~loops () =
        best uniform-frequency candidate, and keep whichever measures
        better (the paper's selector likewise falls back to a same-
        frequency configuration when heterogeneity does not pay). *)
-    let hetero_pick = Select.select_heterogeneous ~ctx ~machine profile in
-    let uniform_pick = Select.select_uniform ~ctx ~machine profile in
+    let hetero_pick = Select.select_heterogeneous ?pool ~ctx ~machine profile in
+    let uniform_pick = Select.select_uniform ?pool ~ctx ~machine profile in
     let eval = evaluate ~ctx ~machine ~name profile in
     let candidates =
       if hetero_pick.Select.config = uniform_pick.Select.config then

@@ -41,8 +41,12 @@ type t = {
 }
 
 val run :
-  ?params:Params.t -> machine:Machine.t -> name:string -> loops:Loop.t list
-  -> unit -> (t, string) result
+  ?pool:Hcv_explore.Pool.t -> ?params:Params.t -> machine:Machine.t
+  -> name:string -> loops:Loop.t list -> unit -> (t, string) result
+(** [?pool] parallelises the §3.3 configuration-selection sweeps on the
+    given worker pool without changing their result (see {!Select}).
+    Don't pass a pool when the [run] call itself executes on a pool
+    worker — the nested sweep would then run inline anyway. *)
 
 val measure_config :
   ?preplace:bool -> ?score_mode:Hsched.score_mode -> ctx:Model.ctx

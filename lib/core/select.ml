@@ -162,48 +162,59 @@ let optimum_homogeneous ~ctx ~machine (p : Profile.t) =
     invalid_arg
       "Select.optimum_homogeneous: no realisable homogeneous design point"
 
-let select_heterogeneous_gen ~ctx ~machine ~slow_factors (p : Profile.t) =
+(* Score one (fast factor, slow factor) design point: predict the
+   activity from the cycle times alone (placeholder voltages) and pick
+   the per-domain voltages that minimise the predicted energy. *)
+let eval_design_point ~ctx ~machine (p : Profile.t) (fast_factor, slow_factor) =
   let ref_ct = Presets.reference_cycle_time in
   let n = Machine.n_clusters machine in
-  let best =
-    List.fold_left
-      (fun acc fast_factor ->
-        let fast_ct = Q.mul ref_ct fast_factor in
-        List.fold_left
-          (fun acc slow_factor ->
-            let slow_ct = Q.mul fast_ct slow_factor in
-            let cluster_cts =
-              Array.init n (fun i -> if i = 0 then fast_ct else slow_ct)
-            in
-            (* Activity prediction only needs the cycle times; use
-               placeholder voltages. *)
-            let shape =
-              Opconfig.make ~machine
-                ~cluster_points:
-                  (Array.map
-                     (fun cycle_time -> { Opconfig.cycle_time; vdd = 1.0 })
-                     cluster_cts)
-                ~icn_point:{ Opconfig.cycle_time = fast_ct; vdd = 1.0 }
-                ~cache_point:{ Opconfig.cycle_time = fast_ct; vdd = 1.0 }
-            in
-            let act = Estimate.predict_activity ~config:shape p in
-            better acc
-              (optimise_voltages ~ctx ~machine ~cluster_cts ~icn_ct:fast_ct
-                 ~cache_ct:fast_ct act))
-          acc slow_factors)
-      None Presets.fast_factors
+  let fast_ct = Q.mul ref_ct fast_factor in
+  let slow_ct = Q.mul fast_ct slow_factor in
+  let cluster_cts =
+    Array.init n (fun i -> if i = 0 then fast_ct else slow_ct)
   in
-  match best with
+  let shape =
+    Opconfig.make ~machine
+      ~cluster_points:
+        (Array.map
+           (fun cycle_time -> { Opconfig.cycle_time; vdd = 1.0 })
+           cluster_cts)
+      ~icn_point:{ Opconfig.cycle_time = fast_ct; vdd = 1.0 }
+      ~cache_point:{ Opconfig.cycle_time = fast_ct; vdd = 1.0 }
+  in
+  let act = Estimate.predict_activity ~config:shape p in
+  optimise_voltages ~ctx ~machine ~cluster_cts ~icn_ct:fast_ct
+    ~cache_ct:fast_ct act
+
+let select_heterogeneous_gen ?pool ~ctx ~machine ~slow_factors (p : Profile.t)
+    =
+  (* Fast factor outer, slow factor inner — the fold over the scored
+     points must visit them in exactly the serial nesting order so that
+     ties keep resolving to the same candidate whatever the worker
+     count. *)
+  let points =
+    List.concat_map
+      (fun fast -> List.map (fun slow -> (fast, slow)) slow_factors)
+      Presets.fast_factors
+  in
+  let eval = eval_design_point ~ctx ~machine p in
+  let scored =
+    match pool with
+    | None -> List.map eval points
+    | Some pool -> Hcv_explore.Pool.map pool eval points
+  in
+  match List.fold_left better None scored with
   | Some c -> c
   | None ->
     invalid_arg
       "Select.select_heterogeneous: no realisable heterogeneous design point"
 
-let select_heterogeneous ~ctx ~machine p =
-  select_heterogeneous_gen ~ctx ~machine ~slow_factors:Presets.slow_factors p
+let select_heterogeneous ?pool ~ctx ~machine p =
+  select_heterogeneous_gen ?pool ~ctx ~machine
+    ~slow_factors:Presets.slow_factors p
 
-let select_uniform ~ctx ~machine p =
-  select_heterogeneous_gen ~ctx ~machine ~slow_factors:[ Q.one ] p
+let select_uniform ?pool ~ctx ~machine p =
+  select_heterogeneous_gen ?pool ~ctx ~machine ~slow_factors:[ Q.one ] p
 
 let pp_choice ppf c =
   Format.fprintf ppf "@[<v>predicted: ED2=%.6g E=%.4f T=%.1f ns@,%a@]"

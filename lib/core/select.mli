@@ -34,8 +34,13 @@ val optimum_homogeneous :
   ctx:Model.ctx -> machine:Machine.t -> Profile.t -> choice
 
 val select_heterogeneous :
-  ctx:Model.ctx -> machine:Machine.t -> Profile.t -> choice
-(** The heterogeneous candidate with the lowest predicted ED².  The
+  ?pool:Hcv_explore.Pool.t -> ctx:Model.ctx -> machine:Machine.t -> Profile.t
+  -> choice
+(** The heterogeneous candidate with the lowest predicted ED².  With
+    [?pool] the independent design points of the sweep are scored in
+    parallel on the pool's worker domains; the scored points are folded
+    in the serial nesting order, so the result is identical for any
+    worker count.  The
     sweep includes the all-slow-factors-1 points, so the result is never
     predicted worse than the best uniform-frequency configuration of the
     same cycle-time grid (the paper's selector likewise falls back to
@@ -43,7 +48,8 @@ val select_heterogeneous :
     programs). *)
 
 val select_uniform :
-  ctx:Model.ctx -> machine:Machine.t -> Profile.t -> choice
+  ?pool:Hcv_explore.Pool.t -> ctx:Model.ctx -> machine:Machine.t -> Profile.t
+  -> choice
 (** The best *uniform-frequency* configuration with per-domain voltages
     (all clusters, the ICN and the cache at one cycle time).  This is
     the configuration the paper's selector falls back to for register-

@@ -1,0 +1,159 @@
+open Hcv_machine
+open Hcv_energy
+module E = Hcv_explore
+
+type cell = {
+  bench : string;
+  buses : int;
+  n_loops : int option;
+  seed : int;
+  grid_steps : int option;
+  params : Params.t;
+}
+
+let cell ?(buses = 1) ?n_loops ?(seed = 42) ?grid_steps
+    ?(params = Params.default) bench =
+  { bench; buses; n_loops; seed; grid_steps; params }
+
+let machine_of_cell c =
+  let m = Presets.machine_4c ~buses:c.buses in
+  match c.grid_steps with
+  | None -> m
+  | Some _ as steps -> Machine.with_grid m (Presets.grid_of_steps steps)
+
+(* Covers the pipeline, the workload generator and the outcome format:
+   bump on any change that invalidates persisted outcomes. *)
+let version_salt = "hcv-sweep-v1"
+
+let cell_key c =
+  E.Codec.digest
+    [
+      version_salt;
+      E.Codec.machine_key (machine_of_cell c);
+      E.Codec.params_key c.params;
+      c.bench;
+      string_of_int c.seed;
+      (match c.n_loops with None -> "-" | Some n -> string_of_int n);
+    ]
+
+type outcome = {
+  bench : string;
+  ed2_ratio : float;
+  time_ratio : float;
+  energy_ratio : float;
+  fallbacks : int;
+  hetero : string;
+  error : string option;
+}
+
+let choice_to_string (c : Select.choice) =
+  E.Jsonx.to_string
+    (E.Jsonx.Obj
+       [
+         ("config", E.Codec.opconfig_to_json c.Select.config);
+         ("ed2", E.Jsonx.Str (E.Codec.float_to_string c.Select.predicted_ed2));
+         ( "t",
+           E.Jsonx.Str (E.Codec.float_to_string c.Select.predicted_time_ns) );
+         ( "e",
+           E.Jsonx.Str (E.Codec.float_to_string c.Select.predicted_energy) );
+       ])
+
+let choice_of_string ~machine s =
+  match E.Jsonx.of_string s with
+  | Error _ -> None
+  | Ok j ->
+    let ( let* ) = Option.bind in
+    let fstr field =
+      Option.bind (Option.bind (E.Jsonx.member field j) E.Jsonx.str)
+        E.Codec.float_of_string
+    in
+    let* config =
+      Option.bind (E.Jsonx.member "config" j)
+        (fun cj -> E.Codec.opconfig_of_json ~machine cj)
+    in
+    let* predicted_ed2 = fstr "ed2" in
+    let* predicted_time_ns = fstr "t" in
+    let* predicted_energy = fstr "e" in
+    Some { Select.config; predicted_ed2; predicted_time_ns; predicted_energy }
+
+let outcome_to_string o =
+  let fields =
+    [
+      ("bench", E.Jsonx.Str o.bench);
+      ("ed2", E.Jsonx.Str (E.Codec.float_to_string o.ed2_ratio));
+      ("time", E.Jsonx.Str (E.Codec.float_to_string o.time_ratio));
+      ("energy", E.Jsonx.Str (E.Codec.float_to_string o.energy_ratio));
+      ("fallbacks", E.Jsonx.Num (float_of_int o.fallbacks));
+      ("hetero", E.Jsonx.Str o.hetero);
+    ]
+    @ match o.error with
+      | None -> []
+      | Some msg -> [ ("error", E.Jsonx.Str msg) ]
+  in
+  E.Jsonx.to_string (E.Jsonx.Obj fields)
+
+let outcome_of_string s =
+  match E.Jsonx.of_string s with
+  | Error _ -> None
+  | Ok j ->
+    let ( let* ) = Option.bind in
+    let fstr field =
+      Option.bind (Option.bind (E.Jsonx.member field j) E.Jsonx.str)
+        E.Codec.float_of_string
+    in
+    let* bench = Option.bind (E.Jsonx.member "bench" j) E.Jsonx.str in
+    let* ed2_ratio = fstr "ed2" in
+    let* time_ratio = fstr "time" in
+    let* energy_ratio = fstr "energy" in
+    let* fallbacks = Option.bind (E.Jsonx.member "fallbacks" j) E.Jsonx.int in
+    let* hetero = Option.bind (E.Jsonx.member "hetero" j) E.Jsonx.str in
+    let error = Option.bind (E.Jsonx.member "error" j) E.Jsonx.str in
+    Some
+      { bench; ed2_ratio; time_ratio; energy_ratio; fallbacks; hetero; error }
+
+let codec =
+  {
+    E.Engine.cell_key;
+    encode = outcome_to_string;
+    decode = outcome_of_string;
+  }
+
+let run_cell ~loops_of c =
+  let machine = machine_of_cell c in
+  let loops = loops_of c in
+  match
+    Pipeline.run ~params:c.params ~machine ~name:c.bench ~loops ()
+  with
+  | Ok r ->
+    {
+      bench = c.bench;
+      ed2_ratio = r.Pipeline.ed2_ratio;
+      time_ratio = r.Pipeline.time_ratio;
+      energy_ratio = r.Pipeline.energy_ratio;
+      fallbacks = r.Pipeline.fallbacks;
+      hetero = choice_to_string r.Pipeline.hetero;
+      error = None;
+    }
+  | Error msg ->
+    {
+      bench = c.bench;
+      ed2_ratio = Float.nan;
+      time_ratio = Float.nan;
+      energy_ratio = Float.nan;
+      fallbacks = 0;
+      hetero = "";
+      error = Some msg;
+    }
+  | exception e ->
+    {
+      bench = c.bench;
+      ed2_ratio = Float.nan;
+      time_ratio = Float.nan;
+      energy_ratio = Float.nan;
+      fallbacks = 0;
+      hetero = "";
+      error = Some (Printexc.to_string e);
+    }
+
+let run engine ?(label = "sweep") ~loops_of cells =
+  E.Engine.sweep engine ~label ~codec (run_cell ~loops_of) cells

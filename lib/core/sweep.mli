@@ -1,0 +1,78 @@
+(** Design-space sweep cells: the bridge between the evaluation (the
+    paper's Figures 6–9 and the ablation benches) and the
+    {!Hcv_explore.Engine}.
+
+    A {!cell} names one independent unit of the evaluation sweep — a
+    benchmark run on one machine variant under one energy-parameter
+    set — by the *inputs* that generate it (benchmark name, workload
+    seed, loop count, bus count, frequency grid, parameters).  The
+    content key hashes exactly those inputs, so a persistent cache
+    entry is valid for as long as the generators are; bump
+    {!version_salt} when an incompatible change to the pipeline or the
+    workload generator invalidates old results.
+
+    An {!outcome} is the cached distillation of a {!Pipeline.run}: the
+    normalised ratios every figure consumes, plus the selected
+    heterogeneous configuration serialized with {!choice_to_string}
+    (floats in exact ["%h"] form so replays are bit-identical). *)
+
+open Hcv_ir
+open Hcv_machine
+open Hcv_energy
+
+type cell = {
+  bench : string;  (** synthetic SPECfp benchmark name *)
+  buses : int;
+  n_loops : int option;  (** [None]: the benchmark's default *)
+  seed : int;
+  grid_steps : int option;
+      (** divider-grid steps; [None]: unrestricted frequencies *)
+  params : Params.t;
+}
+
+val cell :
+  ?buses:int -> ?n_loops:int -> ?seed:int -> ?grid_steps:int
+  -> ?params:Params.t -> string -> cell
+(** Defaults: 1 bus, per-spec loops, seed 42, unrestricted grid,
+    {!Params.default}. *)
+
+val machine_of_cell : cell -> Machine.t
+
+val version_salt : string
+val cell_key : cell -> string
+
+type outcome = {
+  bench : string;
+  ed2_ratio : float;
+  time_ratio : float;
+  energy_ratio : float;
+  fallbacks : int;
+  hetero : string;
+      (** serialized winning {!Select.choice}; [""] on failure *)
+  error : string option;
+      (** [Some msg] when the pipeline failed; the ratios are then
+          [nan] *)
+}
+
+val outcome_to_string : outcome -> string
+val outcome_of_string : string -> outcome option
+
+val choice_to_string : Select.choice -> string
+val choice_of_string :
+  machine:Machine.t -> string -> Select.choice option
+(** Round-trips {!choice_to_string}; needs the machine to rebind the
+    configuration (same contract as [Hcv_sched.Serialize]). *)
+
+val codec : (cell, outcome) Hcv_explore.Engine.codec
+
+val run_cell : loops_of:(cell -> Loop.t list) -> cell -> outcome
+(** One full {!Pipeline.run}; failures are folded into the outcome
+    rather than raised, so a failing benchmark does not poison a
+    parallel sweep.  No inner pool: cells are the unit of
+    parallelism. *)
+
+val run :
+  Hcv_explore.Engine.t -> ?label:string -> loops_of:(cell -> Loop.t list)
+  -> cell list -> outcome list
+(** [Engine.sweep] over the cells with {!codec} — parallel, memoised,
+    deterministic. *)

@@ -1,0 +1,162 @@
+type stats = {
+  entries : int;
+  loaded : int;
+  dropped : int;
+  hits : int;
+  misses : int;
+}
+
+type t = {
+  dir : string option;
+  tbl : (string, string) Hashtbl.t;
+  mutex : Mutex.t;
+      (* workers store completed cells as soon as they finish (that is
+         what makes a kill lose at most the cells in flight), so the
+         table, the counters and the output channel are all guarded *)
+  mutable loaded : int;
+  mutable dropped : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable out : out_channel option;
+  mutable needs_newline : bool;
+      (* the on-disk file ends mid-line (a previous run was killed
+         while appending); start the next append on a fresh line so the
+         new entry is not glued onto the truncated one *)
+}
+
+let file_name = "cache.jsonl"
+
+let in_memory () =
+  {
+    dir = None;
+    tbl = Hashtbl.create 64;
+    mutex = Mutex.create ();
+    loaded = 0;
+    dropped = 0;
+    hits = 0;
+    misses = 0;
+    out = None;
+    needs_newline = false;
+  }
+
+let entry_of_line line =
+  match Jsonx.of_string line with
+  | Ok j -> (
+    match (Option.bind (Jsonx.member "k" j) Jsonx.str,
+           Option.bind (Jsonx.member "v" j) Jsonx.str)
+    with
+    | Some k, Some v -> Some (k, v)
+    | _, _ -> None)
+  | Error _ -> None
+
+let load t path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      try
+        while true do
+          let line = input_line ic in
+          if String.trim line <> "" then
+            match entry_of_line line with
+            | Some (k, v) ->
+              Hashtbl.replace t.tbl k v;
+              t.loaded <- t.loaded + 1
+            | None -> t.dropped <- t.dropped + 1
+        done
+      with End_of_file -> ())
+
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    let parent = Filename.dirname dir in
+    if parent <> dir then mkdir_p parent;
+    try Sys.mkdir dir 0o755
+    with Sys_error _ when Sys.is_directory dir -> ()
+  end
+  else if not (Sys.is_directory dir) then
+    raise (Sys_error (dir ^ ": not a directory"))
+
+let open_dir dir =
+  mkdir_p dir;
+  let t = { (in_memory ()) with dir = Some dir } in
+  let path = Filename.concat dir file_name in
+  if Sys.file_exists path then begin
+    load t path;
+    let ic = open_in_bin path in
+    let len = in_channel_length ic in
+    if len > 0 then begin
+      seek_in ic (len - 1);
+      t.needs_newline <- input_char ic <> '\n'
+    end;
+    close_in_noerr ic
+  end;
+  t
+
+let dir t = t.dir
+
+let find t key =
+  Mutex.protect t.mutex (fun () ->
+      match Hashtbl.find_opt t.tbl key with
+      | Some v ->
+        t.hits <- t.hits + 1;
+        Some v
+      | None ->
+        t.misses <- t.misses + 1;
+        None)
+
+let demote_hit t =
+  Mutex.protect t.mutex (fun () ->
+      if t.hits > 0 then begin
+        t.hits <- t.hits - 1;
+        t.misses <- t.misses + 1
+      end)
+
+let out_channel t dir =
+  match t.out with
+  | Some oc -> oc
+  | None ->
+    let oc =
+      open_out_gen
+        [ Open_append; Open_creat; Open_wronly ]
+        0o644
+        (Filename.concat dir file_name)
+    in
+    t.out <- Some oc;
+    oc
+
+let store t ~key value =
+  Mutex.protect t.mutex (fun () ->
+      Hashtbl.replace t.tbl key value;
+      match t.dir with
+      | None -> ()
+      | Some dir ->
+        let oc = out_channel t dir in
+        if t.needs_newline then begin
+          output_char oc '\n';
+          t.needs_newline <- false
+        end;
+        output_string oc
+          (Jsonx.to_string
+             (Jsonx.Obj [ ("k", Jsonx.Str key); ("v", Jsonx.Str value) ]));
+        output_char oc '\n';
+        (* One flushed line per completed cell: a kill loses at most
+           the cells in flight. *)
+        flush oc)
+
+let stats t =
+  Mutex.protect t.mutex (fun () ->
+      {
+        entries = Hashtbl.length t.tbl;
+        loaded = t.loaded;
+        dropped = t.dropped;
+        hits = t.hits;
+        misses = t.misses;
+      })
+
+let close t =
+  Mutex.protect t.mutex (fun () ->
+      match t.out with
+      | None -> ()
+      | Some oc ->
+        t.out <- None;
+        close_out_noerr oc)

@@ -1,0 +1,52 @@
+(** Content-addressed persistent memo cache for sweep cells.
+
+    Keys are opaque strings (the engine derives them by hashing every
+    input that determines a cell's result); values are the serialized
+    results.  On disk the cache is one append-only JSONL file,
+    [DIR/cache.jsonl], one [{"k":…,"v":…}] object per line.  Appending
+    a line per completed cell makes interruption safe by construction:
+    a run killed mid-sweep leaves at most one truncated final line,
+    which {!open_dir} silently skips along with any other corrupt line
+    (those cells are simply recomputed).  This is what makes repeated
+    bench runs and [--resume] skip completed cells.
+
+    All operations are mutex-protected: the engine probes from the
+    coordinating domain but workers store each cell the moment it
+    completes (waiting for the end of the stage would forfeit the
+    checkpoint). *)
+
+type t
+
+type stats = {
+  entries : int;  (** live entries in memory *)
+  loaded : int;  (** entries recovered from disk at open *)
+  dropped : int;  (** corrupt lines skipped at open *)
+  hits : int;
+  misses : int;
+}
+
+val in_memory : unit -> t
+(** No persistence; memoisation within one process only. *)
+
+val open_dir : string -> t
+(** Creates the directory if needed and loads [cache.jsonl] if present.
+    @raise Sys_error if the directory cannot be created or the file
+    cannot be read. *)
+
+val dir : t -> string option
+
+val find : t -> string -> string option
+(** Counts a hit or a miss. *)
+
+val store : t -> key:string -> string -> unit
+(** Inserts (replacing any previous value) and, for a persistent cache,
+    appends the entry to disk and flushes so it survives a kill. *)
+
+val demote_hit : t -> unit
+(** Reclassify the most recent hit as a miss — used by the engine when
+    a cached value fails to decode and the cell is recomputed. *)
+
+val stats : t -> stats
+
+val close : t -> unit
+(** Flush and close the backing file.  Idempotent. *)

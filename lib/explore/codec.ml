@@ -1,0 +1,142 @@
+open Hcv_support
+open Hcv_machine
+open Hcv_energy
+
+let digest parts = Digest.to_hex (Digest.string (String.concat "\x00" parts))
+
+let float_to_string f = Printf.sprintf "%h" f
+let float_of_string s = float_of_string_opt s
+
+let q_to_string q = Printf.sprintf "%d/%d" (Q.num q) (Q.den q)
+
+let q_of_string s =
+  match String.split_on_char '/' s with
+  | [ n ] -> Option.map Q.of_int (int_of_string_opt n)
+  | [ n; d ] -> (
+    match (int_of_string_opt n, int_of_string_opt d) with
+    | Some n, Some d when d <> 0 -> Some (Q.make n d)
+    | _, _ -> None)
+  | _ -> None
+
+let grid_key = function
+  | Freqgrid.Unrestricted -> "unrestricted"
+  | Freqgrid.Uniform { steps; top } ->
+    Printf.sprintf "uniform:%d:%s" steps (q_to_string top)
+  | Freqgrid.Dividers { steps; base } ->
+    Printf.sprintf "dividers:%d:%s" steps (q_to_string base)
+
+let machine_key (m : Machine.t) =
+  Printf.sprintf "%s:%d:%s" m.Machine.name (Machine.n_clusters m)
+    (grid_key m.Machine.grid)
+
+let params_key (p : Params.t) =
+  String.concat ":"
+    (List.map float_to_string
+       [
+         p.Params.frac_icn; p.Params.frac_cache; p.Params.leak_cluster;
+         p.Params.leak_icn; p.Params.leak_cache;
+       ])
+
+let point_to_json (p : Opconfig.point) =
+  Jsonx.Obj
+    [
+      ("ct", Jsonx.Str (q_to_string p.Opconfig.cycle_time));
+      ("vdd", Jsonx.Str (float_to_string p.Opconfig.vdd));
+    ]
+
+let point_of_json j =
+  match
+    ( Option.bind (Jsonx.member "ct" j) Jsonx.str,
+      Option.bind (Jsonx.member "vdd" j) Jsonx.str )
+  with
+  | Some ct, Some vdd -> (
+    match (q_of_string ct, float_of_string vdd) with
+    | Some cycle_time, Some vdd -> Some { Opconfig.cycle_time; vdd }
+    | _, _ -> None)
+  | _, _ -> None
+
+let opconfig_to_json (c : Opconfig.t) =
+  Jsonx.Obj
+    [
+      ( "clusters",
+        Jsonx.List
+          (Array.to_list (Array.map point_to_json c.Opconfig.cluster_points))
+      );
+      ("icn", point_to_json c.Opconfig.icn_point);
+      ("cache", point_to_json c.Opconfig.cache_point);
+    ]
+
+let opconfig_of_json ~machine j =
+  let ( let* ) = Option.bind in
+  let* clusters = Option.bind (Jsonx.member "clusters" j) Jsonx.list in
+  let* icn = Jsonx.member "icn" j in
+  let* cache = Jsonx.member "cache" j in
+  let* cluster_points =
+    List.fold_left
+      (fun acc p ->
+        match (acc, point_of_json p) with
+        | Some acc, Some p -> Some (p :: acc)
+        | _, _ -> None)
+      (Some []) clusters
+    |> Option.map (fun l -> Array.of_list (List.rev l))
+  in
+  let* icn_point = point_of_json icn in
+  let* cache_point = point_of_json cache in
+  if Array.length cluster_points <> Machine.n_clusters machine then None
+  else
+    match Opconfig.make ~machine ~cluster_points ~icn_point ~cache_point with
+    | c -> Some c
+    | exception Invalid_argument _ -> None
+
+let activity_to_json (a : Activity.t) =
+  Jsonx.Obj
+    [
+      ("t", Jsonx.Str (float_to_string a.Activity.exec_time_ns));
+      ( "ins",
+        Jsonx.List
+          (Array.to_list
+             (Array.map
+                (fun e -> Jsonx.Str (float_to_string e))
+                a.Activity.per_cluster_ins_energy)) );
+      ("comms", Jsonx.Str (float_to_string a.Activity.n_comms));
+      ("mem", Jsonx.Str (float_to_string a.Activity.n_mem));
+    ]
+
+let activity_of_json j =
+  let ( let* ) = Option.bind in
+  let fstr field = Option.bind (Jsonx.member field j) Jsonx.str in
+  let* t = Option.bind (fstr "t") float_of_string in
+  let* ins = Option.bind (Jsonx.member "ins" j) Jsonx.list in
+  let* comms = Option.bind (fstr "comms") float_of_string in
+  let* mem = Option.bind (fstr "mem") float_of_string in
+  let* per_cluster =
+    List.fold_left
+      (fun acc v ->
+        match (acc, Option.bind (Jsonx.str v) float_of_string) with
+        | Some acc, Some f -> Some (f :: acc)
+        | _, _ -> None)
+      (Some []) ins
+    |> Option.map (fun l -> Array.of_list (List.rev l))
+  in
+  match
+    Activity.make ~exec_time_ns:t ~per_cluster_ins_energy:per_cluster
+      ~n_comms:comms ~n_mem:mem
+  with
+  | a -> Some a
+  | exception Invalid_argument _ -> None
+
+let floats_to_string fs =
+  Jsonx.to_string
+    (Jsonx.List (List.map (fun f -> Jsonx.Str (float_to_string f)) fs))
+
+let floats_of_string s =
+  match Jsonx.of_string s with
+  | Ok (Jsonx.List xs) ->
+    List.fold_left
+      (fun acc v ->
+        match (acc, Option.bind (Jsonx.str v) float_of_string) with
+        | Some acc, Some f -> Some (f :: acc)
+        | _, _ -> None)
+      (Some []) xs
+    |> Option.map List.rev
+  | Ok _ | Error _ -> None

@@ -1,0 +1,99 @@
+type t = {
+  pool : Pool.t;
+  cache : Cache.t option;
+  progress : Progress.t;
+}
+
+type ('a, 'b) codec = {
+  cell_key : 'a -> string;
+  encode : 'b -> string;
+  decode : string -> 'b option;
+}
+
+let create ?(jobs = 1) ?cache ?progress () =
+  let progress =
+    match progress with Some p -> p | None -> Progress.create ()
+  in
+  { pool = Pool.create ~jobs (); cache; progress }
+
+let jobs t = Pool.jobs t.pool
+let cache t = t.cache
+let progress t = t.progress
+
+let map t ?(label = "map") f xs =
+  Progress.stage_begin t.progress label;
+  Fun.protect
+    ~finally:(fun () -> Progress.stage_end t.progress)
+    (fun () ->
+      Pool.map t.pool
+        (fun x ->
+          let v = f x in
+          Progress.tick t.progress ~hit:false;
+          v)
+        xs)
+
+(* A probed cell: either already answered by the cache, or still to
+   compute under its key. *)
+type ('a, 'b) probe = Hit of 'b | Todo of string * 'a
+
+let sweep t ?(label = "sweep") ~codec f xs =
+  Progress.stage_begin t.progress label;
+  Fun.protect
+    ~finally:(fun () -> Progress.stage_end t.progress)
+    (fun () ->
+      let probes =
+        List.map
+          (fun x ->
+            let key = codec.cell_key x in
+            match t.cache with
+            | None -> Todo (key, x)
+            | Some c -> (
+              match Cache.find c key with
+              | None -> Todo (key, x)
+              | Some s -> (
+                match codec.decode s with
+                | Some v ->
+                  Progress.tick t.progress ~hit:true;
+                  Hit v
+                | None ->
+                  (* Corrupt or stale value: recompute the cell. *)
+                  Cache.demote_hit c;
+                  Todo (key, x))))
+          xs
+      in
+      let todo =
+        List.filter_map
+          (function Todo (k, x) -> Some (k, x) | Hit _ -> None)
+          probes
+      in
+      let computed =
+        Pool.map t.pool
+          (fun (key, x) ->
+            let v = f x in
+            (* Store as soon as the cell completes — this is the
+               checkpoint a killed run resumes from, so it must not
+               wait for the rest of the stage. *)
+            (match t.cache with
+            | None -> ()
+            | Some c -> Cache.store c ~key (codec.encode v));
+            Progress.tick t.progress ~hit:false;
+            v)
+          todo
+      in
+      (* Re-assemble in submission order. *)
+      let rec zip probes computed =
+        match probes with
+        | [] ->
+          assert (computed = []);
+          []
+        | Hit v :: rest -> v :: zip rest computed
+        | Todo _ :: rest -> (
+          match computed with
+          | v :: vs -> v :: zip rest vs
+          | [] -> assert false)
+      in
+      zip probes computed)
+
+let shutdown t =
+  Pool.shutdown t.pool;
+  Option.iter Cache.close t.cache

@@ -1,0 +1,124 @@
+type stage_stats = {
+  label : string;
+  cells : int;
+  hits : int;
+  computed : int;
+  wall_s : float;
+}
+
+type live = {
+  l_label : string;
+  l_start : float;
+  mutable l_hits : int;
+  mutable l_computed : int;
+}
+
+type t = {
+  verbose : bool;
+  csv : string option;
+  ppf : Format.formatter;
+  mutex : Mutex.t;
+  mutable current : live option;
+  mutable finished : stage_stats list;  (* reverse execution order *)
+}
+
+let create ?(verbose = false) ?csv ?ppf () =
+  let ppf =
+    match ppf with Some p -> p | None -> Format.err_formatter
+  in
+  {
+    verbose;
+    csv;
+    ppf;
+    mutex = Mutex.create ();
+    current = None;
+    finished = [];
+  }
+
+let stage_begin t label =
+  Mutex.lock t.mutex;
+  t.current <-
+    Some { l_label = label; l_start = Unix.gettimeofday (); l_hits = 0;
+           l_computed = 0 };
+  Mutex.unlock t.mutex
+
+let tick t ~hit =
+  Mutex.lock t.mutex;
+  (match t.current with
+  | Some live ->
+    if hit then live.l_hits <- live.l_hits + 1
+    else live.l_computed <- live.l_computed + 1
+  | None -> ());
+  Mutex.unlock t.mutex
+
+let csv_row t (s : stage_stats) =
+  match t.csv with
+  | None -> ()
+  | Some path ->
+    let fresh = not (Sys.file_exists path) in
+    let oc = open_out_gen [ Open_append; Open_creat; Open_wronly ] 0o644 path in
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () ->
+        if fresh then output_string oc "stage,cells,hits,computed,wall_s\n";
+        Printf.fprintf oc "%s,%d,%d,%d,%.6f\n" s.label s.cells s.hits
+          s.computed s.wall_s)
+
+let print_stage t (s : stage_stats) =
+  Format.fprintf t.ppf "[%s] %d cells: %d cached, %d computed in %.2fs@."
+    s.label s.cells s.hits s.computed s.wall_s
+
+let stage_end t =
+  Mutex.lock t.mutex;
+  let stats =
+    match t.current with
+    | None -> None
+    | Some live ->
+      let s =
+        {
+          label = live.l_label;
+          cells = live.l_hits + live.l_computed;
+          hits = live.l_hits;
+          computed = live.l_computed;
+          wall_s = Unix.gettimeofday () -. live.l_start;
+        }
+      in
+      t.current <- None;
+      t.finished <- s :: t.finished;
+      Some s
+  in
+  Mutex.unlock t.mutex;
+  match stats with
+  | None -> ()
+  | Some s ->
+    if t.verbose then print_stage t s;
+    csv_row t s
+
+let stages t =
+  Mutex.lock t.mutex;
+  let r = List.rev t.finished in
+  Mutex.unlock t.mutex;
+  r
+
+let totals t =
+  List.fold_left
+    (fun acc s ->
+      {
+        label = "total";
+        cells = acc.cells + s.cells;
+        hits = acc.hits + s.hits;
+        computed = acc.computed + s.computed;
+        wall_s = acc.wall_s +. s.wall_s;
+      })
+    { label = "total"; cells = 0; hits = 0; computed = 0; wall_s = 0.0 }
+    (stages t)
+
+let report t =
+  List.iter (print_stage t) (stages t);
+  let tot = totals t in
+  if tot.cells > 0 then
+    Format.fprintf t.ppf
+      "total: %d cells, %d cached (%.0f%%), %d computed, %.2fs@." tot.cells
+      tot.hits
+      (100.0 *. float_of_int tot.hits /. float_of_int (max 1 tot.cells))
+      tot.computed tot.wall_s

@@ -1,0 +1,42 @@
+(** Sweep telemetry: cells done, cache hits, wall-clock per stage.
+
+    All human-readable output goes to [stderr] (or a caller-supplied
+    formatter) so that the tables a bench writes to [stdout] stay
+    byte-identical whatever the telemetry settings.  Counters are
+    mutex-protected — worker domains tick them concurrently.
+
+    With [~csv:path] every finished stage appends a
+    [stage,cells,hits,computed,wall_s] row to [path] (header written
+    when the file is created). *)
+
+type t
+
+type stage_stats = {
+  label : string;
+  cells : int;
+  hits : int;  (** cells served from the cache *)
+  computed : int;
+  wall_s : float;
+}
+
+val create : ?verbose:bool -> ?csv:string -> ?ppf:Format.formatter -> unit -> t
+(** [verbose] (default false) prints a one-line summary per stage.
+    [ppf] defaults to a formatter on [stderr]. *)
+
+val stage_begin : t -> string -> unit
+val tick : t -> hit:bool -> unit
+(** Record one finished cell of the current stage; safe from any
+    domain. *)
+
+val stage_end : t -> unit
+(** Close the current stage: record wall time, print the summary when
+    verbose, append the CSV row when exporting. *)
+
+val stages : t -> stage_stats list
+(** Finished stages, in execution order. *)
+
+val totals : t -> stage_stats
+(** Aggregate over all finished stages (label ["total"]). *)
+
+val report : t -> unit
+(** Print the per-stage table and the total (even when not verbose). *)

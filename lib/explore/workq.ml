@@ -1,0 +1,51 @@
+type 'a t = {
+  q : 'a Queue.t;
+  mutex : Mutex.t;
+  nonempty : Condition.t;
+  mutable closed : bool;
+}
+
+let create () =
+  {
+    q = Queue.create ();
+    mutex = Mutex.create ();
+    nonempty = Condition.create ();
+    closed = false;
+  }
+
+let push t x =
+  Mutex.lock t.mutex;
+  if t.closed then begin
+    Mutex.unlock t.mutex;
+    invalid_arg "Workq.push: queue is closed"
+  end;
+  Queue.push x t.q;
+  Condition.signal t.nonempty;
+  Mutex.unlock t.mutex
+
+let pop t =
+  Mutex.lock t.mutex;
+  while Queue.is_empty t.q && not t.closed do
+    Condition.wait t.nonempty t.mutex
+  done;
+  let r = if Queue.is_empty t.q then None else Some (Queue.pop t.q) in
+  Mutex.unlock t.mutex;
+  r
+
+let close t =
+  Mutex.lock t.mutex;
+  t.closed <- true;
+  Condition.broadcast t.nonempty;
+  Mutex.unlock t.mutex
+
+let is_closed t =
+  Mutex.lock t.mutex;
+  let c = t.closed in
+  Mutex.unlock t.mutex;
+  c
+
+let length t =
+  Mutex.lock t.mutex;
+  let n = Queue.length t.q in
+  Mutex.unlock t.mutex;
+  n

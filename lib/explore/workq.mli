@@ -1,0 +1,28 @@
+(** A multi-producer multi-consumer FIFO work queue, protected by a
+    mutex and a condition variable — the channel that feeds the
+    {!Pool} worker domains.
+
+    [pop] blocks while the queue is empty and open; closing the queue
+    wakes every blocked consumer.  A closed queue still drains: [pop]
+    keeps returning queued elements and only answers [None] once the
+    queue is both closed and empty, so no submitted work is lost on
+    shutdown. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val push : 'a t -> 'a -> unit
+(** @raise Invalid_argument if the queue has been closed. *)
+
+val pop : 'a t -> 'a option
+(** Blocks until an element is available or the queue is closed and
+    empty (then [None]). *)
+
+val close : 'a t -> unit
+(** Idempotent; wakes all consumers blocked in {!pop}. *)
+
+val is_closed : 'a t -> bool
+
+val length : 'a t -> int
+(** Number of queued (not yet popped) elements. *)

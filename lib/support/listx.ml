@@ -44,6 +44,12 @@ let rec take n = function
   | _ when n <= 0 -> []
   | x :: rest -> x :: take (n - 1) rest
 
+let rec drop n l =
+  match l with
+  | [] -> []
+  | _ when n <= 0 -> l
+  | _ :: rest -> drop (n - 1) rest
+
 let group_by key l =
   let keys = ref [] in
   let tbl = Hashtbl.create 16 in

@@ -21,6 +21,7 @@ val range : int -> int -> int list
 (** [range lo hi] is [\[lo; lo+1; ...; hi-1\]] ([\[\]] if [hi <= lo]). *)
 
 val take : int -> 'a list -> 'a list
+val drop : int -> 'a list -> 'a list
 val group_by : ('a -> 'b) -> 'a list -> ('b * 'a list) list
 (** Groups preserve first-occurrence order of keys and element order
     within a group.  Keys are compared with polymorphic equality. *)

@@ -1,0 +1,130 @@
+(* The persistent content-addressed cache: hit/miss accounting,
+   reopen persistence, and corrupt-entry recovery. *)
+
+open Hcv_explore
+
+let fresh_dir =
+  let counter = ref 0 in
+  fun () ->
+    incr counter;
+    let dir =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "hcv-cache-test-%d-%d" (Unix.getpid ()) !counter)
+    in
+    if Sys.file_exists dir then
+      Array.iter
+        (fun f -> Sys.remove (Filename.concat dir f))
+        (Sys.readdir dir)
+    else ();
+    dir
+
+let with_dir f =
+  let dir = fresh_dir () in
+  Fun.protect
+    ~finally:(fun () ->
+      if Sys.file_exists dir then (
+        Array.iter
+          (fun file -> Sys.remove (Filename.concat dir file))
+          (Sys.readdir dir);
+        Sys.rmdir dir))
+    (fun () -> f dir)
+
+let test_in_memory () =
+  let c = Cache.in_memory () in
+  Alcotest.(check bool) "no dir" true (Cache.dir c = None);
+  Alcotest.(check (option string)) "miss" None (Cache.find c "k1");
+  Cache.store c ~key:"k1" "v1";
+  Alcotest.(check (option string)) "hit" (Some "v1") (Cache.find c "k1");
+  Cache.store c ~key:"k1" "v2";
+  Alcotest.(check (option string)) "replaced" (Some "v2") (Cache.find c "k1");
+  let s = Cache.stats c in
+  Alcotest.(check int) "entries" 1 s.Cache.entries;
+  Alcotest.(check int) "hits" 2 s.Cache.hits;
+  Alcotest.(check int) "misses" 1 s.Cache.misses;
+  Cache.close c
+
+let test_persistence () =
+  with_dir (fun dir ->
+      let c = Cache.open_dir dir in
+      Cache.store c ~key:"alpha" "one";
+      Cache.store c ~key:"beta" {|two with "quotes" and
+newline|};
+      Cache.close c;
+      let c' = Cache.open_dir dir in
+      let s = Cache.stats c' in
+      Alcotest.(check int) "loaded" 2 s.Cache.loaded;
+      Alcotest.(check int) "nothing dropped" 0 s.Cache.dropped;
+      Alcotest.(check (option string)) "alpha survives" (Some "one")
+        (Cache.find c' "alpha");
+      Alcotest.(check (option string))
+        "beta survives" (Some {|two with "quotes" and
+newline|})
+        (Cache.find c' "beta");
+      Cache.close c')
+
+let test_corrupt_recovery () =
+  with_dir (fun dir ->
+      let c = Cache.open_dir dir in
+      Cache.store c ~key:"good1" "v1";
+      Cache.store c ~key:"good2" "v2";
+      Cache.close c;
+      (* Corrupt the file the two ways a real crash/bitrot produces:
+         garbage in the middle and a truncated final line. *)
+      let file = Filename.concat dir "cache.jsonl" in
+      let lines =
+        let ic = open_in file in
+        let rec go acc =
+          match input_line ic with
+          | l -> go (l :: acc)
+          | exception End_of_file ->
+              close_in ic;
+              List.rev acc
+        in
+        go []
+      in
+      let oc = open_out file in
+      (match lines with
+      | [ l1; l2 ] ->
+          output_string oc l1;
+          output_char oc '\n';
+          output_string oc "{not json at all\n";
+          output_string oc "{\"k\":\"no-value-field\"}\n";
+          (* Truncated mid-line, as a kill during append leaves it. *)
+          output_string oc (String.sub l2 0 (String.length l2 / 2))
+      | _ -> Alcotest.fail "expected two cache lines");
+      close_out oc;
+      let c' = Cache.open_dir dir in
+      let s = Cache.stats c' in
+      Alcotest.(check int) "one good entry loaded" 1 s.Cache.loaded;
+      Alcotest.(check int) "three corrupt lines dropped" 3 s.Cache.dropped;
+      Alcotest.(check (option string)) "good1 recovered" (Some "v1")
+        (Cache.find c' "good1");
+      Alcotest.(check (option string)) "good2 must recompute" None
+        (Cache.find c' "good2");
+      (* Recompute and store; a further reopen sees both again. *)
+      Cache.store c' ~key:"good2" "v2";
+      Cache.close c';
+      let c'' = Cache.open_dir dir in
+      Alcotest.(check (option string)) "good2 after recompute" (Some "v2")
+        (Cache.find c'' "good2");
+      Cache.close c'')
+
+let test_demote_hit () =
+  let c = Cache.in_memory () in
+  Cache.store c ~key:"k" "undecodable";
+  ignore (Cache.find c "k");
+  Cache.demote_hit c;
+  let s = Cache.stats c in
+  Alcotest.(check int) "hit demoted" 0 s.Cache.hits;
+  Alcotest.(check int) "counted as miss" 1 s.Cache.misses;
+  Cache.close c
+
+let suite =
+  [
+    Alcotest.test_case "in-memory hit/miss" `Quick test_in_memory;
+    Alcotest.test_case "persists across reopen" `Quick test_persistence;
+    Alcotest.test_case "skips corrupt and truncated lines" `Quick
+      test_corrupt_recovery;
+    Alcotest.test_case "demote_hit reclassifies" `Quick test_demote_hit;
+  ]

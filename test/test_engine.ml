@@ -1,0 +1,113 @@
+(* The sweep engine: memoisation, decode-failure recovery, and
+   resume-from-partial-cache determinism. *)
+
+open Hcv_explore
+
+(* A codec for (int -> int * int) cells with a computation counter, so
+   tests can distinguish cached from computed results.  Atomic because
+   workers run on separate domains. *)
+let computed = Atomic.make 0
+
+let square x =
+  Atomic.incr computed;
+  (x, x * x)
+
+let codec =
+  {
+    Engine.cell_key = (fun x -> Printf.sprintf "cell-%d" x);
+    encode = (fun (x, y) -> Printf.sprintf "%d:%d" x y);
+    decode =
+      (fun s ->
+        match String.split_on_char ':' s with
+        | [ a; b ] -> (
+            match (int_of_string_opt a, int_of_string_opt b) with
+            | Some a, Some b -> Some (a, b)
+            | _ -> None)
+        | _ -> None);
+  }
+
+let with_engine ?jobs ?cache f =
+  let e = Engine.create ?jobs ?cache () in
+  Fun.protect ~finally:(fun () -> Engine.shutdown e) (fun () -> f e)
+
+let xs = List.init 12 (fun i -> i)
+let expected = List.map (fun x -> (x, x * x)) xs
+
+let test_map_matches_serial () =
+  List.iter
+    (fun jobs ->
+      with_engine ~jobs (fun e ->
+          Alcotest.(check (list (pair int int)))
+            (Printf.sprintf "map jobs=%d" jobs)
+            expected
+            (Engine.map e (fun x -> (x, x * x)) xs)))
+    [ 1; 3 ]
+
+let test_warm_cache_computes_nothing () =
+  let cache = Cache.in_memory () in
+  with_engine ~cache (fun e ->
+      Atomic.set computed 0;
+      let cold = Engine.sweep e ~codec square xs in
+      Alcotest.(check int) "cold run computes all" 12 (Atomic.get computed);
+      Alcotest.(check (list (pair int int))) "cold results" expected cold;
+      let warm = Engine.sweep e ~codec square xs in
+      Alcotest.(check int) "warm run computes nothing" 12 (Atomic.get computed);
+      Alcotest.(check (list (pair int int))) "warm results equal" expected warm;
+      let s = Cache.stats cache in
+      Alcotest.(check int) "12 hits" 12 s.Cache.hits;
+      Alcotest.(check int) "12 misses" 12 s.Cache.misses)
+
+let test_decode_failure_recomputes () =
+  let cache = Cache.in_memory () in
+  (* Poison one entry with bytes the codec cannot decode. *)
+  Cache.store cache ~key:(codec.Engine.cell_key 5) "garbage";
+  with_engine ~cache (fun e ->
+      Atomic.set computed 0;
+      let out = Engine.sweep e ~codec square xs in
+      Alcotest.(check (list (pair int int)))
+        "results correct despite poison" expected out;
+      Alcotest.(check int) "all recomputed (none cached)" 12 (Atomic.get computed);
+      let s = Cache.stats cache in
+      Alcotest.(check int) "poisoned probe is not a hit" 0 s.Cache.hits;
+      (* The recomputed value replaced the poison. *)
+      Atomic.set computed 0;
+      ignore (Engine.sweep e ~codec square [ 5 ]);
+      Alcotest.(check int) "healed entry now serves" 0 (Atomic.get computed))
+
+let test_resume_from_partial_cache () =
+  (* Simulate a killed sweep: only a prefix of the cells made it to
+     the cache.  The resumed sweep must complete the rest and return
+     exactly what an uninterrupted run returns. *)
+  let cache = Cache.in_memory () in
+  with_engine ~cache (fun e ->
+      ignore (Engine.sweep e ~codec square (Hcv_support.Listx.take 5 xs)));
+  with_engine ~jobs:3 ~cache (fun e ->
+      Atomic.set computed 0;
+      let resumed = Engine.sweep e ~codec square xs in
+      Alcotest.(check (list (pair int int)))
+        "resumed output identical" expected resumed;
+      Alcotest.(check int) "only the missing cells computed" 7 (Atomic.get computed))
+
+let test_sweep_parallel_matches_serial () =
+  let serial =
+    let cache = Cache.in_memory () in
+    with_engine ~cache (fun e -> Engine.sweep e ~codec square xs)
+  in
+  let parallel =
+    let cache = Cache.in_memory () in
+    with_engine ~jobs:4 ~cache (fun e -> Engine.sweep e ~codec square xs)
+  in
+  Alcotest.(check (list (pair int int))) "jobs=4 equals jobs=1" serial parallel
+
+let suite =
+  [
+    Alcotest.test_case "map matches serial" `Quick test_map_matches_serial;
+    Alcotest.test_case "warm cache computes nothing" `Quick
+      test_warm_cache_computes_nothing;
+    Alcotest.test_case "decode failure recomputes" `Quick
+      test_decode_failure_recomputes;
+    Alcotest.test_case "resume from partial cache" `Quick
+      test_resume_from_partial_cache;
+    Alcotest.test_case "parallel sweep equals serial" `Quick
+      test_sweep_parallel_matches_serial;
+  ]

@@ -1,0 +1,74 @@
+(* The hand-rolled JSON codec backing the result cache. *)
+
+open Hcv_explore
+
+let json =
+  Alcotest.testable
+    (fun ppf j -> Format.pp_print_string ppf (Jsonx.to_string j))
+    ( = )
+
+let roundtrip name j =
+  match Jsonx.of_string (Jsonx.to_string j) with
+  | Ok j' -> Alcotest.check json name j j'
+  | Error msg -> Alcotest.failf "%s: parse error: %s" name msg
+
+let test_roundtrip () =
+  roundtrip "null" Jsonx.Null;
+  roundtrip "bools" (Jsonx.List [ Jsonx.Bool true; Jsonx.Bool false ]);
+  roundtrip "integers" (Jsonx.List [ Jsonx.Num 0.; Jsonx.Num (-42.) ]);
+  roundtrip "floats"
+    (Jsonx.List
+       [ Jsonx.Num 0.1; Jsonx.Num 1.0000000000000002; Jsonx.Num 1e-300 ]);
+  roundtrip "string escapes"
+    (Jsonx.Str "line\nbreak \"quoted\" back\\slash \t \x01");
+  roundtrip "nested"
+    (Jsonx.Obj
+       [
+         ("k", Jsonx.Str "abc");
+         ("v", Jsonx.List [ Jsonx.Obj [ ("x", Jsonx.Num 3.5) ]; Jsonx.Null ]);
+       ])
+
+let test_float_exactness () =
+  (* The cache must replay the original bits, not an approximation. *)
+  List.iter
+    (fun f ->
+      match Jsonx.of_string (Jsonx.to_string (Jsonx.Num f)) with
+      | Ok (Jsonx.Num f') ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%h survives" f)
+            true
+            (Int64.equal (Int64.bits_of_float f) (Int64.bits_of_float f'))
+      | Ok _ -> Alcotest.fail "not a number"
+      | Error msg -> Alcotest.failf "parse error: %s" msg)
+    [ 0.1; 1. /. 3.; 0.8748906986305911; 1e22; 4.9e-324; -0. ]
+
+let test_parse_errors () =
+  List.iter
+    (fun s ->
+      match Jsonx.of_string s with
+      | Ok _ -> Alcotest.failf "accepted malformed input %S" s
+      | Error _ -> ())
+    [ ""; "{"; "[1,]"; "{\"a\":}"; "nul"; "\"unterminated"; "1 2"; "{\"a\" 1}" ]
+
+let test_accessors () =
+  let j =
+    Jsonx.Obj
+      [ ("name", Jsonx.Str "x"); ("n", Jsonx.Num 3.); ("xs", Jsonx.List []) ]
+  in
+  Alcotest.(check (option string)) "str" (Some "x")
+    (Option.bind (Jsonx.member "name" j) Jsonx.str);
+  Alcotest.(check (option int)) "int" (Some 3)
+    (Option.bind (Jsonx.member "n" j) Jsonx.int);
+  Alcotest.(check bool) "list" true
+    (Option.bind (Jsonx.member "xs" j) Jsonx.list = Some []);
+  Alcotest.(check bool) "missing member" true (Jsonx.member "zz" j = None);
+  Alcotest.(check (option int)) "int rejects fraction" None
+    (Jsonx.int (Jsonx.Num 3.5))
+
+let suite =
+  [
+    Alcotest.test_case "round-trips" `Quick test_roundtrip;
+    Alcotest.test_case "float bit-exactness" `Quick test_float_exactness;
+    Alcotest.test_case "rejects malformed input" `Quick test_parse_errors;
+    Alcotest.test_case "accessors" `Quick test_accessors;
+  ]

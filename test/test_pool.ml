@@ -1,0 +1,93 @@
+(* The fixed worker-domain pool: determinism for any worker count,
+   exception propagation, safe nesting. *)
+
+open Hcv_explore
+
+let with_pool jobs f =
+  let pool = Pool.create ~jobs () in
+  Fun.protect ~finally:(fun () -> Pool.shutdown pool) (fun () -> f pool)
+
+(* A pure function with input-dependent cost, so parallel completion
+   order differs from submission order. *)
+let work x =
+  let n = 1000 + (x * 131 mod 5000) in
+  let acc = ref 0 in
+  for i = 1 to n do
+    acc := (!acc + (i * x)) mod 1_000_003
+  done;
+  (x, !acc)
+
+let test_determinism () =
+  let xs = List.init 100 (fun i -> i) in
+  let expected = List.map work xs in
+  List.iter
+    (fun jobs ->
+      with_pool jobs (fun pool ->
+          Alcotest.(check (list (pair int int)))
+            (Printf.sprintf "jobs=%d matches serial" jobs)
+            expected (Pool.map pool work xs)))
+    [ 1; 2; 8 ]
+
+let test_empty_and_singleton () =
+  with_pool 4 (fun pool ->
+      Alcotest.(check (list int)) "empty" [] (Pool.map pool (fun x -> x) []);
+      Alcotest.(check (list int)) "singleton" [ 7 ]
+        (Pool.map pool (fun x -> x + 6) [ 1 ]))
+
+let test_exception_propagation () =
+  with_pool 4 (fun pool ->
+      Alcotest.check_raises "worker exception reaches the caller"
+        (Failure "boom-3") (fun () ->
+          ignore
+            (Pool.map pool
+               (fun x -> if x = 3 then failwith "boom-3" else x)
+               [ 0; 1; 2; 3; 4; 5 ])))
+
+let test_first_failure_wins () =
+  (* Two failing cells: the serial run would hit index 2 first, so the
+     parallel run must report that one whatever finishes first. *)
+  with_pool 8 (fun pool ->
+      Alcotest.check_raises "lowest-indexed failure" (Failure "boom-2")
+        (fun () ->
+          ignore
+            (Pool.map pool
+               (fun x ->
+                 if x >= 2 then failwith (Printf.sprintf "boom-%d" x) else x)
+               [ 0; 1; 2; 3; 4; 5; 6; 7 ])))
+
+let test_nested_map_runs_inline () =
+  (* A map issued from inside a worker must not deadlock: it runs
+     inline in that worker. *)
+  with_pool 2 (fun pool ->
+      let result =
+        Pool.map pool
+          (fun x -> Pool.map pool (fun y -> x * y) [ 1; 2; 3 ])
+          [ 1; 2; 3; 4 ]
+      in
+      Alcotest.(check (list (list int)))
+        "nested results"
+        [ [ 1; 2; 3 ]; [ 2; 4; 6 ]; [ 3; 6; 9 ]; [ 4; 8; 12 ] ]
+        result)
+
+let test_pool_reuse () =
+  (* The pool is fixed: several maps reuse the same workers. *)
+  with_pool 3 (fun pool ->
+      for i = 1 to 5 do
+        let xs = List.init 20 (fun j -> (i * 100) + j) in
+        Alcotest.(check (list (pair int int)))
+          (Printf.sprintf "round %d" i)
+          (List.map work xs) (Pool.map pool work xs)
+      done)
+
+let suite =
+  [
+    Alcotest.test_case "deterministic under 1/2/8 workers" `Quick
+      test_determinism;
+    Alcotest.test_case "empty and singleton" `Quick test_empty_and_singleton;
+    Alcotest.test_case "exception propagation" `Quick
+      test_exception_propagation;
+    Alcotest.test_case "first failure wins" `Quick test_first_failure_wins;
+    Alcotest.test_case "nested map runs inline" `Quick
+      test_nested_map_runs_inline;
+    Alcotest.test_case "pool reuse across maps" `Quick test_pool_reuse;
+  ]

@@ -1,0 +1,56 @@
+(* The mutex/condition work queue feeding the explore worker pool. *)
+
+open Hcv_explore
+
+let test_fifo () =
+  let q = Workq.create () in
+  List.iter (Workq.push q) [ 1; 2; 3 ];
+  Alcotest.(check int) "length" 3 (Workq.length q);
+  Alcotest.(check (option int)) "first" (Some 1) (Workq.pop q);
+  Alcotest.(check (option int)) "second" (Some 2) (Workq.pop q);
+  Workq.push q 4;
+  Alcotest.(check (option int)) "third" (Some 3) (Workq.pop q);
+  Alcotest.(check (option int)) "fourth" (Some 4) (Workq.pop q)
+
+let test_close_drains () =
+  let q = Workq.create () in
+  List.iter (Workq.push q) [ 1; 2 ];
+  Workq.close q;
+  Alcotest.(check bool) "closed" true (Workq.is_closed q);
+  (* A closed queue still hands out what was queued... *)
+  Alcotest.(check (option int)) "drain 1" (Some 1) (Workq.pop q);
+  Alcotest.(check (option int)) "drain 2" (Some 2) (Workq.pop q);
+  (* ...and only then reports exhaustion. *)
+  Alcotest.(check (option int)) "exhausted" None (Workq.pop q);
+  Alcotest.check_raises "push after close"
+    (Invalid_argument "Workq.push: queue is closed") (fun () ->
+      Workq.push q 3)
+
+let test_pop_blocks_until_push () =
+  let q = Workq.create () in
+  (* A consumer domain blocks in pop until the producer delivers. *)
+  let consumer = Domain.spawn (fun () -> Workq.pop q) in
+  Unix.sleepf 0.05;
+  Workq.push q 42;
+  Alcotest.(check (option int)) "received" (Some 42) (Domain.join consumer)
+
+let test_close_wakes_consumers () =
+  let q = Workq.create () in
+  let consumers =
+    List.init 3 (fun _ -> Domain.spawn (fun () -> Workq.pop q))
+  in
+  Unix.sleepf 0.05;
+  Workq.close q;
+  List.iter
+    (fun d -> Alcotest.(check (option int)) "woken empty" None (Domain.join d))
+    consumers
+
+let suite =
+  [
+    Alcotest.test_case "fifo order" `Quick test_fifo;
+    Alcotest.test_case "close drains then stops" `Quick test_close_drains;
+    Alcotest.test_case "pop blocks until push" `Quick
+      test_pop_blocks_until_push;
+    Alcotest.test_case "close wakes consumers" `Quick
+      test_close_wakes_consumers;
+  ]
