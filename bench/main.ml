@@ -570,8 +570,9 @@ let micro () =
 let usage () =
   prerr_endline
     "usage: main.exe [table1] [table2] [fig6] [fig7] [fig8] [fig9] [ablation]\n\
-    \                [micro] [--quick] [--jobs N] [--cache DIR] [--resume]\n\
-    \                [--telemetry-csv FILE]";
+    \                [micro] [perf] [--quick] [--jobs N] [--cache DIR]\n\
+    \                [--resume] [--telemetry-csv FILE] [--perf-out FILE]\n\
+    \                [--perf-baseline FILE] [--perf-reps N]";
   exit 2
 
 let () =
@@ -579,6 +580,9 @@ let () =
   let cache_dir = ref None in
   let resume = ref false in
   let csv = ref None in
+  let perf_out = ref "BENCH_2.json" in
+  let perf_baseline = ref "BENCH_seed.json" in
+  let perf_reps = ref None in
   let int_arg name v =
     match int_of_string_opt v with
     | Some n when n >= 1 -> n
@@ -603,7 +607,19 @@ let () =
     | "--telemetry-csv" :: file :: rest ->
       csv := Some file;
       parse selected rest
-    | ("--jobs" | "--cache" | "--telemetry-csv") :: [] -> usage ()
+    | "--perf-out" :: file :: rest ->
+      perf_out := file;
+      parse selected rest
+    | "--perf-baseline" :: file :: rest ->
+      perf_baseline := file;
+      parse selected rest
+    | "--perf-reps" :: v :: rest ->
+      perf_reps := Some (int_arg "--perf-reps" v);
+      parse selected rest
+    | ( "--jobs" | "--cache" | "--telemetry-csv" | "--perf-out"
+      | "--perf-baseline" | "--perf-reps" )
+      :: [] ->
+      usage ()
     | arg :: _ when String.length arg > 1 && arg.[0] = '-' ->
       Printf.eprintf "error: unknown option %s\n" arg;
       usage ()
@@ -641,4 +657,13 @@ let () =
       if want "fig8" then fig8 engine;
       if want "fig9" then fig9 engine;
       if want "ablation" then ablation engine;
-      if want "micro" then micro ())
+      if want "micro" then micro ();
+      (* perf runs only when asked for by name: it is a timing harness,
+         not part of the paper's tables/figures, so "all" skips it. *)
+      if List.mem "perf" selected then
+        let reps = match !perf_reps with
+          | Some n -> n
+          | None -> if !quick then 3 else 5
+        in
+        Perf.run ~quick:!quick ~reps ~out:!perf_out ~baseline:!perf_baseline
+          ())

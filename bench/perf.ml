@@ -1,0 +1,293 @@
+(* Scheduler hot-path microbenchmark harness.
+
+   Times the scheduling-dominated stages of the pipeline — DDG analyses,
+   pseudo-schedule estimation, multilevel partitioning, full
+   heterogeneous modulo scheduling, and configuration selection — on a
+   fixed slice of the synthetic SPECfp workload suite.  Each stage is
+   run [reps] times against a monotonic clock and the median wall time
+   is reported; the result is written as JSON (BENCH_*.json) so the
+   perf trajectory of the repository is recorded PR over PR.
+
+   When a baseline file (recorded by this same harness at an earlier
+   commit) is present, per-stage speedups are computed against it and
+   embedded in the output. *)
+
+open Hcv_support
+open Hcv_ir
+open Hcv_machine
+open Hcv_energy
+open Hcv_core
+open Hcv_workload
+module J = Hcv_explore.Jsonx
+
+let seed = 42
+let schema = "hcvliw-perf-v1"
+
+(* The stages whose median speedup the acceptance gate tracks. *)
+let sched_stages = [ "pseudo"; "partition"; "hsched" ]
+
+let now_ns () = Int64.to_float (Monotonic_clock.now ())
+
+let median xs =
+  let a = Array.of_list (List.sort compare xs) in
+  let n = Array.length a in
+  if n = 0 then 0.0
+  else if n mod 2 = 1 then a.(n / 2)
+  else (a.((n / 2) - 1) +. a.(n / 2)) /. 2.0
+
+(* One warm-up run, then [reps] timed runs. *)
+let time_runs ~reps f =
+  f ();
+  List.init reps (fun _ ->
+      let t0 = now_ns () in
+      f ();
+      now_ns () -. t0)
+
+type workload = {
+  machine : Machine.t;
+  loops : Loop.t list;
+  profile : Profile.t;
+  ctx : Model.ctx;
+  config : Opconfig.t;
+  sched_items : (Loop.t * Hcv_sched.Clocking.t * int array) list;
+      (* loop, first synchronisable clocking at/above MIT, deterministic
+         initial assignment — the estimator/partitioner inputs. *)
+}
+
+let clocking_for ~config loop =
+  let ddg = loop.Loop.ddg in
+  let mit = Mit.mit ~config ddg in
+  let mit =
+    if Q.sign mit <= 0 then Mit.next_candidate ~config ~after:Q.zero else mit
+  in
+  let rec go it n =
+    if n > 64 then None
+    else
+      match Hcv_sched.Clocking.of_config ~config ~it with
+      | Ok c -> Some c
+      | Error _ -> go (Mit.next_candidate ~config ~after:it) (n + 1)
+  in
+  go mit 0
+
+let setup ~quick name =
+  let machine = Presets.machine_4c ~buses:1 in
+  let n_loops = if quick then 2 else 4 in
+  let spec = Option.get (Specfp.find name) in
+  let loops = Specfp.loops ~n_loops ~seed spec in
+  match Profile.profile ~machine ~loops with
+  | Error msg -> failwith (Printf.sprintf "perf setup %s: %s" name msg)
+  | Ok profile ->
+    let units =
+      Units.of_reference ~params:Params.default ~n_clusters:4
+        profile.Profile.activity
+    in
+    let ctx = Model.ctx ~params:Params.default ~units () in
+    let config =
+      (Select.select_heterogeneous ~ctx ~machine profile).Select.config
+    in
+    let sched_items =
+      List.filter_map
+        (fun (loop : Loop.t) ->
+          match clocking_for ~config loop with
+          | None -> None
+          | Some clocking ->
+            let assignment =
+              Hcv_sched.Partition.initial_even ~n_clusters:4 loop.Loop.ddg
+            in
+            Some (loop, clocking, assignment))
+        loops
+    in
+    { machine; loops; profile; ctx; config; sched_items }
+
+(* ----- the timed stages ------------------------------------------- *)
+
+let stage_ddg ws () =
+  List.iter
+    (fun w ->
+      List.iter
+        (fun (lp : Loop.t) ->
+          let ddg = lp.Loop.ddg in
+          for _ = 1 to 20 do
+            ignore (Ddg.topo_order ddg);
+            ignore (Ddg.earliest_starts ddg);
+            ignore (Ddg.heights ddg);
+            ignore (Ddg.fu_demand ddg)
+          done)
+        w.loops)
+    ws
+
+let stage_pseudo ws () =
+  List.iter
+    (fun w ->
+      List.iter
+        (fun (loop, clocking, assignment) ->
+          for _ = 1 to 5 do
+            ignore
+              (Hcv_sched.Pseudo.estimate ~machine:w.machine ~clocking ~loop
+                 ~assignment ())
+          done)
+        w.sched_items)
+    ws
+
+let stage_partition ws () =
+  List.iter
+    (fun w ->
+      List.iter
+        (fun ((loop : Loop.t), clocking, _) ->
+          (* One timing memo shared across the partitioner's score calls,
+             matching Hsched's calling convention (one memo per IT
+             attempt). *)
+          let memo = Hcv_sched.Timing.Memo.create clocking in
+          let score assignment =
+            Hcv_sched.Pseudo.score
+              (Hcv_sched.Pseudo.estimate ~memo ~machine:w.machine ~clocking
+                 ~loop ~assignment ())
+          in
+          ignore
+            (Hcv_sched.Partition.run ~n_clusters:4 ~ddg:loop.Loop.ddg ~seed:0
+               ~score ()))
+        w.sched_items)
+    ws
+
+let stage_hsched ws () =
+  List.iter
+    (fun w ->
+      List.iter
+        (fun (lp : Loop.t) ->
+          ignore (Hsched.schedule ~ctx:w.ctx ~config:w.config ~loop:lp ()))
+        w.loops)
+    ws
+
+let stage_select ws () =
+  List.iter
+    (fun w ->
+      ignore (Select.select_heterogeneous ~ctx:w.ctx ~machine:w.machine w.profile))
+    ws
+
+(* ----- baseline / output ------------------------------------------ *)
+
+let read_baseline file =
+  if not (Sys.file_exists file) then None
+  else begin
+    let ic = open_in_bin file in
+    let len = in_channel_length ic in
+    let s = really_input_string ic len in
+    close_in ic;
+    match J.of_string s with
+    | Error _ -> None
+    | Ok j ->
+      Option.bind (J.member "stages" j) (function
+        | J.Obj fields ->
+          Some
+            (List.filter_map
+               (fun (name, v) ->
+                 Option.bind (J.member "median_ns" v) J.num
+                 |> Option.map (fun ns -> (name, ns)))
+               fields)
+        | _ -> None)
+  end
+
+let write_file file s =
+  let oc = open_out_bin file in
+  output_string oc s;
+  close_out oc
+
+let run ~quick ~reps ~out ~baseline () =
+  let bench_names =
+    if quick then [ "sixtrack"; "facerec" ]
+    else [ "sixtrack"; "facerec"; "galgel" ]
+  in
+  Printf.eprintf "perf: setting up workloads (%s)...\n%!"
+    (String.concat ", " bench_names);
+  let ws = List.map (setup ~quick) bench_names in
+  let stages =
+    [
+      ("ddg", stage_ddg ws);
+      ("pseudo", stage_pseudo ws);
+      ("partition", stage_partition ws);
+      ("hsched", stage_hsched ws);
+      ("select", stage_select ws);
+    ]
+  in
+  let results =
+    List.map
+      (fun (name, f) ->
+        Printf.eprintf "perf: timing %-10s (%d reps)...%!" name reps;
+        let runs = time_runs ~reps f in
+        let med = median runs in
+        Printf.eprintf " median %.3f ms\n%!" (med /. 1e6);
+        (name, med, runs))
+      stages
+  in
+  let base = read_baseline baseline in
+  let speedups =
+    Option.map
+      (fun base ->
+        List.filter_map
+          (fun (name, med, _) ->
+            match List.assoc_opt name base with
+            | Some b when med > 0.0 -> Some (name, b /. med)
+            | Some _ | None -> None)
+          results)
+      base
+  in
+  let sched_speedup =
+    Option.map
+      (fun sp ->
+        median
+          (List.filter_map
+             (fun s -> List.assoc_opt s sp)
+             sched_stages))
+      speedups
+  in
+  let total = List.fold_left (fun acc (_, med, _) -> acc +. med) 0.0 results in
+  let json =
+    J.Obj
+      ([
+         ("schema", J.Str schema);
+         ("quick", J.Bool quick);
+         ("reps", J.Num (float_of_int reps));
+         ("seed", J.Num (float_of_int seed));
+         ("workloads", J.List (List.map (fun n -> J.Str n) bench_names));
+         ( "stages",
+           J.Obj
+             (List.map
+                (fun (name, med, runs) ->
+                  ( name,
+                    J.Obj
+                      [
+                        ("median_ns", J.Num med);
+                        ("runs_ns", J.List (List.map (fun r -> J.Num r) runs));
+                      ] ))
+                results) );
+         ("total_median_ns", J.Num total);
+       ]
+      @ (match speedups with
+        | None -> []
+        | Some sp ->
+          [
+            ("baseline", J.Str baseline);
+            ( "speedup_vs_baseline",
+              J.Obj (List.map (fun (n, s) -> (n, J.Num s)) sp) );
+          ])
+      @
+      match sched_speedup with
+      | None -> []
+      | Some s -> [ ("median_speedup_sched_stages", J.Num s) ])
+  in
+  write_file out (J.to_string json ^ "\n");
+  Printf.eprintf "perf: wrote %s\n%!" out;
+  (match speedups with
+  | None ->
+    Printf.eprintf "perf: no baseline at %s — speedups not computed\n%!"
+      baseline
+  | Some sp ->
+    List.iter
+      (fun (n, s) -> Printf.eprintf "perf: %-10s %5.2fx vs baseline\n%!" n s)
+      sp;
+    match sched_speedup with
+    | Some s ->
+      Printf.eprintf "perf: median speedup over %s: %.2fx\n%!"
+        (String.concat "/" sched_stages)
+        s
+    | None -> ())

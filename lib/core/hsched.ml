@@ -74,8 +74,8 @@ let preplace_recurrences ~config ~clocking ddg =
 (* Score a candidate partition by the ED2 its pseudo-schedule predicts
    (paper §4.1.2).  Unschedulable partitions keep the huge
    schedulability-first penalties so that any feasible partition wins. *)
-let ed2_score ~ctx ~config ~machine ~clocking ~loop assignment =
-  let est = Pseudo.estimate ~machine ~clocking ~loop ~assignment in
+let ed2_score ?memo ~ctx ~config ~machine ~clocking ~loop assignment =
+  let est = Pseudo.estimate ?memo ~machine ~clocking ~loop ~assignment () in
   if not (Pseudo.feasible est) then 1e14 +. Pseudo.score est
   else begin
     let act =
@@ -87,8 +87,29 @@ let ed2_score ~ctx ~config ~machine ~clocking ~loop assignment =
 
 type score_mode = Ed2 | Schedulability
 
+(* Memoise a partition-scoring function by the exact assignment.  The
+   multilevel refinement proposes the same (or a just-reverted)
+   assignment over and over — each hit skips a whole pseudo-schedule.
+   The key is the full assignment (one byte per instruction), so hits
+   can never alias and the memo is behaviour-preserving; the score is
+   pure for a fixed clocking, which is why the table must not outlive
+   the IT attempt it was built for. *)
+let memoised_score score =
+  let cache : (string, float) Hashtbl.t = Hashtbl.create 256 in
+  fun (assignment : int array) ->
+    let key =
+      String.init (Array.length assignment) (fun i ->
+          Char.chr assignment.(i))
+    in
+    match Hashtbl.find_opt cache key with
+    | Some s -> s
+    | None ->
+      let s = score assignment in
+      Hashtbl.add cache key s;
+      s
+
 let schedule ~ctx ~config ~loop ?(max_tries = 64) ?(seed = 0)
-    ?(preplace = true) ?(score_mode = Ed2) () =
+    ?(preplace = true) ?(score_mode = Ed2) ?(score_memo = true) () =
   let machine = config.Opconfig.machine in
   let n_clusters = Machine.n_clusters machine in
   let ddg = loop.Loop.ddg in
@@ -118,13 +139,23 @@ let schedule ~ctx ~config ~loop ?(max_tries = 64) ?(seed = 0)
         with
         | Error _ -> bump ~sync:false ()
         | Ok fixed -> (
+          let memo = Timing.Memo.create clocking in
           let score =
             match score_mode with
-            | Ed2 -> ed2_score ~ctx ~config ~machine ~clocking ~loop
+            | Ed2 -> ed2_score ~memo ~ctx ~config ~machine ~clocking ~loop
             | Schedulability ->
               fun assignment ->
                 Pseudo.score
-                  (Pseudo.estimate ~machine ~clocking ~loop ~assignment)
+                  (Pseudo.estimate ~memo ~machine ~clocking ~loop ~assignment
+                     ())
+          in
+          (* The memo depends on the clocking, so it lives exactly as
+             long as this IT attempt; sharing it across the two
+             partitioner restarts below is what makes the second restart
+             nearly free on its revisited assignments. *)
+          let score =
+            if score_memo && n_clusters <= 256 then memoised_score score
+            else score
           in
           (* Two deterministic restarts of the multilevel partitioner;
              keep the better-scored partition. *)

@@ -44,9 +44,12 @@ type score_mode =
 
 val schedule :
   ctx:Model.ctx -> config:Opconfig.t -> loop:Loop.t -> ?max_tries:int
-  -> ?seed:int -> ?preplace:bool -> ?score_mode:score_mode -> unit
-  -> (Schedule.t * stats, string) result
+  -> ?seed:int -> ?preplace:bool -> ?score_mode:score_mode
+  -> ?score_memo:bool -> unit -> (Schedule.t * stats, string) result
 (** [max_tries] (default 64) bounds IT candidates above the MIT.
     [preplace] (default true) and [score_mode] (default [Ed2]) are
     ablation switches for the two heterogeneous-specific ingredients of
-    §4.1. *)
+    §4.1.  [score_memo] (default true) memoises the partition-scoring
+    function by exact assignment within each IT attempt; it never
+    changes the result (the score is pure per clocking) and exists as a
+    switch for the equivalence tests. *)

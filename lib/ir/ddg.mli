@@ -49,6 +49,22 @@ val preds : t -> Instr.id -> Edge.t list
 val find_instr : t -> string -> Instr.t option
 (** Lookup by name (first match). *)
 
+(** {1 Indexed (CSR) view}
+
+    Flat-array access for hot paths: no list traversal, no per-query
+    allocation.  Edges are visited in the same order as the list
+    accessors above (construction order per node). *)
+
+val edge_array : t -> Edge.t array
+(** All edges in construction order.  Physical array — do not mutate. *)
+
+val out_degree : t -> Instr.id -> int
+val in_degree : t -> Instr.id -> int
+val iter_succs : t -> Instr.id -> (Edge.t -> unit) -> unit
+val iter_preds : t -> Instr.id -> (Edge.t -> unit) -> unit
+val fold_succs : t -> Instr.id -> ('a -> Edge.t -> 'a) -> 'a -> 'a
+val fold_preds : t -> Instr.id -> ('a -> Edge.t -> 'a) -> 'a -> 'a
+
 (** {1 Analyses} *)
 
 val fu_demand : t -> (Opcode.fu_kind * int) list

@@ -46,6 +46,8 @@ let all =
   ]
 
 let all_fu_kinds = [ Int_fu; Fp_fu; Mem_port ]
+let n_fu_kinds = 3
+let fu_index = function Int_fu -> 0 | Fp_fu -> 1 | Mem_port -> 2
 
 let mnemonics =
   [

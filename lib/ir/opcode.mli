@@ -39,6 +39,11 @@ val all : t list
 
 val all_fu_kinds : fu_kind list
 
+val n_fu_kinds : int
+val fu_index : fu_kind -> int
+(** Dense index of a resource kind, [0 .. n_fu_kinds - 1] in
+    [all_fu_kinds] order — for flat per-kind tables. *)
+
 val mnemonics : (string * t) list
 (** Assembly-ish names accepted by the loop DSL: [ld.i], [st.i], [ld.f],
     [st.f], [add.i], [add.f], [mul.i], [mul.f], [div.i], [div.f],

@@ -19,7 +19,7 @@ let schedule ~machine ~cycle_time ~loop ?(max_tries = 64) ?(seed = 0) () =
         else begin
           let score a =
             Pseudo.score
-              (Pseudo.estimate ~machine ~clocking ~loop ~assignment:a)
+              (Pseudo.estimate ~machine ~clocking ~loop ~assignment:a ())
           in
           (Partition.run ~n_clusters ~ddg ~seed ~score ()).Partition.assignment
         end

@@ -1,10 +1,16 @@
 open Hcv_ir
 open Hcv_machine
 
+(* Rows are dense arrays indexed by [Opcode.fu_index] — no hashtable
+   probe on the reserve/release/available hot path. *)
 type cluster_table = {
   ii : int;
-  capacity : Opcode.fu_kind -> int;
-  used : (Opcode.fu_kind, int array) Hashtbl.t;
+  caps : int array;  (* capacity per fu-kind index *)
+  used : int array array;  (* occupancy per fu-kind index, length ii *)
+  free_slots : int array;
+      (* per fu-kind index: number of modulo slots with spare capacity.
+         Zero means every candidate cycle is rejected, which the
+         schedulers use to fail congested placements without scanning. *)
 }
 
 type t = {
@@ -12,6 +18,10 @@ type t = {
   bus_ii : int;
   bus_capacity : int;
   bus_used : int array;
+  mutable bus_free_slots : int;  (* modulo slots with spare bus capacity *)
+  mutable bus_ff : int;
+      (* verified-full prefix: every cycle < bus_ff has a full bus slot.
+         Lets the slot search skip the front of the window. *)
 }
 
 let create machine clocking =
@@ -21,11 +31,16 @@ let create machine clocking =
     Array.mapi
       (fun i cluster ->
         let ii = clocking.Clocking.cluster_ii.(i) in
-        let used = Hashtbl.create 4 in
+        let caps = Array.make Opcode.n_fu_kinds 0 in
         List.iter
-          (fun kind -> Hashtbl.replace used kind (Array.make ii 0))
+          (fun kind ->
+            caps.(Opcode.fu_index kind) <- Cluster.fu_count cluster kind)
           Opcode.all_fu_kinds;
-        { ii; capacity = Cluster.fu_count cluster; used })
+        let used = Array.init Opcode.n_fu_kinds (fun _ -> Array.make ii 0) in
+        let free_slots =
+          Array.map (fun cap -> if cap > 0 then ii else 0) caps
+        in
+        { ii; caps; used; free_slots })
       machine.Machine.clusters
   in
   {
@@ -33,33 +48,37 @@ let create machine clocking =
     bus_ii = clocking.Clocking.icn_ii;
     bus_capacity = machine.Machine.icn.Icn.buses;
     bus_used = Array.make clocking.Clocking.icn_ii 0;
+    bus_free_slots =
+      (if machine.Machine.icn.Icn.buses > 0 then clocking.Clocking.icn_ii
+       else 0);
+    bus_ff = 0;
   }
 
 let slot_of ii cycle =
   if cycle < 0 then invalid_arg "Mrt: negative cycle";
   cycle mod ii
 
-let row ct kind =
-  match Hashtbl.find_opt ct.used kind with
-  | Some r -> r
-  | None -> invalid_arg "Mrt: unknown fu kind"
-
 let fu_available t ~cluster ~kind ~cycle =
   let ct = t.clusters.(cluster) in
-  (row ct kind).(slot_of ct.ii cycle) < ct.capacity kind
+  let k = Opcode.fu_index kind in
+  ct.used.(k).(slot_of ct.ii cycle) < ct.caps.(k)
 
 let fu_reserve t ~cluster ~kind ~cycle =
   let ct = t.clusters.(cluster) in
-  let r = row ct kind in
+  let k = Opcode.fu_index kind in
+  let r = ct.used.(k) in
   let s = slot_of ct.ii cycle in
-  if r.(s) >= ct.capacity kind then invalid_arg "Mrt.fu_reserve: slot full";
-  r.(s) <- r.(s) + 1
+  if r.(s) >= ct.caps.(k) then invalid_arg "Mrt.fu_reserve: slot full";
+  r.(s) <- r.(s) + 1;
+  if r.(s) = ct.caps.(k) then ct.free_slots.(k) <- ct.free_slots.(k) - 1
 
 let fu_release t ~cluster ~kind ~cycle =
   let ct = t.clusters.(cluster) in
-  let r = row ct kind in
+  let r = ct.used.(Opcode.fu_index kind) in
   let s = slot_of ct.ii cycle in
   if r.(s) <= 0 then invalid_arg "Mrt.fu_release: slot empty";
+  let k = Opcode.fu_index kind in
+  if r.(s) = ct.caps.(k) then ct.free_slots.(k) <- ct.free_slots.(k) + 1;
   r.(s) <- r.(s) - 1
 
 let bus_available t ~cycle = t.bus_used.(slot_of t.bus_ii cycle) < t.bus_capacity
@@ -68,21 +87,65 @@ let bus_reserve t ~cycle =
   let s = slot_of t.bus_ii cycle in
   if t.bus_used.(s) >= t.bus_capacity then
     invalid_arg "Mrt.bus_reserve: slot full";
-  t.bus_used.(s) <- t.bus_used.(s) + 1
+  t.bus_used.(s) <- t.bus_used.(s) + 1;
+  if t.bus_used.(s) = t.bus_capacity then
+    t.bus_free_slots <- t.bus_free_slots - 1
 
 let bus_release t ~cycle =
   let s = slot_of t.bus_ii cycle in
   if t.bus_used.(s) <= 0 then invalid_arg "Mrt.bus_release: slot empty";
-  t.bus_used.(s) <- t.bus_used.(s) - 1
+  if t.bus_used.(s) = t.bus_capacity then
+    t.bus_free_slots <- t.bus_free_slots + 1;
+  t.bus_used.(s) <- t.bus_used.(s) - 1;
+  (* the smallest absolute cycle of the freed congruence class *)
+  if s < t.bus_ff then t.bus_ff <- s
 
-let fu_used t ~cluster ~kind ~slot = (row t.clusters.(cluster) kind).(slot)
+let bus_first_free t ~earliest ~latest =
+  if earliest > latest then None
+  else begin
+    let lo = max 0 earliest in
+    (* Cycles < bus_ff are known full; skipping them cannot change the
+       answer.  Only a scan that starts inside the verified prefix may
+       extend it. *)
+    let start = max lo t.bus_ff in
+    let extend = lo <= t.bus_ff in
+    let rec go b =
+      if b > latest then begin
+        if extend then t.bus_ff <- min (latest + 1) t.bus_ii;
+        None
+      end
+      else if t.bus_used.(b mod t.bus_ii) < t.bus_capacity then begin
+        if extend then t.bus_ff <- b;
+        Some b
+      end
+      else go (b + 1)
+    in
+    go start
+  end
+
+let fu_slots_free t ~cluster ~kind =
+  t.clusters.(cluster).free_slots.(Opcode.fu_index kind)
+
+let bus_slots_free t = t.bus_free_slots
+
+let fu_used t ~cluster ~kind ~slot =
+  t.clusters.(cluster).used.(Opcode.fu_index kind).(slot)
+
 let bus_used t ~slot = t.bus_used.(slot)
 
 let clear t =
   Array.iter
-    (fun ct -> Hashtbl.iter (fun _ r -> Array.fill r 0 (Array.length r) 0) ct.used)
+    (fun ct -> Array.iter (fun r -> Array.fill r 0 (Array.length r) 0) ct.used)
     t.clusters;
-  Array.fill t.bus_used 0 (Array.length t.bus_used) 0
+  Array.iter
+    (fun ct ->
+      Array.iteri
+        (fun k cap -> ct.free_slots.(k) <- (if cap > 0 then ct.ii else 0))
+        ct.caps)
+    t.clusters;
+  Array.fill t.bus_used 0 (Array.length t.bus_used) 0;
+  t.bus_free_slots <- (if t.bus_capacity > 0 then t.bus_ii else 0);
+  t.bus_ff <- 0
 
 let pp ppf t =
   Format.fprintf ppf "@[<v>mrt:";
@@ -91,7 +154,7 @@ let pp ppf t =
       Format.fprintf ppf "@,  C%d (II=%d):" i ct.ii;
       List.iter
         (fun kind ->
-          let r = row ct kind in
+          let r = ct.used.(Opcode.fu_index kind) in
           Format.fprintf ppf " %a=[%s]" Opcode.pp_fu kind
             (String.concat ";" (Array.to_list (Array.map string_of_int r))))
         Opcode.all_fu_kinds)

@@ -26,6 +26,22 @@ val bus_available : t -> cycle:int -> bool
 val bus_reserve : t -> cycle:int -> unit
 val bus_release : t -> cycle:int -> unit
 
+val bus_first_free : t -> earliest:int -> latest:int -> int option
+(** Earliest cycle in [[max 0 earliest, latest]] whose bus slot has
+    spare capacity — the same answer as a linear [bus_available] scan,
+    but starting from an internally tracked verified-full prefix, so
+    repeated searches over a mostly-full window are O(1). *)
+
+val fu_slots_free : t -> cluster:int -> kind:Opcode.fu_kind -> int
+(** Number of modulo slots of one FU row with spare capacity.  Zero
+    means [fu_available] is false at every cycle, so a placement scan
+    can fail immediately. *)
+
+val bus_slots_free : t -> int
+(** Number of bus modulo slots with spare capacity.  Zero means no new
+    transfer can ever be created (and none can move, so the table can
+    no longer change). *)
+
 val fu_used : t -> cluster:int -> kind:Opcode.fu_kind -> slot:int -> int
 (** Occupancy of one column (for tests and pretty-printing). *)
 

@@ -11,74 +11,127 @@ type t = {
 
 let feasible t = t.overflow = 0 && t.back_violations = 0 && t.regs_ok
 
-let estimate ~machine ~clocking ~loop ~assignment =
+exception False
+
+let estimate ?memo ~machine ~clocking ~loop ~assignment () =
   let ddg = loop.Loop.ddg in
   let n = Ddg.n_instrs ddg in
   if Array.length assignment <> n then
     invalid_arg "Pseudo.estimate: assignment arity mismatch";
   let it = clocking.Clocking.it in
+  let memo =
+    match memo with Some m -> m | None -> Timing.Memo.create clocking
+  in
   let buslat = machine.Machine.icn.Icn.latency_cycles in
   let mrt = Mrt.create machine clocking in
   let cyc = Array.make n 0 in
   let placed = Array.make n false in
   let overflow = ref 0 in
+  (* it * d for every distance in the DDG, computed once. *)
+  let it_d =
+    let maxd =
+      Array.fold_left
+        (fun acc (e : Edge.t) -> max acc e.distance)
+        0 (Ddg.edge_array ddg)
+    in
+    Array.init (maxd + 1) (fun d -> Q.mul_int it d)
+  in
   (* One transfer per (producer, destination cluster); moving a transfer
      earlier is always safe for already-served consumers. *)
-  let transfers : (int * int, int ref) Hashtbl.t = Hashtbl.create 16 in
-  let start_of i =
-    Timing.start_time clocking ~cluster:assignment.(i) ~cycle:cyc.(i)
+  let n_clusters = Machine.n_clusters machine in
+  (* One transfer per (producer, destination cluster), in dense arrays
+     keyed by [src * n_clusters + dst].  [tr_arrival] caches the
+     arrival time of the reserved slot: the serve fast path is then a
+     single comparison ([arrival <= need] iff [slot <= latest]). *)
+  let tr_slot = Array.make (n * n_clusters) (-1) in
+  let tr_arrival = Array.make (n * n_clusters) Q.zero in
+  let tr_keys = ref [] in
+  (* Start, value-definition time and earliest bus cycle of every placed
+     instruction, filled in when its cycle is committed: each is read
+     once per incident edge per candidate cycle, so recomputing the Q
+     products every time dominated the estimator. *)
+  let starts = Array.make n Q.zero in
+  let defs = Array.make n Q.zero in
+  let ebus = Array.make n 0 in
+  (* Per-source resume cache for failed bus searches.  A search for
+     src's value always starts at the fixed cycle [ebus.(src)], and bus
+     occupancy only grows between releases, so once [ebus.(src) ..
+     full_upto.(src)] is known fully booked a later search over the
+     same prefix can skip it — O(total window width) scanning per
+     source instead of O(candidates x width).  Any bus release bumps
+     [bus_epoch], conservatively invalidating every cache.
+     [full_bound] is [icn_ct * (full_upto + 1 + buslat)]: [latest <=
+     full_upto] iff [need < full_bound], so the known-full reject is a
+     single comparison with no division. *)
+  let bus_epoch = ref 0 in
+  let scan_epoch = Array.make n (-1) in
+  let full_upto = Array.make n min_int in
+  let full_bound = Array.make n Q.zero in
+  let icn_ct = clocking.Clocking.icn_ct in
+  let set_full_upto src upto =
+    scan_epoch.(src) <- !bus_epoch;
+    full_upto.(src) <- upto;
+    full_bound.(src) <- Q.mul_int icn_ct (upto + 1 + buslat)
   in
   let def_of_edge (e : Edge.t) =
     (* Source definition time under the edge's latency. *)
-    Q.add (start_of e.src)
-      (Q.mul_int
-         (Timing.eff_ct clocking ~cluster:assignment.(e.src)
-            (Ddg.instr ddg e.src))
+    Q.add starts.(e.src)
+      (Timing.Memo.lat_offset memo ~cluster:assignment.(e.src)
+         (Instr.fu (Ddg.instr ddg e.src))
          e.latency)
   in
   (* Plan (without committing) a bus slot in [earliest, latest]; prefer
      the earliest free cycle. *)
-  let find_bus ~earliest ~latest =
-    let rec go b = if b > latest then None
-      else if Mrt.bus_available mrt ~cycle:b then Some b
-      else go (b + 1)
-    in
-    if earliest > latest then None else go (max 0 earliest)
-  in
+  let find_bus ~earliest ~latest = Mrt.bus_first_free mrt ~earliest ~latest in
+  (* Set when a pred could not be served because every bus modulo slot
+     is full and it needs a brand-new transfer.  The bus table cannot
+     change while the current instruction keeps probing later cycles
+     (creating needs a free slot, and moving first finds one), so no
+     candidate cycle can ever serve that pred — the placement loop can
+     jump straight to the overflow outcome it would otherwise reach by
+     exhausting its tries. *)
+  let serve_blocked = ref false in
   (* Serve a cross-cluster value edge for a consumer starting at [need]:
      reuse (or advance) the transfer, or create one.  Returns false when
      no bus slot can make the delivery. *)
   let serve_transfer ~src ~dst_cluster ~need =
-    let key = (src, dst_cluster) in
-    let def = start_of src in
-    let def =
-      Q.add def
-        (Q.mul_int
-           (Timing.eff_ct clocking ~cluster:assignment.(src)
-              (Ddg.instr ddg src))
-           (Instr.latency (Ddg.instr ddg src)))
-    in
-    let earliest = Timing.earliest_bus_cycle clocking ~def_time:def in
-    let latest = Timing.latest_bus_cycle clocking ~buslat ~need in
-    match Hashtbl.find_opt transfers key with
-    | Some b when !b <= latest -> true
-    | Some b -> (
-      (* Existing transfer arrives too late for this consumer; try to
-         move it earlier (earlier arrival serves everyone). *)
-      match find_bus ~earliest ~latest with
+    let key = (src * n_clusters) + dst_cluster in
+    let b = tr_slot.(key) in
+    if b >= 0 && Q.( <= ) tr_arrival.(key) need then true
+    else if Mrt.bus_slots_free mrt = 0 then begin
+      (* Every modulo slot is full, so the window scan below cannot
+         succeed whatever the window is. *)
+      if b < 0 then serve_blocked := true;
+      false
+    end
+    else if scan_epoch.(src) = !bus_epoch && Q.( < ) need full_bound.(src)
+    then false (* the whole [ebus.(src), latest] window is known full *)
+    else begin
+      (* No transfer yet, or the existing one arrives too late for this
+         consumer; find a slot that delivers in time (moving a transfer
+         earlier is always safe for already-served consumers). *)
+      let latest = Timing.latest_bus_cycle clocking ~buslat ~need in
+      let from =
+        if scan_epoch.(src) = !bus_epoch then
+          max ebus.(src) (full_upto.(src) + 1)
+        else ebus.(src)
+      in
+      match find_bus ~earliest:from ~latest with
       | Some b' ->
-        Mrt.bus_release mrt ~cycle:!b;
+        set_full_upto src (b' - 1);
+        if b >= 0 then begin
+          Mrt.bus_release mrt ~cycle:b;
+          incr bus_epoch
+        end
+        else tr_keys := (src, dst_cluster) :: !tr_keys;
         Mrt.bus_reserve mrt ~cycle:b';
-        b := b';
+        tr_slot.(key) <- b';
+        tr_arrival.(key) <- Timing.bus_arrival clocking ~buslat ~bus_cycle:b';
         true
-      | None -> false)
-    | None -> (
-      match find_bus ~earliest ~latest with
-      | Some b ->
-        Mrt.bus_reserve mrt ~cycle:b;
-        Hashtbl.replace transfers key (ref b);
-        true
-      | None -> false)
+      | None ->
+        set_full_upto src latest;
+        false
+    end
   in
   (* Greedy placement in topological order of the acyclic subgraph. *)
   List.iter
@@ -88,72 +141,97 @@ let estimate ~machine ~clocking ~loop ~assignment =
       let kind = Instr.fu ins in
       let ii = clocking.Clocking.cluster_ii.(c) in
       let ready =
-        List.fold_left
+        Ddg.fold_preds ddg i
           (fun acc (e : Edge.t) ->
             if not placed.(e.src) then acc
             else begin
-              let def = def_of_edge e in
               let r =
                 if assignment.(e.src) = c then
-                  Timing.dep_ready_same clocking ~it ~def_time:def
-                    ~distance:e.distance
+                  Timing.dep_ready_same clocking ~it
+                    ~def_time:(def_of_edge e) ~distance:e.distance
                 else if Edge.carries_value e then
                   (* Earliest conceivable arrival through the bus. *)
+                  let bus_cycle =
+                    if e.latency = Instr.latency (Ddg.instr ddg e.src) then
+                      ebus.(e.src)
+                    else
+                      Timing.earliest_bus_cycle clocking
+                        ~def_time:(def_of_edge e)
+                  in
                   Q.sub
-                    (Timing.bus_arrival clocking ~buslat
-                       ~bus_cycle:
-                         (Timing.earliest_bus_cycle clocking ~def_time:def))
-                    (Q.mul_int it e.distance)
+                    (Timing.bus_arrival clocking ~buslat ~bus_cycle)
+                    it_d.(e.distance)
                 else
                   Q.sub
-                    (Q.add def (Timing.sync_penalty clocking))
-                    (Q.mul_int it e.distance)
+                    (Q.add (def_of_edge e) (Timing.sync_penalty clocking))
+                    it_d.(e.distance)
               in
               Q.max acc r
             end)
-          Q.zero (Ddg.preds ddg i)
+          Q.zero
       in
       let e0 = Timing.earliest_cycle clocking ~cluster:c ~ready in
       let try_cycle k =
+        serve_blocked := false;
         if not (Mrt.fu_available mrt ~cluster:c ~kind ~cycle:k) then false
         else begin
           (* Tentatively adopt cycle k to compute consumer needs. *)
           let prev = cyc.(i) in
           cyc.(i) <- k;
+          let start_i = Timing.Memo.start_time memo ~cluster:c ~cycle:k in
           let ok =
-            List.for_all
-              (fun (e : Edge.t) ->
-                (not placed.(e.src))
-                || assignment.(e.src) = c
-                || (not (Edge.carries_value e))
-                ||
-                let need = Q.add (start_of i) (Q.mul_int it e.distance) in
-                serve_transfer ~src:e.src ~dst_cluster:c ~need)
-              (Ddg.preds ddg i)
+            match
+              Ddg.iter_preds ddg i (fun (e : Edge.t) ->
+                  let served =
+                    (not placed.(e.src))
+                    || assignment.(e.src) = c
+                    || (not (Edge.carries_value e))
+                    ||
+                    let need = Q.add start_i it_d.(e.distance) in
+                    serve_transfer ~src:e.src ~dst_cluster:c ~need
+                  in
+                  if not served then raise_notrace False)
+            with
+            | () -> true
+            | exception False -> false
           in
           if not ok then cyc.(i) <- prev;
           ok
         end
       in
+      let overbook () =
+        (* Overbook at the dependence-ready cycle. *)
+        incr overflow;
+        cyc.(i) <- e0
+      in
       let rec place k tries =
-        if tries = 0 then begin
-          (* Overbook at the dependence-ready cycle. *)
-          incr overflow;
-          cyc.(i) <- e0
-        end
+        if tries = 0 then overbook ()
         else if try_cycle k then Mrt.fu_reserve mrt ~cluster:c ~kind ~cycle:k
+        else if !serve_blocked then
+          (* A pred needs a new transfer on a saturated bus; no later
+             cycle can change that, so the try loop would fail them
+             all and overbook anyway. *)
+          overbook ()
         else place (k + 1) (tries - 1)
       in
-      place e0 (max ii 1);
+      if Mrt.fu_slots_free mrt ~cluster:c ~kind = 0 then
+        (* Every modulo slot of this FU row is full: [try_cycle] fails
+           its availability check at every candidate, so skip straight
+           to the identical overbooked outcome. *)
+        overbook ()
+      else place e0 (max ii 1);
+      starts.(i) <- Timing.Memo.start_time memo ~cluster:c ~cycle:cyc.(i);
+      defs.(i) <- Q.add starts.(i) (Timing.Memo.def_offset memo ~cluster:c ins);
+      ebus.(i) <- Timing.earliest_bus_cycle clocking ~def_time:defs.(i);
       placed.(i) <- true)
     (Ddg.topo_order ddg);
   (* Loop-carried dependences: check, and reserve buses for the value
      transfers the greedy forward pass did not see. *)
   let back_violations = ref 0 in
-  List.iter
+  Array.iter
     (fun (e : Edge.t) ->
       if e.distance > 0 then begin
-        let lhs = Q.add (start_of e.dst) (Q.mul_int it e.distance) in
+        let lhs = Q.add starts.(e.dst) it_d.(e.distance) in
         let def = def_of_edge e in
         if assignment.(e.src) = assignment.(e.dst) then begin
           if Q.( < ) lhs def then incr back_violations
@@ -165,16 +243,20 @@ let estimate ~machine ~clocking ~loop ~assignment =
         else if Q.( < ) lhs (Q.add def (Timing.sync_penalty clocking)) then
           incr back_violations
       end)
-    (Ddg.edges ddg);
+    (Ddg.edge_array ddg);
   let placements =
     Array.init n (fun i ->
         { Schedule.cluster = assignment.(i); cycle = cyc.(i) })
   in
   let transfer_list =
-    Hashtbl.fold
-      (fun (src, dst_cluster) b acc ->
-        { Schedule.src; dst_cluster; bus_cycle = !b } :: acc)
-      transfers []
+    List.map
+      (fun (src, dst_cluster) ->
+        {
+          Schedule.src;
+          dst_cluster;
+          bus_cycle = tr_slot.((src * n_clusters) + dst_cluster);
+        })
+      !tr_keys
     |> List.sort Stdlib.compare
   in
   let schedule =

@@ -23,8 +23,8 @@ val feasible : t -> bool
 (** No overflow, no violated back edge, registers fit. *)
 
 val estimate :
-  machine:Machine.t -> clocking:Clocking.t -> loop:Loop.t
-  -> assignment:int array -> t
+  ?memo:Timing.Memo.t -> machine:Machine.t -> clocking:Clocking.t
+  -> loop:Loop.t -> assignment:int array -> unit -> t
 (** Greedily place every instruction on its assigned cluster in
     topological order (earliest dependence-ready cycle, scanning one II
     window, reserving buses for cross-cluster values). *)
@@ -33,3 +33,4 @@ val score : t -> float
 (** Schedulability-first scalar for homogeneous partition refinement
     (lower is better): overflow and broken recurrences dominate, then
     register feasibility, then communications, then iteration length. *)
+

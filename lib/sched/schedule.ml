@@ -71,43 +71,38 @@ let n_mem t =
 let lifetimes_ns t =
   let ddg = t.loop.Loop.ddg in
   let it = t.clocking.Clocking.it in
+  let n = Array.length t.placements in
   let spans = Array.make (Machine.n_clusters t.machine) Q.zero in
+  (* Start times are read once per incident value edge below; transfers
+     are bucketed by source so each instruction only visits its own. *)
+  let starts = Array.init n (fun i -> start_time t i) in
+  let by_src = Array.make n [] in
+  List.iter (fun (tr : transfer) -> by_src.(tr.src) <- tr :: by_src.(tr.src))
+    t.transfers;
+  let last_read ~cluster i death0 =
+    Ddg.fold_succs ddg i
+      (fun death (e : Edge.t) ->
+        if Edge.carries_value e && t.placements.(e.dst).cluster = cluster then
+          Q.max death (Q.add starts.(e.dst) (Q.mul_int it e.distance))
+        else death)
+      death0
+  in
   Array.iteri
     (fun i p ->
       let birth = def_time t i in
-      let death = ref birth in
-      List.iter
-        (fun (e : Edge.t) ->
-          if Edge.carries_value e && t.placements.(e.dst).cluster = p.cluster
-          then
-            death :=
-              Q.max !death
-                (Q.add (start_time t e.dst) (Q.mul_int it e.distance)))
-        (Ddg.succs ddg i);
+      let death = ref (last_read ~cluster:p.cluster i birth) in
       List.iter
         (fun (tr : transfer) ->
-          if tr.src = i then
-            death :=
-              Q.max !death
-                (Q.mul_int t.clocking.Clocking.icn_ct tr.bus_cycle))
-        t.transfers;
+          death :=
+            Q.max !death (Q.mul_int t.clocking.Clocking.icn_ct tr.bus_cycle))
+        by_src.(i);
       spans.(p.cluster) <- Q.add spans.(p.cluster) (Q.sub !death birth))
     t.placements;
   List.iter
     (fun (tr : transfer) ->
       let birth = arrival t tr in
-      let death = ref birth in
-      List.iter
-        (fun (e : Edge.t) ->
-          if
-            Edge.carries_value e
-            && t.placements.(e.dst).cluster = tr.dst_cluster
-          then
-            death :=
-              Q.max !death
-                (Q.add (start_time t e.dst) (Q.mul_int it e.distance)))
-        (Ddg.succs ddg tr.src);
-      spans.(tr.dst_cluster) <- Q.add spans.(tr.dst_cluster) (Q.sub !death birth))
+      let death = last_read ~cluster:tr.dst_cluster tr.src birth in
+      spans.(tr.dst_cluster) <- Q.add spans.(tr.dst_cluster) (Q.sub death birth))
     t.transfers;
   spans
 

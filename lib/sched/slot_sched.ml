@@ -9,41 +9,61 @@ let failure_to_string = function
   | Positive_cycle -> "recurrence cannot meet the initiation time"
   | Register_pressure -> "register lifetimes exceed the register files"
 
-(* Edge weight in time: source's latency at its cluster's effective
-   cycle time, minus the iterations the dependence spans. *)
-let edge_weight clocking ddg assignment (e : Edge.t) =
-  Q.sub
-    (Q.mul_int
-       (Timing.eff_ct clocking ~cluster:assignment.(e.src) (Ddg.instr ddg e.src))
-       e.latency)
-    (Q.mul_int clocking.Clocking.it e.distance)
+(* Early-exit iteration over CSR adjacency — the hot-path replacement
+   for List.for_all over the legacy edge lists (same visit order). *)
+exception False
+
+let forall_preds ddg i f =
+  match
+    Ddg.iter_preds ddg i (fun e -> if not (f e) then raise_notrace False)
+  with
+  | () -> true
+  | exception False -> false
+
+let forall_succs ddg i f =
+  match
+    Ddg.iter_succs ddg i (fun e -> if not (f e) then raise_notrace False)
+  with
+  | () -> true
+  | exception False -> false
 
 (* Longest time-path from each node to any node (its "height"): the
    classical scheduling priority, here over rational time.  Returns
    None when a positive cycle exists (the IT is below what the
-   partitioned recurrences need). *)
-let heights clocking ddg assignment =
+   partitioned recurrences need).  Edge weights (source latency at its
+   cluster's effective cycle time minus the iterations the dependence
+   spans) are precomputed once; the relaxation rounds then only add. *)
+let heights memo ddg assignment =
+  let clocking = Timing.Memo.clocking memo in
   let n = Ddg.n_instrs ddg in
   let h =
     Array.init n (fun i ->
-        let ins = Ddg.instr ddg i in
-        Q.mul_int
-          (Timing.eff_ct clocking ~cluster:assignment.(i) ins)
-          (Instr.latency ins))
+        Timing.Memo.def_offset memo ~cluster:assignment.(i) (Ddg.instr ddg i))
+  in
+  let edge_arr = Ddg.edge_array ddg in
+  let weights =
+    Array.map
+      (fun (e : Edge.t) ->
+        Q.sub
+          (Timing.Memo.lat_offset memo ~cluster:assignment.(e.src)
+             (Instr.fu (Ddg.instr ddg e.src))
+             e.latency)
+          (Q.mul_int clocking.Clocking.it e.distance))
+      edge_arr
   in
   let changed = ref true in
   let rounds = ref 0 in
   while !changed && !rounds <= n do
     changed := false;
     incr rounds;
-    List.iter
-      (fun (e : Edge.t) ->
-        let cand = Q.add (edge_weight clocking ddg assignment e) h.(e.dst) in
+    Array.iteri
+      (fun k (e : Edge.t) ->
+        let cand = Q.add weights.(k) h.(e.dst) in
         if Q.( > ) cand h.(e.src) then begin
           h.(e.src) <- cand;
           changed := true
         end)
-      (Ddg.edges ddg)
+      edge_arr
   done;
   if !changed then None else Some h
 
@@ -55,6 +75,7 @@ type transfer_state = {
 type state = {
   machine : Machine.t;
   clocking : Clocking.t;
+  memo : Timing.Memo.t;
   loop : Loop.t;
   assignment : int array;
   buslat : int;
@@ -62,6 +83,7 @@ type state = {
   placed : bool array;
   cyc : int array;
   last_forced : int array;
+  it_d : Q.t array;  (* it * distance, for the distances in the DDG *)
   transfers : (int * int, transfer_state) Hashtbl.t;
       (* (producer, destination cluster) -> bus slot *)
 }
@@ -70,27 +92,26 @@ let ddg st = st.loop.Loop.ddg
 let it st = st.clocking.Clocking.it
 let instr st i = Ddg.instr (ddg st) i
 
+let it_mul st d =
+  if d < Array.length st.it_d then st.it_d.(d) else Q.mul_int (it st) d
+
 let start_of st i =
-  Timing.start_time st.clocking ~cluster:st.assignment.(i) ~cycle:st.cyc.(i)
+  Timing.Memo.start_time st.memo ~cluster:st.assignment.(i) ~cycle:st.cyc.(i)
 
 (* Definition time of [src] under edge latency [lat]. *)
 let def_of st src lat =
   Q.add (start_of st src)
-    (Q.mul_int
-       (Timing.eff_ct st.clocking ~cluster:st.assignment.(src) (instr st src))
+    (Timing.Memo.lat_offset st.memo ~cluster:st.assignment.(src)
+       (Instr.fu (instr st src))
        lat)
 
-let value_def st src = def_of st src (Instr.latency (instr st src))
+let value_def st src =
+  Q.add (start_of st src)
+    (Timing.Memo.def_offset st.memo ~cluster:st.assignment.(src) (instr st src))
 
 (* ----- transfer management ------------------------------------- *)
 
-let find_bus st ~earliest ~latest =
-  let rec go b =
-    if b > latest then None
-    else if Mrt.bus_available st.mrt ~cycle:b then Some b
-    else go (b + 1)
-  in
-  if earliest > latest then None else go (max 0 earliest)
+let find_bus st ~earliest ~latest = Mrt.bus_first_free st.mrt ~earliest ~latest
 
 (* Ensure the value of [src] reaches [dst_cluster] by [need].  Commits
    bus reservations; records an undo thunk in [undo].  The transfer's
@@ -157,8 +178,7 @@ let drop_transfers st i =
     dead;
   (* As consumer: release one use of each incoming cross-cluster value. *)
   let c = st.assignment.(i) in
-  List.iter
-    (fun (e : Edge.t) ->
+  Ddg.iter_preds (ddg st) i (fun (e : Edge.t) ->
       if
         Edge.carries_value e && st.placed.(e.src)
         && st.assignment.(e.src) <> c
@@ -170,9 +190,7 @@ let drop_transfers st i =
             Mrt.bus_release st.mrt ~cycle:ts.bus_cycle;
             Hashtbl.remove st.transfers (e.src, c)
           end
-        | None -> ()
-      )
-    (Ddg.preds (ddg st) i)
+        | None -> ())
 
 let unplace st i =
   assert st.placed.(i);
@@ -187,7 +205,7 @@ let unplace st i =
 (* Earliest start time of [i] implied by its placed predecessors. *)
 let ready_time st i =
   let c = st.assignment.(i) in
-  List.fold_left
+  Ddg.fold_preds (ddg st) i
     (fun acc (e : Edge.t) ->
       if not st.placed.(e.src) then acc
       else begin
@@ -202,16 +220,15 @@ let ready_time st i =
                  ~bus_cycle:
                    (Timing.earliest_bus_cycle st.clocking
                       ~def_time:(value_def st e.src)))
-              (Q.mul_int (it st) e.distance)
+              (it_mul st e.distance)
           else
             Q.sub
               (Q.add def (Timing.sync_penalty st.clocking))
-              (Q.mul_int (it st) e.distance)
+              (it_mul st e.distance)
         in
         Q.max acc r
       end)
     Q.zero
-    (Ddg.preds (ddg st) i)
 
 (* Try to place [i] at cycle [k]; commits on success, rolls back on
    failure.  [check_succs] distinguishes the normal path (all placed
@@ -232,28 +249,23 @@ let try_place st i k =
       st.cyc.(i) <- prev_cyc
     in
     let ok_preds =
-      List.for_all
-        (fun (e : Edge.t) ->
+      forall_preds (ddg st) i (fun (e : Edge.t) ->
           if not st.placed.(e.src) || e.src = i then true
           else begin
-            let lhs = Q.add (start_of st i) (Q.mul_int (it st) e.distance) in
+            let lhs = Q.add (start_of st i) (it_mul st e.distance) in
             let def = def_of st e.src e.latency in
             if st.assignment.(e.src) = c then Q.( >= ) lhs def
             else if Edge.carries_value e then
               serve_transfer st ~undo ~src:e.src ~dst_cluster:c ~need:lhs
             else Q.( >= ) lhs (Q.add def (Timing.sync_penalty st.clocking))
           end)
-        (Ddg.preds (ddg st) i)
     in
     let ok_succs =
       ok_preds
-      && List.for_all
-           (fun (e : Edge.t) ->
+      && forall_succs (ddg st) i (fun (e : Edge.t) ->
              if not st.placed.(e.dst) || e.dst = i then true
              else begin
-               let lhs =
-                 Q.add (start_of st e.dst) (Q.mul_int (it st) e.distance)
-               in
+               let lhs = Q.add (start_of st e.dst) (it_mul st e.distance) in
                let def = def_of st i e.latency in
                if st.assignment.(e.dst) = c then Q.( >= ) lhs def
                else if Edge.carries_value e then
@@ -261,20 +273,17 @@ let try_place st i k =
                    ~dst_cluster:st.assignment.(e.dst) ~need:lhs
                else Q.( >= ) lhs (Q.add def (Timing.sync_penalty st.clocking))
              end)
-           (Ddg.succs (ddg st) i)
     in
     (* Self edges (i -> i): pure IT feasibility, checked in both lists
        above via the e.src = i / e.dst = i guards being skipped -- check
        them here explicitly. *)
     let ok_self =
       ok_succs
-      && List.for_all
-           (fun (e : Edge.t) ->
+      && forall_succs (ddg st) i (fun (e : Edge.t) ->
              e.dst <> i
              || Q.( >= )
-                  (Q.add (start_of st i) (Q.mul_int (it st) e.distance))
+                  (Q.add (start_of st i) (it_mul st e.distance))
                   (def_of st i e.latency))
-           (Ddg.succs (ddg st) i)
     in
     if ok_self then begin
       Mrt.fu_reserve st.mrt ~cluster:c ~kind ~cycle:k;
@@ -328,7 +337,7 @@ let force_place st i k =
      breaks (or whose transfer cannot be scheduled). *)
   let check_edge (e : Edge.t) =
     if st.placed.(e.src) && st.placed.(e.dst) then begin
-      let lhs = Q.add (start_of st e.dst) (Q.mul_int (it st) e.distance) in
+      let lhs = Q.add (start_of st e.dst) (it_mul st e.distance) in
       let def = def_of st e.src e.latency in
       let other = if e.src = i then e.dst else e.src in
       if e.src = e.dst then begin
@@ -350,8 +359,8 @@ let force_place st i k =
         evict other
     end
   in
-  List.iter check_edge (Ddg.preds (ddg st) i);
-  List.iter check_edge (Ddg.succs (ddg st) i);
+  Ddg.iter_preds (ddg st) i check_edge;
+  Ddg.iter_succs (ddg st) i check_edge;
   !evicted
 
 let contains_substring s sub =
@@ -369,17 +378,17 @@ let rebuild_transfers st =
   Hashtbl.reset st.transfers;
   (* Collect the tightest deadline per (src, dst cluster). *)
   let needs : (int * int, Q.t) Hashtbl.t = Hashtbl.create 16 in
-  List.iter
+  Array.iter
     (fun (e : Edge.t) ->
       if Edge.carries_value e && st.assignment.(e.src) <> st.assignment.(e.dst)
       then begin
         let key = (e.src, st.assignment.(e.dst)) in
-        let lhs = Q.add (start_of st e.dst) (Q.mul_int (it st) e.distance) in
+        let lhs = Q.add (start_of st e.dst) (it_mul st e.distance) in
         match Hashtbl.find_opt needs key with
         | Some prev when Q.( <= ) prev lhs -> ()
         | Some _ | None -> Hashtbl.replace needs key lhs
       end)
-    (Ddg.edges (ddg st));
+    (Ddg.edge_array (ddg st));
   let ordered =
     Hashtbl.fold (fun key need acc -> (need, key) :: acc) needs []
     |> List.sort (fun (a, ka) (b, kb) ->
@@ -404,18 +413,29 @@ let rebuild_transfers st =
   in
   if ok then Ok () else Error ()
 
+(* it * d for every distance in the DDG, precomputed. *)
+let it_table clocking ddg =
+  let maxd =
+    Array.fold_left
+      (fun acc (e : Edge.t) -> max acc e.distance)
+      0 (Ddg.edge_array ddg)
+  in
+  Array.init (maxd + 1) (fun d -> Q.mul_int clocking.Clocking.it d)
+
 let run ~machine ~clocking ~loop ~assignment ?(budget_factor = 16) () =
   let ddg_ = loop.Loop.ddg in
   let n = Ddg.n_instrs ddg_ in
   if Array.length assignment <> n then
     invalid_arg "Slot_sched.run: assignment arity mismatch";
-  match heights clocking ddg_ assignment with
+  let memo = Timing.Memo.create clocking in
+  match heights memo ddg_ assignment with
   | None -> Error Positive_cycle
   | Some h ->
     let st =
       {
         machine;
         clocking;
+        memo;
         loop;
         assignment;
         buslat = machine.Machine.icn.Icn.latency_cycles;
@@ -423,6 +443,7 @@ let run ~machine ~clocking ~loop ~assignment ?(budget_factor = 16) () =
         placed = Array.make n false;
         cyc = Array.make n 0;
         last_forced = Array.make n (-1);
+        it_d = it_table clocking ddg_;
         transfers = Hashtbl.create 16;
       }
     in

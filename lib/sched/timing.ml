@@ -16,22 +16,73 @@ let def_time clocking ~cluster ~cycle ins =
 
 let earliest_bus_cycle clocking ~def_time =
   (* One sync cycle: the transfer may start at the first ICN cycle
-     boundary at least one ICN cycle after the value is ready. *)
-  let ct = clocking.Clocking.icn_ct in
-  max 0 (Q.ceil (Q.div (Q.add def_time ct) ct))
+     boundary at least one ICN cycle after the value is ready;
+     ceil((def + ct) / ct) = ceil(def / ct) + 1. *)
+  max 0 (Q.ceil_div def_time clocking.Clocking.icn_ct + 1)
 
 let latest_bus_cycle clocking ~buslat ~need =
-  let ct = clocking.Clocking.icn_ct in
-  Q.floor (Q.div need ct) - buslat
+  Q.floor_div need clocking.Clocking.icn_ct - buslat
 
 let bus_arrival clocking ~buslat ~bus_cycle =
   Q.mul_int clocking.Clocking.icn_ct (bus_cycle + buslat)
 
 let earliest_cycle clocking ~cluster ~ready =
-  let ct = clocking.Clocking.cluster_ct.(cluster) in
-  max 0 (Q.ceil (Q.div ready ct))
+  max 0 (Q.ceil_div ready clocking.Clocking.cluster_ct.(cluster))
 
 let dep_ready_same _clocking ~it ~def_time ~distance =
   Q.sub def_time (Q.mul_int it distance)
 
 let sync_penalty clocking = clocking.Clocking.icn_ct
+
+(* Precomputed per-(cluster, kind, latency) timing quantities for one
+   fixed clocking — the schedulers query these once per edge visit, so
+   re-deriving the Q products (gcd normalisations included) on every
+   call dominated the hot path. *)
+module Memo = struct
+  type t = {
+    clocking : Clocking.t;
+    eff_cts : Q.t array array;  (* cluster × fu-kind index *)
+    def_offsets : Q.t array array array;
+        (* cluster × fu-kind index × latency: eff_ct * latency *)
+  }
+
+  let max_latency =
+    List.fold_left (fun acc op -> max acc (Opcode.latency op)) 0 Opcode.all
+
+  let create clocking =
+    let n = Clocking.n_clusters clocking in
+    let eff_cts =
+      Array.init n (fun cluster ->
+          let ct = clocking.Clocking.cluster_ct.(cluster) in
+          Array.init Opcode.n_fu_kinds (fun k ->
+              if k = Opcode.fu_index Opcode.Mem_port then
+                Q.max ct clocking.Clocking.cache_ct
+              else ct))
+    in
+    let def_offsets =
+      Array.init n (fun cluster ->
+          Array.init Opcode.n_fu_kinds (fun k ->
+              Array.init (max_latency + 1) (fun lat ->
+                  Q.mul_int eff_cts.(cluster).(k) lat)))
+    in
+    { clocking; eff_cts; def_offsets }
+
+  let clocking t = t.clocking
+
+  let eff_ct t ~cluster kind = t.eff_cts.(cluster).(Opcode.fu_index kind)
+
+  let lat_offset t ~cluster kind lat =
+    let k = Opcode.fu_index kind in
+    let row = t.def_offsets.(cluster).(k) in
+    if lat >= 0 && lat < Array.length row then row.(lat)
+    else Q.mul_int t.eff_cts.(cluster).(k) lat
+
+  let def_offset t ~cluster ins =
+    lat_offset t ~cluster (Instr.fu ins) (Instr.latency ins)
+
+  let start_time t ~cluster ~cycle =
+    Q.mul_int t.clocking.Clocking.cluster_ct.(cluster) cycle
+
+  let def_time t ~cluster ~cycle ins =
+    Q.add (start_time t ~cluster ~cycle) (def_offset t ~cluster ins)
+end

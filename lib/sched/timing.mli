@@ -49,3 +49,26 @@ val dep_ready_same : Clocking.t -> it:Q.t -> def_time:Q.t -> distance:int -> Q.t
 
 val sync_penalty : Clocking.t -> Q.t
 (** One ICN cycle, the cost of crossing clock domains without a bus. *)
+
+(** Precomputed timing quantities for one fixed clocking.  [eff_ct] and
+    the [eff_ct * latency] definition offsets are tabulated per
+    (cluster, fu kind, latency) at creation, so the schedulers' per-edge
+    queries cost an array read instead of a Q multiplication. *)
+module Memo : sig
+  type t
+
+  val create : Clocking.t -> t
+  val clocking : t -> Clocking.t
+
+  val eff_ct : t -> cluster:int -> Opcode.fu_kind -> Q.t
+  (** Equal to {!val:eff_ct} of any instruction of that kind. *)
+
+  val lat_offset : t -> cluster:int -> Opcode.fu_kind -> int -> Q.t
+  (** [eff_ct * lat] for an arbitrary (edge) latency. *)
+
+  val def_offset : t -> cluster:int -> Instr.t -> Q.t
+  (** [eff_ct * latency] — the instruction's definition delay. *)
+
+  val start_time : t -> cluster:int -> cycle:int -> Q.t
+  val def_time : t -> cluster:int -> cycle:int -> Instr.t -> Q.t
+end

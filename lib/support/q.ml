@@ -6,42 +6,95 @@ let lcm a b = if a = 0 || b = 0 then 0 else abs (a / gcd a b * b)
 
 let make num den =
   if den = 0 then invalid_arg "Q.make: zero denominator";
-  let s = if den < 0 then -1 else 1 in
-  let num = s * num and den = s * den in
-  let g = gcd num den in
-  if g = 0 then { num = 0; den = 1 } else { num = num / g; den = den / g }
+  if den = 1 then { num; den = 1 }
+  else begin
+    let s = if den < 0 then -1 else 1 in
+    let num = s * num and den = s * den in
+    let g = gcd num den in
+    if g = 0 then { num = 0; den = 1 } else { num = num / g; den = den / g }
+  end
 
 let of_int n = { num = n; den = 1 }
 let zero = of_int 0
 let one = of_int 1
 let num t = t.num
 let den t = t.den
-let add a b = make ((a.num * b.den) + (b.num * a.den)) (a.den * b.den)
-let sub a b = make ((a.num * b.den) - (b.num * a.den)) (a.den * b.den)
-let mul a b = make (a.num * b.num) (a.den * b.den)
 
-let div a b =
-  if b.num = 0 then raise Division_by_zero;
-  make (a.num * b.den) (a.den * b.num)
+(* Floor/ceil integer division (OCaml [/] truncates toward zero). *)
+let floordiv p q = if p >= 0 then p / q else -(((-p) + q - 1) / q)
+let ceildiv p q = if p <= 0 then -(-p / q) else (p + q - 1) / q
+
+(* Knuth TAOCP 4.5.1: normalise through gcds *before* the
+   cross-multiplications, so intermediates stay within native range for
+   any inputs whose reduced result fits.  The den = 1 fast paths cover
+   the overwhelmingly common integer-cycle arithmetic of the
+   schedulers. *)
+
+let add a b =
+  if a.num = 0 then b
+  else if b.num = 0 then a
+  else if a.den = 1 && b.den = 1 then { num = a.num + b.num; den = 1 }
+  else begin
+    let d1 = gcd_pos a.den b.den in
+    if d1 = 1 then
+      (* denominators coprime: the sum is already in lowest terms *)
+      { num = (a.num * b.den) + (b.num * a.den); den = a.den * b.den }
+    else begin
+      let t = (a.num * (b.den / d1)) + (b.num * (a.den / d1)) in
+      let d2 = gcd t d1 in
+      { num = t / d2; den = a.den / d1 * (b.den / d2) }
+    end
+  end
 
 let neg a = { a with num = -a.num }
+let sub a b = add a (neg b)
+
+let mul a b =
+  if a.den = 1 && b.den = 1 then { num = a.num * b.num; den = 1 }
+  else begin
+    let g1 = gcd a.num b.den and g2 = gcd b.num a.den in
+    {
+      num = a.num / g1 * (b.num / g2);
+      den = a.den / g2 * (b.den / g1);
+    }
+  end
 
 let inv a =
   if a.num = 0 then raise Division_by_zero;
-  make a.den a.num
+  if a.num < 0 then { num = -a.den; den = -a.num }
+  else { num = a.den; den = a.num }
 
-let compare a b = Stdlib.compare (a.num * b.den) (b.num * a.den)
+let div a b =
+  if b.num = 0 then raise Division_by_zero;
+  mul a (inv b)
+
+(* Exact overflow-free comparison: compare integer parts, then recurse
+   on the (inverted) remainder fractions — Euclid's algorithm on the
+   pair, so it terminates and never multiplies. *)
+let rec cmp_pos a b c d =
+  (* a/b vs c/d with a, c >= 0 and b, d > 0 *)
+  let q1 = a / b and q2 = c / d in
+  if q1 <> q2 then Stdlib.compare q1 q2
+  else begin
+    let r1 = a mod b and r2 = c mod d in
+    if r1 = 0 then if r2 = 0 then 0 else -1
+    else if r2 = 0 then 1
+    else cmp_pos d r2 b r1
+  end
+
+let compare a b =
+  if a.den = b.den then Stdlib.compare a.num b.num
+  else if a.num >= 0 && b.num <= 0 then if a.num = 0 && b.num = 0 then 0 else 1
+  else if a.num <= 0 && b.num >= 0 then -1
+  else if a.num > 0 then cmp_pos a.num a.den b.num b.den
+  else cmp_pos (-b.num) b.den (-a.num) a.den
+
 let equal a b = a.num = b.num && a.den = b.den
 let min a b = if compare a b <= 0 then a else b
 let max a b = if compare a b >= 0 then a else b
 let is_integer t = t.den = 1
-
-let floor t =
-  if t.num >= 0 then t.num / t.den
-  else if t.num mod t.den = 0 then t.num / t.den
-  else (t.num / t.den) - 1
-
-let ceil t = -floor (neg t)
+let floor t = if t.den = 1 then t.num else floordiv t.num t.den
+let ceil t = if t.den = 1 then t.num else ceildiv t.num t.den
 let sign t = Stdlib.compare t.num 0
 let to_float t = float_of_int t.num /. float_of_int t.den
 
@@ -69,8 +122,35 @@ let of_float_approx ?(max_den = 1_000_000) f =
     make (if negative then -p else p) q
   end
 
-let mul_int t n = make (t.num * n) t.den
-let div_int t n = make t.num (t.den * n)
+let mul_int t n =
+  if n = 1 then t
+  else if n = 0 then zero
+  else if t.den = 1 then { num = t.num * n; den = 1 }
+  else begin
+    let g = gcd n t.den in
+    { num = t.num * (n / g); den = t.den / g }
+  end
+
+let div_int t n =
+  if n = 0 then invalid_arg "Q.make: zero denominator";
+  let g = gcd t.num n in
+  let num = t.num / g and n = n / g in
+  if n < 0 then { num = -num; den = t.den * -n }
+  else { num; den = t.den * n }
+
+let add_mul_int a b n = add a (mul_int b n)
+
+let floor_div a b =
+  if b.num = 0 then raise Division_by_zero;
+  if a.den = 1 && b.den = 1 then floordiv a.num b.num
+  else begin
+    (* floor((a.num * b.den) / (a.den * b.num)), gcd-reduced first *)
+    let g1 = gcd a.num b.num and g2 = gcd_pos a.den b.den in
+    let p = a.num / g1 * (b.den / g2) and q = a.den / g2 * (b.num / g1) in
+    if q < 0 then floordiv (-p) (-q) else floordiv p q
+  end
+
+let ceil_div a b = -floor_div (neg a) b
 
 let pp ppf t =
   if t.den = 1 then Format.fprintf ppf "%d" t.num

@@ -4,9 +4,11 @@
     are exact rationals so that questions such as "is [it * f] an
     integer?" or "does this frequency belong to the machine's discrete
     grid?" are decidable without floating-point fuzz.  Values are kept in
-    normal form: positive denominator, reduced by gcd.  Magnitudes in
-    this project are tiny (cycle times are small multiples of
-    picoseconds), so native ints never overflow in practice. *)
+    normal form: positive denominator, reduced by gcd.  Arithmetic
+    normalises through gcds *before* cross-multiplying (Knuth TAOCP
+    4.5.1) and comparison uses a Euclid-style remainder descent, so any
+    operation whose reduced operands and result fit in a native int is
+    exact — even when the naive cross products would overflow. *)
 
 type t = private { num : int; den : int }
 
@@ -59,6 +61,18 @@ val of_float_approx : ?max_den:int -> float -> t
 
 val mul_int : t -> int -> t
 val div_int : t -> int -> t
+
+val add_mul_int : t -> t -> int -> t
+(** [add_mul_int a b n] is [add a (mul_int b n)] — the fused
+    "time plus n cycles" step of the schedulers' hot path. *)
+
+val floor_div : t -> t -> int
+(** [floor_div a b = floor (div a b)] without building the intermediate
+    rational.  @raise Division_by_zero if [b] is zero. *)
+
+val ceil_div : t -> t -> int
+(** [ceil_div a b = ceil (div a b)] without building the intermediate
+    rational.  @raise Division_by_zero if [b] is zero. *)
 
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string

@@ -58,6 +58,27 @@ let wide_loop ?(trip = 100) ?(width = 8) () =
   done;
   Loop.make ~trip ~name:"wide" (Ddg.Builder.build b)
 
+(* A seeded random loop: a random DAG over [n] instructions (only
+   forward zero-distance edges, so the acyclicity invariant holds by
+   construction) plus a few loop-carried edges in either direction.
+   Equal seeds give equal loops; used by the property tests that check
+   the indexed hot-path data structures against reference
+   implementations. *)
+let random_loop ?(n = 20) ~seed () =
+  let open Hcv_support in
+  let rng = Rng.create seed in
+  let ops = [ op_add_f; op_add_i; op_mul_f; op_div_f; op_ld; op_st ] in
+  let b = Ddg.Builder.create () in
+  let ids = Array.init n (fun _ -> Ddg.Builder.add_instr b (Rng.pick rng ops)) in
+  for j = 1 to n - 1 do
+    if Rng.chance rng 0.85 then Ddg.Builder.add_edge b ids.(Rng.int rng j) ids.(j);
+    if Rng.chance rng 0.35 then Ddg.Builder.add_edge b ids.(Rng.int rng j) ids.(j);
+    if Rng.chance rng 0.2 then
+      Ddg.Builder.add_edge b ~distance:(1 + Rng.int rng 2) ids.(j)
+        ids.(Rng.int rng j)
+  done;
+  Loop.make ~trip:100 ~name:(Printf.sprintf "rand%d" seed) (Ddg.Builder.build b)
+
 let machine_1bus = Presets.machine_4c ~buses:1
 let machine_2bus = Presets.machine_4c ~buses:2
 

@@ -1,0 +1,249 @@
+(* Equivalence tests for the hot-path data structures of the scheduler
+   perf overhaul: the CSR-indexed DDG view, the flat MRT, the bus
+   first-free pointer, and the Hsched partition-score memo.  Each
+   indexed / cached structure must answer exactly like a
+   straightforward reference implementation on seeded random inputs —
+   the optimisations are required to be behaviour-preserving. *)
+
+open Hcv_support
+open Hcv_ir
+open Hcv_machine
+open Hcv_sched
+open Hcv_core
+
+(* ----- CSR view vs list accessors --------------------------------- *)
+
+let collect iter ddg i =
+  let acc = ref [] in
+  iter ddg i (fun e -> acc := e :: !acc);
+  List.rev !acc
+
+let check_csr name (loop : Loop.t) =
+  let ddg = loop.Loop.ddg in
+  Alcotest.(check bool)
+    (name ^ ": edge_array = edges")
+    true
+    (Array.to_list (Ddg.edge_array ddg) = Ddg.edges ddg);
+  for i = 0 to Ddg.n_instrs ddg - 1 do
+    let succs = Ddg.succs ddg i and preds = Ddg.preds ddg i in
+    Alcotest.(check bool)
+      (Printf.sprintf "%s: iter_succs %d" name i)
+      true
+      (collect Ddg.iter_succs ddg i = succs);
+    Alcotest.(check bool)
+      (Printf.sprintf "%s: iter_preds %d" name i)
+      true
+      (collect Ddg.iter_preds ddg i = preds);
+    Alcotest.(check int)
+      (Printf.sprintf "%s: out_degree %d" name i)
+      (List.length succs) (Ddg.out_degree ddg i);
+    Alcotest.(check int)
+      (Printf.sprintf "%s: in_degree %d" name i)
+      (List.length preds) (Ddg.in_degree ddg i);
+    Alcotest.(check bool)
+      (Printf.sprintf "%s: fold_succs %d" name i)
+      true
+      (List.rev (Ddg.fold_succs ddg i (fun acc e -> e :: acc) []) = succs);
+    Alcotest.(check bool)
+      (Printf.sprintf "%s: fold_preds %d" name i)
+      true
+      (List.rev (Ddg.fold_preds ddg i (fun acc e -> e :: acc) []) = preds)
+  done
+
+let test_csr_fixtures () =
+  check_csr "dotprod" (Builders.dotprod ());
+  check_csr "recurrence" (Builders.recurrence_loop ());
+  check_csr "wide" (Builders.wide_loop ~width:6 ())
+
+let test_csr_random () =
+  for seed = 0 to 24 do
+    check_csr
+      (Printf.sprintf "rand%d" seed)
+      (Builders.random_loop ~n:(5 + (seed mod 20)) ~seed ())
+  done
+
+(* ----- flat MRT vs a hashtable reference -------------------------- *)
+
+(* The reference implementation mirrors what lib/sched/mrt.ml did
+   before the flat rewrite: hashtable-keyed per-slot occupancy
+   counters. *)
+let mrt_replay ~seed ~machine =
+  let rng = Rng.create seed in
+  let ii = 2 + Rng.int rng 6 in
+  let clocking = Clocking.homogeneous ~n_clusters:4 ~ii ~cycle_time:Q.one in
+  let mrt = Mrt.create machine clocking in
+  let used : (int * Opcode.fu_kind * int, int) Hashtbl.t =
+    Hashtbl.create 64
+  in
+  let get k = Option.value ~default:0 (Hashtbl.find_opt used k) in
+  let bus_used = Array.make ii 0 in
+  let buses = machine.Machine.icn.Icn.buses in
+  let cap c kind = Cluster.fu_count (Machine.cluster machine c) kind in
+  for step = 0 to 799 do
+    let c = Rng.int rng 4 in
+    let kind = Rng.pick rng Opcode.all_fu_kinds in
+    let cycle = Rng.int rng (4 * ii) in
+    let slot = cycle mod ii in
+    let ctx = Printf.sprintf "seed %d step %d" seed step in
+    match Rng.int rng 4 with
+    | 0 ->
+      Alcotest.(check bool)
+        (ctx ^ ": fu_available")
+        (get (c, kind, slot) < cap c kind)
+        (Mrt.fu_available mrt ~cluster:c ~kind ~cycle)
+    | 1 ->
+      if Mrt.fu_available mrt ~cluster:c ~kind ~cycle then begin
+        Mrt.fu_reserve mrt ~cluster:c ~kind ~cycle;
+        Hashtbl.replace used (c, kind, slot) (get (c, kind, slot) + 1)
+      end
+    | 2 ->
+      if get (c, kind, slot) > 0 then begin
+        Mrt.fu_release mrt ~cluster:c ~kind ~cycle;
+        Hashtbl.replace used (c, kind, slot) (get (c, kind, slot) - 1)
+      end;
+      Alcotest.(check int)
+        (ctx ^ ": fu_used")
+        (get (c, kind, slot))
+        (Mrt.fu_used mrt ~cluster:c ~kind ~slot)
+    | _ -> (
+      (* Bus traffic plus a first-free query checked against a naive
+         scan over the reference occupancy. *)
+      (match Rng.int rng 3 with
+      | 0 ->
+        Alcotest.(check bool)
+          (ctx ^ ": bus_available")
+          (bus_used.(slot) < buses)
+          (Mrt.bus_available mrt ~cycle)
+      | 1 ->
+        if Mrt.bus_available mrt ~cycle then begin
+          Mrt.bus_reserve mrt ~cycle;
+          bus_used.(slot) <- bus_used.(slot) + 1
+        end
+      | _ ->
+        if bus_used.(slot) > 0 then begin
+          Mrt.bus_release mrt ~cycle;
+          bus_used.(slot) <- bus_used.(slot) - 1
+        end);
+      let earliest = Rng.int_in rng (-2) (2 * ii) in
+      let latest = earliest + Rng.int rng (2 * ii) in
+      let naive =
+        let rec scan c =
+          if c > latest then None
+          else if bus_used.(c mod ii) < buses then Some c
+          else scan (c + 1)
+        in
+        scan (max 0 earliest)
+      in
+      Alcotest.(check (option int))
+        (ctx ^ ": bus_first_free")
+        naive
+        (Mrt.bus_first_free mrt ~earliest ~latest))
+  done
+
+let test_mrt_reference () =
+  for seed = 100 to 111 do
+    mrt_replay ~seed ~machine:Builders.machine_1bus;
+    mrt_replay ~seed:(seed + 1000) ~machine:Builders.machine_2bus
+  done
+
+(* ----- score memo never changes Hsched output --------------------- *)
+
+(* A throwaway model context (scoring only compares candidates). *)
+let ctx =
+  let act =
+    Hcv_energy.Activity.make ~exec_time_ns:1e6
+      ~per_cluster_ins_energy:[| 100.; 100.; 100.; 100. |]
+      ~n_comms:100. ~n_mem:100.
+  in
+  Hcv_energy.Model.ctx ~params:Hcv_energy.Params.default
+    ~units:
+      (Hcv_energy.Units.of_reference ~params:Hcv_energy.Params.default
+         ~n_clusters:4 act)
+    ()
+
+let random_config rng machine =
+  let fast = Rng.pick rng Presets.fast_factors in
+  let slow = Rng.pick rng Presets.slow_factors in
+  let fast_ct = Q.mul Presets.reference_cycle_time fast in
+  let slow_ct = Q.mul fast_ct slow in
+  let n_fast = 1 + Rng.int rng 3 in
+  let pt ct = { Opconfig.cycle_time = ct; vdd = 1.0 } in
+  Opconfig.make ~machine
+    ~cluster_points:
+      (Array.init 4 (fun i -> pt (if i < n_fast then fast_ct else slow_ct)))
+    ~icn_point:(pt fast_ct) ~cache_point:(pt fast_ct)
+
+let prop_score_memo_equiv =
+  QCheck.Test.make ~name:"score memo preserves Hsched.schedule" ~count:25
+    (QCheck.make QCheck.Gen.int) (fun qseed ->
+      let rng = Rng.create qseed in
+      let machine = Builders.machine_1bus in
+      let loop = Builders.random_loop ~n:(5 + Rng.int rng 10) ~seed:qseed () in
+      let config = random_config rng machine in
+      let max_tries = 1 + Rng.int rng 8 in
+      let seed = Rng.int rng 5 in
+      let run score_memo =
+        Hsched.schedule ~ctx ~config ~loop ~max_tries ~seed ~score_memo ()
+      in
+      match (run true, run false) with
+      | Error a, Error b -> a = b
+      | Ok (sa, ta), Ok (sb, tb) ->
+        sa.Schedule.placements = sb.Schedule.placements
+        && sa.Schedule.transfers = sb.Schedule.transfers
+        && ta = tb
+      | _ -> false)
+
+(* ----- pseudo-schedule fixtures: chosen slots unchanged ----------- *)
+
+let pseudo_slots ~machine ~ii loop assignment =
+  let clocking = Clocking.homogeneous ~n_clusters:4 ~ii ~cycle_time:Q.one in
+  let est = Pseudo.estimate ~machine ~clocking ~loop ~assignment () in
+  let s = est.Pseudo.schedule in
+  let places =
+    Array.to_list s.Schedule.placements
+    |> List.mapi (fun i (p : Schedule.placement) ->
+           Printf.sprintf "%d:%d@%d" i p.cluster p.cycle)
+    |> String.concat " "
+  in
+  let comms =
+    List.map
+      (fun (t : Schedule.transfer) ->
+        Printf.sprintf "%d>%d@%d" t.src t.dst_cluster t.bus_cycle)
+      s.Schedule.transfers
+    |> String.concat " "
+  in
+  places ^ (if comms = "" then "" else " | " ^ comms)
+
+let test_pseudo_fixture_slots () =
+  let machine = Builders.machine_1bus in
+  let dot = Builders.dotprod () in
+  Alcotest.(check string)
+    "dotprod slots" "0:0@0 1:0@1 2:0@3 3:0@10"
+    (pseudo_slots ~machine ~ii:6 dot
+       (Array.make (Ddg.n_instrs dot.Loop.ddg) 0));
+  Alcotest.(check string)
+    "dotprod split slots" "0:0@0 1:1@0 2:2@5 3:3@13 | 0>2@3 1>2@4 2>3@12"
+    (pseudo_slots ~machine ~ii:6 dot [| 0; 1; 2; 3 |]);
+  let wide = Builders.wide_loop ~width:4 () in
+  Alcotest.(check string)
+    "wide slots"
+    "0:0@0 1:0@2 2:0@5 3:1@0 4:1@2 5:1@5 6:2@0 7:2@2 8:2@5 9:3@0 10:3@2 11:3@5"
+    (pseudo_slots ~machine ~ii:4 wide
+       (Partition.initial_even ~n_clusters:4 wide.Loop.ddg));
+  let rc = Builders.recurrence_loop () in
+  Alcotest.(check string)
+    "recurrence slots"
+    "0:0@0 1:3@5 2:1@15 3:1@0 4:2@0 5:0@6 6:2@11 | 0>3@4 1>1@14 3>0@3 4>0@5"
+    (pseudo_slots ~machine ~ii:4 rc
+       (Partition.initial_even ~n_clusters:4 rc.Loop.ddg))
+
+let suite =
+  [
+    Alcotest.test_case "CSR view: fixture loops" `Quick test_csr_fixtures;
+    Alcotest.test_case "CSR view: random loops" `Quick test_csr_random;
+    Alcotest.test_case "flat MRT vs hashtable reference" `Quick
+      test_mrt_reference;
+    QCheck_alcotest.to_alcotest prop_score_memo_equiv;
+    Alcotest.test_case "pseudo fixture slots unchanged" `Quick
+      test_pseudo_fixture_slots;
+  ]

@@ -11,7 +11,7 @@ let test_feasible_simple () =
   let loop = Builders.dotprod () in
   let clocking = Clocking.homogeneous ~n_clusters:4 ~ii:6 ~cycle_time:Q.one in
   let assignment = Array.make (Ddg.n_instrs loop.Loop.ddg) 0 in
-  let est = Pseudo.estimate ~machine ~clocking ~loop ~assignment in
+  let est = Pseudo.estimate ~machine ~clocking ~loop ~assignment () in
   Alcotest.(check bool) "feasible" true (Pseudo.feasible est);
   Alcotest.(check int) "no comms on one cluster" 0
     (Schedule.n_comms est.Pseudo.schedule)
@@ -21,7 +21,7 @@ let test_overflow_on_tiny_ii () =
   let loop = Builders.wide_loop ~width:4 () in
   let clocking = Clocking.homogeneous ~n_clusters:4 ~ii:2 ~cycle_time:Q.one in
   let assignment = Array.make (Ddg.n_instrs loop.Loop.ddg) 0 in
-  let est = Pseudo.estimate ~machine ~clocking ~loop ~assignment in
+  let est = Pseudo.estimate ~machine ~clocking ~loop ~assignment () in
   Alcotest.(check bool) "overflow" true (est.Pseudo.overflow > 0);
   Alcotest.(check bool) "infeasible" false (Pseudo.feasible est)
 
@@ -36,7 +36,7 @@ let test_back_violation () =
   let loop = Loop.make ~name:"r" (Ddg.Builder.build b) in
   let clocking = Clocking.homogeneous ~n_clusters:4 ~ii:2 ~cycle_time:Q.one in
   let est =
-    Pseudo.estimate ~machine ~clocking ~loop ~assignment:[| 0; 0 |]
+    Pseudo.estimate ~machine ~clocking ~loop ~assignment:[| 0; 0 |] ()
   in
   Alcotest.(check bool) "back violation" true (est.Pseudo.back_violations > 0)
 
@@ -47,11 +47,12 @@ let test_score_ordering () =
   let tight = Clocking.homogeneous ~n_clusters:4 ~ii:2 ~cycle_time:Q.one in
   let loose = Clocking.homogeneous ~n_clusters:4 ~ii:8 ~cycle_time:Q.one in
   let bad =
-    Pseudo.estimate ~machine ~clocking:tight ~loop ~assignment:(Array.make n 0)
+    Pseudo.estimate ~machine ~clocking:tight ~loop ~assignment:(Array.make n 0) ()
   in
   let good =
     Pseudo.estimate ~machine ~clocking:loose ~loop
       ~assignment:(Partition.initial_even ~n_clusters:4 loop.Loop.ddg)
+      ()
   in
   Alcotest.(check bool) "ordering" true (Pseudo.score good < Pseudo.score bad)
 
@@ -63,7 +64,7 @@ let test_comms_counted () =
   Ddg.Builder.add_edge b x y;
   let loop = Loop.make ~name:"xy" (Ddg.Builder.build b) in
   let clocking = Clocking.homogeneous ~n_clusters:4 ~ii:4 ~cycle_time:Q.one in
-  let est = Pseudo.estimate ~machine ~clocking ~loop ~assignment:[| 0; 2 |] in
+  let est = Pseudo.estimate ~machine ~clocking ~loop ~assignment:[| 0; 2 |] () in
   Alcotest.(check int) "one comm" 1 (Schedule.n_comms est.Pseudo.schedule)
 
 let suite =

@@ -53,6 +53,49 @@ let test_gcd_lcm () =
   Alcotest.(check int) "lcm 4 6" 12 (Q.lcm 4 6);
   Alcotest.(check int) "lcm 0 6" 0 (Q.lcm 0 6)
 
+(* Near-max_int operands: the naive cross-multiplying implementations
+   overflowed silently here; the gcd-normalised ones must stay exact
+   whenever the reduced result fits in a native int. *)
+let test_overflow () =
+  let big = max_int / 2 in
+  (* (big/3) * (3/big) = 1: gcd reduction before multiplying *)
+  Alcotest.(check q) "huge mul cancels" Q.one
+    (Q.mul (Q.make big 3) (Q.make 3 big));
+  (* a + (-a) at a huge denominator *)
+  let a = Q.make 1 big in
+  Alcotest.(check q) "huge add cancels" Q.zero (Q.add a (Q.neg a));
+  (* n/(n+1) vs (n-1)/n at huge n: cross products ~ max_int^2/4 would
+     overflow; the exact comparison must still order them correctly *)
+  let lo = Q.make (big - 1) big and hi = Q.make big (big + 1) in
+  Alcotest.(check int) "huge compare <" (-1) (Q.compare lo hi);
+  Alcotest.(check int) "huge compare >" 1 (Q.compare hi lo);
+  Alcotest.(check int) "huge compare =" 0 (Q.compare hi hi);
+  Alcotest.(check bool) "huge max picks the larger" true
+    (Q.equal hi (Q.max lo hi));
+  (* common-denominator add: d1 = den, no cross product at all *)
+  Alcotest.(check q) "huge same-den add"
+    (Q.make 2 big)
+    (Q.add (Q.make 1 big) (Q.make 1 big));
+  (* sub mirroring add *)
+  Alcotest.(check q) "huge sub" (Q.make 1 big)
+    (Q.sub (Q.make 2 big) (Q.make 1 big));
+  (* near-max integer fast paths *)
+  Alcotest.(check int) "floor of huge int" big (Q.floor (Q.of_int big));
+  Alcotest.(check int) "huge int compare" 1
+    (Q.compare (Q.of_int big) (Q.of_int (big - 1)))
+
+let test_fused_ops () =
+  Alcotest.(check int) "ceil_div 7/2 / 1" 4
+    (Q.ceil_div (Q.make 7 2) Q.one);
+  Alcotest.(check int) "floor_div 7/2 / 1" 3
+    (Q.floor_div (Q.make 7 2) Q.one);
+  Alcotest.(check int) "ceil_div -7/2 / 1" (-3)
+    (Q.ceil_div (Q.make (-7) 2) Q.one);
+  Alcotest.(check q) "add_mul_int" (Q.make 7 2)
+    (Q.add_mul_int (Q.make 1 2) (Q.make 3 2) 2);
+  Alcotest.check_raises "ceil_div by zero" Division_by_zero (fun () ->
+      ignore (Q.ceil_div Q.one Q.zero))
+
 (* Property tests. *)
 
 let arb_q =
@@ -85,6 +128,29 @@ let prop_normal_form =
       let r = Q.add a b in
       Q.den r > 0 && Q.gcd (Q.num r) (Q.den r) = 1)
 
+let prop_compare_vs_float =
+  QCheck.Test.make ~name:"compare agrees with cross-multiplication"
+    ~count:500 (QCheck.pair arb_q arb_q) (fun (a, b) ->
+      (* small operands: the naive cross product is exact and must agree *)
+      let naive =
+        Stdlib.compare (Q.num a * Q.den b) (Q.num b * Q.den a)
+      in
+      Stdlib.compare (Q.compare a b) 0 = Stdlib.compare naive 0)
+
+let prop_fused_div =
+  QCheck.Test.make ~name:"ceil_div/floor_div agree with ceil/floor of div"
+    ~count:500
+    (QCheck.pair arb_q arb_q) (fun (a, b) ->
+      QCheck.assume (Q.sign b <> 0);
+      Q.ceil_div a b = Q.ceil (Q.div a b)
+      && Q.floor_div a b = Q.floor (Q.div a b))
+
+let prop_add_mul_int =
+  QCheck.Test.make ~name:"add_mul_int = add + mul_int" ~count:500
+    (QCheck.triple arb_q arb_q (QCheck.int_range (-50) 50))
+    (fun (a, b, n) ->
+      Q.equal (Q.add_mul_int a b n) (Q.add a (Q.mul_int b n)))
+
 let suite =
   [
     Alcotest.test_case "normalisation" `Quick test_normalisation;
@@ -93,9 +159,14 @@ let suite =
     Alcotest.test_case "comparisons" `Quick test_compare;
     Alcotest.test_case "of_float_approx" `Quick test_of_float_approx;
     Alcotest.test_case "gcd/lcm" `Quick test_gcd_lcm;
+    Alcotest.test_case "near-max_int operands" `Quick test_overflow;
+    Alcotest.test_case "fused ops" `Quick test_fused_ops;
     QCheck_alcotest.to_alcotest prop_add_comm;
     QCheck_alcotest.to_alcotest prop_mul_assoc;
     QCheck_alcotest.to_alcotest prop_floor_ceil;
     QCheck_alcotest.to_alcotest prop_sub_add_inverse;
     QCheck_alcotest.to_alcotest prop_normal_form;
+    QCheck_alcotest.to_alcotest prop_compare_vs_float;
+    QCheck_alcotest.to_alcotest prop_fused_div;
+    QCheck_alcotest.to_alcotest prop_add_mul_int;
   ]
