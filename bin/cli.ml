@@ -368,6 +368,72 @@ let explore_cmd =
       const run $ bench_arg $ buses $ n_loops $ seed $ steps $ jobs $ cache
       $ resume $ csv $ show_config)
 
+(* ----- fuzz: differential testing of the scheduler ------------------ *)
+
+let fuzz_cmd =
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Fuzz seed.") in
+  let cases =
+    Arg.(value & opt int 500 & info [ "cases" ] ~doc:"Number of fuzz cases.")
+  in
+  let jobs =
+    Arg.(
+      value & opt int 1
+      & info [ "jobs"; "j" ] ~docv:"N"
+          ~doc:"Worker domains (1 = serial; the result is identical for any \
+                value).")
+  in
+  let log =
+    Arg.(
+      value & opt (some string) None
+      & info [ "log" ] ~docv:"FILE"
+          ~doc:"Append one JSON record per failure to $(docv) (JSONL).")
+  in
+  let no_shrink =
+    Arg.(
+      value & flag
+      & info [ "no-shrink" ] ~doc:"Log failing cases without minimising them.")
+  in
+  let run seed cases jobs log no_shrink =
+    setup_logs ();
+    let pool = E.Pool.create ~jobs () in
+    let report =
+      Fun.protect
+        ~finally:(fun () -> E.Pool.shutdown pool)
+        (fun () ->
+          Hcv_check.Diff.run ~pool ~shrink:(not no_shrink) ~seed ~cases ())
+    in
+    Format.printf "%a@." Hcv_check.Diff.pp_report report;
+    (match log with
+    | Some path when report.Hcv_check.Diff.failures <> [] ->
+      let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
+      List.iter
+        (fun f ->
+          output_string oc
+            (E.Jsonx.to_string (Hcv_check.Diff.failure_json f));
+          output_char oc '\n')
+        report.Hcv_check.Diff.failures;
+      close_out oc;
+      Printf.eprintf "wrote %d failure records to %s\n%!"
+        (List.length report.Hcv_check.Diff.failures)
+        path
+    | _ -> ());
+    List.iter
+      (fun (f : Hcv_check.Diff.failure) ->
+        Format.printf "@.FAIL seed %d [%s]: %s@.%s@." f.seed
+          (Hcv_check.Diff.category_to_string f.category)
+          f.detail f.repro)
+      report.Hcv_check.Diff.failures;
+    if report.Hcv_check.Diff.failures <> [] then exit 1
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Differentially fuzz the heterogeneous scheduler: random \
+          loops/machines/configurations, checked by the independent \
+          legality oracle, the cycle simulator and the energy/time \
+          estimation models.")
+    Term.(const run $ seed $ cases $ jobs $ log $ no_shrink)
+
 (* ----- simulate: run loops through the cycle simulator ------------- *)
 
 let simulate_cmd =
@@ -507,4 +573,4 @@ let main () =
     (Cmd.eval
        (Cmd.group info
           [ bench_cmd; table2_cmd; schedule_cmd; simulate_cmd; report_cmd; dot_cmd;
-            gen_cmd; explore_cmd; debug_cmd ]))
+            gen_cmd; explore_cmd; fuzz_cmd; debug_cmd ]))

@@ -1,0 +1,428 @@
+(* Seeded random generators and the greedy shrinker.  See gen.mli. *)
+
+open Hcv_support
+open Hcv_ir
+open Hcv_machine
+
+let op_add_f = Opcode.make Opcode.Arith Opcode.Fp
+let op_add_i = Opcode.make Opcode.Arith Opcode.Int
+let op_mul_f = Opcode.make Opcode.Mult Opcode.Fp
+let op_div_f = Opcode.make Opcode.Div Opcode.Fp
+let op_ld = Opcode.make Opcode.Memory Opcode.Fp
+let op_st = Opcode.make Opcode.Memory Opcode.Fp
+
+(* {1 Exemplar loops} — shared with the test suite via test/builders.ml. *)
+
+(* A simple FP dot-product-like loop:
+     a = load; b = load; m = a*b; s = s + m (loop-carried self add). *)
+let dotprod ?(trip = 100) () =
+  let b = Ddg.Builder.create () in
+  let a = Ddg.Builder.add_instr b ~name:"a" op_ld in
+  let b2 = Ddg.Builder.add_instr b ~name:"b" op_ld in
+  let m = Ddg.Builder.add_instr b ~name:"m" op_mul_f in
+  let s = Ddg.Builder.add_instr b ~name:"s" op_add_f in
+  Ddg.Builder.add_edge b a m;
+  Ddg.Builder.add_edge b b2 m;
+  Ddg.Builder.add_edge b m s;
+  Ddg.Builder.add_edge b ~distance:1 s s;
+  Loop.make ~trip ~name:"dotprod" (Ddg.Builder.build b)
+
+(* A recurrence-constrained loop: a long dependence chain feeding back
+   with distance 1, plus some independent off-recurrence work. *)
+let recurrence_loop ?(trip = 100) () =
+  let b = Ddg.Builder.create () in
+  let x1 = Ddg.Builder.add_instr b ~name:"x1" op_add_f in
+  let x2 = Ddg.Builder.add_instr b ~name:"x2" op_mul_f in
+  let x3 = Ddg.Builder.add_instr b ~name:"x3" op_add_f in
+  Ddg.Builder.add_edge b x1 x2;
+  Ddg.Builder.add_edge b x2 x3;
+  Ddg.Builder.add_edge b ~distance:1 x3 x1;
+  let l1 = Ddg.Builder.add_instr b ~name:"l1" op_ld in
+  let l2 = Ddg.Builder.add_instr b ~name:"l2" op_ld in
+  let y = Ddg.Builder.add_instr b ~name:"y" op_add_f in
+  let st = Ddg.Builder.add_instr b ~name:"st" op_st in
+  Ddg.Builder.add_edge b l1 y;
+  Ddg.Builder.add_edge b l2 y;
+  Ddg.Builder.add_edge b y st;
+  Loop.make ~trip ~name:"recurrence" (Ddg.Builder.build b)
+
+(* A resource-constrained loop: many independent memory + FP ops, no
+   recurrence. *)
+let wide_loop ?(trip = 100) ?(width = 8) () =
+  let b = Ddg.Builder.create () in
+  for k = 0 to width - 1 do
+    let ld = Ddg.Builder.add_instr b ~name:(Printf.sprintf "ld%d" k) op_ld in
+    let ad =
+      Ddg.Builder.add_instr b ~name:(Printf.sprintf "add%d" k) op_add_f
+    in
+    let st = Ddg.Builder.add_instr b ~name:(Printf.sprintf "st%d" k) op_st in
+    Ddg.Builder.add_edge b ld ad;
+    Ddg.Builder.add_edge b ad st
+  done;
+  Loop.make ~trip ~name:"wide" (Ddg.Builder.build b)
+
+(* A seeded random loop: a random DAG over [n] instructions (only
+   forward zero-distance edges, so the acyclicity invariant holds by
+   construction) plus a few loop-carried edges in either direction. *)
+let random_loop ?(n = 20) ~seed () =
+  let rng = Rng.create seed in
+  let ops = [ op_add_f; op_add_i; op_mul_f; op_div_f; op_ld; op_st ] in
+  let b = Ddg.Builder.create () in
+  let ids = Array.init n (fun _ -> Ddg.Builder.add_instr b (Rng.pick rng ops)) in
+  for j = 1 to n - 1 do
+    if Rng.chance rng 0.85 then Ddg.Builder.add_edge b ids.(Rng.int rng j) ids.(j);
+    if Rng.chance rng 0.35 then Ddg.Builder.add_edge b ids.(Rng.int rng j) ids.(j);
+    if Rng.chance rng 0.2 then
+      Ddg.Builder.add_edge b ~distance:(1 + Rng.int rng 2) ids.(j)
+        ids.(Rng.int rng j)
+  done;
+  Loop.make ~trip:100 ~name:(Printf.sprintf "rand%d" seed) (Ddg.Builder.build b)
+
+(* {1 Fuzz cases} *)
+
+type case = {
+  seed : int;
+  loop : Loop.t;
+  machine : Machine.t;
+  config : Opconfig.t;
+}
+
+let opcode_mix =
+  List.map
+    (fun (op : Opcode.t) ->
+      let w =
+        match op.clazz with
+        | Opcode.Arith -> 4.
+        | Opcode.Memory -> 3.
+        | Opcode.Mult -> 2.
+        | Opcode.Div -> 1.
+      in
+      (op, w))
+    Opcode.all
+
+let gen_loop ~rng ?(min_n = 4) ?(max_n = 24) () =
+  let n = Rng.int_in rng min_n max_n in
+  let b = Ddg.Builder.create () in
+  let ids =
+    Array.init n (fun _ ->
+        Ddg.Builder.add_instr b (Rng.pick_weighted rng opcode_mix))
+  in
+  (* Forward zero-distance DAG: each node draws up to two predecessors
+     among earlier nodes (acyclic by construction). *)
+  for j = 1 to n - 1 do
+    if Rng.chance rng 0.8 then
+      Ddg.Builder.add_edge b ids.(Rng.int rng j) ids.(j);
+    if Rng.chance rng 0.4 then
+      Ddg.Builder.add_edge b ids.(Rng.int rng j) ids.(j)
+  done;
+  (* 0-2 controlled recurrence cycles: an ascending chain of
+     zero-distance flow edges closed by one loop-carried back edge, so
+     every cycle has positive total distance. *)
+  let n_recs = Rng.int rng 3 in
+  for _ = 1 to n_recs do
+    let len = 1 + Rng.int rng (min 3 n) in
+    let first = Rng.int rng (n - len + 1) in
+    let chain = Array.init len (fun k -> ids.(first + k)) in
+    for k = 0 to len - 2 do
+      Ddg.Builder.add_edge b chain.(k) chain.(k + 1)
+    done;
+    Ddg.Builder.add_edge b
+      ~distance:(1 + Rng.int rng 2)
+      chain.(len - 1) chain.(0)
+  done;
+  (* Occasional non-value ordering edges: forward anti dependences and
+     loop-carried memory-disambiguation edges. *)
+  for j = 1 to n - 1 do
+    if Rng.chance rng 0.1 then
+      Ddg.Builder.add_edge b ~kind:Edge.Anti ~latency:(Rng.int rng 2)
+        ids.(Rng.int rng j) ids.(j);
+    if Rng.chance rng 0.07 then
+      Ddg.Builder.add_edge b ~kind:Edge.Mem ~distance:1 ~latency:1 ids.(j)
+        ids.(Rng.int rng j)
+  done;
+  let trip = Rng.int_in rng 2 200 in
+  Loop.make ~trip ~name:"fuzz" (Ddg.Builder.build b)
+
+let gen_cluster ~rng i =
+  (* Cluster 0 always carries at least one unit of every resource kind
+     so any opcode mix is placeable somewhere. *)
+  let at_least = if i = 0 then 1 else 0 in
+  let rec draw () =
+    let int_fus = max at_least (Rng.int rng 3)
+    and fp_fus = max at_least (Rng.int rng 3)
+    and mem_ports = max at_least (Rng.int rng 3) in
+    if int_fus + fp_fus + mem_ports = 0 then draw ()
+    else
+      Cluster.make
+        ~name:(Printf.sprintf "c%d" i)
+        ~int_fus ~fp_fus ~mem_ports
+        ~registers:(Rng.pick rng [ 8; 16; 32 ])
+        ()
+  in
+  draw ()
+
+let gen_machine ~rng () =
+  let n_cl = Rng.int_in rng 1 4 in
+  let clusters =
+    if Rng.chance rng 0.5 then
+      (* identical clusters, as in the paper's evaluation machine *)
+      let c0 = gen_cluster ~rng 0 in
+      Array.init n_cl (fun i -> { c0 with Cluster.name = Printf.sprintf "c%d" i })
+    else Array.init n_cl (fun i -> gen_cluster ~rng i)
+  in
+  let icn =
+    Icn.make
+      ~latency_cycles:(Rng.int_in rng 1 2)
+      ~buses:(Rng.int_in rng 1 2)
+      ()
+  in
+  let grid =
+    match Rng.int rng 3 with
+    | 0 -> Freqgrid.Unrestricted
+    | 1 -> Presets.grid_of_steps (Some (Rng.pick rng [ 4; 8; 16 ]))
+    | _ ->
+      Freqgrid.uniform
+        ~steps:(Rng.int_in rng 4 10)
+        ~top:(Q.make 5 2 (* 2.5 GHz *))
+  in
+  Machine.make ~name:"fuzz" ~grid ~clusters ~icn ()
+
+(* Drawn configurations must be realisable (every domain has a valid
+   threshold voltage): the production pipeline filters candidates with
+   [Opconfig.realisable] before the scheduler ever sees them, and the
+   energy model raises on unrealisable domains. *)
+let rec gen_config ~rng ~machine =
+  let n = Machine.n_clusters machine in
+  let fast_ct =
+    Q.mul (Rng.pick rng Presets.fast_factors) Presets.reference_cycle_time
+  in
+  let slow_ct = Q.mul fast_ct (Rng.pick rng Presets.slow_factors) in
+  let is_fast = Array.init n (fun _ -> Rng.bool rng) in
+  is_fast.(Rng.int rng n) <- true;
+  let vdd_fast = Rng.pick rng Presets.cluster_vdds in
+  let vdd_slow = Rng.pick rng Presets.cluster_vdds in
+  let cluster_points =
+    Array.map
+      (fun fast ->
+        if fast then { Opconfig.cycle_time = fast_ct; vdd = vdd_fast }
+        else { Opconfig.cycle_time = slow_ct; vdd = vdd_slow })
+      is_fast
+  in
+  let icn_point =
+    { Opconfig.cycle_time = fast_ct; vdd = Rng.pick rng Presets.icn_vdds }
+  in
+  let cache_point =
+    { Opconfig.cycle_time = fast_ct; vdd = Rng.pick rng Presets.cache_vdds }
+  in
+  let config = Opconfig.make ~machine ~cluster_points ~icn_point ~cache_point in
+  if Opconfig.realisable config then config else gen_config ~rng ~machine
+
+let case ~seed =
+  let rng = Rng.create seed in
+  let machine = gen_machine ~rng () in
+  let config = gen_config ~rng ~machine in
+  let loop = gen_loop ~rng () in
+  { seed; loop; machine; config }
+
+let population ~seed ~n =
+  let rng = Rng.create seed in
+  List.init n (fun i ->
+      let l = gen_loop ~rng () in
+      let weight = 0.05 +. Rng.float rng 1.0 in
+      Loop.make ~trip:l.Loop.trip ~weight
+        ~name:(Printf.sprintf "fuzz%d" i)
+        l.ddg)
+
+(* {1 Shrinking} *)
+
+(* Rebuild a loop from an explicit instruction subset and edge list,
+   remapping ids densely.  Edges whose endpoints were dropped vanish. *)
+let rebuild_loop (loop : Loop.t) ~instrs ~edges =
+  let b = Ddg.Builder.create () in
+  let remap = Hashtbl.create 16 in
+  List.iter
+    (fun (i : Instr.t) ->
+      let nid = Ddg.Builder.add_instr b ~name:i.name i.op in
+      Hashtbl.replace remap i.id nid)
+    instrs;
+  List.iter
+    (fun (e : Edge.t) ->
+      match (Hashtbl.find_opt remap e.src, Hashtbl.find_opt remap e.dst) with
+      | Some s, Some d ->
+        Ddg.Builder.add_edge b ~kind:e.kind ~distance:e.distance
+          ~latency:e.latency s d
+      | _ -> ())
+    edges;
+  Loop.make ~trip:loop.trip ~weight:loop.weight ~name:loop.name
+    (Ddg.Builder.build b)
+
+(* Rebuild the operating configuration against a structurally edited
+   machine, preserving the surviving per-domain points. *)
+let retarget_config (cfg : Opconfig.t) machine =
+  Opconfig.make ~machine
+    ~cluster_points:
+      (Array.sub cfg.cluster_points 0 (Machine.n_clusters machine))
+    ~icn_point:cfg.icn_point ~cache_point:cfg.cache_point
+
+(* All one-step reductions of a case, as thunks; a thunk returns [None]
+   when the reduction does not apply or fails to build. *)
+let candidates c =
+  let ddg = c.loop.Loop.ddg in
+  let n = Ddg.n_instrs ddg in
+  let instrs = Array.to_list (Ddg.instrs ddg) in
+  let edges = Ddg.edges ddg in
+  let mk f () = try Some (f ()) with _ -> None in
+  let drop_instrs =
+    if n <= 1 then []
+    else
+      List.init n (fun k ->
+          let k = n - 1 - k in
+          mk (fun () ->
+              {
+                c with
+                loop =
+                  rebuild_loop c.loop
+                    ~instrs:
+                      (List.filter (fun (i : Instr.t) -> i.id <> k) instrs)
+                    ~edges;
+              }))
+  in
+  let drop_edges =
+    List.mapi
+      (fun k _ ->
+        mk (fun () ->
+            {
+              c with
+              loop =
+                rebuild_loop c.loop ~instrs
+                  ~edges:(List.filteri (fun j _ -> j <> k) edges);
+            }))
+      edges
+  in
+  let weaken_edges =
+    List.mapi
+      (fun k (e : Edge.t) ->
+        mk (fun () ->
+            let e' =
+              if e.distance > 1 then { e with distance = 1 }
+              else if e.latency > 0 then { e with latency = e.latency / 2 }
+              else invalid_arg "nothing to weaken"
+            in
+            {
+              c with
+              loop =
+                rebuild_loop c.loop ~instrs
+                  ~edges:(List.mapi (fun j e0 -> if j = k then e' else e0) edges);
+            }))
+      edges
+  in
+  let drop_cluster =
+    if Machine.n_clusters c.machine <= 1 then []
+    else
+      [
+        mk (fun () ->
+            let m = c.machine in
+            let clusters =
+              Array.sub m.clusters 0 (Machine.n_clusters m - 1)
+            in
+            let machine =
+              Machine.make ~name:m.name ~grid:m.grid ~clusters ~icn:m.icn ()
+            in
+            { c with machine; config = retarget_config c.config machine });
+      ]
+  in
+  let one_bus =
+    if c.machine.icn.buses <= 1 then []
+    else
+      [
+        mk (fun () ->
+            let icn =
+              Icn.make ~latency_cycles:c.machine.icn.latency_cycles ~buses:1 ()
+            in
+            let machine = Machine.with_icn c.machine icn in
+            { c with machine; config = retarget_config c.config machine });
+      ]
+  in
+  let free_grid =
+    match c.machine.grid with
+    | Freqgrid.Unrestricted -> []
+    | _ ->
+      [
+        mk (fun () ->
+            let machine = Machine.with_grid c.machine Freqgrid.Unrestricted in
+            { c with machine; config = retarget_config c.config machine });
+      ]
+  in
+  let homo_config =
+    if Opconfig.is_homogeneous c.config then []
+    else
+      [
+        mk (fun () ->
+            let p =
+              c.config.cluster_points.(Opconfig.fastest_cluster c.config)
+            in
+            let config =
+              Opconfig.make ~machine:c.machine
+                ~cluster_points:(Array.map (fun _ -> p) c.config.cluster_points)
+                ~icn_point:p ~cache_point:p
+            in
+            if not (Opconfig.realisable config) then
+              invalid_arg "unrealisable";
+            { c with config });
+      ]
+  in
+  let shrink_trip =
+    if c.loop.trip <= 2 then []
+    else
+      [
+        mk (fun () ->
+            {
+              c with
+              loop =
+                Loop.make
+                  ~trip:(max 2 (c.loop.trip / 2))
+                  ~weight:c.loop.weight ~name:c.loop.name c.loop.ddg;
+            });
+      ]
+  in
+  drop_instrs @ drop_edges @ weaken_edges @ drop_cluster @ one_bus @ free_grid
+  @ homo_config @ shrink_trip
+
+let shrink ?(max_checks = 400) ~keep c0 =
+  let checks = ref 0 in
+  let keep_safe c =
+    if !checks >= max_checks then false
+    else begin
+      incr checks;
+      try keep c with _ -> false
+    end
+  in
+  let rec pass c =
+    let rec try_cands = function
+      | [] -> c
+      | cand :: rest -> (
+        match cand () with
+        | Some c' when keep_safe c' -> pass c'
+        | _ -> try_cands rest)
+    in
+    try_cands (candidates c)
+  in
+  pass c0
+
+(* {1 Printing} *)
+
+let print_case c =
+  let buf = Buffer.create 512 in
+  let commented s =
+    String.split_on_char '\n' s
+    |> List.iter (fun line ->
+           if String.trim line <> "" then (
+             Buffer.add_string buf "# ";
+             Buffer.add_string buf line;
+             Buffer.add_char buf '\n'))
+  in
+  commented (Printf.sprintf "fuzz case, seed %d" c.seed);
+  commented (Format.asprintf "%a" Machine.pp c.machine);
+  commented (Format.asprintf "%a" Opconfig.pp c.config);
+  Buffer.add_string buf (Dsl.print c.loop);
+  Buffer.contents buf

@@ -1,0 +1,83 @@
+(** Seeded random generators for fuzzing, and a greedy shrinker.
+
+    Everything is driven by the deterministic splitmix64 {!Rng}: equal
+    seeds give equal cases, across processes and worker counts.  The
+    generators cover the axes the paper's evaluation varies — DDG shape
+    (DAG depth/width plus controlled recurrence cycles), machine design
+    (cluster count, FU mix, register-file size, bus width and latency,
+    frequency grid) and operating point (fast/slow cluster cycle-time
+    splits from the paper's factor sets).
+
+    The module also hosts the exemplar loops the test suite shares
+    ({!dotprod}, {!recurrence_loop}, {!wide_loop}, {!random_loop}), so
+    test code and fuzzer draw DDGs from one place. *)
+
+open Hcv_support
+open Hcv_ir
+open Hcv_machine
+
+(** {1 Exemplar loops (shared with the test suite)} *)
+
+val dotprod : ?trip:int -> unit -> Loop.t
+(** load, load, multiply, loop-carried accumulate. *)
+
+val recurrence_loop : ?trip:int -> unit -> Loop.t
+(** A distance-1 recurrence chain plus independent off-recurrence work. *)
+
+val wide_loop : ?trip:int -> ?width:int -> unit -> Loop.t
+(** [width] independent load/add/store strands; resource-constrained. *)
+
+val random_loop : ?n:int -> seed:int -> unit -> Loop.t
+(** Random forward DAG plus a few loop-carried edges; equal seeds give
+    equal loops. *)
+
+(** {1 Fuzz cases} *)
+
+type case = {
+  seed : int;
+  loop : Loop.t;
+  machine : Machine.t;
+  config : Opconfig.t;
+}
+(** One differential-test input: a loop to schedule on an operating
+    configuration of a machine design. *)
+
+val gen_loop : rng:Rng.t -> ?min_n:int -> ?max_n:int -> unit -> Loop.t
+(** A random loop: weighted opcode mix, forward zero-distance DAG,
+    0-2 controlled recurrence cycles (an ascending chain closed by a
+    loop-carried back edge), occasional anti/memory-ordering edges. *)
+
+val gen_machine : rng:Rng.t -> unit -> Machine.t
+(** 1-4 clusters (identical or mixed FU counts and register files),
+    1-2 buses of latency 1-2, and one of: unrestricted frequencies, the
+    paper's divider grid, a uniform grid. *)
+
+val gen_config : rng:Rng.t -> machine:Machine.t -> Opconfig.t
+(** An operating point drawn from the paper's fast/slow cycle-time
+    factors: a fast group of clusters, the rest slow, ICN and cache
+    clocked with the fast group.  Always realisable (redrawn otherwise),
+    matching the production pipeline's [Opconfig.realisable] filter. *)
+
+val case : seed:int -> case
+(** The complete case for one seed: machine, then configuration, then
+    loop, drawn from one generator stream. *)
+
+val population : seed:int -> n:int -> Loop.t list
+(** [n] random loops with random trip counts and weights — profile
+    input for whole-benchmark differential runs. *)
+
+(** {1 Shrinking and printing} *)
+
+val shrink : ?max_checks:int -> keep:(case -> bool) -> case -> case
+(** Greedy minimisation: repeatedly try dropping an instruction,
+    dropping an edge, weakening an edge (distance/latency), dropping a
+    cluster, going to one bus, freeing the frequency grid, making the
+    configuration homogeneous, and shrinking the trip count — keeping
+    any reduction for which [keep] still holds, until a fixpoint (or
+    [max_checks] evaluations of [keep], default 400).  [keep] failures
+    by exception count as "does not reproduce". *)
+
+val print_case : case -> string
+(** A printable repro: the machine and configuration as [#] comment
+    lines followed by the loop in the [.loop] DSL — the whole string
+    still parses with {!Dsl.parse}. *)

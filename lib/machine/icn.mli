@@ -1,9 +1,11 @@
 (** Inter-cluster connection network: a set of shared register buses.
 
     Register values move between clusters through explicit copy
-    operations, each occupying one bus slot for [latency_cycles] ICN
-    cycles (the paper assumes a 1-cycle-latency register bus and
-    evaluates 1 and 2 buses). *)
+    operations.  The buses are pipelined, like the functional units: a
+    copy occupies its issue slot only, and [latency_cycles] is the
+    transit delay until the value is usable in the destination cluster
+    (the paper assumes a 1-cycle-latency register bus and evaluates 1
+    and 2 buses). *)
 
 type t = { buses : int; latency_cycles : int }
 

@@ -137,7 +137,18 @@ let run ?cache ~schedule ~trip () =
                   Edge.pp e Q.pp now Q.pp avail
           end
           else begin
-            let avail = Q.add (complete_time e.src src_iter) sync in
+            (* Non-value cross-domain ordering: the *edge's* latency
+               governs (an anti edge may have latency 0), plus one ICN
+               cycle of synchronisation. *)
+            let avail =
+              Q.add
+                (Q.add (issue_time e.src src_iter)
+                   (Q.mul_int
+                      (Timing.eff_ct clocking ~cluster:p.Schedule.cluster
+                         (Ddg.instr ddg e.src))
+                      e.latency))
+                sync
+            in
             if Q.( < ) now avail then
               violate "iter %d: %a issued at %a before sync'd source at %a" k
                 Edge.pp e Q.pp now Q.pp avail
@@ -197,11 +208,11 @@ let run ?cache ~schedule ~trip () =
         if Q.( < ) now avail then
           violate "iter %d: transfer of %d departs at %a before %a" k
             tr.Schedule.src Q.pp now Q.pp avail;
+        (* The bus is pipelined, like the FUs: a transfer occupies its
+           issue slot only, [latency_cycles] is pure transit delay. *)
         let base = tr.Schedule.bus_cycle + (k * clocking.Clocking.icn_ii) in
-        for c = base to base + buslat - 1 do
-          bump bus_busy c machine.Machine.icn.Icn.buses
-            (Printf.sprintf "bus cycle %d" c)
-        done
+        bump bus_busy base machine.Machine.icn.Icn.buses
+          (Printf.sprintf "bus cycle %d" base)
       | Bus_arrive _ -> ())
   done;
   {

@@ -20,9 +20,11 @@ let one = of_int 1
 let num t = t.num
 let den t = t.den
 
-(* Floor/ceil integer division (OCaml [/] truncates toward zero). *)
-let floordiv p q = if p >= 0 then p / q else -(((-p) + q - 1) / q)
-let ceildiv p q = if p <= 0 then -(-p / q) else (p + q - 1) / q
+(* Floor/ceil integer division (OCaml [/] truncates toward zero).
+   Written as [(p - 1) / q + 1] rather than [(p + q - 1) / q] so that
+   operands near max_int do not overflow the adjustment term. *)
+let floordiv p q = if p >= 0 then p / q else -(((-p - 1) / q) + 1)
+let ceildiv p q = if p <= 0 then -(-p / q) else ((p - 1) / q) + 1
 
 (* Knuth TAOCP 4.5.1: normalise through gcds *before* the
    cross-multiplications, so intermediates stay within native range for

@@ -1,4 +1,8 @@
-(* Shared loop/machine builders for the test suite. *)
+(* Shared loop/machine builders for the test suite.
+
+   The loop builders live in Hcv_check.Gen (the fuzzer and the tests
+   must draw DDGs from one place); this module re-exports them plus a
+   few machine presets the tests use. *)
 
 open Hcv_ir
 open Hcv_machine
@@ -10,74 +14,10 @@ let op_div_f = Opcode.make Opcode.Div Opcode.Fp
 let op_ld = Opcode.make Opcode.Memory Opcode.Fp
 let op_st = Opcode.make Opcode.Memory Opcode.Fp
 
-(* A simple FP dot-product-like loop:
-     a = load; b = load; m = a*b; s = s + m (loop-carried self add). *)
-let dotprod ?(trip = 100) () =
-  let b = Ddg.Builder.create () in
-  let a = Ddg.Builder.add_instr b ~name:"a" op_ld in
-  let b2 = Ddg.Builder.add_instr b ~name:"b" op_ld in
-  let m = Ddg.Builder.add_instr b ~name:"m" op_mul_f in
-  let s = Ddg.Builder.add_instr b ~name:"s" op_add_f in
-  Ddg.Builder.add_edge b a m;
-  Ddg.Builder.add_edge b b2 m;
-  Ddg.Builder.add_edge b m s;
-  Ddg.Builder.add_edge b ~distance:1 s s;
-  Loop.make ~trip ~name:"dotprod" (Ddg.Builder.build b)
-
-(* A recurrence-constrained loop: a long dependence chain feeding back
-   with distance 1, plus some independent off-recurrence work. *)
-let recurrence_loop ?(trip = 100) () =
-  let b = Ddg.Builder.create () in
-  let x1 = Ddg.Builder.add_instr b ~name:"x1" op_add_f in
-  let x2 = Ddg.Builder.add_instr b ~name:"x2" op_mul_f in
-  let x3 = Ddg.Builder.add_instr b ~name:"x3" op_add_f in
-  Ddg.Builder.add_edge b x1 x2;
-  Ddg.Builder.add_edge b x2 x3;
-  Ddg.Builder.add_edge b ~distance:1 x3 x1;
-  let l1 = Ddg.Builder.add_instr b ~name:"l1" op_ld in
-  let l2 = Ddg.Builder.add_instr b ~name:"l2" op_ld in
-  let y = Ddg.Builder.add_instr b ~name:"y" op_add_f in
-  let st = Ddg.Builder.add_instr b ~name:"st" op_st in
-  Ddg.Builder.add_edge b l1 y;
-  Ddg.Builder.add_edge b l2 y;
-  Ddg.Builder.add_edge b y st;
-  Loop.make ~trip ~name:"recurrence" (Ddg.Builder.build b)
-
-(* A resource-constrained loop: many independent memory + FP ops, no
-   recurrence. *)
-let wide_loop ?(trip = 100) ?(width = 8) () =
-  let b = Ddg.Builder.create () in
-  for k = 0 to width - 1 do
-    let ld = Ddg.Builder.add_instr b ~name:(Printf.sprintf "ld%d" k) op_ld in
-    let ad =
-      Ddg.Builder.add_instr b ~name:(Printf.sprintf "add%d" k) op_add_f
-    in
-    let st = Ddg.Builder.add_instr b ~name:(Printf.sprintf "st%d" k) op_st in
-    Ddg.Builder.add_edge b ld ad;
-    Ddg.Builder.add_edge b ad st
-  done;
-  Loop.make ~trip ~name:"wide" (Ddg.Builder.build b)
-
-(* A seeded random loop: a random DAG over [n] instructions (only
-   forward zero-distance edges, so the acyclicity invariant holds by
-   construction) plus a few loop-carried edges in either direction.
-   Equal seeds give equal loops; used by the property tests that check
-   the indexed hot-path data structures against reference
-   implementations. *)
-let random_loop ?(n = 20) ~seed () =
-  let open Hcv_support in
-  let rng = Rng.create seed in
-  let ops = [ op_add_f; op_add_i; op_mul_f; op_div_f; op_ld; op_st ] in
-  let b = Ddg.Builder.create () in
-  let ids = Array.init n (fun _ -> Ddg.Builder.add_instr b (Rng.pick rng ops)) in
-  for j = 1 to n - 1 do
-    if Rng.chance rng 0.85 then Ddg.Builder.add_edge b ids.(Rng.int rng j) ids.(j);
-    if Rng.chance rng 0.35 then Ddg.Builder.add_edge b ids.(Rng.int rng j) ids.(j);
-    if Rng.chance rng 0.2 then
-      Ddg.Builder.add_edge b ~distance:(1 + Rng.int rng 2) ids.(j)
-        ids.(Rng.int rng j)
-  done;
-  Loop.make ~trip:100 ~name:(Printf.sprintf "rand%d" seed) (Ddg.Builder.build b)
+let dotprod = Hcv_check.Gen.dotprod
+let recurrence_loop = Hcv_check.Gen.recurrence_loop
+let wide_loop = Hcv_check.Gen.wide_loop
+let random_loop = Hcv_check.Gen.random_loop
 
 let machine_1bus = Presets.machine_4c ~buses:1
 let machine_2bus = Presets.machine_4c ~buses:2

@@ -1,0 +1,284 @@
+(* The lib/check subsystem itself: the independent legality oracle
+   (acceptance of real scheduler output, rejection of corrupted
+   schedules by category), the generators (determinism, printable
+   repros) and the greedy shrinker. *)
+
+open Hcv_support
+open Hcv_ir
+open Hcv_machine
+open Hcv_sched
+open Hcv_check
+
+let ctx_for machine =
+  let n = Machine.n_clusters machine in
+  let act =
+    Hcv_energy.Activity.make ~exec_time_ns:1e6
+      ~per_cluster_ins_energy:(Array.make n 100.)
+      ~n_comms:100. ~n_mem:100.
+  in
+  Hcv_energy.Model.ctx ~params:Hcv_energy.Params.default
+    ~units:
+      (Hcv_energy.Units.of_reference ~params:Hcv_energy.Params.default
+         ~n_clusters:n act)
+    ()
+
+(* Heterogeneous schedules for the first scheduable generated cases. *)
+let scheduled_cases ~seed ~n =
+  let rec go acc seed n =
+    if n = 0 then List.rev acc
+    else
+      let c = Gen.case ~seed in
+      match
+        Hcv_core.Hsched.schedule ~ctx:(ctx_for c.Gen.machine)
+          ~config:c.Gen.config ~loop:c.Gen.loop ()
+      with
+      | Ok (sched, _) -> go ((c, sched) :: acc) (seed + 1) (n - 1)
+      | Error _ -> go acc (seed + 1) n
+  in
+  go [] seed n
+
+let test_oracle_accepts_scheduler_output () =
+  List.iter
+    (fun ((c : Gen.case), sched) ->
+      (match Legal.verify sched with
+      | Ok () -> ()
+      | Error vs ->
+        Alcotest.failf "seed %d rejected: %s" c.Gen.seed
+          (String.concat "; " (Legal.to_strings vs)));
+      match Legal.verify_clocking ~config:c.Gen.config sched.Schedule.clocking with
+      | Ok () -> ()
+      | Error vs ->
+        Alcotest.failf "seed %d clocking rejected: %s" c.Gen.seed
+          (String.concat "; " (Legal.to_strings vs)))
+    (scheduled_cases ~seed:1000 ~n:12)
+
+let test_oracle_accepts_homogeneous_output () =
+  List.iter
+    (fun loop ->
+      match
+        Homo.schedule ~machine:Builders.machine_2bus
+          ~cycle_time:Presets.reference_cycle_time ~loop ()
+      with
+      | Error msg -> Alcotest.failf "homo schedule failed: %s" msg
+      | Ok (sched, _) -> (
+        match Legal.verify sched with
+        | Ok () -> ()
+        | Error vs ->
+          Alcotest.failf "%s rejected: %s" loop.Loop.name
+            (String.concat "; " (Legal.to_strings vs))))
+    [
+      Gen.dotprod ();
+      Gen.recurrence_loop ();
+      Gen.wide_loop ();
+      Gen.random_loop ~seed:7 ();
+    ]
+
+(* The category (rule tags) of the violations a corruption provokes. *)
+let rules_of = function
+  | Ok () -> []
+  | Error vs ->
+    List.sort_uniq compare
+      (List.map (fun (v : Legal.violation) -> v.Legal.rule) vs)
+
+let expect_rule what rule result =
+  match rules_of result with
+  | [] -> Alcotest.failf "%s: corruption not flagged" what
+  | rules ->
+    Alcotest.(check bool)
+      (Printf.sprintf "%s flags %s (got: %s)" what rule
+         (String.concat "," rules))
+      true (List.mem rule rules)
+
+let some_scheduled seed =
+  match scheduled_cases ~seed ~n:1 with
+  | [ (c, sched) ] -> (c, sched)
+  | _ -> Alcotest.fail "no scheduable case found"
+
+let test_oracle_rejects_corruptions () =
+  (* A multi-instruction case so every corruption has something to
+     corrupt. *)
+  let rec find seed =
+    let c, sched = some_scheduled seed in
+    if Ddg.n_instrs c.Gen.loop.Loop.ddg >= 4 && Ddg.n_edges c.Gen.loop.Loop.ddg >= 2
+    then (c, sched)
+    else find (seed + 1)
+  in
+  let _, sched = find 2000 in
+  (* Pull every instruction to cluster 0, cycle 0: FU slots overflow. *)
+  let all_zero =
+    {
+      sched with
+      Schedule.placements =
+        Array.map
+          (fun _ -> { Schedule.cluster = 0; cycle = 0 })
+          sched.Schedule.placements;
+      transfers = [];
+    }
+  in
+  expect_rule "all-to-slot-0" "fu-capacity" (Legal.verify all_zero);
+  (* Shift one dependent instruction a cycle earlier: some dependence
+     (or FU slot) must break; find an edge whose shift trips the
+     dependence rule. *)
+  let edges = Ddg.edges sched.Schedule.loop.Loop.ddg in
+  let broke_dependence =
+    List.exists
+      (fun (e : Edge.t) ->
+        let p = Array.copy sched.Schedule.placements in
+        p.(e.Edge.dst) <-
+          { (p.(e.Edge.dst)) with Schedule.cycle = p.(e.Edge.dst).Schedule.cycle - 1 };
+        match Legal.verify { sched with Schedule.placements = p } with
+        | Ok () -> false
+        | Error vs ->
+          List.exists (fun (v : Legal.violation) -> v.Legal.rule = "dependence") vs)
+      edges
+  in
+  Alcotest.(check bool) "some -1 cycle shift breaks a dependence" true
+    broke_dependence;
+  (* Negative cycle: placement rule. *)
+  let neg =
+    let p = Array.copy sched.Schedule.placements in
+    p.(0) <- { (p.(0)) with Schedule.cycle = -1 };
+    { sched with Schedule.placements = p }
+  in
+  expect_rule "negative cycle" "placement" (Legal.verify neg);
+  (* Corrupted clocking: II x ct no longer equals IT. *)
+  let bad_ck =
+    {
+      sched with
+      Schedule.clocking =
+        {
+          sched.Schedule.clocking with
+          Clocking.it = Q.add sched.Schedule.clocking.Clocking.it Q.one;
+        };
+    }
+  in
+  expect_rule "broken IT" "clocking" (Legal.verify bad_ck)
+
+let test_oracle_rejects_early_transfer () =
+  (* Build a 2-cluster schedule with a transfer by hand, then move the
+     transfer to bus cycle 0 — before its value can have crossed the
+     synchronisation queue. *)
+  let b = Ddg.Builder.create () in
+  let x = Ddg.Builder.add_instr b ~name:"x" Builders.op_add_f in
+  let y = Ddg.Builder.add_instr b ~name:"y" Builders.op_add_f in
+  Ddg.Builder.add_edge b x y;
+  let loop = Loop.make ~name:"xfer" (Ddg.Builder.build b) in
+  let machine = Builders.machine_1bus in
+  let ck =
+    Clocking.homogeneous ~n_clusters:(Machine.n_clusters machine) ~ii:8
+      ~cycle_time:Q.one
+  in
+  let placements =
+    [| { Schedule.cluster = 0; cycle = 0 }; { Schedule.cluster = 1; cycle = 7 } |]
+  in
+  let mk bus_cycle =
+    Schedule.make ~loop ~machine ~clocking:ck ~placements
+      ~transfers:[ { Schedule.src = 0; dst_cluster = 1; bus_cycle } ]
+  in
+  (* add.f latency 3: def at 3 ns, so the bus may depart at cycle 4
+     ( (4-1)*1 >= 3 ) and arrives at 5 <= start(y) = 7. *)
+  (match Legal.verify (mk 4) with
+  | Ok () -> ()
+  | Error vs ->
+    Alcotest.failf "legal transfer rejected: %s"
+      (String.concat "; " (Legal.to_strings vs)));
+  expect_rule "early transfer" "transfer" (Legal.verify (mk 2));
+  (* No transfer at all: the cross-cluster flow dependence is unserved. *)
+  let no_transfer =
+    Schedule.make ~loop ~machine ~clocking:ck ~placements ~transfers:[]
+  in
+  expect_rule "missing transfer" "dependence" (Legal.verify no_transfer)
+
+let test_lifetimes_agree () =
+  List.iter
+    (fun ((c : Gen.case), sched) ->
+      let ours = Legal.lifetime_sums sched in
+      let theirs = Schedule.lifetimes_ns sched in
+      Array.iteri
+        (fun cl a ->
+          Alcotest.(check bool)
+            (Format.asprintf "seed %d cluster %d: %a = %a" c.Gen.seed cl Q.pp a
+               Q.pp theirs.(cl))
+            true (Q.equal a theirs.(cl)))
+        ours)
+    (scheduled_cases ~seed:3000 ~n:10)
+
+let test_generator_deterministic () =
+  List.iter
+    (fun seed ->
+      let a = Gen.case ~seed and b = Gen.case ~seed in
+      Alcotest.(check string)
+        (Printf.sprintf "seed %d reproducible" seed)
+        (Gen.print_case a) (Gen.print_case b))
+    [ 0; 1; 42; 987654321 ]
+
+let test_print_case_parses () =
+  List.iter
+    (fun seed ->
+      let c = Gen.case ~seed in
+      match Dsl.parse (Gen.print_case c) with
+      | Error e -> Alcotest.failf "seed %d: %a" seed Dsl.pp_error e
+      | Ok [ l ] ->
+        Alcotest.(check int)
+          "same instruction count"
+          (Ddg.n_instrs c.Gen.loop.Loop.ddg)
+          (Ddg.n_instrs l.Loop.ddg);
+        Alcotest.(check int)
+          "same edge count"
+          (Ddg.n_edges c.Gen.loop.Loop.ddg)
+          (Ddg.n_edges l.Loop.ddg)
+      | Ok ls -> Alcotest.failf "seed %d: %d loops" seed (List.length ls))
+    [ 5; 17; 99; 123456 ]
+
+let test_shrinker () =
+  let c = Gen.case ~seed:4242 in
+  let n0 = Ddg.n_instrs c.Gen.loop.Loop.ddg in
+  (* keep = "has at least 2 instructions": shrinks to exactly 2. *)
+  let small =
+    Gen.shrink ~keep:(fun c' -> Ddg.n_instrs c'.Gen.loop.Loop.ddg >= 2) c
+  in
+  Alcotest.(check int) "shrinks to the boundary" 2
+    (Ddg.n_instrs small.Gen.loop.Loop.ddg);
+  Alcotest.(check bool) "never grows" true
+    (Ddg.n_instrs small.Gen.loop.Loop.ddg <= n0);
+  (* The shrunk case also drops machine structure: a keep that ignores
+     the machine ends at 1 cluster, 1 bus, free grid. *)
+  Alcotest.(check int) "one cluster" 1
+    (Machine.n_clusters small.Gen.machine);
+  Alcotest.(check int) "one bus" 1 small.Gen.machine.Machine.icn.Icn.buses;
+  Alcotest.(check bool) "trip shrunk" true (small.Gen.loop.Loop.trip <= 2);
+  (* keep failing by exception counts as not reproduced: nothing
+     shrinks, the original comes back. *)
+  let same = Gen.shrink ~keep:(fun _ -> failwith "boom") c in
+  Alcotest.(check string) "exception = not reproduced" (Gen.print_case c)
+    (Gen.print_case same);
+  (* max_checks bounds the number of keep evaluations. *)
+  let calls = ref 0 in
+  let _ =
+    Gen.shrink ~max_checks:5
+      ~keep:(fun _ ->
+        incr calls;
+        true)
+      c
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "keep called %d <= 5 times" !calls)
+    true (!calls <= 5)
+
+let suite =
+  [
+    Alcotest.test_case "oracle accepts heterogeneous schedules" `Quick
+      test_oracle_accepts_scheduler_output;
+    Alcotest.test_case "oracle accepts homogeneous schedules" `Quick
+      test_oracle_accepts_homogeneous_output;
+    Alcotest.test_case "oracle rejects corruptions" `Quick
+      test_oracle_rejects_corruptions;
+    Alcotest.test_case "oracle rejects early/missing transfers" `Quick
+      test_oracle_rejects_early_transfer;
+    Alcotest.test_case "lifetime derivations agree" `Quick
+      test_lifetimes_agree;
+    Alcotest.test_case "generator is deterministic" `Quick
+      test_generator_deterministic;
+    Alcotest.test_case "printed repros parse" `Quick test_print_case_parses;
+    Alcotest.test_case "shrinker minimises greedily" `Quick test_shrinker;
+  ]

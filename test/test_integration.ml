@@ -128,9 +128,73 @@ let test_acyclic_vs_pipelined () =
       (Printf.sprintf "saxpy speedup %.2f > 1.5" speedup)
       true (speedup > 1.5)
 
+let test_oracle_over_pipelines () =
+  (* The independent legality oracle accepts every schedule the
+     evaluation pipelines produce: the full flow on the unrestricted
+     machine and on the Fig. 7 grid-restricted machine, the homogeneous
+     reference schedules behind the profile, and the §4.1 ablation
+     variants (pre-placement / scoring switched off). *)
+  let loops = parse () in
+  let ok_or_fail label = function
+    | Ok () -> ()
+    | Error vs ->
+      Alcotest.failf "%s: %s" label
+        (String.concat "; " (Hcv_check.Legal.to_strings vs))
+  in
+  List.iter
+    (fun (mlabel, machine) ->
+      match Pipeline.run ~machine ~name:mlabel ~loops () with
+      | Error msg -> Alcotest.failf "%s: pipeline: %s" mlabel msg
+      | Ok r ->
+        let config = r.Pipeline.hetero.Select.config in
+        List.iter
+          (fun (lr : Pipeline.loop_result) ->
+            let name = lr.Pipeline.profile.Profile.loop.Loop.name in
+            ok_or_fail
+              (Printf.sprintf "%s/%s hetero" mlabel name)
+              (Hcv_check.Legal.verify lr.Pipeline.schedule);
+            ok_or_fail
+              (Printf.sprintf "%s/%s clocking" mlabel name)
+              (Hcv_check.Legal.verify_clocking ~config
+                 lr.Pipeline.schedule.Schedule.clocking);
+            (* The homogeneous reference schedule behind the profile
+               (its clocking bypasses the grid by design, so only the
+               schedule itself is checked). *)
+            ok_or_fail
+              (Printf.sprintf "%s/%s reference" mlabel name)
+              (Hcv_check.Legal.verify lr.Pipeline.profile.Profile.sched))
+          r.Pipeline.loop_results;
+        (* Ablation variants of the heterogeneous scheduler. *)
+        List.iter
+          (fun (preplace, score_mode, alabel) ->
+            List.iter
+              (fun (lp : Profile.loop_profile) ->
+                match
+                  Hsched.schedule ~ctx:r.Pipeline.ctx ~config
+                    ~loop:lp.Profile.loop ~preplace ~score_mode ()
+                with
+                | Error _ -> () (* estimate fallback, as in the bench *)
+                | Ok (sched, _) ->
+                  ok_or_fail
+                    (Printf.sprintf "%s/%s %s" mlabel
+                       lp.Profile.loop.Loop.name alabel)
+                    (Hcv_check.Legal.verify sched))
+              r.Pipeline.profile.Profile.loops)
+          [
+            (false, Hsched.Ed2, "no-preplace");
+            (true, Hsched.Schedulability, "sched-score");
+            (false, Hsched.Schedulability, "no-preplace/sched-score");
+          ])
+    [
+      ("unrestricted", machine);
+      ("fig7-grid", Machine.with_grid machine (Presets.grid_of_steps (Some 8)));
+    ]
+
 let suite =
   [
     Alcotest.test_case "full flow" `Quick test_full_flow;
+    Alcotest.test_case "oracle over fig7/ablation pipelines" `Quick
+      test_oracle_over_pipelines;
     Alcotest.test_case "energy model consistency" `Quick
       test_energy_model_consistency;
     Alcotest.test_case "DSL roundtrip through the scheduler" `Quick

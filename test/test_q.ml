@@ -84,6 +84,66 @@ let test_overflow () =
   Alcotest.(check int) "huge int compare" 1
     (Q.compare (Q.of_int big) (Q.of_int (big - 1)))
 
+(* gcd/lcm at the extreme ends of the int range. *)
+let test_gcd_boundaries () =
+  Alcotest.(check int) "gcd max_int max_int" max_int (Q.gcd max_int max_int);
+  Alcotest.(check int) "gcd max_int 1" 1 (Q.gcd max_int 1);
+  Alcotest.(check int) "gcd max_int 0" max_int (Q.gcd max_int 0);
+  (* max_int = 2^62 - 1 = 3 * 715827883 * 2147483647 *)
+  Alcotest.(check int) "gcd max_int 3" 3 (Q.gcd max_int 3);
+  Alcotest.(check int) "gcd max_int 7" 1 (Q.gcd max_int 7);
+  Alcotest.(check bool) "gcd of negatives is non-negative" true
+    (Q.gcd (-12) (-18) = 6);
+  Alcotest.(check int) "gcd 1 1" 1 (Q.gcd 1 1);
+  Alcotest.(check int) "gcd 0 0" 0 (Q.gcd 0 0);
+  Alcotest.(check int) "lcm max_int 1" max_int (Q.lcm max_int 1);
+  Alcotest.(check int) "lcm max_int max_int" max_int (Q.lcm max_int max_int);
+  Alcotest.(check int) "lcm 3 max_int" max_int (Q.lcm 3 max_int);
+  (* make at the boundary stays in normal form *)
+  let m = Q.make max_int max_int in
+  Alcotest.(check q) "max_int/max_int = 1" Q.one m;
+  let h = Q.make max_int 2 in
+  Alcotest.(check int) "max_int/2 num" max_int (Q.num h);
+  Alcotest.(check int) "max_int/2 den" 2 (Q.den h);
+  (* both rounding helpers used to overflow on the adjustment term
+     [p + q - 1] with p near max_int *)
+  Alcotest.(check int) "floor max_int/2" (max_int / 2) (Q.floor h);
+  Alcotest.(check int) "ceil max_int/2" ((max_int / 2) + 1) (Q.ceil h);
+  let nh = Q.make (-max_int) 2 in
+  Alcotest.(check int) "floor -max_int/2" (-((max_int / 2) + 1)) (Q.floor nh);
+  Alcotest.(check int) "ceil -max_int/2" (-(max_int / 2)) (Q.ceil nh)
+
+(* Mixed-sign rationals through every operation class. *)
+let test_mixed_sign () =
+  let a = Q.make (-1) 3 and b = Q.make 1 2 in
+  Alcotest.(check q) "-1/3 + 1/2" (Q.make 1 6) (Q.add a b);
+  Alcotest.(check q) "-1/3 - 1/2" (Q.make (-5) 6) (Q.sub a b);
+  Alcotest.(check q) "-1/3 * 1/2" (Q.make (-1) 6) (Q.mul a b);
+  Alcotest.(check q) "-1/3 / 1/2" (Q.make (-2) 3) (Q.div a b);
+  Alcotest.(check q) "neg * neg" (Q.make 1 6) (Q.mul a (Q.neg b));
+  Alcotest.(check q) "inv of negative" (Q.make (-3) 1) (Q.inv a);
+  Alcotest.(check int) "sign -1/3" (-1) (Q.sign a);
+  Alcotest.(check int) "sign 0" 0 (Q.sign Q.zero);
+  Alcotest.(check bool) "-1/3 < 1/2" true Q.(a < b);
+  Alcotest.(check bool) "-1/2 < -1/3" true Q.(Q.neg b < a);
+  Alcotest.(check q) "min across zero" a (Q.min a b);
+  Alcotest.(check q) "max across zero" b (Q.max a b);
+  Alcotest.(check bool) "-4/2 is an integer" true
+    (Q.is_integer (Q.make (-4) 2));
+  Alcotest.(check int) "floor -1/3" (-1) (Q.floor a);
+  Alcotest.(check int) "ceil -1/3" 0 (Q.ceil a);
+  (* fused ops with a negative divisor flip the rounding direction *)
+  Alcotest.(check int) "floor_div 7/2 by -1" (-4)
+    (Q.floor_div (Q.make 7 2) (Q.of_int (-1)));
+  Alcotest.(check int) "ceil_div 7/2 by -1" (-3)
+    (Q.ceil_div (Q.make 7 2) (Q.of_int (-1)));
+  Alcotest.(check q) "add_mul_int with negative n" (Q.make (-5) 2)
+    (Q.add_mul_int (Q.make 1 2) (Q.make 3 2) (-2));
+  Alcotest.(check q) "mul_int negative" (Q.make 2 3)
+    (Q.mul_int a (-2));
+  Alcotest.(check q) "div_int negative" (Q.make 1 6)
+    (Q.div_int a (-2))
+
 let test_fused_ops () =
   Alcotest.(check int) "ceil_div 7/2 / 1" 4
     (Q.ceil_div (Q.make 7 2) Q.one);
@@ -160,6 +220,8 @@ let suite =
     Alcotest.test_case "of_float_approx" `Quick test_of_float_approx;
     Alcotest.test_case "gcd/lcm" `Quick test_gcd_lcm;
     Alcotest.test_case "near-max_int operands" `Quick test_overflow;
+    Alcotest.test_case "gcd/lcm boundaries" `Quick test_gcd_boundaries;
+    Alcotest.test_case "mixed-sign rationals" `Quick test_mixed_sign;
     Alcotest.test_case "fused ops" `Quick test_fused_ops;
     QCheck_alcotest.to_alcotest prop_add_comm;
     QCheck_alcotest.to_alcotest prop_mul_assoc;
