@@ -30,6 +30,11 @@ module E = Hcv_explore
 let quick = ref false
 let seed = 42
 
+(* Unwrap a Diag-carrying result in a context where failure is fatal. *)
+let diag_ok = function
+  | Ok v -> v
+  | Error d -> failwith (Hcv_obs.Diag.to_string d)
+
 let fig_loops () = if !quick then Some 6 else Some 10
 let fig6_loops () = if !quick then Some 8 else None (* per-spec default *)
 let sense_buses () = if !quick then [ 1 ] else [ 1; 2 ]
@@ -385,17 +390,18 @@ let ablation engine =
   let run_variants (name, _) =
     let spec = Option.get (Specfp.find name) in
     let loops = Specfp.loops ?n_loops ~seed spec in
-    match Profile.profile ~machine ~loops with
-    | Error msg -> { values = []; failure = Some msg }
+    match Profile.profile ~machine ~loops () with
+    | Error d -> { values = []; failure = Some (Hcv_obs.Diag.to_string d) }
     | Ok profile ->
       let units =
         Units.of_reference ~params:Params.default ~n_clusters:4
           profile.Profile.activity
       in
       let ctx = Model.ctx ~params:Params.default ~units () in
-      let homo = Select.optimum_homogeneous ~ctx ~machine profile in
+      let homo = diag_ok (Select.optimum_homogeneous ~ctx ~machine profile) in
       let config =
-        (Select.select_heterogeneous ~ctx ~machine profile).Select.config
+        (diag_ok (Select.select_heterogeneous ~ctx ~machine profile))
+          .Select.config
       in
       let measure ?preplace ?score_mode () =
         let _, ed2, _ =
@@ -457,8 +463,8 @@ let ablation engine =
   let run_unroll (_, _) =
     let spec = Option.get (Specfp.find "sixtrack") in
     let loops = Specfp.loops ~n_loops:(unroll_loops ()) ~seed spec in
-    match Profile.profile ~machine:machine4 ~loops with
-    | Error msg -> { values = []; failure = Some msg }
+    match Profile.profile ~machine:machine4 ~loops () with
+    | Error d -> { values = []; failure = Some (Hcv_obs.Diag.to_string d) }
     | Ok profile ->
       let units =
         Units.of_reference ~params:Params.default ~n_clusters:4
@@ -466,7 +472,7 @@ let ablation engine =
       in
       let ctx = Model.ctx ~params:Params.default ~units () in
       let config =
-        (Select.select_heterogeneous ~ctx ~machine:machine4 profile)
+        (diag_ok (Select.select_heterogeneous ~ctx ~machine:machine4 profile))
           .Select.config
       in
       let sync_and_time unroll =
@@ -512,17 +518,17 @@ let micro () =
   let spec = Option.get (Specfp.find "galgel") in
   let loops = Specfp.loops ~n_loops:6 ~seed spec in
   let loop = List.hd loops in
-  let profile = Result.get_ok (Profile.profile ~machine ~loops) in
+  let profile = diag_ok (Profile.profile ~machine ~loops ()) in
   let units =
     Units.of_reference ~params:Params.default ~n_clusters:4
       profile.Profile.activity
   in
   let ctx = Model.ctx ~params:Params.default ~units () in
-  let hetero = Select.select_heterogeneous ~ctx ~machine profile in
+  let hetero = diag_ok (Select.select_heterogeneous ~ctx ~machine profile) in
   let hetero_sched =
-    match Hsched.schedule ~ctx ~config:hetero.Select.config ~loop () with
-    | Ok (s, _) -> s
-    | Error msg -> failwith msg
+    diag_ok
+      (Result.map fst
+         (Hsched.schedule ~ctx ~config:hetero.Select.config ~loop ()))
   in
   let tests =
     [
@@ -572,7 +578,7 @@ let usage () =
     "usage: main.exe [table1] [table2] [fig6] [fig7] [fig8] [fig9] [ablation]\n\
     \                [micro] [perf] [--quick] [--jobs N] [--cache DIR]\n\
     \                [--resume] [--telemetry-csv FILE] [--perf-out FILE]\n\
-    \                [--perf-baseline FILE] [--perf-reps N]";
+    \                [--perf-baseline FILE] [--perf-reps N] [--perf-gate R]";
   exit 2
 
 let () =
@@ -583,6 +589,7 @@ let () =
   let perf_out = ref "BENCH_2.json" in
   let perf_baseline = ref "BENCH_seed.json" in
   let perf_reps = ref None in
+  let perf_gate = ref None in
   let int_arg name v =
     match int_of_string_opt v with
     | Some n when n >= 1 -> n
@@ -616,8 +623,16 @@ let () =
     | "--perf-reps" :: v :: rest ->
       perf_reps := Some (int_arg "--perf-reps" v);
       parse selected rest
+    | "--perf-gate" :: v :: rest ->
+      (match float_of_string_opt v with
+      | Some g when g > 0.0 -> perf_gate := Some g
+      | Some _ | None ->
+        Printf.eprintf "error: --perf-gate expects a positive ratio, got %S\n"
+          v;
+        usage ());
+      parse selected rest
     | ( "--jobs" | "--cache" | "--telemetry-csv" | "--perf-out"
-      | "--perf-baseline" | "--perf-reps" )
+      | "--perf-baseline" | "--perf-reps" | "--perf-gate" )
       :: [] ->
       usage ()
     | arg :: _ when String.length arg > 1 && arg.[0] = '-' ->
@@ -666,4 +681,4 @@ let () =
           | None -> if !quick then 3 else 5
         in
         Perf.run ~quick:!quick ~reps ~out:!perf_out ~baseline:!perf_baseline
-          ())
+          ?gate:!perf_gate ())

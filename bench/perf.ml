@@ -74,8 +74,9 @@ let setup ~quick name =
   let n_loops = if quick then 2 else 4 in
   let spec = Option.get (Specfp.find name) in
   let loops = Specfp.loops ~n_loops ~seed spec in
-  match Profile.profile ~machine ~loops with
-  | Error msg -> failwith (Printf.sprintf "perf setup %s: %s" name msg)
+  match Profile.profile ~machine ~loops () with
+  | Error d ->
+    failwith (Printf.sprintf "perf setup %s: %s" name (Hcv_obs.Diag.to_string d))
   | Ok profile ->
     let units =
       Units.of_reference ~params:Params.default ~n_clusters:4
@@ -83,7 +84,11 @@ let setup ~quick name =
     in
     let ctx = Model.ctx ~params:Params.default ~units () in
     let config =
-      (Select.select_heterogeneous ~ctx ~machine profile).Select.config
+      match Select.select_heterogeneous ~ctx ~machine profile with
+      | Ok c -> c.Select.config
+      | Error d ->
+        failwith
+          (Printf.sprintf "perf setup %s: %s" name (Hcv_obs.Diag.to_string d))
     in
     let sched_items =
       List.filter_map
@@ -192,7 +197,7 @@ let write_file file s =
   output_string oc s;
   close_out oc
 
-let run ~quick ~reps ~out ~baseline () =
+let run ~quick ~reps ~out ~baseline ?gate () =
   let bench_names =
     if quick then [ "sixtrack"; "facerec" ]
     else [ "sixtrack"; "facerec"; "galgel" ]
@@ -290,4 +295,18 @@ let run ~quick ~reps ~out ~baseline () =
       Printf.eprintf "perf: median speedup over %s: %.2fx\n%!"
         (String.concat "/" sched_stages)
         s
-    | None -> ())
+    | None -> ());
+  (* Acceptance gate: the tracing-off scheduler must stay within noise
+     of the pinned baseline.  Only meaningful when a baseline exists. *)
+  match (gate, sched_speedup) with
+  | Some g, Some s when s < g ->
+    Printf.eprintf
+      "perf: FAIL — median sched-stage speedup %.2fx below gate %.2fx\n%!" s g;
+    exit 1
+  | Some g, Some s ->
+    Printf.eprintf "perf: gate ok (%.2fx >= %.2fx)\n%!" s g
+  | Some g, None ->
+    Printf.eprintf
+      "perf: gate %.2fx requested but no baseline at %s — not enforced\n%!" g
+      baseline
+  | None, _ -> ()

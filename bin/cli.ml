@@ -25,12 +25,22 @@ let or_die = function
     Printf.eprintf "error: %s\n" msg;
     exit 1
 
+(* Same, for results whose error is a structured diagnostic. *)
+let diag_ok = function
+  | Ok v -> v
+  | Error d ->
+    Printf.eprintf "error: %s\n" (Hcv_obs.Diag.to_string d);
+    exit 1
+
 (* ----- bench: run the full pipeline for benchmarks ---------------- *)
 
 let run_benchmark ~buses ~n_loops ~seed name =
   let machine = machine_of ~buses in
   match Specfp.find name with
-  | None -> Error (Printf.sprintf "unknown benchmark %S" name)
+  | None ->
+    Error
+      (Hcv_obs.Diag.v ~code:"unknown-benchmark"
+         (Printf.sprintf "unknown benchmark %S" name))
   | Some spec ->
     let loops = Specfp.loops ?n_loops ~seed spec in
     Pipeline.run ~machine ~name ~loops ()
@@ -56,7 +66,7 @@ let bench_cmd =
     in
     List.iter
       (fun n ->
-        let r = or_die (run_benchmark ~buses ~n_loops ~seed n) in
+        let r = diag_ok (run_benchmark ~buses ~n_loops ~seed n) in
         Format.printf "%a@." Pipeline.pp_summary r)
       names
   in
@@ -123,14 +133,14 @@ let schedule_cmd =
     let machine = machine_of ~buses in
     let loops = or_die (load_loops file) in
     if hetero then begin
-      let profile = or_die (Profile.profile ~machine ~loops) in
+      let profile = diag_ok (Profile.profile ~machine ~loops ()) in
       let units =
         Units.of_reference ~params:Params.default
           ~n_clusters:(Machine.n_clusters machine)
           profile.Profile.activity
       in
       let ctx = Model.ctx ~params:Params.default ~units () in
-      let choice = Select.select_heterogeneous ~ctx ~machine profile in
+      let choice = diag_ok (Select.select_heterogeneous ~ctx ~machine profile) in
       Format.printf "%a@.@." Select.pp_choice choice;
       List.iter
         (fun loop ->
@@ -141,7 +151,8 @@ let schedule_cmd =
             Format.printf "%a@.(IT=%a, MIT=%a, %d pre-placed)@.@."
               Hcv_sched.Schedule.pp sched Q.pp stats.Hsched.it Q.pp
               stats.Hsched.mit stats.Hsched.prePlaced
-          | Error msg -> Format.printf "%s: FAILED: %s@." loop.Loop.name msg)
+          | Error d ->
+            Format.printf "%s: FAILED: %a@." loop.Loop.name Hcv_obs.Diag.pp d)
         loops
     end
     else
@@ -193,6 +204,48 @@ let gen_cmd =
 (* ----- explore ------------------------------------------------------ *)
 
 module E = Hcv_explore
+
+(* ----- observability flags (--trace / --metrics) ------------------- *)
+
+let trace_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Write the run's span tree to $(docv) as JSONL: one object per \
+           span in pre-order, with an explicit depth.  Wall-clock \
+           durations and volatile gauges come last in each object so \
+           they can be stripped mechanically; everything before them is \
+           byte-identical for any --jobs value and cache state.")
+
+let metrics_arg =
+  Arg.(
+    value & flag
+    & info [ "metrics" ]
+        ~doc:
+          "Print the span/counter table to stderr when the run completes.")
+
+(* Run [f] under a collecting root span when --trace or --metrics asked
+   for one, under the free null span otherwise (the zero-cost-when-off
+   contract).  The metrics table goes to stderr so the deterministic
+   stdout of the figures stays untouched. *)
+let with_obs ~trace ~metrics name f =
+  if trace = None && not metrics then f Hcv_obs.Trace.null
+  else begin
+    let sp = Hcv_obs.Trace.root name in
+    let r = f sp in
+    (match Hcv_obs.Trace.export sp with
+    | None -> ()
+    | Some node ->
+      Option.iter
+        (fun path -> E.Tracex.write_jsonl ~wall:true ~path node)
+        trace;
+      if metrics then begin
+        Hcv_obs.Metrics.print Format.err_formatter node;
+        Format.pp_print_flush Format.err_formatter ()
+      end);
+    r
+  end
 
 (* Parallel, memoised design-space exploration over the synthetic
    SPECfp population: every (benchmark, machine variant) cell runs the
@@ -258,7 +311,8 @@ let explore_cmd =
           ~doc:"Also print each benchmark's selected heterogeneous \
                 configuration.")
   in
-  let run benches buses n_loops seed steps jobs cache resume csv show_config =
+  let run benches buses n_loops seed steps jobs cache resume csv show_config
+      trace metrics =
     setup_logs ();
     if resume && cache = None then
       or_die (Error "--resume needs --cache DIR");
@@ -293,7 +347,10 @@ let explore_cmd =
           Specfp.loops ?n_loops:c.Sweep.n_loops ~seed:c.Sweep.seed
             (Option.get (Specfp.find c.Sweep.bench))
         in
-        let outcomes = Sweep.run engine ~label:"explore" ~loops_of cells in
+        let outcomes =
+          with_obs ~trace ~metrics "explore" (fun obs ->
+              Sweep.run engine ~label:"explore" ~obs ~loops_of cells)
+        in
         let t =
           Tablefmt.create
             [
@@ -366,7 +423,111 @@ let explore_cmd =
           checkpoint/resume.")
     Term.(
       const run $ bench_arg $ buses $ n_loops $ seed $ steps $ jobs $ cache
-      $ resume $ csv $ show_config)
+      $ resume $ csv $ show_config $ trace_arg $ metrics_arg)
+
+(* ----- fig7: the paper's Figure 7 through the staged pipeline ------- *)
+
+let fig7_cmd =
+  let quick =
+    Arg.(
+      value & flag
+      & info [ "quick" ]
+          ~doc:
+            "Small variant: 1 bus, 6 loops per benchmark (the \
+             golden-pinned configuration).")
+  in
+  let jobs =
+    Arg.(
+      value & opt int 1
+      & info [ "jobs"; "j" ] ~docv:"N"
+          ~doc:"Worker domains for the sweep (1 = serial; stdout and the \
+                deterministic trace are identical for any value).")
+  in
+  let cache =
+    Arg.(
+      value & opt (some string) None
+      & info [ "cache" ] ~docv:"DIR"
+          ~doc:"Persist completed cells to $(docv) and reuse them on later \
+                runs (each cell's trace rides the cache, so warm and cold \
+                runs emit the same spans).")
+  in
+  let run quick jobs cache trace metrics =
+    setup_logs ();
+    let buses_list = if quick then [ 1 ] else [ 1; 2 ] in
+    let n_loops = if quick then Some 6 else Some 10 in
+    let steps_list = [ None; Some 16; Some 8; Some 4 ] in
+    let cells =
+      List.concat_map
+        (fun buses ->
+          List.concat_map
+            (fun steps ->
+              List.map
+                (fun spec ->
+                  Sweep.cell ~buses ?n_loops ~seed:42 ?grid_steps:steps
+                    spec.Specfp.name)
+                Specfp.all)
+            steps_list)
+        buses_list
+    in
+    let cache = Option.map E.Cache.open_dir cache in
+    let engine = E.Engine.create ~jobs ?cache () in
+    Fun.protect
+      ~finally:(fun () -> E.Engine.shutdown engine)
+      (fun () ->
+        with_obs ~trace ~metrics "fig7" (fun obs ->
+            let loops_of (c : Sweep.cell) =
+              Specfp.loops ?n_loops:c.Sweep.n_loops ~seed:c.Sweep.seed
+                (Option.get (Specfp.find c.Sweep.bench))
+            in
+            Printf.printf
+              "Figure 7: mean ED2 ratio vs number of supported frequencies\n%!";
+            let outcomes =
+              ref (Sweep.run engine ~label:"fig7" ~obs ~loops_of cells)
+            in
+            let n_specs = List.length Specfp.all in
+            let next_group () =
+              let g = Listx.take n_specs !outcomes in
+              outcomes := Listx.drop n_specs !outcomes;
+              g
+            in
+            let t =
+              Tablefmt.create
+                [
+                  ("buses", Tablefmt.Right);
+                  ("any freq", Tablefmt.Right);
+                  ("16 freqs", Tablefmt.Right);
+                  ("8 freqs", Tablefmt.Right);
+                  ("4 freqs", Tablefmt.Right);
+                ]
+            in
+            List.iter
+              (fun buses ->
+                let row =
+                  List.map
+                    (fun _steps ->
+                      let ok =
+                        List.filter
+                          (fun (o : Sweep.outcome) -> o.Sweep.error = None)
+                          (next_group ())
+                      in
+                      Tablefmt.cell_f
+                        (Listx.mean
+                           (List.map
+                              (fun (o : Sweep.outcome) -> o.Sweep.ed2_ratio)
+                              ok)))
+                    steps_list
+                in
+                Tablefmt.add_row t (string_of_int buses :: row))
+              buses_list;
+            Tablefmt.print t))
+  in
+  Cmd.v
+    (Cmd.info "fig7"
+       ~doc:
+         "Reproduce the paper's Figure 7 (mean ED2 ratio vs number of \
+          supported frequencies) through the staged pipeline, with \
+          per-stage span tracing (--trace) and counters (--metrics).")
+    Term.(const run $ quick $ jobs $ cache $ trace_arg $ metrics_arg)
 
 (* ----- fuzz: differential testing of the scheduler ------------------ *)
 
@@ -393,14 +554,16 @@ let fuzz_cmd =
       value & flag
       & info [ "no-shrink" ] ~doc:"Log failing cases without minimising them.")
   in
-  let run seed cases jobs log no_shrink =
+  let run seed cases jobs log no_shrink trace metrics =
     setup_logs ();
     let pool = E.Pool.create ~jobs () in
     let report =
-      Fun.protect
-        ~finally:(fun () -> E.Pool.shutdown pool)
-        (fun () ->
-          Hcv_check.Diff.run ~pool ~shrink:(not no_shrink) ~seed ~cases ())
+      with_obs ~trace ~metrics "fuzz" (fun obs ->
+          Fun.protect
+            ~finally:(fun () -> E.Pool.shutdown pool)
+            (fun () ->
+              Hcv_check.Diff.run ~pool ~obs ~shrink:(not no_shrink) ~seed
+                ~cases ()))
     in
     Format.printf "%a@." Hcv_check.Diff.pp_report report;
     (match log with
@@ -432,7 +595,8 @@ let fuzz_cmd =
           loops/machines/configurations, checked by the independent \
           legality oracle, the cycle simulator and the energy/time \
           estimation models.")
-    Term.(const run $ seed $ cases $ jobs $ log $ no_shrink)
+    Term.(const run $ seed $ cases $ jobs $ log $ no_shrink $ trace_arg
+          $ metrics_arg)
 
 (* ----- simulate: run loops through the cycle simulator ------------- *)
 
@@ -522,7 +686,7 @@ let debug_cmd =
     let machine = machine_of ~buses:1 in
     let spec = Option.get (Specfp.find bench) in
     let loops = Specfp.loops ~seed:42 spec in
-    let r = or_die (Pipeline.run ~machine ~name:bench ~loops ()) in
+    let r = diag_ok (Pipeline.run ~machine ~name:bench ~loops ()) in
     let pr_act label (a : Activity.t) =
       Format.printf "%s: T=%.0f ins=[%s] comms=%.0f mem=%.0f@." label
         a.Activity.exec_time_ns
@@ -573,4 +737,4 @@ let main () =
     (Cmd.eval
        (Cmd.group info
           [ bench_cmd; table2_cmd; schedule_cmd; simulate_cmd; report_cmd; dot_cmd;
-            gen_cmd; explore_cmd; fuzz_cmd; debug_cmd ]))
+            gen_cmd; explore_cmd; fig7_cmd; fuzz_cmd; debug_cmd ]))

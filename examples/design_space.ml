@@ -15,16 +15,20 @@ let () =
   let spec = Option.get (Specfp.find "sixtrack") in
   let loops = Specfp.loops ~n_loops:8 ~seed:42 spec in
   let profile =
-    match Profile.profile ~machine ~loops with
+    match Profile.profile ~machine ~loops () with
     | Ok p -> p
-    | Error msg -> failwith msg
+    | Error d -> failwith (Hcv_obs.Diag.to_string d)
   in
   let units =
     Units.of_reference ~params:Params.default ~n_clusters:4
       profile.Profile.activity
   in
   let ctx = Model.ctx ~params:Params.default ~units () in
-  let homo = Select.optimum_homogeneous ~ctx ~machine profile in
+  let homo =
+    match Select.optimum_homogeneous ~ctx ~machine profile with
+    | Ok c -> c
+    | Error d -> failwith (Hcv_obs.Diag.to_string d)
+  in
   Format.printf "optimum homogeneous: ED2 = %.4g@.@." homo.Select.predicted_ed2;
 
   let t =
@@ -37,7 +41,11 @@ let () =
         ("ED2 vs homo", Tablefmt.Right);
       ]
   in
-  let best = Select.select_heterogeneous ~ctx ~machine profile in
+  let best =
+    match Select.select_heterogeneous ~ctx ~machine profile with
+    | Ok c -> c
+    | Error d -> failwith (Hcv_obs.Diag.to_string d)
+  in
   List.iter
     (fun fast ->
       let fast_ct = Q.mul Presets.reference_cycle_time fast in

@@ -27,9 +27,9 @@ let () =
           ~trip:300 ())
   in
   let profile =
-    match Profile.profile ~machine ~loops with
+    match Profile.profile ~machine ~loops () with
     | Ok p -> p
-    | Error msg -> failwith msg
+    | Error d -> failwith (Hcv_obs.Diag.to_string d)
   in
   let units =
     Units.of_reference ~params:Params.default ~n_clusters:4
@@ -37,15 +37,19 @@ let () =
   in
   let ctx = Model.ctx ~params:Params.default ~units () in
 
-  let homo = Select.optimum_homogeneous ~ctx ~machine profile in
-  let hetero = Select.select_heterogeneous ~ctx ~machine profile in
+  let diag_ok = function
+    | Ok v -> v
+    | Error d -> failwith (Hcv_obs.Diag.to_string d)
+  in
+  let homo = diag_ok (Select.optimum_homogeneous ~ctx ~machine profile) in
+  let hetero = diag_ok (Select.select_heterogeneous ~ctx ~machine profile) in
   Format.printf "optimum homogeneous:@.%a@.@." Select.pp_choice homo;
   Format.printf "selected heterogeneous:@.%a@.@." Select.pp_choice hetero;
 
   (* Schedule one loop and show where the recurrence went. *)
   let loop = List.hd loops in
   match Hsched.schedule ~ctx ~config:hetero.Select.config ~loop () with
-  | Error msg -> Format.printf "scheduling failed: %s@." msg
+  | Error d -> Format.printf "scheduling failed: %a@." Hcv_obs.Diag.pp d
   | Ok (sched, stats) ->
     Format.printf "loop %s: IT=%a ns (MIT=%a), %d instructions pre-placed@."
       loop.Loop.name Q.pp stats.Hsched.it Q.pp stats.Hsched.mit

@@ -36,7 +36,7 @@ let () =
     loops;
   Format.printf "@.";
   match Pipeline.run ~machine ~name:"resource-demo" ~loops () with
-  | Error msg -> Format.printf "pipeline failed: %s@." msg
+  | Error d -> Format.printf "pipeline failed: %a@." Hcv_obs.Diag.pp d
   | Ok r ->
     Format.printf "chosen configuration:@.%a@.@." Select.pp_choice
       r.Pipeline.hetero;

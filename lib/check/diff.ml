@@ -165,6 +165,7 @@ let check_scheduled ~tol (c : Gen.case) (sched : Schedule.t) =
   catching "estimate" (fun () ->
       match
         Hcv_core.Profile.profile ~machine:c.Gen.machine ~loops:[ c.Gen.loop ]
+          ()
       with
       | Error _ -> () (* reference profile unobtainable: skip *)
       | Ok profile ->
@@ -238,8 +239,8 @@ let shrunk_repro ~tol ~shrink ~shrink_checks (c : Gen.case) category =
     in
     Gen.print_case (Gen.shrink ~max_checks:shrink_checks ~keep c)
 
-let run ?pool ?(tol = default_tolerances) ?(shrink = true)
-    ?(shrink_checks = 150) ~seed ~cases () =
+let run ?pool ?(obs = Hcv_obs.Trace.null) ?(tol = default_tolerances)
+    ?(shrink = true) ?(shrink_checks = 150) ~seed ~cases () =
   (* Sub-seeds drawn up front from one stream, so the work list — and
      therefore every result — is identical for any worker count. *)
   let seeds =
@@ -267,6 +268,17 @@ let run ?pool ?(tol = default_tolerances) ?(shrink = true)
     | Some p -> Pool.map p check seeds
     | None -> List.map check seeds
   in
+  Hcv_obs.Trace.add obs "fuzz.cases" cases;
+  List.iter
+    (fun ((o : outcome), fs) ->
+      if o.scheduled then Hcv_obs.Trace.incr obs "fuzz.scheduled"
+      else Hcv_obs.Trace.incr obs "fuzz.unschedulable";
+      List.iter
+        (fun f ->
+          Hcv_obs.Trace.incr obs
+            ("fuzz.fail." ^ category_to_string f.category))
+        fs)
+    results;
   List.fold_left
     (fun acc ((o : outcome), fs) ->
       {

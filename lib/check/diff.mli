@@ -79,12 +79,15 @@ type report = {
 }
 
 val run :
-  ?pool:Pool.t -> ?tol:tolerances -> ?shrink:bool -> ?shrink_checks:int
-  -> seed:int -> cases:int -> unit -> report
+  ?pool:Pool.t -> ?obs:Hcv_obs.Trace.span -> ?tol:tolerances -> ?shrink:bool
+  -> ?shrink_checks:int -> seed:int -> cases:int -> unit -> report
 (** Fuzz [cases] cases derived deterministically from [seed] (the same
     cases regardless of [pool] size).  Each failing case is shrunk with
     {!Gen.shrink} (keep = same failure category; at most [shrink_checks]
-    re-checks, default 150) unless [shrink] is [false]. *)
+    re-checks, default 150) unless [shrink] is [false].  [?obs] counts
+    ["fuzz.cases"], ["fuzz.scheduled"], ["fuzz.unschedulable"] and one
+    ["fuzz.fail.<category>"] counter per failure — all deterministic for
+    a fixed seed, whatever the pool size. *)
 
 val failure_json : failure -> Jsonx.t
 (** One JSONL record: seed, category, detail and the printable repro. *)

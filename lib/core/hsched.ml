@@ -27,7 +27,7 @@ let cluster_fits ~machine ~clocking ~ddg ~cluster ~already nodes min_ii =
     res <= ii
   end
 
-let preplace_recurrences ~config ~clocking ddg =
+let preplace_recurrences ?(obs = Hcv_obs.Trace.null) ~config ~clocking ddg =
   let machine = config.Opconfig.machine in
   let n_clusters = Machine.n_clusters machine in
   let recs = Recurrence.find_all ddg in
@@ -59,8 +59,13 @@ let preplace_recurrences ~config ~clocking ddg =
       match !best with
       | None ->
         Error
-          (Format.asprintf "recurrence %a fits no cluster at IT=%a"
-             Recurrence.pp r Q.pp clocking.Clocking.it)
+          (Hcv_obs.Diag.v ~code:"preplace-no-cluster"
+             ~context:
+               [
+                 ("recurrence", Format.asprintf "%a" Recurrence.pp r);
+                 ("it", Format.asprintf "%a" Q.pp clocking.Clocking.it);
+               ]
+             "recurrence fits no cluster at this initiation time")
       | Some (c, _) ->
         placed_per_cluster.(c) <- r.Recurrence.nodes @ placed_per_cluster.(c);
         place
@@ -69,13 +74,18 @@ let preplace_recurrences ~config ~clocking ddg =
              acc)
           rest)
   in
-  place [] needs_placement
+  let r = place [] needs_placement in
+  (match r with
+  | Ok placed ->
+    Hcv_obs.Trace.add obs "preplace.placed" (List.length placed)
+  | Error _ -> Hcv_obs.Trace.incr obs "preplace.rejects");
+  r
 
 (* Score a candidate partition by the ED2 its pseudo-schedule predicts
    (paper §4.1.2).  Unschedulable partitions keep the huge
    schedulability-first penalties so that any feasible partition wins. *)
-let ed2_score ?memo ~ctx ~config ~machine ~clocking ~loop assignment =
-  let est = Pseudo.estimate ?memo ~machine ~clocking ~loop ~assignment () in
+let ed2_score ?memo ?obs ~ctx ~config ~machine ~clocking ~loop assignment =
+  let est = Pseudo.estimate ?memo ?obs ~machine ~clocking ~loop ~assignment () in
   if not (Pseudo.feasible est) then 1e14 +. Pseudo.score est
   else begin
     let act =
@@ -86,6 +96,13 @@ let ed2_score ?memo ~ctx ~config ~machine ~clocking ~loop assignment =
   end
 
 type score_mode = Ed2 | Schedulability
+
+(* Counter-safe slugs for the slot-scheduler failure causes (the
+   human-readable {!Slot_sched.failure_to_string} strings have spaces). *)
+let slot_failure_slug = function
+  | Slot_sched.Budget_exhausted -> "budget_exhausted"
+  | Slot_sched.Positive_cycle -> "positive_cycle"
+  | Slot_sched.Register_pressure -> "register_pressure"
 
 (* Memoise a partition-scoring function by the exact assignment.  The
    multilevel refinement proposes the same (or a just-reverted)
@@ -108,8 +125,9 @@ let memoised_score score =
       Hashtbl.add cache key s;
       s
 
-let schedule ~ctx ~config ~loop ?(max_tries = 64) ?(seed = 0)
-    ?(preplace = true) ?(score_mode = Ed2) ?(score_memo = true) () =
+let schedule ?(obs = Hcv_obs.Trace.null) ~ctx ~config ~loop ?(max_tries = 64)
+    ?(seed = 0) ?(preplace = true) ?(score_mode = Ed2) ?(score_memo = true) ()
+    =
   let machine = config.Opconfig.machine in
   let n_clusters = Machine.n_clusters machine in
   let ddg = loop.Loop.ddg in
@@ -118,36 +136,47 @@ let schedule ~ctx ~config ~loop ?(max_tries = 64) ?(seed = 0)
   let groups =
     List.map (fun (r : Recurrence.t) -> r.Recurrence.nodes) (Recurrence.find_all ddg)
   in
-  let rec attempt it tries sync_bumps =
+  let rec attempt it tries sync_bumps last_cause =
     if tries > max_tries then
       Error
-        (Format.asprintf "no heterogeneous schedule for %s within %d ITs (MIT=%a)"
-           loop.Loop.name max_tries Q.pp mit)
+        (Hcv_obs.Diag.v ~code:"unschedulable"
+           ~context:
+             [
+               ("loop", loop.Loop.name);
+               ("mit", Format.asprintf "%a" Q.pp mit);
+               ("max_tries", string_of_int max_tries);
+               ("last_cause", last_cause);
+             ]
+           "no heterogeneous schedule within the IT budget")
     else begin
-      let bump ~sync () =
+      Hcv_obs.Trace.incr obs "hsched.attempts";
+      let bump ~sync ~cause () =
         attempt
           (Mit.next_candidate ~config ~after:it)
           (tries + 1)
           (if sync then sync_bumps + 1 else sync_bumps)
+          cause
       in
       match Clocking.of_config ~config ~it with
-      | Error _ -> bump ~sync:true ()
+      | Error _ ->
+        Hcv_obs.Trace.incr obs "hsched.clock_rejects";
+        bump ~sync:true ~cause:"clocking" ()
       | Ok clocking -> (
         match
-          (if preplace then preplace_recurrences ~config ~clocking ddg
+          (if preplace then preplace_recurrences ~obs ~config ~clocking ddg
            else Ok [])
         with
-        | Error _ -> bump ~sync:false ()
+        | Error _ -> bump ~sync:false ~cause:"preplace" ()
         | Ok fixed -> (
           let memo = Timing.Memo.create clocking in
           let score =
             match score_mode with
-            | Ed2 -> ed2_score ~memo ~ctx ~config ~machine ~clocking ~loop
+            | Ed2 -> ed2_score ~memo ~obs ~ctx ~config ~machine ~clocking ~loop
             | Schedulability ->
               fun assignment ->
                 Pseudo.score
-                  (Pseudo.estimate ~memo ~machine ~clocking ~loop ~assignment
-                     ())
+                  (Pseudo.estimate ~memo ~obs ~machine ~clocking ~loop
+                     ~assignment ())
           in
           (* The memo depends on the clocking, so it lives exactly as
              long as this IT attempt; sharing it across the two
@@ -160,10 +189,10 @@ let schedule ~ctx ~config ~loop ?(max_tries = 64) ?(seed = 0)
           (* Two deterministic restarts of the multilevel partitioner;
              keep the better-scored partition. *)
           let part_a =
-            Partition.run ~n_clusters ~ddg ~fixed ~groups ~seed ~score ()
+            Partition.run ~obs ~n_clusters ~ddg ~fixed ~groups ~seed ~score ()
           in
           let part_b =
-            Partition.run ~n_clusters ~ddg ~fixed ~groups ~seed:(seed + 1)
+            Partition.run ~obs ~n_clusters ~ddg ~fixed ~groups ~seed:(seed + 1)
               ~score ()
           in
           let part =
@@ -184,7 +213,10 @@ let schedule ~ctx ~config ~loop ?(max_tries = 64) ?(seed = 0)
                   sync_bumps;
                   prePlaced = List.length fixed;
                 } )
-          | Error _ -> bump ~sync:false ()))
+          | Error f ->
+            let cause = slot_failure_slug f in
+            Hcv_obs.Trace.incr obs ("hsched.slot." ^ cause);
+            bump ~sync:false ~cause ()))
     end
   in
-  attempt mit 1 0
+  attempt mit 1 0 "none"

@@ -29,11 +29,13 @@ type stats = {
 }
 
 val preplace_recurrences :
-  config:Opconfig.t -> clocking:Clocking.t -> Ddg.t
-  -> ((Instr.id * int) list, string) result
+  ?obs:Hcv_obs.Trace.span -> config:Opconfig.t -> clocking:Clocking.t
+  -> Ddg.t -> ((Instr.id * int) list, Hcv_obs.Diag.t) result
 (** The §4.1.1 pre-placement: assignments for every instruction in a
     recurrence whose minimum II exceeds the II of at least one cluster.
-    [Error] when some recurrence fits no cluster at this clocking. *)
+    Errors with [preplace-no-cluster] (context: the recurrence and the
+    IT) when some recurrence fits no cluster at this clocking.  [?obs]
+    counts ["preplace.placed"] / ["preplace.rejects"]. *)
 
 type score_mode =
   | Ed2  (** the paper's §4.1.2 refinement objective *)
@@ -43,13 +45,21 @@ type score_mode =
           energy-aware refinement *)
 
 val schedule :
-  ctx:Model.ctx -> config:Opconfig.t -> loop:Loop.t -> ?max_tries:int
-  -> ?seed:int -> ?preplace:bool -> ?score_mode:score_mode
-  -> ?score_memo:bool -> unit -> (Schedule.t * stats, string) result
+  ?obs:Hcv_obs.Trace.span -> ctx:Model.ctx -> config:Opconfig.t
+  -> loop:Loop.t -> ?max_tries:int -> ?seed:int -> ?preplace:bool
+  -> ?score_mode:score_mode -> ?score_memo:bool -> unit
+  -> (Schedule.t * stats, Hcv_obs.Diag.t) result
 (** [max_tries] (default 64) bounds IT candidates above the MIT.
     [preplace] (default true) and [score_mode] (default [Ed2]) are
     ablation switches for the two heterogeneous-specific ingredients of
     §4.1.  [score_memo] (default true) memoises the partition-scoring
     function by exact assignment within each IT attempt; it never
     changes the result (the score is pure per clocking) and exists as a
-    switch for the equivalence tests. *)
+    switch for the equivalence tests.
+
+    Errors with [unschedulable] (context: loop, MIT, [max_tries] and the
+    last failure cause) when the IT budget is exhausted.  [?obs] counts
+    per-phase events: ["hsched.attempts"], ["hsched.clock_rejects"],
+    ["hsched.slot.<cause>"] per slot-scheduler failure, plus the
+    {!Hcv_sched.Partition}, {!Hcv_sched.Pseudo} and pre-placement
+    counters of the phases it drives. *)

@@ -40,6 +40,8 @@ let res_mit ~config ddg =
   else begin
     List.iter
       (fun (kind, _) ->
+        (* Invariant: presets and Gen only build machines with every FU
+           kind the workloads demand. *)
         if Machine.fu_total machine kind = 0 then
           invalid_arg
             (Printf.sprintf "Mit.res_mit: no %s anywhere in the machine"
@@ -84,4 +86,5 @@ let next_candidate ~config ~after =
   done;
   match !best with
   | Some b -> b
+  (* Invariant: [Machine.make] rejects cluster-less machines. *)
   | None -> invalid_arg "Mit.next_candidate: machine has no clusters"

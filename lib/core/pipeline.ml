@@ -1,6 +1,7 @@
 open Hcv_machine
 open Hcv_energy
 open Hcv_sched
+open Hcv_obs
 
 let src = Logs.Src.create "hcv.pipeline" ~doc:"benchmark pipeline"
 
@@ -20,6 +21,7 @@ type t = {
   hetero : Select.choice;
   loop_results : loop_result list;
   fallbacks : int;
+  fallback_causes : (string * Diag.t) list;
   hetero_activity : Activity.t;
   ed2_homo : float;
   ed2_hetero : float;
@@ -29,33 +31,42 @@ type t = {
 }
 
 (* Schedule every loop under [config] and aggregate the measured
-   activity; loops that fail fall back to the §3.2 estimate. *)
-let evaluate ?preplace ?score_mode ~ctx ~machine ~name (profile : Profile.t)
-    (choice : Select.choice) =
+   activity; loops that fail fall back to the §3.2 estimate, recording
+   the loop and the diagnostic that caused the fallback. *)
+let evaluate ?preplace ?score_mode ?(obs = Trace.null) ~ctx ~machine ~name
+    (profile : Profile.t) (choice : Select.choice) =
   let config = choice.Select.config in
-  let loop_results, fallback_acts =
+  let loop_results, fallbacks_rev =
     List.fold_left
       (fun (acc, fb) (lp : Profile.loop_profile) ->
-        match
-          Hsched.schedule ?preplace ?score_mode ~ctx ~config
-            ~loop:lp.Profile.loop ()
-        with
-        | Ok (schedule, stats) -> ({ profile = lp; schedule; stats } :: acc, fb)
-        | Error msg ->
-          Log.warn (fun m ->
-              m "%s: loop %s fell back to the estimate: %s" name
-                lp.Profile.loop.Hcv_ir.Loop.name msg);
-          let est = Estimate.loop_estimate ~config lp in
-          let ref_act = lp.Profile.activity in
-          let act =
-            Activity.make ~exec_time_ns:est.Estimate.exec_ns
-              ~per_cluster_ins_energy:ref_act.Activity.per_cluster_ins_energy
-              ~n_comms:ref_act.Activity.n_comms ~n_mem:ref_act.Activity.n_mem
-          in
-          (acc, Activity.scale act lp.Profile.reps :: fb))
+        let lname = lp.Profile.loop.Hcv_ir.Loop.name in
+        Trace.span obs ("loop:" ^ lname) (fun sp ->
+            match
+              Hsched.schedule ~obs:sp ?preplace ?score_mode ~ctx ~config
+                ~loop:lp.Profile.loop ()
+            with
+            | Ok (schedule, stats) ->
+              ({ profile = lp; schedule; stats } :: acc, fb)
+            | Error diag ->
+              Log.warn (fun m ->
+                  m "%s: loop %s fell back to the estimate: %a" name lname
+                    Diag.pp diag);
+              Trace.incr sp ("fallback." ^ Diag.code diag);
+              let est = Estimate.loop_estimate ~config lp in
+              let ref_act = lp.Profile.activity in
+              let act =
+                Activity.make ~exec_time_ns:est.Estimate.exec_ns
+                  ~per_cluster_ins_energy:
+                    ref_act.Activity.per_cluster_ins_energy
+                  ~n_comms:ref_act.Activity.n_comms
+                  ~n_mem:ref_act.Activity.n_mem
+              in
+              ( acc,
+                (lname, diag, Activity.scale act lp.Profile.reps) :: fb )))
       ([], []) profile.Profile.loops
   in
   let loop_results = List.rev loop_results in
+  let fallbacks = List.rev fallbacks_rev in
   let activity =
     List.fold_left
       (fun acc r ->
@@ -67,67 +78,121 @@ let evaluate ?preplace ?score_mode ~ctx ~machine ~name (profile : Profile.t)
       (Activity.zero ~n_clusters:(Machine.n_clusters machine))
       loop_results
   in
-  let activity = List.fold_left Activity.add activity fallback_acts in
+  let activity =
+    List.fold_left (fun acc (_, _, a) -> Activity.add acc a) activity fallbacks
+  in
   let ed2 = Model.ed2 ctx ~config activity in
-  (loop_results, List.length fallback_acts, activity, ed2)
+  let causes = List.map (fun (l, d, _) -> (l, d)) fallbacks in
+  (loop_results, causes, activity, ed2)
 
-let run ?pool ?(params = Params.default) ~machine ~name ~loops () =
-  match Profile.profile ~machine ~loops with
-  | Error msg -> Error (Printf.sprintf "%s: profiling failed: %s" name msg)
-  | Ok profile ->
-    let units =
-      Units.of_reference ~params ~n_clusters:(Machine.n_clusters machine)
-        profile.Profile.activity
-    in
-    let ctx = Model.ctx ~params ~units () in
-    let homo = Select.optimum_homogeneous ~ctx ~machine profile in
-    (* The model picks a heterogeneous candidate; schedule it and the
-       best uniform-frequency candidate, and keep whichever measures
-       better (the paper's selector likewise falls back to a same-
-       frequency configuration when heterogeneity does not pay). *)
-    let hetero_pick = Select.select_heterogeneous ?pool ~ctx ~machine profile in
-    let uniform_pick = Select.select_uniform ?pool ~ctx ~machine profile in
-    let eval = evaluate ~ctx ~machine ~name profile in
-    let candidates =
-      if hetero_pick.Select.config = uniform_pick.Select.config then
-        [ (hetero_pick, eval hetero_pick) ]
-      else [ (hetero_pick, eval hetero_pick); (uniform_pick, eval uniform_pick) ]
-    in
-    let hetero, (loop_results, fallbacks, hetero_activity, ed2_hetero) =
-      Hcv_support.Listx.min_by (fun (_, (_, _, _, ed2)) -> ed2) candidates
-    in
-    let homo_ct =
-      (Opconfig.point homo.Select.config (Comp.Cluster 0)).Opconfig.cycle_time
-    in
-    let homo_activity = Profile.scale_cycle_time profile homo_ct in
-    let ed2_homo = Model.ed2 ctx ~config:homo.Select.config homo_activity in
-    let e_homo =
-      Model.total (Model.energy ctx ~config:homo.Select.config homo_activity)
-    in
-    let e_het =
-      Model.total
-        (Model.energy ctx ~config:hetero.Select.config hetero_activity)
-    in
-    Ok
-      {
-        name;
-        profile;
-        ctx;
-        homo;
-        hetero;
-        loop_results;
-        fallbacks;
-        hetero_activity;
-        ed2_homo;
-        ed2_hetero;
-        ed2_ratio = ed2_hetero /. ed2_homo;
-        time_ratio =
-          hetero_activity.Activity.exec_time_ns
-          /. homo_activity.Activity.exec_time_ns;
-        energy_ratio = e_het /. e_homo;
-      }
+(* The six paper stages as an explicitly composed pass (the flow behind
+   Figures 6-9; see the .mli header).  Each stage runs in its own
+   ["stage:<name>"] span and failures carry the stage's provenance. *)
+let stages ?pool ~params ~machine ~name () =
+  let open Hcv_pass.Pass in
+  let profile_stage =
+    v ~name:"profile" (fun obs loops -> Profile.profile ~obs ~machine ~loops ())
+  in
+  let context_stage =
+    pure ~name:"context" (fun _obs (profile : Profile.t) ->
+        let units =
+          Units.of_reference ~params ~n_clusters:(Machine.n_clusters machine)
+            profile.Profile.activity
+        in
+        (profile, Model.ctx ~params ~units ()))
+  in
+  let homo_stage =
+    v ~name:"homo-optimum" (fun obs (profile, ctx) ->
+        Result.map
+          (fun homo -> (profile, ctx, homo))
+          (Select.optimum_homogeneous ~obs ~ctx ~machine profile))
+  in
+  let select_stage =
+    v ~name:"select" (fun obs (profile, ctx, homo) ->
+        Result.bind (Select.select_heterogeneous ?pool ~obs ~ctx ~machine profile)
+          (fun hetero_pick ->
+            Result.map
+              (fun uniform_pick ->
+                (profile, ctx, homo, hetero_pick, uniform_pick))
+              (Select.select_uniform ?pool ~obs ~ctx ~machine profile)))
+  in
+  let schedule_stage =
+    pure ~name:"schedule" (fun obs (profile, ctx, homo, hetero_pick, uniform_pick) ->
+        (* The model picks a heterogeneous candidate; schedule it and
+           the best uniform-frequency candidate, and keep whichever
+           measures better (the paper's selector likewise falls back to
+           a same-frequency configuration when heterogeneity does not
+           pay). *)
+        let eval tag choice =
+          Trace.span obs ("candidate:" ^ tag) (fun sp ->
+              evaluate ~obs:sp ~ctx ~machine ~name profile choice)
+        in
+        let candidates =
+          if hetero_pick.Select.config = uniform_pick.Select.config then
+            [ (hetero_pick, eval "hetero" hetero_pick) ]
+          else
+            [
+              (hetero_pick, eval "hetero" hetero_pick);
+              (uniform_pick, eval "uniform" uniform_pick);
+            ]
+        in
+        let hetero, measured =
+          Hcv_support.Listx.min_by (fun (_, (_, _, _, ed2)) -> ed2) candidates
+        in
+        (profile, ctx, homo, hetero, measured))
+  in
+  let evaluate_stage =
+    pure ~name:"evaluate"
+      (fun obs (profile, ctx, homo, hetero, measured) ->
+        let loop_results, fallback_causes, hetero_activity, ed2_hetero =
+          measured
+        in
+        let homo_ct =
+          (Opconfig.point homo.Select.config (Comp.Cluster 0))
+            .Opconfig.cycle_time
+        in
+        let homo_activity = Profile.scale_cycle_time profile homo_ct in
+        let ed2_homo = Model.ed2 ctx ~config:homo.Select.config homo_activity in
+        let e_homo =
+          Model.total
+            (Model.energy ctx ~config:homo.Select.config homo_activity)
+        in
+        let e_het =
+          Model.total
+            (Model.energy ctx ~config:hetero.Select.config hetero_activity)
+        in
+        Trace.add obs "evaluate.loops" (List.length loop_results);
+        Trace.add obs "evaluate.fallbacks" (List.length fallback_causes);
+        {
+          name;
+          profile;
+          ctx;
+          homo;
+          hetero;
+          loop_results;
+          fallbacks = List.length fallback_causes;
+          fallback_causes;
+          hetero_activity;
+          ed2_homo;
+          ed2_hetero;
+          ed2_ratio = ed2_hetero /. ed2_homo;
+          time_ratio =
+            hetero_activity.Activity.exec_time_ns
+            /. homo_activity.Activity.exec_time_ns;
+          energy_ratio = e_het /. e_homo;
+        })
+  in
+  profile_stage >>> context_stage >>> homo_stage >>> select_stage
+  >>> schedule_stage >>> evaluate_stage
 
-let measure_config ?preplace ?score_mode ~ctx ~machine ~profile ~config () =
+let stage_names = [ "profile"; "context"; "homo-optimum"; "select"; "schedule"; "evaluate" ]
+
+let run ?pool ?(params = Params.default) ?(obs = Trace.null) ~machine ~name
+    ~loops () =
+  Hcv_pass.Pass.run ~obs (stages ?pool ~params ~machine ~name ()) loops
+
+let measure_config ?preplace ?score_mode ?obs ~ctx ~machine ~profile ~config ()
+    =
   let choice =
     {
       Select.config;
@@ -136,13 +201,19 @@ let measure_config ?preplace ?score_mode ~ctx ~machine ~profile ~config () =
       predicted_energy = 0.0;
     }
   in
-  let _, fallbacks, activity, ed2 =
-    evaluate ?preplace ?score_mode ~ctx ~machine ~name:"measure" profile choice
+  let _, causes, activity, ed2 =
+    evaluate ?preplace ?score_mode ?obs ~ctx ~machine ~name:"measure" profile
+      choice
   in
-  (activity, ed2, fallbacks)
+  (activity, ed2, List.length causes)
 
 let pp_summary ppf t =
   Format.fprintf ppf "%-12s ED2 %.3f (time x%.3f, energy x%.3f)%s" t.name
     t.ed2_ratio t.time_ratio t.energy_ratio
-    (if t.fallbacks > 0 then Printf.sprintf " [%d fallbacks]" t.fallbacks
+    (if t.fallbacks > 0 then
+       Printf.sprintf " [%d fallbacks: %s]" t.fallbacks
+         (String.concat ", "
+            (List.map
+               (fun (l, d) -> Printf.sprintf "%s=%s" l (Diag.code d))
+               t.fallback_causes))
      else "")

@@ -1,15 +1,24 @@
 (** End-to-end evaluation of one benchmark (the flow behind the paper's
-    Figures 6-9):
+    Figures 6-9), composed as an explicit staged pass
+    ({!Hcv_pass.Pass}):
 
-    1. profile the loops on the reference homogeneous machine;
-    2. derive the energy-model context from the baseline breakdown;
-    3. find the *optimum homogeneous* design (§5.1) — the denominator of
-       every normalised result;
-    4. select the heterogeneous configuration with the §3.3 models;
-    5. modulo-schedule every loop on the selected configuration with the
-       §4 heterogeneous scheduler;
-    6. evaluate both designs with the §3.1 energy model, using measured
-       (scheduled) activity for the heterogeneous machine. *)
+    1. [profile] — profile the loops on the reference homogeneous
+       machine;
+    2. [context] — derive the energy-model context from the baseline
+       breakdown;
+    3. [homo-optimum] — find the *optimum homogeneous* design (§5.1),
+       the denominator of every normalised result;
+    4. [select] — select the heterogeneous (and uniform fallback)
+       configuration with the §3.3 models;
+    5. [schedule] — modulo-schedule every loop on the candidate
+       configurations with the §4 heterogeneous scheduler;
+    6. [evaluate] — evaluate both designs with the §3.1 energy model,
+       using measured (scheduled) activity for the heterogeneous
+       machine.
+
+    Each stage runs in a ["stage:<name>"] span under the caller's [?obs]
+    and failures are {!Hcv_obs.Diag.t}s stamped with the failing stage's
+    name. *)
 
 open Hcv_energy
 open Hcv_ir
@@ -32,6 +41,10 @@ type t = {
   fallbacks : int;
       (** loops that failed heterogeneous scheduling and were accounted
           with the §3.2 estimate instead (0 in a healthy run) *)
+  fallback_causes : (string * Hcv_obs.Diag.t) list;
+      (** (loop name, diagnostic) per fallback, in loop order — also
+          surfaced by {!pp_summary} and as ["fallback.<code>"] counters
+          in the trace *)
   hetero_activity : Activity.t;
   ed2_homo : float;
   ed2_hetero : float;
@@ -40,17 +53,28 @@ type t = {
   energy_ratio : float;
 }
 
+val stage_names : string list
+(** The six stage names, in execution order. *)
+
 val run :
-  ?pool:Hcv_explore.Pool.t -> ?params:Params.t -> machine:Machine.t
-  -> name:string -> loops:Loop.t list -> unit -> (t, string) result
+  ?pool:Hcv_explore.Pool.t -> ?params:Params.t -> ?obs:Hcv_obs.Trace.span
+  -> machine:Machine.t -> name:string -> loops:Loop.t list -> unit
+  -> (t, Hcv_obs.Diag.t) result
 (** [?pool] parallelises the §3.3 configuration-selection sweeps on the
     given worker pool without changing their result (see {!Select}).
     Don't pass a pool when the [run] call itself executes on a pool
-    worker — the nested sweep would then run inline anyway. *)
+    worker — the nested sweep would then run inline anyway.
+
+    [?obs] (default {!Hcv_obs.Trace.null}) opens one span per stage,
+    one ["candidate:<tag>"] span per scheduled candidate configuration
+    and one ["loop:<name>"] span per scheduled loop; all the counters
+    beneath are deterministic (identical for any worker count and cache
+    state). *)
 
 val measure_config :
-  ?preplace:bool -> ?score_mode:Hsched.score_mode -> ctx:Model.ctx
-  -> machine:Machine.t -> profile:Profile.t -> config:Opconfig.t -> unit
+  ?preplace:bool -> ?score_mode:Hsched.score_mode
+  -> ?obs:Hcv_obs.Trace.span -> ctx:Model.ctx -> machine:Machine.t
+  -> profile:Profile.t -> config:Opconfig.t -> unit
   -> Activity.t * float * int
 (** Schedule every profiled loop under an arbitrary configuration
     (optionally with the §4.1 ablation switches) and return the measured
@@ -58,3 +82,5 @@ val measure_config :
     building block of the ablation benches. *)
 
 val pp_summary : Format.formatter -> t -> unit
+(** One line: name, ED²/time/energy ratios, and — when loops fell back
+    to the estimate — the per-loop diagnostic codes. *)

@@ -34,14 +34,18 @@ let activity_of_schedule sched ~trip =
     ~n_comms:(float_of_int (Schedule.n_comms sched * trip))
     ~n_mem:(float_of_int (Schedule.n_mem sched * trip))
 
-let profile ~machine ~loops =
+let profile ?(obs = Hcv_obs.Trace.null) ~machine ~loops () =
   let config = Presets.reference_config machine in
   let cycle_time = Presets.reference_cycle_time in
   let rec build acc = function
     | [] -> Ok (List.rev acc)
     | loop :: rest -> (
       match Homo.schedule ~machine ~cycle_time ~loop () with
-      | Error msg -> Error msg
+      | Error msg ->
+        Error
+          (Hcv_obs.Diag.v ~code:"reference-unschedulable"
+             ~context:[ ("loop", loop.Loop.name) ]
+             msg)
       | Ok (sched, stats) ->
         let exec_ns = Schedule.exec_time_ns sched ~trip:loop.Loop.trip in
         let lifetime_ns =
@@ -68,8 +72,9 @@ let profile ~machine ~loops =
   in
   match build [] loops with
   | Error _ as e -> e
-  | Ok [] -> Error "Profile.profile: no loops"
+  | Ok [] -> Error (Hcv_obs.Diag.v ~code:"no-loops" "nothing to profile")
   | Ok lps ->
+    Hcv_obs.Trace.add obs "profile.loops" (List.length lps);
     let total_weight =
       Listx.sum_float (List.map (fun lp -> lp.loop.Loop.weight) lps)
     in

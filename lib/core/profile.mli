@@ -45,9 +45,14 @@ val activity_of_schedule : Schedule.t -> trip:int -> Activity.t
 (** Activity of one invocation: per-iteration counts scaled by the trip
     count, execution time from the modulo-schedule formula. *)
 
-val profile : machine:Machine.t -> loops:Loop.t list -> (t, string) result
+val profile :
+  ?obs:Hcv_obs.Trace.span -> machine:Machine.t -> loops:Loop.t list -> unit
+  -> (t, Hcv_obs.Diag.t) result
 (** Schedule every loop on the reference homogeneous configuration (1
-    ns / 1 V) and aggregate.  Fails if some loop cannot be scheduled. *)
+    ns / 1 V) and aggregate.  Fails with a [reference-unschedulable]
+    diagnostic (context: the loop name) if some loop cannot be
+    scheduled, or [no-loops] on an empty list.  [?obs] counts
+    ["profile.loops"]. *)
 
 val scale_cycle_time : t -> Q.t -> Activity.t
 (** Whole-run activity of a *homogeneous* design with a different cycle

@@ -109,7 +109,8 @@ let shared_vdds =
     (fun v -> List.mem v Presets.icn_vdds && List.mem v Presets.cache_vdds)
     Presets.cluster_vdds
 
-let optimum_homogeneous ~ctx ~machine (p : Profile.t) =
+let optimum_homogeneous ?(obs = Hcv_obs.Trace.null) ~ctx ~machine
+    (p : Profile.t) =
   let u = ctx.Model.units in
   let n = Machine.n_clusters machine in
   let eval ct vdd =
@@ -150,17 +151,26 @@ let optimum_homogeneous ~ctx ~machine (p : Profile.t) =
           }
       | _, _ -> None)
   in
+  let cts = homogeneous_cts () in
+  Hcv_obs.Trace.add obs "homo.points"
+    (List.length cts * List.length shared_vdds);
   let best =
     List.fold_left
       (fun acc ct ->
         List.fold_left (fun acc vdd -> better acc (eval ct vdd)) acc shared_vdds)
-      None (homogeneous_cts ())
+      None cts
   in
   match best with
-  | Some c -> c
+  | Some c -> Ok c
   | None ->
-    invalid_arg
-      "Select.optimum_homogeneous: no realisable homogeneous design point"
+    Error
+      (Hcv_obs.Diag.v ~code:"no-homogeneous-point"
+         ~context:
+           [
+             ("cycle_times", string_of_int (List.length cts));
+             ("vdds", string_of_int (List.length shared_vdds));
+           ]
+         "no homogeneous design point is realisable under the voltage model")
 
 (* Score one (fast factor, slow factor) design point: predict the
    activity from the cycle times alone (placeholder voltages) and pick
@@ -186,8 +196,8 @@ let eval_design_point ~ctx ~machine (p : Profile.t) (fast_factor, slow_factor) =
   optimise_voltages ~ctx ~machine ~cluster_cts ~icn_ct:fast_ct
     ~cache_ct:fast_ct act
 
-let select_heterogeneous_gen ?pool ~ctx ~machine ~slow_factors (p : Profile.t)
-    =
+let select_heterogeneous_gen ?pool ?(obs = Hcv_obs.Trace.null) ~ctx ~machine
+    ~slow_factors (p : Profile.t) =
   (* Fast factor outer, slow factor inner — the fold over the scored
      points must visit them in exactly the serial nesting order so that
      ties keep resolving to the same candidate whatever the worker
@@ -197,6 +207,7 @@ let select_heterogeneous_gen ?pool ~ctx ~machine ~slow_factors (p : Profile.t)
       (fun fast -> List.map (fun slow -> (fast, slow)) slow_factors)
       Presets.fast_factors
   in
+  Hcv_obs.Trace.add obs "select.points" (List.length points);
   let eval = eval_design_point ~ctx ~machine p in
   let scored =
     match pool with
@@ -204,17 +215,19 @@ let select_heterogeneous_gen ?pool ~ctx ~machine ~slow_factors (p : Profile.t)
     | Some pool -> Hcv_explore.Pool.map pool eval points
   in
   match List.fold_left better None scored with
-  | Some c -> c
+  | Some c -> Ok c
   | None ->
-    invalid_arg
-      "Select.select_heterogeneous: no realisable heterogeneous design point"
+    Error
+      (Hcv_obs.Diag.v ~code:"no-heterogeneous-point"
+         ~context:[ ("points", string_of_int (List.length points)) ]
+         "no heterogeneous design point is realisable under the voltage model")
 
-let select_heterogeneous ?pool ~ctx ~machine p =
-  select_heterogeneous_gen ?pool ~ctx ~machine
+let select_heterogeneous ?pool ?obs ~ctx ~machine p =
+  select_heterogeneous_gen ?pool ?obs ~ctx ~machine
     ~slow_factors:Presets.slow_factors p
 
-let select_uniform ?pool ~ctx ~machine p =
-  select_heterogeneous_gen ?pool ~ctx ~machine ~slow_factors:[ Q.one ] p
+let select_uniform ?pool ?obs ~ctx ~machine p =
+  select_heterogeneous_gen ?pool ?obs ~ctx ~machine ~slow_factors:[ Q.one ] p
 
 let pp_choice ppf c =
   Format.fprintf ppf "@[<v>predicted: ED2=%.6g E=%.4f T=%.1f ns@,%a@]"

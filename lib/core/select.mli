@@ -31,12 +31,17 @@ type choice = {
 }
 
 val optimum_homogeneous :
-  ctx:Model.ctx -> machine:Machine.t -> Profile.t -> choice
+  ?obs:Hcv_obs.Trace.span -> ctx:Model.ctx -> machine:Machine.t -> Profile.t
+  -> (choice, Hcv_obs.Diag.t) result
+(** Errors with [no-homogeneous-point] when no candidate is realisable
+    under the voltage model.  [?obs] counts the swept ["homo.points"]. *)
 
 val select_heterogeneous :
-  ?pool:Hcv_explore.Pool.t -> ctx:Model.ctx -> machine:Machine.t -> Profile.t
-  -> choice
-(** The heterogeneous candidate with the lowest predicted ED².  With
+  ?pool:Hcv_explore.Pool.t -> ?obs:Hcv_obs.Trace.span -> ctx:Model.ctx
+  -> machine:Machine.t -> Profile.t -> (choice, Hcv_obs.Diag.t) result
+(** The heterogeneous candidate with the lowest predicted ED² (errors
+    with [no-heterogeneous-point] when the whole sweep is unrealisable;
+    [?obs] counts the swept ["select.points"]).  With
     [?pool] the independent design points of the sweep are scored in
     parallel on the pool's worker domains; the scored points are folded
     in the serial nesting order, so the result is identical for any
@@ -48,8 +53,8 @@ val select_heterogeneous :
     programs). *)
 
 val select_uniform :
-  ?pool:Hcv_explore.Pool.t -> ctx:Model.ctx -> machine:Machine.t -> Profile.t
-  -> choice
+  ?pool:Hcv_explore.Pool.t -> ?obs:Hcv_obs.Trace.span -> ctx:Model.ctx
+  -> machine:Machine.t -> Profile.t -> (choice, Hcv_obs.Diag.t) result
 (** The best *uniform-frequency* configuration with per-domain voltages
     (all clusters, the ICN and the cache at one cycle time).  This is
     the configuration the paper's selector falls back to for register-

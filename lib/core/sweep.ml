@@ -22,8 +22,9 @@ let machine_of_cell c =
   | Some _ as steps -> Machine.with_grid m (Presets.grid_of_steps steps)
 
 (* Covers the pipeline, the workload generator and the outcome format:
-   bump on any change that invalidates persisted outcomes. *)
-let version_salt = "hcv-sweep-v1"
+   bump on any change that invalidates persisted outcomes.
+   v2: outcomes carry the per-cell deterministic trace. *)
+let version_salt = "hcv-sweep-v2"
 
 let cell_key c =
   E.Codec.digest
@@ -44,6 +45,7 @@ type outcome = {
   fallbacks : int;
   hetero : string;
   error : string option;
+  trace : Hcv_obs.Trace.node option;
 }
 
 let choice_to_string (c : Select.choice) =
@@ -86,9 +88,15 @@ let outcome_to_string o =
       ("fallbacks", E.Jsonx.Num (float_of_int o.fallbacks));
       ("hetero", E.Jsonx.Str o.hetero);
     ]
-    @ match o.error with
+    @ (match o.error with
       | None -> []
-      | Some msg -> [ ("error", E.Jsonx.Str msg) ]
+      | Some msg -> [ ("error", E.Jsonx.Str msg) ])
+    @
+    match o.trace with
+    | None -> []
+    (* Deterministic view only: a cached trace must replay identically
+       whatever the run that produced it. *)
+    | Some node -> [ ("trace", E.Tracex.json_of_node ~wall:false node) ]
   in
   E.Jsonx.to_string (E.Jsonx.Obj fields)
 
@@ -108,8 +116,18 @@ let outcome_of_string s =
     let* fallbacks = Option.bind (E.Jsonx.member "fallbacks" j) E.Jsonx.int in
     let* hetero = Option.bind (E.Jsonx.member "hetero" j) E.Jsonx.str in
     let error = Option.bind (E.Jsonx.member "error" j) E.Jsonx.str in
+    let trace = Option.bind (E.Jsonx.member "trace" j) E.Tracex.node_of_json in
     Some
-      { bench; ed2_ratio; time_ratio; energy_ratio; fallbacks; hetero; error }
+      {
+        bench;
+        ed2_ratio;
+        time_ratio;
+        energy_ratio;
+        fallbacks;
+        hetero;
+        error;
+        trace;
+      }
 
 let codec =
   {
@@ -121,39 +139,65 @@ let codec =
 let run_cell ~loops_of c =
   let machine = machine_of_cell c in
   let loops = loops_of c in
-  match
-    Pipeline.run ~params:c.params ~machine ~name:c.bench ~loops ()
-  with
-  | Ok r ->
-    {
-      bench = c.bench;
-      ed2_ratio = r.Pipeline.ed2_ratio;
-      time_ratio = r.Pipeline.time_ratio;
-      energy_ratio = r.Pipeline.energy_ratio;
-      fallbacks = r.Pipeline.fallbacks;
-      hetero = choice_to_string r.Pipeline.hetero;
-      error = None;
-    }
-  | Error msg ->
-    {
-      bench = c.bench;
-      ed2_ratio = Float.nan;
-      time_ratio = Float.nan;
-      energy_ratio = Float.nan;
-      fallbacks = 0;
-      hetero = "";
-      error = Some msg;
-    }
-  | exception e ->
-    {
-      bench = c.bench;
-      ed2_ratio = Float.nan;
-      time_ratio = Float.nan;
-      energy_ratio = Float.nan;
-      fallbacks = 0;
-      hetero = "";
-      error = Some (Printexc.to_string e);
-    }
+  (* Always collect the per-cell trace: it rides in the outcome through
+     the cache, so a warm sweep replays the very spans a cold one
+     collected (what makes [--trace] warm/cold-identical).  Only the
+     deterministic view is kept — wall times and volatile gauges are
+     stripped before the outcome is encoded or grafted. *)
+  let sp = Hcv_obs.Trace.root ("cell:" ^ c.bench) in
+  let outcome =
+    match
+      Pipeline.run ~params:c.params ~machine ~name:c.bench ~loops ~obs:sp ()
+    with
+    | Ok r ->
+      {
+        bench = c.bench;
+        ed2_ratio = r.Pipeline.ed2_ratio;
+        time_ratio = r.Pipeline.time_ratio;
+        energy_ratio = r.Pipeline.energy_ratio;
+        fallbacks = r.Pipeline.fallbacks;
+        hetero = choice_to_string r.Pipeline.hetero;
+        error = None;
+        trace = None;
+      }
+    | Error diag ->
+      {
+        bench = c.bench;
+        ed2_ratio = Float.nan;
+        time_ratio = Float.nan;
+        energy_ratio = Float.nan;
+        fallbacks = 0;
+        hetero = "";
+        error = Some (Hcv_obs.Diag.to_string diag);
+        trace = None;
+      }
+    | exception e ->
+      {
+        bench = c.bench;
+        ed2_ratio = Float.nan;
+        time_ratio = Float.nan;
+        energy_ratio = Float.nan;
+        fallbacks = 0;
+        hetero = "";
+        error = Some (Printexc.to_string e);
+        trace = None;
+      }
+  in
+  let trace =
+    Option.bind (Hcv_obs.Trace.export sp) (fun node ->
+        E.Tracex.node_of_json (E.Tracex.json_of_node ~wall:false node))
+  in
+  { outcome with trace }
 
-let run engine ?(label = "sweep") ~loops_of cells =
-  E.Engine.sweep engine ~label ~codec (run_cell ~loops_of) cells
+let run engine ?(label = "sweep") ?(obs = Hcv_obs.Trace.null) ~loops_of cells
+    =
+  Hcv_obs.Trace.span obs ("sweep:" ^ label) (fun sp ->
+      let outcomes =
+        E.Engine.sweep engine ~label ~obs:sp ~codec (run_cell ~loops_of) cells
+      in
+      (* Graft the per-cell traces in submission order — hit or
+         computed, every cell contributes the same subtree. *)
+      List.iter
+        (fun o -> Option.iter (Hcv_obs.Trace.graft sp) o.trace)
+        outcomes;
+      outcomes)

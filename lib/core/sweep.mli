@@ -51,7 +51,12 @@ type outcome = {
       (** serialized winning {!Select.choice}; [""] on failure *)
   error : string option;
       (** [Some msg] when the pipeline failed; the ratios are then
-          [nan] *)
+          [nan] (rendered {!Hcv_obs.Diag.to_string}, so the stage and
+          code survive the cache) *)
+  trace : Hcv_obs.Trace.node option;
+      (** the cell's deterministic trace (wall times and volatile gauges
+          stripped); cached with the outcome so warm sweeps replay the
+          spans cold ones collected *)
 }
 
 val outcome_to_string : outcome -> string
@@ -72,7 +77,10 @@ val run_cell : loops_of:(cell -> Loop.t list) -> cell -> outcome
     parallelism. *)
 
 val run :
-  Hcv_explore.Engine.t -> ?label:string -> loops_of:(cell -> Loop.t list)
-  -> cell list -> outcome list
+  Hcv_explore.Engine.t -> ?label:string -> ?obs:Hcv_obs.Trace.span
+  -> loops_of:(cell -> Loop.t list) -> cell list -> outcome list
 (** [Engine.sweep] over the cells with {!codec} — parallel, memoised,
-    deterministic. *)
+    deterministic.  With [?obs] the whole sweep runs under a
+    ["sweep:<label>"] span; each cell's trace (hit or computed) is
+    grafted beneath it in submission order, so the deterministic span
+    tree is identical for any [--jobs] value and cache state. *)

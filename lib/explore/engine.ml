@@ -20,23 +20,39 @@ let jobs t = Pool.jobs t.pool
 let cache t = t.cache
 let progress t = t.progress
 
-let map t ?(label = "map") f xs =
+(* Wrap a worker task so its wall time accumulates into a per-worker
+   volatile gauge of [obs] (utilisation is run-dependent by nature, so
+   it must never land in the deterministic counters). *)
+let timed_on_worker obs f =
+  if not (Hcv_obs.Trace.enabled obs) then f
+  else fun x ->
+    let t0 = Unix.gettimeofday () in
+    Fun.protect
+      ~finally:(fun () ->
+        Hcv_obs.Trace.vol obs
+          (Printf.sprintf "worker%d.busy_s"
+             ((Domain.self () :> int)))
+          (Unix.gettimeofday () -. t0))
+      (fun () -> f x)
+
+let map t ?(label = "map") ?(obs = Hcv_obs.Trace.null) f xs =
   Progress.stage_begin t.progress label;
   Fun.protect
     ~finally:(fun () -> Progress.stage_end t.progress)
     (fun () ->
+      Hcv_obs.Trace.add obs "cells" (List.length xs);
       Pool.map t.pool
-        (fun x ->
-          let v = f x in
-          Progress.tick t.progress ~hit:false;
-          v)
+        (timed_on_worker obs (fun x ->
+             let v = f x in
+             Progress.tick t.progress ~hit:false;
+             v))
         xs)
 
 (* A probed cell: either already answered by the cache, or still to
    compute under its key. *)
 type ('a, 'b) probe = Hit of 'b | Todo of string * 'a
 
-let sweep t ?(label = "sweep") ~codec f xs =
+let sweep t ?(label = "sweep") ?(obs = Hcv_obs.Trace.null) ~codec f xs =
   Progress.stage_begin t.progress label;
   Fun.protect
     ~finally:(fun () -> Progress.stage_end t.progress)
@@ -66,18 +82,26 @@ let sweep t ?(label = "sweep") ~codec f xs =
           (function Todo (k, x) -> Some (k, x) | Hit _ -> None)
           probes
       in
+      (* Cells served vs computed are cache-state-dependent, so they are
+         volatile gauges; only the total cell count is a deterministic
+         counter. *)
+      Hcv_obs.Trace.add obs "cells" (List.length xs);
+      Hcv_obs.Trace.vol obs "cache.hits"
+        (float_of_int (List.length xs - List.length todo));
+      Hcv_obs.Trace.vol obs "cache.computed"
+        (float_of_int (List.length todo));
       let computed =
         Pool.map t.pool
-          (fun (key, x) ->
-            let v = f x in
-            (* Store as soon as the cell completes — this is the
-               checkpoint a killed run resumes from, so it must not
-               wait for the rest of the stage. *)
-            (match t.cache with
-            | None -> ()
-            | Some c -> Cache.store c ~key (codec.encode v));
-            Progress.tick t.progress ~hit:false;
-            v)
+          (timed_on_worker obs (fun (key, x) ->
+               let v = f x in
+               (* Store as soon as the cell completes — this is the
+                  checkpoint a killed run resumes from, so it must not
+                  wait for the rest of the stage. *)
+               (match t.cache with
+               | None -> ()
+               | Some c -> Cache.store c ~key (codec.encode v));
+               Progress.tick t.progress ~hit:false;
+               v))
           todo
       in
       (* Re-assemble in submission order. *)

@@ -35,16 +35,24 @@ val jobs : t -> int
 val cache : t -> Cache.t option
 val progress : t -> Progress.t
 
-val map : t -> ?label:string -> ('a -> 'b) -> 'a list -> 'b list
-(** Parallel deterministic map, no memoisation (one telemetry stage). *)
+val map :
+  t -> ?label:string -> ?obs:Hcv_obs.Trace.span -> ('a -> 'b) -> 'a list
+  -> 'b list
+(** Parallel deterministic map, no memoisation (one telemetry stage).
+    With [?obs] the stage reports a deterministic ["cells"] counter and
+    per-worker busy-time gauges into the span. *)
 
-val sweep : t -> ?label:string -> codec:('a, 'b) codec -> ('a -> 'b)
-  -> 'a list -> 'b list
+val sweep : t -> ?label:string -> ?obs:Hcv_obs.Trace.span
+  -> codec:('a, 'b) codec -> ('a -> 'b) -> 'a list -> 'b list
 (** Memoised parallel map: cells whose key is in the cache are served
     from it; the rest are computed on the pool and stored the moment
     each cell completes, so a killed run checkpoints everything it
     finished.  Duplicate keys within one call are computed
-    independently (sweep cells are normally distinct). *)
+    independently (sweep cells are normally distinct).  With [?obs] the
+    stage reports a deterministic ["cells"] counter plus volatile
+    ["cache.hits"]/["cache.computed"]/per-worker-busy gauges (cache and
+    worker figures are run-dependent, so they never enter the
+    deterministic counter view). *)
 
 val shutdown : t -> unit
 (** Join the workers and close the cache file.  Idempotent. *)

@@ -1,0 +1,78 @@
+open Hcv_obs
+
+let str_obj kvs = Jsonx.Obj (List.map (fun (k, v) -> (k, Jsonx.Str v)) kvs)
+let int_obj kvs =
+  Jsonx.Obj (List.map (fun (k, v) -> (k, Jsonx.Num (float_of_int v))) kvs)
+
+(* Volatile gauges and wall clocks always render last so a consumer can
+   strip the run-dependent tail and keep the deterministic prefix. *)
+let wall_fields (n : Trace.node) =
+  [
+    ("volatile", Jsonx.Obj (List.map (fun (k, v) -> (k, Jsonx.Num v)) n.volatile));
+    ("wall_us", Jsonx.Num (Float.round (n.wall_ns /. 10.0) /. 100.0));
+  ]
+
+let rec json_of_node ?(wall = false) (n : Trace.node) =
+  Jsonx.Obj
+    ([ ("span", Jsonx.Str n.name) ]
+    @ (match n.attrs with [] -> [] | a -> [ ("attrs", str_obj a) ])
+    @ (match n.counters with [] -> [] | c -> [ ("counters", int_obj c) ])
+    @ (match n.children with
+      | [] -> []
+      | cs ->
+        [ ("children", Jsonx.List (List.map (json_of_node ~wall) cs)) ])
+    @ if wall then wall_fields n else [])
+
+let rec node_of_json j =
+  let ( let* ) = Option.bind in
+  let* name = Option.bind (Jsonx.member "span" j) Jsonx.str in
+  let obj_pairs field of_v =
+    match Jsonx.member field j with
+    | Some (Jsonx.Obj kvs) ->
+      List.filter_map (fun (k, v) -> Option.map (fun v -> (k, v)) (of_v v)) kvs
+    | Some _ | None -> []
+  in
+  let attrs = obj_pairs "attrs" Jsonx.str in
+  let counters = obj_pairs "counters" Jsonx.int in
+  let volatile = obj_pairs "volatile" Jsonx.num in
+  let wall_ns =
+    match Option.bind (Jsonx.member "wall_us" j) Jsonx.num with
+    | Some us -> us *. 1e3
+    | None -> 0.0
+  in
+  let children =
+    match Jsonx.member "children" j with
+    | Some (Jsonx.List cs) -> List.filter_map node_of_json cs
+    | Some _ | None -> []
+  in
+  Some { Trace.name; attrs; counters; volatile; wall_ns; children }
+
+let jsonl ?(wall = false) node =
+  let rec go depth acc (n : Trace.node) =
+    let line =
+      Jsonx.to_string
+        (Jsonx.Obj
+           ([
+              ("depth", Jsonx.Num (float_of_int depth));
+              ("span", Jsonx.Str n.name);
+            ]
+           @ (match n.attrs with [] -> [] | a -> [ ("attrs", str_obj a) ])
+           @ (match n.counters with
+             | [] -> []
+             | c -> [ ("counters", int_obj c) ])
+           @ if wall then wall_fields n else []))
+    in
+    List.fold_left (go (depth + 1)) (line :: acc) n.children
+  in
+  List.rev (go 0 [] node)
+
+let write_jsonl ?wall ~path node =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      List.iter
+        (fun line ->
+          output_string oc line;
+          output_char oc '\n')
+        (jsonl ?wall node))

@@ -1,0 +1,37 @@
+type t = {
+  stage : string option;
+  code : string;
+  msg : string;
+  context : (string * string) list;
+}
+
+let v ?stage ~code ?(context = []) msg = { stage; code; msg; context }
+
+let f ?stage ~code ?context fmt =
+  Format.kasprintf (fun msg -> v ?stage ~code ?context msg) fmt
+
+let with_stage stage t =
+  match t.stage with Some _ -> t | None -> { t with stage = Some stage }
+
+let add_context pairs t = { t with context = t.context @ pairs }
+let code t = t.code
+let stage t = t.stage
+let message t = t.msg
+
+let fields t =
+  (match t.stage with None -> [] | Some s -> [ ("stage", s) ])
+  @ [ ("code", t.code); ("msg", t.msg) ]
+  @ t.context
+
+let pp ppf t =
+  (match t.stage with
+  | None -> Format.fprintf ppf "%s" t.code
+  | Some s -> Format.fprintf ppf "%s/%s" s t.code);
+  Format.fprintf ppf ": %s" t.msg;
+  match t.context with
+  | [] -> ()
+  | ctx ->
+    Format.fprintf ppf " (%s)"
+      (String.concat ", " (List.map (fun (k, v) -> k ^ "=" ^ v) ctx))
+
+let to_string t = Format.asprintf "%a" pp t

@@ -1,0 +1,35 @@
+open Hcv_support
+
+let pairs to_s kvs =
+  String.concat " " (List.map (fun (k, v) -> k ^ "=" ^ to_s v) kvs)
+
+let table node =
+  let t =
+    Tablefmt.create
+      [
+        ("span", Tablefmt.Left);
+        ("wall ms", Tablefmt.Right);
+        ("counters", Tablefmt.Left);
+        ("volatile", Tablefmt.Left);
+      ]
+  in
+  let rec row depth (n : Trace.node) =
+    let indent = String.make (2 * depth) ' ' in
+    let name =
+      match n.Trace.attrs with
+      | [] -> n.Trace.name
+      | attrs -> n.Trace.name ^ "{" ^ pairs Fun.id attrs ^ "}"
+    in
+    Tablefmt.add_row t
+      [
+        indent ^ name;
+        Printf.sprintf "%.2f" (n.Trace.wall_ns /. 1e6);
+        pairs string_of_int n.Trace.counters;
+        pairs (Printf.sprintf "%.2f") n.Trace.volatile;
+      ];
+    List.iter (row (depth + 1)) n.Trace.children
+  in
+  row 0 node;
+  t
+
+let print ppf node = Format.fprintf ppf "%s" (Tablefmt.render (table node))

@@ -1,0 +1,11 @@
+(** End-of-run metrics rendering: one {!Hcv_support.Tablefmt} row per
+    span of an exported trace, with wall time, the deterministic
+    counters and the volatile gauges. *)
+
+val table : Trace.node -> Hcv_support.Tablefmt.t
+(** Pre-order walk of the tree; nesting shown by indentation.  Counters
+    render as ["k=v"] pairs sorted by name, volatile gauges likewise
+    (2 decimals). *)
+
+val print : Format.formatter -> Trace.node -> unit
+(** Render {!table} to the formatter. *)

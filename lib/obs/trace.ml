@@ -1,0 +1,111 @@
+type node = {
+  name : string;
+  attrs : (string * string) list;
+  counters : (string * int) list;
+  volatile : (string * float) list;
+  wall_ns : float;
+  children : node list;
+}
+
+type state = {
+  s_name : string;
+  mutable s_attrs : (string * string) list;  (* reverse creation order *)
+  mutable s_counters : (string * int ref) list;
+  mutable s_volatile : (string * float ref) list;
+  s_start_ns : float;
+  mutable s_children : node list;  (* reverse completion order *)
+  s_mutex : Mutex.t;
+}
+
+type span = Null | Active of state
+
+let null = Null
+let enabled = function Null -> false | Active _ -> true
+let now_ns () = Unix.gettimeofday () *. 1e9
+
+let fresh ~attrs name =
+  {
+    s_name = name;
+    s_attrs = List.rev attrs;
+    s_counters = [];
+    s_volatile = [];
+    s_start_ns = now_ns ();
+    s_children = [];
+    s_mutex = Mutex.create ();
+  }
+
+let root ?(attrs = []) name = Active (fresh ~attrs name)
+
+let locked st f =
+  Mutex.lock st.s_mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock st.s_mutex) f
+
+let freeze st ~wall_ns =
+  locked st (fun () ->
+      {
+        name = st.s_name;
+        attrs = List.rev st.s_attrs;
+        counters =
+          List.sort compare
+            (List.map (fun (k, r) -> (k, !r)) st.s_counters);
+        volatile =
+          List.sort compare
+            (List.map (fun (k, r) -> (k, !r)) st.s_volatile);
+        wall_ns;
+        children = List.rev st.s_children;
+      })
+
+let attach parent node =
+  locked parent (fun () -> parent.s_children <- node :: parent.s_children)
+
+let span parent ?(attrs = []) name f =
+  match parent with
+  | Null -> f Null
+  | Active p ->
+    let st = fresh ~attrs name in
+    Fun.protect
+      ~finally:(fun () ->
+        attach p (freeze st ~wall_ns:(now_ns () -. st.s_start_ns)))
+      (fun () -> f (Active st))
+
+let add sp key n =
+  match sp with
+  | Null -> ()
+  | Active st ->
+    locked st (fun () ->
+        match List.assoc_opt key st.s_counters with
+        | Some r -> r := !r + n
+        | None -> st.s_counters <- (key, ref n) :: st.s_counters)
+
+let incr sp key = add sp key 1
+
+let vol sp key v =
+  match sp with
+  | Null -> ()
+  | Active st ->
+    locked st (fun () ->
+        match List.assoc_opt key st.s_volatile with
+        | Some r -> r := !r +. v
+        | None -> st.s_volatile <- (key, ref v) :: st.s_volatile)
+
+let set_attr sp key v =
+  match sp with
+  | Null -> ()
+  | Active st -> locked st (fun () -> st.s_attrs <- (key, v) :: st.s_attrs)
+
+let graft sp node = match sp with Null -> () | Active st -> attach st node
+
+let export = function
+  | Null -> None
+  | Active st -> Some (freeze st ~wall_ns:(now_ns () -. st.s_start_ns))
+
+let rec counter_total node key =
+  Option.value (List.assoc_opt key node.counters) ~default:0
+  + List.fold_left (fun acc c -> acc + counter_total c key) 0 node.children
+
+let find_all node key =
+  let rec go acc n =
+    let acc = if n.name = key then n :: acc else acc in
+    List.fold_left go acc n.children
+  in
+  List.rev (go [] node)

@@ -1,0 +1,75 @@
+(** Structured spans and counters.
+
+    A span is one timed, named region of the flow (a pipeline stage, a
+    sweep, one cell of a sweep); it carries static [attrs], integer
+    [counters] and float [volatile] gauges, and nests to form a tree.
+
+    Determinism contract (what lets traces be golden-pinned): the span
+    *tree* and the *counter* values depend only on the computation —
+    children attach in completion order of a sequential caller (or in
+    explicit {!graft} order for parallel work, which callers issue in
+    submission order), counters are exported sorted by name, and nothing
+    about worker count or timing can reach them.  Wall-clock durations
+    and [volatile] gauges (per-worker utilisation, cache hit counts —
+    anything legitimately run-dependent) are the escape hatch: renderers
+    exclude them from the deterministic view.
+
+    Cost contract: {!null} is free.  Every operation on a null span is a
+    single pattern match with no allocation, so hot paths
+    (e.g. [Pseudo.estimate]) can take a span parameter defaulting to
+    {!null} without perturbing the perf baseline. *)
+
+type node = {
+  name : string;
+  attrs : (string * string) list;  (** creation order *)
+  counters : (string * int) list;  (** sorted by name *)
+  volatile : (string * float) list;
+      (** sorted by name; excluded from the deterministic view *)
+  wall_ns : float;  (** excluded from the deterministic view *)
+  children : node list;
+}
+
+type span
+
+val null : span
+(** The no-op span: collects nothing, costs nothing. *)
+
+val enabled : span -> bool
+
+val root : ?attrs:(string * string) list -> string -> span
+(** A fresh collecting root. *)
+
+val span :
+  span -> ?attrs:(string * string) list -> string -> (span -> 'a) -> 'a
+(** [span parent name f] runs [f] in a child span of [parent]; the
+    child attaches to [parent] when [f] returns (or raises).  On a null
+    parent, [f] runs with {!null}. *)
+
+val add : span -> string -> int -> unit
+(** Add to a counter (created at 0 on first use).  Thread-safe. *)
+
+val incr : span -> string -> unit
+
+val vol : span -> string -> float -> unit
+(** Add to a volatile gauge.  Thread-safe. *)
+
+val set_attr : span -> string -> string -> unit
+(** Append an attribute (last write appears last; attrs are not deduped
+    so only set each key once). *)
+
+val graft : span -> node -> unit
+(** Attach an exported subtree as a child — how the per-cell traces of
+    a parallel sweep join the coordinator's tree.  Callers must graft in
+    submission order to keep the tree deterministic. *)
+
+val export : span -> node option
+(** Snapshot a span (normally the root) as an immutable tree; [None]
+    for {!null}.  The span's wall clock is read at export time. *)
+
+(** {2 Tree helpers} *)
+
+val counter_total : node -> string -> int
+(** Sum of a counter over the whole tree. *)
+
+val find_all : node -> string -> node list
+(** All nodes with the given name, pre-order. *)

@@ -1,0 +1,30 @@
+open Hcv_obs
+
+type ('a, 'b) t =
+  | Stage : string * (Trace.span -> 'a -> ('b, Diag.t) result) -> ('a, 'b) t
+  | Seq : ('a, 'c) t * ('c, 'b) t -> ('a, 'b) t
+
+let v ~name f = Stage (name, f)
+let pure ~name f = Stage (name, fun sp a -> Ok (f sp a))
+let ( >>> ) p q = Seq (p, q)
+
+let names t =
+  let rec go : type a b. a:unit -> (a, b) t -> string list -> string list =
+   fun ~a:() t acc ->
+    match t with
+    | Stage (name, _) -> name :: acc
+    | Seq (p, q) -> go ~a:() p (go ~a:() q acc)
+  in
+  go ~a:() t []
+
+let rec run : type a b. obs:Trace.span -> (a, b) t -> a -> (b, Diag.t) result
+    =
+ fun ~obs t x ->
+  match t with
+  | Stage (name, f) ->
+    Trace.span obs ("stage:" ^ name) (fun sp ->
+        match f sp x with
+        | Ok _ as ok -> ok
+        | Error d -> Error (Diag.with_stage name d))
+  | Seq (p, q) -> (
+    match run ~obs p x with Ok y -> run ~obs q y | Error _ as e -> e)

@@ -1,0 +1,34 @@
+(** Typed stage combinators: the pass manager of the end-to-end flow.
+
+    A [('a, 'b) t] is a named stage from an ['a] artifact to a ['b]
+    artifact that can fail with a structured {!Hcv_obs.Diag.t}.  Running
+    a stage opens a span named ["stage:<name>"] under the caller's
+    observation span — the stage body records its counters there — and
+    stamps the stage name onto any diagnostic that escapes without
+    provenance, so an error always says *where* in the flow it arose.
+
+    Stages compose left to right with {!(>>>)}; a composite runs each
+    constituent in its own span and short-circuits on the first error.
+    The combinator is deliberately sequential — parallelism lives inside
+    stages (worker pools over independent cells), never between them. *)
+
+open Hcv_obs
+
+type ('a, 'b) t
+
+val v :
+  name:string -> (Trace.span -> 'a -> ('b, Diag.t) result) -> ('a, 'b) t
+(** A fallible stage.  The span passed to the body is the stage's own
+    span. *)
+
+val pure : name:string -> (Trace.span -> 'a -> 'b) -> ('a, 'b) t
+(** A stage that cannot fail. *)
+
+val ( >>> ) : ('a, 'b) t -> ('b, 'c) t -> ('a, 'c) t
+
+val names : ('a, 'b) t -> string list
+(** Stage names in execution order. *)
+
+val run : obs:Trace.span -> ('a, 'b) t -> 'a -> ('b, Diag.t) result
+(** Execute the (composite) stage under [obs]: one child span per
+    constituent stage, errors tagged with the failing stage's name. *)

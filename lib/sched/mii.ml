@@ -10,6 +10,8 @@ let res_mii machine ddg =
         if demand = 0 then acc
         else begin
           let avail = Machine.fu_total machine kind in
+          (* Invariant: presets and Gen only build machines with every
+             FU kind the workloads demand. *)
           if avail = 0 then
             invalid_arg
               (Printf.sprintf "Mii.res_mii: no %s in the machine"

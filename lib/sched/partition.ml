@@ -121,7 +121,8 @@ let project level macro_assignment instr_assignment =
 (* Greedy refinement of macronode assignments at one level.  Moves are
    steepest-descent over the injected score; fixed macronodes do not
    move. *)
-let refine ~n_clusters ~score level macro_assignment instr_assignment =
+let refine ~n_clusters ~score ?(moves = ref 0) level macro_assignment
+    instr_assignment =
   let current = ref (score instr_assignment) in
   let improved = ref true in
   let passes = ref 0 in
@@ -148,7 +149,8 @@ let refine ~n_clusters ~score level macro_assignment instr_assignment =
         if !best_cl <> home then begin
           macro_assignment.(v) <- !best_cl;
           current := !best_s;
-          improved := true
+          improved := true;
+          incr moves
         end
       end
     done
@@ -162,6 +164,9 @@ let initial_even ~n_clusters ddg =
 
 (* Merge the members of each group into one macronode, producing the
    level just above the instruction level. *)
+(* Invariant: group/fixed validation below guards caller-constructed
+   data (Hsched derives both from the loop's own DDG), not user input —
+   violations are bugs, hence [invalid_arg] rather than a Diag. *)
 let coarsen_groups level groups =
   let n = level.n in
   let map = Array.make n (-1) in
@@ -212,7 +217,8 @@ let coarsen_groups level groups =
     map;
   { n = n'; members; fixed; adj }
 
-let run ~n_clusters ~ddg ?(fixed = []) ?(groups = []) ?(seed = 0) ~score () =
+let run ?(obs = Hcv_obs.Trace.null) ~n_clusters ~ddg ?(fixed = [])
+    ?(groups = []) ?(seed = 0) ~score () =
   if n_clusters < 1 then invalid_arg "Partition.run: n_clusters < 1";
   let n = Ddg.n_instrs ddg in
   let fixed_map = Array.make n None in
@@ -282,6 +288,7 @@ let run ~n_clusters ~ddg ?(fixed = []) ?(groups = []) ?(seed = 0) ~score () =
     (* Refine down the hierarchy.  Macro assignments at a finer level
        start from the (already projected) instruction assignment. *)
     let final_score = ref (score instr_assignment) in
+    let moves = ref 0 in
     List.iter
       (fun level ->
         let macro_assignment =
@@ -291,7 +298,11 @@ let run ~n_clusters ~ddg ?(fixed = []) ?(groups = []) ?(seed = 0) ~score () =
               | [] -> 0)
         in
         final_score :=
-          refine ~n_clusters ~score level macro_assignment instr_assignment)
+          refine ~n_clusters ~score ~moves level macro_assignment
+            instr_assignment)
       !levels;
+    Hcv_obs.Trace.incr obs "partition.runs";
+    Hcv_obs.Trace.add obs "partition.levels" (List.length !levels);
+    Hcv_obs.Trace.add obs "partition.refine_moves" !moves;
     { assignment = instr_assignment; score = !final_score }
   end

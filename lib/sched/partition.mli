@@ -18,12 +18,16 @@ open Hcv_ir
 type result = { assignment : int array; score : float }
 
 val run :
-  n_clusters:int -> ddg:Ddg.t -> ?fixed:(Instr.id * int) list
-  -> ?groups:Instr.id list list -> ?seed:int -> score:(int array -> float)
-  -> unit -> result
+  ?obs:Hcv_obs.Trace.span -> n_clusters:int -> ddg:Ddg.t
+  -> ?fixed:(Instr.id * int) list -> ?groups:Instr.id list list -> ?seed:int
+  -> score:(int array -> float) -> unit -> result
 (** [score] maps a full per-instruction assignment to a cost (lower is
     better); it is called many times and should be cheap.  [seed]
     (default 0) perturbs tie-breaking deterministically.
+
+    [?obs] (default {!Hcv_obs.Trace.null}) counts ["partition.runs"],
+    the coarsening hierarchy depth ["partition.levels"] and the accepted
+    refinement moves ["partition.refine_moves"].
 
     [groups] lists sets of instructions that must stay together through
     coarsening (the paper keeps recurrences whole, §4.1.1): each group

@@ -13,9 +13,12 @@ let feasible t = t.overflow = 0 && t.back_violations = 0 && t.regs_ok
 
 exception False
 
-let estimate ?memo ~machine ~clocking ~loop ~assignment () =
+let estimate ?memo ?(obs = Hcv_obs.Trace.null) ~machine ~clocking ~loop
+    ~assignment () =
   let ddg = loop.Loop.ddg in
   let n = Ddg.n_instrs ddg in
+  (* Invariant: callers build the assignment from this DDG (caller bug,
+     not an input condition). *)
   if Array.length assignment <> n then
     invalid_arg "Pseudo.estimate: assignment arity mismatch";
   let it = clocking.Clocking.it in
@@ -269,7 +272,13 @@ let estimate ?memo ~machine ~clocking ~loop ~assignment () =
         Q.( <= ) span (Q.mul_int it cl.Cluster.registers))
       spans machine.Machine.clusters
   in
-  { schedule; overflow = !overflow; back_violations = !back_violations; regs_ok }
+  let t =
+    { schedule; overflow = !overflow; back_violations = !back_violations;
+      regs_ok }
+  in
+  Hcv_obs.Trace.incr obs "pseudo.evals";
+  if not (feasible t) then Hcv_obs.Trace.incr obs "pseudo.infeasible";
+  t
 
 let score t =
   (float_of_int t.overflow *. 1e12)

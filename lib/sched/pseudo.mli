@@ -23,11 +23,15 @@ val feasible : t -> bool
 (** No overflow, no violated back edge, registers fit. *)
 
 val estimate :
-  ?memo:Timing.Memo.t -> machine:Machine.t -> clocking:Clocking.t
-  -> loop:Loop.t -> assignment:int array -> unit -> t
+  ?memo:Timing.Memo.t -> ?obs:Hcv_obs.Trace.span -> machine:Machine.t
+  -> clocking:Clocking.t -> loop:Loop.t -> assignment:int array -> unit -> t
 (** Greedily place every instruction on its assigned cluster in
     topological order (earliest dependence-ready cycle, scanning one II
-    window, reserving buses for cross-cluster values). *)
+    window, reserving buses for cross-cluster values).
+
+    [?obs] (default {!Hcv_obs.Trace.null}, which costs nothing on this
+    hot path) counts every evaluation (["pseudo.evals"]) and the
+    infeasible ones (["pseudo.infeasible"]). *)
 
 val score : t -> float
 (** Schedulability-first scalar for homogeneous partition refinement

@@ -7,17 +7,21 @@ open Hcv_workload
 
 let machine = Presets.machine_4c ~buses:1
 
+let diag_ok = function
+  | Ok v -> v
+  | Error d -> Alcotest.failf "unexpected diagnostic: %a" Hcv_obs.Diag.pp d
+
 let setup () =
   let spec = Option.get (Specfp.find "sixtrack") in
   let loops = Specfp.loops ~n_loops:4 ~seed:11 spec in
-  let profile = Result.get_ok (Profile.profile ~machine ~loops) in
+  let profile = diag_ok (Profile.profile ~machine ~loops ()) in
   let units =
     Units.of_reference ~params:Params.default ~n_clusters:4
       profile.Profile.activity
   in
   let ctx = Model.ctx ~params:Params.default ~units () in
   let config =
-    (Select.select_heterogeneous ~ctx ~machine profile).Select.config
+    (diag_ok (Select.select_heterogeneous ~ctx ~machine profile)).Select.config
   in
   (ctx, profile, config)
 

@@ -23,9 +23,13 @@ let make_ctx profile =
   in
   Model.ctx ~params:Params.default ~units ()
 
+let diag_ok = function
+  | Ok v -> v
+  | Error d -> Alcotest.failf "unexpected diagnostic: %a" Hcv_obs.Diag.pp d
+
 let with_profile f =
-  match Profile.profile ~machine ~loops:(small_loops ()) with
-  | Error msg -> Alcotest.failf "profiling failed: %s" msg
+  match Profile.profile ~machine ~loops:(small_loops ()) () with
+  | Error d -> Alcotest.failf "profiling failed: %a" Hcv_obs.Diag.pp d
   | Ok p -> f p
 
 let test_profile_basics () =
@@ -89,7 +93,7 @@ let test_estimate_activity () =
 let test_selection () =
   with_profile (fun p ->
       let ctx = make_ctx p in
-      let homo = Select.optimum_homogeneous ~ctx ~machine p in
+      let homo = diag_ok (Select.optimum_homogeneous ~ctx ~machine p) in
       (* The optimum homogeneous is no worse than the reference design
          itself (which is in the sweep at ct=1, vdd=1). *)
       let ref_ed2 =
@@ -104,10 +108,10 @@ let test_selection () =
       Alcotest.(check bool) "single voltage" true
         (Opconfig.vdd cfg (Comp.Cluster 0) = Opconfig.vdd cfg Comp.Icn
         && Opconfig.vdd cfg Comp.Icn = Opconfig.vdd cfg Comp.Cache);
-      let hetero = Select.select_heterogeneous ~ctx ~machine p in
+      let hetero = diag_ok (Select.select_heterogeneous ~ctx ~machine p) in
       Alcotest.(check bool) "hetero config realisable" true
         (Opconfig.realisable hetero.Select.config);
-      let uniform = Select.select_uniform ~ctx ~machine p in
+      let uniform = diag_ok (Select.select_uniform ~ctx ~machine p) in
       Alcotest.(check bool) "uniform is homogeneous-frequency" true
         (Opconfig.is_homogeneous uniform.Select.config);
       (* The heterogeneous sweep includes the uniform points. *)
@@ -129,7 +133,7 @@ let test_preplacement () =
       | Error _ -> Alcotest.fail "clocking failed at MIT"
       | Ok clocking -> (
         match Hsched.preplace_recurrences ~config ~clocking ddg with
-        | Error msg -> Alcotest.failf "preplacement failed: %s" msg
+        | Error d -> Alcotest.failf "preplacement failed: %a" Hcv_obs.Diag.pp d
         | Ok fixed ->
           (* The loop's 3-node critical recurrence does not fit the slow
              clusters at MIT, so it must be pre-placed — on the fast
@@ -146,7 +150,7 @@ let test_hsched_valid () =
       List.iter
         (fun (lp : Profile.loop_profile) ->
           match Hsched.schedule ~ctx ~config ~loop:lp.Profile.loop () with
-          | Error msg -> Alcotest.failf "hsched failed: %s" msg
+          | Error d -> Alcotest.failf "hsched failed: %a" Hcv_obs.Diag.pp d
           | Ok (sched, stats) ->
             Alcotest.(check bool) "validates" true
               (Hcv_sched.Schedule.validate sched = Ok ());
@@ -158,7 +162,7 @@ let test_pipeline () =
   match
     Pipeline.run ~machine ~name:"mini" ~loops:(small_loops ()) ()
   with
-  | Error msg -> Alcotest.failf "pipeline failed: %s" msg
+  | Error d -> Alcotest.failf "pipeline failed: %a" Hcv_obs.Diag.pp d
   | Ok r ->
     Alcotest.(check int) "no fallbacks" 0 r.Pipeline.fallbacks;
     (* A 3-loop toy workload is not the calibrated population; just
@@ -172,7 +176,7 @@ let test_pipeline_hetero_sim_agrees () =
   (* Cross-check the measured heterogeneous schedules against the
      event-driven simulator. *)
   match Pipeline.run ~machine ~name:"mini" ~loops:(small_loops ()) () with
-  | Error msg -> Alcotest.failf "pipeline failed: %s" msg
+  | Error d -> Alcotest.failf "pipeline failed: %a" Hcv_obs.Diag.pp d
   | Ok r ->
     List.iter
       (fun (lr : Pipeline.loop_result) ->

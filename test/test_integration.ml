@@ -46,7 +46,7 @@ let parse () =
 let test_full_flow () =
   let loops = parse () in
   match Pipeline.run ~machine ~name:"integration" ~loops () with
-  | Error msg -> Alcotest.failf "pipeline: %s" msg
+  | Error d -> Alcotest.failf "pipeline: %a" Hcv_obs.Diag.pp d
   | Ok r ->
     Alcotest.(check int) "all loops scheduled" (List.length loops)
       (List.length r.Pipeline.loop_results);
@@ -79,7 +79,7 @@ let test_energy_model_consistency () =
      energy as the analytic activity. *)
   let loops = parse () in
   match Pipeline.run ~machine ~name:"integration" ~loops () with
-  | Error msg -> Alcotest.failf "pipeline: %s" msg
+  | Error d -> Alcotest.failf "pipeline: %a" Hcv_obs.Diag.pp d
   | Ok r ->
     let config = r.Pipeline.hetero.Select.config in
     List.iter
@@ -144,7 +144,7 @@ let test_oracle_over_pipelines () =
   List.iter
     (fun (mlabel, machine) ->
       match Pipeline.run ~machine ~name:mlabel ~loops () with
-      | Error msg -> Alcotest.failf "%s: pipeline: %s" mlabel msg
+      | Error d -> Alcotest.failf "%s: pipeline: %a" mlabel Hcv_obs.Diag.pp d
       | Ok r ->
         let config = r.Pipeline.hetero.Select.config in
         List.iter

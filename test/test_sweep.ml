@@ -51,6 +51,7 @@ let outcome_eq (a : Sweep.outcome) (b : Sweep.outcome) =
   && a.fallbacks = b.fallbacks
   && String.equal a.hetero b.hetero
   && a.error = b.error
+  && a.trace = b.trace
 
 let outcome =
   Alcotest.testable
@@ -69,6 +70,18 @@ let test_outcome_roundtrip () =
       fallbacks = 1;
       hetero = {|{"config":"fake"}|};
       error = None;
+      (* The deterministic view only: zero wall, no volatile gauges —
+         exactly what the codec keeps. *)
+      trace =
+        Some
+          {
+            Hcv_obs.Trace.name = "cell:applu";
+            attrs = [ ("bench", "applu") ];
+            counters = [ ("hsched.attempts", 3); ("pseudo.evals", 7) ];
+            volatile = [];
+            wall_ns = 0.0;
+            children = [];
+          };
     }
   in
   let failed : Sweep.outcome =
@@ -80,6 +93,7 @@ let test_outcome_roundtrip () =
       fallbacks = 0;
       hetero = "";
       error = Some {|scheduling failed: "II overflow"|};
+      trace = None;
     }
   in
   List.iter
