@@ -420,11 +420,17 @@ let ablation engine =
         failure = None;
       }
   in
+  (* A quarantined cell renders like any other ablation failure. *)
+  let abl_row_of = function
+    | Ok row -> row
+    | Error d -> { values = []; failure = Some (Hcv_obs.Diag.to_string d) }
+  in
   let rows =
-    E.Engine.sweep engine ~label:"ablation"
-      ~codec:(abl_codec ~salt:"hcv-ablation-v1")
-      run_variants
-      (List.map abl_cell bench_names)
+    List.map abl_row_of
+      (E.Engine.sweep engine ~label:"ablation"
+         ~codec:(abl_codec ~salt:"hcv-ablation-v1")
+         run_variants
+         (List.map abl_cell bench_names))
   in
   let t =
     Tablefmt.create
@@ -494,9 +500,10 @@ let ablation engine =
       { values = [ float_of_int b1; t1; float_of_int b2; t2 ]; failure = None }
   in
   (match
-     E.Engine.sweep engine ~label:"ablation-unroll"
-       ~codec:(abl_codec ~salt:"hcv-ablation-unroll-v1")
-       run_unroll [ unroll_cell ]
+     List.map abl_row_of
+       (E.Engine.sweep engine ~label:"ablation-unroll"
+          ~codec:(abl_codec ~salt:"hcv-ablation-unroll-v1")
+          run_unroll [ unroll_cell ])
    with
   | [ { failure = Some msg; _ } ] ->
     Printf.printf "  !! unroll ablation: %s\n%!" msg

@@ -204,6 +204,11 @@ let gen_cmd =
 (* ----- explore ------------------------------------------------------ *)
 
 module E = Hcv_explore
+module R = Hcv_resilience
+
+(* Cache recovery diagnostics (corrupt lines quarantined, directory
+   unusable, ...) go to stderr; stdout stays the deterministic report. *)
+let cache_warn d = Printf.eprintf "warning: %s\n%!" (Hcv_obs.Diag.to_string d)
 
 (* ----- observability flags (--trace / --metrics) ------------------- *)
 
@@ -297,6 +302,15 @@ let explore_cmd =
           ~doc:"Resume an interrupted sweep from --cache: report how many \
                 cells were recovered, compute only the rest.")
   in
+  let compact =
+    Arg.(
+      value & flag
+      & info [ "compact-cache" ]
+          ~doc:"After the sweep, rewrite --cache's file as one \
+                integrity-checked record per live entry (atomic \
+                write-temp-then-rename), dropping superseded duplicates, \
+                corrupt lines and any torn tail.")
+  in
   let csv =
     Arg.(
       value & opt (some string) None
@@ -311,11 +325,13 @@ let explore_cmd =
           ~doc:"Also print each benchmark's selected heterogeneous \
                 configuration.")
   in
-  let run benches buses n_loops seed steps jobs cache resume csv show_config
-      trace metrics =
+  let run benches buses n_loops seed steps jobs cache resume compact csv
+      show_config trace metrics =
     setup_logs ();
     if resume && cache = None then
       or_die (Error "--resume needs --cache DIR");
+    if compact && cache = None then
+      or_die (Error "--compact-cache needs --cache DIR");
     let names =
       if List.mem "all" benches then
         List.map (fun s -> s.Specfp.name) Specfp.all
@@ -332,7 +348,7 @@ let explore_cmd =
           Sweep.cell ~buses ?n_loops ~seed ?grid_steps:steps name)
         names
     in
-    let cache = Option.map E.Cache.open_dir cache in
+    let cache = Option.map (E.Cache.open_dir ~warn:cache_warn) cache in
     (match (cache, resume) with
     | Some c, true ->
       Printf.eprintf "resuming: %d completed cells on disk\n%!"
@@ -412,7 +428,11 @@ let explore_cmd =
         | Some c ->
           let s = E.Cache.stats c in
           Printf.eprintf "cache: %d hits, %d misses, %d entries\n%!"
-            s.E.Cache.hits s.E.Cache.misses s.E.Cache.entries
+            s.E.Cache.hits s.E.Cache.misses s.E.Cache.entries;
+          if compact then (
+            match E.Cache.compact c with
+            | Ok n -> Printf.eprintf "cache: compacted to %d records\n%!" n
+            | Error d -> cache_warn d)
         | None -> ()))
   in
   Cmd.v
@@ -423,7 +443,7 @@ let explore_cmd =
           checkpoint/resume.")
     Term.(
       const run $ bench_arg $ buses $ n_loops $ seed $ steps $ jobs $ cache
-      $ resume $ csv $ show_config $ trace_arg $ metrics_arg)
+      $ resume $ compact $ csv $ show_config $ trace_arg $ metrics_arg)
 
 (* ----- fig7: the paper's Figure 7 through the staged pipeline ------- *)
 
@@ -469,7 +489,7 @@ let fig7_cmd =
             steps_list)
         buses_list
     in
-    let cache = Option.map E.Cache.open_dir cache in
+    let cache = Option.map (E.Cache.open_dir ~warn:cache_warn) cache in
     let engine = E.Engine.create ~jobs ?cache () in
     Fun.protect
       ~finally:(fun () -> E.Engine.shutdown engine)
@@ -528,6 +548,173 @@ let fig7_cmd =
           supported frequencies) through the staged pipeline, with \
           per-stage span tracing (--trace) and counters (--metrics).")
     Term.(const run $ quick $ jobs $ cache $ trace_arg $ metrics_arg)
+
+(* ----- chaos: fault-injection drill for the exploration stack ------- *)
+
+(* Three sweeps over the same cells: a fault-free baseline, a run under
+   an armed fault plan (task raises, torn cache writes, slowed
+   workers), and a recovery run warm-started from the faulted run's
+   cache.  The engine's supervision and the cache's recovery make all
+   three reports byte-identical; this command asserts exactly that, so
+   CI can drill the resilience machinery end to end. *)
+let chaos_cmd =
+  let seed =
+    Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Fault-plan seed.")
+  in
+  let jobs =
+    Arg.(
+      value & opt int 2
+      & info [ "jobs"; "j" ] ~docv:"N"
+          ~doc:"Worker domains (faults fire on workers too).")
+  in
+  let n_loops =
+    Arg.(
+      value & opt int 4
+      & info [ "loops" ] ~doc:"Loops per benchmark (small keeps the drill \
+                               fast).")
+  in
+  let log =
+    Arg.(
+      value & opt (some string) None
+      & info [ "log" ] ~docv:"FILE"
+          ~doc:"Append one JSON record per armed fault point (its firing \
+                count) to $(docv) (JSONL).")
+  in
+  let run seed jobs n_loops log trace metrics =
+    setup_logs ();
+    let cells =
+      List.map
+        (fun (s : Specfp.spec) -> Sweep.cell ~buses:1 ~n_loops ~seed:42 s.Specfp.name)
+        Specfp.all
+    in
+    let loops_of (c : Sweep.cell) =
+      Specfp.loops ?n_loops:c.Sweep.n_loops ~seed:c.Sweep.seed
+        (Option.get (Specfp.find c.Sweep.bench))
+    in
+    (* One rendered report per sweep; byte-compared below. *)
+    let render tag ~cache_dir obs =
+      let cache = E.Cache.open_dir ~warn:cache_warn cache_dir in
+      let engine = E.Engine.create ~jobs ~cache () in
+      Fun.protect
+        ~finally:(fun () -> E.Engine.shutdown engine)
+        (fun () ->
+          let outcomes = Sweep.run engine ~label:tag ~obs ~loops_of cells in
+          let t =
+            Tablefmt.create
+              [
+                ("benchmark", Tablefmt.Left);
+                ("ED2 ratio", Tablefmt.Right);
+                ("time ratio", Tablefmt.Right);
+                ("energy ratio", Tablefmt.Right);
+                ("fallbacks", Tablefmt.Right);
+                ("error", Tablefmt.Left);
+              ]
+          in
+          List.iter
+            (fun (o : Sweep.outcome) ->
+              Tablefmt.add_row t
+                [
+                  o.Sweep.bench;
+                  Tablefmt.cell_f o.Sweep.ed2_ratio;
+                  Tablefmt.cell_f o.Sweep.time_ratio;
+                  Tablefmt.cell_f o.Sweep.energy_ratio;
+                  string_of_int o.Sweep.fallbacks;
+                  Option.value o.Sweep.error ~default:"-";
+                ])
+            outcomes;
+          Tablefmt.render t)
+    in
+    let base =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "hcvliw-chaos-%d-%d" (Unix.getpid ()) seed)
+    in
+    let dir_a = Filename.concat base "baseline" in
+    let dir_b = Filename.concat base "faulted" in
+    let cleanup () =
+      List.iter
+        (fun d ->
+          List.iter
+            (fun f ->
+              let p = Filename.concat d f in
+              if Sys.file_exists p then
+                try Sys.remove p with Sys_error _ -> ())
+            [ "cache.jsonl"; "cache.rej"; "cache.jsonl.tmp" ];
+          if Sys.file_exists d then try Sys.rmdir d with Sys_error _ -> ())
+        [ dir_a; dir_b ];
+      if Sys.file_exists base then try Sys.rmdir base with Sys_error _ -> ()
+    in
+    cleanup ();
+    Fun.protect ~finally:cleanup (fun () ->
+        with_obs ~trace ~metrics "chaos" (fun obs ->
+            let baseline = render "chaos-baseline" ~cache_dir:dir_a obs in
+            (* Transient task raises stay under the retry policy's spare
+               attempts, so supervision must recover every one; torn
+               writes only damage the disk file, never the report. *)
+            let plan =
+              R.Inject.plan ~seed
+                [
+                  R.Inject.spec ~max_fires:2 R.Inject.Task_raise;
+                  R.Inject.spec ~max_fires:3 R.Inject.Torn_write;
+                  R.Inject.spec ~max_fires:4 R.Inject.Slow_cell;
+                ]
+            in
+            let faulted =
+              R.Inject.with_plan plan (fun () ->
+                  render "chaos-faulted" ~cache_dir:dir_b obs)
+            in
+            (* Recovery: reopen the faulted run's cache (quarantining
+               its torn lines) and re-sweep warm. *)
+            let recovered = render "chaos-recovered" ~cache_dir:dir_b obs in
+            Printf.eprintf "chaos: injected%s\n%!"
+              (String.concat ""
+                 (List.map
+                    (fun (p, n) ->
+                      Printf.sprintf " %s=%d" (R.Inject.point_name p) n)
+                    (R.Inject.fires plan)));
+            (match log with
+            | None -> ()
+            | Some path ->
+              let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
+              List.iter
+                (fun (p, n) ->
+                  output_string oc
+                    (E.Jsonx.to_string
+                       (E.Jsonx.Obj
+                          [
+                            ("seed", E.Jsonx.Num (float_of_int seed));
+                            ("point", E.Jsonx.Str (R.Inject.point_name p));
+                            ("fires", E.Jsonx.Num (float_of_int n));
+                          ]));
+                  output_char oc '\n')
+                (R.Inject.fires plan);
+              close_out oc);
+            print_string baseline;
+            let ok_faulted = String.equal baseline faulted in
+            let ok_recovered = String.equal baseline recovered in
+            if ok_faulted && ok_recovered then
+              Printf.eprintf
+                "chaos: faulted and recovered reports byte-identical to the \
+                 fault-free run\n%!"
+            else begin
+              if not ok_faulted then
+                Printf.eprintf
+                  "chaos: FAULTED report diverged from the baseline\n%!";
+              if not ok_recovered then
+                Printf.eprintf
+                  "chaos: RECOVERED report diverged from the baseline\n%!";
+              exit 1
+            end))
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Drill the resilience machinery: sweep the benchmark population \
+          fault-free, again under a seeded fault-injection plan (task \
+          raises, torn cache writes, slowed workers), then once more warm \
+          from the damaged cache — and assert all three reports are \
+          byte-identical.")
+    Term.(const run $ seed $ jobs $ n_loops $ log $ trace_arg $ metrics_arg)
 
 (* ----- fuzz: differential testing of the scheduler ------------------ *)
 
@@ -737,4 +924,4 @@ let main () =
     (Cmd.eval
        (Cmd.group info
           [ bench_cmd; table2_cmd; schedule_cmd; simulate_cmd; report_cmd; dot_cmd;
-            gen_cmd; explore_cmd; fig7_cmd; fuzz_cmd; debug_cmd ]))
+            gen_cmd; explore_cmd; fig7_cmd; chaos_cmd; fuzz_cmd; debug_cmd ]))

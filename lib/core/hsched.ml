@@ -111,6 +111,11 @@ let slot_failure_slug = function
    can never alias and the memo is behaviour-preserving; the score is
    pure for a fixed clocking, which is why the table must not outlive
    the IT attempt it was built for. *)
+(* Raised (notrace: it is control flow, not an error) by the budget
+   guard when a schedule call has spent its allotment of raw partition
+   scorings; caught once at the top of [schedule]. *)
+exception Budget_exhausted
+
 let memoised_score score =
   let cache : (string, float) Hashtbl.t = Hashtbl.create 256 in
   fun (assignment : int array) ->
@@ -126,9 +131,13 @@ let memoised_score score =
       s
 
 let schedule ?(obs = Hcv_obs.Trace.null) ~ctx ~config ~loop ?(max_tries = 64)
-    ?(seed = 0) ?(preplace = true) ?(score_mode = Ed2) ?(score_memo = true) ()
-    =
+    ?(seed = 0) ?(preplace = true) ?(score_mode = Ed2) ?(score_memo = true)
+    ?budget () =
   let machine = config.Opconfig.machine in
+  (* One allotment for the whole call: the counter survives IT bumps, so
+     a pathological config cannot spin through 64 attempts each paying
+     full price. *)
+  let budget_left = ref (Option.value budget ~default:max_int) in
   let n_clusters = Machine.n_clusters machine in
   let ddg = loop.Loop.ddg in
   let mit = Mit.mit ~config ddg in
@@ -178,6 +187,21 @@ let schedule ?(obs = Hcv_obs.Trace.null) ~ctx ~config ~loop ?(max_tries = 64)
                   (Pseudo.estimate ~memo ~obs ~machine ~clocking ~loop
                      ~assignment ())
           in
+          (* The budget guard wraps the *raw* score, beneath the memo:
+             only fresh pseudo-schedule evaluations spend budget, memo
+             hits stay free — so a budget large enough for the distinct
+             assignments never changes the result. *)
+          let score =
+            match budget with
+            | None -> score
+            | Some _ ->
+              fun assignment ->
+                if !budget_left <= 0 then raise_notrace Budget_exhausted
+                else begin
+                  decr budget_left;
+                  score assignment
+                end
+          in
           (* The memo depends on the clocking, so it lives exactly as
              long as this IT attempt; sharing it across the two
              partitioner restarts below is what makes the second restart
@@ -219,4 +243,16 @@ let schedule ?(obs = Hcv_obs.Trace.null) ~ctx ~config ~loop ?(max_tries = 64)
             bump ~sync:false ~cause ()))
     end
   in
-  attempt mit 1 0 "none"
+  match attempt mit 1 0 "none" with
+  | r -> r
+  | exception Budget_exhausted ->
+    Hcv_obs.Trace.incr obs "hsched.budget_exhausted";
+    Error
+      (Hcv_obs.Diag.v ~code:"budget-exhausted"
+         ~context:
+           [
+             ("loop", loop.Loop.name);
+             ("budget", string_of_int (Option.value budget ~default:0));
+             ("mit", Format.asprintf "%a" Q.pp mit);
+           ]
+         "partition-scoring budget exhausted before a schedule was found")

@@ -47,7 +47,7 @@ type score_mode =
 val schedule :
   ?obs:Hcv_obs.Trace.span -> ctx:Model.ctx -> config:Opconfig.t
   -> loop:Loop.t -> ?max_tries:int -> ?seed:int -> ?preplace:bool
-  -> ?score_mode:score_mode -> ?score_memo:bool -> unit
+  -> ?score_mode:score_mode -> ?score_memo:bool -> ?budget:int -> unit
   -> (Schedule.t * stats, Hcv_obs.Diag.t) result
 (** [max_tries] (default 64) bounds IT candidates above the MIT.
     [preplace] (default true) and [score_mode] (default [Ed2]) are
@@ -57,9 +57,20 @@ val schedule :
     changes the result (the score is pure per clocking) and exists as a
     switch for the equivalence tests.
 
+    [budget] (default unlimited) caps the number of {e raw} partition
+    scorings — pseudo-schedule evaluations — across the whole call, the
+    unit that dominates the scheduler's running time.  Memo hits are
+    free, so a budget that covers every distinct assignment is
+    invisible; a pathological loop/config pair that would otherwise
+    churn through the full [max_tries] IT ladder instead degrades in
+    bounded work with a [budget-exhausted] diagnostic (context: loop,
+    budget, MIT), which {!Pipeline} folds into its estimate-fallback
+    path like any other scheduling failure.
+
     Errors with [unschedulable] (context: loop, MIT, [max_tries] and the
     last failure cause) when the IT budget is exhausted.  [?obs] counts
     per-phase events: ["hsched.attempts"], ["hsched.clock_rejects"],
-    ["hsched.slot.<cause>"] per slot-scheduler failure, plus the
-    {!Hcv_sched.Partition}, {!Hcv_sched.Pseudo} and pre-placement
-    counters of the phases it drives. *)
+    ["hsched.slot.<cause>"] per slot-scheduler failure,
+    ["hsched.budget_exhausted"], plus the {!Hcv_sched.Partition},
+    {!Hcv_sched.Pseudo} and pre-placement counters of the phases it
+    drives. *)

@@ -33,8 +33,8 @@ type t = {
 (* Schedule every loop under [config] and aggregate the measured
    activity; loops that fail fall back to the §3.2 estimate, recording
    the loop and the diagnostic that caused the fallback. *)
-let evaluate ?preplace ?score_mode ?(obs = Trace.null) ~ctx ~machine ~name
-    (profile : Profile.t) (choice : Select.choice) =
+let evaluate ?preplace ?score_mode ?budget ?(obs = Trace.null) ~ctx ~machine
+    ~name (profile : Profile.t) (choice : Select.choice) =
   let config = choice.Select.config in
   let loop_results, fallbacks_rev =
     List.fold_left
@@ -42,8 +42,8 @@ let evaluate ?preplace ?score_mode ?(obs = Trace.null) ~ctx ~machine ~name
         let lname = lp.Profile.loop.Hcv_ir.Loop.name in
         Trace.span obs ("loop:" ^ lname) (fun sp ->
             match
-              Hsched.schedule ~obs:sp ?preplace ?score_mode ~ctx ~config
-                ~loop:lp.Profile.loop ()
+              Hsched.schedule ~obs:sp ?preplace ?score_mode ?budget ~ctx
+                ~config ~loop:lp.Profile.loop ()
             with
             | Ok (schedule, stats) ->
               ({ profile = lp; schedule; stats } :: acc, fb)
@@ -88,7 +88,7 @@ let evaluate ?preplace ?score_mode ?(obs = Trace.null) ~ctx ~machine ~name
 (* The six paper stages as an explicitly composed pass (the flow behind
    Figures 6-9; see the .mli header).  Each stage runs in its own
    ["stage:<name>"] span and failures carry the stage's provenance. *)
-let stages ?pool ~params ~machine ~name () =
+let stages ?pool ?budget ~params ~machine ~name () =
   let open Hcv_pass.Pass in
   let profile_stage =
     v ~name:"profile" (fun obs loops -> Profile.profile ~obs ~machine ~loops ())
@@ -109,12 +109,14 @@ let stages ?pool ~params ~machine ~name () =
   in
   let select_stage =
     v ~name:"select" (fun obs (profile, ctx, homo) ->
-        Result.bind (Select.select_heterogeneous ?pool ~obs ~ctx ~machine profile)
+        Result.bind
+          (Select.select_heterogeneous ?pool ?budget ~obs ~ctx ~machine
+             profile)
           (fun hetero_pick ->
             Result.map
               (fun uniform_pick ->
                 (profile, ctx, homo, hetero_pick, uniform_pick))
-              (Select.select_uniform ?pool ~obs ~ctx ~machine profile)))
+              (Select.select_uniform ?pool ?budget ~obs ~ctx ~machine profile)))
   in
   let schedule_stage =
     pure ~name:"schedule" (fun obs (profile, ctx, homo, hetero_pick, uniform_pick) ->
@@ -125,7 +127,7 @@ let stages ?pool ~params ~machine ~name () =
            pay). *)
         let eval tag choice =
           Trace.span obs ("candidate:" ^ tag) (fun sp ->
-              evaluate ~obs:sp ~ctx ~machine ~name profile choice)
+              evaluate ?budget ~obs:sp ~ctx ~machine ~name profile choice)
         in
         let candidates =
           if hetero_pick.Select.config = uniform_pick.Select.config then
@@ -187,12 +189,12 @@ let stages ?pool ~params ~machine ~name () =
 
 let stage_names = [ "profile"; "context"; "homo-optimum"; "select"; "schedule"; "evaluate" ]
 
-let run ?pool ?(params = Params.default) ?(obs = Trace.null) ~machine ~name
-    ~loops () =
-  Hcv_pass.Pass.run ~obs (stages ?pool ~params ~machine ~name ()) loops
+let run ?pool ?budget ?(params = Params.default) ?(obs = Trace.null) ~machine
+    ~name ~loops () =
+  Hcv_pass.Pass.run ~obs (stages ?pool ?budget ~params ~machine ~name ()) loops
 
-let measure_config ?preplace ?score_mode ?obs ~ctx ~machine ~profile ~config ()
-    =
+let measure_config ?preplace ?score_mode ?budget ?obs ~ctx ~machine ~profile
+    ~config () =
   let choice =
     {
       Select.config;
@@ -202,8 +204,8 @@ let measure_config ?preplace ?score_mode ?obs ~ctx ~machine ~profile ~config ()
     }
   in
   let _, causes, activity, ed2 =
-    evaluate ?preplace ?score_mode ?obs ~ctx ~machine ~name:"measure" profile
-      choice
+    evaluate ?preplace ?score_mode ?budget ?obs ~ctx ~machine ~name:"measure"
+      profile choice
   in
   (activity, ed2, List.length causes)
 

@@ -57,13 +57,22 @@ val stage_names : string list
 (** The six stage names, in execution order. *)
 
 val run :
-  ?pool:Hcv_explore.Pool.t -> ?params:Params.t -> ?obs:Hcv_obs.Trace.span
-  -> machine:Machine.t -> name:string -> loops:Loop.t list -> unit
-  -> (t, Hcv_obs.Diag.t) result
+  ?pool:Hcv_explore.Pool.t -> ?budget:int -> ?params:Params.t
+  -> ?obs:Hcv_obs.Trace.span -> machine:Machine.t -> name:string
+  -> loops:Loop.t list -> unit -> (t, Hcv_obs.Diag.t) result
 (** [?pool] parallelises the §3.3 configuration-selection sweeps on the
     given worker pool without changing their result (see {!Select}).
     Don't pass a pool when the [run] call itself executes on a pool
     worker — the nested sweep would then run inline anyway.
+
+    [?budget] (default unlimited) bounds the dominant work units of the
+    expensive stages: the number of design points each §3.3 selection
+    sweep scores ({!Select}) and the number of raw partition scorings
+    each per-loop §4 scheduling call may spend ({!Hsched.schedule}).  A
+    loop that exhausts its scheduling budget degrades to the §3.2
+    estimate through the normal fallback path, with the
+    [budget-exhausted] diagnostic recorded in [fallback_causes] — the
+    run still completes.
 
     [?obs] (default {!Hcv_obs.Trace.null}) opens one span per stage,
     one ["candidate:<tag>"] span per scheduled candidate configuration
@@ -72,7 +81,7 @@ val run :
     state). *)
 
 val measure_config :
-  ?preplace:bool -> ?score_mode:Hsched.score_mode
+  ?preplace:bool -> ?score_mode:Hsched.score_mode -> ?budget:int
   -> ?obs:Hcv_obs.Trace.span -> ctx:Model.ctx -> machine:Machine.t
   -> profile:Profile.t -> config:Opconfig.t -> unit
   -> Activity.t * float * int

@@ -196,8 +196,8 @@ let eval_design_point ~ctx ~machine (p : Profile.t) (fast_factor, slow_factor) =
   optimise_voltages ~ctx ~machine ~cluster_cts ~icn_ct:fast_ct
     ~cache_ct:fast_ct act
 
-let select_heterogeneous_gen ?pool ?(obs = Hcv_obs.Trace.null) ~ctx ~machine
-    ~slow_factors (p : Profile.t) =
+let select_heterogeneous_gen ?pool ?(obs = Hcv_obs.Trace.null) ?budget ~ctx
+    ~machine ~slow_factors (p : Profile.t) =
   (* Fast factor outer, slow factor inner — the fold over the scored
      points must visit them in exactly the serial nesting order so that
      ties keep resolving to the same candidate whatever the worker
@@ -206,6 +206,16 @@ let select_heterogeneous_gen ?pool ?(obs = Hcv_obs.Trace.null) ~ctx ~machine
     List.concat_map
       (fun fast -> List.map (fun slow -> (fast, slow)) slow_factors)
       Presets.fast_factors
+  in
+  (* The budget keeps the sweep a prefix of the serial point order, so a
+     budgeted selection is exactly the selection over a smaller grid —
+     still deterministic for any worker count. *)
+  let points =
+    match budget with
+    | Some b when b < List.length points ->
+      Hcv_obs.Trace.add obs "select.budget_dropped" (List.length points - b);
+      Hcv_support.Listx.take b points
+    | Some _ | None -> points
   in
   Hcv_obs.Trace.add obs "select.points" (List.length points);
   let eval = eval_design_point ~ctx ~machine p in
@@ -222,12 +232,13 @@ let select_heterogeneous_gen ?pool ?(obs = Hcv_obs.Trace.null) ~ctx ~machine
          ~context:[ ("points", string_of_int (List.length points)) ]
          "no heterogeneous design point is realisable under the voltage model")
 
-let select_heterogeneous ?pool ?obs ~ctx ~machine p =
-  select_heterogeneous_gen ?pool ?obs ~ctx ~machine
+let select_heterogeneous ?pool ?obs ?budget ~ctx ~machine p =
+  select_heterogeneous_gen ?pool ?obs ?budget ~ctx ~machine
     ~slow_factors:Presets.slow_factors p
 
-let select_uniform ?pool ?obs ~ctx ~machine p =
-  select_heterogeneous_gen ?pool ?obs ~ctx ~machine ~slow_factors:[ Q.one ] p
+let select_uniform ?pool ?obs ?budget ~ctx ~machine p =
+  select_heterogeneous_gen ?pool ?obs ?budget ~ctx ~machine
+    ~slow_factors:[ Q.one ] p
 
 let pp_choice ppf c =
   Format.fprintf ppf "@[<v>predicted: ED2=%.6g E=%.4f T=%.1f ns@,%a@]"

@@ -37,15 +37,20 @@ val optimum_homogeneous :
     under the voltage model.  [?obs] counts the swept ["homo.points"]. *)
 
 val select_heterogeneous :
-  ?pool:Hcv_explore.Pool.t -> ?obs:Hcv_obs.Trace.span -> ctx:Model.ctx
-  -> machine:Machine.t -> Profile.t -> (choice, Hcv_obs.Diag.t) result
+  ?pool:Hcv_explore.Pool.t -> ?obs:Hcv_obs.Trace.span -> ?budget:int
+  -> ctx:Model.ctx -> machine:Machine.t -> Profile.t
+  -> (choice, Hcv_obs.Diag.t) result
 (** The heterogeneous candidate with the lowest predicted ED² (errors
     with [no-heterogeneous-point] when the whole sweep is unrealisable;
     [?obs] counts the swept ["select.points"]).  With
     [?pool] the independent design points of the sweep are scored in
     parallel on the pool's worker domains; the scored points are folded
     in the serial nesting order, so the result is identical for any
-    worker count.  The
+    worker count.  [?budget] (default unlimited) caps the number of
+    design points scored; the sweep keeps the leading prefix of the
+    serial point order (so a budgeted selection equals the selection
+    over a smaller grid) and counts the omitted points as
+    ["select.budget_dropped"].  The
     sweep includes the all-slow-factors-1 points, so the result is never
     predicted worse than the best uniform-frequency configuration of the
     same cycle-time grid (the paper's selector likewise falls back to
@@ -53,8 +58,9 @@ val select_heterogeneous :
     programs). *)
 
 val select_uniform :
-  ?pool:Hcv_explore.Pool.t -> ?obs:Hcv_obs.Trace.span -> ctx:Model.ctx
-  -> machine:Machine.t -> Profile.t -> (choice, Hcv_obs.Diag.t) result
+  ?pool:Hcv_explore.Pool.t -> ?obs:Hcv_obs.Trace.span -> ?budget:int
+  -> ctx:Model.ctx -> machine:Machine.t -> Profile.t
+  -> (choice, Hcv_obs.Diag.t) result
 (** The best *uniform-frequency* configuration with per-domain voltages
     (all clusters, the ICN and the cache at one cycle time).  This is
     the configuration the paper's selector falls back to for register-

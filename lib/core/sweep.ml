@@ -189,11 +189,33 @@ let run_cell ~loops_of c =
   in
   { outcome with trace }
 
+(* A cell the engine's supervisor gave up on (the task raised on every
+   retry attempt): quarantined into the report exactly like a pipeline
+   failure, so the rest of the sweep stands. *)
+let quarantined_outcome (c : cell) diag =
+  {
+    bench = c.bench;
+    ed2_ratio = Float.nan;
+    time_ratio = Float.nan;
+    energy_ratio = Float.nan;
+    fallbacks = 0;
+    hetero = "";
+    error = Some (Hcv_obs.Diag.to_string diag);
+    trace = None;
+  }
+
 let run engine ?(label = "sweep") ?(obs = Hcv_obs.Trace.null) ~loops_of cells
     =
   Hcv_obs.Trace.span obs ("sweep:" ^ label) (fun sp ->
-      let outcomes =
+      let results =
         E.Engine.sweep engine ~label ~obs:sp ~codec (run_cell ~loops_of) cells
+      in
+      let outcomes =
+        List.map2
+          (fun c -> function
+            | Ok o -> o
+            | Error d -> quarantined_outcome c d)
+          cells results
       in
       (* Graft the per-cell traces in submission order — hit or
          computed, every cell contributes the same subtree. *)

@@ -80,7 +80,11 @@ val run :
   Hcv_explore.Engine.t -> ?label:string -> ?obs:Hcv_obs.Trace.span
   -> loops_of:(cell -> Loop.t list) -> cell list -> outcome list
 (** [Engine.sweep] over the cells with {!codec} — parallel, memoised,
-    deterministic.  With [?obs] the whole sweep runs under a
-    ["sweep:<label>"] span; each cell's trace (hit or computed) is
-    grafted beneath it in submission order, so the deterministic span
-    tree is identical for any [--jobs] value and cache state. *)
+    deterministic, supervised.  A cell the engine quarantines (its task
+    raised on every retry attempt) comes back as an outcome whose
+    [error] renders the quarantine diagnostic, so the rest of the sweep
+    report stands; healthy cells are unaffected.  With [?obs] the whole
+    sweep runs under a ["sweep:<label>"] span; each cell's trace (hit
+    or computed) is grafted beneath it in submission order, so the
+    deterministic span tree is identical for any [--jobs] value and
+    cache state. *)

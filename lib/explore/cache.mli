@@ -3,24 +3,57 @@
     Keys are opaque strings (the engine derives them by hashing every
     input that determines a cell's result); values are the serialized
     results.  On disk the cache is one append-only JSONL file,
-    [DIR/cache.jsonl], one [{"k":…,"v":…}] object per line.  Appending
-    a line per completed cell makes interruption safe by construction:
-    a run killed mid-sweep leaves at most one truncated final line,
-    which {!open_dir} silently skips along with any other corrupt line
-    (those cells are simply recomputed).  This is what makes repeated
-    bench runs and [--resume] skip completed cells.
+    [DIR/cache.jsonl], one object per line.
+
+    {2 Record format (v3)}
+
+    New records are [{"k":…,"v":…,"c":…}], where ["c"] is the CRC-32
+    (eight hex digits, {!Hcv_support.Crc32}) of [key ^ "\000" ^ value].
+    v2 records (no ["c"] field) remain readable, so a v3 open
+    round-trips an existing v2 file; only what v3 appends is
+    integrity-checked.
+
+    {2 Crash safety and recovery}
+
+    Appending one flushed line per completed cell makes interruption
+    safe by construction: a run killed mid-sweep leaves at most one
+    torn final line.  {!open_dir} recovers rather than fails:
+
+    - every unparseable or CRC-mismatched line is {e quarantined} —
+      appended verbatim to [DIR/cache.rej] for forensics and counted in
+      [stats.dropped] (those cells are simply recomputed);
+    - a torn tail (final line without a newline) is quarantined the
+      same way, and the next append starts on a fresh line so the new
+      record is never glued onto the stub;
+    - when anything was dropped, a warning diagnostic (code
+      [cache-corrupt-lines], context: loaded/dropped counts and the
+      first bad line's number) is passed to [?warn] — so a file that is
+      100% corrupt is distinguishable from an empty cache;
+    - when the directory cannot be created or written (or the
+      [Cache_open_fail] fault point fires), the cache {e degrades to
+      in-memory} with a [cache-unwritable] warning instead of raising:
+      the sweep still runs, it just stops checkpointing.
+
+    {!compact} rewrites the file as one v3 record per live entry
+    (sorted by key), atomically: write [cache.jsonl.tmp], then rename.
+    An injected or real rename failure leaves the original file
+    untouched.
 
     All operations are mutex-protected: the engine probes from the
     coordinating domain but workers store each cell the moment it
     completes (waiting for the end of the stage would forfeit the
-    checkpoint). *)
+    checkpoint).
+
+    Fault points ({!Hcv_resilience.Inject}): [Torn_write] (an append
+    stops mid-record, exactly as a kill would leave it),
+    [Cache_open_fail], [Rename_fail]. *)
 
 type t
 
 type stats = {
   entries : int;  (** live entries in memory *)
   loaded : int;  (** entries recovered from disk at open *)
-  dropped : int;  (** corrupt lines skipped at open *)
+  dropped : int;  (** corrupt/torn lines quarantined at open *)
   hits : int;
   misses : int;
 }
@@ -28,23 +61,39 @@ type stats = {
 val in_memory : unit -> t
 (** No persistence; memoisation within one process only. *)
 
-val open_dir : string -> t
+val open_dir : ?warn:(Hcv_obs.Diag.t -> unit) -> string -> t
 (** Creates the directory if needed and loads [cache.jsonl] if present.
-    @raise Sys_error if the directory cannot be created or the file
-    cannot be read. *)
+    Never raises on I/O or corruption: it quarantines bad lines and
+    degrades to an in-memory cache when the directory is unusable,
+    reporting both through [?warn] (default: ignore). *)
 
 val dir : t -> string option
+(** [None] for in-memory caches, including a degraded {!open_dir}. *)
+
+val rej_file : string
+(** Quarantine file name under the cache directory, ["cache.rej"]. *)
 
 val find : t -> string -> string option
 (** Counts a hit or a miss. *)
 
 val store : t -> key:string -> string -> unit
 (** Inserts (replacing any previous value) and, for a persistent cache,
-    appends the entry to disk and flushes so it survives a kill. *)
+    appends a v3 record to disk and flushes so it survives a kill.  A
+    write failure degrades the cache to in-memory (warned once via the
+    [?warn] passed at open) rather than raising. *)
 
 val demote_hit : t -> unit
 (** Reclassify the most recent hit as a miss — used by the engine when
     a cached value fails to decode and the cell is recomputed. *)
+
+val compact : t -> (int, Hcv_obs.Diag.t) result
+(** Rewrite [cache.jsonl] as one v3 record per live entry, sorted by
+    key — dropping superseded duplicates, corrupt lines and the torn
+    tail — via write-temp-then-rename, so a crash (or an injected
+    [Rename_fail]) at any point leaves the original file intact.
+    Returns the number of records written; [Ok 0] on an in-memory
+    cache.  Errors with [compact-rename-failed] / [compact-io] and
+    removes the temp file. *)
 
 val stats : t -> stats
 

@@ -1,7 +1,11 @@
+module Inject = Hcv_resilience.Inject
+module Retry = Hcv_resilience.Retry
+
 type t = {
   pool : Pool.t;
   cache : Cache.t option;
   progress : Progress.t;
+  policy : Retry.policy;
 }
 
 type ('a, 'b) codec = {
@@ -10,11 +14,11 @@ type ('a, 'b) codec = {
   decode : string -> 'b option;
 }
 
-let create ?(jobs = 1) ?cache ?progress () =
+let create ?(jobs = 1) ?cache ?progress ?(policy = Retry.default_policy) () =
   let progress =
     match progress with Some p -> p | None -> Progress.create ()
   in
-  { pool = Pool.create ~jobs (); cache; progress }
+  { pool = Pool.create ~jobs (); cache; progress; policy }
 
 let jobs t = Pool.jobs t.pool
 let cache t = t.cache
@@ -51,6 +55,36 @@ let map t ?(label = "map") ?(obs = Hcv_obs.Trace.null) f xs =
 (* A probed cell: either already answered by the cache, or still to
    compute under its key. *)
 type ('a, 'b) probe = Hit of 'b | Todo of string * 'a
+
+(* Supervise one cell: fault points fire first (so chaos runs exercise
+   the retry path, not the task body), then the task runs under the
+   bounded-retry policy.  A cell that still fails is quarantined as a
+   Diag — never cached, so a later run retries it.  Retry and
+   quarantine tallies are volatile gauges: they depend on the armed
+   fault plan and the cache state, so they must not reach the
+   deterministic counter view. *)
+let supervised t ~obs ~codec f (key, x) =
+  let r =
+    Retry.run ~policy:t.policy
+      ~on_retry:(fun ~attempt:_ _ ->
+        Hcv_obs.Trace.vol obs "resilience.retries" 1.0)
+      ~label:key
+      (fun () ->
+        Inject.raise_if ~key Task_raise;
+        if Inject.fire ~key Slow_cell then Unix.sleepf 0.002;
+        f x)
+  in
+  (match r with
+  | Ok v -> (
+    (* Store as soon as the cell completes — this is the checkpoint a
+       killed run resumes from, so it must not wait for the rest of
+       the stage. *)
+    match t.cache with
+    | None -> ()
+    | Some c -> Cache.store c ~key (codec.encode v))
+  | Error _ -> Hcv_obs.Trace.vol obs "resilience.quarantined" 1.0);
+  Progress.tick t.progress ~hit:false;
+  r
 
 let sweep t ?(label = "sweep") ?(obs = Hcv_obs.Trace.null) ~codec f xs =
   Progress.stage_begin t.progress label;
@@ -92,16 +126,7 @@ let sweep t ?(label = "sweep") ?(obs = Hcv_obs.Trace.null) ~codec f xs =
         (float_of_int (List.length todo));
       let computed =
         Pool.map t.pool
-          (timed_on_worker obs (fun (key, x) ->
-               let v = f x in
-               (* Store as soon as the cell completes — this is the
-                  checkpoint a killed run resumes from, so it must not
-                  wait for the rest of the stage. *)
-               (match t.cache with
-               | None -> ()
-               | Some c -> Cache.store c ~key (codec.encode v));
-               Progress.tick t.progress ~hit:false;
-               v))
+          (timed_on_worker obs (supervised t ~obs ~codec f))
           todo
       in
       (* Re-assemble in submission order. *)
@@ -110,7 +135,7 @@ let sweep t ?(label = "sweep") ?(obs = Hcv_obs.Trace.null) ~codec f xs =
         | [] ->
           assert (computed = []);
           []
-        | Hit v :: rest -> v :: zip rest computed
+        | Hit v :: rest -> Ok v :: zip rest computed
         | Todo _ :: rest -> (
           match computed with
           | v :: vs -> v :: zip rest vs
@@ -119,5 +144,6 @@ let sweep t ?(label = "sweep") ?(obs = Hcv_obs.Trace.null) ~codec f xs =
       zip probes computed)
 
 let shutdown t =
-  Pool.shutdown t.pool;
-  Option.iter Cache.close t.cache
+  Fun.protect
+    ~finally:(fun () -> Option.iter Cache.close t.cache)
+    (fun () -> Pool.shutdown t.pool)

@@ -35,16 +35,21 @@ let create ?(jobs = 1) () =
 
 let jobs t = t.n_jobs
 
-let map t f xs =
+let map_outcome t f xs =
   let items = Array.of_list xs in
   let n = Array.length items in
   if n = 0 then []
   else if
     Array.length t.domains = 0 || t.down || Domain.DLS.get in_worker || n = 1
-  then List.map f xs
+  then
+    List.map
+      (fun x ->
+        match f x with
+        | v -> Ok v
+        | exception e -> Error (e, Printexc.get_raw_backtrace ()))
+      xs
   else begin
     let results = Array.make n None in
-    let errors = Array.make n None in
     let mutex = Mutex.create () in
     let finished = Condition.create () in
     let remaining = ref n in
@@ -52,9 +57,9 @@ let map t f xs =
       (fun i x ->
         Workq.push t.q (fun () ->
             (match f x with
-            | v -> results.(i) <- Some v
+            | v -> results.(i) <- Some (Ok v)
             | exception e ->
-              errors.(i) <- Some (e, Printexc.get_raw_backtrace ()));
+              results.(i) <- Some (Error (e, Printexc.get_raw_backtrace ())));
             Mutex.lock mutex;
             decr remaining;
             if !remaining = 0 then Condition.signal finished;
@@ -65,16 +70,20 @@ let map t f xs =
       Condition.wait finished mutex
     done;
     Mutex.unlock mutex;
-    (* The serial run would have hit the lowest-indexed failure first;
-       report that one. *)
-    Array.iter
-      (function
-        | Some (e, bt) -> Printexc.raise_with_backtrace e bt
-        | None -> ())
-      errors;
     List.init n (fun i ->
-        match results.(i) with Some v -> v | None -> assert false)
+        match results.(i) with Some r -> r | None -> assert false)
   end
+
+let map t f xs =
+  let outcomes = map_outcome t f xs in
+  (* The serial run would have hit the lowest-indexed failure first;
+     report that one. *)
+  List.iter
+    (function
+      | Error (e, bt) -> Printexc.raise_with_backtrace e bt
+      | Ok _ -> ())
+    outcomes;
+  List.map (function Ok v -> v | Error _ -> assert false) outcomes
 
 let shutdown t =
   if not t.down then begin

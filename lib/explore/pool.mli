@@ -25,12 +25,20 @@ val jobs : t -> int
 val default_jobs : unit -> int
 (** [Domain.recommended_domain_count ()]. *)
 
+val map_outcome :
+  t -> ('a -> 'b) -> 'a list
+  -> ('b, exn * Printexc.raw_backtrace) result list
+(** Supervised parallel [List.map]: every task runs to completion and
+    each element's outcome is reported in its own slot — [Error] holds
+    the raised exception with its backtrace — so one failing element
+    cannot abort the fan-out.  Deterministic ordering as {!map}. *)
+
 val map : t -> ('a -> 'b) -> 'a list -> 'b list
 (** Parallel [List.map] with deterministic ordering.  If one or more
     applications raise, every task still runs to completion and the
     exception of the *lowest-indexed* failing element is re-raised (with
-    its original backtrace) — again matching what the serial run would
-    report first. *)
+    its original backtrace) — matching what the serial run would report
+    first.  [{!map_outcome} + re-raise]. *)
 
 val shutdown : t -> unit
 (** Close the queue and join the workers.  Idempotent.  The pool must

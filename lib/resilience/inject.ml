@@ -1,0 +1,116 @@
+open Hcv_support
+
+type point =
+  | Task_raise
+  | Torn_write
+  | Cache_open_fail
+  | Slow_cell
+  | Rename_fail
+
+exception Injected of { point : point; transient : bool }
+
+type spec = {
+  point : point;
+  prob : float;
+  max_fires : int;
+  key : string option;
+  transient : bool;
+}
+
+let spec ?(prob = 1.0) ?(max_fires = 1) ?key ?(transient = true) point =
+  { point; prob; max_fires; key; transient }
+
+(* One armed spec: its own rng stream (so per-point sequences are
+   independent of query interleaving across points) and a firing
+   count that outlives disarm, for reporting. *)
+type cell = { spec : spec; rng : Rng.t; mutable fired : int }
+
+type plan = { cells : cell list; mutex : Mutex.t }
+
+let plan ~seed specs =
+  let root = Rng.create seed in
+  {
+    cells = List.map (fun spec -> { spec; rng = Rng.split root; fired = 0 }) specs;
+    mutex = Mutex.create ();
+  }
+
+let state : plan option ref = ref None
+
+let arm p = state := Some p
+let disarm () = state := None
+let armed () = !state <> None
+
+let with_plan p f =
+  arm p;
+  Fun.protect ~finally:disarm f
+
+let contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  n = 0 || go 0
+
+let key_matches cell key =
+  match (cell.spec.key, key) with
+  | None, _ -> true
+  | Some _, None -> false
+  | Some sub, Some k -> contains ~sub k
+
+(* Walk the armed specs for [point]; the first matching spec that has
+   firings left and wins its coin toss fires.  Every matching spec
+   consulted advances its own stream, so the sequence each spec sees
+   depends only on how many times it was asked. *)
+let fire_armed p ?key point =
+  Mutex.protect p.mutex (fun () ->
+      let rec go = function
+        | [] -> None
+        | cell :: rest ->
+          if
+            cell.spec.point = point
+            && key_matches cell key
+            && cell.fired < cell.spec.max_fires
+            && Rng.chance cell.rng cell.spec.prob
+          then begin
+            cell.fired <- cell.fired + 1;
+            Some cell.spec
+          end
+          else go rest
+      in
+      go p.cells)
+
+let fire ?key point =
+  match !state with
+  | None -> false
+  | Some p -> fire_armed p ?key point <> None
+
+let raise_if ?key point =
+  match !state with
+  | None -> ()
+  | Some p -> (
+    match fire_armed p ?key point with
+    | None -> ()
+    | Some spec -> raise (Injected { point; transient = spec.transient }))
+
+let fires p = List.map (fun c -> (c.spec.point, c.fired)) p.cells
+
+let total_fires p = List.fold_left (fun acc c -> acc + c.fired) 0 p.cells
+
+let point_name = function
+  | Task_raise -> "task-raise"
+  | Torn_write -> "torn-write"
+  | Cache_open_fail -> "cache-open-fail"
+  | Slow_cell -> "slow-cell"
+  | Rename_fail -> "rename-fail"
+
+let all_points =
+  [ Task_raise; Torn_write; Cache_open_fail; Slow_cell; Rename_fail ]
+
+let point_of_name s =
+  List.find_opt (fun p -> point_name p = s) all_points
+
+let () =
+  Printexc.register_printer (function
+    | Injected { point; transient } ->
+      Some
+        (Printf.sprintf "injected fault at %s (%s)" (point_name point)
+           (if transient then "transient" else "persistent"))
+    | _ -> None)

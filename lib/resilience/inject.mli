@@ -1,0 +1,86 @@
+(** The deterministic fault-injection plane.
+
+    Chaos testing for the explore→select→schedule stack: a {!plan}
+    names the fault points to perturb, each with a firing probability,
+    a firing cap and an optional key filter, all driven by a seeded
+    {!Hcv_support.Rng} stream per point so every chaos run is
+    reproducible.  {!arm} installs the plan globally; instrumented code
+    asks {!fire} at its fault points and injects the corresponding
+    failure (raise, torn write, refused open, artificial delay) when it
+    answers [true].
+
+    Cost contract: the plane is {e off by default at zero cost}.  With
+    no plan armed, {!fire} is one global load and a pattern match — no
+    allocation, no locking — so fault points may sit on warm paths
+    without perturbing the perf baseline (the [test_obs] minor-words
+    check pins this).
+
+    Concurrency: arming/disarming is meant to bracket a whole run from
+    the coordinating domain; the armed state itself is mutex-protected,
+    so worker domains may query {!fire} concurrently.  Which worker
+    draws the n-th firing depends on scheduling, but the total number
+    of firings per point (and everything a *recovered* run prints) does
+    not. *)
+
+type point =
+  | Task_raise  (** a sweep cell's task raises before running *)
+  | Torn_write  (** a cache append stops mid-record (kill simulation) *)
+  | Cache_open_fail  (** the cache directory refuses to open *)
+  | Slow_cell  (** a worker stalls briefly, shuffling completion order *)
+  | Rename_fail  (** the atomic-compact rename step fails *)
+
+exception Injected of { point : point; transient : bool }
+(** What an armed [Task_raise] point raises.  [transient] faults are
+    the retryable kind ({!Retry} recovers them); persistent ones model
+    a deterministic bug and fail the task immediately. *)
+
+type spec = {
+  point : point;
+  prob : float;  (** chance that a matching query fires *)
+  max_fires : int;  (** stop firing after this many hits *)
+  key : string option;
+      (** only fire on queries whose key contains this substring
+          (e.g. one cell's content hash); [None] matches every query *)
+  transient : bool;  (** raised faults are retryable *)
+}
+
+val spec :
+  ?prob:float -> ?max_fires:int -> ?key:string -> ?transient:bool -> point
+  -> spec
+(** Defaults: [prob = 1.0], [max_fires = 1], no key filter,
+    [transient = true]. *)
+
+type plan
+
+val plan : seed:int -> spec list -> plan
+(** A fresh plan; each spec gets its own rng stream split from [seed],
+    so per-point firing sequences are independent and reproducible. *)
+
+val arm : plan -> unit
+(** Install [plan] globally (replacing any armed plan).  Fire counts
+    live in the plan, so they survive {!disarm} for reporting. *)
+
+val disarm : unit -> unit
+val armed : unit -> bool
+
+val with_plan : plan -> (unit -> 'a) -> 'a
+(** [arm], run, always [disarm]. *)
+
+val fire : ?key:string -> point -> bool
+(** Should this fault point inject a failure now?  Always [false] when
+    nothing is armed (the zero-cost path). *)
+
+val raise_if : ?key:string -> point -> unit
+(** @raise Injected when {!fire} answers [true] (with the matching
+    spec's [transient] flag). *)
+
+val fires : plan -> (point * int) list
+(** Firing counts per armed spec, in spec order. *)
+
+val total_fires : plan -> int
+
+val point_name : point -> string
+(** Stable kebab-case name (["task-raise"], ["torn-write"], ...). *)
+
+val point_of_name : string -> point option
+val all_points : point list

@@ -1,0 +1,42 @@
+type policy = { max_attempts : int; backoff_s : float }
+
+let default_policy = { max_attempts = 3; backoff_s = 0.001 }
+let no_retry = { max_attempts = 1; backoff_s = 0.0 }
+
+let run ?(policy = default_policy) ?(on_retry = fun ~attempt:_ _ -> ())
+    ~label f =
+  let max_attempts = max 1 policy.max_attempts in
+  let rec go attempt =
+    match f () with
+    | v -> Ok v
+    | exception Inject.Injected { point; transient = false } ->
+      (* A persistent injected fault models a deterministic bug:
+         retrying cannot help, so fail fast with its own code. *)
+      Error
+        (Hcv_obs.Diag.v ~code:"injected-fault"
+           ~context:
+             [
+               ("task", label);
+               ("point", Inject.point_name point);
+               ("attempt", string_of_int attempt);
+             ]
+           "persistent injected fault")
+    | exception e ->
+      if attempt < max_attempts then begin
+        on_retry ~attempt e;
+        if policy.backoff_s > 0.0 then
+          Unix.sleepf (policy.backoff_s *. float_of_int (1 lsl (attempt - 1)));
+        go (attempt + 1)
+      end
+      else
+        Error
+          (Hcv_obs.Diag.v ~code:"task-failed"
+             ~context:
+               [
+                 ("task", label);
+                 ("attempts", string_of_int attempt);
+                 ("exn", Printexc.to_string e);
+               ]
+             "task failed on every attempt")
+  in
+  go 1

@@ -1,0 +1,33 @@
+(** Bounded retry with exponential backoff — the supervision policy the
+    {!Hcv_explore.Engine} applies to every sweep cell.
+
+    A task that raises is retried up to [max_attempts] times with a
+    doubling backoff between attempts; a task that keeps failing is
+    folded into a structured {!Hcv_obs.Diag.t} (code ["task-failed"])
+    so the caller can quarantine it instead of aborting the run.
+    Persistent injected faults ({!Inject.Injected} with
+    [transient = false]) model deterministic bugs: they skip the
+    pointless retries and fail immediately with code
+    ["injected-fault"]. *)
+
+type policy = {
+  max_attempts : int;  (** total attempts, including the first *)
+  backoff_s : float;
+      (** sleep before retry [n] is [backoff_s * 2^(n-1)] seconds;
+          [0.0] disables sleeping (tests) *)
+}
+
+val default_policy : policy
+(** 3 attempts, 1 ms base backoff. *)
+
+val no_retry : policy
+(** 1 attempt: supervision (failures become diagnostics) without
+    retries. *)
+
+val run :
+  ?policy:policy -> ?on_retry:(attempt:int -> exn -> unit) -> label:string
+  -> (unit -> 'a) -> ('a, Hcv_obs.Diag.t) result
+(** [run ~label f] applies [f] under the policy.  [label] lands in the
+    diagnostic's context (the engine passes the cell key).  [on_retry]
+    is called before each re-attempt with the attempt number that just
+    failed and its exception. *)

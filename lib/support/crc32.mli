@@ -1,0 +1,15 @@
+(** CRC-32 (IEEE 802.3, reflected, polynomial 0xEDB88320).
+
+    The integrity check behind the persistent cache's v3 record format:
+    cheap enough to run on every append, strong enough to catch the
+    torn writes and bit rot an append-only JSONL file accumulates. *)
+
+val string : string -> int32
+(** CRC-32 of the whole string. *)
+
+val hex : int32 -> string
+(** Eight lowercase hex digits, zero-padded — the on-disk rendering. *)
+
+val check_hex : string -> string -> bool
+(** [check_hex s h] is true when [h] equals [hex (string s)]
+    (case-insensitive). *)

@@ -1,7 +1,9 @@
 (* The persistent content-addressed cache: hit/miss accounting,
-   reopen persistence, and corrupt-entry recovery. *)
+   reopen persistence, corrupt-entry recovery (CRC quarantine, torn
+   tails), v2 compatibility, and atomic compaction. *)
 
 open Hcv_explore
+module R = Hcv_resilience
 
 let fresh_dir =
   let counter = ref 0 in
@@ -110,6 +112,245 @@ let test_corrupt_recovery () =
         (Cache.find c'' "good2");
       Cache.close c'')
 
+let read_lines file =
+  let ic = open_in file in
+  let rec go acc =
+    match input_line ic with
+    | l -> go (l :: acc)
+    | exception End_of_file ->
+      close_in ic;
+      List.rev acc
+  in
+  go []
+
+let write_lines file lines =
+  let oc = open_out file in
+  List.iter
+    (fun l ->
+      output_string oc l;
+      output_char oc '\n')
+    lines;
+  close_out oc
+
+let find_sub s sub =
+  let n = String.length s in
+  let m = String.length sub in
+  let rec go i =
+    if i + m > n then None
+    else if String.sub s i m = sub then Some i
+    else go (i + 1)
+  in
+  go 0
+
+let replace_sub s ~sub ~by =
+  match find_sub s sub with
+  | None -> s
+  | Some i ->
+    String.sub s 0 i ^ by
+    ^ String.sub s (i + String.length sub)
+        (String.length s - i - String.length sub)
+
+let contains_sub s sub = find_sub s sub <> None
+
+(* A bit flip *inside a structurally valid record* — undetectable by
+   the JSON parser, caught only by the v3 CRC. *)
+let test_crc_catches_bit_flip () =
+  with_dir (fun dir ->
+      let c = Cache.open_dir dir in
+      Cache.store c ~key:"good1" "v1";
+      Cache.store c ~key:"good2" "v2";
+      Cache.close c;
+      let file = Filename.concat dir "cache.jsonl" in
+      let tampered =
+        match read_lines file with
+        | [ l1; l2 ] ->
+          let flipped = replace_sub l2 ~sub:{|"v":"v2"|} ~by:{|"v":"vX"|} in
+          Alcotest.(check bool) "tampering changed the line" true
+            (flipped <> l2);
+          [ l1; flipped ]
+        | _ -> Alcotest.fail "expected two cache lines"
+      in
+      write_lines file tampered;
+      let warns = ref [] in
+      let c' = Cache.open_dir ~warn:(fun d -> warns := d :: !warns) dir in
+      let s = Cache.stats c' in
+      Alcotest.(check int) "one entry survives" 1 s.Cache.loaded;
+      Alcotest.(check int) "flipped record dropped" 1 s.Cache.dropped;
+      Alcotest.(check (option string)) "good1 intact" (Some "v1")
+        (Cache.find c' "good1");
+      Alcotest.(check (option string)) "tampered value not served" None
+        (Cache.find c' "good2");
+      (match !warns with
+      | [ d ] ->
+        Alcotest.(check string) "warn code" "cache-corrupt-lines"
+          (Hcv_obs.Diag.code d);
+        let fields = Hcv_obs.Diag.fields d in
+        Alcotest.(check (option string)) "dropped count" (Some "1")
+          (List.assoc_opt "dropped" fields);
+        Alcotest.(check (option string)) "first bad line" (Some "2")
+          (List.assoc_opt "first_bad_line" fields)
+      | ws -> Alcotest.failf "expected exactly one warning, got %d"
+                (List.length ws));
+      (* The bad line is preserved verbatim for forensics. *)
+      Alcotest.(check (list string)) "quarantined verbatim"
+        [ List.nth tampered 1 ]
+        (read_lines (Filename.concat dir Cache.rej_file));
+      Cache.close c')
+
+(* Kill simulations: the file ends mid-record and mid-CRC.  Both stubs
+   must be quarantined and never corrupt neighbouring records. *)
+let test_torn_tail_mid_crc () =
+  with_dir (fun dir ->
+      let c = Cache.open_dir dir in
+      Cache.store c ~key:"a" "1";
+      Cache.store c ~key:"b" "2";
+      Cache.close c;
+      let file = Filename.concat dir "cache.jsonl" in
+      (match read_lines file with
+      | [ l1; l2 ] ->
+        (* Cut inside the trailing CRC hex digits. *)
+        let oc = open_out file in
+        output_string oc l1;
+        output_char oc '\n';
+        output_string oc (String.sub l2 0 (String.length l2 - 5));
+        close_out oc
+      | _ -> Alcotest.fail "expected two cache lines");
+      let c' = Cache.open_dir dir in
+      let s = Cache.stats c' in
+      Alcotest.(check int) "intact record loads" 1 s.Cache.loaded;
+      Alcotest.(check int) "mid-CRC stub dropped" 1 s.Cache.dropped;
+      (* The next append must start on a fresh line, not glue onto the
+         stub. *)
+      Cache.store c' ~key:"b" "2";
+      Cache.close c';
+      let c'' = Cache.open_dir dir in
+      (* The stub itself stays on disk (quarantine copies it, the live
+         file is untouched) but the healed append after it parses
+         cleanly. *)
+      Alcotest.(check int) "only the old stub dropped" 1
+        (Cache.stats c'').Cache.dropped;
+      Alcotest.(check int) "both records load" 2 (Cache.stats c'').Cache.loaded;
+      Alcotest.(check (option string)) "healed entry" (Some "2")
+        (Cache.find c'' "b");
+      (* Compaction scrubs the stub for good. *)
+      (match Cache.compact c'' with
+      | Ok n -> Alcotest.(check int) "two live records" 2 n
+      | Error d ->
+        Alcotest.failf "compact failed: %s" (Hcv_obs.Diag.to_string d));
+      Cache.close c'';
+      let c3 = Cache.open_dir dir in
+      Alcotest.(check int) "clean after compaction" 0
+        (Cache.stats c3).Cache.dropped;
+      Cache.close c3)
+
+let test_torn_write_injection () =
+  with_dir (fun dir ->
+      let plan =
+        R.Inject.plan ~seed:3 [ R.Inject.spec ~max_fires:1 R.Inject.Torn_write ]
+      in
+      R.Inject.with_plan plan (fun () ->
+          let c = Cache.open_dir dir in
+          Cache.store c ~key:"k1" "v1";
+          (* torn on disk, intact in memory *)
+          Cache.store c ~key:"k2" "v2";
+          Alcotest.(check (option string)) "memory view intact" (Some "v1")
+            (Cache.find c "k1");
+          Cache.close c);
+      Alcotest.(check int) "fault fired" 1 (R.Inject.total_fires plan);
+      let c' = Cache.open_dir dir in
+      let s = Cache.stats c' in
+      Alcotest.(check int) "full record recovered" 1 s.Cache.loaded;
+      Alcotest.(check int) "torn record quarantined" 1 s.Cache.dropped;
+      Alcotest.(check (option string)) "k2 survives" (Some "v2")
+        (Cache.find c' "k2");
+      Alcotest.(check (option string)) "k1 must recompute" None
+        (Cache.find c' "k1");
+      Cache.close c')
+
+let test_v2_compat () =
+  with_dir (fun dir ->
+      (* A pre-CRC cache file written by an older build. *)
+      let file = Filename.concat dir "cache.jsonl" in
+      Sys.mkdir dir 0o755;
+      write_lines file [ {|{"k":"old1","v":"a"}|}; {|{"k":"old2","v":"b"}|} ];
+      let c = Cache.open_dir dir in
+      let s = Cache.stats c in
+      Alcotest.(check int) "v2 records load" 2 s.Cache.loaded;
+      Alcotest.(check int) "nothing dropped" 0 s.Cache.dropped;
+      Alcotest.(check (option string)) "v2 value served" (Some "a")
+        (Cache.find c "old1");
+      (* New appends are v3; the mixed file still round-trips. *)
+      Cache.store c ~key:"new" "c";
+      Cache.close c;
+      let c' = Cache.open_dir dir in
+      Alcotest.(check int) "mixed v2/v3 reload" 3 (Cache.stats c').Cache.loaded;
+      Alcotest.(check bool) "new record carries a CRC" true
+        (List.exists
+           (fun l -> contains_sub l {|"c":|})
+           (read_lines (Filename.concat dir "cache.jsonl")));
+      Cache.close c')
+
+let test_compact_atomic () =
+  with_dir (fun dir ->
+      let c = Cache.open_dir dir in
+      Cache.store c ~key:"b" "2";
+      Cache.store c ~key:"a" "1";
+      Cache.store c ~key:"a" "1'";
+      (* superseded duplicate on disk *)
+      Alcotest.(check int) "three appended lines before compaction" 3
+        (List.length (read_lines (Filename.concat dir "cache.jsonl")));
+      (match Cache.compact c with
+      | Ok n -> Alcotest.(check int) "two live records" 2 n
+      | Error d -> Alcotest.failf "compact failed: %s" (Hcv_obs.Diag.to_string d));
+      let lines = read_lines (Filename.concat dir "cache.jsonl") in
+      Alcotest.(check int) "duplicates dropped" 2 (List.length lines);
+      Cache.store c ~key:"c" "3";
+      Cache.close c;
+      let c' = Cache.open_dir dir in
+      Alcotest.(check int) "reload after compact+append" 3
+        (Cache.stats c').Cache.loaded;
+      Alcotest.(check (option string)) "latest duplicate wins" (Some "1'")
+        (Cache.find c' "a");
+      (* An injected rename failure must leave the live file untouched
+         and remove the temp. *)
+      let before = read_lines (Filename.concat dir "cache.jsonl") in
+      let plan =
+        R.Inject.plan ~seed:1 [ R.Inject.spec R.Inject.Rename_fail ]
+      in
+      R.Inject.with_plan plan (fun () ->
+          match Cache.compact c' with
+          | Ok _ -> Alcotest.fail "rename failure must surface"
+          | Error d ->
+            Alcotest.(check string) "code" "compact-rename-failed"
+              (Hcv_obs.Diag.code d));
+      Alcotest.(check (list string)) "original file untouched" before
+        (read_lines (Filename.concat dir "cache.jsonl"));
+      Alcotest.(check bool) "temp file removed" false
+        (Sys.file_exists (Filename.concat dir "cache.jsonl.tmp"));
+      Cache.close c')
+
+let test_open_fail_degrades () =
+  with_dir (fun dir ->
+      let plan =
+        R.Inject.plan ~seed:1 [ R.Inject.spec R.Inject.Cache_open_fail ]
+      in
+      let warns = ref [] in
+      R.Inject.with_plan plan (fun () ->
+          let c = Cache.open_dir ~warn:(fun d -> warns := d :: !warns) dir in
+          Alcotest.(check bool) "degraded to in-memory" true
+            (Cache.dir c = None);
+          (* Memoisation still works, it just stops checkpointing. *)
+          Cache.store c ~key:"k" "v";
+          Alcotest.(check (option string)) "in-memory store" (Some "v")
+            (Cache.find c "k");
+          Cache.close c);
+      match !warns with
+      | [ d ] ->
+        Alcotest.(check string) "warn code" "cache-unwritable"
+          (Hcv_obs.Diag.code d)
+      | ws ->
+        Alcotest.failf "expected exactly one warning, got %d" (List.length ws))
+
 let test_demote_hit () =
   let c = Cache.in_memory () in
   Cache.store c ~key:"k" "undecodable";
@@ -126,5 +367,15 @@ let suite =
     Alcotest.test_case "persists across reopen" `Quick test_persistence;
     Alcotest.test_case "skips corrupt and truncated lines" `Quick
       test_corrupt_recovery;
+    Alcotest.test_case "CRC catches in-record bit flips" `Quick
+      test_crc_catches_bit_flip;
+    Alcotest.test_case "torn tail mid-CRC quarantined" `Quick
+      test_torn_tail_mid_crc;
+    Alcotest.test_case "injected torn write recovers on reopen" `Quick
+      test_torn_write_injection;
+    Alcotest.test_case "v2 files round-trip" `Quick test_v2_compat;
+    Alcotest.test_case "compact is atomic" `Quick test_compact_atomic;
+    Alcotest.test_case "open failure degrades to in-memory" `Quick
+      test_open_fail_degrades;
     Alcotest.test_case "demote_hit reclassifies" `Quick test_demote_hit;
   ]

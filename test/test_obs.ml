@@ -88,15 +88,22 @@ let test_pass_stamps_stage () =
 (* ----- the null sink is free --------------------------------------- *)
 
 let test_null_sink_zero_alloc () =
-  (* Counter traffic against the null span must not allocate at all. *)
+  (* Counter traffic against the null span — and fault-point queries
+     with no plan armed — must not allocate at all. *)
+  assert (not (Hcv_resilience.Inject.armed ()));
+  let fired = ref false in
   let before = Gc.minor_words () in
   for _ = 1 to 10_000 do
     Trace.incr Trace.null "pseudo.evals";
     Trace.add Trace.null "partition.refine_moves" 3;
-    Trace.vol Trace.null "worker.busy" 1.0
+    Trace.vol Trace.null "worker.busy" 1.0;
+    if Hcv_resilience.Inject.fire Hcv_resilience.Inject.Task_raise then
+      fired := true
   done;
-  let per_op = (Gc.minor_words () -. before) /. 30_000.0 in
-  Alcotest.(check (float 0.0)) "null counter ops allocate nothing" 0.0 per_op
+  let per_op = (Gc.minor_words () -. before) /. 40_000.0 in
+  Alcotest.(check bool) "disarmed fault plane never fires" false !fired;
+  Alcotest.(check (float 0.0))
+    "null counter ops and disarmed fault points allocate nothing" 0.0 per_op
 
 let test_null_sink_free_on_estimate () =
   (* Pseudo.estimate with the (default) null sink allocates exactly what

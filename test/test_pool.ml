@@ -55,6 +55,46 @@ let test_first_failure_wins () =
                  if x >= 2 then failwith (Printf.sprintf "boom-%d" x) else x)
                [ 0; 1; 2; 3; 4; 5; 6; 7 ])))
 
+let test_map_outcome_per_item () =
+  (* Supervised fan-out: every task runs, each failure stays in its own
+     slot — identical shape for the serial and parallel paths. *)
+  List.iter
+    (fun jobs ->
+      with_pool jobs (fun pool ->
+          let ran = Atomic.make 0 in
+          let out =
+            Pool.map_outcome pool
+              (fun x ->
+                Atomic.incr ran;
+                if x mod 3 = 0 then failwith (Printf.sprintf "boom-%d" x)
+                else x * 10)
+              [ 0; 1; 2; 3; 4; 5 ]
+          in
+          Alcotest.(check int)
+            (Printf.sprintf "every task ran (jobs=%d)" jobs)
+            6 (Atomic.get ran);
+          List.iteri
+            (fun i r ->
+              if i mod 3 = 0 then
+                match r with
+                | Error (Failure msg, _) ->
+                  Alcotest.(check string) "failure in its slot"
+                    (Printf.sprintf "boom-%d" i) msg
+                | Error _ -> Alcotest.fail "wrong exception"
+                | Ok _ -> Alcotest.failf "slot %d should fail" i
+              else
+                match r with
+                | Ok v -> Alcotest.(check int) "value in its slot" (i * 10) v
+                | Error _ -> Alcotest.failf "slot %d should succeed" i)
+            out))
+    [ 1; 4 ]
+
+let test_map_outcome_all_ok () =
+  with_pool 3 (fun pool ->
+      let out = Pool.map_outcome pool (fun x -> x + 1) [ 1; 2; 3 ] in
+      Alcotest.(check (list int)) "all ok" [ 2; 3; 4 ]
+        (List.map Result.get_ok out))
+
 let test_nested_map_runs_inline () =
   (* A map issued from inside a worker must not deadlock: it runs
      inline in that worker. *)
@@ -87,6 +127,9 @@ let suite =
     Alcotest.test_case "exception propagation" `Quick
       test_exception_propagation;
     Alcotest.test_case "first failure wins" `Quick test_first_failure_wins;
+    Alcotest.test_case "map_outcome isolates failures per slot" `Quick
+      test_map_outcome_per_item;
+    Alcotest.test_case "map_outcome all-ok" `Quick test_map_outcome_all_ok;
     Alcotest.test_case "nested map runs inline" `Quick
       test_nested_map_runs_inline;
     Alcotest.test_case "pool reuse across maps" `Quick test_pool_reuse;

@@ -1,0 +1,272 @@
+(* The resilience plane: deterministic fault injection, the retry
+   supervisor, and the work budgets that keep pathological configs from
+   hanging the pipeline. *)
+
+open Hcv_support
+open Hcv_machine
+open Hcv_energy
+open Hcv_core
+module R = Hcv_resilience
+
+(* ----- Inject ------------------------------------------------------ *)
+
+let test_disarmed () =
+  Alcotest.(check bool) "not armed" false (R.Inject.armed ());
+  Alcotest.(check bool) "never fires" false (R.Inject.fire R.Inject.Task_raise)
+
+let test_deterministic_firing () =
+  let mk () =
+    R.Inject.plan ~seed:9
+      [ R.Inject.spec ~prob:0.4 ~max_fires:max_int R.Inject.Task_raise ]
+  in
+  let draw plan =
+    R.Inject.with_plan plan (fun () ->
+        List.init 64 (fun i ->
+            R.Inject.fire ~key:(string_of_int i) R.Inject.Task_raise))
+  in
+  let a = draw (mk ()) in
+  let b = draw (mk ()) in
+  Alcotest.(check (list bool)) "same seed, same firing sequence" a b;
+  Alcotest.(check bool) "prob 0.4 fires sometimes" true (List.mem true a);
+  Alcotest.(check bool) "prob 0.4 skips sometimes" true (List.mem false a)
+
+let test_max_fires () =
+  let plan =
+    R.Inject.plan ~seed:1 [ R.Inject.spec ~max_fires:3 R.Inject.Slow_cell ]
+  in
+  let fired =
+    R.Inject.with_plan plan (fun () ->
+        List.filter Fun.id
+          (List.init 50 (fun _ -> R.Inject.fire R.Inject.Slow_cell)))
+  in
+  Alcotest.(check int) "capped at max_fires" 3 (List.length fired);
+  Alcotest.(check int) "plan reports the count" 3 (R.Inject.total_fires plan)
+
+let test_key_filter () =
+  let plan =
+    R.Inject.plan ~seed:1
+      [ R.Inject.spec ~max_fires:max_int ~key:"cell-7" R.Inject.Task_raise ]
+  in
+  R.Inject.with_plan plan (fun () ->
+      Alcotest.(check bool) "other key" false
+        (R.Inject.fire ~key:"cell-3" R.Inject.Task_raise);
+      Alcotest.(check bool) "no key" false (R.Inject.fire R.Inject.Task_raise);
+      Alcotest.(check bool) "substring match" true
+        (R.Inject.fire ~key:"sweep/cell-7/x" R.Inject.Task_raise))
+
+let test_with_plan_disarms_on_raise () =
+  let plan = R.Inject.plan ~seed:1 [ R.Inject.spec R.Inject.Task_raise ] in
+  (try R.Inject.with_plan plan (fun () -> failwith "boom")
+   with Failure _ -> ());
+  Alcotest.(check bool) "disarmed after a raise" false (R.Inject.armed ())
+
+let test_point_names_roundtrip () =
+  List.iter
+    (fun p ->
+      Alcotest.(check bool)
+        (R.Inject.point_name p ^ " round-trips")
+        true
+        (R.Inject.point_of_name (R.Inject.point_name p) = Some p))
+    R.Inject.all_points
+
+(* ----- Retry ------------------------------------------------------- *)
+
+let fast = { R.Retry.max_attempts = 3; backoff_s = 0.0 }
+
+let test_retry_recovers () =
+  let n = ref 0 in
+  match
+    R.Retry.run ~policy:fast ~label:"t" (fun () ->
+        incr n;
+        if !n < 3 then failwith "flaky" else "ok")
+  with
+  | Ok s ->
+    Alcotest.(check string) "recovered value" "ok" s;
+    Alcotest.(check int) "used all spare attempts" 3 !n
+  | Error d -> Alcotest.failf "should recover: %s" (Hcv_obs.Diag.to_string d)
+
+let test_retry_exhausted () =
+  let calls = ref 0 in
+  let retries = ref 0 in
+  match
+    R.Retry.run ~policy:fast
+      ~on_retry:(fun ~attempt:_ _ -> incr retries)
+      ~label:"cell-k"
+      (fun () ->
+        incr calls;
+        failwith "always")
+  with
+  | Ok _ -> Alcotest.fail "cannot succeed"
+  | Error d ->
+    Alcotest.(check string) "code" "task-failed" (Hcv_obs.Diag.code d);
+    Alcotest.(check int) "ran max_attempts times" 3 !calls;
+    Alcotest.(check int) "on_retry per re-attempt" 2 !retries;
+    let fields = Hcv_obs.Diag.fields d in
+    Alcotest.(check (option string)) "task recorded" (Some "cell-k")
+      (List.assoc_opt "task" fields);
+    Alcotest.(check (option string)) "attempts recorded" (Some "3")
+      (List.assoc_opt "attempts" fields);
+    Alcotest.(check bool) "exception recorded" true
+      (List.mem_assoc "exn" fields)
+
+let test_retry_persistent_fault_fails_fast () =
+  let plan =
+    R.Inject.plan ~seed:1
+      [ R.Inject.spec ~max_fires:max_int ~transient:false R.Inject.Task_raise ]
+  in
+  let calls = ref 0 in
+  let r =
+    R.Inject.with_plan plan (fun () ->
+        R.Retry.run ~policy:fast ~label:"k" (fun () ->
+            incr calls;
+            R.Inject.raise_if R.Inject.Task_raise;
+            "unreachable"))
+  in
+  (match r with
+  | Error d ->
+    Alcotest.(check string) "code" "injected-fault" (Hcv_obs.Diag.code d)
+  | Ok _ -> Alcotest.fail "persistent fault cannot succeed");
+  Alcotest.(check int) "no pointless retries" 1 !calls
+
+(* ----- work budgets ------------------------------------------------ *)
+
+let machine = Presets.machine_4c ~buses:1
+
+let small_loops () =
+  [
+    Builders.dotprod ~trip:50 ();
+    Builders.recurrence_loop ~trip:80 ();
+    Builders.wide_loop ~trip:60 ~width:6 ();
+  ]
+
+let diag_ok = function
+  | Ok v -> v
+  | Error d -> Alcotest.failf "unexpected diagnostic: %a" Hcv_obs.Diag.pp d
+
+let with_profile f =
+  match Profile.profile ~machine ~loops:(small_loops ()) () with
+  | Error d -> Alcotest.failf "profiling failed: %a" Hcv_obs.Diag.pp d
+  | Ok p -> f p
+
+let make_ctx (profile : Profile.t) =
+  let units =
+    Units.of_reference ~params:Params.default ~n_clusters:4
+      profile.Profile.activity
+  in
+  Model.ctx ~params:Params.default ~units ()
+
+let hetero_config () =
+  let pt ct vdd = { Opconfig.cycle_time = ct; vdd } in
+  Opconfig.make ~machine
+    ~cluster_points:
+      [|
+        pt (Q.make 9 10) 1.2;
+        pt (Q.make 27 20) 0.9;
+        pt (Q.make 27 20) 0.9;
+        pt (Q.make 27 20) 0.9;
+      |]
+    ~icn_point:(pt (Q.make 9 10) 1.0)
+    ~cache_point:(pt (Q.make 9 10) 1.2)
+
+let test_hsched_budget_exhausted () =
+  with_profile (fun p ->
+      let ctx = make_ctx p in
+      let config = hetero_config () in
+      let lp = List.hd p.Profile.loops in
+      match
+        Hsched.schedule ~ctx ~config ~loop:lp.Profile.loop ~budget:0 ()
+      with
+      | Ok _ -> Alcotest.fail "a zero budget cannot produce a schedule"
+      | Error d ->
+        Alcotest.(check string) "code" "budget-exhausted"
+          (Hcv_obs.Diag.code d);
+        let fields = Hcv_obs.Diag.fields d in
+        Alcotest.(check bool) "loop recorded" true
+          (List.mem_assoc "loop" fields);
+        Alcotest.(check (option string)) "budget recorded" (Some "0")
+          (List.assoc_opt "budget" fields))
+
+let test_hsched_ample_budget_invisible () =
+  with_profile (fun p ->
+      let ctx = make_ctx p in
+      let config = hetero_config () in
+      List.iter
+        (fun (lp : Profile.loop_profile) ->
+          let free =
+            diag_ok (Hsched.schedule ~ctx ~config ~loop:lp.Profile.loop ())
+          in
+          let capped =
+            diag_ok
+              (Hsched.schedule ~ctx ~config ~loop:lp.Profile.loop
+                 ~budget:1_000_000 ())
+          in
+          let _, free_stats = free in
+          let _, capped_stats = capped in
+          Alcotest.(check bool) "same IT" true
+            (Q.compare free_stats.Hsched.it capped_stats.Hsched.it = 0);
+          Alcotest.(check int) "same tries" free_stats.Hsched.tries
+            capped_stats.Hsched.tries)
+        p.Profile.loops)
+
+let test_select_budget () =
+  with_profile (fun p ->
+      let ctx = make_ctx p in
+      let full = diag_ok (Select.select_heterogeneous ~ctx ~machine p) in
+      let ample =
+        diag_ok (Select.select_heterogeneous ~budget:1000 ~ctx ~machine p)
+      in
+      Alcotest.(check (float 0.0)) "ample budget is invisible"
+        full.Select.predicted_ed2 ample.Select.predicted_ed2;
+      (* One point: the leading prefix of the serial sweep order. *)
+      let first =
+        diag_ok (Select.select_heterogeneous ~budget:1 ~ctx ~machine p)
+      in
+      Alcotest.(check bool) "budgeted pick is no better than the full sweep"
+        true
+        (full.Select.predicted_ed2 <= first.Select.predicted_ed2 +. 1e-9))
+
+let test_pipeline_budget_degrades () =
+  (* A budget of 1 leaves every selection sweep a single design point
+     (still realisable) but starves the scheduler, so every loop must
+     degrade to the estimate through the fallback path — the run still
+     completes and names the cause. *)
+  match
+    Pipeline.run ~budget:1 ~machine ~name:"mini" ~loops:(small_loops ()) ()
+  with
+  | Error d -> Alcotest.failf "pipeline must complete: %a" Hcv_obs.Diag.pp d
+  | Ok r ->
+    Alcotest.(check int) "every loop fell back" 3 r.Pipeline.fallbacks;
+    List.iter
+      (fun (_, d) ->
+        Alcotest.(check string) "cause recorded" "budget-exhausted"
+          (Hcv_obs.Diag.code d))
+      r.Pipeline.fallback_causes;
+    Alcotest.(check bool) "ratios still finite" true
+      (Float.is_finite r.Pipeline.ed2_ratio)
+
+let suite =
+  [
+    Alcotest.test_case "disarmed plane never fires" `Quick test_disarmed;
+    Alcotest.test_case "seeded firing is deterministic" `Quick
+      test_deterministic_firing;
+    Alcotest.test_case "max_fires caps injections" `Quick test_max_fires;
+    Alcotest.test_case "key filter scopes faults" `Quick test_key_filter;
+    Alcotest.test_case "with_plan disarms on raise" `Quick
+      test_with_plan_disarms_on_raise;
+    Alcotest.test_case "point names round-trip" `Quick
+      test_point_names_roundtrip;
+    Alcotest.test_case "retry recovers a transient fault" `Quick
+      test_retry_recovers;
+    Alcotest.test_case "retry exhaustion is a structured diag" `Quick
+      test_retry_exhausted;
+    Alcotest.test_case "persistent faults skip retries" `Quick
+      test_retry_persistent_fault_fails_fast;
+    Alcotest.test_case "hsched budget exhaustion" `Quick
+      test_hsched_budget_exhausted;
+    Alcotest.test_case "ample hsched budget changes nothing" `Quick
+      test_hsched_ample_budget_invisible;
+    Alcotest.test_case "select budget truncates the sweep" `Quick
+      test_select_budget;
+    Alcotest.test_case "pipeline degrades under budget" `Quick
+      test_pipeline_budget_degrades;
+  ]
