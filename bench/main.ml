@@ -583,9 +583,10 @@ let micro () =
 let usage () =
   prerr_endline
     "usage: main.exe [table1] [table2] [fig6] [fig7] [fig8] [fig9] [ablation]\n\
-    \                [micro] [perf] [--quick] [--jobs N] [--cache DIR]\n\
+    \                [micro] [perf] [serve] [--quick] [--jobs N] [--cache DIR]\n\
     \                [--resume] [--telemetry-csv FILE] [--perf-out FILE]\n\
-    \                [--perf-baseline FILE] [--perf-reps N] [--perf-gate R]";
+    \                [--perf-baseline FILE] [--perf-reps N] [--perf-gate R]\n\
+    \                [--serve-out FILE]";
   exit 2
 
 let () =
@@ -597,6 +598,7 @@ let () =
   let perf_baseline = ref "BENCH_seed.json" in
   let perf_reps = ref None in
   let perf_gate = ref None in
+  let serve_out = ref "BENCH_serve.json" in
   let int_arg name v =
     match int_of_string_opt v with
     | Some n when n >= 1 -> n
@@ -638,8 +640,11 @@ let () =
           v;
         usage ());
       parse selected rest
+    | "--serve-out" :: file :: rest ->
+      serve_out := file;
+      parse selected rest
     | ( "--jobs" | "--cache" | "--telemetry-csv" | "--perf-out"
-      | "--perf-baseline" | "--perf-reps" | "--perf-gate" )
+      | "--perf-baseline" | "--perf-reps" | "--perf-gate" | "--serve-out" )
       :: [] ->
       usage ()
     | arg :: _ when String.length arg > 1 && arg.[0] = '-' ->
@@ -680,8 +685,11 @@ let () =
       if want "fig9" then fig9 engine;
       if want "ablation" then ablation engine;
       if want "micro" then micro ();
-      (* perf runs only when asked for by name: it is a timing harness,
-         not part of the paper's tables/figures, so "all" skips it. *)
+      (* perf and serve run only when asked for by name: they are timing
+         harnesses, not part of the paper's tables/figures, so "all"
+         skips them. *)
+      if List.mem "serve" selected then
+        Serve_bench.run ~quick:!quick ~out:!serve_out ();
       if List.mem "perf" selected then
         let reps = match !perf_reps with
           | Some n -> n

@@ -1,0 +1,134 @@
+(* Serving-plane benchmark: drive the daemon's dispatcher in-process
+   with a deterministic request stream and report requests/s plus
+   p50/p99 latency, cold cache vs warm cache.
+
+   Three passes over the same stream:
+     cold   jobs=2, fresh cache dir  (reported as "cold")
+     warm   jobs=2, same cache dir   (reported as "warm")
+     check  jobs=1, another fresh dir
+   The response sequences of all three must be byte-identical — the
+   serving plane's determinism contract (responses depend only on
+   request content, never on worker count or cache state) — and the
+   bench exits non-zero if they are not. *)
+
+module E = Hcv_explore
+module S = Hcv_serve
+module J = E.Jsonx
+
+type pass = {
+  wall_ns : float;
+  latencies_ns : float list;
+  responses : string list;
+  ok : int;
+  errors : int;
+}
+
+let run_pass ~jobs ~cache_dir lines =
+  let cache = E.Cache.open_dir cache_dir in
+  let engine = E.Engine.create ~jobs ~cache () in
+  Fun.protect
+    ~finally:(fun () -> E.Engine.shutdown engine)
+    (fun () ->
+      let dispatch = S.Dispatch.create engine in
+      let t0 = Unix.gettimeofday () in
+      let answered =
+        List.map
+          (fun line ->
+            let s0 = Unix.gettimeofday () in
+            let resp = S.Dispatch.handle_line dispatch line in
+            ((Unix.gettimeofday () -. s0) *. 1e9, resp))
+          lines
+      in
+      let wall_ns = (Unix.gettimeofday () -. t0) *. 1e9 in
+      let responses = List.map snd answered in
+      let ok, errors =
+        List.fold_left
+          (fun (ok, err) resp ->
+            match S.Proto.parse_response resp with
+            | Ok r when r.S.Proto.ok -> (ok + 1, err)
+            | _ -> (ok, err + 1))
+          (0, 0) responses
+      in
+      { wall_ns; latencies_ns = List.map fst answered; responses; ok; errors })
+
+let pass_json ~jobs ~requests p =
+  J.Obj
+    [
+      ("jobs", J.Num (float_of_int jobs));
+      ("wall_ns", J.Num p.wall_ns);
+      ( "rps",
+        J.Num
+          (if p.wall_ns > 0.0 then float_of_int requests /. (p.wall_ns /. 1e9)
+           else 0.0) );
+      ("ok", J.Num (float_of_int p.ok));
+      ("errors", J.Num (float_of_int p.errors));
+      ("p50_ns", J.Num (S.Load.percentile p.latencies_ns 0.50));
+      ("p99_ns", J.Num (S.Load.percentile p.latencies_ns 0.99));
+    ]
+
+let rec rm_tree path =
+  match Sys.is_directory path with
+  | true ->
+    Array.iter (fun f -> rm_tree (Filename.concat path f)) (Sys.readdir path);
+    (try Sys.rmdir path with Sys_error _ -> ())
+  | false -> ( try Sys.remove path with Sys_error _ -> ())
+  | exception Sys_error _ -> ()
+
+let run ~quick ~out () =
+  let requests = if quick then 20 else 60 in
+  let n_loops = 2 in
+  let seed = 42 in
+  Printf.printf "Serve bench: %d requests, cold vs warm cache\n%!" requests;
+  let lines = S.Load.requests ~mix:S.Load.Clean ~n_loops ~seed requests in
+  let base =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "hcvliw-serve-bench-%d" (Unix.getpid ()))
+  in
+  rm_tree base;
+  Fun.protect
+    ~finally:(fun () -> rm_tree base)
+    (fun () ->
+      let dir_main = Filename.concat base "main" in
+      let dir_check = Filename.concat base "check" in
+      let cold = run_pass ~jobs:2 ~cache_dir:dir_main lines in
+      let warm = run_pass ~jobs:2 ~cache_dir:dir_main lines in
+      let check = run_pass ~jobs:1 ~cache_dir:dir_check lines in
+      let identical =
+        cold.responses = warm.responses && cold.responses = check.responses
+      in
+      let report =
+        J.Obj
+          [
+            ("schema", J.Str "hcvliw-serve-bench-v1");
+            ("requests", J.Num (float_of_int requests));
+            ("n_loops", J.Num (float_of_int n_loops));
+            ("seed", J.Num (float_of_int seed));
+            ("cold", pass_json ~jobs:2 ~requests cold);
+            ("warm", pass_json ~jobs:2 ~requests warm);
+            ("check_serial_cold", pass_json ~jobs:1 ~requests check);
+            ("identical", J.Bool identical);
+          ]
+      in
+      let oc = open_out out in
+      output_string oc (J.to_string report);
+      output_char oc '\n';
+      close_out oc;
+      let show tag p =
+        Printf.printf "  %-5s %8.1f req/s   p50 %10.0f ns   p99 %10.0f ns\n%!"
+          tag
+          (float_of_int requests /. (p.wall_ns /. 1e9))
+          (S.Load.percentile p.latencies_ns 0.50)
+          (S.Load.percentile p.latencies_ns 0.99)
+      in
+      show "cold" cold;
+      show "warm" warm;
+      Printf.printf "  wrote %s\n%!" out;
+      if identical then
+        Printf.printf
+          "  responses byte-identical across jobs 1/2 and cold/warm cache\n%!"
+      else begin
+        prerr_endline
+          "serve bench: response sequences DIVERGED across passes";
+        exit 1
+      end)

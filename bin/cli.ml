@@ -205,10 +205,22 @@ let gen_cmd =
 
 module E = Hcv_explore
 module R = Hcv_resilience
+module S = Hcv_serve
 
 (* Cache recovery diagnostics (corrupt lines quarantined, directory
    unusable, ...) go to stderr; stdout stays the deterministic report. *)
 let cache_warn d = Printf.eprintf "warning: %s\n%!" (Hcv_obs.Diag.to_string d)
+
+(* Shared engine/cache lifecycle for every engine-backed subcommand
+   (explore, fig7, chaos, serve): open the persistent cache with
+   recovery warnings to stderr, create the engine, and guarantee
+   worker join + cache close however [f] exits. *)
+let with_engine ?cache_dir ?progress ~jobs f =
+  let cache = Option.map (E.Cache.open_dir ~warn:cache_warn) cache_dir in
+  let engine = E.Engine.create ~jobs ?cache ?progress () in
+  Fun.protect
+    ~finally:(fun () -> E.Engine.shutdown engine)
+    (fun () -> f ~cache engine)
 
 (* ----- observability flags (--trace / --metrics) ------------------- *)
 
@@ -348,17 +360,14 @@ let explore_cmd =
           Sweep.cell ~buses ?n_loops ~seed ?grid_steps:steps name)
         names
     in
-    let cache = Option.map (E.Cache.open_dir ~warn:cache_warn) cache in
-    (match (cache, resume) with
-    | Some c, true ->
-      Printf.eprintf "resuming: %d completed cells on disk\n%!"
-        (E.Cache.stats c).E.Cache.entries
-    | _, _ -> ());
     let progress = E.Progress.create ~verbose:true ?csv () in
-    let engine = E.Engine.create ~jobs ?cache ~progress () in
-    Fun.protect
-      ~finally:(fun () -> E.Engine.shutdown engine)
-      (fun () ->
+    with_engine ?cache_dir:cache ~progress ~jobs
+      (fun ~cache engine ->
+        (match (cache, resume) with
+        | Some c, true ->
+          Printf.eprintf "resuming: %d completed cells on disk\n%!"
+            (E.Cache.stats c).E.Cache.entries
+        | _, _ -> ());
         let loops_of (c : Sweep.cell) =
           Specfp.loops ?n_loops:c.Sweep.n_loops ~seed:c.Sweep.seed
             (Option.get (Specfp.find c.Sweep.bench))
@@ -489,11 +498,8 @@ let fig7_cmd =
             steps_list)
         buses_list
     in
-    let cache = Option.map (E.Cache.open_dir ~warn:cache_warn) cache in
-    let engine = E.Engine.create ~jobs ?cache () in
-    Fun.protect
-      ~finally:(fun () -> E.Engine.shutdown engine)
-      (fun () ->
+    with_engine ?cache_dir:cache ~jobs
+      (fun ~cache:_ engine ->
         with_obs ~trace ~metrics "fig7" (fun obs ->
             let loops_of (c : Sweep.cell) =
               Specfp.loops ?n_loops:c.Sweep.n_loops ~seed:c.Sweep.seed
@@ -593,11 +599,8 @@ let chaos_cmd =
     in
     (* One rendered report per sweep; byte-compared below. *)
     let render tag ~cache_dir obs =
-      let cache = E.Cache.open_dir ~warn:cache_warn cache_dir in
-      let engine = E.Engine.create ~jobs ~cache () in
-      Fun.protect
-        ~finally:(fun () -> E.Engine.shutdown engine)
-        (fun () ->
+      with_engine ~cache_dir ~jobs
+        (fun ~cache:_ engine ->
           let outcomes = Sweep.run engine ~label:tag ~obs ~loops_of cells in
           let t =
             Tablefmt.create
@@ -631,21 +634,24 @@ let chaos_cmd =
     in
     let dir_a = Filename.concat base "baseline" in
     let dir_b = Filename.concat base "faulted" in
+    (* Remove whatever the drill left behind, whole tree — not a fixed
+       file list, so renamed cache artefacts can't strand a directory. *)
     let cleanup () =
-      List.iter
-        (fun d ->
-          List.iter
-            (fun f ->
-              let p = Filename.concat d f in
-              if Sys.file_exists p then
-                try Sys.remove p with Sys_error _ -> ())
-            [ "cache.jsonl"; "cache.rej"; "cache.jsonl.tmp" ];
-          if Sys.file_exists d then try Sys.rmdir d with Sys_error _ -> ())
-        [ dir_a; dir_b ];
-      if Sys.file_exists base then try Sys.rmdir base with Sys_error _ -> ()
+      let rec rm path =
+        match Sys.is_directory path with
+        | true ->
+          Array.iter (fun f -> rm (Filename.concat path f)) (Sys.readdir path);
+          (try Sys.rmdir path with Sys_error _ -> ())
+        | false -> ( try Sys.remove path with Sys_error _ -> ())
+        | exception Sys_error _ -> ()
+      in
+      rm base
     in
     cleanup ();
-    Fun.protect ~finally:cleanup (fun () ->
+    (* [exit] does not unwind [Fun.protect], so the protected region
+       only reports divergence; the process exits after cleanup ran. *)
+    let ok =
+      Fun.protect ~finally:cleanup (fun () ->
         with_obs ~trace ~metrics "chaos" (fun obs ->
             let baseline = render "chaos-baseline" ~cache_dir:dir_a obs in
             (* Transient task raises stay under the retry policy's spare
@@ -702,9 +708,11 @@ let chaos_cmd =
                   "chaos: FAULTED report diverged from the baseline\n%!";
               if not ok_recovered then
                 Printf.eprintf
-                  "chaos: RECOVERED report diverged from the baseline\n%!";
-              exit 1
-            end))
+                  "chaos: RECOVERED report diverged from the baseline\n%!"
+            end;
+            ok_faulted && ok_recovered))
+    in
+    if not ok then exit 1
   in
   Cmd.v
     (Cmd.info "chaos"
@@ -715,6 +723,270 @@ let chaos_cmd =
           from the damaged cache — and assert all three reports are \
           byte-identical.")
     Term.(const run $ seed $ jobs $ n_loops $ log $ trace_arg $ metrics_arg)
+
+(* ----- serve / loadgen: the scheduling-as-a-service plane ----------- *)
+
+let socket_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "socket" ] ~docv:"PATH"
+        ~doc:"Unix-domain socket path (exactly one of --socket/--tcp).")
+
+let tcp_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "tcp" ] ~docv:"HOST:PORT" ~doc:"TCP endpoint.")
+
+let parse_tcp hp =
+  match String.rindex_opt hp ':' with
+  | None -> Error (Printf.sprintf "bad endpoint %S (want HOST:PORT)" hp)
+  | Some i -> (
+    let host = String.sub hp 0 i in
+    match int_of_string_opt (String.sub hp (i + 1) (String.length hp - i - 1)) with
+    | Some port when port > 0 -> Ok (host, port)
+    | _ -> Error (Printf.sprintf "bad endpoint %S (want HOST:PORT)" hp))
+
+let sockaddr_of ~socket ~tcp =
+  match (socket, tcp) with
+  | Some p, None -> Unix.ADDR_UNIX p
+  | None, Some hp ->
+    let host, port = or_die (parse_tcp hp) in
+    let addr =
+      try (Unix.gethostbyname host).Unix.h_addr_list.(0)
+      with Not_found -> Unix.inet_addr_of_string host
+    in
+    Unix.ADDR_INET (addr, port)
+  | _ -> or_die (Error "exactly one of --socket or --tcp is required")
+
+let serve_cmd =
+  let jobs =
+    Arg.(
+      value & opt int 1
+      & info [ "jobs"; "j" ] ~docv:"N"
+          ~doc:"Worker domains shared by every request (responses are \
+                identical for any value).")
+  in
+  let cache =
+    Arg.(
+      value & opt (some string) None
+      & info [ "cache" ] ~docv:"DIR"
+          ~doc:"Serve from (and warm) the persistent result cache in \
+                $(docv) — the same cache the explore/fig7 sweeps use.")
+  in
+  let batch_max =
+    Arg.(
+      value & opt int 256
+      & info [ "batch-max" ] ~docv:"N"
+          ~doc:"Cap on run requests dispatched as one engine fan-out.")
+  in
+  let max_requests =
+    Arg.(
+      value & opt (some int) None
+      & info [ "max-requests" ] ~docv:"N"
+          ~doc:"Exit after answering $(docv) requests (CI smoke mode).")
+  in
+  let run socket tcp jobs cache batch_max max_requests trace metrics =
+    setup_logs ();
+    Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+    let listen =
+      match (socket, tcp) with
+      | Some p, None -> S.Server.listen_unix p
+      | None, Some hp ->
+        let host, port = or_die (parse_tcp hp) in
+        S.Server.listen_tcp ~host ~port
+      | _ -> or_die (Error "exactly one of --socket or --tcp is required")
+    in
+    with_engine ?cache_dir:cache ~jobs (fun ~cache:_ engine ->
+        let dispatch = S.Dispatch.create engine in
+        let server =
+          S.Server.create ~batch_max ?max_requests ~dispatch listen
+        in
+        Printf.eprintf "serve: listening (%d worker%s)\n%!" jobs
+          (if jobs = 1 then "" else "s");
+        with_obs ~trace ~metrics "serve" (fun obs ->
+            S.Server.run ~obs server);
+        Printf.eprintf "serve: answered %d requests (%d errors)\n%!"
+          (S.Dispatch.served dispatch)
+          (S.Dispatch.errors dispatch));
+    (* The daemon owns its socket file; leave no stale one behind. *)
+    Option.iter
+      (fun p -> try Sys.remove p with Sys_error _ -> ())
+      socket
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the scheduling daemon: accept JSONL explore/schedule \
+          requests over a Unix or TCP socket, batch concurrent requests \
+          onto one shared worker pool and one warm persistent cache, and \
+          answer each with a structured (byte-deterministic) response \
+          line.")
+    Term.(
+      const run $ socket_arg $ tcp_arg $ jobs $ cache $ batch_max
+      $ max_requests $ trace_arg $ metrics_arg)
+
+let loadgen_cmd =
+  let requests =
+    Arg.(
+      value & opt int 50
+      & info [ "requests" ] ~docv:"N" ~doc:"Requests to issue.")
+  in
+  let concurrency =
+    Arg.(
+      value & opt int 4
+      & info [ "concurrency" ] ~docv:"K"
+          ~doc:"Concurrent client connections (round-robin request split).")
+  in
+  let seed =
+    Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Request-stream seed.")
+  in
+  let n_loops =
+    Arg.(
+      value & opt int 2
+      & info [ "loops" ] ~doc:"Loops per benchmark in explore requests.")
+  in
+  let mix =
+    Arg.(
+      value
+      & opt (enum [ ("clean", S.Load.Clean); ("full", S.Load.Full) ])
+          S.Load.Full
+      & info [ "mix" ] ~docv:"MIX"
+          ~doc:"Request mix: $(b,clean) (well-formed only) or $(b,full) \
+                (adds malformed and strict-budget requests).")
+  in
+  let transcript =
+    Arg.(
+      value & opt (some string) None
+      & info [ "transcript" ] ~docv:"FILE"
+          ~doc:"Write one \"INDEX\\tRESPONSE\" line per request, sorted by \
+                issue index — byte-comparable across runs.")
+  in
+  let json =
+    Arg.(
+      value & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:"Write the requests/s + latency summary to $(docv) instead \
+                of stdout.")
+  in
+  let shutdown =
+    Arg.(
+      value & flag
+      & info [ "shutdown" ]
+          ~doc:"Send a shutdown request to the daemon when done.")
+  in
+  let run socket tcp requests concurrency seed n_loops mix transcript json
+      shutdown =
+    setup_logs ();
+    Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+    let addr = sockaddr_of ~socket ~tcp in
+    let connect () =
+      let fd =
+        Unix.socket (Unix.domain_of_sockaddr addr) Unix.SOCK_STREAM 0
+      in
+      (try Unix.connect fd addr
+       with Unix.Unix_error (e, _, _) ->
+         (try Unix.close fd with Unix.Unix_error _ -> ());
+         or_die
+           (Error
+              (Printf.sprintf "cannot connect to the daemon: %s"
+                 (Unix.error_message e))));
+      fd
+    in
+    let lines = S.Load.requests ~mix ~n_loops ~seed requests in
+    let numbered = List.mapi (fun i l -> (i, l)) lines in
+    let concurrency = max 1 concurrency in
+    let chunks =
+      List.init concurrency (fun w ->
+          List.filter (fun (i, _) -> i mod concurrency = w) numbered)
+    in
+    (* One connection per worker; requests on a connection are issued
+       synchronously so per-request latency is honest. *)
+    let run_chunk chunk =
+      if chunk = [] then []
+      else begin
+        let fd = connect () in
+        Fun.protect
+          ~finally:(fun () ->
+            try Unix.close fd with Unix.Unix_error _ -> ())
+          (fun () ->
+            let ic = Unix.in_channel_of_descr fd in
+            let oc = Unix.out_channel_of_descr fd in
+            List.map
+              (fun (i, line) ->
+                let t0 = Unix.gettimeofday () in
+                output_string oc line;
+                output_char oc '\n';
+                flush oc;
+                let resp = input_line ic in
+                ((Unix.gettimeofday () -. t0) *. 1e9, (i, resp)))
+              chunk)
+      end
+    in
+    let pool = E.Pool.create ~jobs:concurrency () in
+    let t0 = Unix.gettimeofday () in
+    let per_chunk =
+      Fun.protect
+        ~finally:(fun () -> E.Pool.shutdown pool)
+        (fun () -> E.Pool.map pool run_chunk chunks)
+    in
+    let wall_ns = (Unix.gettimeofday () -. t0) *. 1e9 in
+    let all = List.concat per_chunk in
+    let latencies_ns = List.map fst all in
+    let responses =
+      List.sort
+        (fun (i, _) (j, _) -> compare (i : int) j)
+        (List.map snd all)
+    in
+    let ok, errors =
+      List.fold_left
+        (fun (ok, err) (_, resp) ->
+          match S.Proto.parse_response resp with
+          | Ok r when r.S.Proto.ok -> (ok + 1, err)
+          | _ -> (ok, err + 1))
+        (0, 0) responses
+    in
+    (match transcript with
+    | None -> ()
+    | Some path ->
+      let oc = open_out path in
+      List.iter
+        (fun (i, resp) -> Printf.fprintf oc "%06d\t%s\n" i resp)
+        responses;
+      close_out oc);
+    if shutdown then begin
+      let fd = connect () in
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          let ic = Unix.in_channel_of_descr fd in
+          let oc = Unix.out_channel_of_descr fd in
+          output_string oc "{\"id\":\"loadgen-shutdown\",\"op\":\"shutdown\"}\n";
+          flush oc;
+          ignore (input_line ic))
+    end;
+    let summary =
+      E.Jsonx.to_string
+        (S.Load.summary_json ~requests ~concurrency ~wall_ns ~ok ~errors
+           ~latencies_ns)
+    in
+    match json with
+    | None -> print_endline summary
+    | Some path ->
+      let oc = open_out path in
+      output_string oc summary;
+      output_char oc '\n';
+      close_out oc
+  in
+  Cmd.v
+    (Cmd.info "loadgen"
+       ~doc:
+         "Drive a running daemon with a deterministic (seeded) request \
+          stream over concurrent connections and report requests/s plus \
+          p50/p99 latency; with --transcript, responses are written in \
+          issue order for byte-comparison across runs.")
+    Term.(
+      const run $ socket_arg $ tcp_arg $ requests $ concurrency $ seed
+      $ n_loops $ mix $ transcript $ json $ shutdown)
 
 (* ----- fuzz: differential testing of the scheduler ------------------ *)
 
@@ -924,4 +1196,5 @@ let main () =
     (Cmd.eval
        (Cmd.group info
           [ bench_cmd; table2_cmd; schedule_cmd; simulate_cmd; report_cmd; dot_cmd;
-            gen_cmd; explore_cmd; fig7_cmd; chaos_cmd; fuzz_cmd; debug_cmd ]))
+            gen_cmd; explore_cmd; fig7_cmd; chaos_cmd; serve_cmd; loadgen_cmd;
+            fuzz_cmd; debug_cmd ]))

@@ -43,6 +43,7 @@ type outcome = {
   time_ratio : float;
   energy_ratio : float;
   fallbacks : int;
+  causes : string list;
   hetero : string;
   error : string option;
   trace : Hcv_obs.Trace.node option;
@@ -88,6 +89,12 @@ let outcome_to_string o =
       ("fallbacks", E.Jsonx.Num (float_of_int o.fallbacks));
       ("hetero", E.Jsonx.Str o.hetero);
     ]
+    (* Written only when non-empty, so entries without fallbacks keep
+       their pre-causes byte form. *)
+    @ (match o.causes with
+      | [] -> []
+      | cs ->
+        [ ("causes", E.Jsonx.List (List.map (fun c -> E.Jsonx.Str c) cs)) ])
     @ (match o.error with
       | None -> []
       | Some msg -> [ ("error", E.Jsonx.Str msg) ])
@@ -115,6 +122,12 @@ let outcome_of_string s =
     let* energy_ratio = fstr "energy" in
     let* fallbacks = Option.bind (E.Jsonx.member "fallbacks" j) E.Jsonx.int in
     let* hetero = Option.bind (E.Jsonx.member "hetero" j) E.Jsonx.str in
+    (* Pre-causes entries decode with [causes = []]. *)
+    let causes =
+      match Option.bind (E.Jsonx.member "causes" j) E.Jsonx.list with
+      | None -> []
+      | Some cs -> List.filter_map E.Jsonx.str cs
+    in
     let error = Option.bind (E.Jsonx.member "error" j) E.Jsonx.str in
     let trace = Option.bind (E.Jsonx.member "trace" j) E.Tracex.node_of_json in
     Some
@@ -124,6 +137,7 @@ let outcome_of_string s =
         time_ratio;
         energy_ratio;
         fallbacks;
+        causes;
         hetero;
         error;
         trace;
@@ -136,7 +150,7 @@ let codec =
     decode = outcome_of_string;
   }
 
-let run_cell ~loops_of c =
+let run_cell ?budget ~loops_of c =
   let machine = machine_of_cell c in
   let loops = loops_of c in
   (* Always collect the per-cell trace: it rides in the outcome through
@@ -147,7 +161,8 @@ let run_cell ~loops_of c =
   let sp = Hcv_obs.Trace.root ("cell:" ^ c.bench) in
   let outcome =
     match
-      Pipeline.run ~params:c.params ~machine ~name:c.bench ~loops ~obs:sp ()
+      Pipeline.run ?budget ~params:c.params ~machine ~name:c.bench ~loops
+        ~obs:sp ()
     with
     | Ok r ->
       {
@@ -156,6 +171,10 @@ let run_cell ~loops_of c =
         time_ratio = r.Pipeline.time_ratio;
         energy_ratio = r.Pipeline.energy_ratio;
         fallbacks = r.Pipeline.fallbacks;
+        causes =
+          List.map
+            (fun (_, d) -> Hcv_obs.Diag.code d)
+            r.Pipeline.fallback_causes;
         hetero = choice_to_string r.Pipeline.hetero;
         error = None;
         trace = None;
@@ -167,6 +186,7 @@ let run_cell ~loops_of c =
         time_ratio = Float.nan;
         energy_ratio = Float.nan;
         fallbacks = 0;
+        causes = [];
         hetero = "";
         error = Some (Hcv_obs.Diag.to_string diag);
         trace = None;
@@ -178,6 +198,7 @@ let run_cell ~loops_of c =
         time_ratio = Float.nan;
         energy_ratio = Float.nan;
         fallbacks = 0;
+        causes = [];
         hetero = "";
         error = Some (Printexc.to_string e);
         trace = None;
@@ -199,6 +220,7 @@ let quarantined_outcome (c : cell) diag =
     time_ratio = Float.nan;
     energy_ratio = Float.nan;
     fallbacks = 0;
+    causes = [];
     hetero = "";
     error = Some (Hcv_obs.Diag.to_string diag);
     trace = None;

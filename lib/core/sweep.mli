@@ -47,6 +47,11 @@ type outcome = {
   time_ratio : float;
   energy_ratio : float;
   fallbacks : int;
+  causes : string list;
+      (** diagnostic codes of the estimate fallbacks, in loop order
+          (e.g. ["budget-exhausted"]); [[]] when every loop scheduled.
+          Written to the cache only when non-empty, so pre-causes
+          entries decode with [[]] *)
   hetero : string;
       (** serialized winning {!Select.choice}; [""] on failure *)
   error : string option;
@@ -70,11 +75,14 @@ val choice_of_string :
 
 val codec : (cell, outcome) Hcv_explore.Engine.codec
 
-val run_cell : loops_of:(cell -> Loop.t list) -> cell -> outcome
+val run_cell : ?budget:int -> loops_of:(cell -> Loop.t list) -> cell -> outcome
 (** One full {!Pipeline.run}; failures are folded into the outcome
     rather than raised, so a failing benchmark does not poison a
     parallel sweep.  No inner pool: cells are the unit of
-    parallelism. *)
+    parallelism.  [?budget] is threaded to {!Pipeline.run} (the serving
+    plane uses it; budgeted cells must be keyed by the caller so they
+    never collide with unbudgeted ones — {!cell_key} does not cover
+    it). *)
 
 val run :
   Hcv_explore.Engine.t -> ?label:string -> ?obs:Hcv_obs.Trace.span

@@ -1,0 +1,110 @@
+module E = Hcv_explore
+module J = E.Jsonx
+
+type t = {
+  engine : E.Engine.t;
+  mutable served : int;
+  mutable errors : int;
+}
+
+let create engine = { engine; served = 0; errors = 0 }
+
+let jobs t = E.Engine.jobs t.engine
+
+let served t = t.served
+let errors t = t.errors
+
+let stats_json t =
+  let cache =
+    match E.Engine.cache t.engine with
+    | None -> J.Null
+    | Some c ->
+      let s = E.Cache.stats c in
+      J.Obj
+        [
+          ("hits", J.Num (float_of_int s.E.Cache.hits));
+          ("misses", J.Num (float_of_int s.E.Cache.misses));
+          ("entries", J.Num (float_of_int s.E.Cache.entries));
+        ]
+  in
+  J.Obj
+    [
+      ("served", J.Num (float_of_int t.served));
+      ("errors", J.Num (float_of_int t.errors));
+      ("jobs", J.Num (float_of_int (jobs t)));
+      ("cache", cache);
+    ]
+
+(* One slot per envelope: either an already-rendered control response,
+   or an admitted run task waiting for its sweep result. *)
+type slot =
+  | Done of string
+  | Pending of { id : string; work : Proto.work; key : string }
+
+(* Responses are rendered by this module, so they always re-parse. *)
+let is_error line =
+  match Proto.parse_response line with
+  | Ok r -> not r.Proto.ok
+  | Error _ -> true
+
+let handle t ?(obs = Hcv_obs.Trace.null) envelopes =
+  Hcv_obs.Trace.span obs "batch" (fun sp ->
+      let tasks = Hashtbl.create 16 in
+      (* first-occurrence submission order, for the engine fan-out *)
+      let order = ref [] in
+      let slots =
+        List.map
+          (fun { Proto.id; req } ->
+            match req with
+            | Proto.Ping -> Done (Proto.ok_line ~id ~op:"ping" ())
+            | Proto.Shutdown -> Done (Proto.ok_line ~id ~op:"shutdown" ())
+            | Proto.Stats ->
+              Done (Proto.ok_line ~id ~op:"stats" ~result:(stats_json t) ())
+            | Proto.Run work -> (
+              match Registry.admit work with
+              | Error d -> Done (Proto.error_line ~id:(Some id) d)
+              | Ok task ->
+                let key = Registry.key task in
+                if not (Hashtbl.mem tasks key) then begin
+                  Hashtbl.replace tasks key task;
+                  order := key :: !order
+                end;
+                Pending { id; work; key }))
+          envelopes
+      in
+      let unique = List.rev_map (Hashtbl.find tasks) !order in
+      let results = Hashtbl.create 16 in
+      if unique <> [] then
+        List.iter2
+          (fun task r -> Hashtbl.replace results (Registry.key task) r)
+          unique
+          (E.Engine.sweep t.engine ~label:"serve" ~obs:sp
+             ~codec:Registry.codec Registry.run unique);
+      let lines =
+        List.map
+          (function
+            | Done line -> line
+            | Pending { id; work; key } ->
+              Registry.response_line ~id work (Hashtbl.find results key))
+          slots
+      in
+      let errs = List.length (List.filter is_error lines) in
+      t.served <- t.served + List.length lines;
+      t.errors <- t.errors + errs;
+      Hcv_obs.Trace.add sp "serve.requests" (List.length lines);
+      Hcv_obs.Trace.add sp "serve.errors" errs;
+      Hcv_obs.Trace.add sp "serve.unique_cells" (List.length unique);
+      lines)
+
+let handle_line t ?obs line =
+  match Proto.parse line with
+  | Error (id, d) ->
+    t.served <- t.served + 1;
+    t.errors <- t.errors + 1;
+    Proto.error_line ~id d
+  | Ok envelope -> (
+    match handle t ?obs [ envelope ] with
+    | [ l ] -> l
+    | _ -> assert false)
+
+let shutdown t = E.Engine.shutdown t.engine

@@ -1,0 +1,49 @@
+(** The batched dispatcher: every request path of the daemon funnels
+    through one of these, wrapping one shared {!Hcv_explore.Engine}
+    (worker pool + persistent result cache + retry supervision).
+
+    {!handle} answers a batch of parsed requests: control ops inline,
+    run ops admitted through the {!Registry}, deduplicated by content
+    key (concurrent identical requests are computed once), and
+    dispatched to the engine as a single supervised sweep — so a batch
+    inherits the engine's whole contract: parallel across the pool,
+    memoised in the shared warm cache, failures quarantined per
+    request.  One malformed, failing or budget-exhausted request turns
+    into one error line; it never affects another request or the
+    daemon.
+
+    Determinism: the response line of a run request depends only on the
+    request's content — not on the batch it arrived in, the worker
+    count, or the cache state — which is what lets a load generator
+    byte-compare concurrent warm runs against a sequential cold one. *)
+
+type t
+
+val create : Hcv_explore.Engine.t -> t
+(** Wrap an existing engine (pool, cache, retry policy, progress).  The
+    caller owns the engine's lifecycle; {!shutdown} delegates to it. *)
+
+val jobs : t -> int
+
+val handle :
+  t -> ?obs:Hcv_obs.Trace.span -> Proto.envelope list -> string list
+(** One response line (no trailing newline) per envelope, in order.
+    With [?obs], deterministic ["serve.requests"] / ["serve.errors"] /
+    ["serve.unique_cells"] counters are recorded under a
+    ["batch"] span. *)
+
+val handle_line : t -> ?obs:Hcv_obs.Trace.span -> string -> string
+(** Parse one raw request line and answer it ({!Proto.parse} errors
+    included) — the single-request path used by benches and tests. *)
+
+val served : t -> int
+(** Requests answered so far (errors included). *)
+
+val errors : t -> int
+
+val stats_json : t -> Hcv_explore.Jsonx.t
+(** The ["stats"] op's result object: served/error counters, worker
+    count, cache statistics.  Volatile by nature. *)
+
+val shutdown : t -> unit
+(** Join the engine's workers and close the cache.  Idempotent. *)

@@ -1,0 +1,48 @@
+type item = Line of string | Oversized of int
+
+type t = {
+  max_line : int;
+  buf : Buffer.t;  (** the torn line in progress *)
+  q : item Queue.t;
+  mutable discarding : int;
+      (** > 0: the current line blew [max_line]; counts every byte seen
+          so far while we skip to its newline *)
+}
+
+let create ?(max_line = 1 lsl 20) () =
+  { max_line; buf = Buffer.create 256; q = Queue.create (); discarding = 0 }
+
+let feed t ?(off = 0) ?len s =
+  let len = match len with Some l -> l | None -> String.length s - off in
+  if off < 0 || len < 0 || off + len > String.length s then
+    invalid_arg "Frame.feed";
+  for i = off to off + len - 1 do
+    let c = s.[i] in
+    if t.discarding > 0 then
+      if c = '\n' then begin
+        Queue.push (Oversized t.discarding) t.q;
+        t.discarding <- 0
+      end
+      else t.discarding <- t.discarding + 1
+    else if c = '\n' then begin
+      let line = Buffer.contents t.buf in
+      Buffer.clear t.buf;
+      let line =
+        let n = String.length line in
+        if n > 0 && line.[n - 1] = '\r' then String.sub line 0 (n - 1)
+        else line
+      in
+      Queue.push (Line line) t.q
+    end
+    else begin
+      Buffer.add_char t.buf c;
+      if Buffer.length t.buf > t.max_line then begin
+        t.discarding <- Buffer.length t.buf;
+        Buffer.clear t.buf
+      end
+    end
+  done
+
+let pop t = Queue.take_opt t.q
+
+let pending t = Buffer.length t.buf + t.discarding

@@ -1,0 +1,36 @@
+(** Incremental line framing for the JSONL wire protocol.
+
+    A frame accumulates bytes as they arrive from a socket and yields
+    complete LF-terminated lines (a trailing CR is stripped, so CRLF
+    clients work).  A torn line — bytes read before its newline — stays
+    buffered across {!feed} calls, which is what makes reads of
+    arbitrary sizes safe.
+
+    Oversized lines are the one protocol-level resource bound the
+    server enforces before parsing: once a line exceeds [max_line]
+    bytes its prefix is discarded and the rest of the line is skipped;
+    when its newline finally arrives the frame yields {!Oversized} with
+    the total length, so the server can answer with a structured error
+    instead of buffering an unbounded payload. *)
+
+type t
+
+type item =
+  | Line of string  (** one complete line, newline and trailing CR removed *)
+  | Oversized of int
+      (** a line longer than [max_line]; the payload was discarded, the
+          length is the total number of bytes the line occupied *)
+
+val create : ?max_line:int -> unit -> t
+(** [max_line] defaults to 1 MiB. *)
+
+val feed : t -> ?off:int -> ?len:int -> string -> unit
+(** Append bytes (a substring of a read buffer). *)
+
+val pop : t -> item option
+(** Next complete item, in arrival order; [None] when only a torn line
+    (or nothing) remains buffered. *)
+
+val pending : t -> int
+(** Bytes buffered for the current torn line (including the discarded
+    count of an oversized line in progress). *)

@@ -1,0 +1,174 @@
+open Hcv_support
+open Hcv_workload
+module J = Hcv_explore.Jsonx
+
+type mix = Clean | Full
+
+(* Small loop-DSL payloads in the style of the synthetic SPECfp bodies:
+   a streaming kernel, a stored kernel and a recurrence-bound one. *)
+let dsl_corpus trip =
+  [
+    Printf.sprintf
+      "loop dotprod trip %d weight 0.5\n\
+      \  node a ld.f\n\
+      \  node b ld.f\n\
+      \  node c mul.f\n\
+      \  node d add.f\n\
+      \  edge a c\n\
+      \  edge b c\n\
+      \  edge c d\n\
+      \  edge d d dist 1\n\
+       end\n"
+      trip;
+    Printf.sprintf
+      "loop daxpy trip %d\n\
+      \  node x ld.f\n\
+      \  node y ld.f\n\
+      \  node m mul.f\n\
+      \  node s add.f\n\
+      \  node w st.f\n\
+      \  edge x m\n\
+      \  edge m s\n\
+      \  edge y s\n\
+      \  edge s w\n\
+       end\n"
+      trip;
+    Printf.sprintf
+      "loop recur trip %d weight 0.25\n\
+      \  node l ld.f\n\
+      \  node m mul.f\n\
+      \  node a add.f\n\
+      \  edge l m\n\
+      \  edge m a\n\
+      \  edge a m dist 1 lat 6\n\
+       end\n"
+      trip;
+  ]
+
+let graph_payload trip =
+  J.Obj
+    [
+      ("name", J.Str "jsum");
+      ("trip", J.Num (float_of_int trip));
+      ( "nodes",
+        J.List
+          [
+            J.Obj [ ("n", J.Str "a"); ("op", J.Str "ld.f") ];
+            J.Obj [ ("n", J.Str "b"); ("op", J.Str "mul.f") ];
+            J.Obj [ ("n", J.Str "c"); ("op", J.Str "add.f") ];
+          ] );
+      ( "edges",
+        J.List
+          [
+            J.Obj [ ("s", J.Str "a"); ("d", J.Str "b") ];
+            J.Obj [ ("s", J.Str "b"); ("d", J.Str "c") ];
+            J.Obj
+              [ ("s", J.Str "c"); ("d", J.Str "c"); ("dist", J.Num 1.0) ];
+          ] );
+    ]
+
+(* Lines that must each come back as one structured error (the %s takes
+   the request id where one fits). *)
+let malformed id =
+  [
+    "this is not json";
+    "{\"id\":";
+    "{\"op\":\"explore\",\"bench\":\"applu\"}";
+    Printf.sprintf "{\"id\":%S,\"op\":\"frobnicate\"}" id;
+    Printf.sprintf "{\"id\":%S,\"op\":\"explore\"}" id;
+    Printf.sprintf "{\"id\":%S,\"op\":\"explore\",\"bench\":\"nosuchbench\"}" id;
+    Printf.sprintf
+      "{\"id\":%S,\"op\":\"schedule\",\"dsl\":\"loop x\\nend\\n\"}" id;
+  ]
+
+let requests ?(mix = Full) ?(n_loops = 2) ~seed n =
+  let rng = Rng.create seed in
+  let benches = List.map (fun s -> s.Specfp.name) Specfp.all in
+  let obj fields = J.to_string (J.Obj fields) in
+  let machine_fields rng =
+    [ ("buses", J.Num (float_of_int (Rng.pick rng [ 1; 2 ]))) ]
+    @
+    match Rng.pick rng [ None; Some 16; Some 8; Some 4 ] with
+    | None -> []
+    | Some s -> [ ("grid_steps", J.Num (float_of_int s)) ]
+  in
+  let explore ?budget ?degrade id =
+    obj
+      ([
+         ("id", J.Str id);
+         ("op", J.Str "explore");
+         ("bench", J.Str (Rng.pick rng benches));
+         ("loops", J.Num (float_of_int n_loops));
+       ]
+      @ machine_fields rng
+      @ (match budget with
+        | None -> []
+        | Some b -> [ ("budget", J.Num (float_of_int b)) ])
+      @
+      match degrade with
+      | None -> []
+      | Some d -> [ ("degrade", J.Bool d) ])
+  in
+  let schedule id =
+    let trip = Rng.pick rng [ 64; 128; 256 ] in
+    if Rng.chance rng 0.4 then
+      obj
+        ([
+           ("id", J.Str id);
+           ("op", J.Str "schedule");
+           ("graph", graph_payload trip);
+         ]
+        @ machine_fields rng)
+    else
+      obj
+        ([
+           ("id", J.Str id);
+           ("op", J.Str "schedule");
+           ("dsl", J.Str (Rng.pick rng (dsl_corpus trip)));
+         ]
+        @ machine_fields rng)
+  in
+  let line i =
+    let id = Printf.sprintf "r%06d" i in
+    match mix with
+    | Clean ->
+      if Rng.chance rng 0.75 then explore id else schedule id
+    | Full ->
+      let roll = Rng.int rng 100 in
+      if roll < 60 then explore id
+      else if roll < 80 then schedule id
+      else if roll < 88 then
+        (* A work cap the scheduler cannot fit in: a structured
+           budget-exhausted error, or the degraded estimate when the
+           client opts in. *)
+        explore ~budget:1 ~degrade:(Rng.chance rng 0.3) id
+      else Rng.pick rng (malformed id)
+  in
+  let rec go acc i = if i >= n then List.rev acc else go (line i :: acc) (i + 1) in
+  go [] 0
+
+let percentile xs p =
+  match List.sort compare xs with
+  | [] -> Float.nan
+  | sorted ->
+    let a = Array.of_list sorted in
+    let n = Array.length a in
+    let rank = int_of_float (Float.ceil (p *. float_of_int n)) in
+    a.(max 0 (min (n - 1) (rank - 1)))
+
+let summary_json ~requests ~concurrency ~wall_ns ~ok ~errors ~latencies_ns =
+  let rps =
+    if wall_ns > 0.0 then float_of_int requests /. (wall_ns /. 1e9) else 0.0
+  in
+  J.Obj
+    [
+      ("schema", J.Str "hcvliw-serve-load-v1");
+      ("requests", J.Num (float_of_int requests));
+      ("concurrency", J.Num (float_of_int concurrency));
+      ("wall_ns", J.Num wall_ns);
+      ("rps", J.Num rps);
+      ("ok", J.Num (float_of_int ok));
+      ("errors", J.Num (float_of_int errors));
+      ("p50_ns", J.Num (percentile latencies_ns 0.50));
+      ("p99_ns", J.Num (percentile latencies_ns 0.99));
+    ]

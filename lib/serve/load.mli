@@ -1,0 +1,29 @@
+(** Deterministic request-stream generation and latency statistics for
+    the load generator ([hcvliw loadgen]) and the serve bench.
+
+    The stream is a pure function of the seed, so two runs of the same
+    (seed, n) — sequential or concurrent, cold or warm cache — issue
+    byte-identical request lines in the same global order, which is
+    what makes server responses byte-comparable across runs. *)
+
+type mix =
+  | Clean  (** well-formed explore/schedule requests only *)
+  | Full
+      (** adds malformed lines, unknown ops and strict-budget requests
+          that must come back as structured errors — the adversarial
+          stream the daemon is expected to survive *)
+
+val requests : ?mix:mix -> ?n_loops:int -> seed:int -> int -> string list
+(** [requests ~seed n] is the [n] request lines, in issue order; line
+    [i] carries id ["r%06d" i] when it is well-formed.  [mix] defaults
+    to [Full]; [n_loops] (default 2) sizes the per-benchmark workloads
+    so latency is dominated by scheduling, not generation. *)
+
+val percentile : float list -> float -> float
+(** [percentile xs p] with [p] in [0,1] — nearest-rank on the sorted
+    sample; [nan] on the empty list. *)
+
+val summary_json :
+  requests:int -> concurrency:int -> wall_ns:float -> ok:int -> errors:int
+  -> latencies_ns:float list -> Hcv_explore.Jsonx.t
+(** The loadgen/bench result object: requests/s plus p50/p99 latency. *)

@@ -1,0 +1,101 @@
+(** The JSONL wire protocol of the scheduling service.
+
+    One JSON object per line in both directions, parsed and printed
+    with {!Hcv_explore.Jsonx} — no new dependencies, and the exact
+    float forms the sweep cache already uses.
+
+    {2 Requests}
+
+    Every request carries a client-chosen ["id"] (any non-empty string,
+    echoed verbatim in the response) and an ["op"]:
+
+    - [{"id":..,"op":"ping"}] — liveness probe;
+    - [{"id":..,"op":"stats"}] — daemon counters and cache statistics
+      (volatile: two runs legitimately differ);
+    - [{"id":..,"op":"shutdown"}] — acknowledge, flush, and stop;
+    - [{"id":..,"op":"explore","bench":NAME,...}] — run the full
+      profile/select/schedule pipeline for a synthetic SPECfp
+      benchmark;
+    - [{"id":..,"op":"schedule","dsl":TEXT,...}] or
+      [{"id":..,"op":"schedule","graph":G,...}] — the same pipeline
+      over a client-supplied workload: either loop-DSL text
+      ({!Hcv_ir.Dsl}) or a JSON DDG payload (see {!section-graph}).
+
+    [explore] options: ["seed"] (default 42), ["loops"] (loop count,
+    default per-spec).  Both run ops take the machine overrides
+    ["buses"] (default 1) and ["grid_steps"] (frequency-grid steps,
+    default unrestricted), a work cap ["budget"] (default unlimited)
+    and ["degrade"] (boolean, default [false]).  With a budget and
+    [degrade:false], a request whose scheduling work exhausts the cap
+    is answered with a structured [budget-exhausted] error; with
+    [degrade:true] the response is the degraded (estimate-fallback)
+    result, causes included.
+
+    {2:graph DDG payloads}
+
+    ["graph"] is one loop object or a list of them:
+    [{"name":..,"trip":..,"weight":..,
+      "nodes":[{"n":ID,"op":MNEMONIC},...],
+      "edges":[{"s":ID,"d":ID,"dist":N,"lat":N,"kind":K},...]}]
+    with ["dist"]/["lat"]/["kind"] optional, exactly the DSL's
+    defaults.
+
+    {2 Responses}
+
+    [{"id":..,"ok":true,"op":..}] (plus ["result"] for ops that return
+    one), or [{"id":..,"ok":false,"error":{"stage":..,"code":..,
+    "msg":..,"context":[[k,v],...]}}] — a {!Hcv_obs.Diag.t} on the
+    wire.  ["id"] is [null] when the request line carried no usable id
+    (unparseable JSON, oversized line).  Response bytes for run ops are
+    deterministic: they depend only on the request content, never on
+    the worker count, the batch composition or the cache state. *)
+
+type machine_spec = { buses : int; grid_steps : int option }
+
+type source =
+  | Bench of { bench : string; seed : int; n_loops : int option }
+  | Dsl of string  (** raw loop-DSL text; validated by the registry *)
+  | Graph of Hcv_explore.Jsonx.t
+      (** DDG JSON payload; validated by the registry *)
+
+type work = {
+  name : string;  (** label echoed in the result (benchmark or payload name) *)
+  source : source;
+  spec : machine_spec;
+  budget : int option;
+  degrade : bool;
+}
+
+type request = Ping | Stats | Shutdown | Run of work
+
+type envelope = { id : string; req : request }
+
+val op_name : request -> string
+(** ["ping"], ["stats"], ["shutdown"], ["explore"] or ["schedule"]. *)
+
+val parse : string -> (envelope, string option * Hcv_obs.Diag.t) result
+(** Parse one request line.  On error the [string option] is the
+    request id when one could still be extracted (so the error response
+    can echo it); diagnostic codes: [bad-json], [bad-request],
+    [unknown-op], stage ["serve"]. *)
+
+val ok_line : id:string -> op:string -> ?result:Hcv_explore.Jsonx.t
+  -> unit -> string
+(** Render a success response line (no trailing newline). *)
+
+val error_line : id:string option -> Hcv_obs.Diag.t -> string
+
+val oversized_diag : int -> Hcv_obs.Diag.t
+(** The [oversized-line] diagnostic for a {!Frame.Oversized} item. *)
+
+(** {2 Client side} *)
+
+type response = {
+  rid : string option;  (** [None] when the server answered ["id":null] *)
+  ok : bool;
+  op : string option;
+  result : Hcv_explore.Jsonx.t option;
+  error : Hcv_obs.Diag.t option;
+}
+
+val parse_response : string -> (response, string) result

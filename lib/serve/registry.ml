@@ -1,0 +1,250 @@
+open Hcv_core
+module E = Hcv_explore
+module J = E.Jsonx
+module Diag = Hcv_obs.Diag
+open Hcv_workload
+
+type task = {
+  work : Proto.work;
+  cell : Sweep.cell;
+  loops : Hcv_ir.Loop.t list;
+  canonical : string;
+}
+
+(* Bump on any change to the serve key derivation or the budgeted
+   execution path that invalidates persisted outcomes. *)
+let serve_salt = "hcv-serve-v1"
+
+let err code ?context fmt =
+  Format.kasprintf
+    (fun msg -> Error (Diag.v ~stage:"serve" ~code ?context msg))
+    fmt
+
+(* ----- JSON DDG payload -> loop-DSL text --------------------------- *)
+
+(* Lowering to the DSL reuses its validation (opcodes, duplicate nodes,
+   unknown edge endpoints, DDG well-formedness) instead of duplicating
+   it; only token safety has to be checked here, since names become DSL
+   tokens. *)
+
+let token_ok s =
+  s <> ""
+  && String.for_all
+       (fun c -> c > ' ' && c <> '#' && Char.code c < 0x7f)
+       s
+
+let lower_graph g =
+  let ( let* ) = Result.bind in
+  let loops = match g with J.List ls -> ls | l -> [ l ] in
+  if loops = [] then err "bad-graph" "graph payload has no loops"
+  else begin
+    let buf = Buffer.create 256 in
+    let rec go = function
+      | [] -> Ok (Buffer.contents buf)
+      | l :: rest ->
+        let* () =
+          match l with J.Obj _ -> Ok () | _ -> err "bad-graph" "loop must be a JSON object"
+        in
+        let name =
+          Option.value (Option.bind (J.member "name" l) J.str) ~default:"loop"
+        in
+        let* () =
+          if token_ok name then Ok ()
+          else err "bad-graph" "bad loop name %S" name
+        in
+        Buffer.add_string buf ("loop " ^ name);
+        Option.iter
+          (fun t -> Buffer.add_string buf (Printf.sprintf " trip %d" t))
+          (Option.bind (J.member "trip" l) J.int);
+        Option.iter
+          (fun w -> Buffer.add_string buf (Printf.sprintf " weight %.17g" w))
+          (Option.bind (J.member "weight" l) J.num);
+        Buffer.add_char buf '\n';
+        let* nodes =
+          match Option.bind (J.member "nodes" l) J.list with
+          | Some ns -> Ok ns
+          | None -> err "bad-graph" "loop %s needs a \"nodes\" list" name
+        in
+        let* () =
+          List.fold_left
+            (fun acc n ->
+              let* () = acc in
+              match
+                ( Option.bind (J.member "n" n) J.str,
+                  Option.bind (J.member "op" n) J.str )
+              with
+              | Some id, Some op when token_ok id && token_ok op ->
+                Buffer.add_string buf
+                  (Printf.sprintf "  node %s %s\n" id op);
+                Ok ()
+              | _ ->
+                err "bad-graph" "loop %s: node needs string \"n\" and \"op\""
+                  name)
+            (Ok ()) nodes
+        in
+        let edges =
+          Option.value (Option.bind (J.member "edges" l) J.list) ~default:[]
+        in
+        let* () =
+          List.fold_left
+            (fun acc e ->
+              let* () = acc in
+              match
+                ( Option.bind (J.member "s" e) J.str,
+                  Option.bind (J.member "d" e) J.str )
+              with
+              | Some s, Some d when token_ok s && token_ok d ->
+                Buffer.add_string buf (Printf.sprintf "  edge %s %s" s d);
+                Option.iter
+                  (fun v -> Buffer.add_string buf (Printf.sprintf " dist %d" v))
+                  (Option.bind (J.member "dist" e) J.int);
+                Option.iter
+                  (fun v -> Buffer.add_string buf (Printf.sprintf " lat %d" v))
+                  (Option.bind (J.member "lat" e) J.int);
+                Option.iter
+                  (fun k ->
+                    if token_ok k then
+                      Buffer.add_string buf (Printf.sprintf " kind %s" k))
+                  (Option.bind (J.member "kind" e) J.str);
+                Buffer.add_char buf '\n';
+                Ok ()
+              | _ ->
+                err "bad-graph" "loop %s: edge needs string \"s\" and \"d\""
+                  name)
+            (Ok ()) edges
+        in
+        Buffer.add_string buf "end\n";
+        go rest
+    in
+    go loops
+  end
+
+(* ----- admission --------------------------------------------------- *)
+
+let cell_of (w : Proto.work) ~bench ~seed ~n_loops =
+  Sweep.cell ~buses:w.Proto.spec.Proto.buses
+    ?grid_steps:w.Proto.spec.Proto.grid_steps ?n_loops ~seed bench
+
+let admit_dsl ~code (w : Proto.work) text =
+  match Hcv_ir.Dsl.parse text with
+  | Error e ->
+    err code
+      ~context:[ ("line", string_of_int e.Hcv_ir.Dsl.line) ]
+      "payload: %s" e.Hcv_ir.Dsl.msg
+  | Ok [] -> err "bad-request" "payload has no loops"
+  | Ok loops ->
+    Ok
+      {
+        work = w;
+        (* The payload is the workload: seed and loop count play no
+           role, the canonical text is what the key covers. *)
+        cell = cell_of w ~bench:w.Proto.name ~seed:0 ~n_loops:None;
+        loops;
+        canonical = Hcv_ir.Dsl.print_all loops;
+      }
+
+let admit (w : Proto.work) =
+  match w.Proto.source with
+  | Proto.Bench { bench; seed; n_loops } -> (
+    match Specfp.find bench with
+    | None ->
+      err "unknown-benchmark"
+        ~context:[ ("bench", bench) ]
+        "unknown benchmark %S" bench
+    | Some _ ->
+      Ok
+        { work = w; cell = cell_of w ~bench ~seed ~n_loops; loops = []; canonical = "" })
+  | Proto.Dsl text -> admit_dsl ~code:"bad-dsl" w text
+  | Proto.Graph g -> (
+    match lower_graph g with
+    | Error d -> Error d
+    | Ok text -> admit_dsl ~code:"bad-graph" w text)
+
+(* ----- content keys ------------------------------------------------ *)
+
+let key t =
+  match (t.work.Proto.source, t.work.Proto.budget) with
+  | Proto.Bench _, None ->
+    (* Identical inputs to an exploration sweep cell: share its cache
+       entries. *)
+    Sweep.cell_key t.cell
+  | _, budget ->
+    E.Codec.digest
+      [
+        serve_salt;
+        Sweep.cell_key t.cell;
+        t.canonical;
+        (match budget with None -> "-" | Some b -> string_of_int b);
+      ]
+
+let codec =
+  {
+    E.Engine.cell_key = key;
+    encode = Sweep.outcome_to_string;
+    decode = Sweep.outcome_of_string;
+  }
+
+(* ----- execution --------------------------------------------------- *)
+
+let run t =
+  let loops_of (c : Sweep.cell) =
+    match t.work.Proto.source with
+    | Proto.Bench _ ->
+      Specfp.loops ?n_loops:c.Sweep.n_loops ~seed:c.Sweep.seed
+        (Option.get (Specfp.find c.Sweep.bench))
+    | Proto.Dsl _ | Proto.Graph _ -> t.loops
+  in
+  Sweep.run_cell ?budget:t.work.Proto.budget ~loops_of t.cell
+
+(* ----- responses --------------------------------------------------- *)
+
+let result_json (o : Sweep.outcome) =
+  J.Obj
+    ([
+       ("bench", J.Str o.Sweep.bench);
+       ("ed2", J.Str (E.Codec.float_to_string o.Sweep.ed2_ratio));
+       ("time", J.Str (E.Codec.float_to_string o.Sweep.time_ratio));
+       ("energy", J.Str (E.Codec.float_to_string o.Sweep.energy_ratio));
+       ("fallbacks", J.Num (float_of_int o.Sweep.fallbacks));
+     ]
+    @ (match o.Sweep.causes with
+      | [] -> []
+      | cs -> [ ("causes", J.List (List.map (fun c -> J.Str c) cs)) ])
+    @ [
+        ( "hetero",
+          match J.of_string o.Sweep.hetero with
+          | Ok j -> j
+          | Error _ -> J.Str o.Sweep.hetero );
+      ])
+
+let response_line ~id (w : Proto.work) = function
+  | Error d -> Proto.error_line ~id:(Some id) d
+  | Ok (o : Sweep.outcome) -> (
+    match o.Sweep.error with
+    | Some msg ->
+      Proto.error_line ~id:(Some id)
+        (Diag.v ~stage:"serve" ~code:"pipeline-failed"
+           ~context:[ ("bench", o.Sweep.bench) ]
+           msg)
+    | None ->
+      if
+        w.Proto.budget <> None
+        && (not w.Proto.degrade)
+        && List.mem "budget-exhausted" o.Sweep.causes
+      then
+        Proto.error_line ~id:(Some id)
+          (Diag.v ~stage:"serve" ~code:"budget-exhausted"
+             ~context:
+               [
+                 ("bench", o.Sweep.bench);
+                 ( "budget",
+                   match w.Proto.budget with
+                   | Some b -> string_of_int b
+                   | None -> "-" );
+                 ("fallbacks", string_of_int o.Sweep.fallbacks);
+               ]
+             "scheduling exhausted the request's work budget (pass \
+              \"degrade\":true to accept the estimate-fallback result)")
+      else
+        Proto.ok_line ~id ~op:(Proto.op_name (Proto.Run w))
+          ~result:(result_json o) ())

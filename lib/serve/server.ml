@@ -1,0 +1,197 @@
+type conn = {
+  fd : Unix.file_descr;
+  frame : Frame.t;
+  out : Buffer.t;  (** rendered responses not yet written *)
+  mutable sent : int;  (** prefix of [out] already written *)
+  mutable closed : bool;
+}
+
+type t = {
+  listen : Unix.file_descr;
+  dispatch : Dispatch.t;
+  batch_max : int;
+  max_line : int;
+  max_requests : int option;
+  mutable conns : conn list;
+  mutable stopping : bool;
+  mutable answered : int;
+}
+
+let listen_unix path =
+  if Sys.file_exists path then (try Unix.unlink path with Unix.Unix_error _ -> ());
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind fd (Unix.ADDR_UNIX path);
+  Unix.listen fd 64;
+  fd
+
+let listen_tcp ~host ~port =
+  let addr =
+    try (Unix.gethostbyname host).Unix.h_addr_list.(0)
+    with Not_found -> Unix.inet_addr_of_string host
+  in
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt fd Unix.SO_REUSEADDR true;
+  Unix.bind fd (Unix.ADDR_INET (addr, port));
+  Unix.listen fd 64;
+  fd
+
+let create ?(batch_max = 256) ?(max_line = 1 lsl 20) ?max_requests ~dispatch
+    listen =
+  Unix.set_nonblock listen;
+  {
+    listen;
+    dispatch;
+    batch_max;
+    max_line;
+    max_requests;
+    conns = [];
+    stopping = false;
+    answered = 0;
+  }
+
+let close_conn t c =
+  if not c.closed then begin
+    c.closed <- true;
+    (try Unix.close c.fd with Unix.Unix_error _ -> ())
+  end;
+  t.conns <- List.filter (fun c' -> c' != c) t.conns
+
+let queue_line c line =
+  Buffer.add_string c.out line;
+  Buffer.add_char c.out '\n'
+
+(* Write as much of the out-buffer as the socket accepts.  EPIPE or a
+   reset drops the connection (its remaining responses with it). *)
+let flush_conn t c =
+  let s = Buffer.contents c.out in
+  let len = String.length s - c.sent in
+  if len > 0 then begin
+    match Unix.write_substring c.fd s c.sent len with
+    | n ->
+      c.sent <- c.sent + n;
+      if c.sent = String.length s then begin
+        Buffer.clear c.out;
+        c.sent <- 0
+      end
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+    | exception Unix.Unix_error _ -> close_conn t c
+  end
+
+let accept_ready t =
+  let rec go () =
+    match Unix.accept t.listen with
+    | fd, _ ->
+      Unix.set_nonblock fd;
+      t.conns <-
+        t.conns
+        @ [
+            {
+              fd;
+              frame = Frame.create ~max_line:t.max_line ();
+              out = Buffer.create 256;
+              sent = 0;
+              closed = false;
+            };
+          ];
+      go ()
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+    | exception Unix.Unix_error _ -> ()
+  in
+  go ()
+
+let read_ready t c =
+  let buf = Bytes.create 65536 in
+  match Unix.read c.fd buf 0 (Bytes.length buf) with
+  | 0 -> close_conn t c
+  | n -> Frame.feed c.frame (Bytes.sub_string buf 0 n)
+  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+  | exception Unix.Unix_error _ -> close_conn t c
+
+let run ?obs t =
+  let finally () =
+    (try Unix.close t.listen with Unix.Unix_error _ -> ());
+    List.iter (fun c -> try Unix.close c.fd with Unix.Unix_error _ -> ())
+      t.conns;
+    t.conns <- []
+  in
+  Fun.protect ~finally (fun () ->
+      while
+        not
+          (t.stopping
+          && List.for_all (fun c -> Buffer.length c.out = 0) t.conns)
+        && not
+             (match t.max_requests with
+             | Some m -> t.answered >= m
+             | None -> false)
+      do
+        let rds =
+          (if t.stopping then [] else [ t.listen ])
+          @ List.map (fun c -> c.fd) t.conns
+        in
+        let wrs =
+          List.filter_map
+            (fun c -> if Buffer.length c.out > 0 then Some c.fd else None)
+            t.conns
+        in
+        (match Unix.select rds wrs [] (-1.0) with
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+        | rd, wr, _ ->
+          if List.mem t.listen rd then accept_ready t;
+          List.iter
+            (fun c ->
+              if (not c.closed) && List.mem c.fd rd then read_ready t c)
+            t.conns;
+          (* Drain complete lines: control ops and parse errors answer
+             immediately; run requests accumulate into this round's
+             batch (per-connection arrival order is preserved because a
+             connection's lines land in the batch in pop order and the
+             responses are queued back in batch order). *)
+          let batch = ref [] (* (conn, envelope), reversed *) in
+          let batch_n = ref 0 in
+          List.iter
+            (fun c ->
+              let rec drain () =
+                if !batch_n >= t.batch_max then ()
+                else
+                  match Frame.pop c.frame with
+                  | None -> ()
+                  | Some (Frame.Oversized n) ->
+                    queue_line c
+                      (Proto.error_line ~id:None (Proto.oversized_diag n));
+                    t.answered <- t.answered + 1;
+                    drain ()
+                  | Some (Frame.Line line) ->
+                    (match Proto.parse line with
+                    | Error (id, d) ->
+                      queue_line c (Proto.error_line ~id d);
+                      t.answered <- t.answered + 1
+                    | Ok ({ Proto.req = Proto.Shutdown; _ } as env) ->
+                      t.stopping <- true;
+                      batch := (c, env) :: !batch;
+                      incr batch_n
+                    | Ok env ->
+                      batch := (c, env) :: !batch;
+                      incr batch_n);
+                    drain ()
+              in
+              drain ())
+            t.conns;
+          let batch = List.rev !batch in
+          if batch <> [] then begin
+            let lines =
+              Dispatch.handle t.dispatch ?obs (List.map snd batch)
+            in
+            List.iter2
+              (fun (c, _) line ->
+                if not c.closed then queue_line c line;
+                t.answered <- t.answered + 1)
+              batch lines
+          end;
+          List.iter
+            (fun c ->
+              if
+                (not c.closed)
+                && (List.mem c.fd wr || Buffer.length c.out > 0)
+              then flush_conn t c)
+            t.conns)
+      done)

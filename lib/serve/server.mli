@@ -1,0 +1,43 @@
+(** The daemon's socket loop: a single-threaded accept/read/dispatch/
+    write reactor over a listening Unix-domain or TCP socket.
+
+    Concurrency comes from the {!Dispatch} engine's worker pool, not
+    from connection threads: the loop drains every complete request
+    line currently readable across all connections, answers control
+    ops immediately, and hands the accumulated run requests to
+    {!Dispatch.handle} as {e one batch} — while that batch computes,
+    further requests queue in the kernel buffers and form the next
+    batch.  Under concurrent load the batch width approaches the
+    connection count, and every request in a batch shares the pool, the
+    warm cache and the deduplication of identical work.
+
+    Per-connection ordering: responses are written in the order the
+    connection's requests arrived.  A malformed or oversized line gets
+    its error response in the same stream position; it never closes the
+    connection or stops the daemon.
+
+    The loop exits when a [shutdown] request has been answered and all
+    response bytes are flushed (or when [max_requests] is reached). *)
+
+type t
+
+val listen_unix : string -> Unix.file_descr
+(** Bind and listen on a Unix-domain socket, unlinking any stale socket
+    file at that path first. *)
+
+val listen_tcp : host:string -> port:int -> Unix.file_descr
+(** Bind (with [SO_REUSEADDR]) and listen on a TCP socket. *)
+
+val create :
+  ?batch_max:int -> ?max_line:int -> ?max_requests:int
+  -> dispatch:Dispatch.t -> Unix.file_descr -> t
+(** [batch_max] (default 256) caps how many run requests one engine
+    fan-out takes; [max_line] (default 1 MiB) is the {!Frame} line
+    bound; [max_requests] (default unlimited) stops the daemon after
+    answering that many requests — the self-terminating mode CI smoke
+    jobs use.  The listening descriptor is owned by the server and
+    closed by {!run}. *)
+
+val run : ?obs:Hcv_obs.Trace.span -> t -> unit
+(** Serve until shutdown.  Closes every descriptor before returning;
+    the dispatcher is left running (callers own its lifecycle). *)

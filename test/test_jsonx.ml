@@ -65,10 +65,91 @@ let test_accessors () =
   Alcotest.(check (option int)) "int rejects fraction" None
     (Jsonx.int (Jsonx.Num 3.5))
 
+(* Adversarial wire input: what the serving plane feeds the codec. *)
+
+let test_torn_input () =
+  (* Every proper prefix of a valid object is itself invalid — torn
+     lines must never half-parse into a value. *)
+  let whole = {|{"id":"r1","op":"explore","bench":"applu","budget":10}|} in
+  for len = 0 to String.length whole - 1 do
+    match Jsonx.of_string (String.sub whole 0 len) with
+    | Ok _ -> Alcotest.failf "accepted torn prefix of length %d" len
+    | Error _ -> ()
+  done;
+  match Jsonx.of_string whole with
+  | Ok _ -> ()
+  | Error msg -> Alcotest.failf "whole line failed: %s" msg
+
+let test_unicode_escapes () =
+  (* \uXXXX escapes decode to UTF-8 bytes... *)
+  (match Jsonx.of_string {|"a\u00e9\u0041 \u2028b"|} with
+  | Ok (Jsonx.Str s) ->
+    Alcotest.(check string) "decoded utf-8" "a\xc3\xa9A \xe2\x80\xa8b" s
+  | Ok _ -> Alcotest.fail "not a string"
+  | Error msg -> Alcotest.failf "parse error: %s" msg);
+  (* ...control characters round-trip through the escape the printer
+     emits... *)
+  roundtrip "control chars" (Jsonx.Str "\x00\x01\x1f");
+  (* ...and truncated or non-hex escapes are structured errors. *)
+  List.iter
+    (fun s ->
+      match Jsonx.of_string s with
+      | Ok _ -> Alcotest.failf "accepted bad escape %S" s
+      | Error _ -> ())
+    [ {|"\u12"|}; {|"\u12g4"|}; {|"\u"|}; {|"\x41"|} ]
+
+let test_trailing_garbage () =
+  (* One value per line: anything after a complete value is an error,
+     not silently ignored. *)
+  List.iter
+    (fun s ->
+      match Jsonx.of_string s with
+      | Ok _ -> Alcotest.failf "accepted trailing garbage in %S" s
+      | Error _ -> ())
+    [
+      {|{"a":1} {"b":2}|};
+      {|{"a":1}}|};
+      {|{"a":1}]|};
+      {|null null|};
+      {|42 x|};
+      {|{"a":1},|};
+    ]
+
+let test_oversized_payload () =
+  (* Deep nesting and megabyte-scale atoms must parse (or fail) without
+     blowing the stack or corrupting the result. *)
+  let big_str = String.make 1_000_000 'x' in
+  (match Jsonx.of_string (Jsonx.to_string (Jsonx.Str big_str)) with
+  | Ok (Jsonx.Str s) ->
+    Alcotest.(check int) "1 MB string survives" 1_000_000 (String.length s)
+  | _ -> Alcotest.fail "big string did not round-trip");
+  let depth = 5_000 in
+  let deep =
+    String.concat "" [ String.make depth '['; "1"; String.make depth ']' ]
+  in
+  (match Jsonx.of_string deep with
+  | Ok j ->
+    let rec count = function
+      | Jsonx.List [ inner ] -> 1 + count inner
+      | Jsonx.Num 1.0 -> 0
+      | _ -> Alcotest.fail "unexpected shape"
+    in
+    Alcotest.(check int) "nesting depth preserved" depth (count j)
+  | Error msg -> Alcotest.failf "deep nesting rejected: %s" msg);
+  (* An unterminated deep payload is an error, not a crash. *)
+  match Jsonx.of_string (String.make depth '[') with
+  | Ok _ -> Alcotest.fail "accepted unterminated nesting"
+  | Error _ -> ()
+
 let suite =
   [
     Alcotest.test_case "round-trips" `Quick test_roundtrip;
     Alcotest.test_case "float bit-exactness" `Quick test_float_exactness;
     Alcotest.test_case "rejects malformed input" `Quick test_parse_errors;
     Alcotest.test_case "accessors" `Quick test_accessors;
+    Alcotest.test_case "torn lines never half-parse" `Quick test_torn_input;
+    Alcotest.test_case "unicode escapes" `Quick test_unicode_escapes;
+    Alcotest.test_case "trailing garbage rejected" `Quick
+      test_trailing_garbage;
+    Alcotest.test_case "oversized payloads" `Quick test_oversized_payload;
   ]

@@ -1,0 +1,420 @@
+(* The serving plane: framing, wire protocol, content addressing,
+   batched dispatch and the socket loop. *)
+
+open Hcv_core
+module E = Hcv_explore
+module S = Hcv_serve
+
+(* ----- frame: incremental line framing ----------------------------- *)
+
+let pop_line f =
+  match S.Frame.pop f with
+  | Some (S.Frame.Line l) -> l
+  | Some (S.Frame.Oversized n) -> Alcotest.failf "unexpected oversized %d" n
+  | None -> Alcotest.fail "expected a complete line"
+
+let test_frame_torn () =
+  let f = S.Frame.create () in
+  (* A line delivered one byte at a time must come out whole. *)
+  String.iter
+    (fun c -> S.Frame.feed f (String.make 1 c))
+    "hello\nwor";
+  Alcotest.(check string) "first line" "hello" (pop_line f);
+  Alcotest.(check bool) "second torn" true (S.Frame.pop f = None);
+  Alcotest.(check int) "torn bytes buffered" 3 (S.Frame.pending f);
+  S.Frame.feed f "ld\r\n";
+  Alcotest.(check string) "second line, CR stripped" "world" (pop_line f);
+  (* Several lines in one read. *)
+  S.Frame.feed f "a\nb\n\nc";
+  Alcotest.(check string) "a" "a" (pop_line f);
+  Alcotest.(check string) "b" "b" (pop_line f);
+  Alcotest.(check string) "empty line" "" (pop_line f);
+  Alcotest.(check bool) "c torn" true (S.Frame.pop f = None)
+
+let test_frame_oversized () =
+  let f = S.Frame.create ~max_line:8 () in
+  S.Frame.feed f (String.make 20 'x');
+  Alcotest.(check bool) "no newline yet" true (S.Frame.pop f = None);
+  S.Frame.feed f "yyyy\nok\n";
+  (match S.Frame.pop f with
+  | Some (S.Frame.Oversized n) ->
+    Alcotest.(check int) "total length counted" 24 n
+  | _ -> Alcotest.fail "expected Oversized");
+  (* The frame recovers: the next line is intact. *)
+  Alcotest.(check string) "next line survives" "ok" (pop_line f)
+
+(* ----- proto: request parsing and response rendering --------------- *)
+
+let parse_ok line =
+  match S.Proto.parse line with
+  | Ok e -> e
+  | Error (_, d) ->
+    Alcotest.failf "unexpected parse error: %s" (Hcv_obs.Diag.to_string d)
+
+let parse_err line =
+  match S.Proto.parse line with
+  | Ok _ -> Alcotest.failf "accepted malformed request %S" line
+  | Error (id, d) -> (id, Hcv_obs.Diag.code d)
+
+let test_proto_parse () =
+  let e = parse_ok {|{"id":"a","op":"ping"}|} in
+  Alcotest.(check string) "id" "a" e.S.Proto.id;
+  Alcotest.(check string) "op" "ping" (S.Proto.op_name e.S.Proto.req);
+  let e =
+    parse_ok
+      {|{"id":"b","op":"explore","bench":"applu","buses":2,"grid_steps":8,"budget":100,"degrade":true}|}
+  in
+  (match e.S.Proto.req with
+  | S.Proto.Run w ->
+    Alcotest.(check string) "bench name" "applu" w.S.Proto.name;
+    Alcotest.(check int) "buses" 2 w.S.Proto.spec.S.Proto.buses;
+    Alcotest.(check (option int)) "grid" (Some 8)
+      w.S.Proto.spec.S.Proto.grid_steps;
+    Alcotest.(check (option int)) "budget" (Some 100) w.S.Proto.budget;
+    Alcotest.(check bool) "degrade" true w.S.Proto.degrade
+  | _ -> Alcotest.fail "expected Run");
+  (* Shape errors: code + preserved id where extractable. *)
+  Alcotest.(check (pair (option string) string))
+    "not json" (None, "bad-json")
+    (parse_err "this is not json");
+  Alcotest.(check (pair (option string) string))
+    "torn object" (None, "bad-json")
+    (parse_err {|{"id":|});
+  Alcotest.(check (pair (option string) string))
+    "missing id" (None, "bad-request")
+    (parse_err {|{"op":"ping"}|});
+  Alcotest.(check (pair (option string) string))
+    "unknown op"
+    (Some "x", "unknown-op")
+    (parse_err {|{"id":"x","op":"frobnicate"}|});
+  Alcotest.(check (pair (option string) string))
+    "explore without bench"
+    (Some "x", "bad-request")
+    (parse_err {|{"id":"x","op":"explore"}|});
+  Alcotest.(check (pair (option string) string))
+    "schedule with both payloads"
+    (Some "x", "bad-request")
+    (parse_err {|{"id":"x","op":"schedule","dsl":"","graph":{}}|});
+  Alcotest.(check (pair (option string) string))
+    "bad budget"
+    (Some "x", "bad-request")
+    (parse_err {|{"id":"x","op":"explore","bench":"applu","budget":0}|})
+
+let test_proto_responses () =
+  let ok = S.Proto.ok_line ~id:"a" ~op:"ping" () in
+  (match S.Proto.parse_response ok with
+  | Ok r ->
+    Alcotest.(check (option string)) "rid" (Some "a") r.S.Proto.rid;
+    Alcotest.(check bool) "ok" true r.S.Proto.ok;
+    Alcotest.(check (option string)) "op" (Some "ping") r.S.Proto.op
+  | Error m -> Alcotest.failf "response did not parse: %s" m);
+  let d =
+    Hcv_obs.Diag.v ~stage:"serve" ~code:"bad-dsl"
+      ~context:[ ("line", "3") ]
+      "unexpected token"
+  in
+  (match S.Proto.parse_response (S.Proto.error_line ~id:(Some "z") d) with
+  | Ok r ->
+    Alcotest.(check bool) "not ok" false r.S.Proto.ok;
+    (match r.S.Proto.error with
+    | Some d' ->
+      Alcotest.(check string) "code survives" "bad-dsl" (Hcv_obs.Diag.code d')
+    | None -> Alcotest.fail "error object missing")
+  | Error m -> Alcotest.failf "error line did not parse: %s" m);
+  (match S.Proto.parse_response (S.Proto.error_line ~id:None d) with
+  | Ok r -> Alcotest.(check (option string)) "null id" None r.S.Proto.rid
+  | Error m -> Alcotest.failf "null-id line did not parse: %s" m)
+
+(* ----- registry: admission and content keys ------------------------ *)
+
+let work_of line =
+  match (parse_ok line).S.Proto.req with
+  | S.Proto.Run w -> w
+  | _ -> Alcotest.fail "expected a run request"
+
+let admit_ok line =
+  match S.Registry.admit (work_of line) with
+  | Ok t -> t
+  | Error d -> Alcotest.failf "admit failed: %s" (Hcv_obs.Diag.to_string d)
+
+let admit_err line =
+  match S.Registry.admit (work_of line) with
+  | Ok _ -> Alcotest.failf "admitted invalid work %S" line
+  | Error d -> Hcv_obs.Diag.code d
+
+let test_registry_keys () =
+  (* An unbudgeted explore request shares the exploration sweeps'
+     cache: its key IS the sweep cell key. *)
+  let t =
+    admit_ok {|{"id":"a","op":"explore","bench":"applu","loops":2,"seed":7}|}
+  in
+  let cell = Sweep.cell ~buses:1 ~n_loops:2 ~seed:7 "applu" in
+  Alcotest.(check string)
+    "unbudgeted bench key = sweep cell key" (Sweep.cell_key cell)
+    (S.Registry.key t);
+  (* A budget changes the result, so it must change the key. *)
+  let tb =
+    admit_ok
+      {|{"id":"a","op":"explore","bench":"applu","loops":2,"seed":7,"budget":5}|}
+  in
+  Alcotest.(check bool) "budget forks the key" true
+    (S.Registry.key tb <> S.Registry.key t);
+  (* Payload keys are content keys: formatting must not matter. *)
+  let dsl_a = "loop l trip 8\n node a add.i\n node b mul.i\n edge a b\nend\n" in
+  let dsl_b =
+    "loop l  trip 8\n\n  node a add.i\n  node b mul.i\n  edge a b\nend\n"
+  in
+  let key_of dsl =
+    S.Registry.key
+      (admit_ok
+         (E.Jsonx.to_string
+            (E.Jsonx.Obj
+               [
+                 ("id", E.Jsonx.Str "p");
+                 ("op", E.Jsonx.Str "schedule");
+                 ("dsl", E.Jsonx.Str dsl);
+               ])))
+  in
+  Alcotest.(check string) "formatting-independent payload key" (key_of dsl_a)
+    (key_of dsl_b);
+  (* And a payload key never collides with a bench key's space. *)
+  Alcotest.(check bool) "payload key differs" true
+    (key_of dsl_a <> S.Registry.key t)
+
+let test_registry_rejections () =
+  Alcotest.(check string) "unknown benchmark" "unknown-benchmark"
+    (admit_err {|{"id":"a","op":"explore","bench":"nosuchbench"}|});
+  Alcotest.(check string) "bad dsl" "bad-dsl"
+    (admit_err
+       {|{"id":"a","op":"schedule","dsl":"loop x trip 4\n node a frob\nend\n"}|});
+  Alcotest.(check string) "empty dsl" "bad-request"
+    (admit_err {|{"id":"a","op":"schedule","dsl":""}|});
+  Alcotest.(check string) "graph with unknown op" "bad-graph"
+    (admit_err
+       {|{"id":"a","op":"schedule","graph":{"name":"g","trip":8,"nodes":[{"n":"a","op":"frob"}],"edges":[]}}|})
+
+(* ----- dispatch: batching, determinism, error isolation ------------ *)
+
+let dsl_line ?(id = "d1") ?budget ?degrade () =
+  E.Jsonx.to_string
+    (E.Jsonx.Obj
+       ([
+          ("id", E.Jsonx.Str id);
+          ("op", E.Jsonx.Str "schedule");
+          ( "dsl",
+            E.Jsonx.Str
+              "loop tiny trip 8\n\
+              \ node a ld.f\n\
+              \ node b mul.f\n\
+              \ node c add.f\n\
+              \ edge a b\n\
+              \ edge b c\n\
+              \ edge c c dist 1\n\
+               end\n" );
+        ]
+       @ (match budget with
+         | None -> []
+         | Some b -> [ ("budget", E.Jsonx.Num (float_of_int b)) ])
+       @
+       match degrade with
+       | None -> []
+       | Some d -> [ ("degrade", E.Jsonx.Bool d) ]))
+
+let with_dispatch ?cache ~jobs f =
+  let cache = Option.map (E.Cache.open_dir ?warn:None) cache in
+  let engine = E.Engine.create ~jobs ?cache () in
+  Fun.protect
+    ~finally:(fun () -> E.Engine.shutdown engine)
+    (fun () -> f (S.Dispatch.create engine))
+
+let rec rm_tree path =
+  match Sys.is_directory path with
+  | true ->
+    Array.iter (fun f -> rm_tree (Filename.concat path f)) (Sys.readdir path);
+    (try Sys.rmdir path with Sys_error _ -> ())
+  | false -> ( try Sys.remove path with Sys_error _ -> ())
+  | exception Sys_error _ -> ()
+
+let test_dispatch_deterministic () =
+  let lines =
+    [
+      {|{"id":"p","op":"ping"}|};
+      dsl_line ~id:"s1" ();
+      "not json at all";
+      dsl_line ~id:"s2" ();
+      (* duplicate content, distinct id: must be computed once but
+         answered twice, each under its own id *)
+    ]
+  in
+  let dir = Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "hcvliw-test-serve-%d" (Unix.getpid ())) in
+  rm_tree dir;
+  Fun.protect
+    ~finally:(fun () -> rm_tree dir)
+    (fun () ->
+      let answer ?cache ~jobs () =
+        with_dispatch ?cache ~jobs (fun d ->
+            List.map (S.Dispatch.handle_line d) lines)
+      in
+      let serial = answer ~jobs:1 () in
+      let parallel_cold = answer ~cache:dir ~jobs:2 () in
+      let warm = answer ~cache:dir ~jobs:2 () in
+      Alcotest.(check (list string)) "jobs-independent" serial parallel_cold;
+      Alcotest.(check (list string)) "cache-state-independent" serial warm;
+      (* s1 and s2 share content: identical result objects, own ids. *)
+      let result_of id =
+        List.find_map
+          (fun l ->
+            match S.Proto.parse_response l with
+            | Ok { S.Proto.rid = Some i; result; _ } when i = id -> result
+            | _ -> None)
+          serial
+      in
+      Alcotest.(check bool) "duplicate content same result" true
+        (result_of "s1" = result_of "s2" && result_of "s1" <> None))
+
+let test_dispatch_batch_dedup () =
+  with_dispatch ~jobs:1 (fun d ->
+      let envelopes =
+        List.map parse_ok [ dsl_line ~id:"a" (); dsl_line ~id:"b" () ]
+      in
+      let root = Hcv_obs.Trace.root "test" in
+      let lines = S.Dispatch.handle d ~obs:root envelopes in
+      Alcotest.(check int) "two responses" 2 (List.length lines);
+      match Hcv_obs.Trace.export root with
+      | None -> Alcotest.fail "expected an exported trace"
+      | Some node ->
+        Alcotest.(check int) "identical requests computed once" 1
+          (Hcv_obs.Trace.counter_total node "serve.unique_cells");
+        Alcotest.(check int) "both answered" 2
+          (Hcv_obs.Trace.counter_total node "serve.requests"))
+
+let test_dispatch_survives_errors () =
+  with_dispatch ~jobs:1 (fun d ->
+      (* Malformed, semantically invalid and budget-exhausted requests
+         each answer with a structured error — and the dispatcher keeps
+         serving afterwards. *)
+      let err line =
+        match S.Proto.parse_response (S.Dispatch.handle_line d line) with
+        | Ok { S.Proto.ok = false; error = Some e; _ } -> Hcv_obs.Diag.code e
+        | Ok _ -> Alcotest.failf "expected an error response for %S" line
+        | Error m -> Alcotest.failf "unparseable response: %s" m
+      in
+      Alcotest.(check string) "bad json" "bad-json" (err "{");
+      Alcotest.(check string) "unknown benchmark" "unknown-benchmark"
+        (err {|{"id":"x","op":"explore","bench":"nosuchbench"}|});
+      Alcotest.(check string) "strict budget" "budget-exhausted"
+        (err (dsl_line ~id:"x" ~budget:1 ()));
+      (* degrade:true turns the same exhaustion into a degraded ok. *)
+      (match
+         S.Proto.parse_response
+           (S.Dispatch.handle_line d (dsl_line ~id:"y" ~budget:1 ~degrade:true ()))
+       with
+      | Ok { S.Proto.ok = true; result = Some r; _ } ->
+        let causes =
+          match Option.bind (E.Jsonx.member "causes" r) E.Jsonx.list with
+          | Some l -> List.filter_map E.Jsonx.str l
+          | None -> []
+        in
+        Alcotest.(check bool) "causes name the exhaustion" true
+          (List.mem "budget-exhausted" causes)
+      | Ok _ -> Alcotest.fail "expected a degraded ok response"
+      | Error m -> Alcotest.failf "unparseable response: %s" m);
+      (* Still alive. *)
+      match S.Proto.parse_response (S.Dispatch.handle_line d (dsl_line ())) with
+      | Ok { S.Proto.ok = true; _ } -> ()
+      | _ -> Alcotest.fail "dispatcher stopped serving after errors")
+
+(* ----- server: the socket loop end to end -------------------------- *)
+
+let test_server_socket () =
+  let path =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "hcvliw-test-serve-%d.sock" (Unix.getpid ()))
+  in
+  let listen = S.Server.listen_unix path in
+  let srv =
+    Domain.spawn (fun () ->
+        let engine = E.Engine.create ~jobs:1 () in
+        Fun.protect
+          ~finally:(fun () -> E.Engine.shutdown engine)
+          (fun () ->
+            let dispatch = S.Dispatch.create engine in
+            S.Server.run (S.Server.create ~dispatch listen);
+            (S.Dispatch.served dispatch, S.Dispatch.errors dispatch)))
+  in
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX path);
+  let ic = Unix.in_channel_of_descr fd in
+  let oc = Unix.out_channel_of_descr fd in
+  let ask line =
+    output_string oc line;
+    output_char oc '\n';
+    flush oc;
+    input_line ic
+  in
+  (match S.Proto.parse_response (ask {|{"id":"p1","op":"ping"}|}) with
+  | Ok { S.Proto.ok = true; rid = Some "p1"; _ } -> ()
+  | _ -> Alcotest.fail "ping failed");
+  (* A malformed line answers in-stream; the connection stays up. *)
+  (match S.Proto.parse_response (ask "garbage") with
+  | Ok { S.Proto.ok = false; rid = None; _ } -> ()
+  | _ -> Alcotest.fail "malformed line not answered with an error");
+  (match S.Proto.parse_response (ask (dsl_line ~id:"w" ())) with
+  | Ok { S.Proto.ok = true; rid = Some "w"; result = Some _; _ } -> ()
+  | _ -> Alcotest.fail "schedule request failed");
+  (match S.Proto.parse_response (ask {|{"id":"bye","op":"shutdown"}|}) with
+  | Ok { S.Proto.ok = true; rid = Some "bye"; _ } -> ()
+  | _ -> Alcotest.fail "shutdown not acknowledged");
+  Unix.close fd;
+  (* Parse-level errors are answered by the socket loop itself; the
+     dispatcher sees the three well-formed requests. *)
+  let served, errors = Domain.join srv in
+  Alcotest.(check int) "dispatched" 3 served;
+  Alcotest.(check int) "dispatch errors" 0 errors;
+  Alcotest.(check bool) "socket file still present" true (Sys.file_exists path);
+  Sys.remove path
+
+(* ----- load: the generator is a pure function of the seed ---------- *)
+
+let test_load_deterministic () =
+  let a = S.Load.requests ~seed:3 25 in
+  let b = S.Load.requests ~seed:3 25 in
+  Alcotest.(check (list string)) "same seed, same stream" a b;
+  Alcotest.(check bool) "different seed, different stream" true
+    (S.Load.requests ~seed:4 25 <> a);
+  (* Every line either parses or is deliberately malformed — and the
+     full mix must contain both kinds. *)
+  let parsed, broken =
+    List.partition (fun l -> Result.is_ok (S.Proto.parse l)) a
+  in
+  Alcotest.(check bool) "has well-formed requests" true (parsed <> []);
+  Alcotest.(check bool) "has adversarial requests" true (broken <> [])
+
+let test_percentile () =
+  let xs = [ 5.0; 1.0; 4.0; 2.0; 3.0 ] in
+  Alcotest.(check (float 1e-9)) "p50" 3.0 (S.Load.percentile xs 0.50);
+  Alcotest.(check (float 1e-9)) "p99" 5.0 (S.Load.percentile xs 0.99);
+  Alcotest.(check bool) "empty is nan" true
+    (Float.is_nan (S.Load.percentile [] 0.5))
+
+let suite =
+  [
+    Alcotest.test_case "frame reassembles torn lines" `Quick test_frame_torn;
+    Alcotest.test_case "frame bounds oversized lines" `Quick
+      test_frame_oversized;
+    Alcotest.test_case "proto parses requests" `Quick test_proto_parse;
+    Alcotest.test_case "proto renders responses" `Quick test_proto_responses;
+    Alcotest.test_case "registry content keys" `Quick test_registry_keys;
+    Alcotest.test_case "registry rejections" `Quick test_registry_rejections;
+    Alcotest.test_case "dispatch is deterministic" `Quick
+      test_dispatch_deterministic;
+    Alcotest.test_case "dispatch dedups a batch" `Quick
+      test_dispatch_batch_dedup;
+    Alcotest.test_case "dispatch survives bad requests" `Quick
+      test_dispatch_survives_errors;
+    Alcotest.test_case "server socket loop" `Quick test_server_socket;
+    Alcotest.test_case "load stream is seed-pure" `Quick
+      test_load_deterministic;
+    Alcotest.test_case "latency percentiles" `Quick test_percentile;
+  ]

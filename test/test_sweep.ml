@@ -49,6 +49,7 @@ let outcome_eq (a : Sweep.outcome) (b : Sweep.outcome) =
   && feq a.time_ratio b.time_ratio
   && feq a.energy_ratio b.energy_ratio
   && a.fallbacks = b.fallbacks
+  && a.causes = b.causes
   && String.equal a.hetero b.hetero
   && a.error = b.error
   && a.trace = b.trace
@@ -68,6 +69,7 @@ let test_outcome_roundtrip () =
       time_ratio = 1.02;
       energy_ratio = 0.84;
       fallbacks = 1;
+      causes = [ "no-valid-it" ];
       hetero = {|{"config":"fake"}|};
       error = None;
       (* The deterministic view only: zero wall, no volatile gauges —
@@ -91,6 +93,7 @@ let test_outcome_roundtrip () =
       time_ratio = Float.nan;
       energy_ratio = Float.nan;
       fallbacks = 0;
+      causes = [];
       hetero = "";
       error = Some {|scheduling failed: "II overflow"|};
       trace = None;
