@@ -790,7 +790,9 @@ let serve_cmd =
     Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
     let listen =
       match (socket, tcp) with
-      | Some p, None -> S.Server.listen_unix p
+      | Some p, None -> (
+        try S.Server.listen_unix p
+        with Failure msg -> or_die (Error msg))
       | None, Some hp ->
         let host, port = or_die (parse_tcp hp) in
         S.Server.listen_tcp ~host ~port

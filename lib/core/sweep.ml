@@ -122,11 +122,14 @@ let outcome_of_string s =
     let* energy_ratio = fstr "energy" in
     let* fallbacks = Option.bind (E.Jsonx.member "fallbacks" j) E.Jsonx.int in
     let* hetero = Option.bind (E.Jsonx.member "hetero" j) E.Jsonx.str in
-    (* Pre-causes entries decode with [causes = []]. *)
-    let causes =
-      match Option.bind (E.Jsonx.member "causes" j) E.Jsonx.list with
-      | None -> []
-      | Some cs -> List.filter_map E.Jsonx.str cs
+    (* A pre-causes entry that carries fallbacks is stale: decoding it
+       with [causes = []] would make a warm response differ from a cold
+       recompute of the same cell, so it must miss and recompute.
+       Clean pre-causes entries keep decoding with [causes = []]. *)
+    let* causes =
+      match E.Jsonx.member "causes" j with
+      | Some cj -> Option.map (List.filter_map E.Jsonx.str) (E.Jsonx.list cj)
+      | None -> if fallbacks > 0 then None else Some []
     in
     let error = Option.bind (E.Jsonx.member "error" j) E.Jsonx.str in
     let trace = Option.bind (E.Jsonx.member "trace" j) E.Tracex.node_of_json in

@@ -44,5 +44,6 @@ let feed t ?(off = 0) ?len s =
   done
 
 let pop t = Queue.take_opt t.q
+let queued t = Queue.length t.q
 
 let pending t = Buffer.length t.buf + t.discarding

@@ -31,6 +31,11 @@ val pop : t -> item option
 (** Next complete item, in arrival order; [None] when only a torn line
     (or nothing) remains buffered. *)
 
+val queued : t -> int
+(** Number of complete items buffered and not yet popped — the
+    server's signal that a round capped by [batch_max] left work
+    behind and the next round must poll rather than block. *)
+
 val pending : t -> int
 (** Bytes buffered for the current torn line (including the discarded
     count of an oversized line in progress). *)

@@ -1,10 +1,13 @@
 type conn = {
   fd : Unix.file_descr;
   frame : Frame.t;
-  out : Buffer.t;  (** rendered responses not yet written *)
-  mutable sent : int;  (** prefix of [out] already written *)
+  out : Buffer.t;  (** rendered responses not yet handed to the writer *)
+  mutable wip : string;  (** the chunk currently being written *)
+  mutable sent : int;  (** prefix of [wip] already written *)
   mutable closed : bool;
 }
+
+let out_len c = String.length c.wip - c.sent + Buffer.length c.out
 
 type t = {
   listen : Unix.file_descr;
@@ -17,8 +20,27 @@ type t = {
   mutable answered : int;
 }
 
+(* Claiming the endpoint must never steal it from a live daemon or
+   delete an unrelated file: only a socket file nobody accepts on is
+   stale, and only that may be unlinked. *)
 let listen_unix path =
-  if Sys.file_exists path then (try Unix.unlink path with Unix.Unix_error _ -> ());
+  (match Unix.lstat path with
+  | { Unix.st_kind = Unix.S_SOCK; _ } ->
+    let probe = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    let live =
+      Fun.protect
+        ~finally:(fun () -> try Unix.close probe with Unix.Unix_error _ -> ())
+        (fun () ->
+          match Unix.connect probe (Unix.ADDR_UNIX path) with
+          | () -> true
+          | exception Unix.Unix_error _ -> false)
+    in
+    if live then
+      failwith (Printf.sprintf "%s: a daemon is already listening there" path)
+    else (try Unix.unlink path with Unix.Unix_error _ -> ())
+  | _ ->
+    failwith (Printf.sprintf "%s: refusing to replace a non-socket file" path)
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ());
   let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
   Unix.bind fd (Unix.ADDR_UNIX path);
   Unix.listen fd 64;
@@ -60,22 +82,29 @@ let queue_line c line =
   Buffer.add_string c.out line;
   Buffer.add_char c.out '\n'
 
-(* Write as much of the out-buffer as the socket accepts.  EPIPE or a
-   reset drops the connection (its remaining responses with it). *)
-let flush_conn t c =
-  let s = Buffer.contents c.out in
-  let len = String.length s - c.sent in
-  if len > 0 then begin
-    match Unix.write_substring c.fd s c.sent len with
+(* Write as much buffered output as the socket accepts.  Queued
+   responses are promoted from [out] to [wip] with one
+   [Buffer.contents] per chunk; a partial write only advances [sent],
+   so a slow reader with a large backlog never re-materializes the
+   buffer.  EPIPE or a reset drops the connection (its remaining
+   responses with it). *)
+let rec flush_conn t c =
+  if c.sent = String.length c.wip then begin
+    c.wip <- "";
+    c.sent <- 0;
+    if Buffer.length c.out > 0 then begin
+      c.wip <- Buffer.contents c.out;
+      Buffer.clear c.out
+    end
+  end;
+  let len = String.length c.wip - c.sent in
+  if len > 0 then
+    match Unix.write_substring c.fd c.wip c.sent len with
     | n ->
       c.sent <- c.sent + n;
-      if c.sent = String.length s then begin
-        Buffer.clear c.out;
-        c.sent <- 0
-      end
+      if c.sent = String.length c.wip then flush_conn t c
     | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
     | exception Unix.Unix_error _ -> close_conn t c
-  end
 
 let accept_ready t =
   let rec go () =
@@ -89,6 +118,7 @@ let accept_ready t =
               fd;
               frame = Frame.create ~max_line:t.max_line ();
               out = Buffer.create 256;
+              wip = "";
               sent = 0;
               closed = false;
             };
@@ -114,26 +144,38 @@ let run ?obs t =
       t.conns;
     t.conns <- []
   in
+  let drained () = List.for_all (fun c -> out_len c = 0) t.conns in
+  let residual () =
+    List.exists (fun c -> Frame.queued c.frame > 0) t.conns
+  in
+  let max_reached () =
+    match t.max_requests with Some m -> t.answered >= m | None -> false
+  in
   Fun.protect ~finally (fun () ->
+      (* Exit once shutdown is acknowledged, every line buffered before
+         it is answered and every response byte flushed — or once the
+         request cap is reached and flushed (lines still queued then
+         are beyond the cap and stay unanswered by design). *)
       while
-        not
-          (t.stopping
-          && List.for_all (fun c -> Buffer.length c.out = 0) t.conns)
-        && not
-             (match t.max_requests with
-             | Some m -> t.answered >= m
-             | None -> false)
+        (not (t.stopping && (not (residual ())) && drained ()))
+        && not (max_reached () && drained ())
       do
         let rds =
-          (if t.stopping then [] else [ t.listen ])
+          (if t.stopping || max_reached () then [] else [ t.listen ])
           @ List.map (fun c -> c.fd) t.conns
         in
         let wrs =
           List.filter_map
-            (fun c -> if Buffer.length c.out > 0 then Some c.fd else None)
+            (fun c -> if out_len c > 0 then Some c.fd else None)
             t.conns
         in
-        (match Unix.select rds wrs [] (-1.0) with
+        (* A round that filled [batch_max] leaves complete lines queued
+           in the frames: poll instead of blocking so they are served
+           without waiting for new socket bytes. *)
+        let timeout =
+          if residual () && not (max_reached ()) then 0.0 else -1.0
+        in
+        (match Unix.select rds wrs [] timeout with
         | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
         | rd, wr, _ ->
           if List.mem t.listen rd then accept_ready t;
@@ -146,52 +188,54 @@ let run ?obs t =
              batch (per-connection arrival order is preserved because a
              connection's lines land in the batch in pop order and the
              responses are queued back in batch order). *)
-          let batch = ref [] (* (conn, envelope), reversed *) in
-          let batch_n = ref 0 in
-          List.iter
-            (fun c ->
-              let rec drain () =
-                if !batch_n >= t.batch_max then ()
-                else
-                  match Frame.pop c.frame with
-                  | None -> ()
-                  | Some (Frame.Oversized n) ->
-                    queue_line c
-                      (Proto.error_line ~id:None (Proto.oversized_diag n));
-                    t.answered <- t.answered + 1;
-                    drain ()
-                  | Some (Frame.Line line) ->
-                    (match Proto.parse line with
-                    | Error (id, d) ->
-                      queue_line c (Proto.error_line ~id d);
-                      t.answered <- t.answered + 1
-                    | Ok ({ Proto.req = Proto.Shutdown; _ } as env) ->
-                      t.stopping <- true;
-                      batch := (c, env) :: !batch;
-                      incr batch_n
-                    | Ok env ->
-                      batch := (c, env) :: !batch;
-                      incr batch_n);
-                    drain ()
+          if not (max_reached ()) then begin
+            let batch = ref [] (* (conn, envelope), reversed *) in
+            let batch_n = ref 0 in
+            List.iter
+              (fun c ->
+                let rec drain () =
+                  if !batch_n >= t.batch_max then ()
+                  else
+                    match Frame.pop c.frame with
+                    | None -> ()
+                    | Some (Frame.Oversized n) ->
+                      queue_line c
+                        (Proto.error_line ~id:None (Proto.oversized_diag n));
+                      t.answered <- t.answered + 1;
+                      drain ()
+                    | Some (Frame.Line line) ->
+                      (match Proto.parse line with
+                      | Error (id, d) ->
+                        queue_line c (Proto.error_line ~id d);
+                        t.answered <- t.answered + 1
+                      | Ok ({ Proto.req = Proto.Shutdown; _ } as env) ->
+                        t.stopping <- true;
+                        batch := (c, env) :: !batch;
+                        incr batch_n
+                      | Ok env ->
+                        batch := (c, env) :: !batch;
+                        incr batch_n);
+                      drain ()
+                in
+                drain ())
+              t.conns;
+            let batch = List.rev !batch in
+            if batch <> [] then begin
+              let lines =
+                Dispatch.handle t.dispatch ?obs (List.map snd batch)
               in
-              drain ())
-            t.conns;
-          let batch = List.rev !batch in
-          if batch <> [] then begin
-            let lines =
-              Dispatch.handle t.dispatch ?obs (List.map snd batch)
-            in
-            List.iter2
-              (fun (c, _) line ->
-                if not c.closed then queue_line c line;
-                t.answered <- t.answered + 1)
-              batch lines
+              List.iter2
+                (fun (c, _) line ->
+                  if not c.closed then queue_line c line;
+                  t.answered <- t.answered + 1)
+                batch lines
+            end
           end;
           List.iter
             (fun c ->
               if
                 (not c.closed)
-                && (List.mem c.fd wr || Buffer.length c.out > 0)
+                && (List.mem c.fd wr || out_len c > 0)
               then flush_conn t c)
             t.conns)
       done)

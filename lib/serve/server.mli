@@ -16,14 +16,23 @@
     its error response in the same stream position; it never closes the
     connection or stops the daemon.
 
-    The loop exits when a [shutdown] request has been answered and all
-    response bytes are flushed (or when [max_requests] is reached). *)
+    A round takes at most [batch_max] run requests; complete lines left
+    queued past the cap are served by immediately following zero-timeout
+    rounds, so a client that pipelines more than one batch's worth never
+    waits on new socket traffic.
+
+    The loop exits when a [shutdown] request has been answered, every
+    line buffered before it has been answered and all response bytes
+    are flushed — or when [max_requests] answers have been written out
+    (lines still queued then stay unanswered by design). *)
 
 type t
 
 val listen_unix : string -> Unix.file_descr
-(** Bind and listen on a Unix-domain socket, unlinking any stale socket
-    file at that path first. *)
+(** Bind and listen on a Unix-domain socket.  A stale socket file at
+    that path — one no daemon accepts connections on — is unlinked
+    first; raises [Failure] if a daemon is already listening there or
+    the path holds something that is not a socket. *)
 
 val listen_tcp : host:string -> port:int -> Unix.file_descr
 (** Bind (with [SO_REUSEADDR]) and listen on a TCP socket. *)

@@ -375,6 +375,99 @@ let test_server_socket () =
   Alcotest.(check bool) "socket file still present" true (Sys.file_exists path);
   Sys.remove path
 
+let sock_path tag =
+  Filename.concat (Filename.get_temp_dir_name ())
+    (Printf.sprintf "hcvliw-test-%s-%d.sock" tag (Unix.getpid ()))
+
+let spawn_server ?batch_max ?max_requests listen =
+  Domain.spawn (fun () ->
+      let engine = E.Engine.create ~jobs:1 () in
+      Fun.protect
+        ~finally:(fun () -> E.Engine.shutdown engine)
+        (fun () ->
+          let dispatch = S.Dispatch.create engine in
+          S.Server.run (S.Server.create ?batch_max ?max_requests ~dispatch listen);
+          S.Dispatch.served dispatch))
+
+let test_server_pipelined_burst () =
+  (* More pipelined requests than [batch_max] in a single write: the
+     lines past the cap must still be answered without further socket
+     traffic (a capped round polls its residual queue instead of
+     blocking in select). *)
+  let path = sock_path "burst" in
+  let srv = spawn_server ~batch_max:2 (S.Server.listen_unix path) in
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX path);
+  let ic = Unix.in_channel_of_descr fd in
+  let oc = Unix.out_channel_of_descr fd in
+  let n = 9 in
+  for i = 0 to n - 1 do
+    output_string oc (Printf.sprintf {|{"id":"p%d","op":"ping"}|} i);
+    output_char oc '\n'
+  done;
+  output_string oc {|{"id":"bye","op":"shutdown"}|};
+  output_char oc '\n';
+  flush oc;
+  (* All n + 1 responses arrive, in request order. *)
+  for i = 0 to n - 1 do
+    match S.Proto.parse_response (input_line ic) with
+    | Ok { S.Proto.ok = true; rid = Some id; _ } ->
+      Alcotest.(check string) "in-order response" (Printf.sprintf "p%d" i) id
+    | _ -> Alcotest.failf "ping %d not answered" i
+  done;
+  (match S.Proto.parse_response (input_line ic) with
+  | Ok { S.Proto.ok = true; rid = Some "bye"; _ } -> ()
+  | _ -> Alcotest.fail "shutdown not acknowledged");
+  Unix.close fd;
+  Alcotest.(check int) "all requests dispatched" (n + 1) (Domain.join srv);
+  Sys.remove path
+
+let test_server_max_requests () =
+  (* The self-terminating CI mode: every answer within the cap must be
+     fully written out before the loop exits and closes the socket. *)
+  let path = sock_path "maxreq" in
+  let srv = spawn_server ~max_requests:3 (S.Server.listen_unix path) in
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX path);
+  let ic = Unix.in_channel_of_descr fd in
+  let oc = Unix.out_channel_of_descr fd in
+  for i = 0 to 2 do
+    output_string oc (Printf.sprintf {|{"id":"m%d","op":"ping"}|} i);
+    output_char oc '\n'
+  done;
+  flush oc;
+  for i = 0 to 2 do
+    match S.Proto.parse_response (input_line ic) with
+    | Ok { S.Proto.ok = true; rid = Some id; _ } ->
+      Alcotest.(check string) "capped response" (Printf.sprintf "m%d" i) id
+    | _ -> Alcotest.failf "request %d lost at the cap" i
+  done;
+  Alcotest.(check int) "served up to the cap" 3 (Domain.join srv);
+  Unix.close fd;
+  Sys.remove path
+
+let test_listen_unix_guard () =
+  (* The endpoint is claimed defensively: a live daemon's socket and a
+     non-socket file are errors; only a stale socket is unlinked. *)
+  let path = sock_path "guard" in
+  let oc = open_out path in
+  close_out oc;
+  (match S.Server.listen_unix path with
+  | _ -> Alcotest.fail "bound over a regular file"
+  | exception Failure _ -> ());
+  Sys.remove path;
+  let live = S.Server.listen_unix path in
+  (match S.Server.listen_unix path with
+  | _ -> Alcotest.fail "stole a live daemon's socket"
+  | exception Failure _ -> ());
+  Unix.close live;
+  (* The socket file of the closed listener is now stale: reclaimable. *)
+  Alcotest.(check bool) "stale socket file left behind" true
+    (Sys.file_exists path);
+  let fresh = S.Server.listen_unix path in
+  Unix.close fresh;
+  Sys.remove path
+
 (* ----- load: the generator is a pure function of the seed ---------- *)
 
 let test_load_deterministic () =
@@ -414,6 +507,12 @@ let suite =
     Alcotest.test_case "dispatch survives bad requests" `Quick
       test_dispatch_survives_errors;
     Alcotest.test_case "server socket loop" `Quick test_server_socket;
+    Alcotest.test_case "server drains a pipelined burst past batch_max"
+      `Quick test_server_pipelined_burst;
+    Alcotest.test_case "server flushes answers before max-requests exit"
+      `Quick test_server_max_requests;
+    Alcotest.test_case "listen_unix reclaims only stale sockets" `Quick
+      test_listen_unix_guard;
     Alcotest.test_case "load stream is seed-pure" `Quick
       test_load_deterministic;
     Alcotest.test_case "latency percentiles" `Quick test_percentile;

@@ -108,6 +108,22 @@ let test_outcome_roundtrip () =
   Alcotest.(check bool) "garbage rejected" true
     (Sweep.outcome_of_string "{broken" = None)
 
+let test_outcome_legacy_causes () =
+  (* Entries written before outcomes carried "causes": one with
+     fallbacks must decode as stale (a warm replay would otherwise omit
+     the causes a cold recompute reports), one without decodes as-is. *)
+  let legacy fallbacks =
+    Printf.sprintf
+      {|{"bench":"applu","ed2":"0x1.c0p-1","time":"0x1p0","energy":"0x1p-1","fallbacks":%d,"hetero":"h"}|}
+      fallbacks
+  in
+  Alcotest.(check bool) "fallbacks without causes is stale" true
+    (Sweep.outcome_of_string (legacy 1) = None);
+  match Sweep.outcome_of_string (legacy 0) with
+  | Some o ->
+    Alcotest.(check (list string)) "clean entry decodes" [] o.Sweep.causes
+  | None -> Alcotest.fail "clean pre-causes entry must decode"
+
 (* A cheap synthetic workload standing in for a SPECfp benchmark so the
    end-to-end tests run in test-suite time. *)
 let loops_of (c : Sweep.cell) =
@@ -166,6 +182,8 @@ let suite =
       test_cell_key_distinct;
     Alcotest.test_case "outcome round-trip (incl. failure)" `Quick
       test_outcome_roundtrip;
+    Alcotest.test_case "legacy entries with fallbacks are stale" `Quick
+      test_outcome_legacy_causes;
     Alcotest.test_case "parallel run equals serial" `Slow
       test_run_parallel_equals_serial;
     Alcotest.test_case "choice round-trip and cache replay" `Slow
