@@ -583,7 +583,8 @@ let micro () =
 let usage () =
   prerr_endline
     "usage: main.exe [table1] [table2] [fig6] [fig7] [fig8] [fig9] [ablation]\n\
-    \                [micro] [perf] [serve] [--quick] [--jobs N] [--cache DIR]\n\
+    \                [micro] [perf] [partition-micro] [serve] [--quick] [--jobs N]\n\
+    \                [--cache DIR]\n\
     \                [--resume] [--telemetry-csv FILE] [--perf-out FILE]\n\
     \                [--perf-baseline FILE] [--perf-reps N] [--perf-gate R]\n\
     \                [--serve-out FILE]";
@@ -594,8 +595,8 @@ let () =
   let cache_dir = ref None in
   let resume = ref false in
   let csv = ref None in
-  let perf_out = ref "BENCH_2.json" in
-  let perf_baseline = ref "BENCH_seed.json" in
+  let perf_out = ref "BENCH_3.json" in
+  let perf_baseline = ref "BENCH_2.json" in
   let perf_reps = ref None in
   let perf_gate = ref None in
   let serve_out = ref "BENCH_serve.json" in
@@ -690,10 +691,13 @@ let () =
          skips them. *)
       if List.mem "serve" selected then
         Serve_bench.run ~quick:!quick ~out:!serve_out ();
+      let reps =
+        match !perf_reps with
+        | Some n -> n
+        | None -> if !quick then 3 else 5
+      in
+      if List.mem "partition-micro" selected then
+        Perf.partition_micro ~quick:!quick ~reps ();
       if List.mem "perf" selected then
-        let reps = match !perf_reps with
-          | Some n -> n
-          | None -> if !quick then 3 else 5
-        in
         Perf.run ~quick:!quick ~reps ~out:!perf_out ~baseline:!perf_baseline
           ?gate:!perf_gate ())

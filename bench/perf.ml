@@ -169,6 +169,92 @@ let stage_select ws () =
       ignore (Select.select_heterogeneous ~ctx:w.ctx ~machine:w.machine w.profile))
     ws
 
+(* ----- partition microbench --------------------------------------- *)
+
+(* Splits the partition stage into its two halves — hierarchy
+   construction (reusable across IT attempts, restarts and scores) and
+   refinement over a prebuilt hierarchy — and reports the rewritten
+   partitioner's work counters (exact score evaluations vs
+   transfer-delta-pruned candidates).  Run via the bench
+   "partition-micro" selector; results go to stdout. *)
+let partition_micro ~quick ~reps () =
+  let bench_names =
+    if quick then [ "sixtrack"; "facerec" ]
+    else [ "sixtrack"; "facerec"; "galgel" ]
+  in
+  Printf.eprintf "partition-micro: setting up workloads (%s)...\n%!"
+    (String.concat ", " bench_names);
+  let ws = List.map (setup ~quick) bench_names in
+  let items =
+    List.concat_map
+      (fun w -> List.map (fun it -> (w, it)) w.sched_items)
+      ws
+  in
+  let score_for (w : workload) (loop : Loop.t) clocking =
+    let memo = Hcv_sched.Timing.Memo.create clocking in
+    fun assignment ->
+      Hcv_sched.Pseudo.score
+        (Hcv_sched.Pseudo.estimate ~memo ~machine:w.machine ~clocking ~loop
+           ~assignment ())
+  in
+  let build_ns =
+    median
+      (time_runs ~reps (fun () ->
+           List.iter
+             (fun (_, ((loop : Loop.t), _, _)) ->
+               ignore (Hcv_sched.Partition.Hier.build ~ddg:loop.Loop.ddg ()))
+             items))
+  in
+  let hiers =
+    List.map
+      (fun (w, ((loop : Loop.t), clocking, _)) ->
+        (w, loop, clocking, Hcv_sched.Partition.Hier.build ~ddg:loop.Loop.ddg ()))
+      items
+  in
+  let refine ?obs () =
+    List.iter
+      (fun (w, loop, clocking, hier) ->
+        ignore
+          (Hcv_sched.Partition.run_hier ?obs ~n_clusters:4 ~hier ~seed:0
+             ~score:(score_for w loop clocking) ()))
+      hiers
+  in
+  let refine_ns = median (time_runs ~reps (fun () -> refine ())) in
+  let full_ns =
+    median
+      (time_runs ~reps (fun () ->
+           List.iter
+             (fun (w, ((loop : Loop.t), clocking, _)) ->
+               ignore
+                 (Hcv_sched.Partition.run ~n_clusters:4 ~ddg:loop.Loop.ddg
+                    ~seed:0 ~score:(score_for w loop clocking) ()))
+             items))
+  in
+  (* One counted pass for the work profile. *)
+  let root = Hcv_obs.Trace.root "partition-micro" in
+  refine ~obs:root ();
+  let total name =
+    match Hcv_obs.Trace.export root with
+    | Some node -> Hcv_obs.Trace.counter_total node name
+    | None -> 0
+  in
+  Printf.printf "partition microbench (%d loops, %d reps)\n" (List.length items)
+    reps;
+  Printf.printf "  hier build (all loops)     %8.2f ms\n" (build_ns /. 1e6);
+  Printf.printf "  refine over prebuilt hier  %8.2f ms\n" (refine_ns /. 1e6);
+  Printf.printf "  full run (build + refine)  %8.2f ms\n" (full_ns /. 1e6);
+  Printf.printf
+    "  per refine pass: %d exact evals, %d pruned candidates, %d memo hits, \
+     %d moves\n"
+    (total "partition.exact_evals")
+    (total "partition.proxy_pruned")
+    (total "partition.score_memo_hits")
+    (total "partition.refine_moves");
+  Printf.printf
+    "  hierarchy amortisation: build is %.1f%% of a full run; every extra \
+     seed/score over the same hier saves it\n"
+    (100.0 *. build_ns /. full_ns)
+
 (* ----- baseline / output ------------------------------------------ *)
 
 let read_baseline file =

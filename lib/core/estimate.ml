@@ -7,8 +7,10 @@ type loop_estimate = { it : Q.t; it_length_ns : float; exec_ns : float }
 
 let loop_it ~config (lp : Profile.loop_profile) =
   let machine = config.Opconfig.machine in
-  let ddg = lp.Profile.loop.Hcv_ir.Loop.ddg in
-  let mit = Mit.mit ~config ddg in
+  let mit =
+    Mit.mit_parts ~config ~rec_mii:lp.Profile.rec_mii
+      ~demands:lp.Profile.fu_demands
+  in
   (* Bus-slot bound: buses * II_icn >= communications per iteration. *)
   let comm_bound =
     if lp.Profile.n_comms = 0 then Q.zero

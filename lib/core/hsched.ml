@@ -145,6 +145,29 @@ let schedule ?(obs = Hcv_obs.Trace.null) ~ctx ~config ~loop ?(max_tries = 64)
   let groups =
     List.map (fun (r : Recurrence.t) -> r.Recurrence.nodes) (Recurrence.find_all ddg)
   in
+  (* Coarsening depends only on (ddg, fixed, groups) — never on the
+     clocking — so the hierarchy is shared across IT attempts and both
+     restarts; it only rebuilds when preplacement pins the recurrences
+     differently at the new IT. *)
+  let hier_cache = ref None in
+  let hier_for fixed =
+    match !hier_cache with
+    | Some (f, h) when f = fixed ->
+      Hcv_obs.Trace.incr obs "partition.hier_reuses";
+      h
+    | Some _ | None ->
+      let h = Partition.Hier.build ~ddg ~fixed ~groups () in
+      Hcv_obs.Trace.incr obs "partition.hier_builds";
+      hier_cache := Some (fixed, h);
+      h
+  in
+  (* ED² is not priced in transfers, so the partitioner's
+     transfer-delta pruning must stay off for it; the schedulability
+     score is exactly {!Pseudo.score}, which the default threshold
+     matches. *)
+  let stressed =
+    match score_mode with Ed2 -> 0.0 | Schedulability -> 1e7
+  in
   let rec attempt it tries sync_bumps last_cause =
     if tries > max_tries then
       Error
@@ -210,14 +233,16 @@ let schedule ?(obs = Hcv_obs.Trace.null) ~ctx ~config ~loop ?(max_tries = 64)
             if score_memo && n_clusters <= 256 then memoised_score score
             else score
           in
-          (* Two deterministic restarts of the multilevel partitioner;
-             keep the better-scored partition. *)
+          (* Two deterministic restarts of the multilevel partitioner
+             over the shared hierarchy; keep the better-scored
+             partition. *)
+          let hier = hier_for fixed in
           let part_a =
-            Partition.run ~obs ~n_clusters ~ddg ~fixed ~groups ~seed ~score ()
+            Partition.run_hier ~obs ~n_clusters ~hier ~seed ~stressed ~score ()
           in
           let part_b =
-            Partition.run ~obs ~n_clusters ~ddg ~fixed ~groups ~seed:(seed + 1)
-              ~score ()
+            Partition.run_hier ~obs ~n_clusters ~hier ~seed:(seed + 1)
+              ~stressed ~score ()
           in
           let part =
             if part_b.Partition.score < part_a.Partition.score then part_b

@@ -3,9 +3,10 @@ open Hcv_ir
 open Hcv_machine
 open Hcv_sched
 
-let rec_mit ~config ddg =
-  let recmii = Mii.rec_mii ddg in
-  Q.mul_int (Opconfig.fastest_cluster_cycle_time config) recmii
+let rec_mit_of ~config ~rec_mii =
+  Q.mul_int (Opconfig.fastest_cluster_cycle_time config) rec_mii
+
+let rec_mit ~config ddg = rec_mit_of ~config ~rec_mii:(Mii.rec_mii ddg)
 
 let capacity_at ~config ~it kind =
   let machine = config.Opconfig.machine in
@@ -31,11 +32,9 @@ let candidates ~config ~upto =
   done;
   List.sort_uniq Q.compare !acc
 
-let res_mit ~config ddg =
+let res_mit_demands ~config demands =
   let machine = config.Opconfig.machine in
-  let demands =
-    List.filter (fun (_, d) -> d > 0) (Ddg.fu_demand ddg)
-  in
+  let demands = List.filter (fun (_, d) -> d > 0) demands in
   if demands = [] then Q.zero
   else begin
     List.iter
@@ -61,12 +60,41 @@ let res_mit ~config ddg =
     let feasible it =
       List.for_all (fun (kind, d) -> capacity_at ~config ~it kind >= d) demands
     in
-    match List.find_opt feasible (candidates ~config ~upto) with
-    | Some it -> it
-    | None -> upto (* feasible by construction of the bound *)
+    (* Walk the candidate grid (multiples of the cluster cycle times)
+       in ascending order with one cursor per cluster, instead of
+       materialising and sorting the whole grid: selection calls this
+       for every loop of every design point, so the allocations of the
+       list-and-sort version dominated the stage. *)
+    let pts = config.Opconfig.cluster_points in
+    let n = Array.length pts in
+    let ks = Array.make n 1 in
+    let at i = Q.mul_int pts.(i).Opconfig.cycle_time ks.(i) in
+    let rec walk () =
+      let cand = ref Q.zero in
+      for i = 0 to n - 1 do
+        let v = at i in
+        if Q.( <= ) v upto && (Q.sign !cand = 0 || Q.( < ) v !cand) then
+          cand := v
+      done;
+      if Q.sign !cand = 0 then upto (* grid exhausted: upto is feasible *)
+      else if feasible !cand then !cand
+      else begin
+        for i = 0 to n - 1 do
+          if Q.compare (at i) !cand = 0 then ks.(i) <- ks.(i) + 1
+        done;
+        walk ()
+      end
+    in
+    walk ()
   end
 
-let mit ~config ddg = Q.max (rec_mit ~config ddg) (res_mit ~config ddg)
+let res_mit ~config ddg = res_mit_demands ~config (Ddg.fu_demand ddg)
+
+let mit_parts ~config ~rec_mii ~demands =
+  Q.max (rec_mit_of ~config ~rec_mii) (res_mit_demands ~config demands)
+
+let mit ~config ddg =
+  mit_parts ~config ~rec_mii:(Mii.rec_mii ddg) ~demands:(Ddg.fu_demand ddg)
 
 let next_candidate ~config ~after =
   let machine = config.Opconfig.machine in

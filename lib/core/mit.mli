@@ -13,6 +13,11 @@ open Hcv_machine
 
 val rec_mit : config:Opconfig.t -> Ddg.t -> Q.t
 
+val rec_mit_of : config:Opconfig.t -> rec_mii:int -> Q.t
+(** {!rec_mit} from a precomputed recurrence MII — the MII depends only
+    on the DDG, so callers sweeping many configurations over the same
+    loop (configuration selection) compute it once. *)
+
 val capacity_at : config:Opconfig.t -> it:Q.t -> Opcode.fu_kind -> int
 (** Total issue slots of a kind across clusters within one IT:
     [sum_C floor(it / ct_C) * count_C(kind)]. *)
@@ -22,7 +27,20 @@ val res_mit : config:Opconfig.t -> Ddg.t -> Q.t
     @raise Invalid_argument if some kind is demanded but absent from
     every cluster. *)
 
+val res_mit_demands :
+  config:Opconfig.t -> (Opcode.fu_kind * int) list -> Q.t
+(** {!res_mit} from a precomputed FU-demand profile ({!Ddg.fu_demand});
+    zero-demand kinds are ignored.  The candidate grid is walked with
+    per-cluster cursors, never materialised.
+    @raise Invalid_argument as {!res_mit}. *)
+
 val mit : config:Opconfig.t -> Ddg.t -> Q.t
+
+val mit_parts :
+  config:Opconfig.t -> rec_mii:int -> demands:(Opcode.fu_kind * int) list
+  -> Q.t
+(** {!mit} from precomputed DDG-only parts — what the selection stage
+    calls per (design point, loop). *)
 
 val candidates : config:Opconfig.t -> upto:Q.t -> Q.t list
 (** The ascending grid of ITs at which some cluster gains an issue slot

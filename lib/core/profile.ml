@@ -15,6 +15,8 @@ type loop_profile = {
   exec_ns : float;
   reps : float;
   activity : Activity.t;
+  rec_mii : int;
+  fu_demands : (Opcode.fu_kind * int) list;
 }
 
 type t = {
@@ -66,6 +68,12 @@ let profile ?(obs = Hcv_obs.Trace.null) ~machine ~loops () =
             exec_ns;
             reps = 0.0 (* filled after weight normalisation *);
             activity = activity_of_schedule sched ~trip:loop.Loop.trip;
+            (* DDG-only inputs of the per-configuration MIT, computed
+               once here so selection's design-point sweep does not
+               re-derive them per point. *)
+            rec_mii = Mii.rec_mii loop.Loop.ddg;
+            fu_demands =
+              List.filter (fun (_, d) -> d > 0) (Ddg.fu_demand loop.Loop.ddg);
           }
         in
         build (lp :: acc) rest)

@@ -29,6 +29,9 @@ type loop_profile = {
   exec_ns : float;  (** one invocation (trip iterations) on the reference *)
   reps : float;  (** invocations per normalised reference run *)
   activity : Activity.t;  (** one invocation on the reference machine *)
+  rec_mii : int;  (** recurrence MII — DDG-only, cached for selection *)
+  fu_demands : (Opcode.fu_kind * int) list;
+      (** nonzero {!Ddg.fu_demand} entries, cached for selection *)
 }
 
 type t = {

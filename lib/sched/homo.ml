@@ -7,6 +7,11 @@ let schedule ~machine ~cycle_time ~loop ?(max_tries = 64) ?(seed = 0) () =
   let ddg = loop.Loop.ddg in
   let n_clusters = Machine.n_clusters machine in
   let mii = Mii.mii machine ddg in
+  (* Coarsening is clocking-independent: one hierarchy serves every II
+     attempt. *)
+  let hier =
+    if n_clusters = 1 then None else Some (Partition.Hier.build ~ddg ())
+  in
   let rec attempt ii tries =
     if tries > max_tries then
       Error
@@ -21,7 +26,9 @@ let schedule ~machine ~cycle_time ~loop ?(max_tries = 64) ?(seed = 0) () =
             Pseudo.score
               (Pseudo.estimate ~machine ~clocking ~loop ~assignment:a ())
           in
-          (Partition.run ~n_clusters ~ddg ~seed ~score ()).Partition.assignment
+          let hier = Option.get hier in
+          (Partition.run_hier ~n_clusters ~hier ~seed ~score ())
+            .Partition.assignment
         end
       in
       match Slot_sched.run ~machine ~clocking ~loop ~assignment () with

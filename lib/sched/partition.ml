@@ -1,166 +1,220 @@
-open Hcv_support
 open Hcv_ir
 
 type result = { assignment : int array; score : float }
 
-(* A level of the multilevel hierarchy: [n] macronodes, each with its
-   member instructions, optional fixed cluster, and weighted undirected
-   adjacency (indices within the level). *)
-type level = {
-  n : int;
-  members : int list array;
-  fixed : int option array;
-  adj : (int, int) Hashtbl.t array;  (* neighbour -> weight *)
-}
-
 let edge_weight (e : Edge.t) = if Edge.carries_value e then 2 else 1
 
-let finest_level ~fixed_map ddg =
+(* A level of the multilevel hierarchy, stored flat: [n] macronodes,
+   member instructions and weighted undirected adjacency both in CSR
+   form, pre-placed cluster per macronode ([-1] = free).  Flat int
+   arrays keep refinement allocation-free: the gain counters index
+   straight into [adj_nbr]/[adj_w] and members are blitted ranges, not
+   lists. *)
+type level = {
+  n : int;
+  member_off : int array;  (* n+1 offsets into member_ids *)
+  member_ids : int array;  (* instruction ids, grouped per macronode *)
+  fixed : int array;  (* pre-assigned cluster, or -1 *)
+  adj_off : int array;  (* n+1 offsets into adj_nbr/adj_w *)
+  adj_nbr : int array;  (* neighbour macronode (same level) *)
+  adj_w : int array;  (* accumulated edge weight to that neighbour *)
+}
+
+let member_count level v = level.member_off.(v + 1) - level.member_off.(v)
+
+(* Build the instruction-level graph: one macronode per instruction,
+   parallel edges merged by weight.  Distinct-neighbour dedup uses a
+   version-stamp scratch pair (stamp/pos) so each pass is O(n + E) with
+   no hashing. *)
+let finest_level ~fixed ddg =
   let n = Ddg.n_instrs ddg in
-  let adj = Array.init n (fun _ -> Hashtbl.create 4) in
-  let bump a b w =
-    if a <> b then begin
-      let add x y =
-        Hashtbl.replace adj.(x) y
-          (w + Option.value (Hashtbl.find_opt adj.(x) y) ~default:0)
-      in
-      add a b;
-      add b a
-    end
-  in
-  List.iter (fun (e : Edge.t) -> bump e.src e.dst (edge_weight e)) (Ddg.edges ddg);
+  let stamp = Array.make (max n 1) (-1) in
+  let pos = Array.make (max n 1) 0 in
+  let adj_off = Array.make (n + 1) 0 in
+  for v = 0 to n - 1 do
+    let c = ref 0 in
+    let see u =
+      if u <> v && stamp.(u) <> v then begin
+        stamp.(u) <- v;
+        incr c
+      end
+    in
+    Ddg.iter_succs ddg v (fun e -> see e.Edge.dst);
+    Ddg.iter_preds ddg v (fun e -> see e.Edge.src);
+    adj_off.(v + 1) <- !c
+  done;
+  for v = 0 to n - 1 do
+    adj_off.(v + 1) <- adj_off.(v) + adj_off.(v + 1)
+  done;
+  let m = adj_off.(n) in
+  let adj_nbr = Array.make (max m 1) 0 in
+  let adj_w = Array.make (max m 1) 0 in
+  Array.fill stamp 0 (max n 1) (-1);
+  for v = 0 to n - 1 do
+    let next = ref adj_off.(v) in
+    let see u w =
+      if u <> v then
+        if stamp.(u) <> v then begin
+          stamp.(u) <- v;
+          pos.(u) <- !next;
+          adj_nbr.(!next) <- u;
+          adj_w.(!next) <- w;
+          incr next
+        end
+        else adj_w.(pos.(u)) <- adj_w.(pos.(u)) + w
+    in
+    Ddg.iter_succs ddg v (fun e -> see e.Edge.dst (edge_weight e));
+    Ddg.iter_preds ddg v (fun e -> see e.Edge.src (edge_weight e))
+  done;
   {
     n;
-    members = Array.init n (fun i -> [ i ]);
-    fixed = Array.init n (fun i -> fixed_map.(i));
-    adj;
+    member_off = Array.init (n + 1) (fun i -> i);
+    member_ids = Array.init (max n 1) (fun i -> i);
+    fixed;
+    adj_off;
+    adj_nbr;
+    adj_w;
   }
 
-(* Matching may only merge nodes with identical placement constraints:
+(* Coarse-level construction shared by matching and grouping: given the
+   old->new map and, per new node, its old members in ascending old
+   order, rebuild members (blitted ranges) and merged adjacency. *)
+let build_members level map n' =
+  let member_off = Array.make (n' + 1) 0 in
+  for v = 0 to level.n - 1 do
+    member_off.(map.(v) + 1) <- member_off.(map.(v) + 1) + member_count level v
+  done;
+  for nv = 0 to n' - 1 do
+    member_off.(nv + 1) <- member_off.(nv) + member_off.(nv + 1)
+  done;
+  let member_ids = Array.make (max member_off.(n') 1) 0 in
+  let cursor = Array.sub member_off 0 n' in
+  for v = 0 to level.n - 1 do
+    let nv = map.(v) in
+    let len = member_count level v in
+    Array.blit level.member_ids level.member_off.(v) member_ids cursor.(nv) len;
+    cursor.(nv) <- cursor.(nv) + len
+  done;
+  (member_off, member_ids)
+
+(* Merged adjacency of the coarse level.  [olds_off]/[olds] list each
+   new node's old members; the stamp/pos scratch dedups new-neighbour
+   entries exactly as in [finest_level]. *)
+let build_adj level map olds_off olds n' =
+  let stamp = Array.make (max n' 1) (-1) in
+  let pos = Array.make (max n' 1) 0 in
+  let adj_off = Array.make (n' + 1) 0 in
+  for nv = 0 to n' - 1 do
+    let c = ref 0 in
+    for k = olds_off.(nv) to olds_off.(nv + 1) - 1 do
+      let v = olds.(k) in
+      for a = level.adj_off.(v) to level.adj_off.(v + 1) - 1 do
+        let nu = map.(level.adj_nbr.(a)) in
+        if nu <> nv && stamp.(nu) <> nv then begin
+          stamp.(nu) <- nv;
+          incr c
+        end
+      done
+    done;
+    adj_off.(nv + 1) <- !c
+  done;
+  for nv = 0 to n' - 1 do
+    adj_off.(nv + 1) <- adj_off.(nv) + adj_off.(nv + 1)
+  done;
+  let m = adj_off.(n') in
+  let adj_nbr = Array.make (max m 1) 0 in
+  let adj_w = Array.make (max m 1) 0 in
+  Array.fill stamp 0 (max n' 1) (-1);
+  for nv = 0 to n' - 1 do
+    let next = ref adj_off.(nv) in
+    for k = olds_off.(nv) to olds_off.(nv + 1) - 1 do
+      let v = olds.(k) in
+      for a = level.adj_off.(v) to level.adj_off.(v + 1) - 1 do
+        let nu = map.(level.adj_nbr.(a)) in
+        if nu <> nv then
+          if stamp.(nu) <> nv then begin
+            stamp.(nu) <- nv;
+            pos.(nu) <- !next;
+            adj_nbr.(!next) <- nu;
+            adj_w.(!next) <- level.adj_w.(a);
+            incr next
+          end
+          else adj_w.(pos.(nu)) <- adj_w.(pos.(nu)) + level.adj_w.(a)
+      done
+    done
+  done;
+  (adj_off, adj_nbr, adj_w)
+
+(* The old-members-of-each-new-node CSR, in ascending old order. *)
+let olds_of_map map n n' =
+  let olds_off = Array.make (n' + 1) 0 in
+  for v = 0 to n - 1 do
+    olds_off.(map.(v) + 1) <- olds_off.(map.(v) + 1) + 1
+  done;
+  for nv = 0 to n' - 1 do
+    olds_off.(nv + 1) <- olds_off.(nv) + olds_off.(nv + 1)
+  done;
+  let olds = Array.make (max n 1) 0 in
+  let cursor = Array.sub olds_off 0 n' in
+  for v = 0 to n - 1 do
+    olds.(cursor.(map.(v))) <- v;
+    cursor.(map.(v)) <- cursor.(map.(v)) + 1
+  done;
+  (olds_off, olds)
+
+(* One round of heavy-edge matching, or None when nothing merged.
+   Matching may only merge nodes with identical placement constraints:
    merging a pre-placed (fixed) node with a free one would freeze the
    free node's instructions to that cluster for every coarser level and
    bar refinement from ever moving them. *)
-let compatible a b =
-  match (a, b) with
-  | Some x, Some y -> x = y
-  | None, None -> true
-  | Some _, None | None, Some _ -> false
-
-let merge_fixed a b = match a with Some _ -> a | None -> b
-
-(* One round of heavy-edge matching; returns the coarser level and the
-   mapping old-index -> new-index, or None when nothing merged. *)
 let coarsen_once level =
-  let matched = Array.make level.n (-1) in
-  let order = Listx.range 0 level.n in
+  let n = level.n in
+  let matched = Array.make (max n 1) (-1) in
   let merged = ref 0 in
-  List.iter
-    (fun v ->
-      if matched.(v) = -1 then begin
-        (* Heaviest compatible unmatched neighbour. *)
-        let best = ref (-1) and best_w = ref 0 in
-        Hashtbl.iter
-          (fun u w ->
-            if
-              matched.(u) = -1 && u <> v
-              && compatible level.fixed.(v) level.fixed.(u)
-              && (w > !best_w || (w = !best_w && (!best = -1 || u < !best)))
-            then begin
-              best := u;
-              best_w := w
-            end)
-          level.adj.(v);
-        if !best >= 0 then begin
-          matched.(v) <- !best;
-          matched.(!best) <- v;
-          incr merged
+  for v = 0 to n - 1 do
+    if matched.(v) = -1 then begin
+      (* Heaviest compatible unmatched neighbour, ties to lowest index. *)
+      let best = ref (-1) and best_w = ref 0 in
+      for a = level.adj_off.(v) to level.adj_off.(v + 1) - 1 do
+        let u = level.adj_nbr.(a) and w = level.adj_w.(a) in
+        if
+          matched.(u) = -1 && u <> v
+          && level.fixed.(u) = level.fixed.(v)
+          && (w > !best_w || (w = !best_w && (!best = -1 || u < !best)))
+        then begin
+          best := u;
+          best_w := w
         end
-      end)
-    order;
+      done;
+      if !best >= 0 then begin
+        matched.(v) <- !best;
+        matched.(!best) <- v;
+        incr merged
+      end
+    end
+  done;
   if !merged = 0 then None
   else begin
-    (* Assign new indices: the lower endpoint of each pair leads. *)
-    let map = Array.make level.n (-1) in
+    (* New indices: the lower endpoint of each pair leads. *)
+    let map = Array.make n (-1) in
     let next = ref 0 in
-    List.iter
-      (fun v ->
-        if map.(v) = -1 then begin
-          map.(v) <- !next;
-          let u = matched.(v) in
-          if u >= 0 then map.(u) <- !next;
-          incr next
-        end)
-      order;
-    let n' = !next in
-    let members = Array.make n' [] in
-    let fixed = Array.make n' None in
-    Array.iteri
-      (fun v nv ->
-        members.(nv) <- members.(nv) @ level.members.(v);
-        fixed.(nv) <- merge_fixed fixed.(nv) level.fixed.(v))
-      map;
-    let adj = Array.init n' (fun _ -> Hashtbl.create 4) in
-    Array.iteri
-      (fun v nv ->
-        Hashtbl.iter
-          (fun u w ->
-            let nu = map.(u) in
-            if nu <> nv then
-              Hashtbl.replace adj.(nv) nu
-                (w + Option.value (Hashtbl.find_opt adj.(nv) nu) ~default:0))
-          level.adj.(v))
-      map;
-    Some ({ n = n'; members; fixed; adj }, map)
-  end
-
-let project level macro_assignment instr_assignment =
-  Array.iteri
-    (fun v cl -> List.iter (fun i -> instr_assignment.(i) <- cl) level.members.(v))
-    macro_assignment
-
-(* Greedy refinement of macronode assignments at one level.  Moves are
-   steepest-descent over the injected score; fixed macronodes do not
-   move. *)
-let refine ~n_clusters ~score ?(moves = ref 0) level macro_assignment
-    instr_assignment =
-  let current = ref (score instr_assignment) in
-  let improved = ref true in
-  let passes = ref 0 in
-  while !improved && !passes < 2 do
-    improved := false;
-    incr passes;
-    for v = 0 to level.n - 1 do
-      if level.fixed.(v) = None then begin
-        let home = macro_assignment.(v) in
-        let best_cl = ref home and best_s = ref !current in
-        for cl = 0 to n_clusters - 1 do
-          if cl <> home then begin
-            List.iter (fun i -> instr_assignment.(i) <- cl) level.members.(v);
-            let s = score instr_assignment in
-            if s < !best_s then begin
-              best_s := s;
-              best_cl := cl
-            end
-          end
-        done;
-        List.iter
-          (fun i -> instr_assignment.(i) <- !best_cl)
-          level.members.(v);
-        if !best_cl <> home then begin
-          macro_assignment.(v) <- !best_cl;
-          current := !best_s;
-          improved := true;
-          incr moves
-        end
+    for v = 0 to n - 1 do
+      if map.(v) = -1 then begin
+        map.(v) <- !next;
+        if matched.(v) >= 0 then map.(matched.(v)) <- !next;
+        incr next
       end
-    done
-  done;
-  !current
-
-let initial_even ~n_clusters ddg =
-  let a = Array.make (Ddg.n_instrs ddg) 0 in
-  List.iteri (fun k i -> a.(i) <- k mod n_clusters) (Ddg.topo_order ddg);
-  a
+    done;
+    let n' = !next in
+    let fixed = Array.make n' (-1) in
+    for v = 0 to n - 1 do
+      fixed.(map.(v)) <- level.fixed.(v)
+    done;
+    let member_off, member_ids = build_members level map n' in
+    let olds_off, olds = olds_of_map map n n' in
+    let adj_off, adj_nbr, adj_w = build_adj level map olds_off olds n' in
+    Some { n = n'; member_off; member_ids; fixed; adj_off; adj_nbr; adj_w }
+  end
 
 (* Merge the members of each group into one macronode, producing the
    level just above the instruction level. *)
@@ -169,7 +223,7 @@ let initial_even ~n_clusters ddg =
    violations are bugs, hence [invalid_arg] rather than a Diag. *)
 let coarsen_groups level groups =
   let n = level.n in
-  let map = Array.make n (-1) in
+  let map = Array.make (max n 1) (-1) in
   let next = ref 0 in
   List.iter
     (fun group ->
@@ -193,87 +247,384 @@ let coarsen_groups level groups =
     end
   done;
   let n' = !next in
-  let members = Array.make n' [] in
-  let fixed = Array.make n' None in
-  Array.iteri
-    (fun v nv ->
-      members.(nv) <- members.(nv) @ level.members.(v);
-      (match (fixed.(nv), level.fixed.(v)) with
-      | Some a, Some b when a <> b ->
-        invalid_arg "Partition.run: conflicting fixed clusters in a group"
-      | _, _ -> ());
-      fixed.(nv) <- merge_fixed fixed.(nv) level.fixed.(v))
-    map;
-  let adj = Array.init n' (fun _ -> Hashtbl.create 4) in
-  Array.iteri
-    (fun v nv ->
-      Hashtbl.iter
-        (fun u w ->
-          let nu = map.(u) in
-          if nu <> nv then
-            Hashtbl.replace adj.(nv) nu
-              (w + Option.value (Hashtbl.find_opt adj.(nv) nu) ~default:0))
-        level.adj.(v))
-    map;
-  { n = n'; members; fixed; adj }
+  let fixed = Array.make n' (-1) in
+  for v = 0 to n - 1 do
+    let f = level.fixed.(v) in
+    if f >= 0 then begin
+      let nv = map.(v) in
+      if fixed.(nv) >= 0 && fixed.(nv) <> f then
+        invalid_arg "Partition.run: conflicting fixed clusters in a group";
+      fixed.(nv) <- f
+    end
+  done;
+  let member_off, member_ids = build_members level map n' in
+  let olds_off, olds = olds_of_map map n n' in
+  let adj_off, adj_nbr, adj_w = build_adj level map olds_off olds n' in
+  { n = n'; member_off; member_ids; fixed; adj_off; adj_nbr; adj_w }
 
-let run ?(obs = Hcv_obs.Trace.null) ~n_clusters ~ddg ?(fixed = [])
-    ?(groups = []) ?(seed = 0) ~score () =
+module Hier = struct
+  type t = {
+    n_instrs : int;
+    fixed : (Instr.id * int) list;  (* kept for run-time range checks *)
+    levels : level array;  (* finest first *)
+    base : int;  (* 1 when a groups level exists, else 0 *)
+    (* Directed value-edge CSR at the instruction level (multiplicity
+       preserved), for the transfer-delta gain counters refinement
+       maintains: vsucc lists each producer's value consumers, vpred
+       the inverse. *)
+    vsucc_off : int array;
+    vsucc : int array;
+    vpred_off : int array;
+    vpred : int array;
+  }
+
+  (* Coarsening never looks at the cluster count, so the chain is built
+     once, down to its fixpoint; [run_hier] picks the prefix a given
+     [n_clusters] needs. *)
+  let build ~ddg ?(fixed = []) ?(groups = []) () =
+    let n = Ddg.n_instrs ddg in
+    let fixed_arr = Array.make (max n 1) (-1) in
+    List.iter
+      (fun (i, cl) ->
+        if i < 0 || i >= n then
+          invalid_arg "Partition.run: fixed id out of range";
+        fixed_arr.(i) <- cl)
+      fixed;
+    let finest = finest_level ~fixed:fixed_arr ddg in
+    let rev = ref [ finest ] in
+    if groups <> [] then rev := coarsen_groups finest groups :: !rev;
+    let continue_ = ref (n > 0) in
+    while !continue_ do
+      match coarsen_once (List.hd !rev) with
+      | Some l -> rev := l :: !rev
+      | None -> continue_ := false
+    done;
+    let vsucc_off = Array.make (n + 1) 0 in
+    let vpred_off = Array.make (n + 1) 0 in
+    let edges = List.filter Edge.carries_value (Ddg.edges ddg) in
+    List.iter
+      (fun (e : Edge.t) ->
+        vsucc_off.(e.src + 1) <- vsucc_off.(e.src + 1) + 1;
+        vpred_off.(e.dst + 1) <- vpred_off.(e.dst + 1) + 1)
+      edges;
+    for i = 0 to n - 1 do
+      vsucc_off.(i + 1) <- vsucc_off.(i) + vsucc_off.(i + 1);
+      vpred_off.(i + 1) <- vpred_off.(i) + vpred_off.(i + 1)
+    done;
+    let nv = vsucc_off.(n) in
+    let vsucc = Array.make (max nv 1) 0 in
+    let vpred = Array.make (max nv 1) 0 in
+    let scur = Array.sub vsucc_off 0 (max n 1) in
+    let pcur = Array.sub vpred_off 0 (max n 1) in
+    List.iter
+      (fun (e : Edge.t) ->
+        vsucc.(scur.(e.src)) <- e.dst;
+        scur.(e.src) <- scur.(e.src) + 1;
+        vpred.(pcur.(e.dst)) <- e.src;
+        pcur.(e.dst) <- pcur.(e.dst) + 1)
+      edges;
+    {
+      n_instrs = n;
+      fixed;
+      levels = Array.of_list (List.rev !rev);
+      base = (if groups = [] then 0 else 1);
+      vsucc_off;
+      vsucc;
+      vpred_off;
+      vpred;
+    }
+
+  let n_levels t = Array.length t.levels
+end
+
+let project level macro instr_assignment =
+  for v = 0 to level.n - 1 do
+    for j = level.member_off.(v) to level.member_off.(v + 1) - 1 do
+      instr_assignment.(level.member_ids.(j)) <- macro.(v)
+    done
+  done
+
+(* Bonus convergence passes past the reference implementation's two,
+   affordable because pruning makes a no-move sweep nearly free. *)
+let max_passes = 6
+
+(* Greedy refinement of macronode assignments at one level, entered at
+   exact score [current] for the projected [instr_assignment]; a move
+   commits only when the injected exact score strictly improves, so
+   this is steepest descent over the same neighbourhood as the
+   reference implementation.
+
+   The gain counters: [vcnt.(p * k + c)] counts the value edges from
+   producer instruction [p] into cluster [c], maintained in O(deg)
+   after every committed move.  [Pseudo] materialises one transfer per
+   (producer, destination cluster), so the exact transfer delta of
+   moving macronode [v] to cluster [b] is a sum over the producers
+   feeding or inside [v] of how their per-cluster consumer counts
+   change — computable from [vcnt] without touching the schedule.
+
+   Pruning: while the current score is below [stressed], it has shape
+   transfers * 100 + it_length with it_length under one transfer's
+   worth, so a candidate whose transfer delta is >= 1 cannot improve
+   and is pruned without an exact eval; interior macronodes cost
+   nothing.  At or above [stressed] the score carries structural
+   penalties (FU overflow, recurrence violations, register overflow in
+   [Pseudo.score]) whose escape moves the transfer proxy cannot see,
+   so the full neighbourhood is scored, exactly like the reference.
+   Scores without this shape disable pruning via [stressed <= 0]. *)
+let refine ~n_clusters ~score ~stressed ~pruned ~moves ~current ~comms
+    ~(hier : Hier.t) ~vcnt ~inst2node ~pbuf ~cbuf ~pstamp level macro
+    instr_assignment =
+  let n = level.n in
+  let k = n_clusters in
+  let prune_on = stressed > 0.0 in
+  for v = 0 to n - 1 do
+    for j = level.member_off.(v) to level.member_off.(v + 1) - 1 do
+      inst2node.(level.member_ids.(j)) <- v
+    done
+  done;
+  let set_members v cl =
+    for j = level.member_off.(v) to level.member_off.(v + 1) - 1 do
+      instr_assignment.(level.member_ids.(j)) <- cl
+    done
+  in
+  (* Producers whose transfer count a move of [v] can change: external
+     producers with a consumer in [v] (cbuf = how many), then member
+     producers (cbuf = their consumer count inside [v]). *)
+  let nprod = ref 0 in
+  let gather v =
+    nprod := 0;
+    for j = level.member_off.(v) to level.member_off.(v + 1) - 1 do
+      let i = level.member_ids.(j) in
+      for a = hier.Hier.vpred_off.(i) to hier.Hier.vpred_off.(i + 1) - 1 do
+        let p = hier.Hier.vpred.(a) in
+        if inst2node.(p) <> v then
+          if pstamp.(p) < 0 then begin
+            pstamp.(p) <- !nprod;
+            pbuf.(!nprod) <- p;
+            cbuf.(!nprod) <- 1;
+            incr nprod
+          end
+          else cbuf.(pstamp.(p)) <- cbuf.(pstamp.(p)) + 1
+      done
+    done;
+    let n_ext = !nprod in
+    for e = 0 to n_ext - 1 do
+      pstamp.(pbuf.(e)) <- -1
+    done;
+    for j = level.member_off.(v) to level.member_off.(v + 1) - 1 do
+      let i = level.member_ids.(j) in
+      if hier.Hier.vsucc_off.(i + 1) > hier.Hier.vsucc_off.(i) then begin
+        let s = ref 0 in
+        for a = hier.Hier.vsucc_off.(i) to hier.Hier.vsucc_off.(i + 1) - 1 do
+          if inst2node.(hier.Hier.vsucc.(a)) = v then incr s
+        done;
+        pbuf.(!nprod) <- i;
+        cbuf.(!nprod) <- !s;
+        incr nprod
+      end
+    done;
+    n_ext
+  in
+  (* Exact transfer delta of moving the gathered [v] from [home] to
+     [b].  External producers keep their cluster; member producers move
+     with [v], which swaps the home/destination columns' roles in
+     their "one transfer per foreign cluster with consumers" count. *)
+  let delta_comms ~n_ext ~home b =
+    let d = ref 0 in
+    for e = 0 to !nprod - 1 do
+      let row = pbuf.(e) * k and c = cbuf.(e) in
+      if e < n_ext then begin
+        let clp = instr_assignment.(pbuf.(e)) in
+        let before =
+          (if vcnt.(row + home) > 0 && home <> clp then 1 else 0)
+          + (if vcnt.(row + b) > 0 && b <> clp then 1 else 0)
+        in
+        (* After the move the destination column holds >= c >= 1. *)
+        let after =
+          (if vcnt.(row + home) - c > 0 && home <> clp then 1 else 0)
+          + (if b <> clp then 1 else 0)
+        in
+        d := !d + after - before
+      end
+      else
+        d :=
+          !d
+          + (if vcnt.(row + home) - c > 0 then 1 else 0)
+          - (if vcnt.(row + b) > 0 then 1 else 0)
+    done;
+    !d
+  in
+  (* Transfers producer [p] emits when it sits in cluster [cl]: one
+     per foreign cluster with a consumer — {!Pseudo}'s dedup rule. *)
+  let contrib p cl =
+    let row = p * k in
+    let m = ref 0 in
+    for c = 0 to k - 1 do
+      if c <> cl && vcnt.(row + c) > 0 then incr m
+    done;
+    !m
+  in
+  let commit ~n_ext ~home b =
+    for e = 0 to !nprod - 1 do
+      let p = pbuf.(e) and c = cbuf.(e) in
+      let row = p * k in
+      let cl_before = if e < n_ext then instr_assignment.(p) else home in
+      let cl_after = if e < n_ext then instr_assignment.(p) else b in
+      comms := !comms - contrib p cl_before;
+      vcnt.(row + home) <- vcnt.(row + home) - c;
+      vcnt.(row + b) <- vcnt.(row + b) + c;
+      comms := !comms + contrib p cl_after
+    done
+  in
+  (* A node whose neighbourhood was scanned move-free and whose exact
+     scores depend on nothing that changed since (no commit anywhere —
+     the score sees the whole assignment) would rescan to the very same
+     vectors, scores and "no move" verdict, so it is skipped: [seen.(v)]
+     records the commit count at [v]'s last fruitless scan.  This makes
+     converged passes free and [max_passes] a cap, not a cost. *)
+  let seen = Array.make (max n 1) (-1) in
+  let commits = ref 0 in
+  let improved = ref true in
+  let pass = ref 0 in
+  let passes = if prune_on then max_passes else 2 in
+  (* Extra passes past the reference implementation's two run only
+     while the score is clean: there pruning and the scan-version skip
+     make them nearly free, and they can only descend further.  In
+     stressed states a pass costs the full neighbourhood, so stop where
+     the reference does. *)
+  while
+    !improved && !pass < passes && (!pass < 2 || !current < stressed)
+  do
+    incr pass;
+    improved := false;
+    for v = 0 to n - 1 do
+      if level.fixed.(v) < 0 && seen.(v) <> !commits then begin
+        let home = macro.(v) in
+        let n_ext = if prune_on then gather v else 0 in
+        let use_prune = prune_on && !current < stressed in
+        (* On a clean score the residual above the transfer pricing is
+           exactly [current - 100 * comms] (it_length, nonnegative): a
+           candidate whose transfer delta alone costs at least that
+           much cannot score below [current], however its residual
+           moves. *)
+        let it_cur = !current -. (100.0 *. float_of_int !comms) in
+        let best_cl = ref home and best_s = ref !current in
+        for cl = 0 to k - 1 do
+          if cl <> home then
+            if
+              use_prune
+              &&
+              let d = delta_comms ~n_ext ~home cl in
+              d >= 1 && 100.0 *. float_of_int d >= it_cur
+            then incr pruned
+            else begin
+              set_members v cl;
+              let s = score instr_assignment in
+              if s < !best_s then begin
+                best_s := s;
+                best_cl := cl
+              end
+            end
+        done;
+        set_members v !best_cl;
+        if !best_cl <> home then begin
+          macro.(v) <- !best_cl;
+          current := !best_s;
+          improved := true;
+          incr moves;
+          incr commits;
+          if prune_on then commit ~n_ext ~home !best_cl
+        end
+        else seen.(v) <- !commits
+      end
+    done
+  done
+
+let initial_even ~n_clusters ddg =
+  let a = Array.make (Ddg.n_instrs ddg) 0 in
+  List.iteri (fun k i -> a.(i) <- k mod n_clusters) (Ddg.topo_order ddg);
+  a
+
+let run_hier ?(obs = Hcv_obs.Trace.null) ~n_clusters ~(hier : Hier.t)
+    ?(seed = 0) ?(stressed = 1e7) ~score () =
   if n_clusters < 1 then invalid_arg "Partition.run: n_clusters < 1";
-  let n = Ddg.n_instrs ddg in
-  let fixed_map = Array.make n None in
   List.iter
-    (fun (i, cl) ->
-      if i < 0 || i >= n then invalid_arg "Partition.run: fixed id out of range";
+    (fun (_, cl) ->
       if cl < 0 || cl >= n_clusters then
-        invalid_arg "Partition.run: fixed cluster out of range";
-      fixed_map.(i) <- Some cl)
-    fixed;
+        invalid_arg "Partition.run: fixed cluster out of range")
+    hier.Hier.fixed;
+  let n = hier.Hier.n_instrs in
   if n = 0 then { assignment = [||]; score = score [||] }
   else begin
-    (* Coarsen. *)
-    let finest = finest_level ~fixed_map ddg in
-    let levels =
-      ref
-        (if groups = [] then [ finest ]
-         else [ coarsen_groups finest groups; finest ])
+    let exact = ref 0 and pruned = ref 0 and moves = ref 0 in
+    let memo_hits = ref 0 in
+    (* Refinement revisits assignment vectors (a fruitless candidate of
+       one pass is often re-proposed after an unrelated commit); the
+       injected score is pure, so identical vectors are answered from a
+       memo.  Packs one byte per instruction, so only for cluster
+       counts that fit. *)
+    let score =
+      if n_clusters > 256 then begin
+        fun a ->
+          incr exact;
+          score a
+      end
+      else begin
+        let tbl = Hashtbl.create 512 in
+        fun a ->
+          let key =
+            Bytes.unsafe_to_string
+              (Bytes.init n (fun i -> Char.unsafe_chr a.(i)))
+          in
+          match Hashtbl.find_opt tbl key with
+          | Some s ->
+            incr memo_hits;
+            s
+          | None ->
+            incr exact;
+            let s = score a in
+            Hashtbl.add tbl key s;
+            s
+      end
     in
-    let continue_ = ref true in
+    let levels = hier.Hier.levels in
+    (* The prefix of the prebuilt chain this cluster count needs: stop
+       at the first level coarse enough, or at the fixpoint. *)
+    let top = ref hier.Hier.base in
     while
-      !continue_
-      && (match !levels with l :: _ -> l.n > n_clusters | [] -> false)
+      levels.(!top).n > n_clusters && !top + 1 < Array.length levels
     do
-      match coarsen_once (List.hd !levels) with
-      | Some (l, _) -> levels := l :: !levels
-      | None -> continue_ := false
+      incr top
     done;
     (* Initial assignment on the coarsest level: fixed nodes to their
        clusters, the rest greedily by score, heaviest (most members)
        first; the seed rotates the starting cluster for tie diversity. *)
-    let coarsest = List.hd !levels in
+    let coarsest = levels.(!top) in
     let macro = Array.make coarsest.n (-1) in
     let instr_assignment = Array.make n 0 in
-    Array.iteri
-      (fun v f -> match f with Some cl -> macro.(v) <- cl | None -> ())
-      coarsest.fixed;
+    for v = 0 to coarsest.n - 1 do
+      if coarsest.fixed.(v) >= 0 then macro.(v) <- coarsest.fixed.(v)
+    done;
     let unassigned =
-      List.filter (fun v -> macro.(v) = -1) (Listx.range 0 coarsest.n)
+      List.init coarsest.n (fun v -> v)
+      |> List.filter (fun v -> macro.(v) = -1)
       |> List.sort (fun a b ->
-             Stdlib.compare
-               (List.length coarsest.members.(b))
-               (List.length coarsest.members.(a)))
+             let c =
+               Stdlib.compare (member_count coarsest b) (member_count coarsest a)
+             in
+             if c <> 0 then c else Stdlib.compare a b)
     in
     (* Fill with a provisional round-robin so the score sees a complete
        assignment, then greedily improve node by node. *)
-    List.iteri
-      (fun k v -> macro.(v) <- (k + seed) mod n_clusters)
-      unassigned;
+    List.iteri (fun k v -> macro.(v) <- (k + seed) mod n_clusters) unassigned;
     project coarsest macro instr_assignment;
     List.iter
       (fun v ->
         let best_cl = ref macro.(v) and best_s = ref infinity in
         for cl = 0 to n_clusters - 1 do
-          List.iter (fun i -> instr_assignment.(i) <- cl) coarsest.members.(v);
+          for j = coarsest.member_off.(v) to coarsest.member_off.(v + 1) - 1 do
+            instr_assignment.(coarsest.member_ids.(j)) <- cl
+          done;
           let s = score instr_assignment in
           if s < !best_s then begin
             best_s := s;
@@ -281,28 +632,62 @@ let run ?(obs = Hcv_obs.Trace.null) ~n_clusters ~ddg ?(fixed = [])
           end
         done;
         macro.(v) <- !best_cl;
-        List.iter
-          (fun i -> instr_assignment.(i) <- !best_cl)
-          coarsest.members.(v))
+        for j = coarsest.member_off.(v) to coarsest.member_off.(v + 1) - 1 do
+          instr_assignment.(coarsest.member_ids.(j)) <- !best_cl
+        done)
       unassigned;
     (* Refine down the hierarchy.  Macro assignments at a finer level
-       start from the (already projected) instruction assignment. *)
-    let final_score = ref (score instr_assignment) in
-    let moves = ref 0 in
-    List.iter
-      (fun level ->
-        let macro_assignment =
-          Array.init level.n (fun v ->
-              match level.members.(v) with
-              | i :: _ -> instr_assignment.(i)
-              | [] -> 0)
-        in
-        final_score :=
-          refine ~n_clusters ~score ~moves level macro_assignment
-            instr_assignment)
-      !levels;
+       start from the (already projected) instruction assignment; the
+       entry score is threaded instead of recomputed per level. *)
+    let current = ref (score instr_assignment) in
+    (* Scratch for refinement's transfer-delta gain counters, shared
+       across levels; vcnt tracks the committed assignment, which
+       projection down a level never changes. *)
+    let prune_on = stressed > 0.0 in
+    let k = n_clusters in
+    let vcnt = Array.make (if prune_on then n * k else 1) 0 in
+    if prune_on then
+      for p = 0 to n - 1 do
+        for a = hier.Hier.vsucc_off.(p) to hier.Hier.vsucc_off.(p + 1) - 1 do
+          let c = instr_assignment.(hier.Hier.vsucc.(a)) in
+          vcnt.((p * k) + c) <- vcnt.((p * k) + c) + 1
+        done
+      done;
+    (* Current deduped transfer count, from the same counters. *)
+    let comms = ref 0 in
+    if prune_on then
+      for p = 0 to n - 1 do
+        let row = p * k in
+        let clp = instr_assignment.(p) in
+        for c = 0 to k - 1 do
+          if c <> clp && vcnt.(row + c) > 0 then incr comms
+        done
+      done;
+    let inst2node = Array.make (max n 1) 0 in
+    let pbuf = Array.make ((2 * n) + 1) 0 in
+    let cbuf = Array.make ((2 * n) + 1) 0 in
+    let pstamp = Array.make (max n 1) (-1) in
+    for l = !top downto 0 do
+      let level = levels.(l) in
+      let macro =
+        Array.init level.n (fun v ->
+            instr_assignment.(level.member_ids.(level.member_off.(v))))
+      in
+      refine ~n_clusters ~score ~stressed ~pruned ~moves ~current ~comms
+        ~hier ~vcnt ~inst2node ~pbuf ~cbuf ~pstamp level macro
+        instr_assignment
+    done;
     Hcv_obs.Trace.incr obs "partition.runs";
-    Hcv_obs.Trace.add obs "partition.levels" (List.length !levels);
+    Hcv_obs.Trace.add obs "partition.levels" (!top + 1);
     Hcv_obs.Trace.add obs "partition.refine_moves" !moves;
-    { assignment = instr_assignment; score = !final_score }
+    Hcv_obs.Trace.add obs "partition.exact_evals" !exact;
+    Hcv_obs.Trace.add obs "partition.proxy_pruned" !pruned;
+    Hcv_obs.Trace.add obs "partition.score_memo_hits" !memo_hits;
+    { assignment = instr_assignment; score = !current }
   end
+
+let run ?obs ~n_clusters ~ddg ?(fixed = []) ?(groups = []) ?seed ?stressed
+    ~score () =
+  if n_clusters < 1 then invalid_arg "Partition.run: n_clusters < 1";
+  let hier = Hier.build ~ddg ~fixed ~groups () in
+  run_hier ?obs ~n_clusters ~hier ?seed ?stressed ~score ()

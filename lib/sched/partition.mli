@@ -8,6 +8,22 @@
     homogeneous baseline scores pseudo-schedules with {!Pseudo.score};
     the heterogeneous scheduler scores predicted ED²).
 
+    Refinement is incremental-gain guided (Fiduccia–Mattheyses style):
+    per-producer per-cluster value-edge counters give the *exact*
+    cross-cluster transfer delta of any candidate move in O(deg) and
+    are updated in O(deg) after a committed move.  {!Pseudo.score}
+    prices a clean pseudo-schedule as [transfers * 100 + it_length]; the
+    counters also track the current transfer total, so the residual
+    [it_length = current - 100 * comms] is known exactly and any
+    candidate whose transfer delta alone costs at least that residual
+    provably cannot improve — it is pruned without a full estimate.
+    The injected exact [score] is still
+    consulted for every surviving move and decides acceptance, so a
+    move is committed only when the exact score improves.  Stressed
+    scores (structural penalties at or above [stressed]) fall back to
+    scoring the full neighbourhood, exactly like the pre-gain-counter
+    implementation.
+
     Nodes may be pre-assigned ([fixed]): they are kept in their cluster
     through coarsening (only compatible macronodes merge) and never
     moved during refinement — this implements the paper's pre-placement
@@ -17,26 +33,73 @@ open Hcv_ir
 
 type result = { assignment : int array; score : float }
 
+(** Coarsening hierarchies, reusable across scoring contexts.
+
+    Coarsening depends only on the DDG topology, the pre-placement
+    constraints and the recurrence groups — never on the machine,
+    clocking or score — so one hierarchy can serve every partitioner
+    invocation of a scheduling call (every IT attempt and every
+    restart). Levels are stored as flat CSR arrays (members, adjacency)
+    so refinement walks them without hashing or per-node allocation. *)
+module Hier : sig
+  type t
+
+  val build :
+    ddg:Ddg.t -> ?fixed:(Instr.id * int) list -> ?groups:Instr.id list list
+    -> unit -> t
+  (** Coarsen [ddg] by heavy-edge matching down to a fixpoint (no pair
+      of compatible macronodes left to merge).  [groups] lists sets of
+      instructions that must stay together through coarsening (the
+      paper keeps recurrences whole, §4.1.1): each group becomes a
+      single macronode one level above the instruction level, so groups
+      can only be split by instruction-level refinement moves.  Groups
+      must be disjoint; instructions of one group must not carry
+      conflicting [fixed] clusters.
+      @raise Invalid_argument if an id is out of range or groups
+      overlap/conflict.  (Fixed *cluster* ids are validated by
+      {!run_hier}, which knows the cluster count.) *)
+
+  val n_levels : t -> int
+  (** Hierarchy depth, finest level included. *)
+end
+
+val run_hier :
+  ?obs:Hcv_obs.Trace.span -> n_clusters:int -> hier:Hier.t -> ?seed:int
+  -> ?stressed:float -> score:(int array -> float) -> unit -> result
+(** Partition over a prebuilt hierarchy: initial assignment on the
+    coarsest level with more than [n_clusters] macronodes (or the
+    fixpoint level), then proxy-guided exact-gated refinement projected
+    down to the instruction level.  [score] maps a full
+    per-instruction assignment to a cost (lower is better); [seed]
+    (default 0) perturbs the initial assignment deterministically, so
+    restarts with different seeds explore different basins over the
+    *same* hierarchy.
+
+    [stressed] (default [1e7], {!Pseudo.score}'s first structural
+    penalty tier) bounds the scores the transfer-delta pruning may
+    trust: pruning engages only while the current score is below it.
+    Pass [0.0] for scores that are not shaped like
+    [transfers * 100 + nonnegative residual] (e.g. predicted ED²) — the
+    full neighbourhood is then scored exactly, at the pre-gain-counter
+    cost.
+
+    [?obs] (default {!Hcv_obs.Trace.null}) counts ["partition.runs"],
+    the refined hierarchy depth ["partition.levels"], the accepted
+    refinement moves ["partition.refine_moves"], the exact-score
+    consultations ["partition.exact_evals"] and the candidate moves the
+    cut/load proxy pruned away ["partition.proxy_pruned"].
+    @raise Invalid_argument if [n_clusters < 1] or a fixed cluster is
+    out of range. *)
+
 val run :
   ?obs:Hcv_obs.Trace.span -> n_clusters:int -> ddg:Ddg.t
   -> ?fixed:(Instr.id * int) list -> ?groups:Instr.id list list -> ?seed:int
-  -> score:(int array -> float) -> unit -> result
-(** [score] maps a full per-instruction assignment to a cost (lower is
-    better); it is called many times and should be cheap.  [seed]
-    (default 0) perturbs tie-breaking deterministically.
-
-    [?obs] (default {!Hcv_obs.Trace.null}) counts ["partition.runs"],
-    the coarsening hierarchy depth ["partition.levels"] and the accepted
-    refinement moves ["partition.refine_moves"].
-
-    [groups] lists sets of instructions that must stay together through
-    coarsening (the paper keeps recurrences whole, §4.1.1): each group
-    becomes a single macronode one level above the instruction level, so
-    groups can only be split by instruction-level refinement moves.
-    Groups must be disjoint; instructions of one group must not carry
-    conflicting [fixed] clusters.
-    @raise Invalid_argument if [n_clusters < 1], an id is out of range,
-    a fixed cluster is out of range, or groups overlap/conflict. *)
+  -> ?stressed:float -> score:(int array -> float) -> unit -> result
+(** [Hier.build] followed by {!run_hier} — for one-shot callers.
+    Callers that repartition the same (ddg, fixed, groups) under
+    several scores should build the hierarchy once and call
+    {!run_hier}.
+    @raise Invalid_argument as {!Hier.build} and {!run_hier}. *)
 
 val initial_even : n_clusters:int -> Ddg.t -> int array
 (** A trivial deterministic assignment (round-robin over a topological

@@ -7,6 +7,8 @@ type t = {
   overflow : int;
   back_violations : int;
   regs_ok : bool;
+  n_comms : int;
+  it_length : Q.t;
 }
 
 let feasible t = t.overflow = 0 && t.back_violations = 0 && t.regs_ok
@@ -265,16 +267,72 @@ let estimate ?memo ?(obs = Hcv_obs.Trace.null) ~machine ~clocking ~loop
   let schedule =
     Schedule.make ~loop ~machine ~clocking ~placements ~transfers:transfer_list
   in
+  (* Score ingredients, from the arrays the placement pass already
+     filled: [defs.(i)] is exactly [Schedule.def_time] (the memo's
+     def_offset is the same product) and [tr_arrival] caches every
+     transfer's arrival, so the iteration length and the per-cluster
+     lifetime sums need no re-derivation from the placements — the
+     estimator is scored once per call on the partitioner's hot path. *)
+  let n_comms = List.length !tr_keys in
+  let it_length =
+    let len = ref Q.zero in
+    Array.iter (fun d -> len := Q.max !len d) defs;
+    List.iter
+      (fun (src, dst_cluster) ->
+        len := Q.max !len tr_arrival.((src * n_clusters) + dst_cluster))
+      !tr_keys;
+    !len
+  in
   let regs_ok =
-    let spans = Schedule.lifetimes_ns schedule in
-    Array.for_all2
-      (fun span (cl : Cluster.t) ->
-        Q.( <= ) span (Q.mul_int it cl.Cluster.registers))
-      spans machine.Machine.clusters
+    let spans = Array.make n_clusters Q.zero in
+    (* Latest bus send per producer: max cycle <=> max send time. *)
+    let tr_last = Array.make (max n 1) min_int in
+    List.iter
+      (fun (src, dst_cluster) ->
+        let b = tr_slot.((src * n_clusters) + dst_cluster) in
+        if b > tr_last.(src) then tr_last.(src) <- b)
+      !tr_keys;
+    for i = 0 to n - 1 do
+      let c = assignment.(i) in
+      let birth = defs.(i) in
+      let death =
+        ref
+          (Ddg.fold_succs ddg i
+             (fun death (e : Edge.t) ->
+               if Edge.carries_value e && assignment.(e.dst) = c then
+                 Q.max death (Q.add starts.(e.dst) it_d.(e.distance))
+               else death)
+             birth)
+      in
+      if tr_last.(i) > min_int then
+        death := Q.max !death (Q.mul_int icn_ct tr_last.(i));
+      spans.(c) <- Q.add spans.(c) (Q.sub !death birth)
+    done;
+    (* Destination-side spans: bus arrival to last read there. *)
+    List.iter
+      (fun (src, dst_cluster) ->
+        let birth = tr_arrival.((src * n_clusters) + dst_cluster) in
+        let death =
+          Ddg.fold_succs ddg src
+            (fun death (e : Edge.t) ->
+              if Edge.carries_value e && assignment.(e.dst) = dst_cluster then
+                Q.max death (Q.add starts.(e.dst) it_d.(e.distance))
+              else death)
+            birth
+        in
+        spans.(dst_cluster) <- Q.add spans.(dst_cluster) (Q.sub death birth))
+      !tr_keys;
+    let ok = ref true in
+    Array.iteri
+      (fun ci (cl : Cluster.t) ->
+        if not (Q.( <= ) spans.(ci) (Q.mul_int it cl.Cluster.registers)) then
+          ok := false)
+      machine.Machine.clusters;
+    !ok
   in
   let t =
     { schedule; overflow = !overflow; back_violations = !back_violations;
-      regs_ok }
+      regs_ok; n_comms; it_length }
   in
   Hcv_obs.Trace.incr obs "pseudo.evals";
   if not (feasible t) then Hcv_obs.Trace.incr obs "pseudo.infeasible";
@@ -284,5 +342,5 @@ let score t =
   (float_of_int t.overflow *. 1e12)
   +. (float_of_int t.back_violations *. 1e9)
   +. (if t.regs_ok then 0.0 else 1e7)
-  +. (float_of_int (Schedule.n_comms t.schedule) *. 100.0)
-  +. Q.to_float (Schedule.it_length t.schedule)
+  +. (float_of_int t.n_comms *. 100.0)
+  +. Q.to_float t.it_length

@@ -7,6 +7,7 @@
     It never fails: instructions that do not fit are placed anyway
     (overbooking the reservation tables) and counted in [overflow]. *)
 
+open Hcv_support
 open Hcv_ir
 open Hcv_machine
 
@@ -17,6 +18,11 @@ type t = {
   back_violations : int;
       (** loop-carried dependences the greedy placement breaks *)
   regs_ok : bool;
+  n_comms : int;  (** equals [Schedule.n_comms schedule], precomputed *)
+  it_length : Q.t;
+      (** equals [Schedule.it_length schedule], precomputed — {!score}
+          reads these instead of re-deriving every def time from the
+          placements *)
 }
 
 val feasible : t -> bool

@@ -1,0 +1,315 @@
+(* The pre-incremental-gain partitioner, kept verbatim as a quality
+   reference: the corpus test in test_partition checks that the
+   rewritten Partition never ends at a worse exact score than this
+   implementation on any generated case.  Do not optimise this file —
+   its O(levels x passes x n x n_clusters) full-estimate behaviour is
+   exactly what it is here to pin. *)
+
+open Hcv_support
+open Hcv_ir
+
+type result = { assignment : int array; score : float }
+
+(* A level of the multilevel hierarchy: [n] macronodes, each with its
+   member instructions, optional fixed cluster, and weighted undirected
+   adjacency (indices within the level). *)
+type level = {
+  n : int;
+  members : int list array;
+  fixed : int option array;
+  adj : (int, int) Hashtbl.t array;  (* neighbour -> weight *)
+}
+
+let edge_weight (e : Edge.t) = if Edge.carries_value e then 2 else 1
+
+let finest_level ~fixed_map ddg =
+  let n = Ddg.n_instrs ddg in
+  let adj = Array.init n (fun _ -> Hashtbl.create 4) in
+  let bump a b w =
+    if a <> b then begin
+      let add x y =
+        Hashtbl.replace adj.(x) y
+          (w + Option.value (Hashtbl.find_opt adj.(x) y) ~default:0)
+      in
+      add a b;
+      add b a
+    end
+  in
+  List.iter (fun (e : Edge.t) -> bump e.src e.dst (edge_weight e)) (Ddg.edges ddg);
+  {
+    n;
+    members = Array.init n (fun i -> [ i ]);
+    fixed = Array.init n (fun i -> fixed_map.(i));
+    adj;
+  }
+
+(* Matching may only merge nodes with identical placement constraints:
+   merging a pre-placed (fixed) node with a free one would freeze the
+   free node's instructions to that cluster for every coarser level and
+   bar refinement from ever moving them. *)
+let compatible a b =
+  match (a, b) with
+  | Some x, Some y -> x = y
+  | None, None -> true
+  | Some _, None | None, Some _ -> false
+
+let merge_fixed a b = match a with Some _ -> a | None -> b
+
+(* One round of heavy-edge matching; returns the coarser level and the
+   mapping old-index -> new-index, or None when nothing merged. *)
+let coarsen_once level =
+  let matched = Array.make level.n (-1) in
+  let order = Listx.range 0 level.n in
+  let merged = ref 0 in
+  List.iter
+    (fun v ->
+      if matched.(v) = -1 then begin
+        (* Heaviest compatible unmatched neighbour. *)
+        let best = ref (-1) and best_w = ref 0 in
+        Hashtbl.iter
+          (fun u w ->
+            if
+              matched.(u) = -1 && u <> v
+              && compatible level.fixed.(v) level.fixed.(u)
+              && (w > !best_w || (w = !best_w && (!best = -1 || u < !best)))
+            then begin
+              best := u;
+              best_w := w
+            end)
+          level.adj.(v);
+        if !best >= 0 then begin
+          matched.(v) <- !best;
+          matched.(!best) <- v;
+          incr merged
+        end
+      end)
+    order;
+  if !merged = 0 then None
+  else begin
+    (* Assign new indices: the lower endpoint of each pair leads. *)
+    let map = Array.make level.n (-1) in
+    let next = ref 0 in
+    List.iter
+      (fun v ->
+        if map.(v) = -1 then begin
+          map.(v) <- !next;
+          let u = matched.(v) in
+          if u >= 0 then map.(u) <- !next;
+          incr next
+        end)
+      order;
+    let n' = !next in
+    let members = Array.make n' [] in
+    let fixed = Array.make n' None in
+    Array.iteri
+      (fun v nv ->
+        members.(nv) <- members.(nv) @ level.members.(v);
+        fixed.(nv) <- merge_fixed fixed.(nv) level.fixed.(v))
+      map;
+    let adj = Array.init n' (fun _ -> Hashtbl.create 4) in
+    Array.iteri
+      (fun v nv ->
+        Hashtbl.iter
+          (fun u w ->
+            let nu = map.(u) in
+            if nu <> nv then
+              Hashtbl.replace adj.(nv) nu
+                (w + Option.value (Hashtbl.find_opt adj.(nv) nu) ~default:0))
+          level.adj.(v))
+      map;
+    Some ({ n = n'; members; fixed; adj }, map)
+  end
+
+let project level macro_assignment instr_assignment =
+  Array.iteri
+    (fun v cl -> List.iter (fun i -> instr_assignment.(i) <- cl) level.members.(v))
+    macro_assignment
+
+(* Greedy refinement of macronode assignments at one level.  Moves are
+   steepest-descent over the injected score; fixed macronodes do not
+   move. *)
+let refine ~n_clusters ~score ?(moves = ref 0) level macro_assignment
+    instr_assignment =
+  let current = ref (score instr_assignment) in
+  let improved = ref true in
+  let passes = ref 0 in
+  while !improved && !passes < 2 do
+    improved := false;
+    incr passes;
+    for v = 0 to level.n - 1 do
+      if level.fixed.(v) = None then begin
+        let home = macro_assignment.(v) in
+        let best_cl = ref home and best_s = ref !current in
+        for cl = 0 to n_clusters - 1 do
+          if cl <> home then begin
+            List.iter (fun i -> instr_assignment.(i) <- cl) level.members.(v);
+            let s = score instr_assignment in
+            if s < !best_s then begin
+              best_s := s;
+              best_cl := cl
+            end
+          end
+        done;
+        List.iter
+          (fun i -> instr_assignment.(i) <- !best_cl)
+          level.members.(v);
+        if !best_cl <> home then begin
+          macro_assignment.(v) <- !best_cl;
+          current := !best_s;
+          improved := true;
+          incr moves
+        end
+      end
+    done
+  done;
+  !current
+
+let initial_even ~n_clusters ddg =
+  let a = Array.make (Ddg.n_instrs ddg) 0 in
+  List.iteri (fun k i -> a.(i) <- k mod n_clusters) (Ddg.topo_order ddg);
+  a
+
+(* Merge the members of each group into one macronode, producing the
+   level just above the instruction level. *)
+(* Invariant: group/fixed validation below guards caller-constructed
+   data (Hsched derives both from the loop's own DDG), not user input —
+   violations are bugs, hence [invalid_arg] rather than a Diag. *)
+let coarsen_groups level groups =
+  let n = level.n in
+  let map = Array.make n (-1) in
+  let next = ref 0 in
+  List.iter
+    (fun group ->
+      match group with
+      | [] -> ()
+      | _ ->
+        let g = !next in
+        incr next;
+        List.iter
+          (fun i ->
+            if i < 0 || i >= n then
+              invalid_arg "Partition.run: group id out of range";
+            if map.(i) <> -1 then invalid_arg "Partition.run: groups overlap";
+            map.(i) <- g)
+          group)
+    groups;
+  for i = 0 to n - 1 do
+    if map.(i) = -1 then begin
+      map.(i) <- !next;
+      incr next
+    end
+  done;
+  let n' = !next in
+  let members = Array.make n' [] in
+  let fixed = Array.make n' None in
+  Array.iteri
+    (fun v nv ->
+      members.(nv) <- members.(nv) @ level.members.(v);
+      (match (fixed.(nv), level.fixed.(v)) with
+      | Some a, Some b when a <> b ->
+        invalid_arg "Partition.run: conflicting fixed clusters in a group"
+      | _, _ -> ());
+      fixed.(nv) <- merge_fixed fixed.(nv) level.fixed.(v))
+    map;
+  let adj = Array.init n' (fun _ -> Hashtbl.create 4) in
+  Array.iteri
+    (fun v nv ->
+      Hashtbl.iter
+        (fun u w ->
+          let nu = map.(u) in
+          if nu <> nv then
+            Hashtbl.replace adj.(nv) nu
+              (w + Option.value (Hashtbl.find_opt adj.(nv) nu) ~default:0))
+        level.adj.(v))
+    map;
+  { n = n'; members; fixed; adj }
+
+let run ?(obs = Hcv_obs.Trace.null) ~n_clusters ~ddg ?(fixed = [])
+    ?(groups = []) ?(seed = 0) ~score () =
+  if n_clusters < 1 then invalid_arg "Partition.run: n_clusters < 1";
+  let n = Ddg.n_instrs ddg in
+  let fixed_map = Array.make n None in
+  List.iter
+    (fun (i, cl) ->
+      if i < 0 || i >= n then invalid_arg "Partition.run: fixed id out of range";
+      if cl < 0 || cl >= n_clusters then
+        invalid_arg "Partition.run: fixed cluster out of range";
+      fixed_map.(i) <- Some cl)
+    fixed;
+  if n = 0 then { assignment = [||]; score = score [||] }
+  else begin
+    (* Coarsen. *)
+    let finest = finest_level ~fixed_map ddg in
+    let levels =
+      ref
+        (if groups = [] then [ finest ]
+         else [ coarsen_groups finest groups; finest ])
+    in
+    let continue_ = ref true in
+    while
+      !continue_
+      && (match !levels with l :: _ -> l.n > n_clusters | [] -> false)
+    do
+      match coarsen_once (List.hd !levels) with
+      | Some (l, _) -> levels := l :: !levels
+      | None -> continue_ := false
+    done;
+    (* Initial assignment on the coarsest level: fixed nodes to their
+       clusters, the rest greedily by score, heaviest (most members)
+       first; the seed rotates the starting cluster for tie diversity. *)
+    let coarsest = List.hd !levels in
+    let macro = Array.make coarsest.n (-1) in
+    let instr_assignment = Array.make n 0 in
+    Array.iteri
+      (fun v f -> match f with Some cl -> macro.(v) <- cl | None -> ())
+      coarsest.fixed;
+    let unassigned =
+      List.filter (fun v -> macro.(v) = -1) (Listx.range 0 coarsest.n)
+      |> List.sort (fun a b ->
+             Stdlib.compare
+               (List.length coarsest.members.(b))
+               (List.length coarsest.members.(a)))
+    in
+    (* Fill with a provisional round-robin so the score sees a complete
+       assignment, then greedily improve node by node. *)
+    List.iteri
+      (fun k v -> macro.(v) <- (k + seed) mod n_clusters)
+      unassigned;
+    project coarsest macro instr_assignment;
+    List.iter
+      (fun v ->
+        let best_cl = ref macro.(v) and best_s = ref infinity in
+        for cl = 0 to n_clusters - 1 do
+          List.iter (fun i -> instr_assignment.(i) <- cl) coarsest.members.(v);
+          let s = score instr_assignment in
+          if s < !best_s then begin
+            best_s := s;
+            best_cl := cl
+          end
+        done;
+        macro.(v) <- !best_cl;
+        List.iter
+          (fun i -> instr_assignment.(i) <- !best_cl)
+          coarsest.members.(v))
+      unassigned;
+    (* Refine down the hierarchy.  Macro assignments at a finer level
+       start from the (already projected) instruction assignment. *)
+    let final_score = ref (score instr_assignment) in
+    let moves = ref 0 in
+    List.iter
+      (fun level ->
+        let macro_assignment =
+          Array.init level.n (fun v ->
+              match level.members.(v) with
+              | i :: _ -> instr_assignment.(i)
+              | [] -> 0)
+        in
+        final_score :=
+          refine ~n_clusters ~score ~moves level macro_assignment
+            instr_assignment)
+      !levels;
+    Hcv_obs.Trace.incr obs "partition.runs";
+    Hcv_obs.Trace.add obs "partition.levels" (List.length !levels);
+    Hcv_obs.Trace.add obs "partition.refine_moves" !moves;
+    { assignment = instr_assignment; score = !final_score }
+  end
