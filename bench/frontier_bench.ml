@@ -1,0 +1,127 @@
+(* Frontier-mode benchmark: sweep cost vs frontier size.
+
+   Each benchmark runs one frontier-spec'd sweep cell serially (cold,
+   no cache) to record its wall time against the number of frontier
+   members it yields, then the whole cell list goes through the engine
+   three times:
+     cold   jobs=2, fresh cache dir
+     warm   jobs=2, same cache dir
+     check  jobs=1, another fresh dir
+   The encoded outcomes of all three must be byte-identical — the
+   frontier determinism contract (members depend only on the cell,
+   never on the worker count or cache state) — and the bench exits
+   non-zero if they are not. *)
+
+open Hcv_core
+open Hcv_workload
+module E = Hcv_explore
+module J = E.Jsonx
+
+let seed = 42
+
+let loops_of (c : Sweep.cell) =
+  Specfp.loops ?n_loops:c.Sweep.n_loops ~seed:c.Sweep.seed
+    (Option.get (Specfp.find c.Sweep.bench))
+
+let engine_pass ~jobs ~cache_dir cells =
+  let cache = E.Cache.open_dir cache_dir in
+  let engine = E.Engine.create ~jobs ~cache () in
+  Fun.protect
+    ~finally:(fun () -> E.Engine.shutdown engine)
+    (fun () ->
+      let t0 = Unix.gettimeofday () in
+      let outcomes = Sweep.run engine ~label:"frontier-bench" ~loops_of cells in
+      let wall_ns = (Unix.gettimeofday () -. t0) *. 1e9 in
+      (wall_ns, List.map Sweep.outcome_to_string outcomes))
+
+let pass_json ~jobs wall_ns =
+  J.Obj [ ("jobs", J.Num (float_of_int jobs)); ("wall_ns", J.Num wall_ns) ]
+
+let rec rm_tree path =
+  match Sys.is_directory path with
+  | true ->
+    Array.iter (fun f -> rm_tree (Filename.concat path f)) (Sys.readdir path);
+    (try Sys.rmdir path with Sys_error _ -> ())
+  | false -> ( try Sys.remove path with Sys_error _ -> ())
+  | exception Sys_error _ -> ()
+
+let run ~quick ~out () =
+  let n_loops = if quick then 6 else 10 in
+  let benches =
+    if quick then [ "applu"; "apsi"; "sixtrack" ]
+    else List.map (fun s -> s.Specfp.name) Specfp.all
+  in
+  Printf.printf "Frontier bench: %d benchmarks, sweep cost vs frontier size\n%!"
+    (List.length benches);
+  let cells =
+    List.map
+      (fun b -> Sweep.cell ~n_loops ~seed ~frontier:Frontier.default_spec b)
+      benches
+  in
+  (* Serial, uncached: the cost of one frontier sweep per benchmark. *)
+  let rows =
+    List.map
+      (fun c ->
+        let t0 = Unix.gettimeofday () in
+        let o = Sweep.run_cell ~loops_of c in
+        let wall_ns = (Unix.gettimeofday () -. t0) *. 1e9 in
+        (c.Sweep.bench, wall_ns, List.length o.Sweep.frontier))
+      cells
+  in
+  List.iter
+    (fun (bench, wall_ns, size) ->
+      Printf.printf "  %-10s %3d member(s)   %10.0f ns/sweep\n%!" bench size
+        wall_ns)
+    rows;
+  let base =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "hcvliw-frontier-bench-%d" (Unix.getpid ()))
+  in
+  rm_tree base;
+  Fun.protect
+    ~finally:(fun () -> rm_tree base)
+    (fun () ->
+      let dir_main = Filename.concat base "main" in
+      let dir_check = Filename.concat base "check" in
+      let cold_ns, cold = engine_pass ~jobs:2 ~cache_dir:dir_main cells in
+      let warm_ns, warm = engine_pass ~jobs:2 ~cache_dir:dir_main cells in
+      let check_ns, check = engine_pass ~jobs:1 ~cache_dir:dir_check cells in
+      let identical = cold = warm && cold = check in
+      let report =
+        J.Obj
+          [
+            ("schema", J.Str "hcvliw-frontier-bench-v1");
+            ("n_loops", J.Num (float_of_int n_loops));
+            ("seed", J.Num (float_of_int seed));
+            ( "benches",
+              J.List
+                (List.map
+                   (fun (bench, wall_ns, size) ->
+                     J.Obj
+                       [
+                         ("bench", J.Str bench);
+                         ("sweep_ns", J.Num wall_ns);
+                         ("frontier_size", J.Num (float_of_int size));
+                       ])
+                   rows) );
+            ("cold", pass_json ~jobs:2 cold_ns);
+            ("warm", pass_json ~jobs:2 warm_ns);
+            ("check_serial_cold", pass_json ~jobs:1 check_ns);
+            ("identical", J.Bool identical);
+          ]
+      in
+      let oc = open_out out in
+      output_string oc (J.to_string report);
+      output_char oc '\n';
+      close_out oc;
+      Printf.printf "  cold %10.0f ns   warm %10.0f ns (jobs 2)\n%!" cold_ns
+        warm_ns;
+      Printf.printf "  wrote %s\n%!" out;
+      if identical then
+        Printf.printf
+          "  frontiers byte-identical across jobs 1/2 and cold/warm cache\n%!"
+      else begin
+        prerr_endline "frontier bench: outcomes DIVERGED across passes";
+        exit 1
+      end)

@@ -4,8 +4,8 @@
 
    Usage:
      main.exe [table1] [table2] [fig6] [fig7] [fig8] [fig9] [ablation]
-              [micro] [--quick] [--jobs N] [--cache DIR] [--resume]
-              [--telemetry-csv FILE]
+              [micro] [frontier] [--quick] [--jobs N] [--cache DIR]
+              [--resume] [--telemetry-csv FILE]
    With no selector, everything runs.  --quick shrinks the populations
    (figures *and* ablations) and skips the 2-bus variants of the
    sensitivity figures.
@@ -583,11 +583,11 @@ let micro () =
 let usage () =
   prerr_endline
     "usage: main.exe [table1] [table2] [fig6] [fig7] [fig8] [fig9] [ablation]\n\
-    \                [micro] [perf] [partition-micro] [serve] [--quick] [--jobs N]\n\
-    \                [--cache DIR]\n\
+    \                [micro] [perf] [partition-micro] [serve] [frontier]\n\
+    \                [--quick] [--jobs N] [--cache DIR]\n\
     \                [--resume] [--telemetry-csv FILE] [--perf-out FILE]\n\
     \                [--perf-baseline FILE] [--perf-reps N] [--perf-gate R]\n\
-    \                [--serve-out FILE]";
+    \                [--serve-out FILE] [--frontier-out FILE]";
   exit 2
 
 let () =
@@ -600,6 +600,7 @@ let () =
   let perf_reps = ref None in
   let perf_gate = ref None in
   let serve_out = ref "BENCH_serve.json" in
+  let frontier_out = ref "BENCH_frontier.json" in
   let int_arg name v =
     match int_of_string_opt v with
     | Some n when n >= 1 -> n
@@ -644,8 +645,12 @@ let () =
     | "--serve-out" :: file :: rest ->
       serve_out := file;
       parse selected rest
+    | "--frontier-out" :: file :: rest ->
+      frontier_out := file;
+      parse selected rest
     | ( "--jobs" | "--cache" | "--telemetry-csv" | "--perf-out"
-      | "--perf-baseline" | "--perf-reps" | "--perf-gate" | "--serve-out" )
+      | "--perf-baseline" | "--perf-reps" | "--perf-gate" | "--serve-out"
+      | "--frontier-out" )
       :: [] ->
       usage ()
     | arg :: _ when String.length arg > 1 && arg.[0] = '-' ->
@@ -691,6 +696,8 @@ let () =
          skips them. *)
       if List.mem "serve" selected then
         Serve_bench.run ~quick:!quick ~out:!serve_out ();
+      if List.mem "frontier" selected then
+        Frontier_bench.run ~quick:!quick ~out:!frontier_out ();
       let reps =
         match !perf_reps with
         | Some n -> n

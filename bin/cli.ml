@@ -555,6 +555,189 @@ let fig7_cmd =
           per-stage span tracing (--trace) and counters (--metrics).")
     Term.(const run $ quick $ jobs $ cache $ trace_arg $ metrics_arg)
 
+(* ----- frontier: multi-objective Pareto selection ------------------- *)
+
+(* Same engine-backed sweep as explore, but each cell also runs the
+   optional frontier stage: the §3.3 selection sweep folded into a
+   Pareto frontier over {time, energy, ED2, EDP, power}.  Stdout is the
+   fig7-style regime report; --csv dumps the member vectors.  Both are
+   byte-identical for any --jobs value and cache state. *)
+let frontier_cmd =
+  let bench_arg =
+    Arg.(
+      value & pos_all string [ "all" ]
+      & info [] ~docv:"BENCHMARK"
+          ~doc:"Benchmarks to sweep (default: the whole population).")
+  in
+  let quick =
+    Arg.(
+      value & flag
+      & info [ "quick" ]
+          ~doc:"Small variant: 1 bus, 6 loops per benchmark (the \
+                golden-pinned configuration).")
+  in
+  let objectives =
+    Arg.(
+      value & opt (some string) None
+      & info [ "objectives" ] ~docv:"LIST"
+          ~doc:"Comma-separated objective set (subset of \
+                time,energy,ed2,edp,power; default: all five).")
+  in
+  let caps =
+    Arg.(
+      value & opt_all string []
+      & info [ "cap" ] ~docv:"OBJ<=BOUND"
+          ~doc:"Feasibility constraint, e.g. --cap 'energy<=2.5e4' for \
+                the fastest point under an energy cap or --cap \
+                'time<=1.2e5' for the lowest energy under a deadline.  \
+                Repeatable.")
+  in
+  let buses =
+    Arg.(value & opt int 1 & info [ "buses" ] ~doc:"Number of register buses.")
+  in
+  let n_loops =
+    Arg.(
+      value & opt (some int) None
+      & info [ "loops" ] ~doc:"Loops per benchmark (default: per-spec).")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Workload seed.") in
+  let steps =
+    Arg.(
+      value & opt (some int) None
+      & info [ "steps" ]
+          ~doc:"Frequency-grid steps (default: unrestricted frequencies).")
+  in
+  let jobs =
+    Arg.(
+      value & opt int 1
+      & info [ "jobs"; "j" ] ~docv:"N"
+          ~doc:"Worker domains for the sweep (1 = serial; the output is \
+                identical for any value).")
+  in
+  let cache =
+    Arg.(
+      value & opt (some string) None
+      & info [ "cache" ] ~docv:"DIR"
+          ~doc:"Persist completed cells to $(docv) and reuse them on later \
+                runs (frontier cells share the directory with explore/fig7 \
+                cells without colliding).")
+  in
+  let csv =
+    Arg.(
+      value & opt (some string) None
+      & info [ "csv" ] ~docv:"FILE"
+          ~doc:"Write the frontier members as CSV to $(docv) ('-' for \
+                stdout, before the report).")
+  in
+  let parse_spec objectives caps =
+    let objectives =
+      match objectives with
+      | None -> Hcv_core.Frontier.all_objectives
+      | Some s ->
+        List.map
+          (fun name ->
+            let name = String.trim name in
+            match Hcv_core.Frontier.objective_of_string name with
+            | Some o -> o
+            | None ->
+              or_die
+                (Error
+                   (Printf.sprintf
+                      "unknown objective %S (one of time,energy,ed2,edp,power)"
+                      name)))
+          (String.split_on_char ',' s)
+    in
+    if objectives = [] then or_die (Error "--objectives is empty");
+    let caps =
+      List.map
+        (fun s ->
+          match Hcv_core.Frontier.cap_of_string s with
+          | Ok c -> c
+          | Error msg -> or_die (Error msg))
+        caps
+    in
+    Hcv_core.Frontier.spec ~objectives ~caps ()
+  in
+  let run benches quick objectives caps buses n_loops seed steps jobs cache
+      csv trace metrics =
+    setup_logs ();
+    let spec = parse_spec objectives caps in
+    let buses = if quick then 1 else buses in
+    let n_loops = if quick then Some 6 else n_loops in
+    let names =
+      if List.mem "all" benches then
+        List.map (fun s -> s.Specfp.name) Specfp.all
+      else benches
+    in
+    List.iter
+      (fun n ->
+        if Specfp.find n = None then
+          or_die (Error (Printf.sprintf "unknown benchmark %S" n)))
+      names;
+    let cells =
+      List.map
+        (fun name ->
+          Sweep.cell ~buses ?n_loops ~seed ?grid_steps:steps ~frontier:spec
+            name)
+        names
+    in
+    with_engine ?cache_dir:cache ~jobs (fun ~cache:_ engine ->
+        let loops_of (c : Sweep.cell) =
+          Specfp.loops ?n_loops:c.Sweep.n_loops ~seed:c.Sweep.seed
+            (Option.get (Specfp.find c.Sweep.bench))
+        in
+        let outcomes =
+          with_obs ~trace ~metrics "frontier" (fun obs ->
+              Sweep.run engine ~label:"frontier" ~obs ~loops_of cells)
+        in
+        let fronts =
+          List.filter_map
+            (fun ((c : Sweep.cell), (o : Sweep.outcome)) ->
+              match o.Sweep.error with
+              | Some msg ->
+                Printf.printf "  !! %s failed: %s\n%!" o.Sweep.bench msg;
+                None
+              | None ->
+                let machine = Sweep.machine_of_cell c in
+                let choices =
+                  List.filter_map
+                    (Sweep.choice_of_string ~machine)
+                    o.Sweep.frontier
+                in
+                Some
+                  (o.Sweep.bench, Frontier_report.rebuild ~spec choices))
+            (List.combine cells outcomes)
+        in
+        (match csv with
+        | None -> ()
+        | Some path ->
+          let lines =
+            Frontier_report.csv_header
+            :: List.concat_map
+                 (fun (bench, f) -> Frontier_report.csv_rows ~bench f)
+                 fronts
+          in
+          let body = String.concat "\n" lines ^ "\n" in
+          if path = "-" then print_string body
+          else begin
+            let oc = open_out path in
+            Fun.protect
+              ~finally:(fun () -> close_out oc)
+              (fun () -> output_string oc body)
+          end);
+        Format.printf "%a@?" Frontier_report.pp_report fronts)
+  in
+  Cmd.v
+    (Cmd.info "frontier"
+       ~doc:
+         "Compute the Pareto frontier of the configuration-selection \
+          sweep per benchmark (objectives over time/energy/ED2/EDP/power \
+          with optional caps) and report the objective regimes; the ED2 \
+          corner is exactly the paper's scalarised selection.")
+    Term.(
+      const run $ bench_arg $ quick $ objectives $ caps $ buses $ n_loops
+      $ seed $ steps $ jobs $ cache $ csv $ trace_arg $ metrics_arg)
+
 (* ----- chaos: fault-injection drill for the exploration stack ------- *)
 
 (* Three sweeps over the same cells: a fault-free baseline, a run under
@@ -1198,5 +1381,5 @@ let main () =
     (Cmd.eval
        (Cmd.group info
           [ bench_cmd; table2_cmd; schedule_cmd; simulate_cmd; report_cmd; dot_cmd;
-            gen_cmd; explore_cmd; fig7_cmd; chaos_cmd; serve_cmd; loadgen_cmd;
-            fuzz_cmd; debug_cmd ]))
+            gen_cmd; explore_cmd; fig7_cmd; frontier_cmd; chaos_cmd; serve_cmd;
+            loadgen_cmd; fuzz_cmd; debug_cmd ]))

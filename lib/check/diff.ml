@@ -25,6 +25,7 @@ type category =
   | Sim_time_mismatch
   | Energy_mismatch
   | Estimate_out_of_band
+  | Frontier_mismatch
 
 let category_to_string = function
   | Crash -> "crash"
@@ -35,6 +36,7 @@ let category_to_string = function
   | Sim_time_mismatch -> "sim-time-mismatch"
   | Energy_mismatch -> "energy-mismatch"
   | Estimate_out_of_band -> "estimate-out-of-band"
+  | Frontier_mismatch -> "frontier-mismatch"
 
 let all_categories =
   [
@@ -46,12 +48,14 @@ let all_categories =
     Sim_time_mismatch;
     Energy_mismatch;
     Estimate_out_of_band;
+    Frontier_mismatch;
   ]
 
 type outcome = {
   scheduled : bool;
   energy_checked : bool;
   estimate_checked : bool;
+  frontier_checked : bool;
   problems : (category * string) list;
 }
 
@@ -185,7 +189,87 @@ let check_scheduled ~tol (c : Gen.case) (sched : Schedule.t) =
                  est.Hcv_core.Estimate.exec_ns actual ratio tol.est_ratio_lo
                  tol.est_ratio_hi)
         end);
-  (!energy_checked, !estimate_checked, List.rev !problems)
+  (* 8. The Pareto frontier of the §3.3 selection sweep against the
+     legacy scalarised selector, over the case's single-loop profile:
+     sound (no member dominates another), complete (every realisable
+     swept point dominated by or tying a member), and its ED² corner
+     byte-identical to the selector's choice. *)
+  let frontier_checked = ref false in
+  catching "frontier" (fun () ->
+      let module S = Hcv_core.Select in
+      let module F = Hcv_core.Frontier in
+      match
+        Hcv_core.Profile.profile ~machine:c.Gen.machine ~loops:[ c.Gen.loop ]
+          ()
+      with
+      | Error _ -> () (* reference profile unobtainable: skip *)
+      | Ok profile -> (
+        let ctx = ctx_for c.Gen.machine in
+        let legacy =
+          S.select_heterogeneous ~ctx ~machine:c.Gen.machine profile
+        in
+        let front =
+          S.frontier_heterogeneous ~ctx ~machine:c.Gen.machine profile
+        in
+        match (legacy, front) with
+        | Error _, Error _ -> () (* both agree nothing is realisable *)
+        | Ok _, Error d ->
+          problem Frontier_mismatch
+            ("selector found a choice but the frontier errored: "
+            ^ Hcv_obs.Diag.code d)
+        | Error d, Ok _ ->
+          problem Frontier_mismatch
+            ("frontier is non-empty but the selector errored: "
+            ^ Hcv_obs.Diag.code d)
+        | Ok best, Ok f -> (
+          frontier_checked := true;
+          let members = F.members f in
+          let objectives = (F.spec_of f).F.objectives in
+          List.iter
+            (fun (a : _ F.entry) ->
+              List.iter
+                (fun (b : _ F.entry) ->
+                  if
+                    a.F.index <> b.F.index
+                    && F.dominates ~objectives a.F.fvec b.F.fvec
+                  then
+                    problem Frontier_mismatch
+                      (Printf.sprintf "member %d dominates member %d"
+                         a.F.index b.F.index))
+                members)
+            members;
+          let scored =
+            S.sweep_heterogeneous ~ctx ~machine:c.Gen.machine
+              ~slow_factors:Presets.slow_factors profile
+          in
+          List.iteri
+            (fun i -> function
+              | None -> ()
+              | Some ch ->
+                let v = S.vec_of_choice ch in
+                let covered =
+                  List.exists
+                    (fun (m : _ F.entry) ->
+                      m.F.fvec = v || F.dominates ~objectives m.F.fvec v)
+                    members
+                in
+                if not covered then
+                  problem Frontier_mismatch
+                    (Printf.sprintf
+                       "scored point %d is neither dominated by nor on the \
+                        frontier"
+                       i))
+            scored;
+          match F.min_by f F.Ed2 with
+          | None -> problem Frontier_mismatch "frontier has no ED2 corner"
+          | Some corner ->
+            let cb = Hcv_core.Sweep.choice_to_string corner.F.item in
+            let sb = Hcv_core.Sweep.choice_to_string best in
+            if not (String.equal cb sb) then
+              problem Frontier_mismatch
+                ("ED2 corner differs from select_heterogeneous: " ^ cb
+               ^ " vs " ^ sb))));
+  (!energy_checked, !estimate_checked, !frontier_checked, List.rev !problems)
 
 let check_case ?(tol = default_tolerances) (c : Gen.case) =
   match
@@ -193,16 +277,18 @@ let check_case ?(tol = default_tolerances) (c : Gen.case) =
     Hcv_core.Hsched.schedule ~ctx ~config:c.Gen.config ~loop:c.Gen.loop ()
   with
   | Ok (sched, _stats) ->
-    let energy_checked, estimate_checked, problems =
+    let energy_checked, estimate_checked, frontier_checked, problems =
       check_scheduled ~tol c sched
     in
-    { scheduled = true; energy_checked; estimate_checked; problems }
+    { scheduled = true; energy_checked; estimate_checked; frontier_checked;
+      problems }
   | Error _ ->
     (* Clean rejection: random machines may be unschedulable. *)
     {
       scheduled = false;
       energy_checked = false;
       estimate_checked = false;
+      frontier_checked = false;
       problems = [];
     }
   | exception e ->
@@ -210,6 +296,7 @@ let check_case ?(tol = default_tolerances) (c : Gen.case) =
       scheduled = false;
       energy_checked = false;
       estimate_checked = false;
+      frontier_checked = false;
       problems = [ (Crash, "Hsched.schedule: " ^ Printexc.to_string e) ];
     }
 
@@ -226,6 +313,7 @@ type report = {
   unschedulable : int;
   energy_checked : int;
   estimate_checked : int;
+  frontier_checked : int;
   failures : failure list;
 }
 
@@ -289,6 +377,8 @@ let run ?pool ?(obs = Hcv_obs.Trace.null) ?(tol = default_tolerances)
           (acc.energy_checked + if o.energy_checked then 1 else 0);
         estimate_checked =
           (acc.estimate_checked + if o.estimate_checked then 1 else 0);
+        frontier_checked =
+          (acc.frontier_checked + if o.frontier_checked then 1 else 0);
         failures = acc.failures @ fs;
       })
     {
@@ -297,6 +387,7 @@ let run ?pool ?(obs = Hcv_obs.Trace.null) ?(tol = default_tolerances)
       unschedulable = 0;
       energy_checked = 0;
       estimate_checked = 0;
+      frontier_checked = 0;
       failures = [];
     }
     results
@@ -320,6 +411,7 @@ let pp_report ppf r =
   Tablefmt.add_row t [ "unschedulable"; string_of_int r.unschedulable ];
   Tablefmt.add_row t [ "energy checked"; string_of_int r.energy_checked ];
   Tablefmt.add_row t [ "estimate checked"; string_of_int r.estimate_checked ];
+  Tablefmt.add_row t [ "frontier checked"; string_of_int r.frontier_checked ];
   Tablefmt.add_sep t;
   List.iter
     (fun cat ->

@@ -19,7 +19,15 @@
     - the §3.2 compile-time {!Estimate} of the loop's execution time
       must fall within [tol.est_ratio_lo, tol.est_ratio_hi] of the
       scheduled time (skipped when the reference profile itself cannot
-      be built).
+      be built);
+    - the Pareto frontier of the §3.3 selection sweep
+      ({!Hcv_core.Select.frontier_heterogeneous}) must be sound (no
+      member dominates another), complete (every realisable swept point
+      is dominated by or ties a member) and scalarisation-consistent
+      (its ED² corner is byte-identical to [select_heterogeneous]'s
+      choice; both paths must agree on whether a choice exists at
+      all) — skipped with the estimate check when the profile cannot be
+      built.
 
     A case the scheduler *rejects* is not a failure — random machines
     are allowed to be unschedulable — but the rejection must be a clean
@@ -48,6 +56,9 @@ type category =
   | Sim_time_mismatch  (** replay time differs from the IT formula *)
   | Energy_mismatch  (** measured vs analytic energy out of band *)
   | Estimate_out_of_band  (** §3.2 time estimate out of band *)
+  | Frontier_mismatch
+      (** the selection frontier is unsound/incomplete, or its ED²
+          corner differs from [select_heterogeneous] *)
 
 val category_to_string : category -> string
 
@@ -55,6 +66,7 @@ type outcome = {
   scheduled : bool;
   energy_checked : bool;
   estimate_checked : bool;
+  frontier_checked : bool;
   problems : (category * string) list;  (** empty when the case passed *)
 }
 
@@ -75,6 +87,7 @@ type report = {
   unschedulable : int;
   energy_checked : int;
   estimate_checked : int;
+  frontier_checked : int;
   failures : failure list;
 }
 

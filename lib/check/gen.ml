@@ -233,6 +233,24 @@ let population ~seed ~n =
         ~name:(Printf.sprintf "fuzz%d" i)
         l.ddg)
 
+let gen_metrics ~rng ?(n = 32) () =
+  (* Fresh positive draws over several orders of magnitude, with a
+     slice of exact repeats so dominance ties are exercised. *)
+  let rec go i acc =
+    if i >= n then List.rev acc
+    else
+      let pair =
+        match acc with
+        | prev :: _ when Rng.chance rng 0.15 -> prev
+        | _ ->
+          let time_ns = 1.0 +. Rng.float rng 999.0 in
+          let energy = 0.01 +. Rng.float rng 99.99 in
+          (time_ns, energy)
+      in
+      go (i + 1) (pair :: acc)
+  in
+  go 0 []
+
 (* {1 Shrinking} *)
 
 (* Rebuild a loop from an explicit instruction subset and edge list,

@@ -66,6 +66,12 @@ val population : seed:int -> n:int -> Loop.t list
 (** [n] random loops with random trip counts and weights — profile
     input for whole-benchmark differential runs. *)
 
+val gen_metrics : rng:Rng.t -> ?n:int -> unit -> (float * float) list
+(** [n] (default 32) positive [(time_ns, energy)] pairs for the pure
+    frontier-dominance properties — a mix of fresh draws and exact
+    repeats of earlier pairs, so tie handling is exercised too.  Equal
+    streams give equal corpora. *)
+
 (** {1 Shrinking and printing} *)
 
 val shrink : ?max_checks:int -> keep:(case -> bool) -> case -> case

@@ -1,0 +1,102 @@
+(* Frontier renderings.  See frontier_report.mli. *)
+
+open Hcv_machine
+module Floatfmt = Hcv_support.Floatfmt
+module Q = Hcv_support.Q
+
+let rebuild ~spec choices =
+  Frontier.of_list spec
+    (List.map (fun c -> (c, Select.vec_of_choice c)) choices)
+
+(* Earliest member minimising [pick] among members satisfying [ok] —
+   the same strict-< tie-break as Frontier.min_by. *)
+let min_member f ~ok ~pick =
+  List.fold_left
+    (fun best (m : Select.choice Frontier.entry) ->
+      if not (ok m.Frontier.fvec) then best
+      else
+        match best with
+        | None -> Some m
+        | Some (b : Select.choice Frontier.entry) ->
+          if pick m.Frontier.fvec < pick b.Frontier.fvec then Some m else best)
+    None (Frontier.members f)
+
+let cap_slack = 1.10
+
+let regimes f =
+  match Frontier.min_by f Frontier.Ed2 with
+  | None -> []
+  | Some ed2c ->
+    let corner o label =
+      Option.map (fun m -> (label, m)) (Frontier.min_by f o)
+    in
+    let capped label ~cap_on ~minimise =
+      let bound = cap_slack *. Frontier.value ed2c.Frontier.fvec cap_on in
+      (* The ED² corner satisfies its own cap, so the pick exists. *)
+      Option.map
+        (fun m -> (label, m))
+        (min_member f
+           ~ok:(fun v -> Frontier.value v cap_on <= bound)
+           ~pick:(fun v -> Frontier.value v minimise))
+    in
+    List.filter_map Fun.id
+      [
+        Some ("min-ed2", ed2c);
+        corner Frontier.Time "min-time";
+        corner Frontier.Energy "min-energy";
+        corner Frontier.Edp "min-edp";
+        corner Frontier.Power "min-power";
+        capped "fast@e-cap" ~cap_on:Frontier.Energy ~minimise:Frontier.Time;
+        capped "frugal@t-cap" ~cap_on:Frontier.Time ~minimise:Frontier.Energy;
+      ]
+
+let csv_header = "bench,member,fast_ct,slow_ct,time_ns,energy,ed2,edp,power"
+
+let cluster_cts (config : Opconfig.t) =
+  let fast = Opconfig.fastest_cluster_cycle_time config in
+  let n = Machine.n_clusters config.Opconfig.machine in
+  let slow = ref fast in
+  for i = 0 to n - 1 do
+    let ct = Opconfig.cycle_time config (Comp.Cluster i) in
+    if Q.compare ct !slow > 0 then slow := ct
+  done;
+  (fast, !slow)
+
+let csv_rows ~bench f =
+  List.map
+    (fun (m : Select.choice Frontier.entry) ->
+      let v = m.Frontier.fvec in
+      let fast, slow = cluster_cts m.Frontier.item.Select.config in
+      Printf.sprintf "%s,%d,%s,%s,%s,%s,%s,%s,%s" bench m.Frontier.index
+        (Q.to_string fast) (Q.to_string slow)
+        (Floatfmt.compact v.Frontier.time_ns)
+        (Floatfmt.compact v.Frontier.energy)
+        (Floatfmt.compact v.Frontier.ed2)
+        (Floatfmt.compact v.Frontier.edp)
+        (Floatfmt.compact v.Frontier.power))
+    (Frontier.members f)
+
+let pp_report ppf rows =
+  Format.fprintf ppf
+    "@[<v>frontier regimes (caps at %sx the min-ed2 corner)@,@]"
+    (Floatfmt.compact cap_slack);
+  List.iter
+    (fun (bench, f) ->
+      Format.fprintf ppf "@[<v>%s: %d frontier member%s@," bench
+        (Frontier.size f)
+        (if Frontier.size f = 1 then "" else "s");
+      (match Frontier.min_by f Frontier.Ed2 with
+      | None -> ()
+      | Some ed2c ->
+        let tv = ed2c.Frontier.fvec.Frontier.time_ns in
+        let ev = ed2c.Frontier.fvec.Frontier.energy in
+        List.iter
+          (fun (label, (m : Select.choice Frontier.entry)) ->
+            let v = m.Frontier.fvec in
+            Format.fprintf ppf "  %-13s %a  (time x%s, energy x%s)@," label
+              Frontier.pp_vec v
+              (Floatfmt.fixed 3 (v.Frontier.time_ns /. tv))
+              (Floatfmt.fixed 3 (v.Frontier.energy /. ev)))
+          (regimes f));
+      Format.fprintf ppf "@]")
+    rows

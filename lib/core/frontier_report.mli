@@ -1,0 +1,48 @@
+(** Rendering of selection frontiers: the CSV dump and the fig7-style
+    per-benchmark report behind [hcvliw frontier].
+
+    Both renderings are pure functions of the frontier members (floats
+    through {!Hcv_support.Floatfmt}), so their bytes are identical for
+    any worker count and cache state. *)
+
+(** {2 Rebuilding from cached members}
+
+    {!Sweep.outcome} persists a frontier as its serialized member
+    choices in member order.  Members are mutually non-dominated, so
+    re-folding them rebuilds the same frontier with entry indices equal
+    to member positions — the canonical form both renderings consume
+    (a live {!Select.frontier_heterogeneous} result is normalised the
+    same way, which keeps cold and warm runs byte-identical). *)
+
+val rebuild :
+  spec:Frontier.spec -> Select.choice list -> Select.choice Frontier.t
+
+(** {2 Objective regimes}
+
+    The report contrasts one pick per {e regime} on the same frontier:
+    the five single-objective corners ([min-ed2] is exactly the paper's
+    scalarised selector) plus two constrained regimes derived from the
+    ED² corner — [fast@e-cap] (fastest member whose energy is within
+    10% of the ED² corner's) and [frugal@t-cap] (lowest-energy member
+    whose time is within 10% of the ED² corner's).  Constrained picks
+    search frontier members only, which is sound: any feasible swept
+    point is dominated by a member that is also feasible and at least
+    as good on the optimised objective. *)
+
+val regimes :
+  Select.choice Frontier.t -> (string * Select.choice Frontier.entry) list
+(** In fixed regime order; empty only on an empty frontier. *)
+
+(** {2 Renderings} *)
+
+val csv_header : string
+(** [bench,member,fast_ct,slow_ct,time_ns,energy,ed2,edp,power] *)
+
+val csv_rows : bench:string -> Select.choice Frontier.t -> string list
+(** One row per member in member order (no header). *)
+
+val pp_report :
+  Format.formatter -> (string * Select.choice Frontier.t) list -> unit
+(** The fig7-style report: per benchmark, the frontier size and one
+    line per regime with its objective vector and its time/energy
+    ratios against the ED² corner. *)

@@ -19,6 +19,7 @@ type t = {
   ctx : Model.ctx;
   homo : Select.choice;
   hetero : Select.choice;
+  frontier : Select.choice Frontier.t option;
   loop_results : loop_result list;
   fallbacks : int;
   fallback_causes : (string * Diag.t) list;
@@ -88,7 +89,7 @@ let evaluate ?preplace ?score_mode ?budget ?(obs = Trace.null) ~ctx ~machine
 (* The six paper stages as an explicitly composed pass (the flow behind
    Figures 6-9; see the .mli header).  Each stage runs in its own
    ["stage:<name>"] span and failures carry the stage's provenance. *)
-let stages ?pool ?budget ~params ~machine ~name () =
+let stages ?pool ?budget ?frontier ~params ~machine ~name () =
   let open Hcv_pass.Pass in
   let profile_stage =
     v ~name:"profile" (fun obs loops -> Profile.profile ~obs ~machine ~loops ())
@@ -115,11 +116,22 @@ let stages ?pool ?budget ~params ~machine ~name () =
           (fun hetero_pick ->
             Result.map
               (fun uniform_pick ->
-                (profile, ctx, homo, hetero_pick, uniform_pick))
+                (profile, ctx, homo, hetero_pick, uniform_pick, None))
               (Select.select_uniform ?pool ?budget ~obs ~ctx ~machine profile)))
   in
+  (* Composed only when a frontier spec was requested, so the default
+     pipeline's span tree (and its golden-pinned traces) is unchanged. *)
+  let frontier_stage spec =
+    v ~name:"frontier"
+      (fun obs (profile, ctx, homo, hetero_pick, uniform_pick, _) ->
+        Result.map
+          (fun f -> (profile, ctx, homo, hetero_pick, uniform_pick, Some f))
+          (Select.frontier_heterogeneous ?pool ?budget ~obs ~spec ~ctx ~machine
+             profile))
+  in
   let schedule_stage =
-    pure ~name:"schedule" (fun obs (profile, ctx, homo, hetero_pick, uniform_pick) ->
+    pure ~name:"schedule"
+      (fun obs (profile, ctx, homo, hetero_pick, uniform_pick, front) ->
         (* The model picks a heterogeneous candidate; schedule it and
            the best uniform-frequency candidate, and keep whichever
            measures better (the paper's selector likewise falls back to
@@ -141,11 +153,11 @@ let stages ?pool ?budget ~params ~machine ~name () =
         let hetero, measured =
           Hcv_support.Listx.min_by (fun (_, (_, _, _, ed2)) -> ed2) candidates
         in
-        (profile, ctx, homo, hetero, measured))
+        (profile, ctx, homo, hetero, front, measured))
   in
   let evaluate_stage =
     pure ~name:"evaluate"
-      (fun obs (profile, ctx, homo, hetero, measured) ->
+      (fun obs (profile, ctx, homo, hetero, front, measured) ->
         let loop_results, fallback_causes, hetero_activity, ed2_hetero =
           measured
         in
@@ -171,6 +183,7 @@ let stages ?pool ?budget ~params ~machine ~name () =
           ctx;
           homo;
           hetero;
+          frontier = front;
           loop_results;
           fallbacks = List.length fallback_causes;
           fallback_causes;
@@ -184,14 +197,21 @@ let stages ?pool ?budget ~params ~machine ~name () =
           energy_ratio = e_het /. e_homo;
         })
   in
-  profile_stage >>> context_stage >>> homo_stage >>> select_stage
-  >>> schedule_stage >>> evaluate_stage
+  let head = profile_stage >>> context_stage >>> homo_stage >>> select_stage in
+  let head =
+    match frontier with
+    | None -> head
+    | Some spec -> head >>> frontier_stage spec
+  in
+  head >>> schedule_stage >>> evaluate_stage
 
 let stage_names = [ "profile"; "context"; "homo-optimum"; "select"; "schedule"; "evaluate" ]
 
-let run ?pool ?budget ?(params = Params.default) ?(obs = Trace.null) ~machine
-    ~name ~loops () =
-  Hcv_pass.Pass.run ~obs (stages ?pool ?budget ~params ~machine ~name ()) loops
+let run ?pool ?budget ?frontier ?(params = Params.default) ?(obs = Trace.null)
+    ~machine ~name ~loops () =
+  Hcv_pass.Pass.run ~obs
+    (stages ?pool ?budget ?frontier ~params ~machine ~name ())
+    loops
 
 let measure_config ?preplace ?score_mode ?budget ?obs ~ctx ~machine ~profile
     ~config () =

@@ -37,6 +37,10 @@ type t = {
   ctx : Model.ctx;
   homo : Select.choice;
   hetero : Select.choice;
+  frontier : Select.choice Frontier.t option;
+      (** Pareto frontier of the §3.3 selection sweep — present only
+          when [run] was given a [?frontier] spec (the optional
+          [frontier] stage) *)
   loop_results : loop_result list;
   fallbacks : int;
       (** loops that failed heterogeneous scheduling and were accounted
@@ -54,12 +58,14 @@ type t = {
 }
 
 val stage_names : string list
-(** The six stage names, in execution order. *)
+(** The six always-on stage names, in execution order.  When a
+    [?frontier] spec is passed to {!run} an additional ["frontier"]
+    stage runs between [select] and [schedule]. *)
 
 val run :
-  ?pool:Hcv_explore.Pool.t -> ?budget:int -> ?params:Params.t
-  -> ?obs:Hcv_obs.Trace.span -> machine:Machine.t -> name:string
-  -> loops:Loop.t list -> unit -> (t, Hcv_obs.Diag.t) result
+  ?pool:Hcv_explore.Pool.t -> ?budget:int -> ?frontier:Frontier.spec
+  -> ?params:Params.t -> ?obs:Hcv_obs.Trace.span -> machine:Machine.t
+  -> name:string -> loops:Loop.t list -> unit -> (t, Hcv_obs.Diag.t) result
 (** [?pool] parallelises the §3.3 configuration-selection sweeps on the
     given worker pool without changing their result (see {!Select}).
     Don't pass a pool when the [run] call itself executes on a pool
@@ -73,6 +79,12 @@ val run :
     estimate through the normal fallback path, with the
     [budget-exhausted] diagnostic recorded in [fallback_causes] — the
     run still completes.
+
+    [?frontier] (default absent) inserts the optional [frontier] stage:
+    {!Select.frontier_heterogeneous} runs over the same selection sweep
+    under the given spec and the result lands in [t.frontier].  Without
+    it the span tree is exactly the six default stages, so existing
+    golden traces are unaffected.
 
     [?obs] (default {!Hcv_obs.Trace.null}) opens one span per stage,
     one ["candidate:<tag>"] span per scheduled candidate configuration

@@ -196,12 +196,13 @@ let eval_design_point ~ctx ~machine (p : Profile.t) (fast_factor, slow_factor) =
   optimise_voltages ~ctx ~machine ~cluster_cts ~icn_ct:fast_ct
     ~cache_ct:fast_ct act
 
-let select_heterogeneous_gen ?pool ?(obs = Hcv_obs.Trace.null) ?budget ~ctx
-    ~machine ~slow_factors (p : Profile.t) =
-  (* Fast factor outer, slow factor inner — the fold over the scored
-     points must visit them in exactly the serial nesting order so that
-     ties keep resolving to the same candidate whatever the worker
-     count. *)
+(* Score the whole heterogeneous design-point grid, returning the
+   scored points in the serial nesting order (fast factor outer, slow
+   factor inner).  Every consumer folds over this list left to right, so
+   ties keep resolving to the same candidate whatever the worker
+   count. *)
+let sweep_heterogeneous ?pool ?(obs = Hcv_obs.Trace.null) ?budget ~ctx ~machine
+    ~slow_factors (p : Profile.t) =
   let points =
     List.concat_map
       (fun fast -> List.map (fun slow -> (fast, slow)) slow_factors)
@@ -219,17 +220,21 @@ let select_heterogeneous_gen ?pool ?(obs = Hcv_obs.Trace.null) ?budget ~ctx
   in
   Hcv_obs.Trace.add obs "select.points" (List.length points);
   let eval = eval_design_point ~ctx ~machine p in
+  match pool with
+  | None -> List.map eval points
+  | Some pool -> Hcv_explore.Pool.map pool eval points
+
+let select_heterogeneous_gen ?pool ?obs ?budget ~ctx ~machine ~slow_factors
+    (p : Profile.t) =
   let scored =
-    match pool with
-    | None -> List.map eval points
-    | Some pool -> Hcv_explore.Pool.map pool eval points
+    sweep_heterogeneous ?pool ?obs ?budget ~ctx ~machine ~slow_factors p
   in
   match List.fold_left better None scored with
   | Some c -> Ok c
   | None ->
     Error
       (Hcv_obs.Diag.v ~code:"no-heterogeneous-point"
-         ~context:[ ("points", string_of_int (List.length points)) ]
+         ~context:[ ("points", string_of_int (List.length scored)) ]
          "no heterogeneous design point is realisable under the voltage model")
 
 let select_heterogeneous ?pool ?obs ?budget ~ctx ~machine p =
@@ -240,6 +245,50 @@ let select_uniform ?pool ?obs ?budget ~ctx ~machine p =
   select_heterogeneous_gen ?pool ?obs ?budget ~ctx ~machine
     ~slow_factors:[ Q.one ] p
 
+(* [Frontier.vec] recomputes ed2 as [energy *. t *. t] with the exact
+   operation order of [optimise_voltages], so the vector's ed2 is
+   bit-identical to [predicted_ed2]. *)
+let vec_of_choice c =
+  Frontier.vec ~time_ns:c.predicted_time_ns ~energy:c.predicted_energy
+
+let frontier_heterogeneous ?pool ?(obs = Hcv_obs.Trace.null) ?budget
+    ?(spec = Frontier.default_spec) ~ctx ~machine (p : Profile.t) =
+  let scored =
+    sweep_heterogeneous ?pool ~obs ?budget ~ctx ~machine
+      ~slow_factors:Presets.slow_factors p
+  in
+  let realisable = List.filter_map Fun.id scored in
+  if realisable = [] then
+    Error
+      (Hcv_obs.Diag.v ~code:"no-heterogeneous-point"
+         ~context:[ ("points", string_of_int (List.length scored)) ]
+         "no heterogeneous design point is realisable under the voltage model")
+  else
+    (* Realisable points in serial order: the frontier fold (and the
+       entry indices) is a pure function of the profile, whatever the
+       worker count or cache state. *)
+    let f =
+      Frontier.of_list spec (List.map (fun c -> (c, vec_of_choice c)) realisable)
+    in
+    Hcv_obs.Trace.add obs "frontier.considered" (Frontier.considered f);
+    Hcv_obs.Trace.add obs "frontier.infeasible" (Frontier.infeasible f);
+    Hcv_obs.Trace.add obs "frontier.size" (Frontier.size f);
+    if Frontier.size f = 0 then
+      Error
+        (Hcv_obs.Diag.v ~code:"no-feasible-point"
+           ~context:
+             [
+               ("points", string_of_int (Frontier.considered f));
+               ("infeasible", string_of_int (Frontier.infeasible f));
+               ("caps", Frontier.spec_key spec);
+             ]
+           "every realisable design point violates a frontier cap")
+    else Ok f
+
 let pp_choice ppf c =
-  Format.fprintf ppf "@[<v>predicted: ED2=%.6g E=%.4f T=%.1f ns@,%a@]"
-    c.predicted_ed2 c.predicted_energy c.predicted_time_ns Opconfig.pp c.config
+  let open Hcv_support.Floatfmt in
+  Format.fprintf ppf "@[<v>predicted: ED2=%s E=%s T=%s ns@,%a@]"
+    (sig_digits 6 c.predicted_ed2)
+    (fixed 4 c.predicted_energy)
+    (fixed 1 c.predicted_time_ns)
+    Opconfig.pp c.config

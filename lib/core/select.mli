@@ -67,4 +67,37 @@ val select_uniform :
     or resource-constrained programs; {!Pipeline} schedules it alongside
     the heterogeneous pick and keeps whichever measures better. *)
 
+val sweep_heterogeneous :
+  ?pool:Hcv_explore.Pool.t -> ?obs:Hcv_obs.Trace.span -> ?budget:int
+  -> ctx:Model.ctx -> machine:Machine.t -> slow_factors:Hcv_support.Q.t list
+  -> Profile.t -> choice option list
+(** The scored design-point grid behind both selectors, in the serial
+    nesting order (fast factor outer, slow factor inner); [None] marks
+    an unrealisable point.  {!select_heterogeneous} is a [better]-fold
+    and {!frontier_heterogeneous} a dominance-fold over exactly this
+    list ([slow_factors = Presets.slow_factors]; [select_uniform] uses
+    [[Q.one]]).  [?pool]/[?budget]/[?obs] as on
+    {!select_heterogeneous}. *)
+
+val vec_of_choice : choice -> Frontier.vec
+(** The choice's objective vector.  Its ED² component is bit-identical
+    to [predicted_ed2] (same operation order). *)
+
+val frontier_heterogeneous :
+  ?pool:Hcv_explore.Pool.t -> ?obs:Hcv_obs.Trace.span -> ?budget:int
+  -> ?spec:Frontier.spec -> ctx:Model.ctx -> machine:Machine.t -> Profile.t
+  -> (choice Frontier.t, Hcv_obs.Diag.t) result
+(** The Pareto frontier of the same design-point sweep as
+    {!select_heterogeneous} ([?pool]/[?budget]/[?obs] behave
+    identically; the frontier is folded over the scored points in the
+    serial nesting order, so members and their indices are byte-identical
+    for any worker count or cache state).  [?spec] defaults to all five
+    objectives with no caps; under that default the frontier's
+    [Frontier.min_by _ Ed2] corner is {e exactly}
+    {!select_heterogeneous}'s choice (same earliest-minimum tie-break).
+    Errors with [no-heterogeneous-point] when the whole sweep is
+    unrealisable, and with [no-feasible-point] when realisable points
+    exist but every one violates a cap.  Counts ["frontier.considered"],
+    ["frontier.infeasible"] and ["frontier.size"] on [?obs]. *)
+
 val pp_choice : Format.formatter -> choice -> unit

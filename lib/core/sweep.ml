@@ -9,11 +9,12 @@ type cell = {
   seed : int;
   grid_steps : int option;
   params : Params.t;
+  frontier : Frontier.spec option;
 }
 
 let cell ?(buses = 1) ?n_loops ?(seed = 42) ?grid_steps
-    ?(params = Params.default) bench =
-  { bench; buses; n_loops; seed; grid_steps; params }
+    ?(params = Params.default) ?frontier bench =
+  { bench; buses; n_loops; seed; grid_steps; params; frontier }
 
 let machine_of_cell c =
   let m = Presets.machine_4c ~buses:c.buses in
@@ -28,14 +29,21 @@ let version_salt = "hcv-sweep-v2"
 
 let cell_key c =
   E.Codec.digest
-    [
-      version_salt;
-      E.Codec.machine_key (machine_of_cell c);
-      E.Codec.params_key c.params;
-      c.bench;
-      string_of_int c.seed;
-      (match c.n_loops with None -> "-" | Some n -> string_of_int n);
-    ]
+    ([
+       version_salt;
+       E.Codec.machine_key (machine_of_cell c);
+       E.Codec.params_key c.params;
+       c.bench;
+       string_of_int c.seed;
+       (match c.n_loops with None -> "-" | Some n -> string_of_int n);
+     ]
+    (* Appended only when present: plain cells keep their pre-frontier
+       keys (no salt bump, old caches stay valid) and frontier cells can
+       never collide with them. *)
+    @
+    match c.frontier with
+    | None -> []
+    | Some s -> [ "frontier"; Frontier.spec_key s ])
 
 type outcome = {
   bench : string;
@@ -45,6 +53,7 @@ type outcome = {
   fallbacks : int;
   causes : string list;
   hetero : string;
+  frontier : string list;
   error : string option;
   trace : Hcv_obs.Trace.node option;
 }
@@ -95,6 +104,11 @@ let outcome_to_string o =
       | [] -> []
       | cs ->
         [ ("causes", E.Jsonx.List (List.map (fun c -> E.Jsonx.Str c) cs)) ])
+    (* Ditto: only frontier cells (whose keys are new) ever write it. *)
+    @ (match o.frontier with
+      | [] -> []
+      | ms ->
+        [ ("frontier", E.Jsonx.List (List.map (fun m -> E.Jsonx.Str m) ms)) ])
     @ (match o.error with
       | None -> []
       | Some msg -> [ ("error", E.Jsonx.Str msg) ])
@@ -131,6 +145,16 @@ let outcome_of_string s =
       | Some cj -> Option.map (List.filter_map E.Jsonx.str) (E.Jsonx.list cj)
       | None -> if fallbacks > 0 then None else Some []
     in
+    (* Only frontier-keyed cells ever wrote this; a successful frontier
+       cell always has at least one member, so [] only decodes for plain
+       or failed cells — no staleness ambiguity. *)
+    let frontier =
+      match E.Jsonx.member "frontier" j with
+      | Some fj ->
+        Option.value ~default:[]
+          (Option.map (List.filter_map E.Jsonx.str) (E.Jsonx.list fj))
+      | None -> []
+    in
     let error = Option.bind (E.Jsonx.member "error" j) E.Jsonx.str in
     let trace = Option.bind (E.Jsonx.member "trace" j) E.Tracex.node_of_json in
     Some
@@ -142,6 +166,7 @@ let outcome_of_string s =
         fallbacks;
         causes;
         hetero;
+        frontier;
         error;
         trace;
       }
@@ -164,8 +189,8 @@ let run_cell ?budget ~loops_of c =
   let sp = Hcv_obs.Trace.root ("cell:" ^ c.bench) in
   let outcome =
     match
-      Pipeline.run ?budget ~params:c.params ~machine ~name:c.bench ~loops
-        ~obs:sp ()
+      Pipeline.run ?budget ?frontier:c.frontier ~params:c.params ~machine
+        ~name:c.bench ~loops ~obs:sp ()
     with
     | Ok r ->
       {
@@ -179,6 +204,14 @@ let run_cell ?budget ~loops_of c =
             (fun (_, d) -> Hcv_obs.Diag.code d)
             r.Pipeline.fallback_causes;
         hetero = choice_to_string r.Pipeline.hetero;
+        frontier =
+          (match r.Pipeline.frontier with
+          | None -> []
+          | Some f ->
+            List.map
+              (fun (e : Select.choice Frontier.entry) ->
+                choice_to_string e.Frontier.item)
+              (Frontier.members f));
         error = None;
         trace = None;
       }
@@ -191,6 +224,7 @@ let run_cell ?budget ~loops_of c =
         fallbacks = 0;
         causes = [];
         hetero = "";
+        frontier = [];
         error = Some (Hcv_obs.Diag.to_string diag);
         trace = None;
       }
@@ -203,6 +237,7 @@ let run_cell ?budget ~loops_of c =
         fallbacks = 0;
         causes = [];
         hetero = "";
+        frontier = [];
         error = Some (Printexc.to_string e);
         trace = None;
       }
@@ -225,6 +260,7 @@ let quarantined_outcome (c : cell) diag =
     fallbacks = 0;
     causes = [];
     hetero = "";
+    frontier = [];
     error = Some (Hcv_obs.Diag.to_string diag);
     trace = None;
   }

@@ -28,18 +28,26 @@ type cell = {
   grid_steps : int option;
       (** divider-grid steps; [None]: unrestricted frequencies *)
   params : Params.t;
+  frontier : Frontier.spec option;
+      (** when present the cell's pipeline also runs the optional
+          frontier stage and the outcome carries the members *)
 }
 
 val cell :
   ?buses:int -> ?n_loops:int -> ?seed:int -> ?grid_steps:int
-  -> ?params:Params.t -> string -> cell
+  -> ?params:Params.t -> ?frontier:Frontier.spec -> string -> cell
 (** Defaults: 1 bus, per-spec loops, seed 42, unrestricted grid,
-    {!Params.default}. *)
+    {!Params.default}, no frontier stage. *)
 
 val machine_of_cell : cell -> Machine.t
 
 val version_salt : string
+
 val cell_key : cell -> string
+(** Digest of the generating inputs.  The frontier spec is folded in
+    only when present, so plain cells keep their pre-frontier keys
+    (existing caches stay valid) and frontier cells never collide with
+    them. *)
 
 type outcome = {
   bench : string;
@@ -54,6 +62,11 @@ type outcome = {
           entries decode with [[]] *)
   hetero : string;
       (** serialized winning {!Select.choice}; [""] on failure *)
+  frontier : string list;
+      (** serialized frontier members in deterministic member order
+          (each a {!choice_to_string}); [[]] unless the cell carried a
+          frontier spec and the pipeline succeeded.  Like [causes],
+          written to the cache only when non-empty *)
   error : string option;
       (** [Some msg] when the pipeline failed; the ratios are then
           [nan] (rendered {!Hcv_obs.Diag.to_string}, so the stage and

@@ -14,6 +14,7 @@ type work = {
   spec : machine_spec;
   budget : int option;
   degrade : bool;
+  frontier : Hcv_core.Frontier.spec option;
 }
 
 type request = Ping | Stats | Shutdown | Run of work
@@ -24,6 +25,7 @@ let op_name = function
   | Ping -> "ping"
   | Stats -> "stats"
   | Shutdown -> "shutdown"
+  | Run { frontier = Some _; _ } -> "frontier"
   | Run { source = Bench _; _ } -> "explore"
   | Run { source = Dsl _ | Graph _; _ } -> "schedule"
 
@@ -61,7 +63,7 @@ let parse_spec ?id j =
       | Error e -> Error e
       | Ok grid_steps -> Ok { buses; grid_steps })
 
-let parse_run ?id ~name ~source j =
+let parse_run ?id ?(frontier = None) ~name ~source j =
   match parse_spec ?id j with
   | Error e -> Error e
   | Ok spec -> (
@@ -69,7 +71,7 @@ let parse_run ?id ~name ~source j =
     | Error e -> Error e
     | Ok budget ->
       let degrade = Option.value (bool_field j "degrade") ~default:false in
-      Ok (Run { name; source; spec; budget; degrade }))
+      Ok (Run { name; source; spec; budget; degrade; frontier }))
 
 let parse line =
   match J.of_string line with
@@ -114,6 +116,24 @@ let parse line =
                 parse_run ~id ~name:bench
                   ~source:(Bench { bench; seed; n_loops })
                   j))
+        | Some "frontier" -> (
+          match str_field j "bench" with
+          | None ->
+            ret (bad ~id "op \"frontier\" needs a string \"bench\"")
+          | Some bench -> (
+            (* "objectives"/"caps" ride at the top level of the request
+               object; both default as in Frontier.spec. *)
+            match Hcv_core.Frontier.spec_of_json j with
+            | Error msg -> ret (bad ~id "%s" msg)
+            | Ok spec ->
+              let seed = Option.value (int_field j "seed") ~default:42 in
+              ret
+                (match pos_field ~id j "loops" with
+                | Error e -> Error e
+                | Ok n_loops ->
+                  parse_run ~id ~frontier:(Some spec) ~name:bench
+                    ~source:(Bench { bench; seed; n_loops })
+                    j)))
         | Some "schedule" -> (
           let name = Option.value (str_field j "name") ~default:"adhoc" in
           match (str_field j "dsl", field j "graph") with

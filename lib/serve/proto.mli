@@ -19,7 +19,16 @@
     - [{"id":..,"op":"schedule","dsl":TEXT,...}] or
       [{"id":..,"op":"schedule","graph":G,...}] — the same pipeline
       over a client-supplied workload: either loop-DSL text
-      ({!Hcv_ir.Dsl}) or a JSON DDG payload (see {!section-graph}).
+      ({!Hcv_ir.Dsl}) or a JSON DDG payload (see {!section-graph});
+    - [{"id":..,"op":"frontier","bench":NAME,...}] — [explore] plus the
+      optional frontier stage: takes every [explore] option and,
+      additionally, ["objectives"] (list of
+      [time]/[energy]/[ed2]/[edp]/[power]; default all) and ["caps"]
+      ([[NAME, BOUND],...]; default none) in
+      {!Hcv_core.Frontier.spec_of_json} form; the result gains the
+      frontier members.  An unbudgeted [frontier] request keys exactly
+      as the CLI's frontier sweep cell, so the daemon shares its warm
+      cache.
 
     [explore] options: ["seed"] (default 42), ["loops"] (loop count,
     default per-spec).  Both run ops take the machine overrides
@@ -64,6 +73,9 @@ type work = {
   spec : machine_spec;
   budget : int option;
   degrade : bool;
+  frontier : Hcv_core.Frontier.spec option;
+      (** present on ["frontier"] requests: the pipeline also runs the
+          optional frontier stage and the result carries the members *)
 }
 
 type request = Ping | Stats | Shutdown | Run of work
@@ -71,7 +83,8 @@ type request = Ping | Stats | Shutdown | Run of work
 type envelope = { id : string; req : request }
 
 val op_name : request -> string
-(** ["ping"], ["stats"], ["shutdown"], ["explore"] or ["schedule"]. *)
+(** ["ping"], ["stats"], ["shutdown"], ["explore"], ["schedule"] or
+    ["frontier"]. *)
 
 val parse : string -> (envelope, string option * Hcv_obs.Diag.t) result
 (** Parse one request line.  On error the [string option] is the

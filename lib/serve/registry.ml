@@ -122,8 +122,12 @@ let lower_graph g =
 (* ----- admission --------------------------------------------------- *)
 
 let cell_of (w : Proto.work) ~bench ~seed ~n_loops =
+  (* Threading the frontier spec through the cell makes an unbudgeted
+     frontier request key exactly as the CLI's frontier sweep cell —
+     warm-cache sharing for free. *)
   Sweep.cell ~buses:w.Proto.spec.Proto.buses
-    ?grid_steps:w.Proto.spec.Proto.grid_steps ?n_loops ~seed bench
+    ?grid_steps:w.Proto.spec.Proto.grid_steps ?frontier:w.Proto.frontier
+    ?n_loops ~seed bench
 
 let admit_dsl ~code (w : Proto.work) text =
   match Hcv_ir.Dsl.parse text with
@@ -215,6 +219,18 @@ let result_json (o : Sweep.outcome) =
           match J.of_string o.Sweep.hetero with
           | Ok j -> j
           | Error _ -> J.Str o.Sweep.hetero );
+      ]
+    @
+    match o.Sweep.frontier with
+    | [] -> []
+    | ms ->
+      [
+        ( "frontier",
+          J.List
+            (List.map
+               (fun m ->
+                 match J.of_string m with Ok j -> j | Error _ -> J.Str m)
+               ms) );
       ])
 
 let response_line ~id (w : Proto.work) = function

@@ -1,0 +1,12 @@
+(* Locale-stable float rendering.  See floatfmt.mli. *)
+
+(* OCaml's float printers go through the C runtime's snprintf, which is
+   locale-sensitive for the decimal separator when the embedding
+   process called setlocale.  Golden-pinned reports must not drift on
+   such hosts, so every printer normalises the separator back to '.'.
+   (The exponent marker and digits are locale-independent.) *)
+let stable s = String.map (fun c -> if c = ',' then '.' else c) s
+
+let compact f = stable (Printf.sprintf "%.6g" f)
+let sig_digits n f = stable (Printf.sprintf "%.*g" n f)
+let fixed n f = stable (Printf.sprintf "%.*f" n f)

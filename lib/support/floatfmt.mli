@@ -1,0 +1,20 @@
+(** Locale-stable float rendering for human-facing reports.
+
+    Every golden-pinned printer (selection choices, frontier CSV and
+    regime reports) formats floats through this one helper so the byte
+    form cannot drift across environments: the decimal separator is
+    always ['.'] even when the host process switched the C locale
+    (OCaml's [%f]/[%g] reach the C library's locale-sensitive
+    rendering).
+
+    Cache keys and replayable values do {e not} use these — they keep
+    the exact ["%h"] forms of [Hcv_explore.Codec]. *)
+
+val compact : float -> string
+(** ["%.6g"] — the report default. *)
+
+val sig_digits : int -> float -> string
+(** ["%.<n>g"]. *)
+
+val fixed : int -> float -> string
+(** ["%.<n>f"]. *)

@@ -181,6 +181,60 @@ let test_registry_keys () =
   Alcotest.(check bool) "payload key differs" true
     (key_of dsl_a <> S.Registry.key t)
 
+(* The frontier op: parsing, spec extraction, and warm-cache key
+   sharing with the CLI's frontier sweep cells. *)
+let test_frontier_op () =
+  let line =
+    {|{"id":"f","op":"frontier","bench":"applu","loops":2,"seed":7,"objectives":["time","energy"],"caps":[["energy",2.5]]}|}
+  in
+  let e = parse_ok line in
+  Alcotest.(check string) "op name" "frontier" (S.Proto.op_name e.S.Proto.req);
+  let w = work_of line in
+  let spec =
+    Frontier.spec
+      ~objectives:[ Frontier.Time; Frontier.Energy ]
+      ~caps:[ { Frontier.cap = Frontier.Energy; bound = 2.5 } ]
+      ()
+  in
+  (match w.S.Proto.frontier with
+  | None -> Alcotest.fail "frontier request carries no spec"
+  | Some s ->
+    Alcotest.(check string) "spec parsed" (Frontier.spec_key spec)
+      (Frontier.spec_key s));
+  (* An unbudgeted frontier request keys exactly as the CLI's frontier
+     sweep cell: the daemon shares the warm cache. *)
+  let t = admit_ok line in
+  let cell =
+    Sweep.cell ~buses:1 ~n_loops:2 ~seed:7 ~frontier:spec "applu"
+  in
+  Alcotest.(check string) "key = frontier sweep cell key"
+    (Sweep.cell_key cell) (S.Registry.key t);
+  (* Defaulted spec: plain-looking request, but still a frontier cell,
+     so it must never collide with the plain explore cell. *)
+  let t_def =
+    admit_ok {|{"id":"f","op":"frontier","bench":"applu","loops":2,"seed":7}|}
+  in
+  let t_explore =
+    admit_ok {|{"id":"f","op":"explore","bench":"applu","loops":2,"seed":7}|}
+  in
+  Alcotest.(check bool) "frontier cell forks the key" true
+    (S.Registry.key t_def <> S.Registry.key t_explore);
+  (* Malformed specs are structured parse errors, id preserved. *)
+  Alcotest.(check (pair (option string) string))
+    "frontier without bench"
+    (Some "x", "bad-request")
+    (parse_err {|{"id":"x","op":"frontier"}|});
+  Alcotest.(check (pair (option string) string))
+    "unknown objective"
+    (Some "x", "bad-request")
+    (parse_err
+       {|{"id":"x","op":"frontier","bench":"applu","objectives":["frob"]}|});
+  Alcotest.(check (pair (option string) string))
+    "bad cap bound"
+    (Some "x", "bad-request")
+    (parse_err
+       {|{"id":"x","op":"frontier","bench":"applu","caps":[["energy",-1]]}|})
+
 let test_registry_rejections () =
   Alcotest.(check string) "unknown benchmark" "unknown-benchmark"
     (admit_err {|{"id":"a","op":"explore","bench":"nosuchbench"}|});
@@ -499,6 +553,7 @@ let suite =
     Alcotest.test_case "proto parses requests" `Quick test_proto_parse;
     Alcotest.test_case "proto renders responses" `Quick test_proto_responses;
     Alcotest.test_case "registry content keys" `Quick test_registry_keys;
+    Alcotest.test_case "frontier op" `Quick test_frontier_op;
     Alcotest.test_case "registry rejections" `Quick test_registry_rejections;
     Alcotest.test_case "dispatch is deterministic" `Quick
       test_dispatch_deterministic;

@@ -24,6 +24,14 @@ let test_cell_key_distinct () =
       ("grid", Sweep.cell ~grid_steps:8 "applu");
       ( "params",
         Sweep.cell ~params:(Params.make ~frac_icn:0.2 ()) "applu" );
+      ("frontier", Sweep.cell ~frontier:Frontier.default_spec "applu");
+      ( "frontier-caps",
+        Sweep.cell
+          ~frontier:
+            (Frontier.spec
+               ~caps:[ { Frontier.cap = Frontier.Energy; bound = 2.0 } ]
+               ())
+          "applu" );
     ]
   in
   let base = Sweep.cell_key default_cell in
@@ -51,6 +59,7 @@ let outcome_eq (a : Sweep.outcome) (b : Sweep.outcome) =
   && a.fallbacks = b.fallbacks
   && a.causes = b.causes
   && String.equal a.hetero b.hetero
+  && a.frontier = b.frontier
   && a.error = b.error
   && a.trace = b.trace
 
@@ -71,6 +80,7 @@ let test_outcome_roundtrip () =
       fallbacks = 1;
       causes = [ "no-valid-it" ];
       hetero = {|{"config":"fake"}|};
+      frontier = [ {|{"config":"fake"}|}; {|{"config":"fake2"}|} ];
       error = None;
       (* The deterministic view only: zero wall, no volatile gauges —
          exactly what the codec keeps. *)
@@ -95,6 +105,7 @@ let test_outcome_roundtrip () =
       fallbacks = 0;
       causes = [];
       hetero = "";
+      frontier = [];
       error = Some {|scheduling failed: "II overflow"|};
       trace = None;
     }
