@@ -1,0 +1,168 @@
+(* Machine-family sweep benchmark: run the full pipeline for every
+   named capability-asymmetric family over the benchmark population,
+   cold cache vs warm cache, and report per-family normalised ratios.
+
+   Three passes over the same cells, mirroring the serve bench:
+     cold   jobs=2, fresh cache dir  (reported as "cold")
+     warm   jobs=2, same cache dir   (reported as "warm")
+     check  jobs=1, another fresh dir
+   The encoded outcome sequences of all three must be byte-identical —
+   family cells obey the same determinism contract as paper-machine
+   cells (outcomes depend only on cell content, never on worker count
+   or cache state) — and the bench exits non-zero if they are not. *)
+
+module E = Hcv_explore
+module J = E.Jsonx
+open Hcv_core
+open Hcv_workload
+
+type pass = { wall_ns : float; rendered : string list }
+
+let families = Hcv_machine.Family.names
+
+let cells ~n_loops =
+  List.concat_map
+    (fun f ->
+      List.map
+        (fun (s : Specfp.spec) ->
+          Sweep.cell ~buses:1 ~n_loops ~seed:42 ~machine:(Sweep.Family f)
+            s.Specfp.name)
+        Specfp.all)
+    families
+
+let loops_of (c : Sweep.cell) =
+  Specfp.loops ?n_loops:c.Sweep.n_loops ~seed:c.Sweep.seed
+    (Option.get (Specfp.find c.Sweep.bench))
+
+let run_pass ~jobs ~cache_dir cells =
+  let cache = E.Cache.open_dir cache_dir in
+  let engine = E.Engine.create ~jobs ~cache () in
+  Fun.protect
+    ~finally:(fun () -> E.Engine.shutdown engine)
+    (fun () ->
+      let t0 = Unix.gettimeofday () in
+      let outcomes = Sweep.run engine ~label:"families" ~loops_of cells in
+      let wall_ns = (Unix.gettimeofday () -. t0) *. 1e9 in
+      { wall_ns; rendered = List.map Sweep.outcome_to_string outcomes })
+
+let pass_json ~jobs ~cells p =
+  J.Obj
+    [
+      ("jobs", J.Num (float_of_int jobs));
+      ("wall_ns", J.Num p.wall_ns);
+      ( "cells_per_s",
+        J.Num
+          (if p.wall_ns > 0.0 then float_of_int cells /. (p.wall_ns /. 1e9)
+           else 0.0) );
+    ]
+
+let rec rm_tree path =
+  match Sys.is_directory path with
+  | true ->
+    Array.iter (fun f -> rm_tree (Filename.concat path f)) (Sys.readdir path);
+    (try Sys.rmdir path with Sys_error _ -> ())
+  | false -> ( try Sys.remove path with Sys_error _ -> ())
+  | exception Sys_error _ -> ()
+
+(* Per-family summary decoded from the cold pass: mean ratios over the
+   benchmarks that scheduled, plus the failure count. *)
+let family_json family rendered =
+  let outcomes = List.filter_map Sweep.outcome_of_string rendered in
+  let ok =
+    List.filter (fun (o : Sweep.outcome) -> o.Sweep.error = None) outcomes
+  in
+  let mean f =
+    match ok with
+    | [] -> 0.0
+    | _ ->
+      List.fold_left (fun acc o -> acc +. f o) 0.0 ok
+      /. float_of_int (List.length ok)
+  in
+  J.Obj
+    [
+      ("family", J.Str family);
+      ("benchmarks", J.Num (float_of_int (List.length outcomes)));
+      ("failed", J.Num (float_of_int (List.length outcomes - List.length ok)));
+      ("mean_ed2_ratio", J.Num (mean (fun o -> o.Sweep.ed2_ratio)));
+      ("mean_time_ratio", J.Num (mean (fun o -> o.Sweep.time_ratio)));
+      ("mean_energy_ratio", J.Num (mean (fun o -> o.Sweep.energy_ratio)));
+    ]
+
+let run ~quick ~out () =
+  let n_loops = if quick then 2 else 4 in
+  let cells = cells ~n_loops in
+  let n_cells = List.length cells in
+  Printf.printf "Families bench: %d families x %d benchmarks, cold vs warm \
+                 cache\n%!"
+    (List.length families)
+    (List.length Specfp.all);
+  let base =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "hcvliw-families-bench-%d" (Unix.getpid ()))
+  in
+  rm_tree base;
+  Fun.protect
+    ~finally:(fun () -> rm_tree base)
+    (fun () ->
+      let dir_main = Filename.concat base "main" in
+      let dir_check = Filename.concat base "check" in
+      let cold = run_pass ~jobs:2 ~cache_dir:dir_main cells in
+      let warm = run_pass ~jobs:2 ~cache_dir:dir_main cells in
+      let check = run_pass ~jobs:1 ~cache_dir:dir_check cells in
+      let identical =
+        cold.rendered = warm.rendered && cold.rendered = check.rendered
+      in
+      (* The cold pass's outcomes arrive in cell order: one group of
+         [Specfp.all] per family. *)
+      let n_benches = List.length Specfp.all in
+      let rec drop n = function
+        | _ :: xs when n > 0 -> drop (n - 1) xs
+        | xs -> xs
+      in
+      let rec take n = function
+        | x :: xs when n > 0 -> x :: take (n - 1) xs
+        | _ -> []
+      in
+      let groups =
+        List.mapi
+          (fun i f ->
+            (f, take n_benches (drop (i * n_benches) cold.rendered)))
+          families
+      in
+      let report =
+        J.Obj
+          [
+            ("schema", J.Str "hcvliw-families-bench-v1");
+            ("families", J.List (List.map (fun f -> J.Str f) families));
+            ("benchmarks", J.Num (float_of_int n_benches));
+            ("n_loops", J.Num (float_of_int n_loops));
+            ("seed", J.Num 42.0);
+            ("cold", pass_json ~jobs:2 ~cells:n_cells cold);
+            ("warm", pass_json ~jobs:2 ~cells:n_cells warm);
+            ("check_serial_cold", pass_json ~jobs:1 ~cells:n_cells check);
+            ("identical", J.Bool identical);
+            ( "results",
+              J.List (List.map (fun (f, rs) -> family_json f rs) groups) );
+          ]
+      in
+      let oc = open_out out in
+      output_string oc (J.to_string report);
+      output_char oc '\n';
+      close_out oc;
+      let show tag p =
+        Printf.printf "  %-5s %8.1f cells/s   wall %10.0f ns\n%!" tag
+          (float_of_int n_cells /. (p.wall_ns /. 1e9))
+          p.wall_ns
+      in
+      show "cold" cold;
+      show "warm" warm;
+      Printf.printf "  wrote %s\n%!" out;
+      if identical then
+        Printf.printf
+          "  outcomes byte-identical across jobs 1/2 and cold/warm cache\n%!"
+      else begin
+        prerr_endline
+          "families bench: outcome sequences DIVERGED across passes";
+        exit 1
+      end)

@@ -584,10 +584,11 @@ let usage () =
   prerr_endline
     "usage: main.exe [table1] [table2] [fig6] [fig7] [fig8] [fig9] [ablation]\n\
     \                [micro] [perf] [partition-micro] [serve] [frontier]\n\
-    \                [--quick] [--jobs N] [--cache DIR]\n\
+    \                [families] [--quick] [--jobs N] [--cache DIR]\n\
     \                [--resume] [--telemetry-csv FILE] [--perf-out FILE]\n\
     \                [--perf-baseline FILE] [--perf-reps N] [--perf-gate R]\n\
-    \                [--serve-out FILE] [--frontier-out FILE]";
+    \                [--serve-out FILE] [--frontier-out FILE]\n\
+    \                [--families-out FILE]";
   exit 2
 
 let () =
@@ -601,6 +602,7 @@ let () =
   let perf_gate = ref None in
   let serve_out = ref "BENCH_serve.json" in
   let frontier_out = ref "BENCH_frontier.json" in
+  let families_out = ref "BENCH_families.json" in
   let int_arg name v =
     match int_of_string_opt v with
     | Some n when n >= 1 -> n
@@ -648,9 +650,12 @@ let () =
     | "--frontier-out" :: file :: rest ->
       frontier_out := file;
       parse selected rest
+    | "--families-out" :: file :: rest ->
+      families_out := file;
+      parse selected rest
     | ( "--jobs" | "--cache" | "--telemetry-csv" | "--perf-out"
       | "--perf-baseline" | "--perf-reps" | "--perf-gate" | "--serve-out"
-      | "--frontier-out" )
+      | "--frontier-out" | "--families-out" )
       :: [] ->
       usage ()
     | arg :: _ when String.length arg > 1 && arg.[0] = '-' ->
@@ -698,6 +703,8 @@ let () =
         Serve_bench.run ~quick:!quick ~out:!serve_out ();
       if List.mem "frontier" selected then
         Frontier_bench.run ~quick:!quick ~out:!frontier_out ();
+      if List.mem "families" selected then
+        Families_bench.run ~quick:!quick ~out:!families_out ();
       let reps =
         match !perf_reps with
         | Some n -> n

@@ -32,6 +32,67 @@ let diag_ok = function
     Printf.eprintf "error: %s\n" (Hcv_obs.Diag.to_string d);
     exit 1
 
+(* ----- --machine: family names and description files --------------- *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* A SPEC is tried as a family name first, as a machine-description
+   file second; absent means the paper machine at the given bus
+   count.  Description files carry their own ICN, so --buses does not
+   apply to them. *)
+let resolve_machine ~buses = function
+  | None -> machine_of ~buses
+  | Some spec -> (
+    match Family.find ~buses spec with
+    | Some m -> m
+    | None ->
+      if Sys.file_exists spec then
+        match Hcv_explore.Machdesc.of_string (read_file spec) with
+        | Ok m -> m
+        | Error msg -> or_die (Error (Printf.sprintf "%s: %s" spec msg))
+      else
+        or_die
+          (Error
+             (Printf.sprintf
+                "unknown machine %S: not a family (one of %s) and not a file"
+                spec
+                (String.concat ", " Family.names))))
+
+let machine_arg =
+  Cmdliner.Arg.(
+    value & opt (some string) None
+    & info [ "machine" ] ~docv:"SPEC"
+        ~doc:
+          "Target machine: a capability-asymmetric family name \
+           ($(b,big-little), $(b,fp-heavy), $(b,scalar-satellite)) or a \
+           path to a JSON machine-description file.  Default: the \
+           paper's 4-cluster machine.  Description files carry their \
+           own interconnect, so $(b,--buses) does not apply to them.")
+
+(* The same SPEC resolution for cell-based sweeps: the selection rides
+   in the cell (and so in its cache key).  Description files are
+   canonicalised exactly as the serve boundary does, so equal machines
+   key equally however they arrive. *)
+let machine_sel_of_spec = function
+  | None -> Sweep.Paper
+  | Some spec ->
+    if List.mem spec Family.names then Sweep.Family spec
+    else if Sys.file_exists spec then
+      match Hcv_explore.Machdesc.of_string (read_file spec) with
+      | Ok m -> Sweep.Desc (Hcv_explore.Machdesc.to_string m)
+      | Error msg -> or_die (Error (Printf.sprintf "%s: %s" spec msg))
+    else
+      or_die
+        (Error
+           (Printf.sprintf
+              "unknown machine %S: not a family (one of %s) and not a file"
+              spec
+              (String.concat ", " Family.names)))
+
 (* ----- bench: run the full pipeline for benchmarks ---------------- *)
 
 let run_benchmark ~buses ~n_loops ~seed name =
@@ -128,9 +189,9 @@ let schedule_cmd =
       & info [ "hetero" ]
           ~doc:"Select a heterogeneous configuration first and use it.")
   in
-  let run file buses hetero =
+  let run file buses machine hetero =
     setup_logs ();
-    let machine = machine_of ~buses in
+    let machine = resolve_machine ~buses machine in
     let loops = or_die (load_loops file) in
     if hetero then begin
       let profile = diag_ok (Profile.profile ~machine ~loops ()) in
@@ -170,7 +231,7 @@ let schedule_cmd =
   in
   Cmd.v
     (Cmd.info "schedule" ~doc:"Modulo-schedule the loops of a .loop file.")
-    Term.(const run $ file $ buses $ hetero)
+    Term.(const run $ file $ buses $ machine_arg $ hetero)
 
 (* ----- dot --------------------------------------------------------- *)
 
@@ -337,13 +398,14 @@ let explore_cmd =
           ~doc:"Also print each benchmark's selected heterogeneous \
                 configuration.")
   in
-  let run benches buses n_loops seed steps jobs cache resume compact csv
-      show_config trace metrics =
+  let run benches buses machine n_loops seed steps jobs cache resume compact
+      csv show_config trace metrics =
     setup_logs ();
     if resume && cache = None then
       or_die (Error "--resume needs --cache DIR");
     if compact && cache = None then
       or_die (Error "--compact-cache needs --cache DIR");
+    let machine = machine_sel_of_spec machine in
     let names =
       if List.mem "all" benches then
         List.map (fun s -> s.Specfp.name) Specfp.all
@@ -357,7 +419,7 @@ let explore_cmd =
     let cells =
       List.map
         (fun name ->
-          Sweep.cell ~buses ?n_loops ~seed ?grid_steps:steps name)
+          Sweep.cell ~buses ?n_loops ~seed ?grid_steps:steps ~machine name)
         names
     in
     let progress = E.Progress.create ~verbose:true ?csv () in
@@ -451,8 +513,9 @@ let explore_cmd =
           parallel worker pool, with a persistent result cache and \
           checkpoint/resume.")
     Term.(
-      const run $ bench_arg $ buses $ n_loops $ seed $ steps $ jobs $ cache
-      $ resume $ compact $ csv $ show_config $ trace_arg $ metrics_arg)
+      const run $ bench_arg $ buses $ machine_arg $ n_loops $ seed $ steps
+      $ jobs $ cache $ resume $ compact $ csv $ show_config $ trace_arg
+      $ metrics_arg)
 
 (* ----- fig7: the paper's Figure 7 through the staged pipeline ------- *)
 
@@ -629,6 +692,16 @@ let frontier_cmd =
           ~doc:"Write the frontier members as CSV to $(docv) ('-' for \
                 stdout, before the report).")
   in
+  let schedule_corner =
+    Arg.(
+      value & opt (some string) None
+      & info [ "schedule-corner" ] ~docv:"OBJ"
+          ~doc:"After the sweep, take each benchmark's frontier corner \
+                minimising $(docv) (one of time,energy,ed2,edp,power) and \
+                schedule it through the full pipeline, reporting the \
+                measured — not predicted — activity, model ED2 and \
+                fallback count.")
+  in
   let parse_spec objectives caps =
     let objectives =
       match objectives with
@@ -659,9 +732,22 @@ let frontier_cmd =
     Hcv_core.Frontier.spec ~objectives ~caps ()
   in
   let run benches quick objectives caps buses n_loops seed steps jobs cache
-      csv trace metrics =
+      csv schedule_corner trace metrics =
     setup_logs ();
     let spec = parse_spec objectives caps in
+    let corner_obj =
+      Option.map
+        (fun name ->
+          match Hcv_core.Frontier.objective_of_string (String.trim name) with
+          | Some o -> o
+          | None ->
+            or_die
+              (Error
+                 (Printf.sprintf
+                    "unknown objective %S (one of time,energy,ed2,edp,power)"
+                    name)))
+        schedule_corner
+    in
     let buses = if quick then 1 else buses in
     let n_loops = if quick then Some 6 else n_loops in
     let names =
@@ -725,7 +811,72 @@ let frontier_cmd =
               ~finally:(fun () -> close_out oc)
               (fun () -> output_string oc body)
           end);
-        Format.printf "%a@?" Frontier_report.pp_report fronts)
+        Format.printf "%a@?" Frontier_report.pp_report fronts;
+        (* --schedule-corner: run the chosen non-ED2 corner through the
+           actual scheduler, so the report shows measured behaviour, not
+           just the selection model's predictions. *)
+        match corner_obj with
+        | None -> ()
+        | Some obj ->
+          let t =
+            Tablefmt.create
+              ~title:
+                (Printf.sprintf "scheduled min-%s corner (measured)"
+                   (Frontier.objective_name obj))
+              [
+                ("benchmark", Tablefmt.Left);
+                ("predicted ED2", Tablefmt.Right);
+                ("measured ED2", Tablefmt.Right);
+                ("time ns", Tablefmt.Right);
+                ("energy", Tablefmt.Right);
+                ("fallbacks", Tablefmt.Right);
+              ]
+          in
+          List.iter
+            (fun (bench, front) ->
+              match Frontier.min_by front obj with
+              | None -> ()
+              | Some corner -> (
+                let choice = corner.Frontier.item in
+                let machine =
+                  Sweep.machine_of_cell
+                    (Sweep.cell ~buses ?n_loops ~seed ?grid_steps:steps
+                       ~frontier:spec bench)
+                in
+                let loops =
+                  Specfp.loops ?n_loops ~seed
+                    (Option.get (Specfp.find bench))
+                in
+                match Profile.profile ~machine ~loops () with
+                | Error d ->
+                  Printf.printf "  !! %s: %s\n%!" bench
+                    (Hcv_obs.Diag.to_string d)
+                | Ok profile ->
+                  let units =
+                    Units.of_reference ~params:Params.default
+                      ~n_clusters:(Machine.n_clusters machine)
+                      profile.Profile.activity
+                  in
+                  let ctx = Model.ctx ~params:Params.default ~units () in
+                  let act, ed2, n_causes =
+                    Pipeline.measure_config ~ctx ~machine ~profile
+                      ~config:choice.Select.config ()
+                  in
+                  let energy =
+                    Model.total
+                      (Model.energy ctx ~config:choice.Select.config act)
+                  in
+                  Tablefmt.add_row t
+                    [
+                      bench;
+                      Tablefmt.cell_f choice.Select.predicted_ed2;
+                      Tablefmt.cell_f ed2;
+                      Tablefmt.cell_f act.Activity.exec_time_ns;
+                      Tablefmt.cell_f energy;
+                      string_of_int n_causes;
+                    ]))
+            fronts;
+          Tablefmt.print t)
   in
   Cmd.v
     (Cmd.info "frontier"
@@ -736,7 +887,150 @@ let frontier_cmd =
           corner is exactly the paper's scalarised selection.")
     Term.(
       const run $ bench_arg $ quick $ objectives $ caps $ buses $ n_loops
-      $ seed $ steps $ jobs $ cache $ csv $ trace_arg $ metrics_arg)
+      $ seed $ steps $ jobs $ cache $ csv $ schedule_corner $ trace_arg
+      $ metrics_arg)
+
+(* ----- families: sweep the named asymmetric machine families -------- *)
+
+(* The capability-heterogeneity counterpart of explore: the same
+   engine-backed sweep, fanned out over the named machine families
+   (with the paper machine riding along as the symmetric baseline), so
+   the normalised ratios are directly comparable across cluster
+   mixes. *)
+let families_cmd =
+  let bench_arg =
+    Arg.(
+      value & pos_all string [ "all" ]
+      & info [] ~docv:"BENCHMARK"
+          ~doc:"Benchmarks to sweep (default: the whole population).")
+  in
+  let buses =
+    Arg.(value & opt int 1 & info [ "buses" ] ~doc:"Number of register buses.")
+  in
+  let n_loops =
+    Arg.(
+      value & opt (some int) None
+      & info [ "loops" ] ~doc:"Loops per benchmark (default: per-spec).")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Workload seed.") in
+  let jobs =
+    Arg.(
+      value & opt int 1
+      & info [ "jobs"; "j" ] ~docv:"N"
+          ~doc:"Worker domains for the sweep (1 = serial; the output is \
+                identical for any value).")
+  in
+  let cache =
+    Arg.(
+      value & opt (some string) None
+      & info [ "cache" ] ~docv:"DIR"
+          ~doc:"Persist completed cells to $(docv) and reuse them on later \
+                runs (family cells share the directory with explore/fig7 \
+                cells without colliding).")
+  in
+  let run benches buses n_loops seed jobs cache trace metrics =
+    setup_logs ();
+    let names =
+      if List.mem "all" benches then
+        List.map (fun s -> s.Specfp.name) Specfp.all
+      else benches
+    in
+    List.iter
+      (fun n ->
+        if Specfp.find n = None then
+          or_die (Error (Printf.sprintf "unknown benchmark %S" n)))
+      names;
+    let machines =
+      ("paper", Sweep.Paper)
+      :: List.map (fun f -> (f, Sweep.Family f)) Family.names
+    in
+    let cells =
+      List.concat_map
+        (fun (_, sel) ->
+          List.map
+            (fun name -> Sweep.cell ~buses ?n_loops ~seed ~machine:sel name)
+            names)
+        machines
+    in
+    with_engine ?cache_dir:cache ~jobs (fun ~cache:_ engine ->
+        let loops_of (c : Sweep.cell) =
+          Specfp.loops ?n_loops:c.Sweep.n_loops ~seed:c.Sweep.seed
+            (Option.get (Specfp.find c.Sweep.bench))
+        in
+        let outcomes =
+          ref
+            (with_obs ~trace ~metrics "families" (fun obs ->
+                 Sweep.run engine ~label:"families" ~obs ~loops_of cells))
+        in
+        let n_benches = List.length names in
+        let next_group () =
+          let g = Listx.take n_benches !outcomes in
+          outcomes := Listx.drop n_benches !outcomes;
+          g
+        in
+        let t =
+          Tablefmt.create
+            ~title:"machine families: normalised ratios per benchmark"
+            [
+              ("machine", Tablefmt.Left);
+              ("benchmark", Tablefmt.Left);
+              ("ED2 ratio", Tablefmt.Right);
+              ("time ratio", Tablefmt.Right);
+              ("energy ratio", Tablefmt.Right);
+              ("fallbacks", Tablefmt.Right);
+            ]
+        in
+        List.iteri
+          (fun gi (label, _) ->
+            if gi > 0 then Tablefmt.add_sep t;
+            let ok =
+              List.filter
+                (fun (o : Sweep.outcome) ->
+                  match o.Sweep.error with
+                  | None -> true
+                  | Some msg ->
+                    Printf.printf "  !! %s/%s failed: %s\n%!" label
+                      o.Sweep.bench msg;
+                    false)
+                (next_group ())
+            in
+            List.iter
+              (fun (o : Sweep.outcome) ->
+                Tablefmt.add_row t
+                  [
+                    label;
+                    o.Sweep.bench;
+                    Tablefmt.cell_f o.Sweep.ed2_ratio;
+                    Tablefmt.cell_f o.Sweep.time_ratio;
+                    Tablefmt.cell_f o.Sweep.energy_ratio;
+                    string_of_int o.Sweep.fallbacks;
+                  ])
+              ok;
+            if ok <> [] then
+              Tablefmt.add_row t
+                [
+                  label;
+                  "mean";
+                  Tablefmt.cell_f
+                    (Listx.mean
+                       (List.map
+                          (fun (o : Sweep.outcome) -> o.Sweep.ed2_ratio)
+                          ok));
+                  "-"; "-"; "-";
+                ])
+          machines;
+        Tablefmt.print t)
+  in
+  Cmd.v
+    (Cmd.info "families"
+       ~doc:
+         "Sweep the named capability-asymmetric machine families \
+          (big-little, fp-heavy, scalar-satellite) plus the paper's \
+          symmetric machine over the benchmark population and report \
+          normalised ED2/time/energy per (machine, benchmark) pair.")
+    Term.(
+      const run $ bench_arg $ buses $ n_loops $ seed $ jobs $ cache
+      $ trace_arg $ metrics_arg)
 
 (* ----- chaos: fault-injection drill for the exploration stack ------- *)
 
@@ -1252,9 +1546,9 @@ let simulate_cmd =
       value & opt (some int) None
       & info [ "trip" ] ~doc:"Iteration count (default: the loop's).")
   in
-  let run file buses trip =
+  let run file buses machine trip =
     setup_logs ();
-    let machine = machine_of ~buses in
+    let machine = resolve_machine ~buses machine in
     let loops = or_die (load_loops file) in
     List.iter
       (fun loop ->
@@ -1277,7 +1571,7 @@ let simulate_cmd =
        ~doc:
          "Schedule the loops of a .loop file and replay them on the \
           cycle-level multi-clock-domain simulator.")
-    Term.(const run $ file $ buses $ trip)
+    Term.(const run $ file $ buses $ machine_arg $ trip)
 
 (* ----- report: pipelined-code and register report ------------------ *)
 
@@ -1289,9 +1583,9 @@ let report_cmd =
       value & flag
       & info [ "full" ] ~doc:"Also print the prologue/kernel/epilogue listing.")
   in
-  let run file buses full =
+  let run file buses machine full =
     setup_logs ();
-    let machine = machine_of ~buses in
+    let machine = resolve_machine ~buses machine in
     let loops = or_die (load_loops file) in
     List.iter
       (fun loop ->
@@ -1319,15 +1613,15 @@ let report_cmd =
        ~doc:
          "Emit the software-pipelined code (kernel table, optionally the \
           full listing) plus register and control-path reports.")
-    Term.(const run $ file $ buses $ full)
+    Term.(const run $ file $ buses $ machine_arg $ full)
 
 (* ----- debug: dump pipeline internals for one benchmark ------------ *)
 
 let debug_cmd =
   let bench = Arg.(required & pos 0 (some string) None & info [] ~docv:"BENCH") in
-  let run bench =
+  let run bench machine =
     setup_logs ();
-    let machine = machine_of ~buses:1 in
+    let machine = resolve_machine ~buses:1 machine in
     let spec = Option.get (Specfp.find bench) in
     let loops = Specfp.loops ~seed:42 spec in
     let r = diag_ok (Pipeline.run ~machine ~name:bench ~loops ()) in
@@ -1370,7 +1664,7 @@ let debug_cmd =
       r.Pipeline.fallbacks
   in
   Cmd.v (Cmd.info "debug" ~doc:"Dump pipeline internals.")
-    Term.(const run $ bench)
+    Term.(const run $ bench $ machine_arg)
 
 let main () =
   let info =
@@ -1381,5 +1675,5 @@ let main () =
     (Cmd.eval
        (Cmd.group info
           [ bench_cmd; table2_cmd; schedule_cmd; simulate_cmd; report_cmd; dot_cmd;
-            gen_cmd; explore_cmd; fig7_cmd; frontier_cmd; chaos_cmd; serve_cmd;
-            loadgen_cmd; fuzz_cmd; debug_cmd ]))
+            gen_cmd; explore_cmd; fig7_cmd; frontier_cmd; families_cmd;
+            chaos_cmd; serve_cmd; loadgen_cmd; fuzz_cmd; debug_cmd ]))

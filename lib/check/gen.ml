@@ -143,32 +143,55 @@ let gen_loop ~rng ?(min_n = 4) ?(max_n = 24) () =
   let trip = Rng.int_in rng 2 200 in
   Loop.make ~trip ~name:"fuzz" (Ddg.Builder.build b)
 
+(* Capability-asymmetric draws: any kind — or all of them — may be
+   absent from a cluster.  [gen_machine] patches machine-wide coverage
+   afterwards, so every opcode mix stays placeable somewhere and the
+   differential harness exercises the schedulers, not the entry-point
+   capability screen. *)
 let gen_cluster ~rng i =
-  (* Cluster 0 always carries at least one unit of every resource kind
-     so any opcode mix is placeable somewhere. *)
-  let at_least = if i = 0 then 1 else 0 in
-  let rec draw () =
-    let int_fus = max at_least (Rng.int rng 3)
-    and fp_fus = max at_least (Rng.int rng 3)
-    and mem_ports = max at_least (Rng.int rng 3) in
-    if int_fus + fp_fus + mem_ports = 0 then draw ()
-    else
-      Cluster.make
-        ~name:(Printf.sprintf "c%d" i)
-        ~int_fus ~fp_fus ~mem_ports
-        ~registers:(Rng.pick rng [ 8; 16; 32 ])
-        ()
-  in
-  draw ()
+  Cluster.make
+    ~name:(Printf.sprintf "c%d" i)
+    ~int_fus:(Rng.int rng 3) ~fp_fus:(Rng.int rng 3)
+    ~mem_ports:(Rng.int rng 3)
+    ~registers:(Rng.pick rng [ 8; 16; 32 ])
+    ()
+
+let add_unit (c : Cluster.t) = function
+  | Opcode.Int_fu -> { c with Cluster.int_fus = c.Cluster.int_fus + 1 }
+  | Opcode.Fp_fu -> { c with Cluster.fp_fus = c.Cluster.fp_fus + 1 }
+  | Opcode.Mem_port -> { c with Cluster.mem_ports = c.Cluster.mem_ports + 1 }
+
+(* Machine-wide coverage: every kind must live on at least one cluster.
+   The patched cluster is drawn from the stream, so repaired machines
+   stay seed-deterministic; only the machine-wide total is guaranteed —
+   individual clusters stay asymmetric. *)
+let ensure_coverage ~rng clusters =
+  List.iter
+    (fun kind ->
+      if not (Array.exists (fun c -> Cluster.capable c kind) clusters)
+      then begin
+        let i = Rng.int rng (Array.length clusters) in
+        clusters.(i) <- add_unit clusters.(i) kind
+      end)
+    Opcode.all_fu_kinds
 
 let gen_machine ~rng () =
   let n_cl = Rng.int_in rng 1 4 in
   let clusters =
     if Rng.chance rng 0.5 then
-      (* identical clusters, as in the paper's evaluation machine *)
-      let c0 = gen_cluster ~rng 0 in
+      (* identical clusters, as in the paper's evaluation machine; the
+         replicated design must itself cover every kind *)
+      let c0 =
+        List.fold_left
+          (fun c kind -> if Cluster.capable c kind then c else add_unit c kind)
+          (gen_cluster ~rng 0) Opcode.all_fu_kinds
+      in
       Array.init n_cl (fun i -> { c0 with Cluster.name = Printf.sprintf "c%d" i })
-    else Array.init n_cl (fun i -> gen_cluster ~rng i)
+    else begin
+      let cs = Array.init n_cl (fun i -> gen_cluster ~rng i) in
+      ensure_coverage ~rng cs;
+      cs
+    end
   in
   let icn =
     Icn.make

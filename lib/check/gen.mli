@@ -48,9 +48,13 @@ val gen_loop : rng:Rng.t -> ?min_n:int -> ?max_n:int -> unit -> Loop.t
     loop-carried back edge), occasional anti/memory-ordering edges. *)
 
 val gen_machine : rng:Rng.t -> unit -> Machine.t
-(** 1-4 clusters (identical or mixed FU counts and register files),
-    1-2 buses of latency 1-2, and one of: unrestricted frequencies, the
-    paper's divider grid, a uniform grid. *)
+(** 1-4 clusters (identical fully-capable designs, or
+    capability-asymmetric mixes where a cluster may lack FP units,
+    memory ports, or carry no FU at all), 1-2 buses of latency 1-2, and
+    one of: unrestricted frequencies, the paper's divider grid, a
+    uniform grid.  Every FU kind is guaranteed on at least one cluster
+    (deterministically repaired from the same seed stream), so generated
+    machines never trip the pipeline's machine-incapable screen. *)
 
 val gen_config : rng:Rng.t -> machine:Machine.t -> Opconfig.t
 (** An operating point drawn from the paper's fast/slow cycle-time

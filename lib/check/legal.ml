@@ -148,6 +148,26 @@ let verify (s : Schedule.t) =
   match !vs with
   | _ :: _ -> Error (List.rev !vs)
   | [] ->
+    (* Capability eligibility, re-derived per placement: an operation
+       may only sit on a cluster owning at least one unit of its FU
+       kind.  The modulo-occupancy check below also rejects such a
+       placement (u > cap with cap = 0), but this rule names the
+       offending operation directly. *)
+    Array.iteri
+      (fun i (p : Schedule.placement) ->
+        let kind = Instr.fu (Ddg.instr ddg i) in
+        if
+          not
+            (Cluster.capable
+               (Machine.cluster s.Schedule.machine p.Schedule.cluster)
+               kind)
+        then
+          err "fu-eligibility" "instr %d (%s) placed on cluster %d with no %s"
+            i
+            (Ddg.instr ddg i).Instr.name
+            p.Schedule.cluster
+            (Opcode.fu_to_string kind))
+      s.Schedule.placements;
     (* FU occupancy per (cluster, kind, cycle mod II_cluster). *)
     let used =
       Array.init n_cl (fun c ->

@@ -140,6 +140,20 @@ let schedule ?(obs = Hcv_obs.Trace.null) ~ctx ~config ~loop ?(max_tries = 64)
   let budget_left = ref (Option.value budget ~default:max_int) in
   let n_clusters = Machine.n_clusters machine in
   let ddg = loop.Loop.ddg in
+  match Mii.missing_kinds_msg machine ddg with
+  | Some msg ->
+    (* Capability-asymmetric machines can arrive from description
+       files, so a demanded kind no cluster supports is a user input,
+       not an invariant violation: fail structurally before Mit would
+       trip its backstop. *)
+    Hcv_obs.Trace.incr obs "hsched.machine_incapable";
+    Error
+      (Hcv_obs.Diag.v ~code:"machine-incapable"
+         ~context:
+           [ ("loop", loop.Loop.name); ("machine", machine.Machine.name) ]
+         msg)
+  | None ->
+  let eligible = Mii.eligibility machine ddg in
   let mit = Mit.mit ~config ddg in
   let mit = if Q.sign mit <= 0 then Mit.next_candidate ~config ~after:Q.zero else mit in
   let groups =
@@ -238,11 +252,12 @@ let schedule ?(obs = Hcv_obs.Trace.null) ~ctx ~config ~loop ?(max_tries = 64)
              partition. *)
           let hier = hier_for fixed in
           let part_a =
-            Partition.run_hier ~obs ~n_clusters ~hier ~seed ~stressed ~score ()
+            Partition.run_hier ~obs ~n_clusters ~hier ~seed ~stressed
+              ?eligible ~score ()
           in
           let part_b =
             Partition.run_hier ~obs ~n_clusters ~hier ~seed:(seed + 1)
-              ~stressed ~score ()
+              ~stressed ?eligible ~score ()
           in
           let part =
             if part_b.Partition.score < part_a.Partition.score then part_b

@@ -39,8 +39,13 @@ let res_mit_demands ~config demands =
   else begin
     List.iter
       (fun (kind, _) ->
-        (* Invariant: presets and Gen only build machines with every FU
-           kind the workloads demand. *)
+        (* Backstop, not user-input validation: every pipeline entry
+           point (Profile.profile, Hsched.schedule, Homo.schedule)
+           screens demanded-but-unsupported kinds with
+           Mii.missing_kinds and fails structurally, so reaching this
+           with a zero total is a caller bug.  Per-cluster capability
+           asymmetry is handled below: capacity_at counts each kind on
+           capable clusters only. *)
         if Machine.fu_total machine kind = 0 then
           invalid_arg
             (Printf.sprintf "Mit.res_mit: no %s anywhere in the machine"

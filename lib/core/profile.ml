@@ -39,6 +39,25 @@ let activity_of_schedule sched ~trip =
 let profile ?(obs = Hcv_obs.Trace.null) ~machine ~loops () =
   let config = Presets.reference_config machine in
   let cycle_time = Presets.reference_cycle_time in
+  (* Capability screen up front: the machine is fixed for the whole
+     pipeline, so a demanded FU kind no cluster supports dooms every
+     downstream stage — report it as the machine's fault, not as a
+     scheduling failure. *)
+  match
+    List.find_map
+      (fun loop ->
+        Option.map
+          (fun msg -> (loop, msg))
+          (Mii.missing_kinds_msg machine loop.Loop.ddg))
+      loops
+  with
+  | Some (loop, msg) ->
+    Error
+      (Hcv_obs.Diag.v ~code:"machine-incapable"
+         ~context:
+           [ ("loop", loop.Loop.name); ("machine", machine.Machine.name) ]
+         msg)
+  | None ->
   let rec build acc = function
     | [] -> Ok (List.rev acc)
     | loop :: rest -> (

@@ -2,6 +2,11 @@ open Hcv_machine
 open Hcv_energy
 module E = Hcv_explore
 
+type machine_sel =
+  | Paper
+  | Family of string
+  | Desc of string
+
 type cell = {
   bench : string;
   buses : int;
@@ -10,14 +15,30 @@ type cell = {
   grid_steps : int option;
   params : Params.t;
   frontier : Frontier.spec option;
+  machine : machine_sel;
 }
 
 let cell ?(buses = 1) ?n_loops ?(seed = 42) ?grid_steps
-    ?(params = Params.default) ?frontier bench =
-  { bench; buses; n_loops; seed; grid_steps; params; frontier }
+    ?(params = Params.default) ?frontier ?(machine = Paper) bench =
+  { bench; buses; n_loops; seed; grid_steps; params; frontier; machine }
 
 let machine_of_cell c =
-  let m = Presets.machine_4c ~buses:c.buses in
+  let m =
+    match c.machine with
+    | Paper -> Presets.machine_4c ~buses:c.buses
+    | Family f -> (
+      match Family.find ~buses:c.buses f with
+      | Some m -> m
+      | None ->
+        invalid_arg (Printf.sprintf "Sweep: unknown machine family %S" f))
+    | Desc d -> (
+      (* Descriptions are self-contained (ICN included), so the cell's
+         bus count does not apply; callers validate at admission and
+         re-serialise canonically, making this a backstop. *)
+      match E.Machdesc.of_string d with
+      | Ok m -> m
+      | Error msg -> invalid_arg ("Sweep: bad machine description: " ^ msg))
+  in
   match c.grid_steps with
   | None -> m
   | Some _ as steps -> Machine.with_grid m (Presets.grid_of_steps steps)
@@ -31,6 +52,10 @@ let cell_key c =
   E.Codec.digest
     ([
        version_salt;
+       (* Covers the machine selection too: family and description
+          machines resolve to non-paper cluster mixes, whose
+          machine_key appends the full structural signature — paper
+          cells keep their historical keys byte-for-byte. *)
        E.Codec.machine_key (machine_of_cell c);
        E.Codec.params_key c.params;
        c.bench;

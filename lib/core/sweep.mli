@@ -20,6 +20,18 @@ open Hcv_ir
 open Hcv_machine
 open Hcv_energy
 
+(** Which machine the cell sweeps.  [Paper] (the default) is
+    {!Presets.machine_4c}; [Family name] resolves a named
+    capability-asymmetric design via {!Hcv_machine.Family.find} at the
+    cell's bus count; [Desc json] carries a self-contained
+    {!Hcv_explore.Machdesc} description (canonical text — callers
+    validate and re-serialise at admission), whose own ICN supersedes
+    the cell's bus count. *)
+type machine_sel =
+  | Paper
+  | Family of string
+  | Desc of string
+
 type cell = {
   bench : string;  (** synthetic SPECfp benchmark name *)
   buses : int;
@@ -31,15 +43,20 @@ type cell = {
   frontier : Frontier.spec option;
       (** when present the cell's pipeline also runs the optional
           frontier stage and the outcome carries the members *)
+  machine : machine_sel;
 }
 
 val cell :
   ?buses:int -> ?n_loops:int -> ?seed:int -> ?grid_steps:int
-  -> ?params:Params.t -> ?frontier:Frontier.spec -> string -> cell
+  -> ?params:Params.t -> ?frontier:Frontier.spec -> ?machine:machine_sel
+  -> string -> cell
 (** Defaults: 1 bus, per-spec loops, seed 42, unrestricted grid,
-    {!Params.default}, no frontier stage. *)
+    {!Params.default}, no frontier stage, the paper machine. *)
 
 val machine_of_cell : cell -> Machine.t
+(** Resolves the cell's machine selection (and grid-steps override).
+    @raise Invalid_argument on an unknown family name or a malformed
+    machine description — callers validate those at admission. *)
 
 val version_salt : string
 
@@ -47,7 +64,10 @@ val cell_key : cell -> string
 (** Digest of the generating inputs.  The frontier spec is folded in
     only when present, so plain cells keep their pre-frontier keys
     (existing caches stay valid) and frontier cells never collide with
-    them. *)
+    them.  The machine selection is covered through
+    {!Hcv_explore.Codec.machine_key}, which appends the full structural
+    signature for any non-paper cluster mix — paper cells keep their
+    historical keys. *)
 
 type outcome = {
   bench : string;

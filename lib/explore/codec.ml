@@ -25,9 +25,31 @@ let grid_key = function
   | Freqgrid.Dividers { steps; base } ->
     Printf.sprintf "dividers:%d:%s" steps (q_to_string base)
 
+(* The historical key (name, cluster count, grid) is kept byte-for-byte
+   for the paper-shaped machines so existing caches stay valid; any
+   other cluster mix or ICN appends its full structural signature —
+   name alone no longer pins the shape once machines can arrive from
+   description files. *)
 let machine_key (m : Machine.t) =
-  Printf.sprintf "%s:%d:%s" m.Machine.name (Machine.n_clusters m)
-    (grid_key m.Machine.grid)
+  let base =
+    Printf.sprintf "%s:%d:%s" m.Machine.name (Machine.n_clusters m)
+      (grid_key m.Machine.grid)
+  in
+  let paper_shaped =
+    Array.for_all (fun c -> c = Cluster.paper) m.Machine.clusters
+    && m.Machine.icn.Icn.latency_cycles = 1
+  in
+  if paper_shaped then base
+  else
+    Printf.sprintf "%s:clusters=%s:icn=%d.%d" base
+      (String.concat ","
+         (Array.to_list
+            (Array.map
+               (fun (c : Cluster.t) ->
+                 Printf.sprintf "%d.%d.%d.%d" c.Cluster.int_fus c.Cluster.fp_fus
+                   c.Cluster.mem_ports c.Cluster.registers)
+               m.Machine.clusters)))
+      m.Machine.icn.Icn.buses m.Machine.icn.Icn.latency_cycles
 
 let params_key (p : Params.t) =
   String.concat ":"

@@ -25,7 +25,10 @@ val q_of_string : string -> Q.t option
 val machine_key : Machine.t -> string
 (** Fingerprint of the machine shape that affects sweep results: name
     (which encodes the preset and bus count), cluster count and
-    frequency grid. *)
+    frequency grid.  Machines whose clusters are not all the paper
+    design (or whose ICN latency differs) additionally append the full
+    per-cluster FU/register signature and ICN shape — append-only, so
+    paper-machine keys are byte-identical to earlier releases. *)
 
 val params_key : Params.t -> string
 

@@ -6,17 +6,22 @@ type t = {
   registers : int;
 }
 
+(* Capability-asymmetric machines need partial clusters (no FP units,
+   no memory port, even issue-width 0 satellites used purely as
+   register space), so only negative counts are structurally invalid.
+   Whether a given mix can run a given workload is a placement
+   question, answered per-op by [capable]. *)
 let make ?(name = "cluster") ~int_fus ~fp_fus ~mem_ports ~registers () =
   if int_fus < 0 || fp_fus < 0 || mem_ports < 0 || registers < 0 then
     invalid_arg "Cluster.make: negative resource count";
-  if int_fus + fp_fus + mem_ports = 0 then
-    invalid_arg "Cluster.make: cluster with no execution resources";
   { name; int_fus; fp_fus; mem_ports; registers }
 
 let fu_count t = function
   | Hcv_ir.Opcode.Int_fu -> t.int_fus
   | Hcv_ir.Opcode.Fp_fu -> t.fp_fus
   | Hcv_ir.Opcode.Mem_port -> t.mem_ports
+
+let capable t kind = fu_count t kind > 0
 
 let issue_width t = t.int_fus + t.fp_fus + t.mem_ports
 

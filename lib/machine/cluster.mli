@@ -16,9 +16,17 @@ type t = {
 val make :
   ?name:string -> int_fus:int -> fp_fus:int -> mem_ports:int
   -> registers:int -> unit -> t
-(** @raise Invalid_argument on negative counts or no FU at all. *)
+(** Partial clusters (zero FP units, zero memory ports, even zero FUs
+    altogether) are constructible: capability-asymmetric machines need
+    them, and placement feasibility is a per-op question answered by
+    {!capable}.
+    @raise Invalid_argument on a negative count. *)
 
 val fu_count : t -> Hcv_ir.Opcode.fu_kind -> int
+
+val capable : t -> Hcv_ir.Opcode.fu_kind -> bool
+(** [capable c k] iff the cluster has at least one unit of kind [k] —
+    i.e. an op occupying a [k] can legally execute on [c]. *)
 
 val issue_width : t -> int
 (** Total operations issuable per cycle: sum of FU and port counts. *)

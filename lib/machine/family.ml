@@ -1,0 +1,85 @@
+(* Named capability-asymmetric machine families.
+
+   The paper's evaluation machine (Presets.machine_4c) is
+   frequency-heterogeneous but capability-homogeneous: four identical
+   1-int/1-fp/1-mem clusters.  These families explore the other axis —
+   clusters with asymmetric FU mixes — while keeping the same ICN and
+   frequency-grid machinery, so every existing layer (profiling,
+   selection, scheduling, legality checking) runs on them unchanged.
+
+   Every family still supports every resource kind machine-wide: a
+   kind nobody has would make all paper workloads trivially
+   unschedulable.  Individual clusters may lack kinds; placement
+   feasibility is per-op (Cluster.capable). *)
+
+let cluster = Cluster.make
+
+(* 2 wide full-capability clusters + 2 narrow FP-less clusters: the
+   big/LITTLE-style mix. *)
+let big_little ~buses =
+  Machine.make
+    ~name:(Printf.sprintf "big-little-%dbus" buses)
+    ~clusters:
+      [|
+        cluster ~name:"big0" ~int_fus:2 ~fp_fus:2 ~mem_ports:2 ~registers:32 ();
+        cluster ~name:"big1" ~int_fus:2 ~fp_fus:2 ~mem_ports:2 ~registers:32 ();
+        cluster ~name:"little0" ~int_fus:1 ~fp_fus:0 ~mem_ports:1 ~registers:8
+          ();
+        cluster ~name:"little1" ~int_fus:1 ~fp_fus:0 ~mem_ports:1 ~registers:8
+          ();
+      |]
+    ~icn:(Icn.make ~buses ()) ()
+
+(* FP-big / int-little: two FP-rich clusters without spare integer
+   width, two integer clusters with no FP units at all. *)
+let fp_heavy ~buses =
+  Machine.make
+    ~name:(Printf.sprintf "fp-heavy-%dbus" buses)
+    ~clusters:
+      [|
+        cluster ~name:"fpbig0" ~int_fus:1 ~fp_fus:2 ~mem_ports:1 ~registers:24
+          ();
+        cluster ~name:"fpbig1" ~int_fus:1 ~fp_fus:2 ~mem_ports:1 ~registers:24
+          ();
+        cluster ~name:"intlil0" ~int_fus:2 ~fp_fus:0 ~mem_ports:1 ~registers:12
+          ();
+        cluster ~name:"intlil1" ~int_fus:2 ~fp_fus:0 ~mem_ports:1 ~registers:12
+          ();
+      |]
+    ~icn:(Icn.make ~buses ()) ()
+
+(* One wide hub with all the FP units and memory ports, surrounded by
+   scalar integer-only satellite clusters. *)
+let scalar_satellite ~buses =
+  Machine.make
+    ~name:(Printf.sprintf "scalar-satellite-%dbus" buses)
+    ~clusters:
+      [|
+        cluster ~name:"hub" ~int_fus:2 ~fp_fus:2 ~mem_ports:2 ~registers:32 ();
+        cluster ~name:"sat0" ~int_fus:1 ~fp_fus:0 ~mem_ports:0 ~registers:8 ();
+        cluster ~name:"sat1" ~int_fus:1 ~fp_fus:0 ~mem_ports:0 ~registers:8 ();
+        cluster ~name:"sat2" ~int_fus:1 ~fp_fus:0 ~mem_ports:0 ~registers:8 ();
+      |]
+    ~icn:(Icn.make ~buses ()) ()
+
+let table =
+  [
+    ("big-little", big_little);
+    ("fp-heavy", fp_heavy);
+    ("scalar-satellite", scalar_satellite);
+  ]
+
+let names = List.map fst table
+
+let find ?(buses = 1) name =
+  Option.map (fun mk -> mk ~buses) (List.assoc_opt name table)
+
+let machine ?(buses = 1) name =
+  match find ~buses name with
+  | Some m -> m
+  | None ->
+    invalid_arg
+      (Printf.sprintf "Family.machine: unknown family %S (known: %s)" name
+         (String.concat ", " names))
+
+let all ?(buses = 1) () = List.map (fun (n, mk) -> (n, mk ~buses)) table

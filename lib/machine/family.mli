@@ -1,0 +1,23 @@
+(** Named capability-asymmetric machine families.
+
+    Each family is a fixed cluster mix parameterised only by the ICN
+    bus count, mirroring {!Presets.machine_4c}.  All families support
+    every resource kind machine-wide (so the paper workloads remain
+    schedulable), but individual clusters may lack FP units or memory
+    ports entirely — the capability axis the paper leaves unexplored.
+
+    Families: ["big-little"] (2 wide full clusters + 2 narrow FP-less),
+    ["fp-heavy"] (2 FP-rich + 2 integer-only), ["scalar-satellite"]
+    (1 wide hub + 3 scalar integer-only satellites). *)
+
+val names : string list
+(** Family names, in a fixed presentation order. *)
+
+val find : ?buses:int -> string -> Machine.t option
+(** Look a family up by name; [buses] defaults to 1. *)
+
+val machine : ?buses:int -> string -> Machine.t
+(** Like {!find}. @raise Invalid_argument on an unknown name. *)
+
+val all : ?buses:int -> unit -> (string * Machine.t) list
+(** Every family, in {!names} order. *)

@@ -16,6 +16,20 @@ let cluster t i = t.clusters.(i)
 let fu_total t kind =
   Array.fold_left (fun acc c -> acc + Cluster.fu_count c kind) 0 t.clusters
 
+let supports t kind = fu_total t kind > 0
+
+let eligible_clusters t kind =
+  Array.map (fun c -> Cluster.capable c kind) t.clusters
+
+(* A machine is capability-symmetric when every cluster can execute
+   every resource kind; the paper's machines all are.  Layers that
+   special-case eligibility use this to keep the symmetric path
+   byte-identical. *)
+let capability_symmetric t =
+  List.for_all
+    (fun kind -> Array.for_all (fun c -> Cluster.capable c kind) t.clusters)
+    Hcv_ir.Opcode.all_fu_kinds
+
 let components t = Comp.all ~n_clusters:(n_clusters t)
 let with_grid t grid = { t with grid }
 let with_icn t icn = { t with icn }

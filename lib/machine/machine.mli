@@ -20,6 +20,21 @@ val cluster : t -> int -> Cluster.t
 val fu_total : t -> Hcv_ir.Opcode.fu_kind -> int
 (** Machine-wide count of a resource kind. *)
 
+val supports : t -> Hcv_ir.Opcode.fu_kind -> bool
+(** [supports m k] iff some cluster has at least one unit of kind [k].
+    An op whose kind the machine does not support cannot be scheduled
+    at all. *)
+
+val eligible_clusters : t -> Hcv_ir.Opcode.fu_kind -> bool array
+(** Per-cluster capability mask for kind [k]: element [i] is true iff
+    cluster [i] can execute ops of that kind. *)
+
+val capability_symmetric : t -> bool
+(** True iff every cluster can execute every resource kind (the paper's
+    machines).  Capability-aware layers use this to skip eligibility
+    filtering — and thereby stay byte-identical — on symmetric
+    machines. *)
+
 val components : t -> Comp.t list
 
 val with_grid : t -> Freqgrid.t -> t

@@ -18,7 +18,24 @@ let analyze ?cond_cluster (sched : Schedule.t) =
   let cond_cluster =
     match cond_cluster with
     | Some c -> c
-    | None -> Clocking.fastest_cluster clocking
+    | None ->
+      (* The condition evaluation is an integer op, so the default
+         condition cluster is the fastest *int-capable* one — on a
+         capability-asymmetric machine the overall-fastest cluster may
+         carry no integer unit at all.  On int-uniform machines (the
+         paper design included) this is exactly the fastest cluster,
+         first on cycle-time ties. *)
+      let best = ref (-1) in
+      Array.iteri
+        (fun i ct ->
+          if
+            Cluster.capable
+              (Machine.cluster sched.Schedule.machine i)
+              Opcode.Int_fu
+            && (!best < 0 || Q.( < ) ct clocking.Clocking.cluster_ct.(!best))
+          then best := i)
+        clocking.Clocking.cluster_ct;
+      if !best >= 0 then !best else Clocking.fastest_cluster clocking
   in
   (* Per iteration: one target computation and one control transfer in
      every cluster, one condition evaluation in the condition cluster. *)

@@ -30,9 +30,10 @@ type t = {
 }
 
 val analyze : ?cond_cluster:int -> Schedule.t -> t
-(** [cond_cluster] defaults to the schedule's fastest cluster.  The
-    branch ops are integer-arithmetic class; each broadcast costs one
-    bus transfer. *)
+(** [cond_cluster] defaults to the schedule's fastest int-capable
+    cluster (the fastest cluster outright on int-uniform machines,
+    first on ties).  The branch ops are integer-arithmetic class; each
+    broadcast costs one bus transfer. *)
 
 val overhead_activity : t -> trip:int -> n_clusters:int -> cond_cluster:int
   -> Hcv_energy.Activity.t -> Hcv_energy.Activity.t

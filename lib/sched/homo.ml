@@ -6,7 +6,11 @@ type stats = { ii : int; tries : int; mii : int }
 let schedule ~machine ~cycle_time ~loop ?(max_tries = 64) ?(seed = 0) () =
   let ddg = loop.Loop.ddg in
   let n_clusters = Machine.n_clusters machine in
+  match Mii.missing_kinds_msg machine ddg with
+  | Some msg -> Error (Printf.sprintf "%s: %s" loop.Loop.name msg)
+  | None ->
   let mii = Mii.mii machine ddg in
+  let eligible = Mii.eligibility machine ddg in
   (* Coarsening is clocking-independent: one hierarchy serves every II
      attempt. *)
   let hier =
@@ -27,7 +31,7 @@ let schedule ~machine ~cycle_time ~loop ?(max_tries = 64) ?(seed = 0) () =
               (Pseudo.estimate ~machine ~clocking ~loop ~assignment:a ())
           in
           let hier = Option.get hier in
-          (Partition.run_hier ~n_clusters ~hier ~seed ~score ())
+          (Partition.run_hier ~n_clusters ~hier ~seed ?eligible ~score ())
             .Partition.assignment
         end
       in

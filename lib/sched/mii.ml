@@ -3,6 +3,35 @@ open Hcv_machine
 
 let ceil_div a b = (a + b - 1) / b
 
+(* Resource kinds the loop demands but no cluster of the machine can
+   execute.  Non-empty means the loop is unschedulable on this machine
+   full stop — capability-asymmetric machines arriving from description
+   files make this a reachable user input, so every pipeline entry
+   point checks it and degrades to a structured error instead of
+   tripping res_mii's invariant below. *)
+let missing_kinds machine ddg =
+  List.filter_map
+    (fun (kind, demand) ->
+      if demand > 0 && not (Machine.supports machine kind) then Some kind
+      else None)
+    (Ddg.fu_demand ddg)
+
+let missing_kinds_msg machine ddg =
+  match missing_kinds machine ddg with
+  | [] -> None
+  | kinds ->
+    Some
+      (Printf.sprintf "machine %s has no %s but the loop demands it"
+         machine.Machine.name
+         (String.concat "/" (List.map Opcode.fu_to_string kinds)))
+
+(* For every kind some cluster supports, the machine-wide ratio is the
+   exact binding-feasible bound even on capability-asymmetric machines:
+   min over assignments of per-cluster demand splits d_i (Σd_i = d)
+   of max_i ceil(d_i / c_i) equals ceil(d / Σc_i), achieved by the
+   proportional split over the capable clusters (incapable clusters
+   take d_i = 0).  Kinds no cluster supports make every assignment
+   binding-infeasible — callers screen those with [missing_kinds]. *)
 let res_mii machine ddg =
   let bound =
     List.fold_left
@@ -10,8 +39,8 @@ let res_mii machine ddg =
         if demand = 0 then acc
         else begin
           let avail = Machine.fu_total machine kind in
-          (* Invariant: presets and Gen only build machines with every
-             FU kind the workloads demand. *)
+          (* Backstop: pipeline entry points screen unsupported kinds
+             via [missing_kinds] and fail structurally first. *)
           if avail = 0 then
             invalid_arg
               (Printf.sprintf "Mii.res_mii: no %s in the machine"
@@ -37,6 +66,17 @@ let res_mii_cluster cluster ddg members =
         else max acc (ceil_div demand avail)
       end)
     0 Opcode.all_fu_kinds
+
+(* Per-instruction cluster-capability masks for Partition, or None on
+   capability-symmetric machines — omitting the masks keeps the
+   symmetric partitioning path byte-identical to the pre-capability
+   implementation. *)
+let eligibility machine ddg =
+  if Machine.capability_symmetric machine then None
+  else
+    Some
+      (Array.init (Ddg.n_instrs ddg) (fun i ->
+           Machine.eligible_clusters machine (Instr.fu (Ddg.instr ddg i))))
 
 let rec_mii = Recurrence.rec_mii
 

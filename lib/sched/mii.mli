@@ -1,15 +1,37 @@
 (** Minimum initiation interval bounds for homogeneous machines
     (Rau's resMII / recMII, paper §2.2). *)
 
+val missing_kinds :
+  Hcv_machine.Machine.t -> Hcv_ir.Ddg.t -> Hcv_ir.Opcode.fu_kind list
+(** Resource kinds the loop demands but no cluster can execute —
+    non-empty means the loop is unschedulable on this machine.  The
+    pipeline entry points screen with this so user-supplied
+    capability-asymmetric machines degrade to structured errors. *)
+
+val missing_kinds_msg :
+  Hcv_machine.Machine.t -> Hcv_ir.Ddg.t -> string option
+(** Human-readable rendering of {!missing_kinds}; [None] when the
+    machine covers every demanded kind. *)
+
 val res_mii : Hcv_machine.Machine.t -> Hcv_ir.Ddg.t -> int
 (** Resource-constrained bound: max over resource kinds of
-    [ceil(demand / machine-wide count)].  Kinds with demand but no
-    resource raise [Invalid_argument].  At least 1 for non-empty
-    loops. *)
+    [ceil(demand / machine-wide count)].  On capability-asymmetric
+    machines this is still the exact minimum over binding-feasible
+    assignments of the per-cluster bounds (the proportional split over
+    capable clusters attains it).  Kinds with demand but no resource
+    anywhere raise [Invalid_argument] — screen with {!missing_kinds}.
+    At least 1 for non-empty loops. *)
 
 val res_mii_cluster : Hcv_machine.Cluster.t -> Hcv_ir.Ddg.t -> Hcv_ir.Instr.id list -> int
 (** Same bound restricted to the instructions assigned to one
     cluster. *)
+
+val eligibility :
+  Hcv_machine.Machine.t -> Hcv_ir.Ddg.t -> bool array array option
+(** Per-instruction cluster-capability masks in {!Partition}'s
+    [?eligible] format, or [None] when the machine is
+    capability-symmetric (so symmetric machines take the byte-identical
+    unmasked path). *)
 
 val rec_mii : Hcv_ir.Ddg.t -> int
 (** Recurrence-constrained bound (0 when the loop has no

@@ -371,11 +371,42 @@ let max_passes = 6
    [Pseudo.score]) whose escape moves the transfer proxy cannot see,
    so the full neighbourhood is scored, exactly like the reference.
    Scores without this shape disable pruning via [stressed <= 0]. *)
+(* Per-macronode capability mask at one level: AND of the members'
+   per-instruction masks, flattened [v * k + cl].  A macronode whose
+   members' masks conflict (possible after heavy-edge matching merges
+   capability-incompatible instructions) falls back to all-true: coarse
+   levels may then park it anywhere, and the finest level — where every
+   macronode is a single instruction, so masks are exact — repairs and
+   keeps it feasible. *)
+let level_eligibility ~k ~(eligible : bool array array) level =
+  let e = Array.make (max (level.n * k) 1) true in
+  for v = 0 to level.n - 1 do
+    let any = ref false in
+    for cl = 0 to k - 1 do
+      let ok = ref true in
+      let j = ref level.member_off.(v) in
+      while !ok && !j < level.member_off.(v + 1) do
+        if not eligible.(level.member_ids.(!j)).(cl) then ok := false;
+        incr j
+      done;
+      e.((v * k) + cl) <- !ok;
+      if !ok then any := true
+    done;
+    if not !any then
+      for cl = 0 to k - 1 do
+        e.((v * k) + cl) <- true
+      done
+  done;
+  e
+
 let refine ~n_clusters ~score ~stressed ~pruned ~moves ~current ~comms
-    ~(hier : Hier.t) ~vcnt ~inst2node ~pbuf ~cbuf ~pstamp level macro
+    ~(hier : Hier.t) ~vcnt ~inst2node ~pbuf ~cbuf ~pstamp ?elig level macro
     instr_assignment =
   let n = level.n in
   let k = n_clusters in
+  let node_ok v cl =
+    match elig with None -> true | Some e -> e.((v * k) + cl)
+  in
   let prune_on = stressed > 0.0 in
   for v = 0 to n - 1 do
     for j = level.member_off.(v) to level.member_off.(v + 1) - 1 do
@@ -510,7 +541,7 @@ let refine ~n_clusters ~score ~stressed ~pruned ~moves ~current ~comms
         let it_cur = !current -. (100.0 *. float_of_int !comms) in
         let best_cl = ref home and best_s = ref !current in
         for cl = 0 to k - 1 do
-          if cl <> home then
+          if cl <> home && node_ok v cl then
             if
               use_prune
               &&
@@ -546,7 +577,7 @@ let initial_even ~n_clusters ddg =
   a
 
 let run_hier ?(obs = Hcv_obs.Trace.null) ~n_clusters ~(hier : Hier.t)
-    ?(seed = 0) ?(stressed = 1e7) ~score () =
+    ?(seed = 0) ?(stressed = 1e7) ?eligible ~score () =
   if n_clusters < 1 then invalid_arg "Partition.run: n_clusters < 1";
   List.iter
     (fun (_, cl) ->
@@ -600,6 +631,16 @@ let run_hier ?(obs = Hcv_obs.Trace.null) ~n_clusters ~(hier : Hier.t)
        clusters, the rest greedily by score, heaviest (most members)
        first; the seed rotates the starting cluster for tie diversity. *)
     let coarsest = levels.(!top) in
+    let coarse_elig =
+      Option.map
+        (fun e -> level_eligibility ~k:n_clusters ~eligible:e coarsest)
+        eligible
+    in
+    let coarse_ok v cl =
+      match coarse_elig with
+      | None -> true
+      | Some e -> e.((v * n_clusters) + cl)
+    in
     let macro = Array.make coarsest.n (-1) in
     let instr_assignment = Array.make n 0 in
     for v = 0 to coarsest.n - 1 do
@@ -615,20 +656,43 @@ let run_hier ?(obs = Hcv_obs.Trace.null) ~n_clusters ~(hier : Hier.t)
              if c <> 0 then c else Stdlib.compare a b)
     in
     (* Fill with a provisional round-robin so the score sees a complete
-       assignment, then greedily improve node by node. *)
-    List.iteri (fun k v -> macro.(v) <- (k + seed) mod n_clusters) unassigned;
+       assignment, then greedily improve node by node.  With capability
+       masks the rotation runs over each node's eligible clusters, so
+       even the provisional state never pins an op on a cluster that
+       cannot execute it. *)
+    List.iteri
+      (fun idx v ->
+        match coarse_elig with
+        | None -> macro.(v) <- (idx + seed) mod n_clusters
+        | Some e ->
+          let count = ref 0 in
+          for cl = 0 to n_clusters - 1 do
+            if e.((v * n_clusters) + cl) then incr count
+          done;
+          let pick = ref ((idx + seed) mod !count) and cl = ref 0 in
+          while not (e.((v * n_clusters) + !cl)) do incr cl done;
+          while !pick > 0 do
+            incr cl;
+            while not (e.((v * n_clusters) + !cl)) do incr cl done;
+            decr pick
+          done;
+          macro.(v) <- !cl)
+      unassigned;
     project coarsest macro instr_assignment;
     List.iter
       (fun v ->
         let best_cl = ref macro.(v) and best_s = ref infinity in
         for cl = 0 to n_clusters - 1 do
-          for j = coarsest.member_off.(v) to coarsest.member_off.(v + 1) - 1 do
-            instr_assignment.(coarsest.member_ids.(j)) <- cl
-          done;
-          let s = score instr_assignment in
-          if s < !best_s then begin
-            best_s := s;
-            best_cl := cl
+          if coarse_ok v cl then begin
+            for j = coarsest.member_off.(v) to coarsest.member_off.(v + 1) - 1
+            do
+              instr_assignment.(coarsest.member_ids.(j)) <- cl
+            done;
+            let s = score instr_assignment in
+            if s < !best_s then begin
+              best_s := s;
+              best_cl := cl
+            end
           end
         done;
         macro.(v) <- !best_cl;
@@ -646,23 +710,29 @@ let run_hier ?(obs = Hcv_obs.Trace.null) ~n_clusters ~(hier : Hier.t)
     let prune_on = stressed > 0.0 in
     let k = n_clusters in
     let vcnt = Array.make (if prune_on then n * k else 1) 0 in
-    if prune_on then
-      for p = 0 to n - 1 do
-        for a = hier.Hier.vsucc_off.(p) to hier.Hier.vsucc_off.(p + 1) - 1 do
-          let c = instr_assignment.(hier.Hier.vsucc.(a)) in
-          vcnt.((p * k) + c) <- vcnt.((p * k) + c) + 1
-        done
-      done;
     (* Current deduped transfer count, from the same counters. *)
     let comms = ref 0 in
-    if prune_on then
-      for p = 0 to n - 1 do
-        let row = p * k in
-        let clp = instr_assignment.(p) in
-        for c = 0 to k - 1 do
-          if c <> clp && vcnt.(row + c) > 0 then incr comms
+    let reset_counters () =
+      if prune_on then begin
+        Array.fill vcnt 0 (n * k) 0;
+        for p = 0 to n - 1 do
+          for a = hier.Hier.vsucc_off.(p) to hier.Hier.vsucc_off.(p + 1) - 1
+          do
+            let c = instr_assignment.(hier.Hier.vsucc.(a)) in
+            vcnt.((p * k) + c) <- vcnt.((p * k) + c) + 1
+          done
+        done;
+        comms := 0;
+        for p = 0 to n - 1 do
+          let row = p * k in
+          let clp = instr_assignment.(p) in
+          for c = 0 to k - 1 do
+            if c <> clp && vcnt.(row + c) > 0 then incr comms
+          done
         done
-      done;
+      end
+    in
+    reset_counters ();
     let inst2node = Array.make (max n 1) 0 in
     let pbuf = Array.make ((2 * n) + 1) 0 in
     let cbuf = Array.make ((2 * n) + 1) 0 in
@@ -673,8 +743,35 @@ let run_hier ?(obs = Hcv_obs.Trace.null) ~n_clusters ~(hier : Hier.t)
         Array.init level.n (fun v ->
             instr_assignment.(level.member_ids.(level.member_off.(v))))
       in
+      let elig =
+        Option.map (fun e -> level_eligibility ~k ~eligible:e level) eligible
+      in
+      (* Projection down a level can expose capability violations that a
+         coarser all-true fallback mask allowed (or that conflicting
+         members hid); repair them deterministically — lowest eligible
+         cluster — before refinement, which then only ever proposes
+         eligible candidates. *)
+      (match elig with
+      | None -> ()
+      | Some e ->
+        let repaired = ref false in
+        for v = 0 to level.n - 1 do
+          if level.fixed.(v) < 0 && not e.((v * k) + macro.(v)) then begin
+            let cl = ref 0 in
+            while not e.((v * k) + !cl) do
+              incr cl
+            done;
+            macro.(v) <- !cl;
+            repaired := true
+          end
+        done;
+        if !repaired then begin
+          project level macro instr_assignment;
+          current := score instr_assignment;
+          reset_counters ()
+        end);
       refine ~n_clusters ~score ~stressed ~pruned ~moves ~current ~comms
-        ~hier ~vcnt ~inst2node ~pbuf ~cbuf ~pstamp level macro
+        ~hier ~vcnt ~inst2node ~pbuf ~cbuf ~pstamp ?elig level macro
         instr_assignment
     done;
     Hcv_obs.Trace.incr obs "partition.runs";
@@ -687,7 +784,7 @@ let run_hier ?(obs = Hcv_obs.Trace.null) ~n_clusters ~(hier : Hier.t)
   end
 
 let run ?obs ~n_clusters ~ddg ?(fixed = []) ?(groups = []) ?seed ?stressed
-    ~score () =
+    ?eligible ~score () =
   if n_clusters < 1 then invalid_arg "Partition.run: n_clusters < 1";
   let hier = Hier.build ~ddg ~fixed ~groups () in
-  run_hier ?obs ~n_clusters ~hier ?seed ?stressed ~score ()
+  run_hier ?obs ~n_clusters ~hier ?seed ?stressed ?eligible ~score ()

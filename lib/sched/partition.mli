@@ -65,7 +65,8 @@ end
 
 val run_hier :
   ?obs:Hcv_obs.Trace.span -> n_clusters:int -> hier:Hier.t -> ?seed:int
-  -> ?stressed:float -> score:(int array -> float) -> unit -> result
+  -> ?stressed:float -> ?eligible:bool array array
+  -> score:(int array -> float) -> unit -> result
 (** Partition over a prebuilt hierarchy: initial assignment on the
     coarsest level with more than [n_clusters] macronodes (or the
     fixpoint level), then proxy-guided exact-gated refinement projected
@@ -83,6 +84,19 @@ val run_hier :
     full neighbourhood is then scored exactly, at the pre-gain-counter
     cost.
 
+    [?eligible] (default: every placement allowed) supplies
+    per-instruction capability masks for capability-asymmetric
+    machines: [eligible.(i).(cl)] is false when instruction [i] cannot
+    execute on cluster [cl] (no FU of its kind there).  Initial
+    assignment and refinement then only ever propose eligible
+    placements for free nodes; macronodes whose members' masks
+    conflict at coarse levels fall back to unconstrained and are
+    repaired at finer levels (deterministically, lowest eligible
+    cluster), so the returned instruction-level assignment always
+    respects the masks for non-fixed instructions.  Omitting the
+    argument is byte-identical to the pre-capability behaviour —
+    symmetric machines must omit it.
+
     [?obs] (default {!Hcv_obs.Trace.null}) counts ["partition.runs"],
     the refined hierarchy depth ["partition.levels"], the accepted
     refinement moves ["partition.refine_moves"], the exact-score
@@ -94,7 +108,8 @@ val run_hier :
 val run :
   ?obs:Hcv_obs.Trace.span -> n_clusters:int -> ddg:Ddg.t
   -> ?fixed:(Instr.id * int) list -> ?groups:Instr.id list list -> ?seed:int
-  -> ?stressed:float -> score:(int array -> float) -> unit -> result
+  -> ?stressed:float -> ?eligible:bool array array
+  -> score:(int array -> float) -> unit -> result
 (** [Hier.build] followed by {!run_hier} — for one-shot callers.
     Callers that repartition the same (ddg, fixed, groups) under
     several scores should build the hierarchy once and call

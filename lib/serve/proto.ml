@@ -1,7 +1,16 @@
 module J = Hcv_explore.Jsonx
 module Diag = Hcv_obs.Diag
 
-type machine_spec = { buses : int; grid_steps : int option }
+type machine_choice =
+  | Default
+  | Family of string
+  | Desc of string
+
+type machine_spec = {
+  buses : int;
+  grid_steps : int option;
+  machine : machine_choice;
+}
 
 type source =
   | Bench of { bench : string; seed : int; n_loops : int option }
@@ -52,6 +61,27 @@ let pos_field ?id j k =
     | Some n when n > 0 -> Ok (Some n)
     | Some _ | None -> bad ?id "field %S must be a positive integer" k)
 
+(* The optional "machine" field: a family name (string) or an inline
+   machine-description object.  Both are validated at the protocol
+   boundary; descriptions are re-serialised to the canonical text, so
+   equal machines key equally downstream whatever the client's
+   formatting. *)
+let parse_machine ?id j =
+  match field j "machine" with
+  | None -> Ok Default
+  | Some (J.Str f) ->
+    if List.mem f Hcv_machine.Family.names then Ok (Family f)
+    else
+      bad ?id "unknown machine family %S (known: %s)" f
+        (String.concat ", " Hcv_machine.Family.names)
+  | Some (J.Obj _ as d) -> (
+    match Hcv_explore.Machdesc.of_json d with
+    | Ok m -> Ok (Desc (Hcv_explore.Machdesc.to_string m))
+    | Error msg -> bad ?id "bad machine description: %s" msg)
+  | Some _ ->
+    bad ?id
+      "field \"machine\" must be a family name or a description object"
+
 let parse_spec ?id j =
   match pos_field ?id j "buses" with
   | Error e -> Error e
@@ -61,7 +91,10 @@ let parse_spec ?id j =
     else
       match pos_field ?id j "grid_steps" with
       | Error e -> Error e
-      | Ok grid_steps -> Ok { buses; grid_steps })
+      | Ok grid_steps -> (
+        match parse_machine ?id j with
+        | Error e -> Error e
+        | Ok machine -> Ok { buses; grid_steps; machine }))
 
 let parse_run ?id ?(frontier = None) ~name ~source j =
   match parse_spec ?id j with

@@ -32,9 +32,12 @@
 
     [explore] options: ["seed"] (default 42), ["loops"] (loop count,
     default per-spec).  Both run ops take the machine overrides
-    ["buses"] (default 1) and ["grid_steps"] (frequency-grid steps,
-    default unrestricted), a work cap ["budget"] (default unlimited)
-    and ["degrade"] (boolean, default [false]).  With a budget and
+    ["buses"] (default 1), ["grid_steps"] (frequency-grid steps,
+    default unrestricted) and ["machine"] (a machine-family name such
+    as ["big-little"], or an inline machine-description object in
+    {!Hcv_explore.Machdesc} form; default the paper machine), a work
+    cap ["budget"] (default unlimited) and ["degrade"] (boolean,
+    default [false]).  With a budget and
     [degrade:false], a request whose scheduling work exhausts the cap
     is answered with a structured [budget-exhausted] error; with
     [degrade:true] the response is the degraded (estimate-fallback)
@@ -59,7 +62,21 @@
     deterministic: they depend only on the request content, never on
     the worker count, the batch composition or the cache state. *)
 
-type machine_spec = { buses : int; grid_steps : int option }
+(** The optional ["machine"] request field: absent ([Default] — the
+    paper machine), a {!Hcv_machine.Family} name (validated against the
+    known families), or an inline {!Hcv_explore.Machdesc} JSON object
+    ([Desc] holds its canonical re-serialisation, so equal machines key
+    equally whatever the client's formatting). *)
+type machine_choice =
+  | Default
+  | Family of string
+  | Desc of string
+
+type machine_spec = {
+  buses : int;
+  grid_steps : int option;
+  machine : machine_choice;
+}
 
 type source =
   | Bench of { bench : string; seed : int; n_loops : int option }

@@ -121,13 +121,22 @@ let lower_graph g =
 
 (* ----- admission --------------------------------------------------- *)
 
+let machine_sel (w : Proto.work) =
+  match w.Proto.spec.Proto.machine with
+  | Proto.Default -> Sweep.Paper
+  | Proto.Family f -> Sweep.Family f
+  | Proto.Desc d -> Sweep.Desc d
+
 let cell_of (w : Proto.work) ~bench ~seed ~n_loops =
   (* Threading the frontier spec through the cell makes an unbudgeted
      frontier request key exactly as the CLI's frontier sweep cell —
-     warm-cache sharing for free. *)
+     warm-cache sharing for free.  The machine selection rides the same
+     way: cell keys cover it through the resolved machine's structural
+     signature, so default-machine requests keep their historical
+     keys. *)
   Sweep.cell ~buses:w.Proto.spec.Proto.buses
     ?grid_steps:w.Proto.spec.Proto.grid_steps ?frontier:w.Proto.frontier
-    ?n_loops ~seed bench
+    ~machine:(machine_sel w) ?n_loops ~seed bench
 
 let admit_dsl ~code (w : Proto.work) text =
   match Hcv_ir.Dsl.parse text with

@@ -1,0 +1,319 @@
+(* Capability-asymmetric machine families: coverage invariants,
+   description round-trips, structured machine-incapable failures,
+   legality on asymmetric placements, resMII bounds per family, and
+   pool-vs-serial byte identity of a family sweep. *)
+
+open Hcv_support
+open Hcv_ir
+open Hcv_machine
+open Hcv_energy
+open Hcv_core
+module E = Hcv_explore
+
+(* ----- family coverage --------------------------------------------- *)
+
+let test_family_coverage () =
+  Alcotest.(check bool) "at least 3 families" true
+    (List.length Family.names >= 3);
+  List.iter
+    (fun name ->
+      let m =
+        match Family.find name with
+        | Some m -> m
+        | None -> Alcotest.failf "family %s not found by name" name
+      in
+      (* Machine-wide, every kind is covered... *)
+      List.iter
+        (fun kind ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s supports %s" name (Opcode.fu_to_string kind))
+            true (Machine.supports m kind))
+        Opcode.all_fu_kinds;
+      (* ...but no family is capability-symmetric (that is the point). *)
+      Alcotest.(check bool)
+        (Printf.sprintf "%s is asymmetric" name)
+        false
+        (Machine.capability_symmetric m);
+      (* The eligibility masks agree with the per-cluster capability. *)
+      List.iter
+        (fun kind ->
+          let mask = Machine.eligible_clusters m kind in
+          Array.iteri
+            (fun i ok ->
+              Alcotest.(check bool)
+                (Printf.sprintf "%s c%d mask %s" name i
+                   (Opcode.fu_to_string kind))
+                (Cluster.capable (Machine.cluster m i) kind)
+                ok)
+            mask)
+        Opcode.all_fu_kinds)
+    Family.names;
+  (* The paper machine is the symmetric baseline. *)
+  Alcotest.(check bool) "paper machine is symmetric" true
+    (Machine.capability_symmetric (Presets.machine_4c ~buses:1))
+
+(* ----- machine descriptions ---------------------------------------- *)
+
+let test_machdesc_roundtrip () =
+  let machines =
+    ("paper", Presets.machine_4c ~buses:1)
+    :: ("paper-2bus", Presets.machine_4c ~buses:2)
+    :: Family.all ()
+  in
+  List.iter
+    (fun (name, m) ->
+      let text = E.Machdesc.to_string m in
+      match E.Machdesc.of_string text with
+      | Error e -> Alcotest.failf "%s does not re-parse: %s" name e
+      | Ok m' ->
+        (* Canonical serialisation: equal machines print identically. *)
+        Alcotest.(check string)
+          (Printf.sprintf "%s canonical round-trip" name)
+          text (E.Machdesc.to_string m'))
+    machines
+
+let test_machdesc_errors () =
+  let bad = [ "not json"; "{}"; "{\"clusters\":[]}"; "[1,2,3]" ] in
+  List.iter
+    (fun text ->
+      match E.Machdesc.of_string text with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "bad description %S parsed" text)
+    bad
+
+(* ----- structured machine-incapable failures ----------------------- *)
+
+let int_only =
+  Machine.make ~name:"int-only"
+    ~clusters:
+      [|
+        Cluster.make ~name:"i0" ~int_fus:2 ~fp_fus:0 ~mem_ports:0 ~registers:16
+          ();
+        Cluster.make ~name:"i1" ~int_fus:2 ~fp_fus:0 ~mem_ports:0 ~registers:16
+          ();
+      |]
+    ~icn:(Icn.make ~buses:1 ())
+    ()
+
+let ctx_for machine =
+  let n = Machine.n_clusters machine in
+  let act =
+    Activity.make ~exec_time_ns:1e6
+      ~per_cluster_ins_energy:(Array.make n 100.)
+      ~n_comms:100. ~n_mem:100.
+  in
+  Model.ctx ~params:Params.default
+    ~units:(Units.of_reference ~params:Params.default ~n_clusters:n act)
+    ()
+
+let test_machine_incapable () =
+  let loop = Builders.dotprod ~trip:10 () in
+  (* dotprod demands FP and memory; int_only has neither. *)
+  let missing = Hcv_sched.Mii.missing_kinds int_only loop.Loop.ddg in
+  Alcotest.(check bool) "fp missing" true (List.mem Opcode.Fp_fu missing);
+  Alcotest.(check bool) "mem missing" true (List.mem Opcode.Mem_port missing);
+  Alcotest.(check bool) "int not missing" false
+    (List.mem Opcode.Int_fu missing);
+  (* Profiling fails structurally, not with an exception. *)
+  (match Profile.profile ~machine:int_only ~loops:[ loop ] () with
+  | Ok _ -> Alcotest.fail "profiling an incapable machine succeeded"
+  | Error d ->
+    Alcotest.(check string) "profile code" "machine-incapable"
+      (Hcv_obs.Diag.code d));
+  (* So does the heterogeneous scheduler... *)
+  (match
+     Hsched.schedule ~ctx:(ctx_for int_only)
+       ~config:(Presets.reference_config int_only)
+       ~loop ()
+   with
+  | Ok _ -> Alcotest.fail "scheduling on an incapable machine succeeded"
+  | Error d ->
+    Alcotest.(check string) "hsched code" "machine-incapable"
+      (Hcv_obs.Diag.code d));
+  (* ...and the homogeneous baseline. *)
+  match
+    Hcv_sched.Homo.schedule ~machine:int_only ~cycle_time:Q.one ~loop ()
+  with
+  | Ok _ -> Alcotest.fail "homo scheduling on an incapable machine succeeded"
+  | Error _ -> ()
+
+(* ----- legality on asymmetric machines ----------------------------- *)
+
+let schedule_on machine loop =
+  match
+    Hsched.schedule ~ctx:(ctx_for machine)
+      ~config:(Presets.reference_config machine)
+      ~loop ()
+  with
+  | Ok (sched, _) -> sched
+  | Error d ->
+    Alcotest.failf "scheduling failed on %s: %a" machine.Machine.name
+      Hcv_obs.Diag.pp d
+
+let test_asymmetric_legality () =
+  let loop = Builders.dotprod ~trip:10 () in
+  List.iter
+    (fun (name, machine) ->
+      let sched = schedule_on machine loop in
+      (* Legal placements on a legal machine. *)
+      (match Hcv_check.Legal.verify sched with
+      | Ok () -> ()
+      | Error vs ->
+        Alcotest.failf "%s schedule illegal: %s" name
+          (String.concat "; "
+             (List.map
+                (fun (v : Hcv_check.Legal.violation) ->
+                  v.Hcv_check.Legal.rule ^ ": " ^ v.Hcv_check.Legal.detail)
+                vs)));
+      (* Moving an op to a cluster lacking its FU kind must trip the
+         oracle's fu-eligibility rule. *)
+      let ddg = loop.Loop.ddg in
+      let victim =
+        let found = ref None in
+        Array.iteri
+          (fun i (_ : Hcv_sched.Schedule.placement) ->
+            if !found = None then begin
+              let kind = Instr.fu (Ddg.instr ddg i) in
+              let mask = Machine.eligible_clusters machine kind in
+              Array.iteri
+                (fun c ok -> if (not ok) && !found = None then
+                    found := Some (i, c))
+                mask
+            end)
+          sched.Hcv_sched.Schedule.placements;
+        !found
+      in
+      match victim with
+      | None -> Alcotest.failf "%s has no ineligible (instr, cluster) pair" name
+      | Some (i, c) ->
+        let p = Array.copy sched.Hcv_sched.Schedule.placements in
+        p.(i) <- { (p.(i)) with Hcv_sched.Schedule.cluster = c };
+        let bad = { sched with Hcv_sched.Schedule.placements = p } in
+        (match Hcv_check.Legal.verify bad with
+        | Ok () ->
+          Alcotest.failf "%s: ineligible placement passed the oracle" name
+        | Error vs ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s flags fu-eligibility" name)
+            true
+            (List.exists
+               (fun (v : Hcv_check.Legal.violation) ->
+                 v.Hcv_check.Legal.rule = "fu-eligibility")
+               vs)))
+    (Family.all ())
+
+(* ----- resMII lower bounds per family ------------------------------ *)
+
+let test_res_mii_bounds () =
+  let loop = Builders.wide_loop ~trip:10 ~width:8 () in
+  let ddg = loop.Loop.ddg in
+  (* wide_loop(8): 8 loads + 8 stores (memory) and 8 FP adds. *)
+  let expected =
+    [
+      ("big-little", 3);
+      (* mem: ceil(16/6) *)
+      ("fp-heavy", 4);
+      (* mem: ceil(16/4) *)
+      ("scalar-satellite", 8);
+      (* mem: ceil(16/2) *)
+    ]
+  in
+  List.iter
+    (fun (name, want) ->
+      let m = Family.machine name in
+      let got = Hcv_sched.Mii.res_mii m ddg in
+      Alcotest.(check int) (Printf.sprintf "%s resMII" name) want got;
+      (* The documented formula: max over kinds of ceil(demand/total). *)
+      let formula =
+        List.fold_left
+          (fun acc kind ->
+            let demand =
+              Array.fold_left
+                (fun n i -> if Instr.fu i = kind then n + 1 else n)
+                0 (Ddg.instrs ddg)
+            in
+            if demand = 0 then acc
+            else
+              let total = Machine.fu_total m kind in
+              max acc ((demand + total - 1) / total))
+          1 Opcode.all_fu_kinds
+      in
+      Alcotest.(check int)
+        (Printf.sprintf "%s matches the formula" name)
+        formula got)
+    expected;
+  Alcotest.(check int) "paper resMII" 4
+    (Hcv_sched.Mii.res_mii (Presets.machine_4c ~buses:1) ddg)
+
+(* ----- machine keys ------------------------------------------------ *)
+
+let test_machine_keys () =
+  (* The paper machine's key is pinned: caches from earlier releases
+     must stay valid. *)
+  Alcotest.(check string) "paper key unchanged"
+    "paper-4c-1bus:4:unrestricted"
+    (E.Codec.machine_key (Presets.machine_4c ~buses:1));
+  (* Family keys carry the full structural signature and are pairwise
+     distinct. *)
+  let keys =
+    List.map (fun (_, m) -> E.Codec.machine_key m) (Family.all ())
+  in
+  List.iter
+    (fun k ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s carries cluster signature" k)
+        true
+        (String.length k > String.length "x:clusters="
+        && List.exists
+             (fun i ->
+               i + 9 <= String.length k && String.sub k i 9 = "clusters=")
+             (List.init (String.length k - 8) Fun.id)))
+    keys;
+  Alcotest.(check int) "family keys distinct" (List.length keys)
+    (List.length (Listx.uniq keys))
+
+(* ----- family sweep: pool vs serial -------------------------------- *)
+
+let loops_of (c : Sweep.cell) =
+  match c.Sweep.bench with
+  | "tiny-dot" -> [ Builders.dotprod ~trip:50 () ]
+  | b -> Alcotest.failf "unexpected bench %s" b
+
+let family_cells =
+  List.map
+    (fun f -> Sweep.cell ~machine:(Sweep.Family f) "tiny-dot")
+    Family.names
+
+let run_with jobs =
+  let engine = E.Engine.create ~jobs () in
+  Fun.protect
+    ~finally:(fun () -> E.Engine.shutdown engine)
+    (fun () -> Sweep.run engine ~loops_of family_cells)
+
+let test_family_sweep_pool_equals_serial () =
+  let serial = run_with 1 in
+  let parallel = run_with 3 in
+  Alcotest.(check (list string))
+    "jobs=3 equals jobs=1, byte for byte"
+    (List.map Sweep.outcome_to_string serial)
+    (List.map Sweep.outcome_to_string parallel);
+  List.iter2
+    (fun f (o : Sweep.outcome) ->
+      Alcotest.(check (option string)) (f ^ " succeeded") None o.Sweep.error;
+      Alcotest.(check bool)
+        (f ^ " ed2 ratio sane") true
+        (Float.is_finite o.Sweep.ed2_ratio && o.Sweep.ed2_ratio > 0.))
+    Family.names serial
+
+let suite =
+  [
+    Alcotest.test_case "family coverage" `Quick test_family_coverage;
+    Alcotest.test_case "machdesc round-trip" `Quick test_machdesc_roundtrip;
+    Alcotest.test_case "machdesc errors" `Quick test_machdesc_errors;
+    Alcotest.test_case "machine incapable" `Quick test_machine_incapable;
+    Alcotest.test_case "asymmetric legality" `Quick test_asymmetric_legality;
+    Alcotest.test_case "resMII bounds" `Quick test_res_mii_bounds;
+    Alcotest.test_case "machine keys" `Quick test_machine_keys;
+    Alcotest.test_case "family sweep pool=serial" `Quick
+      test_family_sweep_pool_equals_serial;
+  ]

@@ -190,9 +190,41 @@ let test_oracle_over_pipelines () =
       ("fig7-grid", Machine.with_grid machine (Presets.grid_of_steps (Some 8)));
     ]
 
+let test_paper_byte_identity () =
+  (* The capability-aware layers must leave the paper machine
+     untouched: a paper machine arriving from a description file (the
+     new input path) is structurally identical to the compiled-in
+     preset, takes the same cache keys, and yields byte-identical sweep
+     outcomes to the default-machine path. *)
+  let module E = Hcv_explore in
+  let m' =
+    match E.Machdesc.of_string (E.Machdesc.to_string machine) with
+    | Ok m -> m
+    | Error e -> Alcotest.failf "paper machine does not round-trip: %s" e
+  in
+  Alcotest.(check bool) "round-trip is structurally identical" true
+    (m' = machine);
+  Alcotest.(check string) "same machine key"
+    (E.Codec.machine_key machine)
+    (E.Codec.machine_key m');
+  let loops_of (_ : Sweep.cell) = parse () in
+  let default_cell = Sweep.cell "integration" in
+  let desc_cell =
+    Sweep.cell ~machine:(Sweep.Desc (E.Machdesc.to_string machine))
+      "integration"
+  in
+  Alcotest.(check string) "description path keys like the default path"
+    (Sweep.cell_key default_cell)
+    (Sweep.cell_key desc_cell);
+  Alcotest.(check string) "byte-identical outcome"
+    (Sweep.outcome_to_string (Sweep.run_cell ~loops_of default_cell))
+    (Sweep.outcome_to_string (Sweep.run_cell ~loops_of desc_cell))
+
 let suite =
   [
     Alcotest.test_case "full flow" `Quick test_full_flow;
+    Alcotest.test_case "paper-machine byte identity" `Quick
+      test_paper_byte_identity;
     Alcotest.test_case "oracle over fig7/ablation pipelines" `Quick
       test_oracle_over_pipelines;
     Alcotest.test_case "energy model consistency" `Quick

@@ -11,10 +11,29 @@ let test_cluster () =
   Alcotest.(check int) "mem port" 1 (Cluster.fu_count c Opcode.Mem_port);
   Alcotest.(check int) "registers" 16 c.Cluster.registers;
   Alcotest.(check int) "issue width" 3 (Cluster.issue_width c);
-  Alcotest.check_raises "no resources"
-    (Invalid_argument "Cluster.make: cluster with no execution resources")
-    (fun () ->
-      ignore (Cluster.make ~int_fus:0 ~fp_fus:0 ~mem_ports:0 ~registers:4 ()))
+  (* Partial and even FU-less clusters are constructible: capability
+     asymmetry is a placement question, not a structural one. *)
+  let bare = Cluster.make ~int_fus:0 ~fp_fus:0 ~mem_ports:0 ~registers:4 () in
+  Alcotest.(check int) "bare issue width" 0 (Cluster.issue_width bare);
+  List.iter
+    (fun kind ->
+      Alcotest.(check int)
+        (Printf.sprintf "bare %s count" (Opcode.fu_to_string kind))
+        0 (Cluster.fu_count bare kind);
+      Alcotest.(check bool)
+        (Printf.sprintf "bare not %s capable" (Opcode.fu_to_string kind))
+        false (Cluster.capable bare kind))
+    Opcode.all_fu_kinds;
+  let mem_only = Cluster.make ~int_fus:0 ~fp_fus:0 ~mem_ports:2 ~registers:8 () in
+  Alcotest.(check int) "mem-only issue width" 2 (Cluster.issue_width mem_only);
+  Alcotest.(check bool) "mem-only capable mem" true
+    (Cluster.capable mem_only Opcode.Mem_port);
+  Alcotest.(check bool) "mem-only not capable int" false
+    (Cluster.capable mem_only Opcode.Int_fu);
+  (* Negative counts stay structurally invalid. *)
+  Alcotest.check_raises "negative resources"
+    (Invalid_argument "Cluster.make: negative resource count") (fun () ->
+      ignore (Cluster.make ~int_fus:(-1) ~fp_fus:0 ~mem_ports:0 ~registers:4 ()))
 
 let test_icn () =
   Alcotest.(check int) "1 bus" 1 Icn.paper_1bus.Icn.buses;

@@ -100,6 +100,53 @@ let test_proto_parse () =
     (Some "x", "bad-request")
     (parse_err {|{"id":"x","op":"explore","bench":"applu","budget":0}|})
 
+let test_proto_machine () =
+  (* Absent field: the paper machine. *)
+  let machine_of line =
+    match (parse_ok line).S.Proto.req with
+    | S.Proto.Run w -> w.S.Proto.spec.S.Proto.machine
+    | _ -> Alcotest.fail "expected Run"
+  in
+  (match machine_of {|{"id":"a","op":"explore","bench":"applu"}|} with
+  | S.Proto.Default -> ()
+  | _ -> Alcotest.fail "absent machine must be Default");
+  (* A family by name. *)
+  (match
+     machine_of {|{"id":"a","op":"explore","bench":"applu","machine":"fp-heavy"}|}
+   with
+  | S.Proto.Family f -> Alcotest.(check string) "family" "fp-heavy" f
+  | _ -> Alcotest.fail "expected Family");
+  (* An inline description, canonicalised: the same machine with keys
+     in a different order and defaults elided parses to the same
+     [Desc]. *)
+  let desc json =
+    match
+      machine_of
+        (Printf.sprintf
+           {|{"id":"a","op":"explore","bench":"applu","machine":%s}|} json)
+    with
+    | S.Proto.Desc d -> d
+    | _ -> Alcotest.fail "expected Desc"
+  in
+  Alcotest.(check string) "descriptions canonicalised"
+    (desc {|{"name":"m","clusters":[{"int":1,"fp":0,"mem":1}]}|})
+    (desc
+       {|{"clusters":[{"mem":1,"fp":0,"int":1,"regs":16}],"name":"m","icn":{"buses":1,"latency":1}}|});
+  (* Unknown family names and malformed descriptions are structured
+     errors with the id preserved. *)
+  Alcotest.(check (pair (option string) string))
+    "unknown family"
+    (Some "x", "bad-request")
+    (parse_err {|{"id":"x","op":"explore","bench":"applu","machine":"huge"}|});
+  Alcotest.(check (pair (option string) string))
+    "malformed description"
+    (Some "x", "bad-request")
+    (parse_err {|{"id":"x","op":"explore","bench":"applu","machine":{}}|});
+  Alcotest.(check (pair (option string) string))
+    "wrong type"
+    (Some "x", "bad-request")
+    (parse_err {|{"id":"x","op":"explore","bench":"applu","machine":7}|})
+
 let test_proto_responses () =
   let ok = S.Proto.ok_line ~id:"a" ~op:"ping" () in
   (match S.Proto.parse_response ok with
@@ -551,6 +598,7 @@ let suite =
     Alcotest.test_case "frame bounds oversized lines" `Quick
       test_frame_oversized;
     Alcotest.test_case "proto parses requests" `Quick test_proto_parse;
+    Alcotest.test_case "proto machine field" `Quick test_proto_machine;
     Alcotest.test_case "proto renders responses" `Quick test_proto_responses;
     Alcotest.test_case "registry content keys" `Quick test_registry_keys;
     Alcotest.test_case "frontier op" `Quick test_frontier_op;
