@@ -2,14 +2,18 @@
    with a deterministic request stream and report requests/s plus
    p50/p99 latency, cold cache vs warm cache.
 
-   Three passes over the same stream:
+   Four passes over the same stream:
      cold   jobs=2, fresh cache dir  (reported as "cold")
      warm   jobs=2, same cache dir   (reported as "warm")
      check  jobs=1, another fresh dir
-   The response sequences of all three must be byte-identical — the
+     ample  jobs=2, fresh dir, every request carrying an ample
+            deadline_ms — a deadline that never binds must not change
+            a single response byte (it only caps work, and the cap is
+            far above what any request needs)
+   The response sequences of all four must be byte-identical — the
    serving plane's determinism contract (responses depend only on
-   request content, never on worker count or cache state) — and the
-   bench exits non-zero if they are not. *)
+   request content, never on worker count, cache state or a non-binding
+   deadline) — and the bench exits non-zero if they are not. *)
 
 module E = Hcv_explore
 module S = Hcv_serve
@@ -91,11 +95,19 @@ let run ~quick ~out () =
     (fun () ->
       let dir_main = Filename.concat base "main" in
       let dir_check = Filename.concat base "check" in
+      let dir_ample = Filename.concat base "ample" in
+      let ample_deadline_ms = 60_000 in
+      let ample_lines =
+        List.map (S.Load.with_deadline ample_deadline_ms) lines
+      in
       let cold = run_pass ~jobs:2 ~cache_dir:dir_main lines in
       let warm = run_pass ~jobs:2 ~cache_dir:dir_main lines in
       let check = run_pass ~jobs:1 ~cache_dir:dir_check lines in
+      let ample = run_pass ~jobs:2 ~cache_dir:dir_ample ample_lines in
       let identical =
-        cold.responses = warm.responses && cold.responses = check.responses
+        cold.responses = warm.responses
+        && cold.responses = check.responses
+        && cold.responses = ample.responses
       in
       let report =
         J.Obj
@@ -107,6 +119,8 @@ let run ~quick ~out () =
             ("cold", pass_json ~jobs:2 ~requests cold);
             ("warm", pass_json ~jobs:2 ~requests warm);
             ("check_serial_cold", pass_json ~jobs:1 ~requests check);
+            ("ample_deadline_ms", J.Num (float_of_int ample_deadline_ms));
+            ("ample_deadline", pass_json ~jobs:2 ~requests ample);
             ("identical", J.Bool identical);
           ]
       in
@@ -123,10 +137,12 @@ let run ~quick ~out () =
       in
       show "cold" cold;
       show "warm" warm;
+      show "ample" ample;
       Printf.printf "  wrote %s\n%!" out;
       if identical then
         Printf.printf
-          "  responses byte-identical across jobs 1/2 and cold/warm cache\n%!"
+          "  responses byte-identical across jobs 1/2, cold/warm cache and \
+           an ample deadline\n%!"
       else begin
         prerr_endline
           "serve bench: response sequences DIVERGED across passes";

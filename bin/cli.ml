@@ -1260,9 +1260,51 @@ let serve_cmd =
     Arg.(
       value & opt (some int) None
       & info [ "max-requests" ] ~docv:"N"
-          ~doc:"Exit after answering $(docv) requests (CI smoke mode).")
+          ~doc:"Drain and exit after answering $(docv) requests (CI smoke \
+                mode).")
   in
-  let run socket tcp jobs cache batch_max max_requests trace metrics =
+  let default_deadline_ms =
+    Arg.(
+      value & opt (some int) None
+      & info [ "default-deadline-ms" ] ~docv:"MS"
+          ~doc:"Server-side deadline compiled onto every run request that \
+                does not carry its own deadline_ms (default: none).")
+  in
+  let idle_timeout =
+    Arg.(
+      value & opt float 300.
+      & info [ "idle-timeout" ] ~docv:"SECONDS"
+          ~doc:"Close connections idle for $(docv) seconds.")
+  in
+  let slow_timeout =
+    Arg.(
+      value & opt float 10.
+      & info [ "slow-timeout" ] ~docv:"SECONDS"
+          ~doc:"Close connections whose request line fails to complete \
+                within $(docv) seconds (slowloris defence).")
+  in
+  let max_pending =
+    Arg.(
+      value & opt int 512
+      & info [ "max-pending" ] ~docv:"N"
+          ~doc:"Per-connection backlog cap: complete request lines beyond \
+                $(docv) are answered with structured overloaded errors.")
+  in
+  let max_out =
+    Arg.(
+      value & opt int (8 lsl 20)
+      & info [ "max-out" ] ~docv:"BYTES"
+          ~doc:"Close a connection whose unread response backlog exceeds \
+                $(docv) bytes (slow-reader defence).")
+  in
+  let drain_grace =
+    Arg.(
+      value & opt float 5.
+      & info [ "drain-grace" ] ~docv:"SECONDS"
+          ~doc:"Bound on the graceful drain after shutdown/--max-requests.")
+  in
+  let run socket tcp jobs cache batch_max max_requests default_deadline_ms
+      idle_timeout slow_timeout max_pending max_out drain_grace trace metrics =
     setup_logs ();
     Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
     let listen =
@@ -1276,17 +1318,20 @@ let serve_cmd =
       | _ -> or_die (Error "exactly one of --socket or --tcp is required")
     in
     with_engine ?cache_dir:cache ~jobs (fun ~cache:_ engine ->
-        let dispatch = S.Dispatch.create engine in
+        let dispatch = S.Dispatch.create ?default_deadline_ms engine in
         let server =
-          S.Server.create ~batch_max ?max_requests ~dispatch listen
+          S.Server.create ~batch_max ?max_requests
+            ~idle_timeout_s:idle_timeout ~slow_timeout_s:slow_timeout
+            ~max_pending ~max_out ~drain_grace_s:drain_grace ~dispatch listen
         in
         Printf.eprintf "serve: listening (%d worker%s)\n%!" jobs
           (if jobs = 1 then "" else "s");
         with_obs ~trace ~metrics "serve" (fun obs ->
             S.Server.run ~obs server);
-        Printf.eprintf "serve: answered %d requests (%d errors)\n%!"
+        Printf.eprintf "serve: answered %d requests (%d errors, %d shed)\n%!"
           (S.Dispatch.served dispatch)
-          (S.Dispatch.errors dispatch));
+          (S.Dispatch.errors dispatch)
+          (S.Dispatch.shed dispatch));
     (* The daemon owns its socket file; leave no stale one behind. *)
     Option.iter
       (fun p -> try Sys.remove p with Sys_error _ -> ())
@@ -1299,10 +1344,13 @@ let serve_cmd =
           requests over a Unix or TCP socket, batch concurrent requests \
           onto one shared worker pool and one warm persistent cache, and \
           answer each with a structured (byte-deterministic) response \
-          line.")
+          line.  Overload protection: per-request deadlines, bounded \
+          backlogs with deterministic shedding, idle/slowloris timeouts \
+          and graceful drain.")
     Term.(
       const run $ socket_arg $ tcp_arg $ jobs $ cache $ batch_max
-      $ max_requests $ trace_arg $ metrics_arg)
+      $ max_requests $ default_deadline_ms $ idle_timeout $ slow_timeout
+      $ max_pending $ max_out $ drain_grace $ trace_arg $ metrics_arg)
 
 let loadgen_cmd =
   let requests =
@@ -1353,8 +1401,15 @@ let loadgen_cmd =
       & info [ "shutdown" ]
           ~doc:"Send a shutdown request to the daemon when done.")
   in
+  let deadline_ms =
+    Arg.(
+      value & opt (some int) None
+      & info [ "deadline-ms" ] ~docv:"MS"
+          ~doc:"Stamp every generated request with this deadline_ms \
+                (0 is the fast-fail probe).")
+  in
   let run socket tcp requests concurrency seed n_loops mix transcript json
-      shutdown =
+      shutdown deadline_ms =
     setup_logs ();
     Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
     let addr = sockaddr_of ~socket ~tcp in
@@ -1372,6 +1427,11 @@ let loadgen_cmd =
       fd
     in
     let lines = S.Load.requests ~mix ~n_loops ~seed requests in
+    let lines =
+      match deadline_ms with
+      | None -> lines
+      | Some ms -> List.map (S.Load.with_deadline ms) lines
+    in
     let numbered = List.mapi (fun i l -> (i, l)) lines in
     let concurrency = max 1 concurrency in
     let chunks =
@@ -1379,7 +1439,9 @@ let loadgen_cmd =
           List.filter (fun (i, _) -> i mod concurrency = w) numbered)
     in
     (* One connection per worker; requests on a connection are issued
-       synchronously so per-request latency is honest. *)
+       synchronously so per-request latency is honest.  A connection
+       the daemon closed mid-chunk marks its remaining requests as
+       transport errors instead of killing the whole run. *)
     let run_chunk chunk =
       if chunk = [] then []
       else begin
@@ -1393,11 +1455,15 @@ let loadgen_cmd =
             List.map
               (fun (i, line) ->
                 let t0 = Unix.gettimeofday () in
-                output_string oc line;
-                output_char oc '\n';
-                flush oc;
-                let resp = input_line ic in
-                ((Unix.gettimeofday () -. t0) *. 1e9, (i, resp)))
+                match
+                  output_string oc line;
+                  output_char oc '\n';
+                  flush oc;
+                  input_line ic
+                with
+                | resp ->
+                  (Some ((Unix.gettimeofday () -. t0) *. 1e9), (i, Some resp))
+                | exception (End_of_file | Sys_error _) -> (None, (i, None)))
               chunk)
       end
     in
@@ -1410,26 +1476,41 @@ let loadgen_cmd =
     in
     let wall_ns = (Unix.gettimeofday () -. t0) *. 1e9 in
     let all = List.concat per_chunk in
-    let latencies_ns = List.map fst all in
+    (* Percentiles are computed over successfully answered requests
+       only: a shed request or a dead connection is not a latency
+       sample. *)
+    let latencies_ns =
+      List.filter_map
+        (fun (lat, (_, resp)) ->
+          match (lat, Option.map S.Load.classify resp) with
+          | Some ns, Some S.Load.Ok_answer -> Some ns
+          | _ -> None)
+        all
+    in
     let responses =
       List.sort
         (fun (i, _) (j, _) -> compare (i : int) j)
         (List.map snd all)
     in
-    let ok, errors =
+    let ok, errors, shed, deadline_exceeded, transport =
       List.fold_left
-        (fun (ok, err) (_, resp) ->
-          match S.Proto.parse_response resp with
-          | Ok r when r.S.Proto.ok -> (ok + 1, err)
-          | _ -> (ok, err + 1))
-        (0, 0) responses
+        (fun (ok, err, shed, dl, tr) (_, resp) ->
+          match Option.map S.Load.classify resp with
+          | Some S.Load.Ok_answer -> (ok + 1, err, shed, dl, tr)
+          | Some S.Load.Shed -> (ok, err + 1, shed + 1, dl, tr)
+          | Some S.Load.Deadline_exceeded -> (ok, err + 1, shed, dl + 1, tr)
+          | Some S.Load.Error_answer -> (ok, err + 1, shed, dl, tr)
+          | None -> (ok, err, shed, dl, tr + 1))
+        (0, 0, 0, 0, 0) responses
     in
     (match transcript with
     | None -> ()
     | Some path ->
       let oc = open_out path in
       List.iter
-        (fun (i, resp) -> Printf.fprintf oc "%06d\t%s\n" i resp)
+        (fun (i, resp) ->
+          Printf.fprintf oc "%06d\t%s\n" i
+            (Option.value resp ~default:"#transport-error"))
         responses;
       close_out oc);
     if shutdown then begin
@@ -1445,8 +1526,8 @@ let loadgen_cmd =
     end;
     let summary =
       E.Jsonx.to_string
-        (S.Load.summary_json ~requests ~concurrency ~wall_ns ~ok ~errors
-           ~latencies_ns)
+        (S.Load.summary_json ~shed ~deadline_exceeded ~transport ~requests
+           ~concurrency ~wall_ns ~ok ~errors ~latencies_ns ())
     in
     match json with
     | None -> print_endline summary
@@ -1462,10 +1543,352 @@ let loadgen_cmd =
          "Drive a running daemon with a deterministic (seeded) request \
           stream over concurrent connections and report requests/s plus \
           p50/p99 latency; with --transcript, responses are written in \
-          issue order for byte-comparison across runs.")
+          issue order for byte-comparison across runs.  Shed and \
+          deadline-exceeded answers are tallied separately from \
+          transport errors, and percentiles cover successfully answered \
+          requests only.")
     Term.(
       const run $ socket_arg $ tcp_arg $ requests $ concurrency $ seed
-      $ n_loops $ mix $ transcript $ json $ shutdown)
+      $ n_loops $ mix $ transcript $ json $ shutdown $ deadline_ms)
+
+(* ----- soak: adversarial socket chaos drill for the serve plane ----- *)
+
+(* The serve-plane counterpart of [chaos]: a fault-free sequential
+   baseline answers the clean and deadline-zero request cohorts
+   in-process, then a daemon hardened with deliberately small overload
+   knobs serves the same cohorts concurrently while a seeded fault plan
+   tears its reads and writes and adversarial personas (slowloris,
+   mid-frame disconnect, oversize flood, pipelined burst) attack it.
+   The drill asserts the daemon survives — every well-behaved request
+   answered byte-identically to the baseline, the slowloris reaped, the
+   burst shed with structured overloaded errors, and the final
+   pipelined shutdown drained gracefully. *)
+let soak_cmd =
+  let seed =
+    Arg.(
+      value & opt int 42
+      & info [ "seed" ] ~doc:"Fault-plan and request-stream seed.")
+  in
+  let requests =
+    Arg.(
+      value & opt int 24
+      & info [ "requests" ] ~docv:"N"
+          ~doc:"Well-behaved requests in the clean cohort.")
+  in
+  let concurrency =
+    Arg.(
+      value & opt int 4
+      & info [ "concurrency" ] ~docv:"K"
+          ~doc:"Concurrent well-behaved clients (round-robin split).")
+  in
+  let jobs =
+    Arg.(
+      value & opt int 2
+      & info [ "jobs"; "j" ] ~docv:"N" ~doc:"Daemon worker domains.")
+  in
+  let n_loops =
+    Arg.(
+      value & opt int 2
+      & info [ "loops" ] ~doc:"Loops per benchmark (small keeps the drill \
+                               fast).")
+  in
+  let transcript =
+    Arg.(
+      value & opt (some string) None
+      & info [ "transcript" ] ~docv:"FILE"
+          ~doc:"Write every cohort answer (tab-separated, in issue order) \
+                to $(docv) — the artefact CI uploads when the drill \
+                fails.")
+  in
+  let run seed requests concurrency jobs n_loops transcript =
+    setup_logs ();
+    Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+    let concurrency = max 1 concurrency in
+    let clean = S.Load.requests ~mix:S.Load.Clean ~n_loops ~seed requests in
+    let dz =
+      (* The fast-fail-probe cohort: deadline 0 compiles to the minimum
+         budget, so these answer deterministically too (deadline-exceeded
+         or a cheap success), and byte-identity covers the deadline
+         path. *)
+      List.map (S.Load.with_deadline 0)
+        (S.Load.requests ~mix:S.Load.Clean ~n_loops ~seed:(seed + 1)
+           (max 4 (requests / 4)))
+    in
+    (* Fault-free, sequential, serverless baseline: by the dispatcher's
+       determinism contract these are the exact bytes every clean and
+       deadline-zero request must get back under chaos. *)
+    let expected_clean, expected_dz =
+      with_engine ~jobs:1 (fun ~cache:_ engine ->
+          let d = S.Dispatch.create engine in
+          ( List.map (fun l -> S.Dispatch.handle_line d l) clean,
+            List.map (fun l -> S.Dispatch.handle_line d l) dz ))
+    in
+    let path =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "hcvliw-soak-%d.sock" (Unix.getpid ()))
+    in
+    let cleanup () = try Sys.remove path with Sys_error _ -> () in
+    cleanup ();
+    let ok =
+      Fun.protect ~finally:cleanup (fun () ->
+          let listen =
+            try S.Server.listen_unix path
+            with Failure msg -> or_die (Error msg)
+          in
+          let max_line = 4096 in
+          let max_pending = 4 in
+          (* Server-side faults are granularity/timing perturbations
+             only — torn 1-byte reads, 1-byte writes, brief stalls —
+             which cannot change response bytes.  Conn_close stays
+             unarmed here: it would reset well-behaved clients and void
+             the identity assertion; peer resets are the disconnect
+             persona's job. *)
+          let plan =
+            R.Inject.plan ~seed
+              [
+                R.Inject.spec ~prob:0.25 ~max_fires:max_int
+                  R.Inject.Torn_frame;
+                R.Inject.spec ~prob:0.2 ~max_fires:max_int
+                  R.Inject.Slow_write;
+                R.Inject.spec ~prob:0.05 ~max_fires:64 R.Inject.Conn_stall;
+              ]
+          in
+          R.Inject.with_plan plan (fun () ->
+              let srv =
+                Domain.spawn (fun () ->
+                    with_engine ~jobs (fun ~cache:_ engine ->
+                        let dispatch = S.Dispatch.create engine in
+                        let server =
+                          S.Server.create ~max_line ~max_pending
+                            ~slow_timeout_s:0.5 ~idle_timeout_s:30.
+                            ~max_out:(1 lsl 20) ~drain_grace_s:2. ~dispatch
+                            listen
+                        in
+                        S.Server.run server;
+                        ( S.Dispatch.served dispatch,
+                          S.Dispatch.shed dispatch,
+                          S.Dispatch.drained dispatch )))
+              in
+              let connect () =
+                let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+                (try Unix.connect fd (Unix.ADDR_UNIX path)
+                 with e ->
+                   (try Unix.close fd with Unix.Unix_error _ -> ());
+                   raise e);
+                fd
+              in
+              let numbered = List.mapi (fun i l -> (i, l)) clean in
+              let chunk w =
+                List.filter (fun (i, _) -> i mod concurrency = w) numbered
+              in
+              let clean_task w () =
+                let c = chunk w in
+                if c = [] then `Answers []
+                else
+                  `Answers
+                    (List.map2
+                       (fun (i, _) (_, resp) -> (i, resp))
+                       c
+                       (S.Load.run_requests ~connect (List.map snd c)))
+              in
+              let ping i =
+                Printf.sprintf "{\"id\":\"burst%03d\",\"op\":\"ping\"}" i
+              in
+              let is_shed r = S.Load.classify r = S.Load.Shed in
+              let tasks =
+                List.init concurrency clean_task
+                @ [
+                    (fun () -> `Dz (S.Load.run_requests ~connect dz));
+                    (fun () ->
+                      `Loris
+                        (S.Load.run_slowloris ~connect ~duration_s:3.0
+                           ~interval_s:0.01 ()));
+                    (fun () ->
+                      S.Load.run_disconnect ~connect
+                        (S.Load.requests ~mix:S.Load.Clean ~n_loops:1
+                           ~seed:(seed + 2) 2);
+                      `Disc);
+                    (fun () ->
+                      (* Shedding needs the burst to outrun the drain
+                         loop; a torn first read can defer that, so the
+                         persona retries a couple of times. *)
+                      let rec attempt k =
+                        let got =
+                          S.Load.run_burst ~connect (List.init 40 ping)
+                        in
+                        if List.exists is_shed got || k <= 1 then got
+                        else attempt (k - 1)
+                      in
+                      `Burst (attempt 3));
+                    (fun () ->
+                      let rec attempt k =
+                        let got =
+                          S.Load.run_flood ~connect
+                            ~line_bytes:(2 * max_line) 12
+                        in
+                        if got <> [] || k <= 1 then got else attempt (k - 1)
+                      in
+                      `Flood (attempt 3));
+                  ]
+              in
+              let pool = E.Pool.create ~jobs:(List.length tasks) () in
+              let results =
+                Fun.protect
+                  ~finally:(fun () -> E.Pool.shutdown pool)
+                  (fun () -> E.Pool.map pool (fun f -> f ()) tasks)
+              in
+              (* Graceful drain: pipeline a request and the shutdown in
+                 one write — the request must still be answered, and the
+                 batch lands while draining.  (A line pipelined {e
+                 after} the shutdown is not owed an answer: drain stops
+                 reading, and bytes still in the kernel buffer are
+                 dropped by contract.) *)
+              let drain_resps =
+                S.Load.run_burst ~connect
+                  [
+                    "{\"id\":\"drain-a\",\"op\":\"ping\"}";
+                    "{\"id\":\"drain-bye\",\"op\":\"shutdown\"}";
+                  ]
+              in
+              let served, shed_srv, drained = Domain.join srv in
+              let fails = ref [] in
+              let failf fmt =
+                Printf.ksprintf (fun s -> fails := s :: !fails) fmt
+              in
+              let answers =
+                List.sort compare
+                  (List.concat_map
+                     (function `Answers l -> l | _ -> [])
+                     results)
+              in
+              List.iteri
+                (fun i want ->
+                  match List.assoc_opt i answers with
+                  | Some (Some got) when String.equal got want -> ()
+                  | Some (Some got) ->
+                    failf "clean request %d diverged under chaos:\n  want %s\n  got  %s"
+                      i want got
+                  | Some None ->
+                    failf "clean request %d lost its answer (transport error)" i
+                  | None -> failf "clean request %d missing from the cohort" i)
+                expected_clean;
+              let dz_got =
+                List.concat_map (function `Dz l -> l | _ -> []) results
+              in
+              if List.length dz_got <> List.length expected_dz then
+                failf "deadline-zero cohort answered %d/%d requests"
+                  (List.length dz_got) (List.length expected_dz);
+              List.iteri
+                (fun i want ->
+                  match List.nth_opt dz_got i with
+                  | Some (_, Some got) when String.equal got want -> ()
+                  | Some (_, Some got) ->
+                    failf "deadline-zero request %d diverged:\n  want %s\n  got  %s"
+                      i want got
+                  | Some (_, None) ->
+                    failf "deadline-zero request %d lost its answer" i
+                  | None -> ())
+                expected_dz;
+              (match
+                 List.find_map
+                   (function `Loris r -> Some r | _ -> None)
+                   results
+               with
+              | Some true -> ()
+              | _ ->
+                failf "slowloris connection was not reaped by the slow \
+                       timeout");
+              let burst =
+                List.concat_map (function `Burst l -> l | _ -> []) results
+              in
+              let burst_sheds = List.length (List.filter is_shed burst) in
+              if burst_sheds = 0 then
+                failf "pipelined burst provoked no overloaded shed \
+                       (max_pending %d)" max_pending;
+              List.iter
+                (fun r ->
+                  match S.Load.classify r with
+                  | S.Load.Ok_answer | S.Load.Shed -> ()
+                  | _ -> failf "burst answer neither ok nor shed: %s" r)
+                burst;
+              let flood =
+                List.concat_map (function `Flood l -> l | _ -> []) results
+              in
+              if flood = [] then
+                failf "oversize flood got no structured answers";
+              List.iter
+                (fun r ->
+                  match S.Load.classify r with
+                  | S.Load.Error_answer | S.Load.Shed -> ()
+                  | S.Load.Ok_answer | S.Load.Deadline_exceeded ->
+                    failf "oversize flood line was accepted: %s" r)
+                flood;
+              if List.length drain_resps <> 2 then
+                failf "graceful drain answered %d/2 pipelined lines"
+                  (List.length drain_resps)
+              else
+                List.iter
+                  (fun r ->
+                    if S.Load.classify r <> S.Load.Ok_answer then
+                      failf "drain-phase answer is an error: %s" r)
+                  drain_resps;
+              if drained = 0 then
+                failf "dispatcher recorded no drain-phase answers";
+              (match transcript with
+              | None -> ()
+              | Some path ->
+                let oc = open_out path in
+                List.iter
+                  (fun (i, resp) ->
+                    Printf.fprintf oc "clean\t%06d\t%s\n" i
+                      (Option.value resp ~default:"#transport-error"))
+                  answers;
+                List.iteri
+                  (fun i (_, resp) ->
+                    Printf.fprintf oc "dz\t%06d\t%s\n" i
+                      (Option.value resp ~default:"#transport-error"))
+                  dz_got;
+                List.iter (fun r -> Printf.fprintf oc "burst\t%s\n" r) burst;
+                List.iter (fun r -> Printf.fprintf oc "flood\t%s\n" r) flood;
+                List.iter (fun r -> Printf.fprintf oc "drain\t%s\n" r)
+                  drain_resps;
+                close_out oc);
+              Printf.eprintf "soak: injected%s\n%!"
+                (String.concat ""
+                   (List.map
+                      (fun (p, n) ->
+                        Printf.sprintf " %s=%d" (R.Inject.point_name p) n)
+                      (R.Inject.fires plan)));
+              Printf.eprintf
+                "soak: daemon answered %d (shed %d, drained %d); burst \
+                 sheds %d; flood answers %d\n%!"
+                served shed_srv drained burst_sheds (List.length flood);
+              match List.rev !fails with
+              | [] ->
+                Printf.eprintf
+                  "soak: survived — clean and deadline cohorts \
+                   byte-identical to the fault-free sequential run\n%!";
+                true
+              | fs ->
+                List.iter (Printf.eprintf "soak: FAIL %s\n%!") fs;
+                false))
+    in
+    if not ok then exit 1
+  in
+  Cmd.v
+    (Cmd.info "soak"
+       ~doc:
+         "Drill the daemon's overload hardening: serve a clean cohort and \
+          a deadline-zero cohort concurrently while seeded socket faults \
+          (torn reads, slow writes, stalls) and adversarial personas \
+          (slowloris, mid-frame disconnect, oversize flood, pipelined \
+          burst) attack the reactor — then assert zero crashes, \
+          byte-identity of every well-behaved answer against a \
+          fault-free sequential run, structured overloaded sheds, and a \
+          graceful pipelined-shutdown drain.")
+    Term.(
+      const run $ seed $ requests $ concurrency $ jobs $ n_loops $ transcript)
 
 (* ----- fuzz: differential testing of the scheduler ------------------ *)
 
@@ -1676,4 +2099,5 @@ let main () =
        (Cmd.group info
           [ bench_cmd; table2_cmd; schedule_cmd; simulate_cmd; report_cmd; dot_cmd;
             gen_cmd; explore_cmd; fig7_cmd; frontier_cmd; families_cmd;
-            chaos_cmd; serve_cmd; loadgen_cmd; fuzz_cmd; debug_cmd ]))
+            chaos_cmd; serve_cmd; loadgen_cmd; soak_cmd; fuzz_cmd;
+            debug_cmd ]))

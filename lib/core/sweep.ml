@@ -203,6 +203,16 @@ let codec =
     decode = outcome_of_string;
   }
 
+(* Deadline calibration: how much budgeted scheduling work one
+   millisecond of wall-clock deadline buys.  A fixed constant rather
+   than a measured rate keeps deadline-derived budgets — and therefore
+   responses and cache keys — deterministic across hosts and runs.
+   The floor of 1 point makes a zero deadline the fast-fail probe: the
+   pipeline still completes through the estimate-fallback path instead
+   of erroring out. *)
+let points_per_ms = 64
+let budget_of_deadline ms = max 1 (ms * points_per_ms)
+
 let run_cell ?budget ~loops_of c =
   let machine = machine_of_cell c in
   let loops = loops_of c in

@@ -108,6 +108,16 @@ val choice_of_string :
 
 val codec : (cell, outcome) Hcv_explore.Engine.codec
 
+val points_per_ms : int
+(** Deadline calibration: the scheduling work budget one millisecond of
+    wall-clock deadline buys.  A fixed constant (not a measured rate)
+    so deadline-derived budgets are deterministic across hosts. *)
+
+val budget_of_deadline : int -> int
+(** [budget_of_deadline ms = max 1 (ms * points_per_ms)] — the floor of
+    1 makes a zero deadline a fast-fail probe that still completes
+    through the estimate-fallback path. *)
+
 val run_cell : ?budget:int -> loops_of:(cell -> Loop.t list) -> cell -> outcome
 (** One full {!Pipeline.run}; failures are folded into the outcome
     rather than raised, so a failing benchmark does not poison a

@@ -6,6 +6,10 @@ type point =
   | Cache_open_fail
   | Slow_cell
   | Rename_fail
+  | Conn_stall
+  | Conn_close
+  | Torn_frame
+  | Slow_write
 
 exception Injected of { point : point; transient : bool }
 
@@ -100,9 +104,23 @@ let point_name = function
   | Cache_open_fail -> "cache-open-fail"
   | Slow_cell -> "slow-cell"
   | Rename_fail -> "rename-fail"
+  | Conn_stall -> "conn-stall"
+  | Conn_close -> "conn-close"
+  | Torn_frame -> "torn-frame"
+  | Slow_write -> "slow-write"
 
 let all_points =
-  [ Task_raise; Torn_write; Cache_open_fail; Slow_cell; Rename_fail ]
+  [
+    Task_raise;
+    Torn_write;
+    Cache_open_fail;
+    Slow_cell;
+    Rename_fail;
+    Conn_stall;
+    Conn_close;
+    Torn_frame;
+    Slow_write;
+  ]
 
 let point_of_name s =
   List.find_opt (fun p -> point_name p = s) all_points

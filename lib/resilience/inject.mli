@@ -28,6 +28,18 @@ type point =
   | Cache_open_fail  (** the cache directory refuses to open *)
   | Slow_cell  (** a worker stalls briefly, shuffling completion order *)
   | Rename_fail  (** the atomic-compact rename step fails *)
+  | Conn_stall
+      (** socket layer: processing of a readable connection stalls
+          briefly, shuffling read interleaving across connections *)
+  | Conn_close
+      (** socket layer: a connection is dropped abruptly, as if the
+          peer reset it mid-stream *)
+  | Torn_frame
+      (** socket layer: a read delivers a single byte, tearing request
+          lines across reads (partial-read simulation) *)
+  | Slow_write
+      (** socket layer: a write accepts a single byte, forcing the
+          partial-write resume path (slow-reader simulation) *)
 
 exception Injected of { point : point; transient : bool }
 (** What an armed [Task_raise] point raises.  [transient] faults are

@@ -13,16 +13,29 @@
 type policy = {
   max_attempts : int;  (** total attempts, including the first *)
   backoff_s : float;
-      (** sleep before retry [n] is [backoff_s * 2^(n-1)] seconds;
-          [0.0] disables sleeping (tests) *)
+      (** sleep before retry [n] is at most [backoff_s * 2^(n-1)]
+          seconds; [0.0] disables sleeping (tests) *)
+  jitter : float;
+      (** fraction of each backoff randomly shaved off, in [0,1]: the
+          sleep before retry [n] is drawn uniformly from
+          [\[backoff * (1 - jitter), backoff\]].  The draw is seeded
+          from the task label, so the same label always sleeps the same
+          schedule (deterministic), while distinct cells de-synchronise
+          instead of retrying in a burst.  [0.0] is the exact
+          exponential. *)
 }
 
 val default_policy : policy
-(** 3 attempts, 1 ms base backoff. *)
+(** 3 attempts, 1 ms base backoff, 0.5 jitter. *)
 
 val no_retry : policy
 (** 1 attempt: supervision (failures become diagnostics) without
     retries. *)
+
+val schedule : ?policy:policy -> label:string -> unit -> float list
+(** The exact sleeps (seconds) [run] would take between attempts for
+    this label, in order — [max_attempts - 1] entries.  Pure: equal
+    (policy, label) pairs give equal schedules. *)
 
 val run :
   ?policy:policy -> ?on_retry:(attempt:int -> exn -> unit) -> label:string

@@ -47,3 +47,9 @@ let pop t = Queue.take_opt t.q
 let queued t = Queue.length t.q
 
 let pending t = Buffer.length t.buf + t.discarding
+
+let drop_partial t =
+  let n = pending t in
+  Buffer.clear t.buf;
+  t.discarding <- 0;
+  n

@@ -39,3 +39,10 @@ val queued : t -> int
 val pending : t -> int
 (** Bytes buffered for the current torn line (including the discarded
     count of an oversized line in progress). *)
+
+val drop_partial : t -> int
+(** Discard the torn line in progress (complete queued items are kept)
+    and return how many bytes were dropped.  The server calls this on
+    EOF: a half-closed peer's torn line can never complete, but the
+    complete lines it pipelined before closing still deserve their
+    answers. *)

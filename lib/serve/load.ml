@@ -147,6 +147,132 @@ let requests ?(mix = Full) ?(n_loops = 2) ~seed n =
   let rec go acc i = if i >= n then List.rev acc else go (line i :: acc) (i + 1) in
   go [] 0
 
+(* ----- deadline decoration ----------------------------------------- *)
+
+(* Append "deadline_ms" to a generated request line.  Re-rendering
+   through Jsonx keeps the result deterministic; non-object lines (the
+   malformed corpus) pass through untouched. *)
+let with_deadline ms line =
+  match J.of_string line with
+  | Ok (J.Obj fields) when not (List.mem_assoc "deadline_ms" fields) ->
+    J.to_string (J.Obj (fields @ [ ("deadline_ms", J.Num (float_of_int ms)) ]))
+  | Ok _ | Error _ -> line
+
+(* ----- response classification ------------------------------------- *)
+
+type outcome_class = Ok_answer | Shed | Deadline_exceeded | Error_answer
+
+let classify line =
+  match Proto.parse_response line with
+  | Ok r when r.Proto.ok -> Ok_answer
+  | Ok { Proto.error = Some d; _ } -> (
+    match Hcv_obs.Diag.code d with
+    | "overloaded" -> Shed
+    | "deadline-exceeded" -> Deadline_exceeded
+    | _ -> Error_answer)
+  | Ok { Proto.error = None; _ } | Error _ -> Error_answer
+
+(* ----- adversarial personas ---------------------------------------- *)
+
+let close_quiet fd = try Unix.close fd with Unix.Unix_error _ -> ()
+
+let write_all fd s =
+  let n = String.length s in
+  let rec go off =
+    if off < n then
+      match Unix.write_substring fd s off (n - off) with
+      | w -> go (off + w)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+  in
+  go 0
+
+let run_requests ~connect lines =
+  let fd = connect () in
+  Fun.protect
+    ~finally:(fun () -> close_quiet fd)
+    (fun () ->
+      let ic = Unix.in_channel_of_descr fd in
+      List.map
+        (fun line ->
+          match
+            write_all fd (line ^ "\n");
+            input_line ic
+          with
+          | resp -> (line, Some resp)
+          | exception (End_of_file | Sys_error _ | Unix.Unix_error _) ->
+            (line, None))
+        lines)
+
+let run_slowloris ~connect ?(duration_s = 0.5) ?(interval_s = 0.005)
+    ?(reap_grace_s = 20.) () =
+  let fd = connect () in
+  Fun.protect
+    ~finally:(fun () -> close_quiet fd)
+    (fun () ->
+      (* A request that never completes: dribble bytes of a line, one
+         at a time, without ever sending its newline. *)
+      let payload = {|{"id":"loris","op":"ping","pad":"|} in
+      let t0 = Unix.gettimeofday () in
+      let reset = ref false in
+      let i = ref 0 in
+      while (not !reset) && Unix.gettimeofday () -. t0 < duration_s do
+        (match
+           Unix.write_substring fd payload (!i mod String.length payload) 1
+         with
+        | _ -> incr i
+        | exception Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) ->
+          reset := true
+        | exception Unix.Unix_error _ -> reset := true);
+        Unix.sleepf interval_s
+      done;
+      (* The server reaped us iff the socket reports EOF/reset.  The
+         slow timeout runs on the server's responsive clock, so under a
+         compute-heavy drill the reap can land well after [duration_s]:
+         wait for it (bounded by [reap_grace_s]) rather than probing
+         once.  The server never writes to this connection, so
+         readability means exactly the close. *)
+      !reset
+      ||
+      match Unix.select [ fd ] [] [] reap_grace_s with
+      | [], _, _ -> false
+      | _ -> (
+        match Unix.read fd (Bytes.create 1) 0 1 with
+        | 0 -> true
+        | _ -> false
+        | exception Unix.Unix_error _ -> true)
+      | exception Unix.Unix_error _ -> true)
+
+let run_disconnect ~connect lines =
+  let fd = connect () in
+  (* Pipeline complete lines, then tear the connection mid-frame: the
+     torn tail must be dropped server-side, the slot reclaimed, and no
+     other connection disturbed. *)
+  (try
+     List.iter (fun l -> write_all fd (l ^ "\n")) lines;
+     write_all fd {|{"id":"torn","op":"explore","bench":"ap|}
+   with Unix.Unix_error _ -> ());
+  close_quiet fd
+
+let run_burst ~connect lines =
+  let fd = connect () in
+  Fun.protect
+    ~finally:(fun () -> close_quiet fd)
+    (fun () ->
+      let ic = Unix.in_channel_of_descr fd in
+      (try List.iter (fun l -> write_all fd (l ^ "\n")) lines
+       with Unix.Unix_error _ -> ());
+      let rec go acc k =
+        if k = 0 then List.rev acc
+        else
+          match input_line ic with
+          | resp -> go (resp :: acc) (k - 1)
+          | exception (End_of_file | Sys_error _) -> List.rev acc
+      in
+      go [] (List.length lines))
+
+let run_flood ~connect ?(line_bytes = 1 lsl 16) n =
+  run_burst ~connect (List.init n (fun _ -> String.make line_bytes 'x'))
+
 let percentile xs p =
   match List.sort compare xs with
   | [] -> Float.nan
@@ -156,19 +282,23 @@ let percentile xs p =
     let rank = int_of_float (Float.ceil (p *. float_of_int n)) in
     a.(max 0 (min (n - 1) (rank - 1)))
 
-let summary_json ~requests ~concurrency ~wall_ns ~ok ~errors ~latencies_ns =
+let summary_json ?(shed = 0) ?(deadline_exceeded = 0) ?(transport = 0)
+    ~requests ~concurrency ~wall_ns ~ok ~errors ~latencies_ns () =
   let rps =
     if wall_ns > 0.0 then float_of_int requests /. (wall_ns /. 1e9) else 0.0
   in
   J.Obj
     [
-      ("schema", J.Str "hcvliw-serve-load-v1");
+      ("schema", J.Str "hcvliw-serve-load-v2");
       ("requests", J.Num (float_of_int requests));
       ("concurrency", J.Num (float_of_int concurrency));
       ("wall_ns", J.Num wall_ns);
       ("rps", J.Num rps);
       ("ok", J.Num (float_of_int ok));
       ("errors", J.Num (float_of_int errors));
+      ("shed", J.Num (float_of_int shed));
+      ("deadline_exceeded", J.Num (float_of_int deadline_exceeded));
+      ("transport_errors", J.Num (float_of_int transport));
       ("p50_ns", J.Num (percentile latencies_ns 0.50));
       ("p99_ns", J.Num (percentile latencies_ns 0.99));
     ]

@@ -19,11 +19,75 @@ val requests : ?mix:mix -> ?n_loops:int -> seed:int -> int -> string list
     to [Full]; [n_loops] (default 2) sizes the per-benchmark workloads
     so latency is dominated by scheduling, not generation. *)
 
+val with_deadline : int -> string -> string
+(** Append a ["deadline_ms"] field to a generated request line
+    (deterministic re-rendering); lines that are not JSON objects, or
+    already carry one, pass through untouched.  [with_deadline 0] turns
+    a clean stream into the fast-fail-probe cohort. *)
+
+(** How a response line should be tallied: a success, a load-shed
+    [overloaded] error, a [deadline-exceeded] error, or any other
+    structured error.  Transport failures (the connection died before a
+    response) are recorded by the client loop, not classified here. *)
+type outcome_class = Ok_answer | Shed | Deadline_exceeded | Error_answer
+
+val classify : string -> outcome_class
+
+(** {2 Personas}
+
+    Client behaviours for the chaos/soak drill and the overload tests.
+    Each takes [connect] (a fresh connected descriptor per call) and
+    owns every descriptor it opens. *)
+
+val run_requests :
+  connect:(unit -> Unix.file_descr) -> string list
+  -> (string * string option) list
+(** The well-behaved persona: one connection, each line sent and its
+    response awaited before the next.  [None] marks a transport
+    failure (connection closed before the answer). *)
+
+val run_slowloris :
+  connect:(unit -> Unix.file_descr) -> ?duration_s:float
+  -> ?interval_s:float -> ?reap_grace_s:float -> unit -> bool
+(** Dribble a request line one byte at a time, never completing it,
+    for up to [duration_s] (default 0.5 s; a byte every [interval_s],
+    default 5 ms), then wait up to [reap_grace_s] (default 20 s) for
+    the server to reap the connection.  Returns [true] iff it did —
+    what the drill asserts.  The grace matters because the server's
+    slow timeout runs on its responsive clock, which advances slowly
+    while the reactor is busy computing batches. *)
+
+val run_disconnect :
+  connect:(unit -> Unix.file_descr) -> string list -> unit
+(** Pipeline complete lines without reading responses, write a torn
+    line, and disconnect mid-frame.  The server must reclaim the slot
+    without disturbing other connections. *)
+
+val run_burst :
+  connect:(unit -> Unix.file_descr) -> string list -> string list
+(** Pipeline every line before reading anything, then collect what
+    comes back until one response per line arrived or the server
+    closed the connection.  Bursting more lines than the server's
+    per-connection backlog cap is how the drill provokes [overloaded]
+    sheds. *)
+
+val run_flood :
+  connect:(unit -> Unix.file_descr) -> ?line_bytes:int -> int -> string list
+(** {!run_burst} with [n] oversize junk lines ([line_bytes] each,
+    default 64 KiB): every answer must be a structured [oversized-line]
+    (or shed) error, never a crash. *)
+
 val percentile : float list -> float -> float
 (** [percentile xs p] with [p] in [0,1] — nearest-rank on the sorted
     sample; [nan] on the empty list. *)
 
 val summary_json :
-  requests:int -> concurrency:int -> wall_ns:float -> ok:int -> errors:int
-  -> latencies_ns:float list -> Hcv_explore.Jsonx.t
-(** The loadgen/bench result object: requests/s plus p50/p99 latency. *)
+  ?shed:int -> ?deadline_exceeded:int -> ?transport:int -> requests:int
+  -> concurrency:int -> wall_ns:float -> ok:int -> errors:int
+  -> latencies_ns:float list -> unit -> Hcv_explore.Jsonx.t
+(** The loadgen/bench result object: requests/s plus p50/p99 latency.
+    [errors] counts structured error answers; [shed] and
+    [deadline_exceeded] break out the overload subsets; [transport]
+    counts requests that never got an answer.  Callers must compute
+    percentiles over successfully answered requests only — a shed or
+    dead connection is not a latency sample. *)

@@ -22,6 +22,7 @@ type work = {
   source : source;
   spec : machine_spec;
   budget : int option;
+  deadline_ms : int option;
   degrade : bool;
   frontier : Hcv_core.Frontier.spec option;
 }
@@ -60,6 +61,16 @@ let pos_field ?id j k =
     match J.int v with
     | Some n when n > 0 -> Ok (Some n)
     | Some _ | None -> bad ?id "field %S must be a positive integer" k)
+
+(* Like [pos_field] but admitting zero: a zero deadline is the
+   fast-fail probe ("answer with whatever you already have"). *)
+let nonneg_field ?id j k =
+  match field j k with
+  | None -> Ok None
+  | Some v -> (
+    match J.int v with
+    | Some n when n >= 0 -> Ok (Some n)
+    | Some _ | None -> bad ?id "field %S must be a non-negative integer" k)
 
 (* The optional "machine" field: a family name (string) or an inline
    machine-description object.  Both are validated at the protocol
@@ -102,9 +113,12 @@ let parse_run ?id ?(frontier = None) ~name ~source j =
   | Ok spec -> (
     match pos_field ?id j "budget" with
     | Error e -> Error e
-    | Ok budget ->
-      let degrade = Option.value (bool_field j "degrade") ~default:false in
-      Ok (Run { name; source; spec; budget; degrade; frontier }))
+    | Ok budget -> (
+      match nonneg_field ?id j "deadline_ms" with
+      | Error e -> Error e
+      | Ok deadline_ms ->
+        let degrade = Option.value (bool_field j "degrade") ~default:false in
+        Ok (Run { name; source; spec; budget; deadline_ms; degrade; frontier })))
 
 let parse line =
   match J.of_string line with
@@ -226,6 +240,11 @@ let oversized_diag n =
   Diag.v ~stage:"serve" ~code:"oversized-line"
     ~context:[ ("bytes", string_of_int n) ]
     "request line exceeds the size limit; payload discarded"
+
+let overloaded_diag ~queue_depth =
+  Diag.v ~stage:"serve" ~code:"overloaded"
+    ~context:[ ("queue_depth", string_of_int queue_depth) ]
+    "request shed: the pending-request queue is full; retry with backoff"
 
 (* ----- client side ------------------------------------------------- *)
 

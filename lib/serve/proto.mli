@@ -36,12 +36,18 @@
     default unrestricted) and ["machine"] (a machine-family name such
     as ["big-little"], or an inline machine-description object in
     {!Hcv_explore.Machdesc} form; default the paper machine), a work
-    cap ["budget"] (default unlimited) and ["degrade"] (boolean,
-    default [false]).  With a budget and
+    cap ["budget"] (default unlimited), a latency bound ["deadline_ms"]
+    (non-negative; default the server's, if any) and ["degrade"]
+    (boolean, default [false]).  With a budget and
     [degrade:false], a request whose scheduling work exhausts the cap
     is answered with a structured [budget-exhausted] error; with
     [degrade:true] the response is the degraded (estimate-fallback)
-    result, causes included.
+    result, causes included.  ["deadline_ms"] compiles onto the same
+    budget machinery (see {!Registry.effective_budget}): a request
+    whose deadline-derived work cap is exhausted answers
+    [deadline-exceeded] — or, with [degrade:true], the degraded
+    result — and ["deadline_ms":0] is the fast-fail probe that answers
+    immediately with whatever the estimate path can produce.
 
     {2:graph DDG payloads}
 
@@ -89,6 +95,11 @@ type work = {
   source : source;
   spec : machine_spec;
   budget : int option;
+  deadline_ms : int option;
+      (** the ["deadline_ms"] wire field (>= 0): compiled by the
+          registry onto the budget machinery
+          ({!Registry.effective_budget}); [0] is the fast-fail probe.
+          The dispatcher may fill in a server-side default. *)
   degrade : bool;
   frontier : Hcv_core.Frontier.spec option;
       (** present on ["frontier"] requests: the pipeline also runs the
@@ -117,6 +128,10 @@ val error_line : id:string option -> Hcv_obs.Diag.t -> string
 
 val oversized_diag : int -> Hcv_obs.Diag.t
 (** The [oversized-line] diagnostic for a {!Frame.Oversized} item. *)
+
+val overloaded_diag : queue_depth:int -> Hcv_obs.Diag.t
+(** The [overloaded] diagnostic a shed request is answered with,
+    carrying the pending-queue depth that triggered the shed. *)
 
 (** {2 Client side} *)
 

@@ -173,10 +173,31 @@ let admit (w : Proto.work) =
     | Error d -> Error d
     | Ok text -> admit_dsl ~code:"bad-graph" w text)
 
+(* ----- deadlines --------------------------------------------------- *)
+
+(* A deadline compiles onto the budget machinery: [deadline_ms *
+   points_per_ms] work points, intersected with any explicit budget.
+   The compile is deterministic (fixed calibration, no clocks), so a
+   deadline changes neither the byte-determinism contract nor cache
+   validity — it is just another budget. *)
+let effective_budget (w : Proto.work) =
+  match (w.Proto.budget, w.Proto.deadline_ms) with
+  | b, None -> b
+  | None, Some d -> Some (Sweep.budget_of_deadline d)
+  | Some b, Some d -> Some (min b (Sweep.budget_of_deadline d))
+
+(* The deadline was the binding constraint iff it compiled to a cap no
+   looser than the explicit budget (or there was no explicit budget). *)
+let deadline_binding (w : Proto.work) =
+  match (w.Proto.deadline_ms, w.Proto.budget) with
+  | None, _ -> false
+  | Some _, None -> true
+  | Some d, Some b -> Sweep.budget_of_deadline d <= b
+
 (* ----- content keys ------------------------------------------------ *)
 
 let key t =
-  match (t.work.Proto.source, t.work.Proto.budget) with
+  match (t.work.Proto.source, effective_budget t.work) with
   | Proto.Bench _, None ->
     (* Identical inputs to an exploration sweep cell: share its cache
        entries. *)
@@ -207,7 +228,7 @@ let run t =
         (Option.get (Specfp.find c.Sweep.bench))
     | Proto.Dsl _ | Proto.Graph _ -> t.loops
   in
-  Sweep.run_cell ?budget:t.work.Proto.budget ~loops_of t.cell
+  Sweep.run_cell ?budget:(effective_budget t.work) ~loops_of t.cell
 
 (* ----- responses --------------------------------------------------- *)
 
@@ -253,23 +274,39 @@ let response_line ~id (w : Proto.work) = function
            msg)
     | None ->
       if
-        w.Proto.budget <> None
+        effective_budget w <> None
         && (not w.Proto.degrade)
         && List.mem "budget-exhausted" o.Sweep.causes
       then
-        Proto.error_line ~id:(Some id)
-          (Diag.v ~stage:"serve" ~code:"budget-exhausted"
-             ~context:
-               [
-                 ("bench", o.Sweep.bench);
-                 ( "budget",
-                   match w.Proto.budget with
-                   | Some b -> string_of_int b
-                   | None -> "-" );
-                 ("fallbacks", string_of_int o.Sweep.fallbacks);
-               ]
-             "scheduling exhausted the request's work budget (pass \
-              \"degrade\":true to accept the estimate-fallback result)")
+        if deadline_binding w then
+          Proto.error_line ~id:(Some id)
+            (Diag.v ~stage:"serve" ~code:"deadline-exceeded"
+               ~context:
+                 [
+                   ("bench", o.Sweep.bench);
+                   ( "deadline_ms",
+                     match w.Proto.deadline_ms with
+                     | Some d -> string_of_int d
+                     | None -> "-" );
+                   ("fallbacks", string_of_int o.Sweep.fallbacks);
+                 ]
+               "the deadline bounds less scheduling work than the workload \
+                needs (pass \"degrade\":true to accept the \
+                estimate-fallback result)")
+        else
+          Proto.error_line ~id:(Some id)
+            (Diag.v ~stage:"serve" ~code:"budget-exhausted"
+               ~context:
+                 [
+                   ("bench", o.Sweep.bench);
+                   ( "budget",
+                     match w.Proto.budget with
+                     | Some b -> string_of_int b
+                     | None -> "-" );
+                   ("fallbacks", string_of_int o.Sweep.fallbacks);
+                 ]
+               "scheduling exhausted the request's work budget (pass \
+                \"degrade\":true to accept the estimate-fallback result)")
       else
         Proto.ok_line ~id ~op:(Proto.op_name (Proto.Run w))
           ~result:(result_json o) ())

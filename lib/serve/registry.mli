@@ -34,6 +34,14 @@ type task = {
 
 val admit : Proto.work -> (task, Hcv_obs.Diag.t) result
 
+val effective_budget : Proto.work -> int option
+(** The work cap the task actually runs under: the explicit ["budget"]
+    intersected with the deadline compiled through
+    {!Hcv_core.Sweep.budget_of_deadline}.  Deterministic (fixed
+    calibration, no clocks), so deadlines neither perturb response
+    bytes nor invalidate cached outcomes — a deadline is just another
+    budget.  [None] only when the request carries neither field. *)
+
 val key : task -> string
 
 val codec : (task, Sweep.outcome) Hcv_explore.Engine.codec
@@ -41,14 +49,18 @@ val codec : (task, Sweep.outcome) Hcv_explore.Engine.codec
     exploration sweeps). *)
 
 val run : task -> Sweep.outcome
-(** One supervised {!Sweep.run_cell} with the task's budget. *)
+(** One supervised {!Sweep.run_cell} with the task's
+    {!effective_budget}. *)
 
 val response_line :
   id:string -> Proto.work -> (Sweep.outcome, Hcv_obs.Diag.t) result -> string
 (** Render the response for an executed (or quarantined) task:
     - engine quarantine or pipeline failure: an error line
       ([task-failed] / [injected-fault] / [pipeline-failed]);
-    - budget exhausted and the request did not opt into degraded
-      results: a [budget-exhausted] error line naming the causes;
+    - effective budget exhausted and the request did not opt into
+      degraded results: a [deadline-exceeded] error line when the
+      deadline was the binding constraint (it compiled to a cap no
+      looser than any explicit budget), else [budget-exhausted] —
+      both name the fallback count;
     - otherwise: the ok line with the result object (exact ["%h"]
       float forms, fallback causes included when present). *)

@@ -1,3 +1,5 @@
+module R = Hcv_resilience
+
 type conn = {
   fd : Unix.file_descr;
   frame : Frame.t;
@@ -5,6 +7,16 @@ type conn = {
   mutable wip : string;  (** the chunk currently being written *)
   mutable sent : int;  (** prefix of [wip] already written *)
   mutable closed : bool;
+  mutable eof : bool;
+      (** peer half-closed: stop reading, answer what is queued, then
+          reap *)
+  mutable last_read : float;
+      (** responsive-clock time of the last byte received *)
+  mutable line_started : float;
+      (** responsive-clock time the torn line in progress began — a
+          slowloris peer dribbling one byte at a time keeps [last_read]
+          fresh, so the slow-client timeout must measure how long a
+          line has failed to complete, not how recently bytes came *)
 }
 
 let out_len c = String.length c.wip - c.sent + Buffer.length c.out
@@ -15,10 +27,26 @@ type t = {
   batch_max : int;
   max_line : int;
   max_requests : int option;
+  idle_timeout_s : float;
+  slow_timeout_s : float;
+  max_pending : int;
+  max_out : int;
+  drain_grace_s : float;
   mutable conns : conn list;
   mutable stopping : bool;
   mutable answered : int;
+  mutable drain_deadline : float option;
+  mutable blocked_s : float;
+      (** cumulative seconds the reactor spent inside [Dispatch.handle],
+          during which no peer could possibly be read from *)
 }
+
+(* The hygiene clock: wall time minus time the reactor itself was
+   blocked computing a batch.  A single-threaded reactor that just
+   spent three seconds scheduling must not reap a peer whose line was
+   torn right before the batch — the peer never got a chance to finish.
+   A genuine slowloris still accrues responsive time and is reaped. *)
+let now_r t = Unix.gettimeofday () -. t.blocked_s
 
 (* Claiming the endpoint must never steal it from a live daemon or
    delete an unrelated file: only a socket file nobody accepts on is
@@ -57,19 +85,38 @@ let listen_tcp ~host ~port =
   Unix.listen fd 64;
   fd
 
-let create ?(batch_max = 256) ?(max_line = 1 lsl 20) ?max_requests ~dispatch
-    listen =
+let create ?(batch_max = 256) ?(max_line = 1 lsl 20) ?max_requests
+    ?(idle_timeout_s = 300.) ?(slow_timeout_s = 10.) ?(max_pending = 512)
+    ?(max_out = 8 lsl 20) ?(drain_grace_s = 5.) ~dispatch listen =
   Unix.set_nonblock listen;
-  {
-    listen;
-    dispatch;
-    batch_max;
-    max_line;
-    max_requests;
-    conns = [];
-    stopping = false;
-    answered = 0;
-  }
+  let t =
+    {
+      listen;
+      dispatch;
+      batch_max;
+      max_line;
+      max_requests;
+      idle_timeout_s;
+      slow_timeout_s;
+      max_pending;
+      max_out;
+      drain_grace_s;
+      conns = [];
+      stopping = false;
+      answered = 0;
+      drain_deadline = None;
+      blocked_s = 0.0;
+    }
+  in
+  Dispatch.set_gauges dispatch (fun () ->
+      [
+        ( "queue_depth",
+          float_of_int
+            (List.fold_left (fun a c -> a + Frame.queued c.frame) 0 t.conns)
+        );
+        ("inflight", float_of_int (List.length t.conns));
+      ]);
+  t
 
 let close_conn t c =
   if not c.closed then begin
@@ -87,7 +134,9 @@ let queue_line c line =
    [Buffer.contents] per chunk; a partial write only advances [sent],
    so a slow reader with a large backlog never re-materializes the
    buffer.  EPIPE or a reset drops the connection (its remaining
-   responses with it). *)
+   responses with it).  A firing [Slow_write] fault shrinks each write
+   to one byte — a pure granularity perturbation, so chaos runs keep
+   the exact response bytes. *)
 let rec flush_conn t c =
   if c.sent = String.length c.wip then begin
     c.wip <- "";
@@ -98,6 +147,7 @@ let rec flush_conn t c =
     end
   end;
   let len = String.length c.wip - c.sent in
+  let len = if len > 1 && R.Inject.fire R.Inject.Slow_write then 1 else len in
   if len > 0 then
     match Unix.write_substring c.fd c.wip c.sent len with
     | n ->
@@ -121,6 +171,9 @@ let accept_ready t =
               wip = "";
               sent = 0;
               closed = false;
+              eof = false;
+              last_read = now_r t;
+              line_started = now_r t;
             };
           ];
       go ()
@@ -129,13 +182,59 @@ let accept_ready t =
   in
   go ()
 
+(* [Conn_close] simulates a peer reset (the slot is reclaimed, nothing
+   else is disturbed); [Conn_stall] a reactor hiccup; [Torn_frame]
+   shrinks the read to one byte, exercising every torn-line resume path
+   in {!Frame} without changing what was received. *)
 let read_ready t c =
-  let buf = Bytes.create 65536 in
-  match Unix.read c.fd buf 0 (Bytes.length buf) with
-  | 0 -> close_conn t c
-  | n -> Frame.feed c.frame (Bytes.sub_string buf 0 n)
-  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
-  | exception Unix.Unix_error _ -> close_conn t c
+  if R.Inject.fire R.Inject.Conn_close then close_conn t c
+  else begin
+    if R.Inject.fire R.Inject.Conn_stall then Unix.sleepf 0.002;
+    let size = if R.Inject.fire R.Inject.Torn_frame then 1 else 65536 in
+    let buf = Bytes.create size in
+    match Unix.read c.fd buf 0 size with
+    | 0 ->
+      (* Half-close: the torn line in progress can never complete, but
+         complete pipelined lines still get their answers before the
+         slot is reclaimed. *)
+      c.eof <- true;
+      ignore (Frame.drop_partial c.frame)
+    | n ->
+      c.last_read <- now_r t;
+      Frame.feed c.frame (Bytes.sub_string buf 0 n);
+      if Frame.pending c.frame = 0 then c.line_started <- c.last_read
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+    | exception Unix.Unix_error _ -> close_conn t c
+  end
+
+(* Salvage an id for a shed line the way [Proto.parse] errors do, so
+   the overloaded answer can still be correlated. *)
+let shed_line t c ~queue_depth line =
+  let id =
+    match Proto.parse line with
+    | Ok { Proto.id; _ } -> Some id
+    | Error (id, _) -> id
+  in
+  queue_line c (Proto.error_line ~id (Proto.overloaded_diag ~queue_depth));
+  Dispatch.note_shed t.dispatch;
+  t.answered <- t.answered + 1
+
+(* Admission control: a connection whose complete-line backlog exceeds
+   [max_pending] gets the oldest excess answered [overloaded]
+   immediately — deterministic shedding that costs no scheduling work,
+   keeps per-connection response order, and only ever penalises the
+   flooding connection. *)
+let shed_excess t c =
+  let depth = Frame.queued c.frame in
+  if depth > t.max_pending then
+    for _ = 1 to depth - t.max_pending do
+      match Frame.pop c.frame with
+      | None -> ()
+      | Some (Frame.Oversized n) ->
+        queue_line c (Proto.error_line ~id:None (Proto.oversized_diag n));
+        t.answered <- t.answered + 1
+      | Some (Frame.Line line) -> shed_line t c ~queue_depth:depth line
+    done
 
 let run ?obs t =
   let finally () =
@@ -144,51 +243,76 @@ let run ?obs t =
       t.conns;
     t.conns <- []
   in
-  let drained () = List.for_all (fun c -> out_len c = 0) t.conns in
+  let flushed () = List.for_all (fun c -> out_len c = 0) t.conns in
   let residual () =
     List.exists (fun c -> Frame.queued c.frame > 0) t.conns
   in
   let max_reached () =
     match t.max_requests with Some m -> t.answered >= m | None -> false
   in
+  (* Draining: stop accepting and reading, answer every complete line
+     already buffered, flush, exit.  [drain_grace_s] bounds how long a
+     peer refusing to read its responses can hold the exit hostage. *)
+  let draining () = t.stopping || max_reached () in
   Fun.protect ~finally (fun () ->
-      (* Exit once shutdown is acknowledged, every line buffered before
-         it is answered and every response byte flushed — or once the
-         request cap is reached and flushed (lines still queued then
-         are beyond the cap and stay unanswered by design). *)
-      while
-        (not (t.stopping && (not (residual ())) && drained ()))
-        && not (max_reached () && drained ())
-      do
-        let rds =
-          (if t.stopping || max_reached () then [] else [ t.listen ])
-          @ List.map (fun c -> c.fd) t.conns
-        in
-        let wrs =
-          List.filter_map
-            (fun c -> if out_len c > 0 then Some c.fd else None)
-            t.conns
-        in
-        (* A round that filled [batch_max] leaves complete lines queued
-           in the frames: poll instead of blocking so they are served
-           without waiting for new socket bytes. *)
-        let timeout =
-          if residual () && not (max_reached ()) then 0.0 else -1.0
-        in
-        (match Unix.select rds wrs [] timeout with
-        | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
-        | rd, wr, _ ->
-          if List.mem t.listen rd then accept_ready t;
-          List.iter
-            (fun c ->
-              if (not c.closed) && List.mem c.fd rd then read_ready t c)
-            t.conns;
-          (* Drain complete lines: control ops and parse errors answer
-             immediately; run requests accumulate into this round's
-             batch (per-connection arrival order is preserved because a
-             connection's lines land in the batch in pop order and the
-             responses are queued back in batch order). *)
-          if not (max_reached ()) then begin
+      while not (draining () && (not (residual ())) && flushed ()) do
+        let now = now_r t in
+        (if draining () then
+           match t.drain_deadline with
+           | None -> t.drain_deadline <- Some (now +. t.drain_grace_s)
+           | Some dl ->
+             if now > dl then List.iter (fun c -> close_conn t c) t.conns);
+        if not (draining () && (not (residual ())) && flushed ()) then begin
+          let rds =
+            if draining () then []
+            else
+              [ t.listen ]
+              @ List.filter_map
+                  (fun c -> if c.eof then None else Some c.fd)
+                  t.conns
+          in
+          let wrs =
+            List.filter_map
+              (fun c -> if out_len c > 0 then Some c.fd else None)
+              t.conns
+          in
+          (* A round that filled [batch_max] leaves complete lines
+             queued in the frames: poll instead of blocking so they are
+             served without waiting for new socket bytes.  Otherwise
+             sleep at most until the next hygiene deadline. *)
+          let timeout =
+            if residual () then 0.0
+            else if draining () then 0.05
+            else if t.conns = [] then -1.0
+            else
+              let next =
+                List.fold_left
+                  (fun acc c ->
+                    let dl =
+                      if Frame.pending c.frame > 0 then
+                        c.line_started +. t.slow_timeout_s
+                      else c.last_read +. t.idle_timeout_s
+                    in
+                    Float.min acc dl)
+                  infinity t.conns
+              in
+              if Float.is_finite next then Float.max 0.01 (next -. now)
+              else -1.0
+          in
+          (match Unix.select rds wrs [] timeout with
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+          | rd, wr, _ ->
+            if List.mem t.listen rd then accept_ready t;
+            List.iter
+              (fun c ->
+                if (not c.closed) && List.mem c.fd rd then read_ready t c)
+              t.conns;
+            List.iter (fun c -> if not c.closed then shed_excess t c) t.conns;
+            (* Drain complete lines: control ops and parse errors answer
+               immediately; run requests accumulate into this round's
+               batch (per-connection arrival order is preserved because
+               a connection's lines land in the batch in pop order and
+               the responses are queued back in batch order). *)
             let batch = ref [] (* (conn, envelope), reversed *) in
             let batch_n = ref 0 in
             List.iter
@@ -221,21 +345,49 @@ let run ?obs t =
               t.conns;
             let batch = List.rev !batch in
             if batch <> [] then begin
+              let was_draining = draining () in
+              let t0 = Unix.gettimeofday () in
               let lines =
                 Dispatch.handle t.dispatch ?obs (List.map snd batch)
               in
+              t.blocked_s <- t.blocked_s +. (Unix.gettimeofday () -. t0);
               List.iter2
                 (fun (c, _) line ->
                   if not c.closed then queue_line c line;
+                  if was_draining then Dispatch.note_drained t.dispatch;
                   t.answered <- t.answered + 1)
                 batch lines
-            end
-          end;
-          List.iter
-            (fun c ->
-              if
-                (not c.closed)
-                && (List.mem c.fd wr || out_len c > 0)
-              then flush_conn t c)
-            t.conns)
+            end;
+            List.iter
+              (fun c ->
+                if
+                  (not c.closed)
+                  && (List.mem c.fd wr || out_len c > 0)
+                then flush_conn t c)
+              t.conns;
+            (* Connection hygiene, after the flush so transient output
+               bursts are not mistaken for a slow reader: reap peers
+               whose backlog blew [max_out], half-closed peers with
+               nothing left to answer, slowloris peers dribbling a torn
+               line, and idle peers — all on the responsive clock. *)
+            let now = now_r t in
+            List.iter
+              (fun c ->
+                if not c.closed then
+                  if out_len c > t.max_out then close_conn t c
+                  else if
+                    c.eof && Frame.queued c.frame = 0 && out_len c = 0
+                  then close_conn t c
+                  else if
+                    Frame.pending c.frame > 0
+                    && now -. c.line_started > t.slow_timeout_s
+                  then close_conn t c
+                  else if
+                    Frame.pending c.frame = 0
+                    && Frame.queued c.frame = 0
+                    && out_len c = 0
+                    && now -. c.last_read > t.idle_timeout_s
+                  then close_conn t c)
+              t.conns)
+        end
       done)

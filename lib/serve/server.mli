@@ -21,10 +21,39 @@
     rounds, so a client that pipelines more than one batch's worth never
     waits on new socket traffic.
 
-    The loop exits when a [shutdown] request has been answered, every
-    line buffered before it has been answered and all response bytes
-    are flushed — or when [max_requests] answers have been written out
-    (lines still queued then stay unanswered by design). *)
+    {2 Overload protection}
+
+    The reactor defends itself; no client behaviour can stall it:
+
+    - {e Admission control}: a connection whose complete-line backlog
+      exceeds [max_pending] gets the oldest excess answered with
+      structured [overloaded] errors (carrying the queue depth) —
+      deterministic shedding that costs no scheduling work and only
+      penalises the flooding connection.
+    - {e Slow readers}: a peer whose unread response backlog exceeds
+      [max_out] bytes is closed.
+    - {e Slowloris}: a peer whose line in progress fails to complete
+      within [slow_timeout_s] is closed — dribbling a byte at a time
+      does not reset the clock.  A fully idle peer is closed after
+      [idle_timeout_s].  Both timeouts run on the {e responsive clock}:
+      time the reactor itself spent blocked computing a batch is not
+      held against any peer, so a long dispatch never gets a
+      well-behaved connection reaped mid-line.
+    - {e Half-close}: EOF drops the torn line in progress
+      ({!Frame.drop_partial}); complete pipelined lines are still
+      answered and flushed before the slot is reclaimed.  A mid-frame
+      disconnect never disturbs other connections.
+    - {e Graceful drain}: once a [shutdown] is read or [max_requests]
+      answers are written, the loop stops accepting and reading,
+      answers every complete line already buffered, flushes, and exits;
+      [drain_grace_s] bounds how long an unresponsive peer can hold the
+      exit hostage.
+
+    Chaos: the {!Hcv_resilience.Inject} points [Conn_stall] /
+    [Conn_close] / [Torn_frame] / [Slow_write] perturb the reactor's
+    timing and granularity (and, for [Conn_close], simulate peer
+    resets).  Torn reads and slow writes cannot change response bytes,
+    which is what the soak drill's byte-identity assertion leans on. *)
 
 type t
 
@@ -39,14 +68,24 @@ val listen_tcp : host:string -> port:int -> Unix.file_descr
 
 val create :
   ?batch_max:int -> ?max_line:int -> ?max_requests:int
-  -> dispatch:Dispatch.t -> Unix.file_descr -> t
+  -> ?idle_timeout_s:float -> ?slow_timeout_s:float -> ?max_pending:int
+  -> ?max_out:int -> ?drain_grace_s:float -> dispatch:Dispatch.t
+  -> Unix.file_descr -> t
 (** [batch_max] (default 256) caps how many run requests one engine
     fan-out takes; [max_line] (default 1 MiB) is the {!Frame} line
-    bound; [max_requests] (default unlimited) stops the daemon after
+    bound; [max_requests] (default unlimited) drains the daemon after
     answering that many requests — the self-terminating mode CI smoke
-    jobs use.  The listening descriptor is owned by the server and
-    closed by {!run}. *)
+    jobs use.  Overload knobs (defaults in parentheses):
+    [idle_timeout_s] (300) and [slow_timeout_s] (10) reap idle and
+    slowloris peers, [max_pending] (512) bounds a connection's
+    complete-line backlog before shedding, [max_out] (8 MiB) bounds its
+    unread response backlog before closing, [drain_grace_s] (5) bounds
+    the graceful drain.  The server registers its live gauges
+    ([queue_depth], [inflight]) with the dispatcher's stats op.  The
+    listening descriptor is owned by the server and closed by
+    {!run}. *)
 
 val run : ?obs:Hcv_obs.Trace.span -> t -> unit
-(** Serve until shutdown.  Closes every descriptor before returning;
-    the dispatcher is left running (callers own its lifecycle). *)
+(** Serve until shutdown (or [max_requests]), then drain.  Closes every
+    descriptor before returning; the dispatcher is left running
+    (callers own its lifecycle). *)

@@ -190,7 +190,7 @@ let test_real_exception_quarantined () =
   in
   let out =
     with_engine
-      ~policy:{ R.Retry.max_attempts = 3; backoff_s = 0.0 }
+      ~policy:{ R.Retry.max_attempts = 3; backoff_s = 0.0; jitter = 0.0 }
       (fun e -> Engine.sweep e ~codec f xs)
   in
   Alcotest.(check int) "retried to the attempt budget" 3

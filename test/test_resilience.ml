@@ -71,7 +71,7 @@ let test_point_names_roundtrip () =
 
 (* ----- Retry ------------------------------------------------------- *)
 
-let fast = { R.Retry.max_attempts = 3; backoff_s = 0.0 }
+let fast = { R.Retry.max_attempts = 3; backoff_s = 0.0; jitter = 0.0 }
 
 let test_retry_recovers () =
   let n = ref 0 in
@@ -244,6 +244,33 @@ let test_pipeline_budget_degrades () =
     Alcotest.(check bool) "ratios still finite" true
       (Float.is_finite r.Pipeline.ed2_ratio)
 
+(* ----- Retry backoff jitter ---------------------------------------- *)
+
+let test_retry_jitter_schedule () =
+  let policy = { R.Retry.max_attempts = 4; backoff_s = 0.01; jitter = 0.5 } in
+  let a = R.Retry.schedule ~policy ~label:"cell-a" () in
+  let b = R.Retry.schedule ~policy ~label:"cell-a" () in
+  Alcotest.(check int) "max_attempts - 1 sleeps" 3 (List.length a);
+  Alcotest.(check (list (float 0.0))) "same label, same schedule" a b;
+  let c = R.Retry.schedule ~policy ~label:"cell-b" () in
+  Alcotest.(check bool) "distinct labels de-synchronise" true (a <> c);
+  (* Every sleep stays inside [backoff * (1 - jitter), backoff], with
+     the exponential doubling underneath. *)
+  List.iteri
+    (fun i s ->
+      let full = policy.R.Retry.backoff_s *. (2. ** float_of_int i) in
+      Alcotest.(check bool) "within the jitter band" true
+        (s >= (full *. 0.5) -. 1e-12 && s <= full +. 1e-12))
+    a;
+  (* jitter 0 is the exact exponential, whatever the label. *)
+  let exact =
+    R.Retry.schedule
+      ~policy:{ policy with R.Retry.jitter = 0.0 }
+      ~label:"cell-a" ()
+  in
+  Alcotest.(check (list (float 1e-12))) "zero jitter = exact doubling"
+    [ 0.01; 0.02; 0.04 ] exact
+
 let suite =
   [
     Alcotest.test_case "disarmed plane never fires" `Quick test_disarmed;
@@ -261,6 +288,8 @@ let suite =
       test_retry_exhausted;
     Alcotest.test_case "persistent faults skip retries" `Quick
       test_retry_persistent_fault_fails_fast;
+    Alcotest.test_case "backoff jitter is label-seeded and bounded" `Quick
+      test_retry_jitter_schedule;
     Alcotest.test_case "hsched budget exhaustion" `Quick
       test_hsched_budget_exhausted;
     Alcotest.test_case "ample hsched budget changes nothing" `Quick

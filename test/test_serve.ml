@@ -3,7 +3,13 @@
 
 open Hcv_core
 module E = Hcv_explore
+module R = Hcv_resilience
 module S = Hcv_serve
+
+(* The overload personas keep writing into sockets the server reaps
+   mid-test — exactly the point of the test.  Without this the default
+   SIGPIPE disposition kills the runner instead of surfacing EPIPE. *)
+let () = Sys.set_signal Sys.sigpipe Sys.Signal_ignore
 
 (* ----- frame: incremental line framing ----------------------------- *)
 
@@ -42,6 +48,36 @@ let test_frame_oversized () =
   | _ -> Alcotest.fail "expected Oversized");
   (* The frame recovers: the next line is intact. *)
   Alcotest.(check string) "next line survives" "ok" (pop_line f)
+
+let test_frame_drop_partial () =
+  let f = S.Frame.create () in
+  (* Byte-at-a-time delivery across both line boundaries, popping as
+     lines complete: framing state survives any tear position. *)
+  let got = ref [] in
+  String.iter
+    (fun c ->
+      S.Frame.feed f (String.make 1 c);
+      match S.Frame.pop f with
+      | Some (S.Frame.Line l) -> got := l :: !got
+      | Some (S.Frame.Oversized n) -> Alcotest.failf "oversized %d" n
+      | None -> ())
+    "one\ntwo\nthr";
+  Alcotest.(check (list string)) "lines out of 1-byte feeds"
+    [ "one"; "two" ] (List.rev !got);
+  (* Mid-frame disconnect: the torn tail is dropped, and the frame is
+     clean for reuse. *)
+  Alcotest.(check int) "torn bytes reported" 3 (S.Frame.drop_partial f);
+  Alcotest.(check int) "nothing pending" 0 (S.Frame.pending f);
+  S.Frame.feed f "ok\n";
+  Alcotest.(check string) "fresh line after the drop" "ok" (pop_line f);
+  (* Dropping also abandons an oversized line in progress. *)
+  let g = S.Frame.create ~max_line:4 () in
+  S.Frame.feed g (String.make 10 'x');
+  Alcotest.(check bool) "discarding, nothing complete" true
+    (S.Frame.pop g = None);
+  ignore (S.Frame.drop_partial g);
+  S.Frame.feed g "ok\n";
+  Alcotest.(check string) "recovered from discarding state" "ok" (pop_line g)
 
 (* ----- proto: request parsing and response rendering --------------- *)
 
@@ -294,9 +330,54 @@ let test_registry_rejections () =
     (admit_err
        {|{"id":"a","op":"schedule","graph":{"name":"g","trip":8,"nodes":[{"n":"a","op":"frob"}],"edges":[]}}|})
 
+(* ----- deadlines: wire field compiled onto the budget machinery ----- *)
+
+let test_deadline_compile_registry () =
+  (* The wire field parses, rejects negatives, and compiles onto the
+     budget with a deterministic points-per-ms constant. *)
+  let w =
+    work_of {|{"id":"a","op":"explore","bench":"applu","deadline_ms":5}|}
+  in
+  Alcotest.(check (option int)) "deadline parsed" (Some 5) w.S.Proto.deadline_ms;
+  Alcotest.(check (pair (option string) string))
+    "negative deadline rejected"
+    (Some "x", "bad-request")
+    (parse_err {|{"id":"x","op":"explore","bench":"applu","deadline_ms":-1}|});
+  Alcotest.(check (option int)) "deadline-only effective budget"
+    (Some (Sweep.budget_of_deadline 5))
+    (S.Registry.effective_budget w);
+  (* Deadline 0 is the fast-fail probe: the floor of one point, never
+     zero. *)
+  Alcotest.(check int) "deadline 0 floors at one point" 1
+    (Sweep.budget_of_deadline 0);
+  (* With both present the tighter bound wins. *)
+  let both b d =
+    S.Registry.effective_budget
+      (work_of
+         (Printf.sprintf
+            {|{"id":"a","op":"explore","bench":"applu","budget":%d,"deadline_ms":%d}|}
+            b d))
+  in
+  Alcotest.(check (option int)) "tight budget binds" (Some 3) (both 3 5);
+  Alcotest.(check (option int)) "tight deadline binds"
+    (Some (Sweep.budget_of_deadline 1))
+    (both 1_000_000 1);
+  (* A deadline forks the content key exactly as the equivalent budget
+     would — the two spellings of the same work cap share a key. *)
+  let key line = S.Registry.key (admit_ok line) in
+  Alcotest.(check bool) "deadline forks the unbudgeted key" true
+    (key {|{"id":"a","op":"explore","bench":"applu","deadline_ms":1}|}
+    <> key {|{"id":"a","op":"explore","bench":"applu"}|});
+  Alcotest.(check string) "deadline keys as its compiled budget"
+    (key
+       (Printf.sprintf
+          {|{"id":"a","op":"explore","bench":"applu","budget":%d}|}
+          (Sweep.budget_of_deadline 1)))
+    (key {|{"id":"a","op":"explore","bench":"applu","deadline_ms":1}|})
+
 (* ----- dispatch: batching, determinism, error isolation ------------ *)
 
-let dsl_line ?(id = "d1") ?budget ?degrade () =
+let dsl_line ?(id = "d1") ?budget ?deadline_ms ?degrade () =
   E.Jsonx.to_string
     (E.Jsonx.Obj
        ([
@@ -316,6 +397,9 @@ let dsl_line ?(id = "d1") ?budget ?degrade () =
        @ (match budget with
          | None -> []
          | Some b -> [ ("budget", E.Jsonx.Num (float_of_int b)) ])
+       @ (match deadline_ms with
+         | None -> []
+         | Some d -> [ ("deadline_ms", E.Jsonx.Num (float_of_int d)) ])
        @
        match degrade with
        | None -> []
@@ -335,6 +419,59 @@ let rec rm_tree path =
     (try Sys.rmdir path with Sys_error _ -> ())
   | false -> ( try Sys.remove path with Sys_error _ -> ())
   | exception Sys_error _ -> ()
+
+let error_code_of line =
+  match S.Proto.parse_response line with
+  | Ok { S.Proto.ok = false; error = Some e; _ } -> Hcv_obs.Diag.code e
+  | Ok _ -> Alcotest.failf "expected an error response, got %S" line
+  | Error m -> Alcotest.failf "unparseable response: %s" m
+
+let test_deadline_render () =
+  with_dispatch ~jobs:1 (fun d ->
+      (* An impossible deadline answers deadline-exceeded, not
+         budget-exhausted: the client asked in time units and the error
+         must speak them. *)
+      let resp = S.Dispatch.handle_line d (dsl_line ~deadline_ms:0 ()) in
+      Alcotest.(check string) "deadline-exceeded" "deadline-exceeded"
+        (error_code_of resp);
+      (match S.Proto.parse_response resp with
+      | Ok { S.Proto.error = Some e; _ } ->
+        Alcotest.(check (option string)) "context names the deadline"
+          (Some "0")
+          (List.assoc_opt "deadline_ms" e.Hcv_obs.Diag.context)
+      | _ -> Alcotest.fail "error object missing");
+      (* Binding rules: whichever bound is tighter names the error. *)
+      Alcotest.(check string) "tight budget still budget-exhausted"
+        "budget-exhausted"
+        (error_code_of
+           (S.Dispatch.handle_line d (dsl_line ~budget:1 ~deadline_ms:60000 ())));
+      Alcotest.(check string) "tight deadline wins the rendering"
+        "deadline-exceeded"
+        (error_code_of
+           (S.Dispatch.handle_line d
+              (dsl_line ~budget:1000000 ~deadline_ms:0 ())));
+      (* degrade:true turns the missed deadline into the estimate. *)
+      match
+        S.Proto.parse_response
+          (S.Dispatch.handle_line d (dsl_line ~deadline_ms:0 ~degrade:true ()))
+      with
+      | Ok { S.Proto.ok = true; result = Some _; _ } -> ()
+      | _ -> Alcotest.fail "degrade:true must answer the estimate");
+  (* A server-side default deadline fills in only where the request
+     carries none. *)
+  let engine = E.Engine.create ~jobs:1 () in
+  Fun.protect
+    ~finally:(fun () -> E.Engine.shutdown engine)
+    (fun () ->
+      let d = S.Dispatch.create ~default_deadline_ms:0 engine in
+      Alcotest.(check string) "default deadline applies" "deadline-exceeded"
+        (error_code_of (S.Dispatch.handle_line d (dsl_line ())));
+      match
+        S.Proto.parse_response
+          (S.Dispatch.handle_line d (dsl_line ~deadline_ms:60000 ()))
+      with
+      | Ok { S.Proto.ok = true; _ } -> ()
+      | _ -> Alcotest.fail "explicit deadline must override the default")
 
 let test_dispatch_deterministic () =
   let lines =
@@ -426,6 +563,75 @@ let test_dispatch_survives_errors () =
       | Ok { S.Proto.ok = true; _ } -> ()
       | _ -> Alcotest.fail "dispatcher stopped serving after errors")
 
+let test_stats_volatile () =
+  with_dispatch ~jobs:1 (fun d ->
+      let stats () =
+        match
+          S.Proto.parse_response
+            (S.Dispatch.handle_line d {|{"id":"s","op":"stats"}|})
+        with
+        | Ok { S.Proto.ok = true; result = Some r; _ } -> r
+        | _ -> Alcotest.fail "stats did not answer"
+      in
+      let volatile r =
+        match E.Jsonx.member "volatile" r with
+        | Some v -> v
+        | None -> Alcotest.fail "stats carries no volatile object"
+      in
+      let num v name =
+        match Option.bind (E.Jsonx.member name v) E.Jsonx.num with
+        | Some n -> n
+        | None -> Alcotest.failf "volatile field %s missing" name
+      in
+      let v0 = volatile (stats ()) in
+      Alcotest.(check (float 0.0)) "no sheds yet" 0.0 (num v0 "shed");
+      Alcotest.(check (float 0.0)) "no drains yet" 0.0 (num v0 "drained");
+      Alcotest.(check (float 0.0)) "no deadline misses yet" 0.0
+        (num v0 "deadline_exceeded");
+      Alcotest.(check (float 0.0)) "no open circuits" 0.0
+        (num v0 "breaker_open");
+      Alcotest.(check bool) "uptime present" true (num v0 "uptime_s" >= 0.0);
+      (* Tallies and registered gauges feed in live. *)
+      S.Dispatch.set_gauges d (fun () -> [ ("queue_depth", 7.0) ]);
+      S.Dispatch.note_shed d;
+      S.Dispatch.note_drained d;
+      ignore (S.Dispatch.handle_line d (dsl_line ~deadline_ms:0 ()));
+      let v1 = volatile (stats ()) in
+      Alcotest.(check (float 0.0)) "shed tally" 1.0 (num v1 "shed");
+      Alcotest.(check (float 0.0)) "drained tally" 1.0 (num v1 "drained");
+      Alcotest.(check (float 0.0)) "deadline tally" 1.0
+        (num v1 "deadline_exceeded");
+      Alcotest.(check (float 0.0)) "registered gauge" 7.0
+        (num v1 "queue_depth"))
+
+let test_circuit_breaker () =
+  with_dispatch ~jobs:1 (fun d ->
+      (* A persistent injected fault quarantines the cell's content
+         key... *)
+      let plan =
+        R.Inject.plan ~seed:5
+          [ R.Inject.spec ~max_fires:1 ~transient:false R.Inject.Task_raise ]
+      in
+      let first =
+        R.Inject.with_plan plan (fun () ->
+            S.Dispatch.handle_line d (dsl_line ~id:"f1" ()))
+      in
+      Alcotest.(check string) "quarantined" "injected-fault"
+        (error_code_of first);
+      Alcotest.(check int) "one open circuit" 1 (S.Dispatch.breaker_open d);
+      (* ... and the breaker fast-fails the identical request even
+         though the fault plan is long disarmed: a known-bad cell is
+         never re-executed. *)
+      Alcotest.(check string) "circuit open" "circuit-open"
+        (error_code_of (S.Dispatch.handle_line d (dsl_line ~id:"f2" ())));
+      (* Distinct content is untouched. *)
+      match
+        S.Proto.parse_response
+          (S.Dispatch.handle_line d (dsl_line ~id:"f3" ~budget:100000 ()))
+      with
+      | Ok { S.Proto.ok = true; _ } -> ()
+      | _ -> Alcotest.fail "breaker must scope to the quarantined key")
+
 (* ----- server: the socket loop end to end -------------------------- *)
 
 let test_server_socket () =
@@ -480,14 +686,22 @@ let sock_path tag =
   Filename.concat (Filename.get_temp_dir_name ())
     (Printf.sprintf "hcvliw-test-%s-%d.sock" tag (Unix.getpid ()))
 
-let spawn_server ?batch_max ?max_requests listen =
+let connect_to path () =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX path);
+  fd
+
+let spawn_server ?batch_max ?max_requests ?max_line ?slow_timeout_s
+    ?max_pending listen =
   Domain.spawn (fun () ->
       let engine = E.Engine.create ~jobs:1 () in
       Fun.protect
         ~finally:(fun () -> E.Engine.shutdown engine)
         (fun () ->
           let dispatch = S.Dispatch.create engine in
-          S.Server.run (S.Server.create ?batch_max ?max_requests ~dispatch listen);
+          S.Server.run
+            (S.Server.create ?batch_max ?max_requests ?max_line
+               ?slow_timeout_s ?max_pending ~dispatch listen);
           S.Dispatch.served dispatch))
 
 let test_server_pipelined_burst () =
@@ -547,6 +761,145 @@ let test_server_max_requests () =
   Unix.close fd;
   Sys.remove path
 
+(* ----- server overload protection ---------------------------------- *)
+
+let shutdown_ok connect =
+  match S.Load.run_requests ~connect [ {|{"id":"bye","op":"shutdown"}|} ] with
+  | [ (_, Some r) ] when S.Load.classify r = S.Load.Ok_answer -> ()
+  | _ -> Alcotest.fail "daemon did not survive to acknowledge shutdown"
+
+let test_server_sheds_overload () =
+  let path = sock_path "shed" in
+  let srv = spawn_server ~max_pending:4 (S.Server.listen_unix path) in
+  let connect = connect_to path in
+  let lines =
+    List.init 32 (fun i -> Printf.sprintf {|{"id":"b%02d","op":"ping"}|} i)
+  in
+  let resps = S.Load.run_burst ~connect lines in
+  Alcotest.(check int) "every burst line answered" 32 (List.length resps);
+  let sheds = List.filter (fun r -> S.Load.classify r = S.Load.Shed) resps in
+  Alcotest.(check bool) "backlog beyond the cap shed" true (sheds <> []);
+  (* The overloaded answer keeps the salvaged id and reports the
+     depth. *)
+  (match S.Proto.parse_response (List.hd sheds) with
+  | Ok { S.Proto.rid = Some _; error = Some e; _ } ->
+    Alcotest.(check bool) "queue depth in context" true
+      (List.mem_assoc "queue_depth" e.Hcv_obs.Diag.context)
+  | _ -> Alcotest.fail "shed response malformed");
+  (* Only the flooding connection was penalised; the daemon survives. *)
+  shutdown_ok connect;
+  ignore (Domain.join srv);
+  Sys.remove path
+
+let test_server_half_close () =
+  let path = sock_path "halfclose" in
+  let srv = spawn_server (S.Server.listen_unix path) in
+  let fd = connect_to path () in
+  let ic = Unix.in_channel_of_descr fd in
+  (* Two complete lines, a torn tail, then half-close the write side:
+     the complete lines are still answered, the torn tail is dropped,
+     and the server reaps the slot cleanly. *)
+  let payload =
+    {|{"id":"h0","op":"ping"}|} ^ "\n" ^ {|{"id":"h1","op":"ping"}|} ^ "\n"
+    ^ {|{"id":"torn","op":"explore","bench":"ap|}
+  in
+  let n = Unix.write_substring fd payload 0 (String.length payload) in
+  Alcotest.(check int) "payload written" (String.length payload) n;
+  Unix.shutdown fd Unix.SHUTDOWN_SEND;
+  List.iter
+    (fun id ->
+      match S.Proto.parse_response (input_line ic) with
+      | Ok { S.Proto.ok = true; rid = Some got; _ } ->
+        Alcotest.(check string) "pipelined line answered after eof" id got
+      | _ -> Alcotest.failf "request %s lost at half-close" id)
+    [ "h0"; "h1" ];
+  (match input_line ic with
+  | _ -> Alcotest.fail "torn tail must not be answered"
+  | exception End_of_file -> ());
+  Unix.close fd;
+  (* Other connections were never disturbed. *)
+  shutdown_ok (connect_to path);
+  ignore (Domain.join srv);
+  Sys.remove path
+
+let test_server_reaps_slowloris () =
+  let path = sock_path "loris" in
+  let srv = spawn_server ~slow_timeout_s:0.2 (S.Server.listen_unix path) in
+  let connect = connect_to path in
+  Alcotest.(check bool) "slowloris reaped" true
+    (S.Load.run_slowloris ~connect ~duration_s:0.6 ~interval_s:0.01
+       ~reap_grace_s:10. ());
+  shutdown_ok connect;
+  ignore (Domain.join srv);
+  Sys.remove path
+
+let test_server_graceful_drain () =
+  let path = sock_path "drain" in
+  let listen = S.Server.listen_unix path in
+  let srv =
+    Domain.spawn (fun () ->
+        let engine = E.Engine.create ~jobs:1 () in
+        Fun.protect
+          ~finally:(fun () -> E.Engine.shutdown engine)
+          (fun () ->
+            let dispatch = S.Dispatch.create engine in
+            S.Server.run (S.Server.create ~dispatch listen);
+            S.Dispatch.drained dispatch))
+  in
+  (* A request pipelined with the shutdown in one write must still be
+     answered, and the batch lands while draining. *)
+  let resps =
+    S.Load.run_burst ~connect:(connect_to path)
+      [ {|{"id":"da","op":"ping"}|}; {|{"id":"bye","op":"shutdown"}|} ]
+  in
+  Alcotest.(check int) "both pipelined lines answered" 2 (List.length resps);
+  List.iter
+    (fun r ->
+      if S.Load.classify r <> S.Load.Ok_answer then
+        Alcotest.failf "drain-phase answer is an error: %s" r)
+    resps;
+  Alcotest.(check bool) "answered during drain" true (Domain.join srv >= 1);
+  Sys.remove path
+
+let test_server_chaos_identity () =
+  (* The reactor under torn reads and one-byte writes answers the exact
+     bytes a fault-free in-process dispatcher does: socket faults are
+     granularity perturbations, never data corruption. *)
+  let lines =
+    [
+      dsl_line ~id:"c0" ();
+      {|{"id":"c1","op":"ping"}|};
+      dsl_line ~id:"c2" ~deadline_ms:0 ();
+    ]
+  in
+  let expected =
+    with_dispatch ~jobs:1 (fun d ->
+        List.map (S.Dispatch.handle_line d) lines)
+  in
+  let path = sock_path "chaosid" in
+  let plan =
+    R.Inject.plan ~seed:11
+      [
+        R.Inject.spec ~prob:0.5 ~max_fires:max_int R.Inject.Torn_frame;
+        R.Inject.spec ~prob:0.5 ~max_fires:max_int R.Inject.Slow_write;
+      ]
+  in
+  let got =
+    R.Inject.with_plan plan (fun () ->
+        let srv = spawn_server (S.Server.listen_unix path) in
+        let connect = connect_to path in
+        let got = S.Load.run_requests ~connect lines in
+        shutdown_ok connect;
+        ignore (Domain.join srv);
+        got)
+  in
+  List.iter2
+    (fun want (_, resp) ->
+      Alcotest.(check (option string)) "byte-identical under chaos"
+        (Some want) resp)
+    expected got;
+  Sys.remove path
+
 let test_listen_unix_guard () =
   (* The endpoint is claimed defensively: a live daemon's socket and a
      non-socket file are errors; only a stale socket is unlinked. *)
@@ -597,6 +950,8 @@ let suite =
     Alcotest.test_case "frame reassembles torn lines" `Quick test_frame_torn;
     Alcotest.test_case "frame bounds oversized lines" `Quick
       test_frame_oversized;
+    Alcotest.test_case "frame survives byte reads and dropped partials"
+      `Quick test_frame_drop_partial;
     Alcotest.test_case "proto parses requests" `Quick test_proto_parse;
     Alcotest.test_case "proto machine field" `Quick test_proto_machine;
     Alcotest.test_case "proto renders responses" `Quick test_proto_responses;
@@ -609,11 +964,29 @@ let suite =
       test_dispatch_batch_dedup;
     Alcotest.test_case "dispatch survives bad requests" `Quick
       test_dispatch_survives_errors;
+    Alcotest.test_case "registry compiles deadlines onto budgets" `Quick
+      test_deadline_compile_registry;
+    Alcotest.test_case "dispatch renders deadline-exceeded" `Quick
+      test_deadline_render;
+    Alcotest.test_case "stats separates volatile fields" `Quick
+      test_stats_volatile;
+    Alcotest.test_case "circuit breaker fast-fails quarantined keys" `Quick
+      test_circuit_breaker;
     Alcotest.test_case "server socket loop" `Quick test_server_socket;
     Alcotest.test_case "server drains a pipelined burst past batch_max"
       `Quick test_server_pipelined_burst;
     Alcotest.test_case "server flushes answers before max-requests exit"
       `Quick test_server_max_requests;
+    Alcotest.test_case "server sheds an overload burst" `Quick
+      test_server_sheds_overload;
+    Alcotest.test_case "server answers pipelined lines at half-close"
+      `Quick test_server_half_close;
+    Alcotest.test_case "server reaps a slowloris peer" `Quick
+      test_server_reaps_slowloris;
+    Alcotest.test_case "server drains gracefully on shutdown" `Quick
+      test_server_graceful_drain;
+    Alcotest.test_case "server is byte-identical under socket chaos"
+      `Quick test_server_chaos_identity;
     Alcotest.test_case "listen_unix reclaims only stale sockets" `Quick
       test_listen_unix_guard;
     Alcotest.test_case "load stream is seed-pure" `Quick
